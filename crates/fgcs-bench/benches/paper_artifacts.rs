@@ -1,0 +1,133 @@
+//! One benchmark group per paper table/figure: each runs the exact code
+//! path `fgcs-exp` uses to regenerate that artifact, at reduced scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fgcs_bench::{bench_contention_cfg, bench_testbed_cfg, bench_trace, bench_trace_long};
+use fgcs_core::contention::{
+    guest_usage_experiment, measure_group, priority_sweep, reduction_point, table1_measurements,
+};
+use fgcs_predict::eval::{evaluate, standard_predictors, EvalConfig};
+use fgcs_predict::predictor::MachineHourlyPredictor;
+use fgcs_predict::proactive::{replay, Policy, ProactiveConfig};
+use fgcs_predict::AvailabilityPredictor;
+use fgcs_sim::machine::MachineConfig;
+use fgcs_sim::workloads::{musbus, spec};
+use fgcs_testbed::analysis;
+use fgcs_testbed::runner::run_testbed;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = bench_contention_cfg();
+    c.bench_function("bench_table1/measure_all_workloads", |b| {
+        b.iter(|| black_box(table1_measurements(&cfg)))
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let cfg = bench_contention_cfg();
+    let mut g = c.benchmark_group("bench_fig1");
+    g.bench_function("reduction_point_nice0", |b| {
+        b.iter(|| black_box(reduction_point(0.5, 3, 0, &cfg)))
+    });
+    g.bench_function("reduction_point_nice19", |b| {
+        b.iter(|| black_box(reduction_point(0.5, 3, 19, &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = bench_contention_cfg();
+    c.bench_function("bench_fig2/priority_sweep_2x3", |b| {
+        b.iter(|| black_box(priority_sweep(&[0.3, 0.7], &[0, 10, 19], &cfg)))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = bench_contention_cfg();
+    c.bench_function("bench_fig3/guest_usage_grid", |b| {
+        b.iter(|| black_box(guest_usage_experiment(&[0.2], &[1.0, 0.8], &cfg)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = bench_contention_cfg();
+    let hosts = musbus::H5.processes();
+    let guest = spec::APSI.guest_spec(0);
+    c.bench_function("bench_fig4/h5_apsi_thrashing_pair", |b| {
+        b.iter(|| {
+            black_box(measure_group(
+                &MachineConfig::solaris_384mb(),
+                &hosts,
+                Some(&guest),
+                &cfg,
+            ))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = bench_testbed_cfg();
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("bench_table2");
+    g.bench_function("run_testbed_4x7", |b| b.iter(|| black_box(run_testbed(&cfg))));
+    g.bench_function("analyze_causes", |b| b.iter(|| black_box(analysis::table2(&trace))));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let trace = bench_trace();
+    c.bench_function("bench_fig6/interval_cdfs", |b| {
+        b.iter(|| black_box(analysis::intervals(&trace)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("bench_fig7");
+    g.bench_function("hourly_bands", |b| b.iter(|| black_box(analysis::hourly(&trace))));
+    g.bench_function("regularity", |b| b.iter(|| black_box(analysis::regularity(&trace))));
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let trace = bench_trace_long();
+    let mut g = c.benchmark_group("bench_predict");
+    g.bench_function("evaluate_all_predictors_1window", |b| {
+        b.iter(|| {
+            let mut preds = standard_predictors();
+            let cfg = EvalConfig { windows: vec![2 * 3600], ..Default::default() };
+            black_box(evaluate(&trace, &mut preds, &cfg))
+        })
+    });
+    let mut predictor = MachineHourlyPredictor::default();
+    predictor.fit(&trace, trace.meta.span_secs / 2);
+    g.bench_function("proactive_replay_50_jobs", |b| {
+        b.iter(|| {
+            let cfg = ProactiveConfig {
+                jobs: 50,
+                submit_from: trace.meta.span_secs / 2,
+                ..Default::default()
+            };
+            black_box(replay(&trace, &predictor, Policy::Proactive, &cfg))
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = artifacts;
+    config = config();
+    targets = bench_table1, bench_fig1, bench_fig2, bench_fig3, bench_fig4,
+              bench_table2, bench_fig6, bench_fig7, bench_predict
+}
+criterion_main!(artifacts);

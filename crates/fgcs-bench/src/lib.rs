@@ -1,0 +1,35 @@
+//! Shared fixtures for the fgcs benchmark suite (see `benches/`).
+//!
+//! Benchmarks run scaled-down versions of the real experiment code
+//! paths: the same functions `fgcs-exp` uses to regenerate each table
+//! and figure, with parameters reduced so a full `cargo bench` completes
+//! in minutes.
+
+use fgcs_core::contention::ContentionConfig;
+use fgcs_testbed::runner::TestbedConfig;
+use fgcs_testbed::trace::Trace;
+
+/// Contention config for benches: short runs, single combo.
+pub fn bench_contention_cfg() -> ContentionConfig {
+    ContentionConfig { warmup_secs: 2, measure_secs: 20, combos: 1, seed: 0xBE7C4 }
+}
+
+/// Testbed config for benches: 4 machines, 7 days.
+pub fn bench_testbed_cfg() -> TestbedConfig {
+    let mut cfg = TestbedConfig::tiny();
+    cfg.lab.machines = 4;
+    cfg.lab.days = 7;
+    cfg
+}
+
+/// A pre-generated small trace shared by analysis benches.
+pub fn bench_trace() -> Trace {
+    fgcs_testbed::runner::run_testbed(&bench_testbed_cfg())
+}
+
+/// A longer trace for predictor benches (needs enough history days).
+pub fn bench_trace_long() -> Trace {
+    let mut cfg = bench_testbed_cfg();
+    cfg.lab.days = 21;
+    fgcs_testbed::runner::run_testbed(&cfg)
+}

@@ -1,0 +1,515 @@
+//! Unavailability detection.
+//!
+//! [`Detector`] turns the monitor's observation stream into the
+//! five-state model of §4, applying the paper's timing rules:
+//!
+//! * a load spike above `Th2` first *suspends* the guest; only if the
+//!   spike persists beyond the tolerance (1 minute in the paper's
+//!   experiments) is the resource declared unavailable (S3) and the
+//!   guest terminated — transient spikes "caused by a host user starting
+//!   remote X applications or by some system processes" do not count;
+//! * insufficient free memory for the guest working set is S4
+//!   *immediately* ("the guest process must be immediately terminated to
+//!   avoid memory thrashing");
+//! * FGCS-service death is S5 immediately;
+//! * after a failure, the machine is only harvested again once it has
+//!   been calm (`LH <= Th2`, memory fits, service alive) for the harvest
+//!   delay — §5.2: "the system should wait for about 5 minutes before
+//!   harvesting a machine recently released from heavy host workloads".
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{AvailState, FailureCause, LoadBand, Thresholds};
+use crate::monitor::Observation;
+
+/// Detector timing and threshold configuration. Times are in the same
+/// unit as the timestamps passed to [`Detector::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// The contention thresholds.
+    pub thresholds: Thresholds,
+    /// Guest working-set size in MB, for S4 detection.
+    pub guest_working_set_mb: u32,
+    /// How long `LH > Th2` may persist (guest suspended) before S3.
+    pub spike_tolerance: u64,
+    /// How long the machine must stay calm after a failure before a new
+    /// availability interval begins.
+    pub harvest_delay: u64,
+}
+
+impl DetectorConfig {
+    /// Defaults with timestamps in simulator ticks (10 ms): 1-minute
+    /// spike tolerance, 5-minute harvest delay, paper thresholds, and a
+    /// modest 64 MB guest working set.
+    pub fn sim_default() -> Self {
+        DetectorConfig {
+            thresholds: Thresholds::LINUX_TESTBED,
+            guest_working_set_mb: 64,
+            spike_tolerance: fgcs_sim::time::minutes(1),
+            harvest_delay: fgcs_sim::time::minutes(5),
+        }
+    }
+
+    /// Defaults with timestamps in seconds (used by the testbed tracer).
+    pub fn wallclock_default() -> Self {
+        DetectorConfig {
+            thresholds: Thresholds::LINUX_TESTBED,
+            guest_working_set_mb: 64,
+            spike_tolerance: 60,
+            harvest_delay: 300,
+        }
+    }
+}
+
+/// What the FGCS middleware should do to the guest job after a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuestAction {
+    /// Restore the guest to default priority (entering S1).
+    RestoreDefaultPriority,
+    /// `renice` the guest to the lowest priority (entering S2).
+    SetLowestPriority,
+    /// SIGSTOP the guest (transient spike above `Th2`).
+    Suspend,
+    /// SIGCONT the guest (spike subsided within tolerance).
+    Resume,
+    /// Kill the guest; the resource has failed.
+    Terminate,
+    /// The machine has become harvestable again after a failure.
+    MachineAvailable,
+}
+
+/// Start/end edge of an unavailability occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventEdge {
+    /// Unavailability began.
+    Started {
+        /// Failure cause.
+        cause: FailureCause,
+        /// Timestamp.
+        at: u64,
+    },
+    /// Unavailability ended (machine harvestable again).
+    Ended {
+        /// Failure cause of the occurrence that ended.
+        cause: FailureCause,
+        /// When the machine became harvestable (after the harvest delay).
+        at: u64,
+        /// When the failure condition actually cleared — the machine
+        /// came back / load dropped / memory freed. The paper's URR
+        /// analysis classifies outages by *this* duration ("URR with
+        /// intervals shorter than one minute" are reboots).
+        calm_from: u64,
+    },
+}
+
+/// Result of feeding one observation to the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Model state after the observation.
+    pub state: AvailState,
+    /// Action for the guest-job controller, if any.
+    pub action: Option<GuestAction>,
+    /// Unavailability edges produced by this observation (at most two:
+    /// a cause change closes one occurrence and opens another).
+    pub edges: Vec<EventEdge>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Available {
+        band: LoadBand,
+        spike_since: Option<u64>,
+    },
+    Unavailable {
+        cause: FailureCause,
+        calm_since: Option<u64>,
+        /// For revocations: when the service first responded again. The
+        /// paper's URR "interval" is the down time itself ("URR with
+        /// intervals shorter than one minute" are reboots), independent
+        /// of how long the load then takes to calm down.
+        revived: Option<u64>,
+    },
+}
+
+/// The incremental unavailability detector.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    cfg: DetectorConfig,
+    mode: Mode,
+}
+
+impl Detector {
+    /// Creates a detector; the machine starts available and idle (S1).
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Detector { cfg, mode: Mode::Available { band: LoadBand::Light, spike_since: None } }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Updates the guest working-set size used for S4 detection — called
+    /// by the controller when a new guest job (with a different memory
+    /// footprint) is placed on the machine.
+    pub fn set_guest_working_set(&mut self, mb: u32) {
+        self.cfg.guest_working_set_mb = mb;
+    }
+
+    /// Current model state.
+    pub fn state(&self) -> AvailState {
+        match self.mode {
+            Mode::Available { band: LoadBand::Light, .. } => AvailState::S1,
+            Mode::Available { .. } => AvailState::S2,
+            Mode::Unavailable { cause, .. } => cause.state(),
+        }
+    }
+
+    /// True while a guest job may run (possibly suspended).
+    pub fn is_available(&self) -> bool {
+        matches!(self.mode, Mode::Available { .. })
+    }
+
+    /// True while a transient load spike above `Th2` is being tolerated
+    /// (the guest, if any, is suspended). New jobs should not be placed
+    /// until the spike resolves one way or the other.
+    pub fn spike_active(&self) -> bool {
+        matches!(self.mode, Mode::Available { spike_since: Some(_), .. })
+    }
+
+    /// Feeds one observation taken at time `t`. Timestamps must be
+    /// non-decreasing across calls.
+    pub fn observe(&mut self, t: u64, obs: &Observation) -> Step {
+        let mut edges = Vec::new();
+        let mut action = None;
+
+        let mem_ok = obs.free_mem_mb >= self.cfg.guest_working_set_mb;
+
+        match self.mode {
+            Mode::Available { band, spike_since } => {
+                if !obs.alive {
+                    self.fail(FailureCause::Revocation, t, &mut edges);
+                    action = Some(GuestAction::Terminate);
+                } else if !mem_ok {
+                    self.fail(FailureCause::MemoryThrashing, t, &mut edges);
+                    action = Some(GuestAction::Terminate);
+                } else {
+                    match self.cfg.thresholds.classify(obs.host_load) {
+                        LoadBand::Excessive => match spike_since {
+                            None => {
+                                // First excessive sample: suspend, start
+                                // the tolerance clock.
+                                self.mode =
+                                    Mode::Available { band, spike_since: Some(t) };
+                                action = Some(GuestAction::Suspend);
+                            }
+                            Some(s0) if t.saturating_sub(s0) >= self.cfg.spike_tolerance => {
+                                self.fail(FailureCause::CpuContention, t, &mut edges);
+                                action = Some(GuestAction::Terminate);
+                            }
+                            Some(_) => {} // still within tolerance, stay suspended
+                        },
+                        new_band @ (LoadBand::Light | LoadBand::Heavy) => {
+                            if spike_since.is_some() {
+                                // Spike subsided within tolerance.
+                                action = Some(GuestAction::Resume);
+                            } else if new_band != band {
+                                action = Some(match new_band {
+                                    LoadBand::Light => GuestAction::RestoreDefaultPriority,
+                                    _ => GuestAction::SetLowestPriority,
+                                });
+                            }
+                            self.mode = Mode::Available { band: new_band, spike_since: None };
+                        }
+                    }
+                }
+            }
+            Mode::Unavailable { cause, calm_since, revived } => {
+                // A machine death during a contention outage is a new,
+                // different occurrence: close one, open the other.
+                if !obs.alive && cause != FailureCause::Revocation {
+                    edges.push(EventEdge::Ended { cause, at: t, calm_from: t });
+                    edges.push(EventEdge::Started { cause: FailureCause::Revocation, at: t });
+                    self.mode = Mode::Unavailable {
+                        cause: FailureCause::Revocation,
+                        calm_since: None,
+                        revived: None,
+                    };
+                } else {
+                    // For a revocation, remember when the service first
+                    // came back (resets if the machine flaps).
+                    let revived = if cause == FailureCause::Revocation {
+                        if obs.alive {
+                            Some(revived.unwrap_or(t))
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    };
+                    let calm = obs.alive
+                        && mem_ok
+                        && self.cfg.thresholds.classify(obs.host_load) != LoadBand::Excessive;
+                    if calm {
+                        let since = calm_since.unwrap_or(t);
+                        if t.saturating_sub(since) >= self.cfg.harvest_delay {
+                            let calm_from = if cause == FailureCause::Revocation {
+                                revived.unwrap_or(since)
+                            } else {
+                                since
+                            };
+                            edges.push(EventEdge::Ended { cause, at: t, calm_from });
+                            let band = match self.cfg.thresholds.classify(obs.host_load) {
+                                LoadBand::Light => LoadBand::Light,
+                                _ => LoadBand::Heavy,
+                            };
+                            self.mode = Mode::Available { band, spike_since: None };
+                            action = Some(GuestAction::MachineAvailable);
+                        } else {
+                            self.mode =
+                                Mode::Unavailable { cause, calm_since: Some(since), revived };
+                        }
+                    } else {
+                        self.mode = Mode::Unavailable { cause, calm_since: None, revived };
+                    }
+                }
+            }
+        }
+
+        Step { state: self.state(), action, edges }
+    }
+
+    fn fail(&mut self, cause: FailureCause, t: u64, edges: &mut Vec<EventEdge>) {
+        edges.push(EventEdge::Started { cause, at: t });
+        self.mode = Mode::Unavailable { cause, calm_since: None, revived: None };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            thresholds: Thresholds::LINUX_TESTBED,
+            guest_working_set_mb: 100,
+            spike_tolerance: 60,
+            harvest_delay: 300,
+        }
+    }
+
+    fn obs(load: f64) -> Observation {
+        Observation { host_load: load, free_mem_mb: 1000, alive: true }
+    }
+
+    #[test]
+    fn light_load_is_s1() {
+        let mut d = Detector::new(cfg());
+        let s = d.observe(0, &obs(0.1));
+        assert_eq!(s.state, AvailState::S1);
+        assert!(s.edges.is_empty());
+        assert!(s.action.is_none());
+    }
+
+    #[test]
+    fn heavy_load_moves_to_s2_with_renice() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1));
+        let s = d.observe(10, &obs(0.4));
+        assert_eq!(s.state, AvailState::S2);
+        assert_eq!(s.action, Some(GuestAction::SetLowestPriority));
+        // And back to S1 restores priority.
+        let s = d.observe(20, &obs(0.1));
+        assert_eq!(s.state, AvailState::S1);
+        assert_eq!(s.action, Some(GuestAction::RestoreDefaultPriority));
+    }
+
+    #[test]
+    fn transient_spike_suspends_then_resumes() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.3));
+        let s = d.observe(10, &obs(0.9));
+        assert_eq!(s.action, Some(GuestAction::Suspend));
+        assert_eq!(s.state, AvailState::S2, "state stays S2 during a transient spike");
+        // Spike ends within tolerance.
+        let s = d.observe(40, &obs(0.3));
+        assert_eq!(s.action, Some(GuestAction::Resume));
+        assert_eq!(s.state, AvailState::S2);
+        assert!(s.edges.is_empty(), "no unavailability recorded");
+    }
+
+    #[test]
+    fn persistent_spike_is_s3() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1));
+        d.observe(10, &obs(0.9));
+        let s = d.observe(40, &obs(0.95));
+        assert!(s.edges.is_empty(), "still within tolerance");
+        let s = d.observe(70, &obs(0.9)); // 60 units after spike start
+        assert_eq!(s.state, AvailState::S3);
+        assert_eq!(s.action, Some(GuestAction::Terminate));
+        assert_eq!(
+            s.edges,
+            vec![EventEdge::Started { cause: FailureCause::CpuContention, at: 70 }]
+        );
+    }
+
+    #[test]
+    fn spike_state_remembers_prior_band() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1)); // S1
+        let s = d.observe(10, &obs(0.9));
+        assert_eq!(s.state, AvailState::S1, "S1 spike stays S1 while suspended");
+    }
+
+    #[test]
+    fn memory_pressure_is_immediate_s4() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1));
+        let o = Observation { host_load: 0.1, free_mem_mb: 99, alive: true };
+        let s = d.observe(10, &o);
+        assert_eq!(s.state, AvailState::S4);
+        assert_eq!(s.action, Some(GuestAction::Terminate));
+        assert_eq!(
+            s.edges,
+            vec![EventEdge::Started { cause: FailureCause::MemoryThrashing, at: 10 }]
+        );
+    }
+
+    #[test]
+    fn service_death_is_immediate_s5() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1));
+        let s = d.observe(10, &Observation::dead());
+        assert_eq!(s.state, AvailState::S5);
+        assert_eq!(
+            s.edges,
+            vec![EventEdge::Started { cause: FailureCause::Revocation, at: 10 }]
+        );
+    }
+
+    #[test]
+    fn recovery_requires_harvest_delay() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1));
+        d.observe(10, &Observation::dead());
+        // Machine back, calm — but the delay has not elapsed.
+        let s = d.observe(20, &obs(0.1));
+        assert_eq!(s.state, AvailState::S5);
+        assert!(s.edges.is_empty());
+        let s = d.observe(200, &obs(0.1));
+        assert_eq!(s.state, AvailState::S5);
+        // 300 after calm start.
+        let s = d.observe(320, &obs(0.1));
+        assert_eq!(s.state, AvailState::S1);
+        assert_eq!(s.action, Some(GuestAction::MachineAvailable));
+        assert_eq!(
+            s.edges,
+            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 320, calm_from: 20 }]
+        );
+    }
+
+    #[test]
+    fn urr_interval_is_the_down_time_not_the_calm_time() {
+        // Machine dies at t=10, comes back at t=40, but a load blip at
+        // t=100 resets the calm clock. The recorded raw outage must still
+        // be the ~30 s of down time, so the paper's reboot classification
+        // (< 1 minute) is unaffected by post-boot load noise.
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1));
+        d.observe(10, &Observation::dead());
+        d.observe(40, &obs(0.1)); // back up, calm begins
+        d.observe(100, &obs(0.9)); // transient blip resets calm
+        d.observe(130, &obs(0.1)); // calm again from 130
+        let s = d.observe(440, &obs(0.1)); // 130 + 300 harvest delay
+        assert_eq!(
+            s.edges,
+            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 440, calm_from: 40 }]
+        );
+    }
+
+    #[test]
+    fn urr_revival_resets_if_the_machine_flaps() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &Observation::dead());
+        d.observe(30, &obs(0.1)); // revived at 30...
+        d.observe(60, &Observation::dead()); // ...but dies again
+        d.observe(90, &obs(0.1)); // final revival at 90
+        let s = d.observe(390, &obs(0.1));
+        assert_eq!(
+            s.edges,
+            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 390, calm_from: 90 }]
+        );
+    }
+
+    #[test]
+    fn calm_clock_resets_on_new_turbulence() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.9));
+        d.observe(60, &obs(0.9)); // S3
+        assert_eq!(d.state(), AvailState::S3);
+        d.observe(100, &obs(0.1)); // calm begins
+        d.observe(300, &obs(0.9)); // turbulence: calm clock resets
+        let s = d.observe(410, &obs(0.1)); // calm again at 410
+        assert_eq!(s.state, AvailState::S3, "delay must restart");
+        let s = d.observe(710, &obs(0.1));
+        assert_eq!(s.state, AvailState::S1);
+    }
+
+    #[test]
+    fn recovery_into_heavy_load_lands_in_s2() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &Observation::dead());
+        d.observe(100, &obs(0.5));
+        let s = d.observe(400, &obs(0.5));
+        assert_eq!(s.state, AvailState::S2);
+    }
+
+    #[test]
+    fn cause_change_splits_occurrences() {
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.9));
+        d.observe(60, &obs(0.9)); // S3 starts
+        let s = d.observe(120, &Observation::dead()); // machine rebooted
+        assert_eq!(s.state, AvailState::S5);
+        assert_eq!(
+            s.edges,
+            vec![
+                EventEdge::Ended { cause: FailureCause::CpuContention, at: 120, calm_from: 120 },
+                EventEdge::Started { cause: FailureCause::Revocation, at: 120 },
+            ]
+        );
+    }
+
+    #[test]
+    fn s4_requires_working_set_threshold_exactly() {
+        let mut d = Detector::new(cfg());
+        let o = Observation { host_load: 0.1, free_mem_mb: 100, alive: true };
+        let s = d.observe(0, &o);
+        assert_eq!(s.state, AvailState::S1, "exactly fitting working set is fine");
+    }
+
+    #[test]
+    fn full_cycle_s1_to_s3_to_s1() {
+        let mut d = Detector::new(cfg());
+        let mut edges = Vec::new();
+        let loads = [
+            (0u64, 0.1),
+            (30, 0.7), // spike
+            (90, 0.7), // persists -> S3
+            (120, 0.1),
+            (420, 0.1), // recovered
+        ];
+        for (t, l) in loads {
+            edges.extend(d.observe(t, &obs(l)).edges);
+        }
+        assert_eq!(
+            edges,
+            vec![
+                EventEdge::Started { cause: FailureCause::CpuContention, at: 90 },
+                EventEdge::Ended { cause: FailureCause::CpuContention, at: 420, calm_from: 120 },
+            ]
+        );
+        assert_eq!(d.state(), AvailState::S1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Unavailability occurrences and availability intervals.
+//!
+//! The §5 trace "contains the start and end time of each occurrence of
+//! resource unavailability \[and\] the corresponding failure state". This
+//! module assembles the detector's edges into such occurrences and
+//! reconstructs the complementary *availability intervals* — "periods
+//! during which a guest application may utilize host resources or get
+//! suspended, but does not fail" (§5.2, Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::detector::EventEdge;
+use crate::model::FailureCause;
+
+/// One occurrence of resource unavailability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnavailEvent {
+    /// Failure cause (S3/S4/S5).
+    pub cause: FailureCause,
+    /// When the unavailability began.
+    pub start: u64,
+    /// When the machine became harvestable again (including the harvest
+    /// delay); `None` if the trace ended during the outage.
+    pub end: Option<u64>,
+    /// When the failure condition itself cleared — for S5, when the
+    /// machine came back up. The paper classifies URR occurrences with
+    /// `raw_end - start < 1 minute` as machine reboots.
+    pub raw_end: Option<u64>,
+}
+
+impl UnavailEvent {
+    /// Outage duration up to harvestability, if closed.
+    pub fn duration(&self) -> Option<u64> {
+        self.end.map(|e| e - self.start)
+    }
+
+    /// Duration of the failure condition itself (excluding the harvest
+    /// delay), if closed.
+    pub fn raw_duration(&self) -> Option<u64> {
+        self.raw_end.map(|e| e.saturating_sub(self.start))
+    }
+}
+
+/// Accumulates detector edges into a list of unavailability occurrences.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    events: Vec<UnavailEvent>,
+    open: bool,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Applies one detector edge.
+    ///
+    /// # Panics
+    /// Panics on inconsistent edge sequences (an `Ended` without a
+    /// matching open `Started`, or a cause mismatch) — these indicate a
+    /// bug in the caller, not recoverable data.
+    pub fn apply(&mut self, edge: EventEdge) {
+        match edge {
+            EventEdge::Started { cause, at } => {
+                assert!(!self.open, "Started while an occurrence is open");
+                self.events.push(UnavailEvent { cause, start: at, end: None, raw_end: None });
+                self.open = true;
+            }
+            EventEdge::Ended { cause, at, calm_from } => {
+                assert!(self.open, "Ended without an open occurrence");
+                let last = self.events.last_mut().expect("open implies non-empty");
+                assert_eq!(last.cause, cause, "edge cause mismatch");
+                last.end = Some(at);
+                last.raw_end = Some(calm_from.max(last.start));
+                self.open = false;
+            }
+        }
+    }
+
+    /// Applies every edge of a detector step.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = EventEdge>) {
+        for e in edges {
+            self.apply(e);
+        }
+    }
+
+    /// The recorded occurrences, in start order.
+    pub fn events(&self) -> &[UnavailEvent] {
+        &self.events
+    }
+
+    /// True while an occurrence is still open.
+    pub fn has_open_event(&self) -> bool {
+        self.open
+    }
+
+    /// Number of occurrences attributed to `cause`.
+    pub fn count_by_cause(&self, cause: FailureCause) -> usize {
+        self.events.iter().filter(|e| e.cause == cause).count()
+    }
+
+    /// Reconstructs availability intervals over the observation span
+    /// `[span_start, span_end)`: the complement of unavailability
+    /// periods. Zero-length intervals are dropped.
+    ///
+    /// Events are assumed non-overlapping and in start order, which the
+    /// detector guarantees.
+    pub fn availability_intervals(&self, span_start: u64, span_end: u64) -> Vec<(u64, u64)> {
+        let mut intervals = Vec::new();
+        let mut cursor = span_start;
+        for e in &self.events {
+            let s = e.start.clamp(span_start, span_end);
+            if s > cursor {
+                intervals.push((cursor, s));
+            }
+            cursor = cursor.max(match e.end {
+                Some(t) => t.min(span_end),
+                None => span_end,
+            });
+            if cursor >= span_end {
+                break;
+            }
+        }
+        if cursor < span_end {
+            intervals.push((cursor, span_end));
+        }
+        intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started(cause: FailureCause, at: u64) -> EventEdge {
+        EventEdge::Started { cause, at }
+    }
+
+    fn ended(cause: FailureCause, at: u64) -> EventEdge {
+        EventEdge::Ended { cause, at, calm_from: at }
+    }
+
+    #[test]
+    fn assembles_occurrences() {
+        let mut log = EventLog::new();
+        log.apply(started(FailureCause::CpuContention, 100));
+        log.apply(ended(FailureCause::CpuContention, 250));
+        log.apply(started(FailureCause::Revocation, 400));
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].duration(), Some(150));
+        assert_eq!(log.events()[1].end, None);
+        assert!(log.has_open_event());
+    }
+
+    #[test]
+    fn counts_by_cause() {
+        let mut log = EventLog::new();
+        for (c, s, e) in [
+            (FailureCause::CpuContention, 0u64, 10u64),
+            (FailureCause::CpuContention, 20, 30),
+            (FailureCause::MemoryThrashing, 40, 50),
+        ] {
+            log.apply(started(c, s));
+            log.apply(ended(c, e));
+        }
+        assert_eq!(log.count_by_cause(FailureCause::CpuContention), 2);
+        assert_eq!(log.count_by_cause(FailureCause::MemoryThrashing), 1);
+        assert_eq!(log.count_by_cause(FailureCause::Revocation), 0);
+    }
+
+    #[test]
+    fn intervals_complement_events() {
+        let mut log = EventLog::new();
+        log.apply(started(FailureCause::CpuContention, 100));
+        log.apply(ended(FailureCause::CpuContention, 200));
+        log.apply(started(FailureCause::Revocation, 500));
+        log.apply(ended(FailureCause::Revocation, 600));
+        let ivals = log.availability_intervals(0, 1000);
+        assert_eq!(ivals, vec![(0, 100), (200, 500), (600, 1000)]);
+    }
+
+    #[test]
+    fn open_event_truncates_last_interval() {
+        let mut log = EventLog::new();
+        log.apply(started(FailureCause::CpuContention, 700));
+        let ivals = log.availability_intervals(0, 1000);
+        assert_eq!(ivals, vec![(0, 700)]);
+    }
+
+    #[test]
+    fn no_events_is_one_full_interval() {
+        let log = EventLog::new();
+        assert_eq!(log.availability_intervals(10, 20), vec![(10, 20)]);
+    }
+
+    #[test]
+    fn event_at_span_start_drops_empty_interval() {
+        let mut log = EventLog::new();
+        log.apply(started(FailureCause::Revocation, 0));
+        log.apply(ended(FailureCause::Revocation, 50));
+        let ivals = log.availability_intervals(0, 100);
+        assert_eq!(ivals, vec![(50, 100)]);
+    }
+
+    #[test]
+    fn events_outside_span_are_clamped() {
+        let mut log = EventLog::new();
+        log.apply(started(FailureCause::Revocation, 0));
+        log.apply(ended(FailureCause::Revocation, 50));
+        let ivals = log.availability_intervals(10, 40);
+        assert!(ivals.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "Ended without an open occurrence")]
+    fn rejects_orphan_end() {
+        EventLog::new().apply(ended(FailureCause::Revocation, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "Started while an occurrence is open")]
+    fn rejects_double_start() {
+        let mut log = EventLog::new();
+        log.apply(started(FailureCause::Revocation, 5));
+        log.apply(started(FailureCause::Revocation, 6));
+    }
+
+    #[test]
+    fn detector_edges_round_trip() {
+        use crate::detector::{Detector, DetectorConfig};
+        use crate::monitor::Observation;
+        let mut d = Detector::new(DetectorConfig {
+            thresholds: crate::model::Thresholds::LINUX_TESTBED,
+            guest_working_set_mb: 10,
+            spike_tolerance: 60,
+            harvest_delay: 300,
+        });
+        let mut log = EventLog::new();
+        let samples: Vec<(u64, f64)> = (0..200)
+            .map(|i| {
+                let t = i * 15;
+                let load = if (600..1500).contains(&t) { 0.95 } else { 0.05 };
+                (t, load)
+            })
+            .collect();
+        for (t, load) in samples {
+            let step = d.observe(t, &Observation { host_load: load, free_mem_mb: 100, alive: true });
+            log.extend(step.edges);
+        }
+        assert_eq!(log.events().len(), 1);
+        let e = log.events()[0];
+        assert_eq!(e.cause, FailureCause::CpuContention);
+        assert!(e.start >= 660 && e.start <= 675, "start {}", e.start);
+        assert!(e.end.unwrap() >= 1800, "end {:?}", e.end);
+        assert!(!log.has_open_event());
+    }
+}

@@ -1,0 +1,191 @@
+//! The non-intrusive resource monitor.
+//!
+//! On every published iShare machine "there is a resource monitor
+//! measuring CPU and memory usage of host processes periodically ...
+//! \[using\] lightweight system utilities, such as `vmstat` and `prstat`"
+//! (§5). This module is that monitor: it reads cumulative CPU counters
+//! from a [`ResourceProbe`] (the simulator's accounting, standing in for
+//! `/proc/stat`), diffs them across its sampling period, and emits
+//! [`Observation`]s — host load, free memory, service liveness — the
+//! detector consumes.
+//!
+//! Everything here is *observable without privileges on the host*: no
+//! per-host-process instrumentation, no knowledge of contention-free
+//! performance, exactly the paper's constraint.
+
+use serde::{Deserialize, Serialize};
+
+/// What a machine exposes to the monitor — the `vmstat`/`prstat` surface.
+pub trait ResourceProbe {
+    /// Cumulative (host+system CPU ticks, total ticks) since boot.
+    fn cpu_counters(&self) -> (u64, u64);
+    /// Memory currently available for a guest working set, in MB.
+    fn free_mem_for_guest_mb(&self) -> u32;
+    /// Whether the FGCS service still responds. `false` means the
+    /// machine was revoked or crashed (URR): "its termination indicates
+    /// resource revocation".
+    fn service_alive(&self) -> bool;
+}
+
+impl ResourceProbe for fgcs_sim::Machine {
+    fn cpu_counters(&self) -> (u64, u64) {
+        let a = self.accounting();
+        (a.host + a.system, a.total())
+    }
+
+    fn free_mem_for_guest_mb(&self) -> u32 {
+        self.free_mem_for_guest_mb()
+    }
+
+    fn service_alive(&self) -> bool {
+        true // a live simulator object is a live machine
+    }
+}
+
+/// One monitor sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Host CPU load over the last sampling period, in `[0, 1]`.
+    pub host_load: f64,
+    /// Memory available to a guest working set, MB.
+    pub free_mem_mb: u32,
+    /// FGCS service liveness.
+    pub alive: bool,
+}
+
+impl Observation {
+    /// An observation representing a dead machine (URR): no service, no
+    /// meaningful load reading.
+    pub fn dead() -> Self {
+        Observation { host_load: 0.0, free_mem_mb: 0, alive: false }
+    }
+}
+
+/// Periodic sampler turning probe counter reads into [`Observation`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    last: Option<(u64, u64)>,
+}
+
+impl Monitor {
+    /// Creates a monitor with no sample history.
+    pub fn new() -> Self {
+        Monitor { last: None }
+    }
+
+    /// Takes one sample. The first call establishes the counter baseline
+    /// and reports the load as 0 over an empty window; subsequent calls
+    /// report utilization since the previous call.
+    pub fn sample<P: ResourceProbe>(&mut self, probe: &P) -> Observation {
+        if !probe.service_alive() {
+            // Counter baselines are meaningless across a machine death.
+            self.last = None;
+            return Observation::dead();
+        }
+        let (busy, total) = probe.cpu_counters();
+        let host_load = match self.last {
+            Some((b0, t0)) if total > t0 => (busy - b0) as f64 / (total - t0) as f64,
+            _ => 0.0,
+        };
+        self.last = Some((busy, total));
+        Observation {
+            host_load: host_load.clamp(0.0, 1.0),
+            free_mem_mb: probe.free_mem_for_guest_mb(),
+            alive: true,
+        }
+    }
+
+    /// Forgets the counter baseline (e.g. after the monitor restarts).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeProbe {
+        busy: u64,
+        total: u64,
+        mem: u32,
+        alive: bool,
+    }
+
+    impl ResourceProbe for FakeProbe {
+        fn cpu_counters(&self) -> (u64, u64) {
+            (self.busy, self.total)
+        }
+        fn free_mem_for_guest_mb(&self) -> u32 {
+            self.mem
+        }
+        fn service_alive(&self) -> bool {
+            self.alive
+        }
+    }
+
+    #[test]
+    fn first_sample_establishes_baseline() {
+        let mut m = Monitor::new();
+        let p = FakeProbe { busy: 100, total: 1000, mem: 512, alive: true };
+        let o = m.sample(&p);
+        assert_eq!(o.host_load, 0.0);
+        assert_eq!(o.free_mem_mb, 512);
+        assert!(o.alive);
+    }
+
+    #[test]
+    fn diff_computes_window_load() {
+        let mut m = Monitor::new();
+        let mut p = FakeProbe { busy: 0, total: 0, mem: 512, alive: true };
+        m.sample(&p);
+        p.busy = 30;
+        p.total = 100;
+        let o = m.sample(&p);
+        assert!((o.host_load - 0.3).abs() < 1e-12);
+        p.busy = 30; // idle window
+        p.total = 200;
+        let o = m.sample(&p);
+        assert_eq!(o.host_load, 0.0);
+    }
+
+    #[test]
+    fn dead_service_reports_urr_and_resets() {
+        let mut m = Monitor::new();
+        let mut p = FakeProbe { busy: 0, total: 0, mem: 512, alive: true };
+        m.sample(&p);
+        p.alive = false;
+        let o = m.sample(&p);
+        assert!(!o.alive);
+        // After reboot the baseline is re-established, not diffed across
+        // the outage.
+        p.alive = true;
+        p.busy = 1_000_000;
+        p.total = 1_000_000;
+        let o = m.sample(&p);
+        assert_eq!(o.host_load, 0.0, "no diff across a death");
+    }
+
+    #[test]
+    fn stalled_counters_report_zero() {
+        let mut m = Monitor::new();
+        let p = FakeProbe { busy: 5, total: 10, mem: 1, alive: true };
+        m.sample(&p);
+        let o = m.sample(&p); // identical counters: empty window
+        assert_eq!(o.host_load, 0.0);
+    }
+
+    #[test]
+    fn machine_probe_integration() {
+        use fgcs_sim::{Machine, ProcSpec};
+        let mut machine = Machine::default_linux();
+        machine.spawn(ProcSpec::synthetic_host("h", 0.4, 40));
+        let mut mon = Monitor::new();
+        mon.sample(&machine);
+        machine.run_ticks(fgcs_sim::time::secs(30));
+        let o = mon.sample(&machine);
+        assert!((o.host_load - 0.4).abs() < 0.05, "load {}", o.host_load);
+        assert!(o.alive);
+        assert!(o.free_mem_mb > 0);
+    }
+}

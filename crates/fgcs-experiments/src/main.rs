@@ -1,0 +1,99 @@
+//! `fgcs-exp` — regenerates every table and figure of the ICPP'06 FGCS
+//! paper, plus the extension experiments, printing paper-vs-measured
+//! comparisons and writing CSV series under `results/`.
+//!
+//! ```text
+//! fgcs-exp <experiment> [--quick]
+//! fgcs-exp all [--quick]
+//! ```
+//!
+//! Experiments: `table1`, `fig1a`, `fig1b`, `fig2`, `fig3`, `fig4`,
+//! `fig5`, `calibrate`, `table2`, `fig6`, `fig7`, `regularity`,
+//! `predict`, `proactive`, `ablation`, `trace`.
+
+mod contention_exps;
+mod extension_exps;
+mod predict_exps;
+mod report;
+mod trace_exps;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "Table 1: resource usage of tested applications"),
+    ("fig1a", "Figure 1(a): host CPU reduction vs LH, equal priority"),
+    ("fig1b", "Figure 1(b): host CPU reduction vs LH, guest nice 19"),
+    ("calibrate", "Derive Th1/Th2 from the sweeps (the paper's reading of Fig 1)"),
+    ("fig2", "Figure 2: reduction vs LH x guest priority"),
+    ("fig3", "Figure 3: guest CPU usage, equal vs lowest priority"),
+    ("fig4", "Figure 4: SPEC x Musbus slowdown and thrashing on 384 MB Solaris"),
+    ("fig5", "Figure 5: the five-state availability model"),
+    ("table2", "Table 2: unavailability by cause over the 3-month testbed"),
+    ("fig6", "Figure 6: CDF of availability-interval lengths"),
+    ("fig7", "Figure 7: unavailability occurrences per hour of day"),
+    ("regularity", "X1 (§5.3): daily patterns repeat across days"),
+    ("predict", "X2 (§6): availability predictors vs baselines"),
+    ("proactive", "X3 (§1): proactive vs oblivious job placement"),
+    ("ablation", "X4: two-threshold managed policy vs static priorities"),
+    ("policies", "X5: the full §3.2.2 policy design space"),
+    ("scenarios", "X6 (§6): predictability across testbed scenarios"),
+    ("cluster", "X7: placement strategies on a live FGCS cluster"),
+    ("rules", "X8: ablation of the 1-min spike tolerance and 5-min harvest delay"),
+    ("depth", "X9: history depth and trimming ablation for the predictor"),
+    ("seeds", "X10: Table 2 statistics across independent seeds"),
+    ("trace", "Dump the full testbed trace to results/ (JSONL + CSV)"),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: fgcs-exp <experiment|all> [--quick]\n\nexperiments:");
+    for (name, desc) in EXPERIMENTS {
+        eprintln!("  {name:<12} {desc}");
+    }
+    eprintln!("\n--quick runs reduced-scale versions (for smoke tests).");
+    std::process::exit(2);
+}
+
+fn run(name: &str, quick: bool) {
+    match name {
+        "table1" => contention_exps::table1(quick),
+        "fig1a" => contention_exps::fig1(0, quick),
+        "fig1b" => contention_exps::fig1(19, quick),
+        "calibrate" => contention_exps::calibrate_exp(quick),
+        "fig2" => contention_exps::fig2(quick),
+        "fig3" => contention_exps::fig3(quick),
+        "fig4" => contention_exps::fig4(quick),
+        "fig5" => contention_exps::fig5(),
+        "ablation" => contention_exps::ablation(quick),
+        "policies" => extension_exps::policies(quick),
+        "scenarios" => extension_exps::scenario_study(quick),
+        "cluster" => extension_exps::cluster_study(quick),
+        "rules" => extension_exps::detector_rules(quick),
+        "depth" => predict_exps::depth(quick),
+        "seeds" => extension_exps::seeds(quick),
+        "table2" => trace_exps::table2(quick),
+        "fig6" => trace_exps::fig6(quick),
+        "fig7" => trace_exps::fig7(quick),
+        "regularity" => trace_exps::regularity(quick),
+        "trace" => trace_exps::dump_trace(quick),
+        "predict" => predict_exps::predict(quick),
+        "proactive" => predict_exps::proactive(quick),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if names.len() != 1 {
+        usage();
+    }
+    let name = names[0].as_str();
+    let t0 = std::time::Instant::now();
+    if name == "all" {
+        for (n, _) in EXPERIMENTS {
+            run(n, quick);
+        }
+    } else {
+        run(name, quick);
+    }
+    println!("\n[{name} done in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,217 @@
+//! Minimal data-parallel harness for the `fgcs` workspace.
+//!
+//! The experiment sweeps in this repository are embarrassingly parallel:
+//! each `(LH, M, priority)` contention point, each machine-day of the
+//! testbed trace, each predictor evaluation fold is independent of the
+//! others. The offline crate set does not include `rayon`, so this crate
+//! provides the two primitives the workspace needs on top of
+//! `std::thread::scope` and an atomic work index:
+//!
+//! * [`par_map`] — applies a function to every item of a slice on a pool
+//!   of scoped worker threads, preserving input order in the output.
+//! * [`par_map_indexed`] — like [`par_map`] but hands the item index to
+//!   the closure, which simulations use to derive a deterministic
+//!   per-item RNG substream (so results do not depend on which thread
+//!   happened to pick up which item).
+//!
+//! Work is distributed by an atomic fetch-add over the item index — a
+//! degenerate but effective form of work stealing for items whose cost
+//! varies by an order of magnitude or less, which is the case for every
+//! sweep in this workspace. Results land in pre-allocated slots, so no
+//! ordering or locking is involved on the hot path.
+//!
+//! Panics in workers are propagated: if any item's closure panics, the
+//! calling thread panics after the scope joins (`std::thread::scope`
+//! semantics), never silently dropping results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Returns the worker count used by [`par_map`]: the available
+/// parallelism, capped by the item count (and at least 1).
+pub fn default_workers(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(items).max(1)
+}
+
+/// Applies `f` to every element of `items` in parallel, returning results
+/// in input order. Runs inline (no threads) when `items.len() <= 1`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`par_map`], but the closure also receives the item's index.
+///
+/// The index is the idiomatic hook for deterministic parallel RNG: derive
+/// the item's random stream from `(seed, index)` rather than from any
+/// thread-local state, and the sweep's output is identical no matter how
+/// many workers run it.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = default_workers(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Pre-allocated result slots; each is written exactly once by the
+    // worker that claimed the corresponding index.
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every claimed slot"))
+        .collect()
+}
+
+/// Parallel fold: maps every item with `f`, then reduces the per-item
+/// results in input order with `reduce`, starting from `init`.
+///
+/// The reduction itself runs on the calling thread in deterministic input
+/// order, so non-associative-in-floating-point reductions still produce
+/// reproducible output.
+pub fn par_map_reduce<T, R, A, F, G>(items: &[T], f: F, init: A, mut reduce: G) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    let mapped = par_map_indexed(items, f);
+    let mut acc = init;
+    for r in mapped {
+        acc = reduce(acc, r);
+    }
+    acc
+}
+
+/// Runs `n` independent jobs in parallel, returning their results in job
+/// order. A convenience wrapper over [`par_map_indexed`] for sweeps that
+/// are naturally indexed rather than slice-shaped (e.g. "simulate machine
+/// `i` of 20").
+pub fn par_jobs<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    par_map_indexed(&idx, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = par_map(&[7u32], |&x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn indexed_passes_correct_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u32> = (0..10_000).collect();
+        par_map(&items, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn map_reduce_sums_in_order() {
+        let items: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let total = par_map_reduce(&items, |_, &x| x, 0.0, |a, b| a + b);
+        assert_eq!(total, 5050.0);
+    }
+
+    #[test]
+    fn par_jobs_indexed() {
+        let out = par_jobs(5, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Items with wildly different cost must still return in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 100_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        par_map(&items, |&x| {
+            if x == 42 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_workers_bounds() {
+        assert_eq!(default_workers(0), 1);
+        assert_eq!(default_workers(1), 1);
+        assert!(default_workers(1000) >= 1);
+    }
+}

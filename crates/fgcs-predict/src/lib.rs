@@ -1,0 +1,33 @@
+//! Availability prediction for fine-grained cycle sharing.
+//!
+//! The ICPP'06 paper establishes *that* FGCS availability is predictable
+//! (daily patterns repeat, §5.3) and leaves the predictors themselves as
+//! future work (§6). This crate builds them:
+//!
+//! * [`predictor`] — the paper's history-window scheme (same clock
+//!   window on recent same-type days, with irregular-data trimming) and
+//!   the baselines it must beat: global-rate Poisson, hourly-rate
+//!   Poisson, last-day, base-rate.
+//! * [`eval`] — train/test evaluation with Brier score and accuracy
+//!   over a grid of window lengths.
+//! * [`renewal`] — a renewal-theory predictor built directly on the
+//!   Figure 6 interval-length distributions.
+//! * [`proactive`] — the motivating application: proactive guest-job
+//!   placement versus oblivious random placement, replayed over testbed
+//!   traces, comparing job response times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod predictor;
+pub mod proactive;
+pub mod renewal;
+
+pub use eval::{evaluate, standard_predictors, EvalConfig, EvalResult};
+pub use predictor::{
+    AvailabilityPredictor, BaseRatePredictor, GlobalRatePredictor, HistoryWindowPredictor,
+    HourlyRatePredictor, LastDayPredictor, MachineHourlyPredictor,
+};
+pub use proactive::{compare, compare_gang, replay, replay_gang, GangConfig, Policy, PolicyOutcome, ProactiveConfig};
+pub use renewal::RenewalPredictor;

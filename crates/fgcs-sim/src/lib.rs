@@ -1,0 +1,42 @@
+//! Discrete-time machine simulator for fine-grained cycle sharing.
+//!
+//! The ICPP'06 FGCS paper ran its contention experiments on real RedHat
+//! Linux and Solaris machines. This crate is the substitute substrate: a
+//! 100 Hz discrete-time simulation of a Unix time-sharing machine with
+//!
+//! * a process model covering the paper's workload shapes
+//!   ([`proc::Demand`]),
+//! * a faithful Linux-2.4-style "goodness" scheduler whose quantum
+//!   mechanics make the paper's two contention thresholds *emerge*
+//!   ([`machine`]),
+//! * a physical-memory model with thrashing ([`machine::Machine`]'s
+//!   efficiency curve), and
+//! * the paper's workload catalog: synthetic duty-cycle hosts, the four
+//!   SPEC CPU2000 guests and the six Musbus host workloads of Table 1
+//!   ([`workloads`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use fgcs_sim::machine::Machine;
+//! use fgcs_sim::proc::ProcSpec;
+//! use fgcs_sim::time::secs;
+//!
+//! let mut m = Machine::default_linux();
+//! m.spawn(ProcSpec::synthetic_host("editor", 0.2, 40));
+//! m.spawn(ProcSpec::cpu_bound_guest("seti", 19));
+//! let usage = m.measure(secs(60));
+//! assert!(usage.host_load() > 0.15); // the guest barely disturbs the host
+//! assert!(usage.guest_load() > 0.5); // while harvesting most idle cycles
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod proc;
+pub mod time;
+pub mod workloads;
+
+pub use machine::{CpuAccounting, Machine, MachineConfig, SimError};
+pub use proc::{Demand, MemSpec, Phase, Pid, ProcClass, ProcSpec, Process, RunState};

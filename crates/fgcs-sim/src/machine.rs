@@ -1,0 +1,769 @@
+//! A simulated time-sharing machine.
+//!
+//! [`Machine`] combines the process table, a Linux-2.4-style "goodness"
+//! scheduler, and a physical-memory model with thrashing. It exposes the
+//! control surface the FGCS middleware uses (`spawn`, `kill`, `renice`,
+//! `suspend`, `resume`) and the observables a non-intrusive monitor can
+//! read (`vmstat`-style cumulative CPU accounting and free memory).
+//!
+//! # The scheduler
+//!
+//! One decision per 10 ms tick (HZ = 100). Every process has a quantum
+//! `counter`; the runnable process with the largest *goodness*
+//! `counter + (20 − nice)` runs for the tick (goodness 0 when the counter
+//! is exhausted). When every runnable process has exhausted its counter,
+//! quanta are recalculated for **all** processes —
+//! `counter = counter/2 + nice_to_ticks(nice)` — so a process that slept
+//! through recalculations banks up to twice its quantum. That bank is the
+//! interactivity bonus: it lets a low-duty host process preempt a
+//! CPU-bound guest outright, and its size relative to the host's burst
+//! length is what produces the paper's Th1/Th2 thresholds.
+//!
+//! Ties prefer the currently running process (avoiding gratuitous
+//! context switches), then the lowest pid.
+//!
+//! # The memory model
+//!
+//! Resident sets of all non-suspended, non-exited processes plus a fixed
+//! kernel share compete for physical memory. While their sum exceeds
+//! physical memory, the machine thrashes: after every executed CPU tick
+//! the whole machine stalls on page-fault I/O for
+//! `(1 − eff)/eff` ticks, where `eff = (phys/total)^thrash_exponent` —
+//! the disk, not the CPU, is the bottleneck, so those ticks are *iowait*,
+//! consuming wall time without charging any process. Measured CPU usage
+//! of every process collapses by the same factor, which reproduces the
+//! §3.2.3 observation that thrashing drags the host down *regardless of
+//! CPU priorities* (the starred bars of Figure 4).
+
+use crate::proc::{nice_to_ticks, Pid, ProcClass, ProcSpec, Process};
+use crate::time::Tick;
+
+/// Machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Name used in reports.
+    pub name: String,
+    /// Physical memory in MB.
+    pub phys_mem_mb: u32,
+    /// Memory reserved by the kernel, in MB (the paper estimates
+    /// "kernel memory usage of about 100 MB" on the Solaris machine).
+    pub kernel_mem_mb: u32,
+    /// Exponent of the thrashing-efficiency curve; larger is a steeper
+    /// collapse. 1.5 reproduces the 20–35% host-CPU reductions of
+    /// Figure 4's starred bars.
+    pub thrash_exponent: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        // The Linux testbed machines: "the physical memory size is larger
+        // than 1 GB on all the tested machines" (§5.1).
+        MachineConfig {
+            name: "linux-1.7ghz".to_string(),
+            phys_mem_mb: 1024,
+            kernel_mem_mb: 100,
+            thrash_exponent: 1.5,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The 300 MHz / 384 MB Solaris machine of §3.2.3.
+    pub fn solaris_384mb() -> Self {
+        MachineConfig {
+            name: "solaris-300mhz".to_string(),
+            phys_mem_mb: 384,
+            kernel_mem_mb: 100,
+            thrash_exponent: 1.5,
+        }
+    }
+}
+
+/// Errors from machine control calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The pid does not exist on this machine.
+    NoSuchProcess(Pid),
+    /// The pid exists but has exited.
+    ProcessExited(Pid),
+    /// Nice value outside −20..=19.
+    BadNice(i8),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            SimError::ProcessExited(p) => write!(f, "process has exited: {p}"),
+            SimError::BadNice(n) => write!(f, "nice value out of range: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Cumulative CPU accounting, in ticks since boot. Snapshot-and-diff two
+/// of these to get utilization over a window, exactly as `vmstat` does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuAccounting {
+    /// Ticks consumed by host-class processes.
+    pub host: u64,
+    /// Ticks consumed by system daemons (host load from the guest's view).
+    pub system: u64,
+    /// Ticks consumed by guest processes.
+    pub guest: u64,
+    /// Idle ticks.
+    pub idle: u64,
+    /// Ticks the machine spent stalled on page-fault I/O (thrashing).
+    pub iowait: u64,
+}
+
+impl CpuAccounting {
+    /// Total ticks covered.
+    pub fn total(&self) -> u64 {
+        self.host + self.system + self.guest + self.idle + self.iowait
+    }
+
+    /// Component-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &CpuAccounting) -> CpuAccounting {
+        CpuAccounting {
+            host: self.host - earlier.host,
+            system: self.system - earlier.system,
+            guest: self.guest - earlier.guest,
+            idle: self.idle - earlier.idle,
+            iowait: self.iowait - earlier.iowait,
+        }
+    }
+
+    /// Host CPU utilization (host + system) over this accounting span;
+    /// 0 for an empty span.
+    pub fn host_load(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.host + self.system) as f64 / t as f64
+        }
+    }
+
+    /// Guest CPU utilization over this accounting span.
+    pub fn guest_load(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.guest as f64 / t as f64
+        }
+    }
+}
+
+/// A simulated machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    now: Tick,
+    procs: Vec<Process>,
+    current: Option<usize>,
+    acct: CpuAccounting,
+    recalcs: u64,
+    /// While `now < iowait_until`, the machine is stalled on page faults.
+    iowait_until: Tick,
+    /// Fractional page-fault stall owed but not yet long enough for a
+    /// whole tick; keeps sub-tick stalls (mild overcommit) from being
+    /// rounded away.
+    stall_debt: f64,
+    /// Optional scheduling-decision log: (tick, pid) per executed tick.
+    run_log: Option<Vec<(Tick, Pid)>>,
+}
+
+impl Machine {
+    /// Boots an empty machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine {
+            cfg,
+            now: 0,
+            procs: Vec::new(),
+            current: None,
+            acct: CpuAccounting::default(),
+            recalcs: 0,
+            iowait_until: 0,
+            stall_debt: 0.0,
+            run_log: None,
+        }
+    }
+
+    /// Boots a machine with the default (Linux testbed) configuration.
+    pub fn default_linux() -> Self {
+        Machine::new(MachineConfig::default())
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time in ticks since boot.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Number of quantum recalculations so far (diagnostic).
+    pub fn recalc_count(&self) -> u64 {
+        self.recalcs
+    }
+
+    /// Starts recording one `(tick, pid)` entry per executed tick.
+    /// Diagnostic aid for scheduler tests; keeps every entry, so enable
+    /// only for short runs.
+    pub fn enable_run_log(&mut self) {
+        self.run_log = Some(Vec::new());
+    }
+
+    /// The recorded scheduling decisions, if logging is enabled.
+    pub fn run_log(&self) -> &[(Tick, Pid)] {
+        self.run_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Spawns a process, returning its pid.
+    pub fn spawn(&mut self, spec: ProcSpec) -> Pid {
+        let pid = Pid(self.procs.len() as u32);
+        self.procs.push(Process::spawn(pid, spec, self.now));
+        pid
+    }
+
+    fn index(&self, pid: Pid) -> Result<usize, SimError> {
+        let i = pid.0 as usize;
+        if i < self.procs.len() {
+            Ok(i)
+        } else {
+            Err(SimError::NoSuchProcess(pid))
+        }
+    }
+
+    fn live_index(&self, pid: Pid) -> Result<usize, SimError> {
+        let i = self.index(pid)?;
+        if self.procs[i].is_exited() {
+            Err(SimError::ProcessExited(pid))
+        } else {
+            Ok(i)
+        }
+    }
+
+    /// Read access to a process.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(pid.0 as usize)
+    }
+
+    /// Iterates all processes ever spawned (including exited ones).
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.procs.iter()
+    }
+
+    /// Terminates a process (SIGKILL).
+    pub fn kill(&mut self, pid: Pid) -> Result<(), SimError> {
+        let i = self.live_index(pid)?;
+        self.procs[i].kill();
+        Ok(())
+    }
+
+    /// Changes a process's nice value; takes effect at the next quantum
+    /// recalculation, as in the kernel.
+    pub fn renice(&mut self, pid: Pid, nice: i8) -> Result<(), SimError> {
+        if !(-20..=19).contains(&nice) {
+            return Err(SimError::BadNice(nice));
+        }
+        let i = self.live_index(pid)?;
+        self.procs[i].nice = nice;
+        Ok(())
+    }
+
+    /// Suspends a process (SIGSTOP).
+    pub fn suspend(&mut self, pid: Pid) -> Result<(), SimError> {
+        let i = self.live_index(pid)?;
+        self.procs[i].suspend();
+        Ok(())
+    }
+
+    /// Resumes a suspended process (SIGCONT).
+    pub fn resume(&mut self, pid: Pid) -> Result<(), SimError> {
+        let i = self.live_index(pid)?;
+        self.procs[i].resume();
+        Ok(())
+    }
+
+    /// Cumulative CPU accounting since boot.
+    pub fn accounting(&self) -> CpuAccounting {
+        self.acct
+    }
+
+    /// Resident memory of host + system processes, in MB (excludes
+    /// suspended/exited processes and the kernel).
+    pub fn host_resident_mb(&self) -> u32 {
+        self.procs
+            .iter()
+            .filter(|p| p.occupies_memory() && p.spec.class.counts_as_host())
+            .map(|p| p.spec.mem.resident_mb)
+            .sum()
+    }
+
+    /// Total resident memory including guest processes and the kernel.
+    pub fn total_resident_mb(&self) -> u32 {
+        let procs: u32 = self
+            .procs
+            .iter()
+            .filter(|p| p.occupies_memory())
+            .map(|p| p.spec.mem.resident_mb)
+            .sum();
+        procs + self.cfg.kernel_mem_mb
+    }
+
+    /// Memory available for a (new or running) guest working set, in MB:
+    /// physical minus kernel minus host residents, floored at zero.
+    pub fn free_mem_for_guest_mb(&self) -> u32 {
+        self.cfg
+            .phys_mem_mb
+            .saturating_sub(self.cfg.kernel_mem_mb)
+            .saturating_sub(self.host_resident_mb())
+    }
+
+    /// True while the active working sets exceed physical memory.
+    pub fn is_thrashing(&self) -> bool {
+        self.total_resident_mb() > self.cfg.phys_mem_mb
+    }
+
+    /// Current per-tick useful-work efficiency under the memory model.
+    pub fn memory_efficiency(&self) -> f64 {
+        let total = self.total_resident_mb();
+        if total <= self.cfg.phys_mem_mb {
+            1.0
+        } else {
+            (self.cfg.phys_mem_mb as f64 / total as f64).powf(self.cfg.thrash_exponent)
+        }
+    }
+
+    /// Advances the machine by one tick.
+    pub fn step(&mut self) {
+        // 0. A thrashing machine stalls on page-fault I/O: the disk is
+        //    the bottleneck and nobody computes. The stall evaporates if
+        //    the memory pressure is gone (e.g. a process was killed).
+        if self.now < self.iowait_until {
+            if self.is_thrashing() {
+                self.acct.iowait += 1;
+                self.now += 1;
+                return;
+            }
+            self.iowait_until = self.now;
+        }
+
+        // 1. Wake expiring sleepers so they can compete this tick.
+        for p in &mut self.procs {
+            p.sleep_tick();
+        }
+
+        // 2. Collect runnables.
+        let any_runnable = self.procs.iter().any(|p| p.is_runnable());
+        if !any_runnable {
+            self.acct.idle += 1;
+            self.now += 1;
+            self.current = None;
+            return;
+        }
+
+        // 3. Epoch end: every runnable has an exhausted counter →
+        //    recalculate quanta for ALL processes (sleepers bank bonus).
+        let all_exhausted = self
+            .procs
+            .iter()
+            .filter(|p| p.is_runnable())
+            .all(|p| p.counter == 0);
+        if all_exhausted {
+            self.recalcs += 1;
+            for p in &mut self.procs {
+                if !p.is_exited() {
+                    p.counter = p.counter / 2 + nice_to_ticks(p.nice);
+                }
+            }
+        }
+
+        // 4. Pick max goodness; ties prefer the current process, then the
+        //    lowest pid (stable iteration order).
+        let mut best: Option<usize> = None;
+        let mut best_goodness = 0i64;
+        for (i, p) in self.procs.iter().enumerate() {
+            if !p.is_runnable() {
+                continue;
+            }
+            let g = goodness(p);
+            let wins = match best {
+                None => true,
+                Some(b) => {
+                    g > best_goodness || (g == best_goodness && Some(i) == self.current && Some(b) != self.current)
+                }
+            };
+            if wins {
+                best = Some(i);
+                best_goodness = g;
+            }
+        }
+        let chosen = best.expect("a runnable process exists");
+
+        // 5. Run it for the tick. Under thrashing the work itself
+        //    retires, but the machine then stalls on page-fault I/O for
+        //    (1-eff)/eff ticks, throttling everyone's CPU usage to eff.
+        let eff = self.memory_efficiency();
+        {
+            let p = &mut self.procs[chosen];
+            p.counter = p.counter.saturating_sub(1);
+            p.run_tick(1.0);
+        }
+        if eff < 1.0 {
+            self.stall_debt += ((1.0 - eff) / eff).min(50.0);
+            let whole = self.stall_debt.floor();
+            if whole >= 1.0 {
+                self.stall_debt -= whole;
+                self.iowait_until = self.now + 1 + whole as u64;
+            }
+        } else {
+            self.stall_debt = 0.0;
+        }
+        match self.procs[chosen].spec.class {
+            ProcClass::Host => self.acct.host += 1,
+            ProcClass::System => self.acct.system += 1,
+            ProcClass::Guest => self.acct.guest += 1,
+        }
+        if let Some(log) = &mut self.run_log {
+            log.push((self.now, self.procs[chosen].pid));
+        }
+
+        // 6. Everyone else who wanted the CPU waited.
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            if i != chosen && p.is_runnable() {
+                p.wait_ticks += 1;
+            }
+        }
+
+        self.current = Some(chosen);
+        self.now += 1;
+    }
+
+    /// Advances the machine by `n` ticks.
+    pub fn run_ticks(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Measures CPU accounting over the next `ticks` ticks and returns
+    /// the delta — the primitive behind every utilization measurement in
+    /// the contention experiments.
+    pub fn measure(&mut self, ticks: u64) -> CpuAccounting {
+        let before = self.acct;
+        self.run_ticks(ticks);
+        self.acct.since(&before)
+    }
+
+    /// CPU usage of one pid over the next `ticks` ticks.
+    pub fn measure_pid(&mut self, pid: Pid, ticks: u64) -> Result<f64, SimError> {
+        let i = self.index(pid)?;
+        let before = self.procs[i].cpu_ticks;
+        self.run_ticks(ticks);
+        Ok((self.procs[i].cpu_ticks - before) as f64 / ticks as f64)
+    }
+}
+
+/// The Linux 2.4 goodness function (CPU-bound part): `0` when the quantum
+/// is exhausted, else `counter + 20 − nice`.
+#[inline]
+fn goodness(p: &Process) -> i64 {
+    if p.counter == 0 {
+        0
+    } else {
+        p.counter as i64 + 20 - p.nice as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::{Demand, MemSpec};
+    use crate::time::secs;
+
+    fn host(usage: f64) -> ProcSpec {
+        ProcSpec::synthetic_host(format!("h{usage}"), usage, 40)
+    }
+
+    #[test]
+    fn empty_machine_idles() {
+        let mut m = Machine::default_linux();
+        m.run_ticks(100);
+        assert_eq!(m.accounting().idle, 100);
+        assert_eq!(m.now(), 100);
+    }
+
+    #[test]
+    fn lone_cpu_bound_process_gets_everything() {
+        let mut m = Machine::default_linux();
+        m.spawn(ProcSpec::cpu_bound_guest("g", 0));
+        let d = m.measure(secs(10));
+        assert_eq!(d.guest, secs(10));
+        assert_eq!(d.idle, 0);
+    }
+
+    #[test]
+    fn duty_cycle_achieves_isolated_usage() {
+        let mut m = Machine::default_linux();
+        m.spawn(host(0.3));
+        let d = m.measure(secs(60));
+        let usage = d.host_load();
+        assert!((usage - 0.3).abs() < 0.02, "usage {usage}");
+    }
+
+    #[test]
+    fn equal_cpu_bound_processes_share_evenly() {
+        let mut m = Machine::default_linux();
+        m.spawn(ProcSpec::new("a", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        m.spawn(ProcSpec::cpu_bound_guest("b", 0));
+        let d = m.measure(secs(30));
+        let host_share = d.host as f64 / d.total() as f64;
+        assert!((host_share - 0.5).abs() < 0.02, "host share {host_share}");
+    }
+
+    #[test]
+    fn nice19_gets_quantum_ratio_share() {
+        // Two CPU-bound processes, nice 0 vs nice 19: per epoch the nice-0
+        // process gets 6 ticks and the nice-19 process 1 tick, so the
+        // shares approach 6/7 and 1/7.
+        let mut m = Machine::default_linux();
+        m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+        let d = m.measure(secs(60));
+        let guest_share = d.guest as f64 / d.total() as f64;
+        assert!((guest_share - 1.0 / 7.0).abs() < 0.02, "guest share {guest_share}");
+    }
+
+    #[test]
+    fn interactive_host_preempts_cpu_bound_guest() {
+        // A 10%-duty host with a nice-0 CPU-bound guest: the host's
+        // banked quantum lets it preempt, so its usage barely drops.
+        let mut m = Machine::default_linux();
+        let h = m.spawn(host(0.1));
+        m.spawn(ProcSpec::cpu_bound_guest("g", 0));
+        m.run_ticks(secs(5)); // warm up counters
+        let usage = m.measure_pid(h, secs(60)).unwrap();
+        assert!(usage > 0.09, "host usage {usage}");
+    }
+
+    #[test]
+    fn cpu_time_is_conserved() {
+        let mut m = Machine::default_linux();
+        m.spawn(host(0.4));
+        m.spawn(host(0.2));
+        m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+        m.run_ticks(12_345);
+        let a = m.accounting();
+        assert_eq!(a.total(), 12_345);
+        let proc_ticks: u64 = m.processes().map(|p| p.cpu_ticks).sum();
+        assert_eq!(proc_ticks + a.idle, 12_345);
+    }
+
+    #[test]
+    fn kill_stops_scheduling() {
+        let mut m = Machine::default_linux();
+        let g = m.spawn(ProcSpec::cpu_bound_guest("g", 0));
+        m.run_ticks(100);
+        m.kill(g).unwrap();
+        let before = m.process(g).unwrap().cpu_ticks;
+        m.run_ticks(100);
+        assert_eq!(m.process(g).unwrap().cpu_ticks, before);
+        assert_eq!(m.accounting().idle, 100);
+    }
+
+    #[test]
+    fn suspend_and_resume_control_scheduling() {
+        let mut m = Machine::default_linux();
+        let g = m.spawn(ProcSpec::cpu_bound_guest("g", 0));
+        m.suspend(g).unwrap();
+        m.run_ticks(50);
+        assert_eq!(m.process(g).unwrap().cpu_ticks, 0);
+        m.resume(g).unwrap();
+        m.run_ticks(50);
+        assert_eq!(m.process(g).unwrap().cpu_ticks, 50);
+    }
+
+    #[test]
+    fn renice_takes_effect() {
+        let mut m = Machine::default_linux();
+        m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        let g = m.spawn(ProcSpec::cpu_bound_guest("g", 0));
+        m.renice(g, 19).unwrap();
+        let d = m.measure(secs(60));
+        let guest_share = d.guest as f64 / d.total() as f64;
+        assert!(guest_share < 0.2, "guest share {guest_share}");
+    }
+
+    #[test]
+    fn control_calls_validate_pids() {
+        let mut m = Machine::default_linux();
+        assert_eq!(m.kill(Pid(0)), Err(SimError::NoSuchProcess(Pid(0))));
+        let g = m.spawn(ProcSpec::cpu_bound_guest("g", 0));
+        m.kill(g).unwrap();
+        assert_eq!(m.kill(g), Err(SimError::ProcessExited(g)));
+        assert_eq!(m.renice(g, 40), Err(SimError::BadNice(40)));
+    }
+
+    #[test]
+    fn memory_accounting_and_thrashing_flag() {
+        let mut m = Machine::new(MachineConfig::solaris_384mb());
+        assert!(!m.is_thrashing());
+        assert_eq!(m.free_mem_for_guest_mb(), 284);
+        let h = m.spawn(ProcSpec::new(
+            "bigh",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::resident(200),
+        ));
+        assert_eq!(m.free_mem_for_guest_mb(), 84);
+        assert!(!m.is_thrashing());
+        let g = m.spawn(ProcSpec::new(
+            "bigg",
+            ProcClass::Guest,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::resident(190),
+        ));
+        assert!(m.is_thrashing());
+        assert!(m.memory_efficiency() < 1.0);
+        // Suspending the guest pages it out and ends the thrashing.
+        m.suspend(g).unwrap();
+        assert!(!m.is_thrashing());
+        assert_eq!(m.memory_efficiency(), 1.0);
+        // Host resident unchanged by guest state.
+        assert_eq!(m.host_resident_mb(), 200);
+        m.kill(h).unwrap();
+        assert_eq!(m.host_resident_mb(), 0);
+    }
+
+    #[test]
+    fn thrashing_slows_progress() {
+        // Same finite workload with and without memory pressure.
+        let work = secs(5);
+        let run = |extra_mem: u32| -> u64 {
+            let mut m = Machine::new(MachineConfig::solaris_384mb());
+            m.spawn(ProcSpec::new(
+                "job",
+                ProcClass::Host,
+                0,
+                Demand::CpuBound { total_work: Some(work) },
+                MemSpec::resident(150),
+            ));
+            if extra_mem > 0 {
+                m.spawn(ProcSpec::new(
+                    "hog",
+                    ProcClass::Host,
+                    0,
+                    Demand::duty_cycle(0.01, 100),
+                    MemSpec::resident(extra_mem),
+                ));
+            }
+            let mut ticks = 0;
+            while !m.processes().next().unwrap().is_exited() && ticks < secs(120) {
+                m.step();
+                ticks += 1;
+            }
+            ticks
+        };
+        let fast = run(0);
+        let slow = run(350); // 150 + 350 + 100 kernel >> 384
+        assert!(slow > fast + fast / 2, "fast {fast} slow {slow}");
+        // And the iowait accounting must show the stall.
+        let mut m = Machine::new(MachineConfig::solaris_384mb());
+        m.spawn(ProcSpec::new(
+            "hog",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::resident(500),
+        ));
+        let d = m.measure(secs(10));
+        assert!(d.iowait > 0, "no iowait recorded: {d:?}");
+        assert!(d.host_load() < 0.9, "host load should collapse: {}", d.host_load());
+    }
+
+    #[test]
+    fn goodness_prefers_higher_counter_at_same_nice() {
+        let mut a = Process::spawn(Pid(0), ProcSpec::cpu_bound_guest("a", 0), 0);
+        let b = Process::spawn(Pid(1), ProcSpec::cpu_bound_guest("b", 0), 0);
+        a.counter = 10;
+        assert!(goodness(&a) > goodness(&b));
+    }
+
+    #[test]
+    fn goodness_zero_when_exhausted() {
+        let mut p = Process::spawn(Pid(0), ProcSpec::cpu_bound_guest("a", -10), 0);
+        p.counter = 0;
+        assert_eq!(goodness(&p), 0);
+    }
+
+    #[test]
+    fn epoch_pattern_is_six_to_one_for_nice19() {
+        // Two CPU-bound processes, nice 0 and nice 19: after warm-up,
+        // each scheduler epoch must run the nice-0 process for its 6-tick
+        // quantum and the nice-19 process for its single tick — the 2.4
+        // NICE_TO_TICKS table in action.
+        let mut m = Machine::default_linux();
+        let h = m.spawn(ProcSpec::new(
+            "h",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        ));
+        let g = m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+        m.run_ticks(secs(2)); // settle counters
+        m.enable_run_log();
+        m.run_ticks(70); // ten epochs
+        let log = m.run_log();
+        // Count maximal runs of each pid.
+        let mut runs: Vec<(Pid, u64)> = Vec::new();
+        for &(_, pid) in log {
+            match runs.last_mut() {
+                Some((p, n)) if *p == pid => *n += 1,
+                _ => runs.push((pid, 1)),
+            }
+        }
+        // Drop the possibly-truncated first and last runs.
+        for (pid, len) in &runs[1..runs.len() - 1] {
+            if *pid == h {
+                assert_eq!(*len, 6, "host quantum run length");
+            } else {
+                assert_eq!(*pid, g);
+                assert_eq!(*len, 1, "guest quantum run length");
+            }
+        }
+        assert!(runs.len() >= 10, "expected several epochs, got {runs:?}");
+    }
+
+    #[test]
+    fn run_log_is_empty_unless_enabled() {
+        let mut m = Machine::default_linux();
+        m.spawn(ProcSpec::cpu_bound_guest("g", 0));
+        m.run_ticks(10);
+        assert!(m.run_log().is_empty());
+        m.enable_run_log();
+        m.run_ticks(5);
+        assert_eq!(m.run_log().len(), 5);
+        assert_eq!(m.run_log()[0].1, Pid(0));
+    }
+
+    #[test]
+    fn exhausted_process_waits_for_epoch() {
+        // With one CPU-bound nice-0 process and one nice-19, the nice-19
+        // process must still run within every epoch (starvation freedom).
+        let mut m = Machine::default_linux();
+        m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        let g = m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+        m.run_ticks(secs(10));
+        assert!(m.process(g).unwrap().cpu_ticks > 0, "nice 19 starved");
+    }
+}

@@ -1,0 +1,360 @@
+//! The paper's workloads.
+//!
+//! * [`synthetic`] — the §3.2.1 synthetic programs: tiny-footprint
+//!   duty-cycle host processes with prescribed isolated CPU usages, and
+//!   host *groups* assembled from random combinations that sum to a
+//!   target `LH`, exactly as the paper constructs them.
+//! * [`spec`] — the four SPEC CPU2000 guest applications of Table 1
+//!   (apsi, galgel, bzip2, mcf), modeled by their measured CPU usage and
+//!   memory footprints.
+//! * [`musbus`] — the six Musbus-derived interactive host workloads
+//!   H1–H6 of Table 1, modeled as small groups of editor / utility /
+//!   compiler processes with the table's aggregate footprints.
+
+use fgcs_stats::rng::Rng;
+
+use crate::proc::{Demand, MemSpec, Phase, ProcClass, ProcSpec};
+
+/// Synthetic CPU-contention programs (§3.2.1).
+pub mod synthetic {
+    use super::*;
+
+    /// Smallest isolated usage a host-group member may have.
+    pub const MIN_USAGE: f64 = 0.02;
+
+    /// Largest group size able to split `target_lh` while respecting
+    /// [`MIN_USAGE`] (at least 1).
+    pub fn max_group_size(target_lh: f64) -> usize {
+        ((target_lh / MIN_USAGE).floor() as usize).max(1)
+    }
+
+    /// Default duty-cycle period for synthetic host programs, in ticks.
+    ///
+    /// 700 ms: long enough that a heavy host process outruns its banked
+    /// scheduler quantum within a burst (which is what makes contention
+    /// measurable at all), short enough to represent interactive tools.
+    /// The paper's programs "adjust the sleep time to achieve the given
+    /// isolated CPU usages"; their exact period is not reported, so we
+    /// fix one and state it here. With the 2.4 quantum table (60 ms at
+    /// nice 0, up to ~110 ms banked) this period reproduces the paper's
+    /// thresholds: an equal-priority guest causes >5% slowdown from
+    /// `LH ≈ 0.2`, a nice-19 guest only from `LH ≈ 0.6`.
+    pub const DEFAULT_PERIOD_TICKS: u64 = 70;
+
+    /// A synthetic host process with the given isolated CPU usage.
+    pub fn host_process(name: impl Into<String>, usage: f64) -> ProcSpec {
+        ProcSpec::synthetic_host(name, usage, DEFAULT_PERIOD_TICKS)
+    }
+
+    /// A fully CPU-bound guest process at the given nice value.
+    pub fn guest_process(nice: i8) -> ProcSpec {
+        ProcSpec::cpu_bound_guest("guest", nice)
+    }
+
+    /// A guest with a duty cycle (Figure 3 uses guests with isolated
+    /// usages of 0.7–1.0). The period is deliberately coprime-ish with
+    /// [`DEFAULT_PERIOD_TICKS`] so guest and host do not phase-lock.
+    pub fn guest_with_usage(usage: f64, nice: i8) -> ProcSpec {
+        ProcSpec::new(
+            "guest",
+            ProcClass::Guest,
+            nice,
+            Demand::duty_cycle(usage, 97),
+            MemSpec::tiny(),
+        )
+    }
+
+    /// Builds a host group of `m` processes whose isolated usages sum to
+    /// `target_lh`, by stick-breaking the total into `m` random parts
+    /// (each at least `MIN_USAGE`), then jittering the duty-cycle period
+    /// of each member so group members do not phase-lock.
+    ///
+    /// Mirrors the paper: "we randomly chose M host programs with
+    /// different isolated CPU usages and ran them together ... if the
+    /// total CPU usage of the M processes was equal to LH, they were
+    /// chosen as a combination".
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `target_lh` is not in `(0, 1]` or the floor
+    /// constraint `m * MIN_USAGE > target_lh` makes the split impossible.
+    pub fn host_group(rng: &mut Rng, target_lh: f64, m: usize) -> Vec<ProcSpec> {
+        assert!(m >= 1, "empty host group");
+        assert!(target_lh > 0.0 && target_lh <= 1.0, "LH in (0,1]");
+        assert!(
+            m as f64 * MIN_USAGE <= target_lh + 1e-9,
+            "cannot split LH={target_lh} into {m} parts of at least {MIN_USAGE}"
+        );
+        // Stick-breaking over the budget above the per-member floor.
+        let spare = target_lh - m as f64 * MIN_USAGE;
+        let mut cuts: Vec<f64> = (0..m - 1).map(|_| rng.f64()).collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut usages = Vec::with_capacity(m);
+        let mut prev = 0.0;
+        for &c in &cuts {
+            usages.push(MIN_USAGE + spare * (c - prev));
+            prev = c;
+        }
+        usages.push(MIN_USAGE + spare * (1.0 - prev));
+        usages
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| {
+                // Periods 600–840 ms, distinct per member.
+                let period = 60 + rng.below(25);
+                ProcSpec::synthetic_host(format!("host{i}"), u.min(1.0), period)
+            })
+            .collect()
+    }
+}
+
+/// The SPEC CPU2000 guest applications of Table 1.
+pub mod spec {
+    use super::*;
+
+    /// Footprint of one SPEC application, from Table 1 of the paper.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct SpecApp {
+        /// Benchmark name.
+        pub name: &'static str,
+        /// Isolated CPU usage (files only at start/end, so near 1).
+        pub cpu_usage: f64,
+        /// Resident set size, MB.
+        pub resident_mb: u32,
+        /// Virtual size, MB.
+        pub virtual_mb: u32,
+    }
+
+    /// apsi: 98% CPU, 193 MB resident, 205 MB virtual.
+    pub const APSI: SpecApp = SpecApp { name: "apsi", cpu_usage: 0.98, resident_mb: 193, virtual_mb: 205 };
+    /// galgel: 99% CPU, 29 MB resident, 155 MB virtual.
+    pub const GALGEL: SpecApp = SpecApp { name: "galgel", cpu_usage: 0.99, resident_mb: 29, virtual_mb: 155 };
+    /// bzip2: 97% CPU, 180 MB resident, 182 MB virtual.
+    pub const BZIP2: SpecApp = SpecApp { name: "bzip2", cpu_usage: 0.97, resident_mb: 180, virtual_mb: 182 };
+    /// mcf: 99% CPU, 96 MB resident, 96 MB virtual.
+    pub const MCF: SpecApp = SpecApp { name: "mcf", cpu_usage: 0.99, resident_mb: 96, virtual_mb: 96 };
+
+    /// All four guest applications, in the paper's order.
+    pub fn all() -> [SpecApp; 4] {
+        [APSI, GALGEL, BZIP2, MCF]
+    }
+
+    impl SpecApp {
+        /// A guest process spec running this application at `nice`.
+        pub fn guest_spec(&self, nice: i8) -> ProcSpec {
+            ProcSpec::new(
+                self.name,
+                ProcClass::Guest,
+                nice,
+                Demand::duty_cycle(self.cpu_usage, 100),
+                MemSpec { resident_mb: self.resident_mb, virtual_mb: self.virtual_mb },
+            )
+        }
+    }
+}
+
+/// The Musbus-derived interactive host workloads of Table 1.
+pub mod musbus {
+    use super::*;
+
+    /// Aggregate footprint of one Musbus workload (Table 1).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct MusbusWorkload {
+        /// Workload name (H1–H6).
+        pub name: &'static str,
+        /// Aggregate isolated CPU usage of the host group.
+        pub cpu_usage: f64,
+        /// Aggregate resident size, MB.
+        pub resident_mb: u32,
+        /// Aggregate virtual size, MB.
+        pub virtual_mb: u32,
+    }
+
+    /// H1: 8.6% CPU, 71 MB.
+    pub const H1: MusbusWorkload = MusbusWorkload { name: "H1", cpu_usage: 0.086, resident_mb: 71, virtual_mb: 122 };
+    /// H2: 9.2% CPU, 213 MB (the memory-thrashing workload).
+    pub const H2: MusbusWorkload = MusbusWorkload { name: "H2", cpu_usage: 0.092, resident_mb: 213, virtual_mb: 247 };
+    /// H3: 17.2% CPU, 53 MB.
+    pub const H3: MusbusWorkload = MusbusWorkload { name: "H3", cpu_usage: 0.172, resident_mb: 53, virtual_mb: 151 };
+    /// H4: 21.9% CPU, 68 MB.
+    pub const H4: MusbusWorkload = MusbusWorkload { name: "H4", cpu_usage: 0.219, resident_mb: 68, virtual_mb: 122 };
+    /// H5: 57.0% CPU, 210 MB (heavy CPU and memory).
+    pub const H5: MusbusWorkload = MusbusWorkload { name: "H5", cpu_usage: 0.570, resident_mb: 210, virtual_mb: 236 };
+    /// H6: 66.2% CPU, 84 MB (heavy CPU).
+    pub const H6: MusbusWorkload = MusbusWorkload { name: "H6", cpu_usage: 0.662, resident_mb: 84, virtual_mb: 113 };
+
+    /// All six workloads, in the paper's order.
+    pub fn all() -> [MusbusWorkload; 6] {
+        [H1, H2, H3, H4, H5, H6]
+    }
+
+    impl MusbusWorkload {
+        /// Decomposes the workload into host processes: an interactive
+        /// editor, a command-line utility, and a compiler loop, splitting
+        /// the aggregate CPU 1:3:6 and the memory 1:2:7, which mirrors
+        /// how Musbus mixes `ed` scripts, Unix utilities, and `cc`
+        /// invocations on files of varying size.
+        ///
+        /// Component usages carry a small load-dependent compensation:
+        /// when the group runs together its members contend with each
+        /// other and each one's relative-sleep duty cycle stretches, so
+        /// the naive sum under-delivers at high aggregate load. The
+        /// factor is calibrated so the group, measured together on an
+        /// idle machine, reproduces the Table 1 aggregate within a few
+        /// percent across H1–H6.
+        pub fn processes(&self) -> Vec<ProcSpec> {
+            let mem = |share: u32, total: u32| (total * share).div_ceil(10).max(1);
+            let boost = 1.0 + 0.15 * self.cpu_usage;
+            let part = |share: f64| (self.cpu_usage * share * boost).clamp(0.004, 0.95);
+            let editor = ProcSpec::new(
+                format!("{}-editor", self.name),
+                ProcClass::Host,
+                0,
+                Demand::duty_cycle(part(0.1), 90),
+                MemSpec {
+                    resident_mb: mem(1, self.resident_mb),
+                    virtual_mb: mem(1, self.virtual_mb),
+                },
+            );
+            let utility = ProcSpec::new(
+                format!("{}-utility", self.name),
+                ProcClass::Host,
+                0,
+                Demand::duty_cycle(part(0.3), 150),
+                MemSpec {
+                    resident_mb: mem(2, self.resident_mb),
+                    virtual_mb: mem(2, self.virtual_mb),
+                },
+            );
+            // The compiler runs in longer build/pause phases.
+            let busy = ((part(0.6) * 200.0).round() as u64).clamp(1, 190);
+            let compiler = ProcSpec::new(
+                format!("{}-cc", self.name),
+                ProcClass::Host,
+                0,
+                Demand::Phases {
+                    phases: vec![Phase { busy, idle: 200 - busy }],
+                    repeat: true,
+                },
+                MemSpec {
+                    resident_mb: mem(7, self.resident_mb),
+                    virtual_mb: mem(7, self.virtual_mb),
+                },
+            );
+            vec![editor, utility, compiler]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::time::secs;
+
+    #[test]
+    fn host_group_sums_to_target() {
+        let mut rng = Rng::new(42);
+        for &lh in &[0.1, 0.3, 0.5, 0.8, 1.0] {
+            for m in 1..=5 {
+                let group = synthetic::host_group(&mut rng, lh, m);
+                assert_eq!(group.len(), m);
+                let total: f64 = group.iter().map(|s| s.demand.isolated_usage()).sum();
+                // Duty-cycle rounding to ticks introduces small error.
+                assert!((total - lh).abs() < 0.05, "LH {lh} m {m} total {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn host_group_members_have_positive_usage() {
+        let mut rng = Rng::new(7);
+        let group = synthetic::host_group(&mut rng, 0.2, 5);
+        for s in &group {
+            assert!(s.demand.isolated_usage() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn host_group_rejects_impossible_split() {
+        let mut rng = Rng::new(1);
+        synthetic::host_group(&mut rng, 0.05, 5);
+    }
+
+    #[test]
+    fn host_group_measured_alone_matches_lh() {
+        // The group's measured aggregate usage on an idle machine must be
+        // close to the requested LH — the paper's acceptance criterion.
+        let mut rng = Rng::new(11);
+        let group = synthetic::host_group(&mut rng, 0.5, 3);
+        let mut m = Machine::default_linux();
+        for s in group {
+            m.spawn(s);
+        }
+        let d = m.measure(secs(120));
+        assert!((d.host_load() - 0.5).abs() < 0.06, "measured {}", d.host_load());
+    }
+
+    #[test]
+    fn spec_table1_footprints() {
+        let apps = spec::all();
+        assert_eq!(apps[0].name, "apsi");
+        assert_eq!(apps[0].resident_mb, 193);
+        assert_eq!(apps[1].resident_mb, 29);
+        assert_eq!(apps[2].resident_mb, 180);
+        assert_eq!(apps[3].resident_mb, 96);
+        for a in apps {
+            assert!(a.cpu_usage >= 0.97);
+            let spec = a.guest_spec(0);
+            assert!((spec.demand.isolated_usage() - a.cpu_usage).abs() < 0.01);
+            assert_eq!(spec.mem.resident_mb, a.resident_mb);
+        }
+    }
+
+    #[test]
+    fn musbus_table1_footprints() {
+        let hs = musbus::all();
+        assert_eq!(hs.len(), 6);
+        assert!((hs[4].cpu_usage - 0.57).abs() < 1e-9);
+        assert_eq!(hs[1].resident_mb, 213);
+        for h in hs {
+            let procs = h.processes();
+            assert_eq!(procs.len(), 3);
+            let mem: u32 = procs.iter().map(|p| p.mem.resident_mb).sum();
+            // Decomposition preserves aggregate memory within rounding.
+            assert!(
+                (mem as i64 - h.resident_mb as i64).abs() <= 3,
+                "{}: {} vs {}",
+                h.name,
+                mem,
+                h.resident_mb
+            );
+        }
+    }
+
+    #[test]
+    fn musbus_isolated_usage_matches_aggregate() {
+        for h in musbus::all() {
+            let mut m = Machine::default_linux();
+            for p in h.processes() {
+                m.spawn(p);
+            }
+            let d = m.measure(secs(120));
+            assert!(
+                (d.host_load() - h.cpu_usage).abs() < 0.05,
+                "{}: measured {} target {}",
+                h.name,
+                d.host_load(),
+                h.cpu_usage
+            );
+        }
+    }
+
+    #[test]
+    fn guest_with_usage_has_duty_cycle() {
+        let g = synthetic::guest_with_usage(0.8, 19);
+        assert!((g.demand.isolated_usage() - 0.8).abs() < 0.01);
+        assert_eq!(g.nice, 19);
+        assert_eq!(g.class, ProcClass::Guest);
+    }
+}

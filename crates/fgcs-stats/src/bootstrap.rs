@@ -1,0 +1,172 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports per-machine ranges (Table 2) and min–max bands
+//! (Figure 7) from a single three-month trace. Bootstrap resampling puts
+//! error bars on such statistics without distributional assumptions —
+//! used by the analysis extensions to state how stable the reproduced
+//! numbers are across resamples of the same trace.
+
+use crate::quantile::quantile_sorted;
+use crate::rng::Rng;
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Point estimate (the statistic on the original sample).
+    pub estimate: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal coverage, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// True if `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Draws `resamples` bootstrap samples (with replacement) from `data`,
+/// evaluates `statistic` on each, and returns the percentile interval at
+/// the given `level`. Returns `None` for an empty sample, an invalid
+/// level, or a statistic that produces NaN on the original data.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    rng: &mut Rng,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.is_empty() || !(0.0 < level && level < 1.0) || resamples == 0 {
+        return None;
+    }
+    let estimate = statistic(data);
+    if estimate.is_nan() {
+        return None;
+    }
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in &mut resample {
+            *slot = data[rng.below_usize(data.len())];
+        }
+        let s = statistic(&resample);
+        if !s.is_nan() {
+            stats.push(s);
+        }
+    }
+    if stats.is_empty() {
+        return None;
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+    let alpha = (1.0 - level) / 2.0;
+    Some(ConfidenceInterval {
+        lo: quantile_sorted(&stats, alpha),
+        estimate,
+        hi: quantile_sorted(&stats, 1.0 - alpha),
+        level,
+    })
+}
+
+/// Bootstrap CI for the mean.
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut Rng,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(data, |xs| xs.iter().sum::<f64>() / xs.len() as f64, resamples, level, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Normal, Sample};
+
+    #[test]
+    fn mean_ci_brackets_the_truth() {
+        let mut rng = Rng::new(42);
+        let normal = Normal::new(10.0, 2.0);
+        let data: Vec<f64> = (0..500).map(|_| normal.sample(&mut rng)).collect();
+        let ci = bootstrap_mean_ci(&data, 1000, 0.95, &mut rng).unwrap();
+        assert!(ci.contains(10.0), "{ci:?}");
+        assert!(ci.contains(ci.estimate));
+        // With n = 500 and sd = 2, the 95% CI half-width is ~0.18.
+        assert!(ci.width() < 0.6, "{ci:?}");
+        assert!(ci.width() > 0.05, "{ci:?}");
+    }
+
+    #[test]
+    fn ci_ordering_invariants() {
+        let mut rng = Rng::new(7);
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ci = bootstrap_mean_ci(&data, 500, 0.9, &mut rng).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let mut rng = Rng::new(9);
+        let data: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 5.0).collect();
+        let mut r1 = rng.split();
+        let mut r2 = rng.split();
+        let ci90 = bootstrap_mean_ci(&data, 2000, 0.90, &mut r1).unwrap();
+        let ci99 = bootstrap_mean_ci(&data, 2000, 0.99, &mut r2).unwrap();
+        assert!(ci99.width() > ci90.width(), "90: {ci90:?} 99: {ci99:?}");
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let mut rng = Rng::new(11);
+        let data: Vec<f64> = (0..301).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(
+            &data,
+            |xs| crate::quantile::median(xs).unwrap(),
+            500,
+            0.95,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(ci.contains(150.0), "{ci:?}");
+    }
+
+    #[test]
+    fn constant_data_gives_zero_width() {
+        let mut rng = Rng::new(3);
+        let data = vec![4.2; 50];
+        let ci = bootstrap_mean_ci(&data, 200, 0.95, &mut rng).unwrap();
+        assert!((ci.lo - 4.2).abs() < 1e-12, "{ci:?}");
+        assert!((ci.hi - 4.2).abs() < 1e-12, "{ci:?}");
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let mut rng = Rng::new(1);
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 0.0, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.0, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, &mut rng).is_none());
+    }
+
+    #[test]
+    fn deterministic_with_same_rng_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64 * 0.3).collect();
+        let a = bootstrap_mean_ci(&data, 300, 0.95, &mut Rng::new(5)).unwrap();
+        let b = bootstrap_mean_ci(&data, 300, 0.95, &mut Rng::new(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

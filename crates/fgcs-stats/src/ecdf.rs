@@ -1,0 +1,175 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 6 of the paper plots the cumulative distribution of
+//! availability-interval lengths for weekdays and weekends; [`Ecdf`] is
+//! the exact object behind such a plot.
+
+use crate::quantile::quantile_sorted;
+
+/// An empirical CDF built from a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF. NaN samples are dropped.
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        Ecdf { sorted }
+    }
+
+    /// Number of (non-NaN) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` = fraction of samples `<= x`. Returns 0 for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: smallest sample `v` with `F(v) >= p` (`0 < p <= 1`).
+    pub fn inverse(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        if p == 0.0 {
+            return Some(self.sorted[0]);
+        }
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// Interpolated sample quantile (type 7), for summary statistics.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        Some(quantile_sorted(&self.sorted, q))
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Fraction of samples in `(lo, hi]`.
+    pub fn fraction_between(&self, lo: f64, hi: f64) -> f64 {
+        (self.eval(hi) - self.eval(lo)).max(0.0)
+    }
+
+    /// Evaluates the ECDF at `n` evenly spaced points spanning the sample
+    /// range, yielding `(x, F(x))` pairs — the series a plot would draw.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        if n == 1 || hi == lo {
+            return vec![(hi, self.eval(hi))];
+        }
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basics() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_with_duplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.eval(1.0), 0.75);
+        assert_eq!(e.eval(1.5), 0.75);
+    }
+
+    #[test]
+    fn empty_is_zero_everywhere() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.inverse(0.5), None);
+    }
+
+    #[test]
+    fn nan_dropped() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.inverse(0.2), Some(10.0));
+        assert_eq!(e.inverse(0.21), Some(20.0));
+        assert_eq!(e.inverse(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn fraction_between_window() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // (2, 4] contains 3 and 4.
+        assert!((e.fraction_between(2.0, 4.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_spans_range() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let c = e.curve(11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].0, 1.0);
+        assert_eq!(c[10].0, 5.0);
+        assert!(c.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert_eq!(c[10].1, 1.0);
+    }
+
+    #[test]
+    fn curve_degenerate_cases() {
+        assert!(Ecdf::new(&[]).curve(5).is_empty());
+        let single = Ecdf::new(&[2.0]).curve(5);
+        assert_eq!(single, vec![(2.0, 1.0)]);
+    }
+
+    #[test]
+    fn mean_matches() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0]);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+}

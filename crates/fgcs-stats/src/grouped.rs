@@ -1,0 +1,111 @@
+//! Keyed statistics: one [`OnlineStats`] accumulator per key.
+//!
+//! Figure 7 of the paper shows, for each hour of the day, the mean number
+//! of unavailability occurrences together with the min–max range over all
+//! observed days. That is exactly a `GroupedStats<usize>` keyed by hour.
+
+use std::collections::BTreeMap;
+
+use crate::desc::OnlineStats;
+
+/// A map from keys to streaming statistics, iterated in key order.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedStats<K: Ord + Clone> {
+    groups: BTreeMap<K, OnlineStats>,
+}
+
+impl<K: Ord + Clone> GroupedStats<K> {
+    /// Creates an empty grouped accumulator.
+    pub fn new() -> Self {
+        GroupedStats { groups: BTreeMap::new() }
+    }
+
+    /// Adds an observation under `key`.
+    pub fn push(&mut self, key: K, value: f64) {
+        self.groups.entry(key).or_default().push(value);
+    }
+
+    /// Statistics for one key, if any observation was recorded.
+    pub fn get(&self, key: &K) -> Option<&OnlineStats> {
+        self.groups.get(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterates `(key, stats)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &OnlineStats)> {
+        self.groups.iter()
+    }
+
+    /// Merges another grouped accumulator into this one.
+    pub fn merge(&mut self, other: &GroupedStats<K>) {
+        for (k, s) in other.groups.iter() {
+            self.groups.entry(k.clone()).or_default().merge(s);
+        }
+    }
+
+    /// `(key, mean, min, max)` rows in key order — the Figure 7 series.
+    pub fn bands(&self) -> Vec<(K, f64, f64, f64)> {
+        self.groups
+            .iter()
+            .map(|(k, s)| (k.clone(), s.mean(), s.min(), s.max()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_accumulate_independently() {
+        let mut g: GroupedStats<u32> = GroupedStats::new();
+        g.push(1, 10.0);
+        g.push(1, 20.0);
+        g.push(2, 5.0);
+        assert_eq!(g.get(&1).unwrap().mean(), 15.0);
+        assert_eq!(g.get(&2).unwrap().count(), 1);
+        assert!(g.get(&3).is_none());
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut g: GroupedStats<u32> = GroupedStats::new();
+        for k in [5u32, 1, 3] {
+            g.push(k, k as f64);
+        }
+        let keys: Vec<u32> = g.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn bands_report_mean_min_max() {
+        let mut g: GroupedStats<u8> = GroupedStats::new();
+        g.push(4, 18.0);
+        g.push(4, 20.0);
+        g.push(4, 22.0);
+        let bands = g.bands();
+        assert_eq!(bands, vec![(4u8, 20.0, 18.0, 22.0)]);
+    }
+
+    #[test]
+    fn merge_combines_groups() {
+        let mut a: GroupedStats<u8> = GroupedStats::new();
+        a.push(1, 1.0);
+        let mut b: GroupedStats<u8> = GroupedStats::new();
+        b.push(1, 3.0);
+        b.push(2, 7.0);
+        a.merge(&b);
+        assert_eq!(a.get(&1).unwrap().mean(), 2.0);
+        assert_eq!(a.get(&2).unwrap().mean(), 7.0);
+    }
+}

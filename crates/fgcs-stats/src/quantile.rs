@@ -1,0 +1,123 @@
+//! Sample quantiles.
+//!
+//! Linear interpolation between order statistics (the "type 7" estimator
+//! used by R and NumPy), which is what the paper's interval-length
+//! summaries ("about 60% of intervals are between 2 and 4 hours") call
+//! for.
+
+/// Returns the `q`-quantile (`0 <= q <= 1`) of the samples.
+///
+/// The input does not need to be sorted. Returns `None` for an empty
+/// input or a `q` outside `[0, 1]`, or when the data contains NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// `q`-quantile of an already ascending-sorted, non-empty slice.
+///
+/// # Panics
+/// Panics (debug) if the slice is empty.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median shorthand.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Several quantiles in one sort.
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    qs.iter()
+        .map(|&q| {
+            if (0.0..=1.0).contains(&q) {
+                Some(quantile_sorted(&sorted, q))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn extremes_are_min_max() {
+        let xs = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.25), Some(1.75));
+        // numpy.percentile([1,2,3,4,5], 40) == 2.6
+        let q = quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.4).unwrap();
+        assert!((q - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_individual() {
+        let xs = [2.0, 8.0, 4.0, 6.0, 1.0];
+        let batch = quantiles(&xs, &[0.1, 0.5, 0.9]).unwrap();
+        for (i, q) in [0.1, 0.5, 0.9].iter().enumerate() {
+            assert_eq!(batch[i], quantile(&xs, *q).unwrap());
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = quantile(&xs, q).unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Smoothing and robust-summary helpers.
+//!
+//! The paper proposes that "an aggressive prediction algorithm would ...
+//! use statistics on history trace to alleviate the effects of irregular
+//! data" (§5.3). These are the tools the predictors in `fgcs-predict`
+//! use for that.
+
+/// Centered moving average with window `2*half + 1`, shrinking at the
+/// edges. Returns an empty vector for empty input.
+pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let window = &xs[lo..hi];
+        out.push(window.iter().sum::<f64>() / window.len() as f64);
+    }
+    out
+}
+
+/// Simple exponential smoothing: `s[0] = x[0]`,
+/// `s[t] = alpha * x[t] + (1 - alpha) * s[t-1]`.
+///
+/// # Panics
+/// Panics if `alpha` is outside `[0, 1]`.
+pub fn exp_smooth(xs: &[f64], alpha: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha in [0,1]");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut s = f64::NAN;
+    for (i, &x) in xs.iter().enumerate() {
+        s = if i == 0 { x } else { alpha * x + (1.0 - alpha) * s };
+        out.push(s);
+    }
+    out
+}
+
+/// Mean after discarding the `trim` smallest and `trim` largest values.
+///
+/// Falls back to the plain mean when fewer than `2*trim + 1` values are
+/// available. Returns `None` for empty input.
+pub fn trimmed_mean(xs: &[f64], trim: usize) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN expected"));
+    let kept: &[f64] = if sorted.len() > 2 * trim {
+        &sorted[trim..sorted.len() - trim]
+    } else {
+        &sorted
+    };
+    Some(kept.iter().sum::<f64>() / kept.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flat_is_identity() {
+        let xs = vec![2.0; 10];
+        assert_eq!(moving_average(&xs, 2), xs);
+    }
+
+    #[test]
+    fn moving_average_smooths_spike() {
+        let xs = [0.0, 0.0, 9.0, 0.0, 0.0];
+        let s = moving_average(&xs, 1);
+        assert_eq!(s[2], 3.0);
+        assert_eq!(s[1], 3.0);
+        assert_eq!(s[0], 0.0);
+    }
+
+    #[test]
+    fn moving_average_empty() {
+        assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn exp_smooth_alpha_one_is_identity() {
+        let xs = [1.0, 5.0, 2.0];
+        assert_eq!(exp_smooth(&xs, 1.0), xs.to_vec());
+    }
+
+    #[test]
+    fn exp_smooth_alpha_zero_holds_first() {
+        let xs = [4.0, 5.0, 6.0];
+        assert_eq!(exp_smooth(&xs, 0.0), vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn exp_smooth_middle() {
+        let s = exp_smooth(&[0.0, 10.0], 0.5);
+        assert_eq!(s, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in [0,1]")]
+    fn exp_smooth_rejects_bad_alpha() {
+        exp_smooth(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn trimmed_mean_discards_outliers() {
+        // One absurd outlier (the 4–5 AM updatedb spike analogue).
+        let xs = [1.0, 2.0, 3.0, 100.0];
+        let tm = trimmed_mean(&xs, 1).unwrap();
+        assert_eq!(tm, 2.5);
+    }
+
+    #[test]
+    fn trimmed_mean_small_input_falls_back() {
+        assert_eq!(trimmed_mean(&[5.0], 2), Some(5.0));
+        assert_eq!(trimmed_mean(&[], 1), None);
+    }
+}

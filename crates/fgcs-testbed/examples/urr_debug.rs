@@ -1,0 +1,15 @@
+//! Dev tool: URR raw-duration histogram.
+use fgcs_core::model::FailureCause;
+use fgcs_testbed::runner::{run_testbed, TestbedConfig};
+
+fn main() {
+    let trace = run_testbed(&TestbedConfig::default());
+    let mut durs: Vec<u64> = trace
+        .records
+        .iter()
+        .filter(|r| r.cause == FailureCause::Revocation)
+        .filter_map(|r| r.raw_duration())
+        .collect();
+    durs.sort_unstable();
+    println!("n={} durations: {:?}", durs.len(), durs);
+}

@@ -1,0 +1,48 @@
+//! The synthetic iShare testbed: workload generation, trace collection,
+//! trace formats and the §5 analyses.
+//!
+//! The paper instrumented 20 student-lab Linux machines for three months;
+//! that trace was never published. This crate rebuilds the pipeline
+//! end-to-end on a synthetic but carefully parameterized lab model:
+//!
+//! * [`lab`] — the student-lab workload generator (sessions, compile
+//!   bursts, the 4 AM `updatedb` job, frustration reboots, rare hardware
+//!   failures), emitting exactly what a `vmstat`-style monitor observes;
+//! * [`runner`] — feeds those observations through the real
+//!   `fgcs-core` detector on every machine (in parallel) and records
+//!   unavailability occurrences;
+//! * [`trace`] — the event-trace schema with JSONL and CSV round-trips;
+//! * [`loadtrace`] — the raw monitor-sample layer underneath it, with
+//!   offline event derivation (re-analyze archived logs under any
+//!   thresholds);
+//! * [`analysis`] — Table 2, Figure 6, Figure 7 and the §5.3 regularity
+//!   analysis;
+//! * [`calendar`] — weekday/weekend and hour-of-day arithmetic;
+//! * [`scenarios`] — the §6 future-work testbeds (enterprise desktop,
+//!   home PC) as ready-made configurations.
+//!
+//! ```
+//! use fgcs_testbed::runner::{run_testbed, TestbedConfig};
+//! use fgcs_testbed::analysis;
+//!
+//! let mut cfg = TestbedConfig::tiny();
+//! cfg.lab.days = 2;
+//! let trace = run_testbed(&cfg);
+//! let t2 = analysis::table2(&trace);
+//! assert!(t2.total.max > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod calendar;
+pub mod lab;
+pub mod loadtrace;
+pub mod runner;
+pub mod scenarios;
+pub mod trace;
+
+pub use lab::{LabConfig, LoadSample, MachinePlan};
+pub use runner::{run_testbed, trace_machine, TestbedConfig};
+pub use trace::{Trace, TraceError, TraceMeta, TraceRecord};

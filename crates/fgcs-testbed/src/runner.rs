@@ -1,0 +1,211 @@
+//! The testbed tracer: lab generator → monitor observations → detector →
+//! trace records, for every machine in parallel.
+//!
+//! This is the software that ran on the paper's 20 machines for three
+//! months, condensed: each machine's resource monitor feeds the §4
+//! detector, and every unavailability occurrence is recorded together
+//! with the mean available CPU/memory of the preceding availability
+//! interval.
+
+use fgcs_core::detector::{Detector, DetectorConfig, EventEdge};
+use fgcs_core::monitor::Observation;
+
+use crate::lab::{LabConfig, MachinePlan};
+use crate::trace::{Trace, TraceMeta, TraceRecord};
+
+/// Testbed configuration: the lab model plus the detector parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedConfig {
+    /// Workload generator configuration.
+    pub lab: LabConfig,
+    /// Detector configuration (timestamps in seconds).
+    pub detector: DetectorConfig,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig { lab: LabConfig::default(), detector: DetectorConfig::wallclock_default() }
+    }
+}
+
+impl TestbedConfig {
+    /// Small configuration for tests.
+    pub fn tiny() -> Self {
+        TestbedConfig { lab: LabConfig::tiny(), detector: DetectorConfig::wallclock_default() }
+    }
+}
+
+/// Runs the whole testbed and collects the trace. Machines are traced in
+/// parallel; the result is deterministic in the seed regardless of the
+/// worker count.
+pub fn run_testbed(cfg: &TestbedConfig) -> Trace {
+    let ids: Vec<usize> = (0..cfg.lab.machines).collect();
+    let per_machine = fgcs_par::par_map(&ids, |&id| trace_machine(cfg, id));
+    let mut records = Vec::new();
+    for recs in per_machine {
+        records.extend(recs);
+    }
+    Trace {
+        meta: TraceMeta {
+            seed: cfg.lab.seed,
+            machines: cfg.lab.machines as u32,
+            days: cfg.lab.days as u32,
+            sample_period: cfg.lab.sample_period,
+            start_weekday: cfg.lab.start_weekday,
+            span_secs: cfg.lab.span_secs(),
+            thresholds: cfg.detector.thresholds,
+        },
+        records,
+    }
+}
+
+/// Traces a single machine over the full span.
+pub fn trace_machine(cfg: &TestbedConfig, machine_id: usize) -> Vec<TraceRecord> {
+    let plan = MachinePlan::generate(&cfg.lab, machine_id);
+    let mut detector = Detector::new(cfg.detector);
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut open: Option<usize> = None;
+
+    // Running means of guest-available CPU and memory over the current
+    // availability interval.
+    let mut avail_cpu_sum = 0.0;
+    let mut avail_mem_sum = 0.0;
+    let mut avail_samples = 0u64;
+
+    let free_for_guest = |resident_mb: u32| -> u32 {
+        cfg.lab
+            .phys_mem_mb
+            .saturating_sub(cfg.lab.kernel_mem_mb)
+            .saturating_sub(resident_mb)
+    };
+
+    for s in plan.samples() {
+        let obs = if s.alive {
+            Observation {
+                host_load: s.host_load,
+                free_mem_mb: free_for_guest(s.host_resident_mb),
+                alive: true,
+            }
+        } else {
+            Observation::dead()
+        };
+
+        if detector.is_available() && s.alive {
+            avail_cpu_sum += 1.0 - s.host_load;
+            avail_mem_sum += free_for_guest(s.host_resident_mb) as f64;
+            avail_samples += 1;
+        }
+
+        let step = detector.observe(s.t, &obs);
+        for edge in step.edges {
+            match edge {
+                EventEdge::Started { cause, at } => {
+                    debug_assert!(open.is_none(), "nested occurrence");
+                    let n = avail_samples.max(1) as f64;
+                    records.push(TraceRecord {
+                        machine: machine_id as u32,
+                        cause,
+                        start: at,
+                        end: None,
+                        raw_end: None,
+                        avail_cpu: avail_cpu_sum / n,
+                        avail_mem_mb: (avail_mem_sum / n) as u32,
+                    });
+                    open = Some(records.len() - 1);
+                    avail_cpu_sum = 0.0;
+                    avail_mem_sum = 0.0;
+                    avail_samples = 0;
+                }
+                EventEdge::Ended { at, calm_from, .. } => {
+                    let idx = open.take().expect("Ended without open record");
+                    records[idx].end = Some(at);
+                    records[idx].raw_end = Some(calm_from.max(records[idx].start));
+                }
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgcs_core::model::FailureCause;
+
+    #[test]
+    fn tiny_testbed_produces_events() {
+        let trace = run_testbed(&TestbedConfig::tiny());
+        assert!(!trace.records.is_empty());
+        // updatedb alone guarantees roughly one S3 per machine-day.
+        let cpu = trace
+            .records
+            .iter()
+            .filter(|r| r.cause == FailureCause::CpuContention)
+            .count();
+        assert!(cpu as u32 >= trace.meta.machines * trace.meta.days / 2, "cpu events {cpu}");
+    }
+
+    #[test]
+    fn records_are_well_formed() {
+        let trace = run_testbed(&TestbedConfig::tiny());
+        for r in &trace.records {
+            assert!(r.start < trace.meta.span_secs);
+            if let (Some(end), Some(raw)) = (r.end, r.raw_end) {
+                assert!(r.start < end, "{r:?}");
+                assert!(raw <= end, "{r:?}");
+                assert!(raw >= r.start, "{r:?}");
+            }
+            assert!((0.0..=1.0).contains(&r.avail_cpu), "{r:?}");
+            assert!(r.machine < trace.meta.machines);
+        }
+    }
+
+    #[test]
+    fn per_machine_records_are_ordered_and_disjoint() {
+        let trace = run_testbed(&TestbedConfig::tiny());
+        for (_, recs) in trace.per_machine() {
+            for w in recs.windows(2) {
+                let end = w[0].end.expect("only the last record may be open");
+                assert!(end <= w[1].start, "overlap: {:?} {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_testbed(&TestbedConfig::tiny());
+        let b = run_testbed(&TestbedConfig::tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn updatedb_causes_4am_events_on_every_machine() {
+        let cfg = TestbedConfig::tiny();
+        let trace = run_testbed(&cfg);
+        for day in 0..cfg.lab.days as u64 {
+            for m in 0..cfg.lab.machines as u32 {
+                let lo = day * 86_400 + 4 * 3_600;
+                let hi = day * 86_400 + 5 * 3_600;
+                let hit = trace
+                    .records
+                    .iter()
+                    .any(|r| r.machine == m && r.start >= lo && r.start < hi);
+                assert!(hit, "machine {m} day {day} missing a 4-5 AM event");
+            }
+        }
+    }
+
+    #[test]
+    fn revocations_appear_with_raised_failure_rate() {
+        let mut cfg = TestbedConfig::tiny();
+        cfg.lab.days = 10;
+        cfg.lab.hw_failures_per_day = 0.3;
+        let trace = run_testbed(&cfg);
+        let urr = trace
+            .records
+            .iter()
+            .filter(|r| r.cause == FailureCause::Revocation)
+            .count();
+        assert!(urr > 0, "expected URR events");
+    }
+}

@@ -1,0 +1,162 @@
+//! Alternative testbed scenarios — the paper's §6 future work.
+//!
+//! "In the future work, we plan to collect trace on testbeds with
+//! different patterns of host workloads, for example a testbed
+//! containing enterprise desktop resources. We expect that data
+//! collected on the proposed testbeds will present similar
+//! predictability..."
+//!
+//! This module provides those testbeds as [`LabConfig`] presets, so the
+//! expectation can be tested (experiment `scenarios`):
+//!
+//! * [`student_lab`] — the paper's original environment (the default
+//!   config): shared machines, evening-heavy usage, reboot-happy users;
+//! * [`enterprise_desktop`] — office PCs: strict 9-to-5 occupancy, a
+//!   single owner per machine, almost no reboots (the paper: "such
+//!   machine reboots would be very rare on hosts used by only one local
+//!   user"), backup jobs instead of `updatedb` at night;
+//! * [`home_pc`] — the SETI@home demographic: evening/weekend usage,
+//!   long fully-idle stretches, machines owned by one user.
+
+use crate::lab::LabConfig;
+
+/// The paper's student-lab testbed (the crate default), named.
+pub fn student_lab() -> LabConfig {
+    LabConfig::default()
+}
+
+/// An enterprise-desktop testbed: office hours, one user per machine.
+pub fn enterprise_desktop() -> LabConfig {
+    LabConfig {
+        seed: 20060101,
+        // Sharp office-hours profile, quiet nights and lunch dip.
+        weekday_occupancy: [
+            0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.04, 0.15, 0.55, 0.75, 0.80, 0.78, 0.55, 0.70,
+            0.80, 0.78, 0.72, 0.55, 0.25, 0.10, 0.06, 0.04, 0.03, 0.02,
+        ],
+        // Weekends nearly empty.
+        weekend_occupancy: [
+            0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.03, 0.05, 0.08, 0.10, 0.10, 0.08, 0.08,
+            0.08, 0.08, 0.06, 0.05, 0.04, 0.03, 0.03, 0.02, 0.02, 0.02,
+        ],
+        // Longer sittings (a workday is one long session).
+        session_median_mins: 150.0,
+        session_sigma: 0.6,
+        // Office work bursts less than student compile loops.
+        bursts_per_session_hour: 0.40,
+        // "Machine reboots would be very rare on hosts used by only one
+        // local user."
+        reboots_per_session_hour: 0.001,
+        // The nightly backup replaces updatedb as the cron signature.
+        updatedb_load: 0.80,
+        updatedb_duration_secs: 2_400,
+        ..LabConfig::default()
+    }
+}
+
+/// A home-PC testbed: evening and weekend usage, long idle stretches.
+pub fn home_pc() -> LabConfig {
+    LabConfig {
+        seed: 20060201,
+        weekday_occupancy: [
+            0.04, 0.02, 0.01, 0.01, 0.01, 0.01, 0.03, 0.08, 0.06, 0.04, 0.04, 0.04, 0.06, 0.05,
+            0.05, 0.05, 0.08, 0.20, 0.40, 0.55, 0.60, 0.50, 0.30, 0.12,
+        ],
+        weekend_occupancy: [
+            0.06, 0.03, 0.02, 0.01, 0.01, 0.01, 0.02, 0.04, 0.10, 0.20, 0.30, 0.35, 0.35, 0.35,
+            0.35, 0.35, 0.35, 0.38, 0.45, 0.50, 0.50, 0.42, 0.28, 0.14,
+        ],
+        session_median_mins: 75.0,
+        // Gaming and media bursts are frequent while the owner is there.
+        bursts_per_session_hour: 0.9,
+        burst_load: (0.7, 1.0),
+        // Home users do reboot, but they are alone on the box.
+        reboots_per_session_hour: 0.004,
+        // No lab cron job.
+        updatedb: false,
+        ..LabConfig::default()
+    }
+}
+
+/// All three scenarios, named.
+pub fn all() -> Vec<(&'static str, LabConfig)> {
+    vec![
+        ("student-lab", student_lab()),
+        ("enterprise", enterprise_desktop()),
+        ("home-pc", home_pc()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::runner::{run_testbed, TestbedConfig};
+    use fgcs_core::detector::DetectorConfig;
+
+    fn small(mut lab: LabConfig) -> TestbedConfig {
+        lab.machines = 4;
+        lab.days = 14;
+        TestbedConfig { lab, detector: DetectorConfig::wallclock_default() }
+    }
+
+    #[test]
+    fn profiles_are_valid_occupancies() {
+        for (name, cfg) in all() {
+            for &p in cfg.weekday_occupancy.iter().chain(cfg.weekend_occupancy.iter()) {
+                assert!((0.0..0.95).contains(&p), "{name}: occupancy {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn enterprise_is_office_hours_shaped() {
+        let trace = run_testbed(&small(enterprise_desktop()));
+        let hourly = analysis::hourly(&trace);
+        let office = hourly.weekday.get(&10).map(|s| s.mean()).unwrap_or(0.0);
+        let evening = hourly.weekday.get(&21).map(|s| s.mean()).unwrap_or(0.0);
+        assert!(office > evening, "office {office} evening {evening}");
+    }
+
+    #[test]
+    fn home_pc_is_evening_shaped() {
+        let trace = run_testbed(&small(home_pc()));
+        let hourly = analysis::hourly(&trace);
+        let evening = hourly.weekday.get(&20).map(|s| s.mean()).unwrap_or(0.0);
+        let morning = hourly.weekday.get(&9).map(|s| s.mean()).unwrap_or(0.0);
+        assert!(evening > morning, "evening {evening} morning {morning}");
+    }
+
+    #[test]
+    fn enterprise_has_fewer_reboots_than_the_lab() {
+        let lab = analysis::table2(&run_testbed(&small(student_lab())));
+        let ent = analysis::table2(&run_testbed(&small(enterprise_desktop())));
+        let urr = |t2: &analysis::Table2| -> usize { t2.per_machine.iter().map(|c| c.urr).sum() };
+        assert!(urr(&ent) <= urr(&lab), "enterprise {} lab {}", urr(&ent), urr(&lab));
+    }
+
+    #[test]
+    fn home_pc_weekend_is_not_quieter_than_weekday() {
+        // Unlike the lab, home machines are *busier* on weekends.
+        let trace = run_testbed(&small(home_pc()));
+        let m = analysis::day_hour_counts(&trace);
+        let mut wd = (0.0, 0u32);
+        let mut we = (0.0, 0u32);
+        for (day, hours) in m.iter().enumerate() {
+            let total: u32 = hours.iter().sum();
+            match crate::calendar::day_type(day as u64, trace.meta.start_weekday) {
+                crate::calendar::DayType::Weekday => {
+                    wd.0 += total as f64;
+                    wd.1 += 1;
+                }
+                crate::calendar::DayType::Weekend => {
+                    we.0 += total as f64;
+                    we.1 += 1;
+                }
+            }
+        }
+        let wd_mean = wd.0 / wd.1.max(1) as f64;
+        let we_mean = we.0 / we.1.max(1) as f64;
+        assert!(we_mean >= wd_mean * 0.8, "weekday {wd_mean} weekend {we_mean}");
+    }
+}

@@ -1,0 +1,354 @@
+//! The on-disk trace format.
+//!
+//! One record per unavailability occurrence, exactly the paper's schema:
+//! "the start and end time of each occurrence of resource unavailability,
+//! the corresponding failure state (S3, S4, or S5), and the available CPU
+//! and memory for guest jobs" — plus the machine id and the raw
+//! failure-condition end used for the reboot/failure split of URR.
+//!
+//! Two serializations are provided: JSON-lines (meta header line followed
+//! by one record per line) and CSV (header row; `-` for open ends).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use fgcs_core::model::{AvailState, FailureCause, Thresholds};
+
+/// Trace-wide metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of machines.
+    pub machines: u32,
+    /// Trace length in days.
+    pub days: u32,
+    /// Monitor sampling period, seconds.
+    pub sample_period: u64,
+    /// Weekday the trace started on (0 = Monday).
+    pub start_weekday: u8,
+    /// Total span, seconds.
+    pub span_secs: u64,
+    /// Thresholds the detector used.
+    pub thresholds: Thresholds,
+}
+
+/// One unavailability occurrence on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Machine id, `0..machines`.
+    pub machine: u32,
+    /// Failure cause (maps 1:1 to states S3/S4/S5).
+    pub cause: FailureCause,
+    /// Start of the occurrence, seconds since trace start.
+    pub start: u64,
+    /// When the machine became harvestable again; `None` if the trace
+    /// ended first.
+    pub end: Option<u64>,
+    /// When the failure condition cleared (excludes the harvest delay).
+    pub raw_end: Option<u64>,
+    /// Mean CPU fraction that was available to guests over the preceding
+    /// availability interval.
+    pub avail_cpu: f64,
+    /// Mean memory available to guests over the preceding availability
+    /// interval, MB.
+    pub avail_mem_mb: u32,
+}
+
+impl TraceRecord {
+    /// The failure state of this record.
+    pub fn state(&self) -> AvailState {
+        self.cause.state()
+    }
+
+    /// Occurrence duration (to harvestability), if closed.
+    pub fn duration(&self) -> Option<u64> {
+        self.end.map(|e| e - self.start)
+    }
+
+    /// Duration of the raw failure condition, if closed.
+    pub fn raw_duration(&self) -> Option<u64> {
+        self.raw_end.map(|e| e.saturating_sub(self.start))
+    }
+}
+
+/// Errors reading a serialized trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with a description.
+    Parse(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse(m) => write!(f, "trace parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A complete testbed trace: metadata plus all machines' occurrences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Trace-wide metadata.
+    pub meta: TraceMeta,
+    /// All occurrences, sorted by `(machine, start)`.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Groups records per machine (keys `0..machines`, possibly sparse).
+    pub fn per_machine(&self) -> BTreeMap<u32, Vec<&TraceRecord>> {
+        let mut map: BTreeMap<u32, Vec<&TraceRecord>> = BTreeMap::new();
+        for r in &self.records {
+            map.entry(r.machine).or_default().push(r);
+        }
+        map
+    }
+
+    /// Total machine-days covered ("roughly 1800 machine-days" in the
+    /// paper).
+    pub fn machine_days(&self) -> u64 {
+        self.meta.machines as u64 * self.meta.days as u64
+    }
+
+    /// Writes the trace as JSON lines: one meta line, then one record
+    /// per line.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        let meta = serde_json::to_string(&self.meta)
+            .map_err(|e| TraceError::Parse(e.to_string()))?;
+        writeln!(w, "{meta}")?;
+        for r in &self.records {
+            let line =
+                serde_json::to_string(r).map_err(|e| TraceError::Parse(e.to_string()))?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace written by [`Trace::write_jsonl`].
+    pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, TraceError> {
+        let mut lines = r.lines();
+        let meta_line = lines
+            .next()
+            .ok_or_else(|| TraceError::Parse("empty trace file".into()))??;
+        let meta: TraceMeta = serde_json::from_str(&meta_line)
+            .map_err(|e| TraceError::Parse(format!("bad meta line: {e}")))?;
+        let mut records = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TraceRecord = serde_json::from_str(&line)
+                .map_err(|e| TraceError::Parse(format!("record {}: {e}", i + 1)))?;
+            records.push(rec);
+        }
+        Ok(Trace { meta, records })
+    }
+
+    /// Writes the records as CSV (metadata is *not* included; pair with
+    /// JSONL for full fidelity).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        writeln!(w, "machine,state,start,end,raw_end,avail_cpu,avail_mem_mb")?;
+        for r in &self.records {
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{}",
+                r.machine,
+                r.state(),
+                r.start,
+                r.end.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+                r.raw_end.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+                r.avail_cpu,
+                r.avail_mem_mb,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads records from [`Trace::write_csv`] output, attaching the
+    /// given metadata.
+    pub fn read_csv<R: BufRead>(r: R, meta: TraceMeta) -> Result<Trace, TraceError> {
+        let mut records = Vec::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            if i == 0 || line.trim().is_empty() {
+                continue; // header
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 7 {
+                return Err(TraceError::Parse(format!(
+                    "line {}: expected 7 fields, got {}",
+                    i + 1,
+                    fields.len()
+                )));
+            }
+            let parse_u64 = |s: &str, what: &str| -> Result<u64, TraceError> {
+                s.parse::<u64>()
+                    .map_err(|e| TraceError::Parse(format!("line {}: {what}: {e}", i + 1)))
+            };
+            let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, TraceError> {
+                if s == "-" {
+                    Ok(None)
+                } else {
+                    parse_u64(s, what).map(Some)
+                }
+            };
+            let cause = match fields[1] {
+                "S3" => FailureCause::CpuContention,
+                "S4" => FailureCause::MemoryThrashing,
+                "S5" => FailureCause::Revocation,
+                other => {
+                    return Err(TraceError::Parse(format!(
+                        "line {}: unknown state {other:?}",
+                        i + 1
+                    )))
+                }
+            };
+            records.push(TraceRecord {
+                machine: parse_u64(fields[0], "machine")? as u32,
+                cause,
+                start: parse_u64(fields[2], "start")?,
+                end: parse_opt(fields[3], "end")?,
+                raw_end: parse_opt(fields[4], "raw_end")?,
+                avail_cpu: fields[5]
+                    .parse::<f64>()
+                    .map_err(|e| TraceError::Parse(format!("line {}: avail_cpu: {e}", i + 1)))?,
+                avail_mem_mb: parse_u64(fields[6], "avail_mem_mb")? as u32,
+            });
+        }
+        Ok(Trace { meta, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let meta = TraceMeta {
+            seed: 7,
+            machines: 2,
+            days: 3,
+            sample_period: 15,
+            start_weekday: 0,
+            span_secs: 3 * 86_400,
+            thresholds: Thresholds::LINUX_TESTBED,
+        };
+        let records = vec![
+            TraceRecord {
+                machine: 0,
+                cause: FailureCause::CpuContention,
+                start: 1000,
+                end: Some(2000),
+                raw_end: Some(1700),
+                avail_cpu: 0.83,
+                avail_mem_mb: 812,
+            },
+            TraceRecord {
+                machine: 0,
+                cause: FailureCause::Revocation,
+                start: 50_000,
+                end: Some(50_400),
+                raw_end: Some(50_040),
+                avail_cpu: 0.95,
+                avail_mem_mb: 900,
+            },
+            TraceRecord {
+                machine: 1,
+                cause: FailureCause::MemoryThrashing,
+                start: 9_000,
+                end: None,
+                raw_end: None,
+                avail_cpu: 0.75,
+                avail_mem_mb: 400,
+            },
+        ];
+        Trace { meta, records }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let back = Trace::read_csv(&buf[..], t.meta.clone()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_has_expected_shape() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("machine,state,"));
+        assert!(lines[1].starts_with("0,S3,1000,2000,1700,"));
+        assert!(lines[3].contains(",S4,9000,-,-,"));
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(Trace::read_jsonl(&b"not json\n"[..]).is_err());
+        assert!(Trace::read_jsonl(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_bad_state() {
+        let meta = sample_trace().meta;
+        let bad = "machine,state,start,end,raw_end,avail_cpu,avail_mem_mb\n0,S9,1,2,2,0.5,100\n";
+        let err = Trace::read_csv(bad.as_bytes(), meta).unwrap_err();
+        assert!(matches!(err, TraceError::Parse(_)));
+    }
+
+    #[test]
+    fn csv_rejects_wrong_arity() {
+        let meta = sample_trace().meta;
+        let bad = "header\n0,S3,1\n";
+        assert!(Trace::read_csv(bad.as_bytes(), meta).is_err());
+    }
+
+    #[test]
+    fn per_machine_grouping() {
+        let t = sample_trace();
+        let by = t.per_machine();
+        assert_eq!(by.len(), 2);
+        assert_eq!(by[&0].len(), 2);
+        assert_eq!(by[&1].len(), 1);
+        assert_eq!(t.machine_days(), 6);
+    }
+
+    #[test]
+    fn record_accessors() {
+        let t = sample_trace();
+        assert_eq!(t.records[0].state(), AvailState::S3);
+        assert_eq!(t.records[0].duration(), Some(1000));
+        assert_eq!(t.records[0].raw_duration(), Some(700));
+        assert_eq!(t.records[2].duration(), None);
+    }
+}

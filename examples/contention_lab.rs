@@ -1,0 +1,48 @@
+//! Contention lab: reproduce the paper's §3.2 offline experiments at
+//! small scale — measure how much a guest process slows a host group and
+//! derive the two thresholds Th1/Th2.
+//!
+//! ```text
+//! cargo run --release --example contention_lab
+//! ```
+
+use fgcs::core::calibrate::{calibrate, CalibrationConfig};
+use fgcs::core::contention::{measure_group, ContentionConfig};
+use fgcs::core::model::NOTICEABLE_SLOWDOWN;
+use fgcs::sim::machine::MachineConfig;
+use fgcs::sim::workloads::synthetic;
+
+fn main() {
+    let cfg = ContentionConfig::quick();
+    let machine = MachineConfig::default();
+
+    println!("single host process vs CPU-bound guest (reduction of host CPU usage):\n");
+    println!("{:>4}  {:>12}  {:>12}", "LH", "guest nice 0", "guest nice 19");
+    for i in 1..=9 {
+        let lh = i as f64 / 10.0;
+        let hosts = [synthetic::host_process("host", lh)];
+        let eq = measure_group(&machine, &hosts, Some(&synthetic::guest_process(0)), &cfg);
+        let low = measure_group(&machine, &hosts, Some(&synthetic::guest_process(19)), &cfg);
+        let mark = |r: f64| if r > NOTICEABLE_SLOWDOWN { " <-- noticeable" } else { "" };
+        println!(
+            "{:>4.1}  {:>11.1}%  {:>11.1}%{}{}",
+            lh,
+            eq.reduction_rate * 100.0,
+            low.reduction_rate * 100.0,
+            mark(eq.reduction_rate),
+            mark(low.reduction_rate),
+        );
+    }
+
+    println!("\nderiving thresholds from the full sweep (reduced grid)...");
+    let cal = calibrate(&CalibrationConfig::quick());
+    println!(
+        "Th1 = {:.2} (guest must drop to lowest priority above this host load)",
+        cal.thresholds.th1
+    );
+    println!(
+        "Th2 = {:.2} (guest must be terminated above this host load)",
+        cal.thresholds.th2
+    );
+    println!("paper's Linux testbed: Th1 = 0.20, Th2 = 0.60");
+}

@@ -1,0 +1,54 @@
+//! Proactive scheduling: train the paper's history-window predictor on a
+//! testbed trace, then place guest jobs proactively versus obliviously
+//! and compare response times — the motivating application of §1.
+//!
+//! ```text
+//! cargo run --release --example proactive_scheduling
+//! ```
+
+use fgcs::predict::eval::{evaluate, standard_predictors, EvalConfig};
+use fgcs::predict::predictor::MachineHourlyPredictor;
+use fgcs::predict::proactive::{compare, ProactiveConfig};
+use fgcs::testbed::runner::{run_testbed, TestbedConfig};
+
+fn main() {
+    let mut cfg = TestbedConfig::default();
+    cfg.lab.machines = 12;
+    cfg.lab.days = 42;
+    // A heterogeneous lab: some machines are busier than others, which
+    // is what gives prediction-driven placement its edge.
+    cfg.lab.machine_busyness_spread = 0.6;
+    println!("generating a {}-machine, {}-day trace...", cfg.lab.machines, cfg.lab.days);
+    let trace = run_testbed(&cfg);
+
+    // How well can availability be predicted at all?
+    println!("\npredictor quality over 2-hour windows (Brier, lower = better):");
+    let mut predictors = standard_predictors();
+    let eval_cfg = EvalConfig { windows: vec![2 * 3600], ..Default::default() };
+    let mut rows = evaluate(&trace, &mut predictors, &eval_cfg);
+    rows.sort_by(|a, b| a.brier.partial_cmp(&b.brier).expect("no NaN"));
+    for r in &rows {
+        println!("  {:<16} brier {:.4}  accuracy {:.1}%", r.predictor, r.brier, r.accuracy * 100.0);
+    }
+
+    // Use it to place jobs.
+    println!("\nreplaying 200 compute-bound guest jobs under both policies...");
+    let mut predictor = MachineHourlyPredictor::default();
+    let job_cfg = ProactiveConfig { jobs: 200, ..Default::default() };
+    let (oblivious, proactive) = compare(&trace, &mut predictor, 0.6, &job_cfg);
+
+    for o in [&oblivious, &proactive] {
+        println!(
+            "  {:<10} mean response {:.2} h, {:.2} failures/job, {} timeouts",
+            o.policy.to_string(),
+            o.mean_response / 3600.0,
+            o.mean_failures,
+            o.timed_out
+        );
+    }
+    println!(
+        "\nproactive placement improves mean response time by {:.1}% \
+         (the paper's premise: prediction enables proactive job management).",
+        (1.0 - proactive.mean_response / oblivious.mean_response) * 100.0
+    );
+}

@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the whole `fgcs` workspace.
+pub use fgcs_core as core;
+pub use fgcs_par as par;
+pub use fgcs_predict as predict;
+pub use fgcs_sim as sim;
+pub use fgcs_stats as stats;
+pub use fgcs_testbed as testbed;

@@ -1,0 +1,106 @@
+//! Property-based tests of the cluster layer: job conservation and
+//! record consistency under arbitrary node mixes and batch sizes.
+
+use fgcs::core::cluster::{Cluster, LeastLoadedPlacement, RandomPlacement, RoundRobinPlacement};
+use fgcs::core::controller::ControllerConfig;
+use fgcs::sim::machine::Machine;
+use fgcs::sim::proc::{Demand, MemSpec, ProcClass, ProcSpec};
+use fgcs::sim::time::{minutes, secs};
+use fgcs::sim::workloads::synthetic;
+use proptest::prelude::*;
+
+fn job(work_secs: u64) -> ProcSpec {
+    ProcSpec::new(
+        "job",
+        ProcClass::Guest,
+        0,
+        Demand::CpuBound { total_work: Some(secs(work_secs)) },
+        MemSpec::tiny(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every submitted job is accounted for at all times: finished,
+    /// queued, or in flight — none lost, none duplicated.
+    #[test]
+    fn jobs_are_conserved(
+        loads in prop::collection::vec(0.0f64..0.5, 1..4),
+        jobs in 1usize..8,
+        strategy in 0u8..3,
+        work in 2u64..20,
+    ) {
+        let machines: Vec<Machine> = loads
+            .iter()
+            .map(|&l| {
+                let mut m = Machine::default_linux();
+                if l > 0.02 {
+                    m.spawn(synthetic::host_process("u", l));
+                }
+                m
+            })
+            .collect();
+        let placement: Box<dyn fgcs::core::cluster::Placement> = match strategy {
+            0 => Box::new(RandomPlacement::new(9)),
+            1 => Box::new(RoundRobinPlacement::default()),
+            _ => Box::new(LeastLoadedPlacement),
+        };
+        let mut c = Cluster::new(machines, ControllerConfig::default(), placement);
+        c.run_ticks(secs(6));
+        for _ in 0..jobs {
+            c.submit(job(work));
+        }
+        // Check the invariant at several points during the run.
+        for _ in 0..6 {
+            c.run_ticks(secs(30));
+            let finished = c.jobs().iter().filter(|j| j.completed_at.is_some()).count();
+            let queued = c.stats().queued;
+            let in_flight = (0..c.len())
+                .filter(|&i| c.node(i).guest_running() || c.node(i).queue_len() > 0)
+                .count();
+            prop_assert!(
+                finished + queued + in_flight >= jobs
+                    && finished + queued + in_flight <= jobs + c.len(),
+                "finished {finished} queued {queued} in-flight {in_flight} of {jobs}"
+            );
+        }
+        c.run_until_drained(minutes(30));
+        let finished = c.jobs().iter().filter(|j| j.completed_at.is_some()).count();
+        prop_assert_eq!(finished, jobs, "all jobs complete on calm machines");
+        prop_assert_eq!(c.stats().completed as usize, jobs);
+    }
+
+    /// Job records are internally consistent after any run.
+    #[test]
+    fn job_records_are_consistent(
+        jobs in 1usize..6,
+        work in 2u64..15,
+        hog_load in 0.0f64..0.95,
+    ) {
+        let mut busy = Machine::default_linux();
+        if hog_load > 0.02 {
+            busy.spawn(synthetic::host_process("hog", hog_load));
+        }
+        let machines = vec![busy, Machine::default_linux()];
+        let mut c = Cluster::new(
+            machines,
+            ControllerConfig::default(),
+            Box::new(RoundRobinPlacement::default()),
+        );
+        c.run_ticks(secs(6));
+        for _ in 0..jobs {
+            c.submit(job(work));
+        }
+        c.run_until_drained(minutes(60));
+        let terminations = c.stats().terminated;
+        let restarts: u32 = c.jobs().iter().map(|j| j.restarts).sum();
+        prop_assert_eq!(restarts as u64, terminations, "every kill is a restart");
+        for j in c.jobs() {
+            if let Some(done) = j.completed_at {
+                prop_assert!(done > j.submitted_at, "{j:?}");
+                prop_assert!(j.response().unwrap() >= secs(work), "{j:?}");
+            }
+        }
+    }
+}

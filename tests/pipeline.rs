@@ -1,0 +1,187 @@
+//! End-to-end integration tests: the whole pipeline from scheduler
+//! simulation through threshold calibration, trace collection, analysis
+//! and prediction, verifying the paper's qualitative claims hold on the
+//! assembled system.
+
+use fgcs::core::calibrate::{calibrate, CalibrationConfig};
+use fgcs::core::model::FailureCause;
+use fgcs::predict::eval::{evaluate, standard_predictors, EvalConfig};
+use fgcs::predict::predictor::MachineHourlyPredictor;
+use fgcs::predict::proactive::{compare, ProactiveConfig};
+use fgcs::testbed::analysis;
+use fgcs::testbed::calendar::DayType;
+use fgcs::testbed::runner::{run_testbed, TestbedConfig};
+use fgcs::testbed::trace::Trace;
+
+fn month_trace() -> Trace {
+    let mut cfg = TestbedConfig::default();
+    cfg.lab.machines = 10;
+    cfg.lab.days = 28;
+    run_testbed(&cfg)
+}
+
+#[test]
+fn calibration_reproduces_threshold_ordering() {
+    let cal = calibrate(&CalibrationConfig::quick());
+    let t = cal.thresholds;
+    // The paper's central structural result: two distinct thresholds,
+    // the equal-priority one far below the lowest-priority one.
+    assert!(t.th1 >= 0.1 && t.th1 <= 0.4, "Th1 {t:?}");
+    assert!(t.th2 >= 0.4 && t.th2 <= 0.8, "Th2 {t:?}");
+    assert!(t.th2 - t.th1 >= 0.1, "thresholds must be separated: {t:?}");
+}
+
+#[test]
+fn trace_analyses_are_mutually_consistent() {
+    let trace = month_trace();
+    let t2 = analysis::table2(&trace);
+
+    // Per-machine counts sum to the record count.
+    let total: usize = t2.per_machine.iter().map(|c| c.total).sum();
+    assert_eq!(total, trace.records.len());
+    // Cause partition is exact.
+    for c in &t2.per_machine {
+        assert_eq!(c.total, c.cpu + c.mem + c.urr);
+        assert!(c.urr_reboots <= c.urr);
+    }
+
+    // Hourly counts over a day-type must cover every event at least once.
+    let matrix = analysis::day_hour_counts(&trace);
+    let hour_total: u32 = matrix.iter().flat_map(|d| d.iter()).sum();
+    assert!(hour_total as usize >= trace.records.len());
+
+    // Availability intervals and events tile the span per machine.
+    for (m, recs) in trace.per_machine() {
+        let intervals = analysis::machine_intervals(&recs, trace.meta.span_secs);
+        let avail: u64 = intervals.iter().map(|(s, e)| e - s).sum();
+        let unavail: u64 = recs
+            .iter()
+            .map(|r| r.end.unwrap_or(trace.meta.span_secs).min(trace.meta.span_secs) - r.start)
+            .sum();
+        assert_eq!(avail + unavail, trace.meta.span_secs, "machine {m} does not tile");
+    }
+}
+
+#[test]
+fn paper_claims_hold_on_the_synthetic_testbed() {
+    let trace = month_trace();
+
+    // §5.1: UEC dominates URR; CPU contention is the main cause.
+    let t2 = analysis::table2(&trace);
+    let cpu: usize = t2.per_machine.iter().map(|c| c.cpu).sum();
+    let mem: usize = t2.per_machine.iter().map(|c| c.mem).sum();
+    let urr: usize = t2.per_machine.iter().map(|c| c.urr).sum();
+    assert!(cpu > mem, "cpu {cpu} mem {mem}");
+    assert!(mem > urr, "mem {mem} urr {urr}");
+    assert!(cpu + mem > 10 * urr, "UEC must dwarf URR");
+
+    // §5.2: weekday intervals shorter than weekend intervals.
+    let iv = analysis::intervals(&trace);
+    assert!(
+        iv.mean_hours(DayType::Weekday) < iv.mean_hours(DayType::Weekend),
+        "weekday {} weekend {}",
+        iv.mean_hours(DayType::Weekday),
+        iv.mean_hours(DayType::Weekend)
+    );
+    // Small intervals are rare (paper: ~5% under 5 minutes).
+    assert!(iv.weekday.eval(5.0 / 60.0) < 0.15);
+
+    // §5.3: the 4-5 AM updatedb spike equals the machine count, daily.
+    let hourly = analysis::hourly(&trace);
+    let spike = hourly.weekday.get(&4).expect("hour 4 populated");
+    assert!(
+        (spike.mean() - trace.meta.machines as f64).abs() < 1.5,
+        "updatedb spike {} vs {} machines",
+        spike.mean(),
+        trace.meta.machines
+    );
+    // Day hours are busier than deep night (failures track host load).
+    let day = hourly.weekday.get(&14).map(|s| s.mean()).unwrap_or(0.0);
+    let night = hourly.weekday.get(&2).map(|s| s.mean()).unwrap_or(0.0);
+    assert!(day > night, "day {day} night {night}");
+
+    // §5.3: daily patterns repeat (high across-day correlation).
+    let reg = analysis::regularity(&trace);
+    assert!(reg.weekday_correlation > 0.4, "corr {}", reg.weekday_correlation);
+}
+
+#[test]
+fn urr_split_identifies_reboots() {
+    let trace = month_trace();
+    let t2 = analysis::table2(&trace);
+    // Most URR must classify as reboots, as in the paper (~90%).
+    assert!(
+        t2.urr_reboot_fraction > 0.6,
+        "reboot fraction {}",
+        t2.urr_reboot_fraction
+    );
+    // And every reboot-classified record is genuinely short.
+    for r in &trace.records {
+        if r.cause == FailureCause::Revocation {
+            if let Some(d) = r.raw_duration() {
+                assert!(d < 24 * 3600, "absurd outage duration {d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn prediction_beats_uninformed_baselines() {
+    let trace = month_trace();
+    let mut preds = standard_predictors();
+    let cfg = EvalConfig { windows: vec![3600, 4 * 3600], ..Default::default() };
+    let rows = evaluate(&trace, &mut preds, &cfg);
+    for &w in &[3600u64, 4 * 3600] {
+        let brier = |name: &str| {
+            rows.iter()
+                .find(|r| r.window == w && r.predictor == name)
+                .map(|r| r.brier)
+                .expect("row present")
+        };
+        assert!(
+            brier("history-window") < brier("base-rate"),
+            "w={w}: history {} base {}",
+            brier("history-window"),
+            brier("base-rate")
+        );
+        assert!(
+            brier("machine-hourly") < brier("base-rate"),
+            "w={w}: machine-hourly {} base {}",
+            brier("machine-hourly"),
+            brier("base-rate")
+        );
+    }
+}
+
+#[test]
+fn proactive_placement_beats_oblivious() {
+    let mut cfg = TestbedConfig::default();
+    cfg.lab.machines = 12;
+    cfg.lab.days = 42;
+    // A heterogeneous lab: placement needs machines that differ.
+    cfg.lab.machine_busyness_spread = 0.6;
+    let trace = run_testbed(&cfg);
+    let mut predictor = MachineHourlyPredictor::default();
+    let job_cfg = ProactiveConfig { jobs: 250, ..Default::default() };
+    let (obl, pro) = compare(&trace, &mut predictor, 0.6, &job_cfg);
+    assert!(
+        pro.mean_response < obl.mean_response,
+        "proactive {} oblivious {}",
+        pro.mean_response,
+        obl.mean_response
+    );
+    assert!(pro.mean_failures <= obl.mean_failures, "{pro:?} vs {obl:?}");
+}
+
+#[test]
+fn trace_serialization_survives_the_full_pipeline() {
+    let trace = month_trace();
+    let mut jsonl = Vec::new();
+    trace.write_jsonl(&mut jsonl).unwrap();
+    let back = Trace::read_jsonl(&jsonl[..]).unwrap();
+    assert_eq!(back, trace);
+    // Analyses on the deserialized trace are identical.
+    let a = analysis::table2(&trace);
+    let b = analysis::table2(&back);
+    assert_eq!(a, b);
+}

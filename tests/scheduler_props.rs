@@ -1,0 +1,151 @@
+//! Property-based tests of the machine simulator: CPU-time conservation,
+//! starvation freedom, isolated-usage fidelity and priority monotonicity
+//! must hold for arbitrary process mixes.
+
+use fgcs::sim::machine::{Machine, MachineConfig};
+use fgcs::sim::proc::{Demand, MemSpec, ProcClass, ProcSpec};
+use fgcs::sim::time::secs;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_host()(
+        usage in 0.02f64..=0.98,
+        period in 20u64..120,
+        nice in 0i8..=19,
+    ) -> ProcSpec {
+        ProcSpec::new("host", ProcClass::Host, nice, Demand::duty_cycle(usage, period), MemSpec::tiny())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every tick is attributed to exactly one of host/system/guest/idle/
+    /// iowait, and per-process CPU sums match the class accounting.
+    #[test]
+    fn cpu_time_conservation(hosts in prop::collection::vec(arb_host(), 0..6), with_guest in any::<bool>()) {
+        let mut m = Machine::default_linux();
+        for h in &hosts {
+            m.spawn(h.clone());
+        }
+        if with_guest {
+            m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+        }
+        let ticks = secs(30);
+        m.run_ticks(ticks);
+        let a = m.accounting();
+        prop_assert_eq!(a.total(), ticks);
+        let proc_ticks: u64 = m.processes().map(|p| p.cpu_ticks).sum();
+        prop_assert_eq!(proc_ticks, a.host + a.system + a.guest);
+    }
+
+    /// No runnable process starves: over a long run, every spawned
+    /// process with positive demand gets some CPU.
+    #[test]
+    fn starvation_freedom(hosts in prop::collection::vec(arb_host(), 1..6)) {
+        let mut m = Machine::default_linux();
+        let pids: Vec<_> = hosts.iter().map(|h| m.spawn(h.clone())).collect();
+        let guest = m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+        m.run_ticks(secs(60));
+        for pid in pids {
+            prop_assert!(m.process(pid).unwrap().cpu_ticks > 0, "host {pid} starved");
+        }
+        prop_assert!(m.process(guest).unwrap().cpu_ticks > 0, "guest starved");
+    }
+
+    /// A duty-cycle process running alone achieves its isolated usage
+    /// within tick-quantization tolerance.
+    #[test]
+    fn isolated_usage_fidelity(usage in 0.05f64..=0.95, period in 20u64..120) {
+        let spec = ProcSpec::new(
+            "h",
+            ProcClass::Host,
+            0,
+            Demand::duty_cycle(usage, period),
+            MemSpec::tiny(),
+        );
+        let rounded = spec.demand.isolated_usage();
+        let mut m = Machine::default_linux();
+        m.spawn(spec);
+        m.run_ticks(secs(10));
+        let d = m.measure(secs(120));
+        prop_assert!(
+            (d.host_load() - rounded).abs() < 0.03,
+            "target {rounded} measured {}",
+            d.host_load()
+        );
+    }
+
+    /// Host slowdown from a nice-19 guest never exceeds the slowdown
+    /// from a nice-0 guest (priority monotonicity — the structural fact
+    /// behind Th1 < Th2).
+    #[test]
+    fn guest_priority_monotonicity(usage in 0.1f64..=0.9) {
+        let measure = |nice: i8| {
+            let mut m = Machine::default_linux();
+            let h = m.spawn(ProcSpec::new(
+                "h",
+                ProcClass::Host,
+                0,
+                Demand::duty_cycle(usage, 70),
+                MemSpec::tiny(),
+            ));
+            m.spawn(ProcSpec::cpu_bound_guest("g", nice));
+            m.run_ticks(secs(20));
+            m.measure_pid(h, secs(120)).unwrap()
+        };
+        let with_low = measure(19);
+        let with_eq = measure(0);
+        // Allow 2% tolerance for phase/quantization noise.
+        prop_assert!(
+            with_low + 0.02 >= with_eq,
+            "usage {usage}: nice19 left {with_low}, nice0 left {with_eq}"
+        );
+    }
+
+    /// Suspending every process makes the machine fully idle; resuming
+    /// restores progress.
+    #[test]
+    fn suspend_resume_round_trip(hosts in prop::collection::vec(arb_host(), 1..4)) {
+        let mut m = Machine::default_linux();
+        let pids: Vec<_> = hosts.iter().map(|h| m.spawn(h.clone())).collect();
+        m.run_ticks(100);
+        for &p in &pids {
+            m.suspend(p).unwrap();
+        }
+        let before = m.accounting();
+        m.run_ticks(200);
+        let d = m.accounting().since(&before);
+        prop_assert_eq!(d.idle, 200);
+        for &p in &pids {
+            m.resume(p).unwrap();
+        }
+        let before = m.accounting();
+        m.run_ticks(secs(10));
+        let d = m.accounting().since(&before);
+        prop_assert!(d.host > 0, "no progress after resume");
+    }
+
+    /// Thrashing never deadlocks: with working sets exceeding memory the
+    /// machine still retires work, just slowly, and accounting stays
+    /// conserved (iowait included).
+    #[test]
+    fn thrashing_conservation(extra_mb in 100u32..800) {
+        let mut m = Machine::new(MachineConfig::solaris_384mb());
+        m.spawn(ProcSpec::new(
+            "big",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::resident(200 + extra_mb),
+        ));
+        let ticks = secs(20);
+        m.run_ticks(ticks);
+        let a = m.accounting();
+        prop_assert_eq!(a.total(), ticks);
+        prop_assert!(a.host > 0, "no work retired under thrashing");
+        if m.is_thrashing() {
+            prop_assert!(a.iowait > 0, "thrashing without iowait");
+        }
+    }
+}

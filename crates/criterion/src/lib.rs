@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crate registry, so this crate provides the
+//! subset of criterion's API the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! calibrate-then-sample wall-clock harness.
+//!
+//! Each benchmark prints one line:
+//!
+//! ```text
+//! bench <id>  <mean> ns/iter  (<throughput> elem/s)
+//! ```
+//!
+//! The format is stable so scripts (e.g. `scripts/ci.sh`, the
+//! `BENCH_sim.json` generator) can parse it. Command-line arguments after
+//! `--` act as substring filters on benchmark ids, like upstream.
+//! Setting `FGCS_BENCH_QUICK=1` shrinks warm-up and measurement times for
+//! smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as elem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as B/s).
+    Bytes(u64),
+}
+
+/// Benchmark harness configuration and driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id, None, f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn effective_times(&self) -> (Duration, Duration) {
+        if std::env::var_os("FGCS_BENCH_QUICK").is_some() {
+            (self.warm_up.min(Duration::from_millis(50)), self.measurement.min(Duration::from_millis(200)))
+        } else {
+            (self.warm_up, self.measurement)
+        }
+    }
+}
+
+/// A benchmark group, created by [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.c, &id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine` back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !c.matches(id) {
+        return;
+    }
+    let (warm_up, measurement) = c.effective_times();
+
+    // Calibrate: double the iteration count until one batch is long
+    // enough to time reliably, warming caches as a side effect.
+    let warm_deadline = Instant::now() + warm_up;
+    let mut iters: u64 = 1;
+    let mut per_iter_ns: f64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter_ns = (b.elapsed.as_nanos() as f64 / iters as f64).max(0.01);
+        if b.elapsed >= warm_up / 5 || Instant::now() >= warm_deadline {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    // Sample: split the measurement budget into sample_size batches.
+    let target_batch_ns = measurement.as_nanos() as f64 / c.sample_size as f64;
+    let batch_iters = ((target_batch_ns / per_iter_ns) as u64).max(1);
+    let mut total = Duration::ZERO;
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher { iters: batch_iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        let ns = b.elapsed.as_nanos() as f64 / batch_iters as f64;
+        if ns < best_ns {
+            best_ns = ns;
+        }
+    }
+    let mean_ns = total.as_nanos() as f64 / (c.sample_size as u64 * batch_iters) as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  ({:.4e} elem/s)", n as f64 * 1e9 / mean_ns),
+        Throughput::Bytes(n) => format!("  ({:.4e} B/s)", n as f64 * 1e9 / mean_ns),
+    });
+    println!(
+        "bench {id}  {mean_ns:.1} ns/iter  (best {best_ns:.1}){}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group of benchmark functions, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

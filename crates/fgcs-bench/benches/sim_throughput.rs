@@ -1,0 +1,102 @@
+//! Simulator stepping throughput: the per-tick reference path
+//! (`run_ticks_stepwise`) versus the event-horizon batched path
+//! (`run_ticks`), in ticks per second, over three workload shapes:
+//!
+//! * `idle_heavy` — low-duty hosts that sleep most of every period; the
+//!   machine idles between wakes, so the batched path retires whole
+//!   sleep horizons at once;
+//! * `contended` — CPU-bound host and guest processes competing at
+//!   mixed priorities; batches span quantum runs;
+//! * `thrashing` — memory overcommit; work ticks go through the slow
+//!   path but iowait stalls batch.
+//!
+//! `scripts/ci.sh` runs this with `FGCS_BENCH_QUICK=1`; BENCH_sim.json
+//! records a full run's before/after ticks per second.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fgcs_sim::machine::{Machine, MachineConfig};
+use fgcs_sim::proc::{Demand, MemSpec, ProcClass, ProcSpec};
+use fgcs_sim::time::secs;
+
+/// Sub-percent-duty host mix — the paper's mostly-idle lab machine.
+/// Long sleeps between short bursts, so most wall time is idle and the
+/// batched path retires whole sleep horizons at once.
+fn idle_heavy() -> Machine {
+    let mut m = Machine::default_linux();
+    m.spawn(ProcSpec::new("h1", ProcClass::Host, 0, Demand::DutyCycle { busy: 2, idle: 998 }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new("h2", ProcClass::Host, 0, Demand::DutyCycle { busy: 5, idle: 1995 }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new("sys", ProcClass::System, 0, Demand::DutyCycle { busy: 1, idle: 4999 }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new("g", ProcClass::Guest, 19, Demand::DutyCycle { busy: 10, idle: 3990 }, MemSpec::tiny()));
+    m
+}
+
+/// CPU-bound contention: two hosts and two guests, mixed priorities —
+/// always someone runnable, batches bounded by quanta and margins.
+fn contended() -> Machine {
+    let mut m = Machine::default_linux();
+    m.spawn(ProcSpec::new("h1", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new("h2", ProcClass::Host, 5, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new("g1", ProcClass::Guest, 19, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new("g2", ProcClass::Guest, 10, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+    m
+}
+
+/// Memory overcommit on the small Solaris-class machine: every executed
+/// tick owes page-fault stall, most wall time is iowait.
+fn thrashing() -> Machine {
+    let mut m = Machine::new(MachineConfig::solaris_384mb());
+    m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::resident(250)));
+    m.spawn(ProcSpec::new("g", ProcClass::Guest, 19, Demand::CpuBound { total_work: None }, MemSpec::resident(250)));
+    m
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    let span = secs(10);
+    for (name, build) in [
+        ("idle_heavy", idle_heavy as fn() -> Machine),
+        ("contended", contended),
+        ("thrashing", thrashing),
+    ] {
+        // Warm one machine per path past spawn transients, then measure
+        // steady-state stepping. State carries across iterations — the
+        // workloads are steady, so every span is representative.
+        let mut stepwise = build();
+        stepwise.run_ticks_stepwise(secs(5));
+        let mut batched = build();
+        batched.run_ticks(secs(5));
+
+        g.throughput(Throughput::Elements(span));
+        g.bench_function(format!("stepwise/{name}"), |b| {
+            b.iter(|| {
+                stepwise.run_ticks_stepwise(span);
+                black_box(stepwise.now())
+            })
+        });
+        g.bench_function(format!("batched/{name}"), |b| {
+            b.iter(|| {
+                batched.run_ticks(span);
+                black_box(batched.now())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sim_throughput
+}
+criterion_main!(benches);

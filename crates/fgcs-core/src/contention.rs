@@ -109,17 +109,20 @@ pub fn reduction_point(lh: f64, m: usize, guest_nice: i8, cfg: &ContentionConfig
     // the paper's experimenters would (you cannot build a 5-process
     // group that only uses 5% of the CPU in total).
     let m = m.min(synthetic::max_group_size(lh));
-    let mut sum = 0.0;
-    for combo in 0..cfg.combos {
+    // Combos fan out across workers; each derives its RNG purely from
+    // (seed, combo index), and the rates are summed in combo order on
+    // the calling thread, so the mean is bit-identical to the serial
+    // loop at any worker count. Called from inside a sweep's worker this
+    // runs inline (fgcs-par never nests pools).
+    let rates = fgcs_par::par_jobs(cfg.combos, |combo| {
         // Independent deterministic stream per (LH, m, nice, combo).
         let stream = (lh * 1000.0) as u64 ^ ((m as u64) << 20) ^ ((guest_nice as u64) << 32) ^ ((combo as u64) << 40);
         let mut rng = Rng::for_stream(cfg.seed, stream);
         let hosts = synthetic::host_group(&mut rng, lh, m);
         let guest = synthetic::guest_process(guest_nice);
-        let meas = measure_group(&MachineConfig::default(), &hosts, Some(&guest), cfg);
-        sum += meas.reduction_rate;
-    }
-    sum / cfg.combos as f64
+        measure_group(&MachineConfig::default(), &hosts, Some(&guest), cfg).reduction_rate
+    });
+    rates.iter().sum::<f64>() / cfg.combos as f64
 }
 
 /// A row of the Figure 1 data: group size, target load, mean reduction.
@@ -285,33 +288,37 @@ pub struct Table1Row {
 /// Reproduces Table 1 by measuring every application and workload alone
 /// on the Solaris-class machine.
 pub fn table1_measurements(cfg: &ContentionConfig) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
-    for a in spec::all() {
+    // Each row is an independent measurement on its own fresh machine;
+    // par_map preserves input order, so the table keeps the paper's
+    // apps-then-workloads row order.
+    let apps = spec::all();
+    let mut rows = fgcs_par::par_map(&apps, |a| {
         // A lone guest's usage is reported in the guest counter.
         let mut m = Machine::new(MachineConfig::solaris_384mb());
         m.spawn(a.guest_spec(0));
         m.run_ticks(secs(cfg.warmup_secs));
         let acct = m.measure(secs(cfg.measure_secs));
-        rows.push(Table1Row {
+        Table1Row {
             name: a.name,
             cpu_usage: acct.guest_load(),
             resident_mb: a.resident_mb,
             virtual_mb: a.virtual_mb,
-        });
-    }
-    for h in musbus::all() {
+        }
+    });
+    let workloads = musbus::all();
+    rows.extend(fgcs_par::par_map(&workloads, |h| {
         let meas = measure_group(&MachineConfig::solaris_384mb(), &h.processes(), None, cfg);
         let (res, virt) = h
             .processes()
             .iter()
             .fold((0, 0), |(r, v), p| (r + p.mem.resident_mb, v + p.mem.virtual_mb));
-        rows.push(Table1Row {
+        Table1Row {
             name: h.name,
             cpu_usage: meas.lh_isolated,
             resident_mb: res,
             virtual_mb: virt,
-        });
-    }
+        }
+    }));
     rows
 }
 

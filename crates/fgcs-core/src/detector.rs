@@ -17,14 +17,12 @@
 //!   delay — §5.2: "the system should wait for about 5 minutes before
 //!   harvesting a machine recently released from heavy host workloads".
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::{AvailState, FailureCause, LoadBand, Thresholds};
 use crate::monitor::Observation;
 
 /// Detector timing and threshold configuration. Times are in the same
 /// unit as the timestamps passed to [`Detector::observe`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
     /// The contention thresholds.
     pub thresholds: Thresholds,
@@ -62,7 +60,7 @@ impl DetectorConfig {
 }
 
 /// What the FGCS middleware should do to the guest job after a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GuestAction {
     /// Restore the guest to default priority (entering S1).
     RestoreDefaultPriority,
@@ -79,7 +77,7 @@ pub enum GuestAction {
 }
 
 /// Start/end edge of an unavailability occurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventEdge {
     /// Unavailability began.
     Started {

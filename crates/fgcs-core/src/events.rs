@@ -7,13 +7,11 @@
 //! during which a guest application may utilize host resources or get
 //! suspended, but does not fail" (§5.2, Figure 6).
 
-use serde::{Deserialize, Serialize};
-
 use crate::detector::EventEdge;
 use crate::model::FailureCause;
 
 /// One occurrence of resource unavailability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnavailEvent {
     /// Failure cause (S3/S4/S5).
     pub cause: FailureCause,

@@ -12,10 +12,8 @@
 //! even if host load later drops or the machine comes back, the guest has
 //! been killed or migrated and no state remains on the host.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the five availability states of Figure 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AvailState {
     /// Full availability: host CPU load below `Th1`.
     S1,
@@ -92,7 +90,7 @@ impl std::fmt::Display for AvailState {
 
 /// Why a resource became unavailable. The paper's Table 2 splits UEC
 /// into CPU and memory contention and contrasts both with URR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FailureCause {
     /// UEC — host CPU load steadily above `Th2` (state S3).
     CpuContention,
@@ -135,7 +133,7 @@ impl std::fmt::Display for FailureCause {
 /// On the paper's Linux testbed `Th1 = 20%` and `Th2 = 60%`;
 /// [`Thresholds::LINUX_TESTBED`] captures those values, and
 /// [`crate::calibrate`] re-derives them from our simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Thresholds {
     /// Host load above which the guest must drop to lowest priority.
     pub th1: f64,

@@ -13,8 +13,6 @@
 //! per-host-process instrumentation, no knowledge of contention-free
 //! performance, exactly the paper's constraint.
 
-use serde::{Deserialize, Serialize};
-
 /// What a machine exposes to the monitor — the `vmstat`/`prstat` surface.
 pub trait ResourceProbe {
     /// Cumulative (host+system CPU ticks, total ticks) since boot.
@@ -43,7 +41,7 @@ impl ResourceProbe for fgcs_sim::Machine {
 }
 
 /// One monitor sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
     /// Host CPU load over the last sampling period, in `[0, 1]`.
     pub host_load: f64,

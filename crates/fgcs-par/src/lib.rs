@@ -17,29 +17,59 @@
 //! Work is distributed by an atomic fetch-add over the item index — a
 //! degenerate but effective form of work stealing for items whose cost
 //! varies by an order of magnitude or less, which is the case for every
-//! sweep in this workspace. Results land in pre-allocated slots, so no
-//! ordering or locking is involved on the hot path.
+//! sweep in this workspace. Each worker writes results into a disjoint
+//! region handed out by `split_off`-style slicing, so no locking is
+//! involved on the hot path.
 //!
 //! Panics in workers are propagated: if any item's closure panics, the
 //! calling thread panics after the scope joins (`std::thread::scope`
 //! semantics), never silently dropping results.
+//!
+//! ## Worker count
+//!
+//! The pool size defaults to `std::thread::available_parallelism()`,
+//! capped by the item count. Set the `FGCS_PAR_WORKERS` environment
+//! variable to a positive integer to override it — `FGCS_PAR_WORKERS=1`
+//! forces fully serial execution (useful for profiling and for
+//! confirming that a sweep's output is independent of the worker count).
+//!
+//! ## Nesting
+//!
+//! Calls nested inside a worker (e.g. a parallel sweep whose per-point
+//! closure itself calls [`par_map`]) run inline on the worker thread
+//! rather than spawning a second tier of threads. The outer call already
+//! saturates the machine; nesting would only add oversubscription.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
+std::thread_local! {
+    /// True while the current thread is a pool worker; nested calls see
+    /// this and run inline instead of spawning another pool.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
 
-/// Returns the worker count used by [`par_map`]: the available
-/// parallelism, capped by the item count (and at least 1).
+/// Returns the worker count used by [`par_map`]: the `FGCS_PAR_WORKERS`
+/// environment variable if set to a positive integer, otherwise the
+/// available parallelism — either way capped by the item count (and at
+/// least 1).
 pub fn default_workers(items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::env::var("FGCS_PAR_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
     hw.min(items).max(1)
 }
 
 /// Applies `f` to every element of `items` in parallel, returning results
-/// in input order. Runs inline (no threads) when `items.len() <= 1`.
+/// in input order. Runs inline (no threads) when `items.len() <= 1` or
+/// when called from within another `fgcs-par` worker.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -66,32 +96,46 @@ where
         return Vec::new();
     }
     let workers = default_workers(n);
-    if workers == 1 {
+    if workers == 1 || IN_WORKER.with(|w| w.get()) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
-    // Pre-allocated result slots; each is written exactly once by the
-    // worker that claimed the corresponding index.
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Workers claim fixed-size chunks of the index space and buffer each
+    // chunk's results locally, so the shared slot table is touched once
+    // per chunk rather than once per item.
+    let chunk = (n / (workers * 8)).max(1);
+    let chunks = n.div_ceil(chunk);
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(n);
+                    let buf: Vec<R> =
+                        (lo..hi).map(|i| f(i, &items[i])).collect();
+                    *slots[c].lock().expect("result slot poisoned") = Some(buf);
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock() = Some(r);
             });
         }
     });
 
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("worker filled every claimed slot"))
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        let buf = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("worker filled every claimed chunk");
+        out.extend(buf);
+    }
+    out
 }
 
 /// Parallel fold: maps every item with `f`, then reduces the per-item
@@ -191,9 +235,35 @@ mod tests {
             for i in 0..(x % 7) * 100_000 {
                 acc = acc.wrapping_add(i);
             }
-            (x, acc).0
+            std::hint::black_box(acc);
+            x
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let outer: Vec<u64> = (0..8).collect();
+        let out = par_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..100).collect();
+            par_map(&inner, |&y| x * 1000 + y).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> =
+            (0..8).map(|x| (0..100).map(|y| x * 1000 + y).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunked_results_cover_non_divisible_lengths() {
+        // Lengths straddling chunk boundaries must not drop or reorder.
+        for n in [2usize, 3, 7, 63, 64, 65, 257] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map_indexed(&items, |i, &x| {
+                assert_eq!(i, x);
+                x + 1
+            });
+            assert_eq!(out, (1..=n).collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -213,5 +283,22 @@ mod tests {
         assert_eq!(default_workers(0), 1);
         assert_eq!(default_workers(1), 1);
         assert!(default_workers(1000) >= 1);
+    }
+
+    #[test]
+    fn worker_env_override() {
+        // Serialized via a process-wide lock would be overkill for one
+        // test; set, check, and restore in one place instead.
+        let prev = std::env::var("FGCS_PAR_WORKERS").ok();
+        std::env::set_var("FGCS_PAR_WORKERS", "3");
+        assert_eq!(default_workers(1000), 3);
+        std::env::set_var("FGCS_PAR_WORKERS", "0"); // invalid: ignored
+        assert!(default_workers(1000) >= 1);
+        std::env::set_var("FGCS_PAR_WORKERS", "junk"); // invalid: ignored
+        assert!(default_workers(1000) >= 1);
+        match prev {
+            Some(v) => std::env::set_var("FGCS_PAR_WORKERS", v),
+            None => std::env::remove_var("FGCS_PAR_WORKERS"),
+        }
     }
 }

@@ -35,7 +35,7 @@
 //! §3.2.3 observation that thrashing drags the host down *regardless of
 //! CPU priorities* (the starred bars of Figure 4).
 
-use crate::proc::{nice_to_ticks, Pid, ProcClass, ProcSpec, Process};
+use crate::proc::{nice_to_ticks, Pid, ProcClass, ProcSpec, Process, RunState};
 use crate::time::Tick;
 
 /// Machine configuration.
@@ -174,6 +174,24 @@ pub struct Machine {
     stall_debt: f64,
     /// Optional scheduling-decision log: (tick, pid) per executed tick.
     run_log: Option<Vec<(Tick, Pid)>>,
+    /// Cached sum of resident sets of all memory-occupying processes, in
+    /// MB (excludes the kernel share). Maintained incrementally at every
+    /// process state transition so `memory_efficiency` is O(1).
+    resident_all_mb: u32,
+    /// Cached resident sum of memory-occupying host+system processes.
+    resident_host_mb: u32,
+    /// Cached number of runnable processes.
+    runnable_count: usize,
+    /// Cached minimum `remaining` over sleeping processes (`None` when
+    /// nobody sleeps) — the next-wake horizon for the batched fast path.
+    /// Stored relative, not as an absolute wake tick: iowait stalls
+    /// freeze sleep timers while `now` advances, and a relative horizon
+    /// survives those batches unchanged. Only meaningful while
+    /// `sleep_min_valid`; control calls that touch a sleeper invalidate
+    /// it and the next scheduling scan recomputes it for free.
+    sleep_min: Option<u64>,
+    /// Whether `sleep_min` reflects the process table.
+    sleep_min_valid: bool,
 }
 
 impl Machine {
@@ -189,6 +207,11 @@ impl Machine {
             iowait_until: 0,
             stall_debt: 0.0,
             run_log: None,
+            resident_all_mb: 0,
+            resident_host_mb: 0,
+            runnable_count: 0,
+            sleep_min: None,
+            sleep_min_valid: true,
         }
     }
 
@@ -227,8 +250,103 @@ impl Machine {
     /// Spawns a process, returning its pid.
     pub fn spawn(&mut self, spec: ProcSpec) -> Pid {
         let pid = Pid(self.procs.len() as u32);
-        self.procs.push(Process::spawn(pid, spec, self.now));
+        let p = Process::spawn(pid, spec, self.now);
+        if p.occupies_memory() {
+            self.resident_all_mb += p.spec.mem.resident_mb;
+            if p.spec.class.counts_as_host() {
+                self.resident_host_mb += p.spec.mem.resident_mb;
+            }
+        }
+        if p.is_runnable() {
+            self.runnable_count += 1;
+        }
+        if let RunState::Sleeping { remaining } = p.state {
+            // A spawn can begin asleep (phase list with zero leading
+            // work); fold it into the wake horizon directly.
+            self.sleep_min = Some(match self.sleep_min {
+                Some(m) => m.min(remaining),
+                None => remaining,
+            });
+        }
+        self.procs.push(p);
         pid
+    }
+
+    /// Applies `f` to process `i` and reconciles the cached aggregates
+    /// with whatever state transition it caused. Class and resident size
+    /// never change after spawn, so diffing `(occupies_memory,
+    /// is_runnable)` captures every transition that matters; the sleep
+    /// horizon is invalidated whenever a sleeper is involved and
+    /// recomputed by the next scheduling scan.
+    fn mutate_proc(&mut self, i: usize, f: impl FnOnce(&mut Process)) {
+        let was_occupying = self.procs[i].occupies_memory();
+        let was_runnable = self.procs[i].is_runnable();
+        let sleep_before = matches!(self.procs[i].state, RunState::Sleeping { .. });
+        f(&mut self.procs[i]);
+        self.reconcile_aggregates(i, was_occupying, was_runnable);
+        if sleep_before || matches!(self.procs[i].state, RunState::Sleeping { .. }) {
+            self.sleep_min_valid = false;
+        }
+    }
+
+    /// Adjusts the cached aggregates after process `i` changed state.
+    fn reconcile_aggregates(&mut self, i: usize, was_occupying: bool, was_runnable: bool) {
+        let p = &self.procs[i];
+        if p.occupies_memory() != was_occupying {
+            let mb = p.spec.mem.resident_mb;
+            if was_occupying {
+                self.resident_all_mb -= mb;
+                if p.spec.class.counts_as_host() {
+                    self.resident_host_mb -= mb;
+                }
+            } else {
+                self.resident_all_mb += mb;
+                if p.spec.class.counts_as_host() {
+                    self.resident_host_mb += mb;
+                }
+            }
+        }
+        if p.is_runnable() != was_runnable {
+            if was_runnable {
+                self.runnable_count -= 1;
+            } else {
+                self.runnable_count += 1;
+            }
+        }
+    }
+
+    /// Recomputes every cached aggregate from the process table and
+    /// panics on any mismatch. Debug-build insurance that the
+    /// incremental bookkeeping never drifts from the ground truth.
+    #[cfg(debug_assertions)]
+    fn assert_aggregates(&self) {
+        let all: u32 = self
+            .procs
+            .iter()
+            .filter(|p| p.occupies_memory())
+            .map(|p| p.spec.mem.resident_mb)
+            .sum();
+        let host: u32 = self
+            .procs
+            .iter()
+            .filter(|p| p.occupies_memory() && p.spec.class.counts_as_host())
+            .map(|p| p.spec.mem.resident_mb)
+            .sum();
+        let runnable = self.procs.iter().filter(|p| p.is_runnable()).count();
+        assert_eq!(self.resident_all_mb, all, "resident aggregate drifted");
+        assert_eq!(self.resident_host_mb, host, "host resident aggregate drifted");
+        assert_eq!(self.runnable_count, runnable, "runnable count drifted");
+        if self.sleep_min_valid {
+            let min = self
+                .procs
+                .iter()
+                .filter_map(|p| match p.state {
+                    RunState::Sleeping { remaining } => Some(remaining),
+                    _ => None,
+                })
+                .min();
+            assert_eq!(self.sleep_min, min, "sleep horizon drifted");
+        }
     }
 
     fn index(&self, pid: Pid) -> Result<usize, SimError> {
@@ -262,7 +380,7 @@ impl Machine {
     /// Terminates a process (SIGKILL).
     pub fn kill(&mut self, pid: Pid) -> Result<(), SimError> {
         let i = self.live_index(pid)?;
-        self.procs[i].kill();
+        self.mutate_proc(i, |p| p.kill());
         Ok(())
     }
 
@@ -280,14 +398,14 @@ impl Machine {
     /// Suspends a process (SIGSTOP).
     pub fn suspend(&mut self, pid: Pid) -> Result<(), SimError> {
         let i = self.live_index(pid)?;
-        self.procs[i].suspend();
+        self.mutate_proc(i, |p| p.suspend());
         Ok(())
     }
 
     /// Resumes a suspended process (SIGCONT).
     pub fn resume(&mut self, pid: Pid) -> Result<(), SimError> {
         let i = self.live_index(pid)?;
-        self.procs[i].resume();
+        self.mutate_proc(i, |p| p.resume());
         Ok(())
     }
 
@@ -297,24 +415,16 @@ impl Machine {
     }
 
     /// Resident memory of host + system processes, in MB (excludes
-    /// suspended/exited processes and the kernel).
+    /// suspended/exited processes and the kernel). O(1): served from the
+    /// incrementally maintained aggregate.
     pub fn host_resident_mb(&self) -> u32 {
-        self.procs
-            .iter()
-            .filter(|p| p.occupies_memory() && p.spec.class.counts_as_host())
-            .map(|p| p.spec.mem.resident_mb)
-            .sum()
+        self.resident_host_mb
     }
 
     /// Total resident memory including guest processes and the kernel.
+    /// O(1): served from the incrementally maintained aggregate.
     pub fn total_resident_mb(&self) -> u32 {
-        let procs: u32 = self
-            .procs
-            .iter()
-            .filter(|p| p.occupies_memory())
-            .map(|p| p.spec.mem.resident_mb)
-            .sum();
-        procs + self.cfg.kernel_mem_mb
+        self.resident_all_mb + self.cfg.kernel_mem_mb
     }
 
     /// Memory available for a (new or running) guest working set, in MB:
@@ -355,14 +465,27 @@ impl Machine {
             self.iowait_until = self.now;
         }
 
-        // 1. Wake expiring sleepers so they can compete this tick.
-        for p in &mut self.procs {
-            p.sleep_tick();
+        // 1. Wake expiring sleepers so they can compete this tick. The
+        //    loop already visits every sleeper, so refresh the wake
+        //    horizon and the aggregates as it goes (a wake can also be an
+        //    exit, via the phase-list sentinel).
+        let mut min_sleep: Option<u64> = None;
+        for i in 0..self.procs.len() {
+            if !matches!(self.procs[i].state, RunState::Sleeping { .. }) {
+                continue;
+            }
+            let was_occupying = self.procs[i].occupies_memory();
+            self.procs[i].sleep_tick();
+            self.reconcile_aggregates(i, was_occupying, false);
+            if let RunState::Sleeping { remaining } = self.procs[i].state {
+                min_sleep = Some(min_sleep.map_or(remaining, |m| m.min(remaining)));
+            }
         }
+        self.sleep_min = min_sleep;
+        self.sleep_min_valid = true;
 
-        // 2. Collect runnables.
-        let any_runnable = self.procs.iter().any(|p| p.is_runnable());
-        if !any_runnable {
+        // 2. Idle if nothing is runnable.
+        if self.runnable_count == 0 {
             self.acct.idle += 1;
             self.now += 1;
             self.current = None;
@@ -416,6 +539,15 @@ impl Machine {
             p.counter = p.counter.saturating_sub(1);
             p.run_tick(1.0);
         }
+        // The tick may have completed the busy period: the chosen can now
+        // be sleeping or exited.
+        self.reconcile_aggregates(chosen, true, true);
+        if let RunState::Sleeping { remaining } = self.procs[chosen].state {
+            self.sleep_min = Some(match self.sleep_min {
+                Some(m) => m.min(remaining),
+                None => remaining,
+            });
+        }
         if eff < 1.0 {
             self.stall_debt += ((1.0 - eff) / eff).min(50.0);
             let whole = self.stall_debt.floor();
@@ -447,10 +579,223 @@ impl Machine {
     }
 
     /// Advances the machine by `n` ticks.
+    ///
+    /// Uses the event-horizon fast path: whole runs of ticks whose
+    /// scheduling decision provably cannot change are retired in one
+    /// bulk update, falling back to [`Machine::step`] on every tick
+    /// where an event (a wake, an epoch recalculation, a quantum or
+    /// busy-period boundary, a thrashing transition) can alter the
+    /// outcome. Tick-for-tick equivalent to calling `step()` `n` times —
+    /// see `tests/equivalence.rs` and the DESIGN notes.
     pub fn run_ticks(&mut self, n: u64) {
+        let mut rem = n;
+        while rem > 0 {
+            let k = self.try_batch(rem);
+            if k == 0 {
+                self.step();
+                rem -= 1;
+            } else {
+                rem -= k;
+            }
+        }
+    }
+
+    /// Advances the machine by `n` ticks strictly through the per-tick
+    /// reference path, never batching. The equivalence suite drives one
+    /// machine through this and a twin through [`Machine::run_ticks`];
+    /// the throughput benchmarks use it as the before-optimization
+    /// baseline.
+    pub fn run_ticks_stepwise(&mut self, n: u64) {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Attempts to retire up to `rem` ticks whose outcome is fully
+    /// determined, in O(procs) bulk updates. Returns the number of ticks
+    /// retired; 0 means the next tick must go through [`Machine::step`].
+    ///
+    /// A run of ticks is batchable when no *event* lands inside it. The
+    /// events, each contributing one bound on the batch length `k`:
+    ///
+    /// * the chosen process exhausts its quantum (`counter`);
+    /// * the chosen's decaying goodness falls below the best other
+    ///   runnable's constant goodness (`margin`);
+    /// * the chosen finishes its busy period (`busy_left`);
+    /// * the earliest sleeper's timer expires (`min_sleep`);
+    /// * a pending iowait stall ends (`iowait_until`).
+    ///
+    /// Epoch recalculations, wakes due *this* tick, and thrashing ticks
+    /// (fractional efficiency) are never batched.
+    fn try_batch(&mut self, rem: u64) -> u64 {
+        #[cfg(debug_assertions)]
+        self.assert_aggregates();
+        if rem < 2 {
+            return 0;
+        }
+
+        // Pending page-fault stall: sleep timers are frozen and nobody
+        // computes, so the whole remaining stall collapses into one
+        // update while the memory pressure lasts. `step()` re-checks the
+        // pressure every stall tick, but nothing can change it mid-stall
+        // (only control calls can, and they end any batch by returning
+        // to the caller), so one check covers the run.
+        if self.now < self.iowait_until {
+            if self.is_thrashing() {
+                let k = rem.min(self.iowait_until - self.now);
+                self.acct.iowait += k;
+                self.now += k;
+                return k;
+            }
+            self.iowait_until = self.now;
+        }
+
+        // Thrashing work ticks retire fractional demand and must go tick
+        // by tick; bail before paying for the scan. `is_thrashing()`
+        // (an O(1) compare on the cached aggregate) is the same
+        // predicate as `memory_efficiency() < 1.0` without the `powf`.
+        // Idle batching stays legal under memory pressure — nobody
+        // computes — so only bail when someone is runnable.
+        if self.runnable_count > 0 && self.is_thrashing() {
+            return 0;
+        }
+
+        // One scan replaces step()'s separate wake / selection passes:
+        // scheduler selection under the exact step() rules, the
+        // runner-up goodness for the margin bound, and the wake horizon.
+        let mut best: Option<usize> = None;
+        let mut best_g = 0i64;
+        let mut runner_up_g = 0i64;
+        let mut other_runnables = false;
+        let mut min_sleep: Option<u64> = None;
+        for (i, p) in self.procs.iter().enumerate() {
+            match p.state {
+                RunState::Sleeping { remaining } => {
+                    min_sleep = Some(min_sleep.map_or(remaining, |m| m.min(remaining)));
+                }
+                RunState::Runnable => {
+                    let g = goodness(p);
+                    let wins = match best {
+                        None => true,
+                        Some(b) => {
+                            g > best_g
+                                || (g == best_g
+                                    && Some(i) == self.current
+                                    && Some(b) != self.current)
+                        }
+                    };
+                    if wins {
+                        if best.is_some() {
+                            other_runnables = true;
+                            runner_up_g = runner_up_g.max(best_g);
+                        }
+                        best = Some(i);
+                        best_g = g;
+                    } else {
+                        other_runnables = true;
+                        runner_up_g = runner_up_g.max(g);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.sleep_min_valid {
+            debug_assert_eq!(self.sleep_min, min_sleep, "sleep horizon drifted");
+        }
+        self.sleep_min = min_sleep;
+        self.sleep_min_valid = true;
+
+        if min_sleep == Some(0) {
+            return 0; // a sleeper wakes this tick and competes
+        }
+
+        let Some(chosen) = best else {
+            // Idle horizon: nothing can become runnable before the next
+            // wake (or ever, if nobody sleeps).
+            let k = min_sleep.map_or(rem, |m| rem.min(m));
+            if k < 2 {
+                return 0;
+            }
+            for p in &mut self.procs {
+                p.sleep_bulk(k);
+            }
+            if let Some(m) = &mut self.sleep_min {
+                *m -= k;
+            }
+            self.acct.idle += k;
+            self.current = None;
+            self.now += k;
+            return k;
+        };
+
+        if best_g == 0 {
+            return 0; // epoch boundary: step() recalculates quanta
+        }
+
+        // The chosen's goodness decays by one per tick while every other
+        // runnable's stays constant, and ties prefer the current process
+        // (which the chosen is from its first batched tick on), so it
+        // keeps winning for `best_g - runner_up_g + 1` ticks. The margin
+        // can't outlive the quantum: goodness = counter + (20 - nice)
+        // with 20 - nice >= 1, so the counter bound always binds first.
+        let margin = if other_runnables {
+            (best_g - runner_up_g + 1) as u64
+        } else {
+            u64::MAX
+        };
+        let p = &self.procs[chosen];
+        let mut k = rem.min(p.counter).min(p.progress.busy_left).min(margin);
+        if let Some(m) = min_sleep {
+            k = k.min(m);
+        }
+        if k < 2 {
+            return 0;
+        }
+
+        // Bulk-apply the k identical ticks in step() order. Sleep timers
+        // tick down exactly as on the per-tick path; k <= min_sleep so
+        // nobody wakes mid-batch, and the chosen's own new sleep (if its
+        // busy period ends with the batch) starts *after* these ticks,
+        // so it must not be decremented here — run_bulk runs after.
+        for sp in &mut self.procs {
+            sp.sleep_bulk(k);
+        }
+        if let Some(m) = &mut self.sleep_min {
+            *m -= k;
+        }
+        {
+            let p = &mut self.procs[chosen];
+            p.counter -= k;
+            p.run_bulk(k);
+        }
+        self.reconcile_aggregates(chosen, true, true);
+        if let RunState::Sleeping { remaining } = self.procs[chosen].state {
+            self.sleep_min = Some(match self.sleep_min {
+                Some(m) => m.min(remaining),
+                None => remaining,
+            });
+        }
+        // Full efficiency on every batched tick: step() clears any
+        // leftover fractional stall debt on such ticks.
+        self.stall_debt = 0.0;
+        match self.procs[chosen].spec.class {
+            ProcClass::Host => self.acct.host += k,
+            ProcClass::System => self.acct.system += k,
+            ProcClass::Guest => self.acct.guest += k,
+        }
+        if let Some(log) = &mut self.run_log {
+            let pid = self.procs[chosen].pid;
+            let t0 = self.now;
+            log.extend((0..k).map(|j| (t0 + j, pid)));
+        }
+        for (i, sp) in self.procs.iter_mut().enumerate() {
+            if i != chosen && sp.is_runnable() {
+                sp.wait_ticks += k;
+            }
+        }
+        self.current = Some(chosen);
+        self.now += k;
+        k
     }
 
     /// Measures CPU accounting over the next `ticks` ticks and returns

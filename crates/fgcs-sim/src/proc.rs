@@ -315,6 +315,39 @@ impl Process {
         }
     }
 
+    /// Consumes `k` ticks of CPU at full efficiency in one call —
+    /// equivalent to `k` consecutive `run_tick(1.0)` calls. At full
+    /// efficiency every tick retires exactly one tick of demand and
+    /// leaves `work_frac` unchanged, so only the counters move. The
+    /// caller must guarantee `k <= busy_left`, so the demand pattern can
+    /// settle at most once, at the end of the batch.
+    pub fn run_bulk(&mut self, k: u64) {
+        debug_assert!(self.is_runnable(), "ran a non-runnable process");
+        debug_assert!(k <= self.progress.busy_left, "bulk run overshoots the busy period");
+        // `run_tick(1.0)` computes `(work_frac + 1.0) - 1.0`, which snaps
+        // a sub-ulp fraction left over from thrashing onto the 2^-52
+        // grid; once on the grid the value is a fixed point, so applying
+        // the rounding once reproduces k applications exactly.
+        self.work_frac = (self.work_frac + 1.0) - 1.0;
+        self.cpu_ticks += k;
+        self.progress.busy_left -= k;
+        if self.progress.busy_left == 0 {
+            self.settle_after_work();
+        }
+    }
+
+    /// Advances a sleeping process's timer by `k` ticks at once —
+    /// equivalent to `k` [`Process::sleep_tick`] calls that all leave it
+    /// asleep. The caller must guarantee `k <= remaining` (a timer at
+    /// zero wakes on the *next* tick, which must go through the per-tick
+    /// path). No-op for other states.
+    pub fn sleep_bulk(&mut self, k: u64) {
+        if let RunState::Sleeping { remaining } = self.state {
+            debug_assert!(k <= remaining, "bulk sleep would skip the wake tick");
+            self.state = RunState::Sleeping { remaining: remaining - k };
+        }
+    }
+
     /// Called when the current busy period completes: move to the next
     /// sleep / phase / exit according to the demand pattern.
     fn settle_after_work(&mut self) {

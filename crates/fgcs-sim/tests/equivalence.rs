@@ -1,0 +1,192 @@
+//! Tick-exact equivalence between the per-tick reference path and the
+//! event-horizon batched path.
+//!
+//! Two machines are driven through identical schedules of spawns, kills,
+//! renices, suspends and resumes; one advances via `step()` (through
+//! `run_ticks_stepwise`), the other via the batched `run_ticks` in
+//! randomly sized chunks. After every segment the complete observable
+//! state must be identical: clock, cumulative CPU accounting, recalc
+//! count, memory aggregates, per-pid cpu/wait ticks, quantum counters,
+//! run states, and the full scheduling log.
+
+use fgcs_sim::machine::{Machine, MachineConfig};
+use fgcs_sim::proc::{Demand, MemSpec, Phase, Pid, ProcClass, ProcSpec};
+use fgcs_stats::rng::Rng;
+
+/// Asserts every observable of the two machines is identical.
+fn assert_same(a: &Machine, b: &Machine, ctx: &str) {
+    assert_eq!(a.now(), b.now(), "clock diverged ({ctx})");
+    assert_eq!(a.accounting(), b.accounting(), "accounting diverged ({ctx})");
+    assert_eq!(a.recalc_count(), b.recalc_count(), "recalcs diverged ({ctx})");
+    assert_eq!(a.total_resident_mb(), b.total_resident_mb(), "memory diverged ({ctx})");
+    assert_eq!(a.host_resident_mb(), b.host_resident_mb(), "host memory diverged ({ctx})");
+    let pa: Vec<_> = a.processes().collect();
+    let pb: Vec<_> = b.processes().collect();
+    assert_eq!(pa.len(), pb.len(), "process count diverged ({ctx})");
+    for (x, y) in pa.iter().zip(&pb) {
+        let pid = x.pid;
+        assert_eq!(x.cpu_ticks, y.cpu_ticks, "{pid} cpu_ticks diverged ({ctx})");
+        assert_eq!(x.wait_ticks, y.wait_ticks, "{pid} wait_ticks diverged ({ctx})");
+        assert_eq!(x.counter, y.counter, "{pid} counter diverged ({ctx})");
+        assert_eq!(x.state, y.state, "{pid} state diverged ({ctx})");
+        assert_eq!(x.nice, y.nice, "{pid} nice diverged ({ctx})");
+        assert_eq!(x.progress, y.progress, "{pid} progress diverged ({ctx})");
+        assert!(
+            x.work_frac == y.work_frac,
+            "{pid} work_frac diverged: {} vs {} ({ctx})",
+            x.work_frac,
+            y.work_frac
+        );
+    }
+    assert_eq!(a.run_log(), b.run_log(), "run log diverged ({ctx})");
+}
+
+/// A random process spec drawn from a mix that exercises every demand
+/// pattern, both classes, the full nice range, and footprints from tiny
+/// to thrash-inducing.
+fn random_spec(rng: &mut Rng, heavy_mem: bool, sleepy: bool) -> ProcSpec {
+    let class = if rng.chance(0.5) { ProcClass::Host } else { ProcClass::Guest };
+    let nice = rng.range_u64(0, 19) as i8;
+    let demand = match rng.below(if sleepy { 5 } else { 4 }) {
+        0 => Demand::CpuBound { total_work: None },
+        1 => Demand::CpuBound { total_work: Some(rng.range_u64(1, 400)) },
+        2 => Demand::DutyCycle {
+            busy: rng.range_u64(1, 50),
+            idle: rng.range_u64(1, 80),
+        },
+        3 => {
+            let n = rng.range_u64(1, 4) as usize;
+            let phases = (0..n)
+                .map(|_| Phase {
+                    busy: rng.range_u64(1, 30),
+                    idle: rng.range_u64(0, 40),
+                })
+                .collect();
+            Demand::Phases { phases, repeat: rng.chance(0.5) }
+        }
+        // Sleeper-heavy mix: long sleeps dominate so idle batching and
+        // wake ordering get a workout.
+        _ => Demand::DutyCycle {
+            busy: rng.range_u64(1, 3),
+            idle: rng.range_u64(100, 1000),
+        },
+    };
+    let mem = if heavy_mem && rng.chance(0.4) {
+        MemSpec::resident(rng.range_u64(100, 400) as u32)
+    } else {
+        MemSpec::tiny()
+    };
+    ProcSpec::new(format!("p{}", rng.next_u32()), class, nice, demand, mem)
+}
+
+/// Drives a stepwise/batched machine pair through one random schedule.
+fn fuzz_one(seed: u64, heavy_mem: bool, sleepy: bool) {
+    let mut rng = Rng::for_stream(0xE9_01_44_FE, seed);
+    let cfg = if heavy_mem {
+        MachineConfig::solaris_384mb()
+    } else {
+        MachineConfig::default()
+    };
+    let mut reference = Machine::new(cfg.clone());
+    let mut batched = Machine::new(cfg);
+    reference.enable_run_log();
+    batched.enable_run_log();
+
+    let mut spawned: u32 = 0;
+    for seg in 0..40 {
+        // A random control action, mirrored on both machines.
+        match rng.below(6) {
+            0 | 1 => {
+                let spec = random_spec(&mut rng, heavy_mem, sleepy);
+                let pa = reference.spawn(spec.clone());
+                let pb = batched.spawn(spec);
+                assert_eq!(pa, pb);
+                spawned += 1;
+            }
+            2 if spawned > 0 => {
+                let pid = Pid(rng.below(spawned as u64) as u32);
+                let _ = reference.kill(pid);
+                let _ = batched.kill(pid);
+            }
+            3 if spawned > 0 => {
+                let pid = Pid(rng.below(spawned as u64) as u32);
+                let nice = rng.range_u64(0, 19) as i8;
+                let _ = reference.renice(pid, nice);
+                let _ = batched.renice(pid, nice);
+            }
+            4 if spawned > 0 => {
+                let pid = Pid(rng.below(spawned as u64) as u32);
+                let _ = reference.suspend(pid);
+                let _ = batched.suspend(pid);
+            }
+            5 if spawned > 0 => {
+                let pid = Pid(rng.below(spawned as u64) as u32);
+                let _ = reference.resume(pid);
+                let _ = batched.resume(pid);
+            }
+            _ => {}
+        }
+
+        // Advance both by the same span; the batched machine covers it
+        // in random-size chunks so batch boundaries land everywhere.
+        let span = rng.range_u64(1, 500);
+        reference.run_ticks_stepwise(span);
+        let mut left = span;
+        while left > 0 {
+            let chunk = rng.range_u64(1, left.min(200) + 1).min(left);
+            batched.run_ticks(chunk);
+            left -= chunk;
+        }
+        assert_same(&reference, &batched, &format!("seed {seed} segment {seg}"));
+    }
+}
+
+#[test]
+fn batched_equals_stepwise_light_workloads() {
+    for seed in 0..12 {
+        fuzz_one(seed, false, false);
+    }
+}
+
+#[test]
+fn batched_equals_stepwise_thrashing_workloads() {
+    for seed in 100..112 {
+        fuzz_one(seed, true, false);
+    }
+}
+
+#[test]
+fn batched_equals_stepwise_sleeper_heavy_workloads() {
+    for seed in 200..212 {
+        fuzz_one(seed, false, true);
+    }
+}
+
+#[test]
+fn batched_equals_stepwise_thrashing_and_sleepy() {
+    for seed in 300..308 {
+        fuzz_one(seed, true, true);
+    }
+}
+
+/// The documented six-to-one epoch pattern must survive batching with
+/// the run log enabled (per-tick entries, identical to the reference).
+#[test]
+fn run_log_batches_are_per_tick() {
+    let mut m = Machine::default_linux();
+    m.spawn(ProcSpec::new(
+        "h",
+        ProcClass::Host,
+        0,
+        Demand::CpuBound { total_work: None },
+        MemSpec::tiny(),
+    ));
+    m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+    m.enable_run_log();
+    m.run_ticks(70);
+    let log = m.run_log();
+    assert_eq!(log.len(), 70);
+    for (j, &(t, _)) in log.iter().enumerate() {
+        assert_eq!(t, j as u64, "log must hold one entry per tick");
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod analysis;
 pub mod calendar;
+pub mod json;
 pub mod lab;
 pub mod loadtrace;
 pub mod runner;

@@ -12,12 +12,12 @@
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
-use serde::{Deserialize, Serialize};
-
 use fgcs_core::model::{AvailState, FailureCause, Thresholds};
 
+use crate::json::{self, ObjWriter, Value};
+
 /// Trace-wide metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
     /// Generator seed.
     pub seed: u64,
@@ -36,7 +36,7 @@ pub struct TraceMeta {
 }
 
 /// One unavailability occurrence on one machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// Machine id, `0..machines`.
     pub machine: u32,
@@ -128,13 +128,9 @@ impl Trace {
     /// Writes the trace as JSON lines: one meta line, then one record
     /// per line.
     pub fn write_jsonl<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
-        let meta = serde_json::to_string(&self.meta)
-            .map_err(|e| TraceError::Parse(e.to_string()))?;
-        writeln!(w, "{meta}")?;
+        writeln!(w, "{}", meta_to_json(&self.meta))?;
         for r in &self.records {
-            let line =
-                serde_json::to_string(r).map_err(|e| TraceError::Parse(e.to_string()))?;
-            writeln!(w, "{line}")?;
+            writeln!(w, "{}", record_to_json(r))?;
         }
         Ok(())
     }
@@ -145,7 +141,7 @@ impl Trace {
         let meta_line = lines
             .next()
             .ok_or_else(|| TraceError::Parse("empty trace file".into()))??;
-        let meta: TraceMeta = serde_json::from_str(&meta_line)
+        let meta = meta_from_json(&meta_line)
             .map_err(|e| TraceError::Parse(format!("bad meta line: {e}")))?;
         let mut records = Vec::new();
         for (i, line) in lines.enumerate() {
@@ -153,7 +149,7 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec: TraceRecord = serde_json::from_str(&line)
+            let rec = record_from_json(&line)
                 .map_err(|e| TraceError::Parse(format!("record {}: {e}", i + 1)))?;
             records.push(rec);
         }
@@ -233,6 +229,102 @@ impl Trace {
         }
         Ok(Trace { meta, records })
     }
+}
+
+// JSON conversion helpers. The field order and encodings (unit enum
+// variants as strings, `Option` as value-or-null) match what the
+// previous serde-derived implementation wrote, so traces produced by
+// older builds still parse and vice versa.
+
+fn meta_to_json(m: &TraceMeta) -> String {
+    let mut th = ObjWriter::new();
+    th.f64("th1", m.thresholds.th1).f64("th2", m.thresholds.th2);
+    let mut w = ObjWriter::new();
+    w.u64("seed", m.seed)
+        .u64("machines", m.machines as u64)
+        .u64("days", m.days as u64)
+        .u64("sample_period", m.sample_period)
+        .u64("start_weekday", m.start_weekday as u64)
+        .u64("span_secs", m.span_secs)
+        .obj("thresholds", th);
+    w.finish()
+}
+
+fn record_to_json(r: &TraceRecord) -> String {
+    let mut w = ObjWriter::new();
+    w.u64("machine", r.machine as u64)
+        .str("cause", cause_name(r.cause))
+        .u64("start", r.start)
+        .opt_u64("end", r.end)
+        .opt_u64("raw_end", r.raw_end)
+        .f64("avail_cpu", r.avail_cpu)
+        .u64("avail_mem_mb", r.avail_mem_mb as u64);
+    w.finish()
+}
+
+fn cause_name(c: FailureCause) -> &'static str {
+    match c {
+        FailureCause::CpuContention => "CpuContention",
+        FailureCause::MemoryThrashing => "MemoryThrashing",
+        FailureCause::Revocation => "Revocation",
+    }
+}
+
+fn get<'a>(obj: &'a BTreeMap<String, Value>, key: &str) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    get(obj, key)?.as_u64().ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+fn get_f64(obj: &BTreeMap<String, Value>, key: &str) -> Result<f64, String> {
+    get(obj, key)?.as_f64().ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn get_opt_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<Option<u64>, String> {
+    match get(obj, key)? {
+        Value::Null => Ok(None),
+        v => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} is not an unsigned integer or null")),
+    }
+}
+
+fn meta_from_json(line: &str) -> Result<TraceMeta, String> {
+    let v = json::parse(line)?;
+    let o = v.as_obj().ok_or("meta line is not an object")?;
+    let th = get(o, "thresholds")?.as_obj().ok_or("thresholds is not an object")?;
+    Ok(TraceMeta {
+        seed: get_u64(o, "seed")?,
+        machines: get_u64(o, "machines")? as u32,
+        days: get_u64(o, "days")? as u32,
+        sample_period: get_u64(o, "sample_period")?,
+        start_weekday: get_u64(o, "start_weekday")? as u8,
+        span_secs: get_u64(o, "span_secs")?,
+        thresholds: Thresholds::new(get_f64(th, "th1")?, get_f64(th, "th2")?),
+    })
+}
+
+fn record_from_json(line: &str) -> Result<TraceRecord, String> {
+    let v = json::parse(line)?;
+    let o = v.as_obj().ok_or("record line is not an object")?;
+    let cause = match get(o, "cause")?.as_str().ok_or("cause is not a string")? {
+        "CpuContention" => FailureCause::CpuContention,
+        "MemoryThrashing" => FailureCause::MemoryThrashing,
+        "Revocation" => FailureCause::Revocation,
+        other => return Err(format!("unknown cause {other:?}")),
+    };
+    Ok(TraceRecord {
+        machine: get_u64(o, "machine")? as u32,
+        cause,
+        start: get_u64(o, "start")?,
+        end: get_opt_u64(o, "end")?,
+        raw_end: get_opt_u64(o, "raw_end")?,
+        avail_cpu: get_f64(o, "avail_cpu")?,
+        avail_mem_mb: get_u64(o, "avail_mem_mb")? as u32,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus cheap end-to-end smoke checks. Everything here must
+# stay fast enough to run on every change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== experiment smoke (table1 + fig1a, reduced scale) =="
+# Run from a scratch dir: fgcs-exp writes results/ relative to the cwd,
+# and the reduced-scale output must not clobber the committed artifacts.
+exp_bin="$PWD/target/release/fgcs-exp"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+for e in table1 fig1a; do
+    (cd "$smoke_dir" && "$exp_bin" "$e" --quick > /dev/null)
+done
+
+echo "== sim throughput smoke (quick mode) =="
+FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench sim_throughput
+
+echo "ci.sh: all green"

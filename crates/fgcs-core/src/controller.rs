@@ -282,6 +282,7 @@ mod tests {
                 guest_working_set_mb: 4,
                 spike_tolerance: secs(10),
                 harvest_delay: secs(20),
+                max_silence: None,
             },
             sample_period: secs(1),
             resubmit_on_failure: false,

@@ -33,7 +33,54 @@ pub struct DetectorConfig {
     /// How long the machine must stay calm after a failure before a new
     /// availability interval begins.
     pub harvest_delay: u64,
+    /// The gap policy: if the observation stream goes silent for longer
+    /// than this, the detector no longer knows what happened — the span
+    /// since the last observation is reported as a *censoring gap*
+    /// ([`Step::gap`]), any open occurrence is closed at the last
+    /// observed time, and detection re-baselines from the next sample.
+    /// `None` (the default everywhere) disables the policy: silence
+    /// silently extends whatever state was current, which is only sound
+    /// for a lossless observation stream.
+    pub max_silence: Option<u64>,
 }
+
+/// A [`DetectorConfig`] that cannot work: zero timing windows or a zero
+/// working set make the detector misbehave silently (a zero spike
+/// tolerance turns every transient blip into S3; a zero harvest delay
+/// re-harvests a machine the instant it calms; a zero working set makes
+/// S4 undetectable; a zero silence window censors every sample gap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorConfigError {
+    /// `spike_tolerance` was 0.
+    ZeroSpikeTolerance,
+    /// `harvest_delay` was 0.
+    ZeroHarvestDelay,
+    /// `guest_working_set_mb` was 0.
+    ZeroGuestWorkingSet,
+    /// `max_silence` was `Some(0)`.
+    ZeroMaxSilence,
+}
+
+impl std::fmt::Display for DetectorConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorConfigError::ZeroSpikeTolerance => {
+                write!(f, "spike_tolerance must be positive (0 turns every blip into S3)")
+            }
+            DetectorConfigError::ZeroHarvestDelay => {
+                write!(f, "harvest_delay must be positive (0 defeats the 5-minute rule)")
+            }
+            DetectorConfigError::ZeroGuestWorkingSet => {
+                write!(f, "guest_working_set_mb must be positive (0 makes S4 undetectable)")
+            }
+            DetectorConfigError::ZeroMaxSilence => {
+                write!(f, "max_silence must be positive when set (0 censors every gap)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorConfigError {}
 
 impl DetectorConfig {
     /// Defaults with timestamps in simulator ticks (10 ms): 1-minute
@@ -45,6 +92,7 @@ impl DetectorConfig {
             guest_working_set_mb: 64,
             spike_tolerance: fgcs_sim::time::minutes(1),
             harvest_delay: fgcs_sim::time::minutes(5),
+            max_silence: None,
         }
     }
 
@@ -55,7 +103,26 @@ impl DetectorConfig {
             guest_working_set_mb: 64,
             spike_tolerance: 60,
             harvest_delay: 300,
+            max_silence: None,
         }
+    }
+
+    /// Checks the configuration for values that would make the detector
+    /// silently misbehave.
+    pub fn validate(&self) -> Result<(), DetectorConfigError> {
+        if self.spike_tolerance == 0 {
+            return Err(DetectorConfigError::ZeroSpikeTolerance);
+        }
+        if self.harvest_delay == 0 {
+            return Err(DetectorConfigError::ZeroHarvestDelay);
+        }
+        if self.guest_working_set_mb == 0 {
+            return Err(DetectorConfigError::ZeroGuestWorkingSet);
+        }
+        if self.max_silence == Some(0) {
+            return Err(DetectorConfigError::ZeroMaxSilence);
+        }
+        Ok(())
     }
 }
 
@@ -110,6 +177,13 @@ pub struct Step {
     /// Unavailability edges produced by this observation (at most two:
     /// a cause change closes one occurrence and opens another).
     pub edges: Vec<EventEdge>,
+    /// A censoring gap `(silent_from, silent_until)`: the stream was
+    /// silent for longer than [`DetectorConfig::max_silence`] before this
+    /// observation. Whatever happened in the span is unknown; any
+    /// occurrence open at `silent_from` was closed there (see
+    /// [`Step::edges`]) and the interval containing the gap must be
+    /// treated as censored, not as observed availability.
+    pub gap: Option<(u64, u64)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,12 +208,30 @@ enum Mode {
 pub struct Detector {
     cfg: DetectorConfig,
     mode: Mode,
+    /// Timestamp of the last observation, for the gap policy.
+    last_t: Option<u64>,
 }
 
 impl Detector {
     /// Creates a detector; the machine starts available and idle (S1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DetectorConfig::validate`];
+    /// use [`Detector::try_new`] to handle invalid configurations.
     pub fn new(cfg: DetectorConfig) -> Self {
-        Detector { cfg, mode: Mode::Available { band: LoadBand::Light, spike_since: None } }
+        Self::try_new(cfg).expect("invalid DetectorConfig")
+    }
+
+    /// Creates a detector, rejecting configurations that would make it
+    /// silently misbehave.
+    pub fn try_new(cfg: DetectorConfig) -> Result<Self, DetectorConfigError> {
+        cfg.validate()?;
+        Ok(Detector {
+            cfg,
+            mode: Mode::Available { band: LoadBand::Light, spike_since: None },
+            last_t: None,
+        })
     }
 
     /// Configuration in use.
@@ -177,9 +269,28 @@ impl Detector {
 
     /// Feeds one observation taken at time `t`. Timestamps must be
     /// non-decreasing across calls.
+    ///
+    /// If [`DetectorConfig::max_silence`] is set and the stream was
+    /// silent for longer than that since the previous observation, the
+    /// silent span is reported as [`Step::gap`]: any open occurrence is
+    /// closed at the moment the silence began (we cannot claim it lasted
+    /// through a span we did not observe) and the detector re-baselines
+    /// before processing `obs` normally.
     pub fn observe(&mut self, t: u64, obs: &Observation) -> Step {
         let mut edges = Vec::new();
         let mut action = None;
+
+        let mut gap = None;
+        if let (Some(max_silence), Some(last)) = (self.cfg.max_silence, self.last_t) {
+            if t.saturating_sub(last) > max_silence {
+                gap = Some((last, t));
+                if let Mode::Unavailable { cause, .. } = self.mode {
+                    edges.push(EventEdge::Ended { cause, at: last, calm_from: last });
+                }
+                self.mode = Mode::Available { band: LoadBand::Light, spike_since: None };
+            }
+        }
+        self.last_t = Some(t);
 
         let mem_ok = obs.free_mem_mb >= self.cfg.guest_working_set_mb;
 
@@ -274,7 +385,7 @@ impl Detector {
             }
         }
 
-        Step { state: self.state(), action, edges }
+        Step { state: self.state(), action, edges, gap }
     }
 
     fn fail(&mut self, cause: FailureCause, t: u64, edges: &mut Vec<EventEdge>) {
@@ -293,6 +404,7 @@ mod tests {
             guest_working_set_mb: 100,
             spike_tolerance: 60,
             harvest_delay: 300,
+            max_silence: None,
         }
     }
 
@@ -485,6 +597,120 @@ mod tests {
         let o = Observation { host_load: 0.1, free_mem_mb: 100, alive: true };
         let s = d.observe(0, &o);
         assert_eq!(s.state, AvailState::S1, "exactly fitting working set is fine");
+    }
+
+    #[test]
+    fn zero_config_values_are_rejected() {
+        let mut c = cfg();
+        c.spike_tolerance = 0;
+        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroSpikeTolerance);
+        let mut c = cfg();
+        c.harvest_delay = 0;
+        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroHarvestDelay);
+        let mut c = cfg();
+        c.guest_working_set_mb = 0;
+        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroGuestWorkingSet);
+        let mut c = cfg();
+        c.max_silence = Some(0);
+        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroMaxSilence);
+        assert!(Detector::try_new(cfg()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DetectorConfig")]
+    fn new_panics_on_invalid_config() {
+        let mut c = cfg();
+        c.harvest_delay = 0;
+        let _ = Detector::new(c);
+    }
+
+    #[test]
+    fn silence_without_policy_extends_state() {
+        // Without max_silence, a long gap changes nothing: unavailability
+        // silently spans it (the pre-hardening behavior, sound only for
+        // lossless streams).
+        let mut d = Detector::new(cfg());
+        d.observe(0, &obs(0.1));
+        d.observe(10, &Observation::dead());
+        let s = d.observe(100_000, &obs(0.1));
+        assert_eq!(s.gap, None);
+        assert_eq!(s.state, AvailState::S5, "still in the old occurrence");
+    }
+
+    #[test]
+    fn gap_closes_open_occurrence_at_last_observation() {
+        let mut c = cfg();
+        c.max_silence = Some(120);
+        let mut d = Detector::new(c);
+        d.observe(0, &obs(0.1));
+        d.observe(10, &Observation::dead()); // S5 occurrence opens at 10
+        d.observe(20, &Observation::dead());
+        // Stream goes silent for 980 > 120: we cannot claim the outage
+        // lasted until 1000.
+        let s = d.observe(1000, &obs(0.1));
+        assert_eq!(s.gap, Some((20, 1000)));
+        assert_eq!(
+            s.edges,
+            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 20, calm_from: 20 }]
+        );
+        assert_eq!(s.state, AvailState::S1, "re-baselined from the new sample");
+    }
+
+    #[test]
+    fn gap_while_available_censors_without_edges() {
+        let mut c = cfg();
+        c.max_silence = Some(120);
+        let mut d = Detector::new(c);
+        d.observe(0, &obs(0.1));
+        let s = d.observe(500, &obs(0.1));
+        assert_eq!(s.gap, Some((0, 500)));
+        assert!(s.edges.is_empty(), "nothing was open, nothing to close");
+        assert_eq!(s.state, AvailState::S1);
+    }
+
+    #[test]
+    fn gap_then_immediate_failure_opens_fresh_occurrence() {
+        let mut c = cfg();
+        c.max_silence = Some(120);
+        let mut d = Detector::new(c);
+        d.observe(0, &obs(0.9));
+        d.observe(60, &obs(0.9)); // S3 opens at 60
+        let s = d.observe(1000, &Observation::dead());
+        assert_eq!(s.gap, Some((60, 1000)));
+        assert_eq!(
+            s.edges,
+            vec![
+                EventEdge::Ended { cause: FailureCause::CpuContention, at: 60, calm_from: 60 },
+                EventEdge::Started { cause: FailureCause::Revocation, at: 1000 },
+            ],
+            "gap closes the old occurrence, the new observation opens a new one"
+        );
+        assert_eq!(s.state, AvailState::S5);
+    }
+
+    #[test]
+    fn spike_clock_does_not_survive_a_gap() {
+        let mut c = cfg();
+        c.max_silence = Some(120);
+        let mut d = Detector::new(c);
+        d.observe(0, &obs(0.1));
+        d.observe(10, &obs(0.9)); // spike clock starts at 10
+        // 990 of silence; a naive detector would declare S3 here because
+        // "the spike persisted 990 > 60".
+        let s = d.observe(1000, &obs(0.9));
+        assert_eq!(s.gap, Some((10, 1000)));
+        assert_ne!(s.state, AvailState::S3, "spike tolerance restarts after a gap");
+        assert_eq!(s.action, Some(GuestAction::Suspend));
+    }
+
+    #[test]
+    fn gap_exactly_at_max_silence_is_not_censored() {
+        let mut c = cfg();
+        c.max_silence = Some(120);
+        let mut d = Detector::new(c);
+        d.observe(0, &obs(0.1));
+        let s = d.observe(120, &obs(0.1));
+        assert_eq!(s.gap, None, "boundary: gap must strictly exceed max_silence");
     }
 
     #[test]

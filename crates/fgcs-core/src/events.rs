@@ -233,6 +233,7 @@ mod tests {
             guest_working_set_mb: 10,
             spike_tolerance: 60,
             harvest_delay: 300,
+            max_silence: None,
         });
         let mut log = EventLog::new();
         let samples: Vec<(u64, f64)> = (0..200)

@@ -36,7 +36,7 @@ pub mod monitor;
 pub mod policy;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats};
-pub use detector::{Detector, DetectorConfig, EventEdge, GuestAction, Step};
+pub use detector::{Detector, DetectorConfig, DetectorConfigError, EventEdge, GuestAction, Step};
 pub use events::{EventLog, UnavailEvent};
 pub use model::{AvailState, FailureCause, LoadBand, Thresholds, NOTICEABLE_SLOWDOWN};
 pub use monitor::{Monitor, Observation, ResourceProbe};

@@ -36,7 +36,10 @@ impl ResourceProbe for fgcs_sim::Machine {
     }
 
     fn service_alive(&self) -> bool {
-        true // a live simulator object is a live machine
+        // Plumbed through from the simulator's revocation state
+        // (`Machine::revoke`), so S5 is detectable from the probe itself
+        // rather than only from synthetic lab downtime.
+        self.service_alive()
     }
 }
 
@@ -63,17 +66,27 @@ impl Observation {
 #[derive(Debug, Clone, Default)]
 pub struct Monitor {
     last: Option<(u64, u64)>,
+    resets: u64,
 }
 
 impl Monitor {
     /// Creates a monitor with no sample history.
     pub fn new() -> Self {
-        Monitor { last: None }
+        Monitor { last: None, resets: 0 }
     }
 
     /// Takes one sample. The first call establishes the counter baseline
     /// and reports the load as 0 over an empty window; subsequent calls
     /// report utilization since the previous call.
+    ///
+    /// Cumulative counters on a real machine are not monotone across the
+    /// monitor's lifetime: a host reboot or a monitor-daemon restart
+    /// resets them to zero, and a counter wrap or torn read can yield a
+    /// busy diff larger than the total diff. A naive diff then reports
+    /// garbage (a negative busy span underflows `u64` to a huge load).
+    /// Any such inconsistent window is treated as a counter reset: the
+    /// baseline is re-established from the new reading and the window's
+    /// load is reported as 0, exactly like the very first sample.
     pub fn sample<P: ResourceProbe>(&mut self, probe: &P) -> Observation {
         if !probe.service_alive() {
             // Counter baselines are meaningless across a machine death.
@@ -82,8 +95,16 @@ impl Monitor {
         }
         let (busy, total) = probe.cpu_counters();
         let host_load = match self.last {
-            Some((b0, t0)) if total > t0 => (busy - b0) as f64 / (total - t0) as f64,
-            _ => 0.0,
+            Some((b0, t0)) if total > t0 && busy >= b0 && busy - b0 <= total - t0 => {
+                (busy - b0) as f64 / (total - t0) as f64
+            }
+            Some((b0, t0)) if total < t0 || busy < b0 || busy - b0 > total - t0 => {
+                // Counters went backwards (or busy outran total): the
+                // machine or monitor restarted between samples.
+                self.resets += 1;
+                0.0
+            }
+            _ => 0.0, // first sample, or an empty window (total == t0)
         };
         self.last = Some((busy, total));
         Observation {
@@ -91,6 +112,12 @@ impl Monitor {
             free_mem_mb: probe.free_mem_for_guest_mb(),
             alive: true,
         }
+    }
+
+    /// How many counter resets / inconsistent windows this monitor has
+    /// detected and absorbed.
+    pub fn reset_count(&self) -> u64 {
+        self.resets
     }
 
     /// Forgets the counter baseline (e.g. after the monitor restarts).
@@ -171,6 +198,67 @@ mod tests {
         m.sample(&p);
         let o = m.sample(&p); // identical counters: empty window
         assert_eq!(o.host_load, 0.0);
+    }
+
+    #[test]
+    fn counter_reset_rebaselines_instead_of_garbage() {
+        let mut m = Monitor::new();
+        let mut p = FakeProbe { busy: 500_000, total: 1_000_000, mem: 512, alive: true };
+        m.sample(&p);
+        // Monitor restart: counters restart from (near) zero. total < t0,
+        // so the old code already re-baselined — but busy-in-between
+        // states must not underflow either.
+        p.busy = 10;
+        p.total = 100;
+        let o = m.sample(&p);
+        assert_eq!(o.host_load, 0.0, "reset window reports no load");
+        assert_eq!(m.reset_count(), 1);
+        // After re-baselining, diffs work again.
+        p.busy = 40;
+        p.total = 200;
+        let o = m.sample(&p);
+        assert!((o.host_load - 0.3).abs() < 1e-12);
+        assert_eq!(m.reset_count(), 1);
+    }
+
+    #[test]
+    fn negative_busy_diff_with_advancing_total_is_a_reset() {
+        // The garbage case: total advanced past the baseline but busy
+        // went backwards (partial reset / torn read). The naive diff
+        // underflowed u64 and clamped to a 100% load spike.
+        let mut m = Monitor::new();
+        let mut p = FakeProbe { busy: 900, total: 1_000, mem: 512, alive: true };
+        m.sample(&p);
+        p.busy = 100; // busy < b0 ...
+        p.total = 2_000; // ... but total > t0
+        let o = m.sample(&p);
+        assert_eq!(o.host_load, 0.0, "inconsistent window must not fake a spike");
+        assert_eq!(m.reset_count(), 1);
+    }
+
+    #[test]
+    fn busy_outrunning_total_is_a_reset() {
+        let mut m = Monitor::new();
+        let mut p = FakeProbe { busy: 0, total: 1_000, mem: 512, alive: true };
+        m.sample(&p);
+        p.busy = 5_000; // busy diff 5000 > total diff 1000
+        p.total = 2_000;
+        let o = m.sample(&p);
+        assert_eq!(o.host_load, 0.0);
+        assert_eq!(m.reset_count(), 1);
+    }
+
+    #[test]
+    fn revoked_machine_probe_reports_dead() {
+        use fgcs_sim::Machine;
+        let mut machine = Machine::default_linux();
+        let mut mon = Monitor::new();
+        assert!(mon.sample(&machine).alive);
+        machine.revoke();
+        let o = mon.sample(&machine);
+        assert_eq!(o, Observation::dead(), "revocation is visible from the probe");
+        machine.restore_service();
+        assert!(mon.sample(&machine).alive);
     }
 
     #[test]

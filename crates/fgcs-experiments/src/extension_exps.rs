@@ -159,11 +159,15 @@ pub fn detector_rules(quick: bool) {
         base.lab.days = 21;
     }
 
+    // "No spike tolerance" is 1 s, not 0: DetectorConfig rejects 0 as a
+    // misconfiguration, and with 15 s sampling any tolerance below the
+    // sample period already means a spike confirmed at the next sample
+    // fails immediately — tolerance ablated at the sampling resolution.
     let variants: Vec<(&str, u64, u64)> = vec![
         ("both rules (paper)", 60, 300),
-        ("no spike tolerance", 0, 300),
+        ("no spike tolerance", 1, 300),
         ("no harvest delay", 60, 15),
-        ("neither rule", 0, 15),
+        ("neither rule", 1, 15),
     ];
     let mut table = TextTable::new(&[
         "detector", "events/machine-day", "vs paper rules", "intervals <5min",

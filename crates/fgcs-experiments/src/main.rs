@@ -13,6 +13,7 @@
 
 mod contention_exps;
 mod extension_exps;
+mod fault_exps;
 mod predict_exps;
 mod report;
 mod trace_exps;
@@ -39,6 +40,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("rules", "X8: ablation of the 1-min spike tolerance and 5-min harvest delay"),
     ("depth", "X9: history depth and trimming ablation for the predictor"),
     ("seeds", "X10: Table 2 statistics across independent seeds"),
+    ("faults", "X11: Table 2 / Figure 6 drift under injected measurement faults"),
     ("trace", "Dump the full testbed trace to results/ (JSONL + CSV)"),
 ];
 
@@ -68,6 +70,7 @@ fn run(name: &str, quick: bool) {
         "rules" => extension_exps::detector_rules(quick),
         "depth" => predict_exps::depth(quick),
         "seeds" => extension_exps::seeds(quick),
+        "faults" => fault_exps::fault_matrix(quick),
         "table2" => trace_exps::table2(quick),
         "fig6" => trace_exps::fig6(quick),
         "fig7" => trace_exps::fig7(quick),

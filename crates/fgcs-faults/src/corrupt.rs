@@ -1,0 +1,171 @@
+//! Byte-level corruption of serialized trace files.
+//!
+//! Real trace archives end up with truncated lines (a monitor killed
+//! mid-write), garbled bytes (disk/transfer errors) and junk lines. This
+//! module injects those, deterministically, into any line-oriented
+//! serialization (the testbed's JSONL and CSV formats).
+//!
+//! Every corruption kind used here is *detectable*: a strict prefix of a
+//! minified JSON object or of a fixed-arity CSV row, a garbage line, or
+//! a `0x01` byte smashed into a structured field all fail to parse. That
+//! is deliberate — it makes "lines the injector corrupted" and "lines
+//! the recovering loader counted as corrupt" the same number, which the
+//! fault-matrix experiment and CI assert exactly. (A digit flipped to
+//! another digit would parse to a silently wrong record; defending
+//! against *that* requires checksums, which the on-disk format — frozen
+//! for byte-compatibility — does not carry. See DESIGN.md §8.)
+
+use fgcs_stats::rng::Rng;
+
+use crate::FaultConfig;
+
+/// Domain-separation salt for the corruption RNG.
+const CORRUPT_SALT: u64 = 0x6661_756c_7443_7270; // "faultCrp"
+
+/// What [`corrupt_text`] did to a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CorruptionReport {
+    /// Number of lines corrupted (each at most once).
+    pub lines_corrupted: u64,
+    /// Zero-based indices of the corrupted lines, ascending.
+    pub corrupted_line_numbers: Vec<usize>,
+}
+
+/// Corrupts a line-oriented serialization with probability
+/// `cfg.corrupt_rate` per line, deterministic in `(cfg.seed, stream)`.
+///
+/// The first line is never touched: both trace formats carry a required
+/// header (JSONL meta / CSV column row) whose loss makes the whole file
+/// unreadable rather than degradable, and the point of the recovering
+/// loaders is per-record degradation. Each corrupted line suffers one of:
+///
+/// * truncation to a strict non-empty prefix,
+/// * replacement with a garbage line,
+/// * a `0x01` byte smashed over one of its bytes.
+pub fn corrupt_text(text: &str, cfg: &FaultConfig, stream: u64) -> (String, CorruptionReport) {
+    let mut rng = Rng::for_stream(cfg.seed ^ CORRUPT_SALT, stream);
+    let mut report = CorruptionReport::default();
+    if cfg.corrupt_rate <= 0.0 {
+        return (text.to_string(), report);
+    }
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.lines().enumerate() {
+        let corrupt = i > 0 && !line.is_empty() && rng.chance(cfg.corrupt_rate);
+        if !corrupt {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        report.lines_corrupted += 1;
+        report.corrupted_line_numbers.push(i);
+        match rng.below(3) {
+            0 => {
+                // Truncate: keep a strict, non-empty prefix. For
+                // comma-separated lines the cut lands at or before the
+                // last comma, so the arity check must fail — a cut
+                // inside the final field would leave a shorter-but-valid
+                // number, i.e. a silently wrong record. Respect UTF-8
+                // boundaries (trace lines are ASCII, but be safe).
+                let limit = line.rfind(',').unwrap_or(line.len().saturating_sub(1));
+                let mut cut =
+                    if limit == 0 { 0 } else { rng.range_u64(1, limit as u64 + 1) as usize };
+                while cut > 0 && !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                if cut == 0 {
+                    out.push_str("####corrupt####");
+                } else {
+                    out.push_str(&line[..cut]);
+                }
+            }
+            1 => {
+                out.push_str("####corrupt####");
+            }
+            _ => {
+                let pos = rng.below(line.len() as u64) as usize;
+                let mut bytes = line.as_bytes().to_vec();
+                // Smash whole UTF-8 sequences, not just one byte, so the
+                // result stays a valid (if garbled) Rust string.
+                let start = (0..=pos).rev().find(|&p| line.is_char_boundary(p)).unwrap_or(0);
+                let end = (pos + 1..=line.len()).find(|&p| line.is_char_boundary(p)).unwrap_or(line.len());
+                bytes.splice(start..end, std::iter::once(0x01));
+                out.push_str(&String::from_utf8(bytes).expect("char-boundary splice"));
+            }
+        }
+        out.push('\n');
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_text() -> String {
+        let mut t = String::from("header line\n");
+        for i in 0..200 {
+            t.push_str(&format!("{{\"machine\":{i},\"start\":{}}}\n", i * 100));
+        }
+        t
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let text = sample_text();
+        let (out, rep) = corrupt_text(&text, &FaultConfig::off(1), 0);
+        assert_eq!(out, text);
+        assert_eq!(rep.lines_corrupted, 0);
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let mut cfg = FaultConfig::off(5);
+        cfg.corrupt_rate = 0.2;
+        let text = sample_text();
+        let (a, ra) = corrupt_text(&text, &cfg, 3);
+        let (b, rb) = corrupt_text(&text, &cfg, 3);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        let (c, _) = corrupt_text(&text, &cfg, 4);
+        assert_ne!(a, c, "different streams corrupt differently");
+    }
+
+    #[test]
+    fn header_is_never_corrupted_and_counts_match() {
+        let mut cfg = FaultConfig::off(5);
+        cfg.corrupt_rate = 0.5;
+        let text = sample_text();
+        let (out, rep) = corrupt_text(&text, &cfg, 0);
+        assert!(rep.lines_corrupted > 50);
+        assert_eq!(rep.lines_corrupted as usize, rep.corrupted_line_numbers.len());
+        assert!(rep.corrupted_line_numbers.iter().all(|&i| i > 0));
+        let out_lines: Vec<&str> = out.lines().collect();
+        let in_lines: Vec<&str> = text.lines().collect();
+        assert_eq!(out_lines.len(), in_lines.len(), "corruption never adds or removes lines");
+        assert_eq!(out_lines[0], in_lines[0]);
+        // Exactly the reported lines differ, and none is left empty.
+        for (i, (a, b)) in in_lines.iter().zip(&out_lines).enumerate() {
+            let touched = rep.corrupted_line_numbers.contains(&i);
+            assert_eq!(a != b, touched, "line {i}");
+            assert!(!b.is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupted_jsonl_lines_never_parse() {
+        // The contract the count cross-check rests on: every corruption
+        // kind defeats a JSON object parse.
+        let mut cfg = FaultConfig::off(77);
+        cfg.corrupt_rate = 1.0;
+        let text = sample_text();
+        let (out, rep) = corrupt_text(&text, &cfg, 0);
+        assert_eq!(rep.lines_corrupted, 200);
+        for line in out.lines().skip(1) {
+            let balanced = line.starts_with('{')
+                && line.ends_with('}')
+                && !line.contains('\u{1}')
+                && !line.contains("####");
+            assert!(!balanced, "corrupted line still looks parseable: {line:?}");
+        }
+    }
+}

@@ -182,6 +182,11 @@ pub struct Machine {
     resident_host_mb: u32,
     /// Cached number of runnable processes.
     runnable_count: usize,
+    /// Whether the FGCS service daemon on this machine still responds.
+    /// Cleared by [`Machine::revoke`] (resource revocation / service
+    /// death, the paper's S5) and restored by
+    /// [`Machine::restore_service`]; the host itself keeps running.
+    service_up: bool,
     /// Cached minimum `remaining` over sleeping processes (`None` when
     /// nobody sleeps) — the next-wake horizon for the batched fast path.
     /// Stored relative, not as an absolute wake tick: iowait stalls
@@ -207,6 +212,7 @@ impl Machine {
             iowait_until: 0,
             stall_debt: 0.0,
             run_log: None,
+            service_up: true,
             resident_all_mb: 0,
             resident_host_mb: 0,
             runnable_count: 0,
@@ -434,6 +440,28 @@ impl Machine {
             .phys_mem_mb
             .saturating_sub(self.cfg.kernel_mem_mb)
             .saturating_sub(self.host_resident_mb())
+    }
+
+    /// Marks the FGCS service as dead — the machine is revoked from the
+    /// guest's point of view (URR, state S5). Host processes keep
+    /// running; only the observable service liveness changes, which is
+    /// exactly what the paper's monitor sees ("its termination indicates
+    /// resource revocation").
+    pub fn revoke(&mut self) {
+        self.service_up = false;
+    }
+
+    /// Brings the FGCS service back after a revocation.
+    pub fn restore_service(&mut self) {
+        self.service_up = true;
+    }
+
+    /// Whether the FGCS service daemon responds. This is the liveness a
+    /// non-intrusive probe reports; it is `true` on a freshly booted
+    /// machine and toggled by [`Machine::revoke`] /
+    /// [`Machine::restore_service`].
+    pub fn service_alive(&self) -> bool {
+        self.service_up
     }
 
     /// True while the active working sets exceed physical memory.
@@ -1099,6 +1127,21 @@ mod tests {
         m.run_ticks(5);
         assert_eq!(m.run_log().len(), 5);
         assert_eq!(m.run_log()[0].1, Pid(0));
+    }
+
+    #[test]
+    fn revocation_toggles_service_liveness() {
+        let mut m = Machine::default_linux();
+        assert!(m.service_alive(), "a freshly booted machine serves");
+        m.spawn(ProcSpec::cpu_bound_guest("g", 19));
+        m.revoke();
+        assert!(!m.service_alive());
+        // The host keeps running while the service is down.
+        let before = m.now();
+        m.run_ticks(10);
+        assert_eq!(m.now(), before + 10);
+        m.restore_service();
+        assert!(m.service_alive());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use fgcs_stats::ecdf::Ecdf;
 use fgcs_stats::grouped::GroupedStats;
 
 use crate::calendar::{day_index, day_type, DayType, SECS_PER_DAY, SECS_PER_HOUR};
+use crate::quality::TraceQualityReport;
 use crate::trace::{Trace, TraceRecord};
 
 /// URR occurrences with a raw outage shorter than this are machine
@@ -201,6 +202,32 @@ pub fn intervals(trace: &Trace) -> IntervalAnalysis {
     IntervalAnalysis { weekday: Ecdf::new(&weekday), weekend: Ecdf::new(&weekend) }
 }
 
+/// [`intervals`] over a trace with known quality problems: availability
+/// intervals overlapping a censored span are *excluded* from the
+/// distributions, not truncated at the censoring boundary. A censored
+/// span means "we do not know what the machine did here" — the paper's
+/// Figure 6 plots observed interval *lengths*, and an interval whose
+/// true extent is unknown has no defensible length to contribute;
+/// truncating it at the gap would systematically bias the CDFs short.
+pub fn intervals_censored(trace: &Trace, quality: &TraceQualityReport) -> IntervalAnalysis {
+    let mut weekday = Vec::new();
+    let mut weekend = Vec::new();
+    for (machine, recs) in trace.per_machine() {
+        let mq = quality.machines.get(&machine);
+        for (s, e) in machine_intervals(&recs, trace.meta.span_secs) {
+            if mq.is_some_and(|m| m.overlaps_censored(s, e)) {
+                continue;
+            }
+            let hours = (e - s) as f64 / SECS_PER_HOUR as f64;
+            match day_type(day_index(s), trace.meta.start_weekday) {
+                DayType::Weekday => weekday.push(hours),
+                DayType::Weekend => weekend.push(hours),
+            }
+        }
+    }
+    IntervalAnalysis { weekday: Ecdf::new(&weekday), weekend: Ecdf::new(&weekend) }
+}
+
 /// The Figure 7 reproduction: per-hour occurrence counts, aggregated
 /// over the testbed, with mean and min–max range across days.
 #[derive(Debug, Clone)]
@@ -328,6 +355,28 @@ mod tests {
             avail_cpu: 0.9,
             avail_mem_mb: 800,
         }
+    }
+
+    #[test]
+    fn censored_intervals_are_excluded_not_truncated() {
+        // One machine, one day. Occurrence at [3600, 7200) splits the day
+        // into intervals [0, 3600) and [7200, 86400). Censoring a span
+        // inside the second interval must drop that whole interval.
+        let records = vec![rec(0, FailureCause::CpuContention, 3_600, 7_200, 7_000)];
+        let trace = Trace { meta: meta(1, 1), records };
+        let clean = intervals(&trace);
+        assert_eq!(clean.weekday.len(), 2);
+
+        let mut q = TraceQualityReport::new();
+        q.machine_mut(0).censored_spans = vec![(10_000, 12_000)];
+        let censored = intervals_censored(&trace, &q);
+        assert_eq!(censored.weekday.len(), 1, "overlapping interval excluded");
+        assert!((censored.weekday.mean() - 1.0).abs() < 1e-9, "the 1 h interval survives");
+
+        // An empty quality report reproduces the uncensored analysis.
+        let same = intervals_censored(&trace, &TraceQualityReport::new());
+        assert_eq!(same.weekday.len(), clean.weekday.len());
+        assert_eq!(same.weekend.len(), clean.weekend.len());
     }
 
     #[test]

@@ -205,6 +205,15 @@ pub struct LoadSample {
     pub alive: bool,
 }
 
+impl fgcs_faults::Timestamped for LoadSample {
+    fn ts(&self) -> u64 {
+        self.t
+    }
+    fn set_ts(&mut self, t: u64) {
+        self.t = t;
+    }
+}
+
 /// A half-open time interval with a load and memory contribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Contribution {

@@ -40,10 +40,15 @@ pub mod calendar;
 pub mod json;
 pub mod lab;
 pub mod loadtrace;
+pub mod quality;
 pub mod runner;
 pub mod scenarios;
 pub mod trace;
 
 pub use lab::{LabConfig, LoadSample, MachinePlan};
-pub use runner::{run_testbed, trace_machine, TestbedConfig};
+pub use quality::{MachineQuality, QualityTotals, TraceQualityReport};
+pub use runner::{
+    run_testbed, run_testbed_faulty, trace_machine, trace_machine_supervised, SupervisorConfig,
+    TestbedConfig,
+};
 pub use trace::{Trace, TraceError, TraceMeta, TraceRecord};

@@ -1,0 +1,247 @@
+//! Trace quality accounting: what the measurement pipeline *knows* it
+//! lost.
+//!
+//! A hardened pipeline never silently absorbs a fault — every dropped
+//! sample, censored span, crashed tracer and corrupt trace line is
+//! counted here, per machine, so downstream analysis can decide what the
+//! surviving data is still good for. The counts are the pipeline-side
+//! mirror of [`fgcs_faults::InjectionStats`]: in a fault-matrix run the
+//! two must reconcile, which is exactly what the `faults` experiment and
+//! the CI smoke check assert.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Quality accounting for one machine's observation stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineQuality {
+    /// Machine id.
+    pub machine: u32,
+    /// Samples actually delivered to the detector.
+    pub samples_used: u64,
+    /// Samples the fault layer reported dropping.
+    pub dropped: u64,
+    /// Samples delivered twice.
+    pub duplicated: u64,
+    /// Samples delivered late (possibly out of order).
+    pub delayed: u64,
+    /// Samples the supervisor discarded because their timestamp went
+    /// backwards (late delivery or a backwards clock jump).
+    pub out_of_order: u64,
+    /// Monitor restarts observed (each swallows a run of samples).
+    pub restarts: u64,
+    /// Samples swallowed by monitor-restart outages.
+    pub lost_in_restart: u64,
+    /// Persistent clock jumps observed.
+    pub clock_jumps: u64,
+    /// Tracing-task crashes the supervisor recovered from (or died on).
+    pub crashes: u64,
+    /// Samples lost while the supervisor was backing off after crashes.
+    pub lost_in_crash: u64,
+    /// Silence gaps the detector censored (stream silent beyond the
+    /// configured `max_silence`).
+    pub gaps: u64,
+    /// The censored spans themselves, `(from, until)` in trace seconds,
+    /// in increasing order. Availability intervals overlapping these must
+    /// be excluded from interval statistics, not counted as observed.
+    pub censored_spans: Vec<(u64, u64)>,
+    /// True if the supervisor exhausted its retries and gave up on this
+    /// machine; the span from the last crash to the end of the trace is
+    /// then censored (and appears in [`MachineQuality::censored_spans`]).
+    pub gave_up: bool,
+}
+
+impl MachineQuality {
+    /// A clean stream: no faults seen, nothing censored.
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0
+            && self.duplicated == 0
+            && self.delayed == 0
+            && self.out_of_order == 0
+            && self.restarts == 0
+            && self.lost_in_restart == 0
+            && self.clock_jumps == 0
+            && self.crashes == 0
+            && self.lost_in_crash == 0
+            && self.gaps == 0
+            && self.censored_spans.is_empty()
+            && !self.gave_up
+    }
+
+    /// Total seconds of this machine's trace that are censored.
+    pub fn censored_secs(&self) -> u64 {
+        self.censored_spans.iter().map(|(a, b)| b.saturating_sub(*a)).sum()
+    }
+
+    /// True if `[start, end)` overlaps any censored span.
+    pub fn overlaps_censored(&self, start: u64, end: u64) -> bool {
+        self.censored_spans.iter().any(|&(a, b)| start < b && a < end)
+    }
+}
+
+/// Quality accounting for a whole trace: per-machine stream quality plus
+/// loader-level (file) damage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceQualityReport {
+    /// Per-machine stream quality, keyed by machine id.
+    pub machines: BTreeMap<u32, MachineQuality>,
+    /// Trace-file lines that failed to parse and were skipped.
+    pub corrupt_lines: u64,
+    /// 1-based line numbers of the skipped lines (in file order).
+    pub corrupt_line_numbers: Vec<usize>,
+    /// Records that parsed and survived.
+    pub parsed_records: u64,
+}
+
+impl TraceQualityReport {
+    /// An empty report (what a clean pipeline produces).
+    pub fn new() -> Self {
+        TraceQualityReport::default()
+    }
+
+    /// The entry for one machine, creating it on first use.
+    pub fn machine_mut(&mut self, id: u32) -> &mut MachineQuality {
+        self.machines.entry(id).or_insert_with(|| MachineQuality { machine: id, ..Default::default() })
+    }
+
+    /// A perfectly clean trace: every stream clean, no file damage.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_lines == 0 && self.machines.values().all(MachineQuality::is_clean)
+    }
+
+    /// Fleet-wide sums, for drift reports and CI cross-checks.
+    pub fn totals(&self) -> QualityTotals {
+        let mut t = QualityTotals::default();
+        for m in self.machines.values() {
+            t.dropped += m.dropped;
+            t.duplicated += m.duplicated;
+            t.delayed += m.delayed;
+            t.out_of_order += m.out_of_order;
+            t.restarts += m.restarts;
+            t.lost_in_restart += m.lost_in_restart;
+            t.clock_jumps += m.clock_jumps;
+            t.crashes += m.crashes;
+            t.lost_in_crash += m.lost_in_crash;
+            t.gaps += m.gaps;
+            t.censored_spans += m.censored_spans.len() as u64;
+            t.censored_secs += m.censored_secs();
+            t.gave_up += m.gave_up as u64;
+        }
+        t.corrupt_lines = self.corrupt_lines;
+        t.parsed_records = self.parsed_records;
+        t
+    }
+}
+
+/// Fleet-wide sums of [`MachineQuality`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QualityTotals {
+    /// Sum of per-machine dropped samples.
+    pub dropped: u64,
+    /// Sum of per-machine duplicated samples.
+    pub duplicated: u64,
+    /// Sum of per-machine delayed samples.
+    pub delayed: u64,
+    /// Sum of per-machine out-of-order discards.
+    pub out_of_order: u64,
+    /// Sum of per-machine monitor restarts.
+    pub restarts: u64,
+    /// Sum of samples lost in restart outages.
+    pub lost_in_restart: u64,
+    /// Sum of per-machine clock jumps.
+    pub clock_jumps: u64,
+    /// Sum of per-machine tracer crashes.
+    pub crashes: u64,
+    /// Sum of samples lost during crash backoff.
+    pub lost_in_crash: u64,
+    /// Sum of per-machine censoring gaps.
+    pub gaps: u64,
+    /// Total number of censored spans.
+    pub censored_spans: u64,
+    /// Total censored seconds across the fleet.
+    pub censored_secs: u64,
+    /// How many machines the supervisor gave up on.
+    pub gave_up: u64,
+    /// Trace-file lines skipped as corrupt.
+    pub corrupt_lines: u64,
+    /// Records that parsed and survived.
+    pub parsed_records: u64,
+}
+
+impl fmt::Display for TraceQualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.totals();
+        writeln!(
+            f,
+            "trace quality: {} machines, {} records parsed, {} corrupt lines skipped",
+            self.machines.len(),
+            t.parsed_records,
+            t.corrupt_lines
+        )?;
+        writeln!(
+            f,
+            "  stream: {} dropped, {} duplicated, {} delayed, {} out-of-order, \
+             {} restarts (-{} samples), {} clock jumps",
+            t.dropped, t.duplicated, t.delayed, t.out_of_order, t.restarts, t.lost_in_restart, t.clock_jumps
+        )?;
+        write!(
+            f,
+            "  supervision: {} crashes (-{} samples), {} machines abandoned; \
+             {} gaps censoring {} spans / {} s",
+            t.crashes, t.lost_in_crash, t.gave_up, t.gaps, t.censored_spans, t.censored_secs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_report_is_clean() {
+        let q = TraceQualityReport::new();
+        assert!(q.is_clean());
+        assert_eq!(q.totals(), QualityTotals::default());
+    }
+
+    #[test]
+    fn any_fault_makes_it_dirty() {
+        let mut q = TraceQualityReport::new();
+        q.machine_mut(3).dropped = 1;
+        assert!(!q.is_clean());
+        assert_eq!(q.totals().dropped, 1);
+        assert_eq!(q.machines[&3].machine, 3);
+
+        let mut q = TraceQualityReport::new();
+        q.corrupt_lines = 1;
+        assert!(!q.is_clean());
+    }
+
+    #[test]
+    fn censored_overlap_is_half_open() {
+        let mut m = MachineQuality::default();
+        m.censored_spans = vec![(100, 200), (500, 700)];
+        assert!(m.overlaps_censored(150, 160));
+        assert!(m.overlaps_censored(0, 101));
+        assert!(!m.overlaps_censored(200, 500), "touching endpoints do not overlap");
+        assert!(m.overlaps_censored(199, 501));
+        assert_eq!(m.censored_secs(), 300);
+    }
+
+    #[test]
+    fn totals_sum_across_machines() {
+        let mut q = TraceQualityReport::new();
+        q.machine_mut(0).dropped = 2;
+        q.machine_mut(1).dropped = 3;
+        q.machine_mut(1).censored_spans = vec![(0, 10)];
+        q.machine_mut(1).gave_up = true;
+        let t = q.totals();
+        assert_eq!(t.dropped, 5);
+        assert_eq!(t.censored_spans, 1);
+        assert_eq!(t.censored_secs, 10);
+        assert_eq!(t.gave_up, 1);
+        // Display stays panic-free and mentions the headline numbers.
+        let s = q.to_string();
+        assert!(s.contains("5 dropped"));
+    }
+}

@@ -9,8 +9,10 @@
 
 use fgcs_core::detector::{Detector, DetectorConfig, EventEdge};
 use fgcs_core::monitor::Observation;
+use fgcs_faults::{CrashPlan, FaultConfig, FaultStream};
 
 use crate::lab::{LabConfig, MachinePlan};
+use crate::quality::{MachineQuality, TraceQualityReport};
 use crate::trace::{Trace, TraceMeta, TraceRecord};
 
 /// Testbed configuration: the lab model plus the detector parameters.
@@ -127,6 +129,227 @@ pub fn trace_machine(cfg: &TestbedConfig, machine_id: usize) -> Vec<TraceRecord>
     records
 }
 
+/// How the testbed supervisor handles faulty per-machine tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// How many tracer crashes are retried before the supervisor gives
+    /// up on a machine (its remaining span is then censored, the rest of
+    /// the testbed keeps running).
+    pub max_retries: u32,
+    /// First retry backoff, seconds; doubles per consecutive crash.
+    pub backoff_base_secs: u64,
+    /// Backoff ceiling, seconds.
+    pub backoff_cap_secs: u64,
+    /// A machine that stays up this long after a crash earns its retry
+    /// budget back (the attempt counter resets). Without this, any
+    /// machine whose *lifetime* crash count exceeds `max_retries` is
+    /// eventually abandoned, no matter how spread out the crashes —
+    /// give-up should mean "crash looping", not "crashed six times in
+    /// three months".
+    pub healthy_reset_secs: u64,
+    /// Detector gap policy ([`DetectorConfig::max_silence`]) used for
+    /// faulty runs: streams silent beyond this are censored rather than
+    /// silently extended. Must comfortably exceed the sample period so a
+    /// clean stream never triggers it.
+    pub max_silence_secs: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_retries: 5,
+            backoff_base_secs: 60,
+            backoff_cap_secs: 960,
+            healthy_reset_secs: 86_400,
+            max_silence_secs: 120,
+        }
+    }
+}
+
+/// Runs the testbed with fault injection under supervision. With
+/// `faults` all-zero this produces a trace identical to
+/// [`run_testbed`] and a clean quality report; with nonzero rates it
+/// never aborts — lost data is counted and censored per machine in the
+/// returned [`TraceQualityReport`].
+pub fn run_testbed_faulty(
+    cfg: &TestbedConfig,
+    faults: &FaultConfig,
+    sup: &SupervisorConfig,
+) -> (Trace, TraceQualityReport) {
+    let ids: Vec<usize> = (0..cfg.lab.machines).collect();
+    let per_machine = fgcs_par::par_map(&ids, |&id| trace_machine_supervised(cfg, faults, sup, id));
+    let mut records = Vec::new();
+    let mut quality = TraceQualityReport::new();
+    for (recs, mq) in per_machine {
+        quality.parsed_records += recs.len() as u64;
+        records.extend(recs);
+        quality.machines.insert(mq.machine, mq);
+    }
+    let trace = Trace {
+        meta: TraceMeta {
+            seed: cfg.lab.seed,
+            machines: cfg.lab.machines as u32,
+            days: cfg.lab.days as u32,
+            sample_period: cfg.lab.sample_period,
+            start_weekday: cfg.lab.start_weekday,
+            span_secs: cfg.lab.span_secs(),
+            thresholds: cfg.detector.thresholds,
+        },
+        records,
+    };
+    (trace, quality)
+}
+
+/// Traces one machine through the fault injector, supervised: tracer
+/// crashes are retried with capped exponential backoff, out-of-order
+/// samples are discarded (and counted), and silence gaps are censored by
+/// the detector's gap policy instead of stretching whatever state was
+/// current.
+pub fn trace_machine_supervised(
+    cfg: &TestbedConfig,
+    faults: &FaultConfig,
+    sup: &SupervisorConfig,
+    machine_id: usize,
+) -> (Vec<TraceRecord>, MachineQuality) {
+    let span = cfg.lab.span_secs();
+    let plan = MachinePlan::generate(&cfg.lab, machine_id);
+    let mut det_cfg = cfg.detector;
+    det_cfg.max_silence = Some(sup.max_silence_secs);
+    let mut detector = Detector::new(det_cfg);
+    let mut quality = MachineQuality { machine: machine_id as u32, ..Default::default() };
+    let crash_plan = CrashPlan::generate(faults, machine_id as u64, span);
+    let mut crashes = crash_plan.times.iter().copied().peekable();
+    let mut stream = FaultStream::new(plan.samples(), faults, machine_id as u64);
+
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut open: Option<usize> = None;
+    let mut avail_cpu_sum = 0.0;
+    let mut avail_mem_sum = 0.0;
+    let mut avail_samples = 0u64;
+    let mut outage_until: u64 = 0;
+    let mut attempts: u32 = 0;
+    let mut last_crash_t: Option<u64> = None;
+    let mut last_t: Option<u64> = None;
+    let mut abandoned_at: Option<u64> = None;
+
+    let free_for_guest = |resident_mb: u32| -> u32 {
+        cfg.lab
+            .phys_mem_mb
+            .saturating_sub(cfg.lab.kernel_mem_mb)
+            .saturating_sub(resident_mb)
+    };
+
+    'samples: while let Some(s) = stream.next() {
+        // Supervision: handle tracer crashes scheduled before this sample.
+        while let Some(&crash_t) = crashes.peek() {
+            if crash_t > s.t {
+                break;
+            }
+            crashes.next();
+            quality.crashes += 1;
+            if last_crash_t
+                .is_some_and(|prev| crash_t.saturating_sub(prev) > sup.healthy_reset_secs)
+            {
+                attempts = 0;
+            }
+            last_crash_t = Some(crash_t);
+            attempts += 1;
+            if attempts > sup.max_retries {
+                // Retries exhausted: this machine's tail is censored,
+                // the testbed itself keeps going.
+                quality.gave_up = true;
+                abandoned_at = Some(crash_t);
+                break 'samples;
+            }
+            let backoff = sup
+                .backoff_base_secs
+                .saturating_mul(1u64 << (attempts - 1).min(20))
+                .min(sup.backoff_cap_secs);
+            outage_until = outage_until.max(crash_t.saturating_add(backoff));
+        }
+        if s.t < outage_until {
+            quality.lost_in_crash += 1;
+            continue;
+        }
+        // The detector requires non-decreasing timestamps; late (or
+        // clock-rewound) deliveries are discarded, not reordered.
+        if last_t.is_some_and(|lt| s.t < lt) {
+            quality.out_of_order += 1;
+            continue;
+        }
+        last_t = Some(s.t);
+        quality.samples_used += 1;
+
+        let obs = if s.alive {
+            Observation {
+                host_load: s.host_load,
+                free_mem_mb: free_for_guest(s.host_resident_mb),
+                alive: true,
+            }
+        } else {
+            Observation::dead()
+        };
+
+        if detector.is_available() && s.alive {
+            avail_cpu_sum += 1.0 - s.host_load;
+            avail_mem_sum += free_for_guest(s.host_resident_mb) as f64;
+            avail_samples += 1;
+        }
+
+        let step = detector.observe(s.t, &obs);
+        if let Some(gap) = step.gap {
+            quality.gaps += 1;
+            quality.censored_spans.push(gap);
+            // What accumulated before the silence does not describe the
+            // interval that resumes after it.
+            avail_cpu_sum = 0.0;
+            avail_mem_sum = 0.0;
+            avail_samples = 0;
+        }
+        for edge in step.edges {
+            match edge {
+                EventEdge::Started { cause, at } => {
+                    debug_assert!(open.is_none(), "nested occurrence");
+                    let n = avail_samples.max(1) as f64;
+                    records.push(TraceRecord {
+                        machine: machine_id as u32,
+                        cause,
+                        start: at,
+                        end: None,
+                        raw_end: None,
+                        avail_cpu: avail_cpu_sum / n,
+                        avail_mem_mb: (avail_mem_sum / n) as u32,
+                    });
+                    open = Some(records.len() - 1);
+                    avail_cpu_sum = 0.0;
+                    avail_mem_sum = 0.0;
+                    avail_samples = 0;
+                }
+                EventEdge::Ended { at, calm_from, .. } => {
+                    let idx = open.take().expect("Ended without open record");
+                    records[idx].end = Some(at.max(records[idx].start));
+                    records[idx].raw_end =
+                        Some(calm_from.clamp(records[idx].start, records[idx].end.unwrap()));
+                }
+            }
+        }
+    }
+
+    if let Some(from) = abandoned_at {
+        // Nothing past the fatal crash was observed.
+        quality.censored_spans.push((from.min(span), span));
+    }
+
+    let stats = stream.stats();
+    quality.dropped = stats.dropped;
+    quality.duplicated = stats.duplicated;
+    quality.delayed = stats.delayed;
+    quality.restarts = stats.restarts;
+    quality.lost_in_restart = stats.lost_in_restart;
+    quality.clock_jumps = stats.clock_jumps;
+    (records, quality)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +416,87 @@ mod tests {
                 assert!(hit, "machine {m} day {day} missing a 4-5 AM event");
             }
         }
+    }
+
+    #[test]
+    fn zero_faults_reproduce_the_clean_trace_exactly() {
+        let cfg = TestbedConfig::tiny();
+        let clean = run_testbed(&cfg);
+        let (faulty, quality) =
+            run_testbed_faulty(&cfg, &FaultConfig::off(1), &SupervisorConfig::default());
+        assert_eq!(faulty, clean, "identity injection must be bit-identical");
+        assert!(quality.is_clean(), "{quality}");
+        assert_eq!(quality.parsed_records, clean.records.len() as u64);
+    }
+
+    #[test]
+    fn noisy_faults_never_abort_and_are_accounted() {
+        let mut cfg = TestbedConfig::tiny();
+        cfg.lab.days = 6;
+        let faults = FaultConfig::noisy(42);
+        let (trace, quality) =
+            run_testbed_faulty(&cfg, &faults, &SupervisorConfig::default());
+        assert!(!trace.records.is_empty());
+        assert!(!quality.is_clean(), "noisy run must report faults");
+        let t = quality.totals();
+        assert!(t.dropped > 0, "drop rate 0.005 over 6 days must drop something");
+        // Records stay structurally sound even under faults.
+        for (_, recs) in trace.per_machine() {
+            for w in recs.windows(2) {
+                let end = w[0].end.expect("only the last record may be open");
+                assert!(end <= w[1].start, "overlap: {:?} {:?}", w[0], w[1]);
+            }
+            for r in recs {
+                if let (Some(end), Some(raw)) = (r.end, r.raw_end) {
+                    assert!(r.start <= end && raw <= end && raw >= r.start, "{r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let mut cfg = TestbedConfig::tiny();
+        cfg.lab.days = 5;
+        let faults = FaultConfig::noisy(7);
+        let sup = SupervisorConfig::default();
+        let a = run_testbed_faulty(&cfg, &faults, &sup);
+        let b = run_testbed_faulty(&cfg, &faults, &sup);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn supervisor_gives_up_and_censors_instead_of_aborting() {
+        let mut cfg = TestbedConfig::tiny();
+        cfg.lab.days = 8;
+        let mut faults = FaultConfig::off(3);
+        faults.crash_rate_per_day = 6.0; // crashes far beyond the retry budget
+        let sup = SupervisorConfig { max_retries: 2, ..SupervisorConfig::default() };
+        let (trace, quality) = run_testbed_faulty(&cfg, &faults, &sup);
+        let abandoned: Vec<_> =
+            quality.machines.values().filter(|m| m.gave_up).collect();
+        assert!(!abandoned.is_empty(), "this crash rate must exhaust 2 retries");
+        for m in abandoned {
+            assert_eq!(m.crashes, sup.max_retries as u64 + 1);
+            let (_, until) = *m.censored_spans.last().unwrap();
+            assert_eq!(until, cfg.lab.span_secs(), "tail is censored to the end");
+        }
+        // The testbed as a whole still produced a trace.
+        assert_eq!(trace.meta.machines as usize, cfg.lab.machines);
+    }
+
+    #[test]
+    fn restart_outages_censor_via_the_gap_policy() {
+        let mut cfg = TestbedConfig::tiny();
+        cfg.lab.days = 6;
+        let mut faults = FaultConfig::off(11);
+        faults.restart_rate = 0.001;
+        faults.restart_outage_samples = 20; // 300 s > max_silence 120 s
+        let (_, quality) = run_testbed_faulty(&cfg, &faults, &SupervisorConfig::default());
+        let t = quality.totals();
+        assert!(t.restarts > 0);
+        assert!(t.gaps > 0, "a 300 s outage must be censored, got {quality}");
+        assert_eq!(t.lost_in_restart, t.restarts * 20);
     }
 
     #[test]

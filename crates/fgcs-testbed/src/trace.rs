@@ -15,6 +15,7 @@ use std::io::{BufRead, Write};
 use fgcs_core::model::{AvailState, FailureCause, Thresholds};
 
 use crate::json::{self, ObjWriter, Value};
+use crate::quality::TraceQualityReport;
 
 /// Trace-wide metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +157,47 @@ impl Trace {
         Ok(Trace { meta, records })
     }
 
+    /// Reads a trace written by [`Trace::write_jsonl`], skipping and
+    /// reporting damaged record lines instead of failing on the first.
+    ///
+    /// The meta line must still parse — without it nothing downstream
+    /// can interpret the records, so a damaged header is a hard
+    /// [`TraceError::Parse`]. Every damaged *record* line is skipped and
+    /// counted in the returned [`TraceQualityReport`]
+    /// (`corrupt_lines` / `corrupt_line_numbers`, 1-based file line
+    /// numbers); surviving records are counted per machine via
+    /// `samples_used`-independent `parsed_records`. On an undamaged file
+    /// this returns exactly what [`Trace::read_jsonl`] returns, plus a
+    /// clean report.
+    pub fn read_jsonl_recovering<R: BufRead>(r: R) -> Result<(Trace, TraceQualityReport), TraceError> {
+        let mut lines = r.lines();
+        let meta_line = lines
+            .next()
+            .ok_or_else(|| TraceError::Parse("empty trace file".into()))??;
+        let meta = meta_from_json(&meta_line)
+            .map_err(|e| TraceError::Parse(format!("bad meta line: {e}")))?;
+        let mut records = Vec::new();
+        let mut quality = TraceQualityReport::new();
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match record_from_json(&line) {
+                Ok(rec) => {
+                    quality.machine_mut(rec.machine);
+                    records.push(rec);
+                }
+                Err(_) => {
+                    quality.corrupt_lines += 1;
+                    quality.corrupt_line_numbers.push(i + 2); // 1-based, after meta
+                }
+            }
+        }
+        quality.parsed_records = records.len() as u64;
+        Ok((Trace { meta, records }, quality))
+    }
+
     /// Writes the records as CSV (metadata is *not* included; pair with
     /// JSONL for full fidelity).
     pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
@@ -185,50 +227,73 @@ impl Trace {
             if i == 0 || line.trim().is_empty() {
                 continue; // header
             }
-            let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != 7 {
-                return Err(TraceError::Parse(format!(
-                    "line {}: expected 7 fields, got {}",
-                    i + 1,
-                    fields.len()
-                )));
-            }
-            let parse_u64 = |s: &str, what: &str| -> Result<u64, TraceError> {
-                s.parse::<u64>()
-                    .map_err(|e| TraceError::Parse(format!("line {}: {what}: {e}", i + 1)))
-            };
-            let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, TraceError> {
-                if s == "-" {
-                    Ok(None)
-                } else {
-                    parse_u64(s, what).map(Some)
-                }
-            };
-            let cause = match fields[1] {
-                "S3" => FailureCause::CpuContention,
-                "S4" => FailureCause::MemoryThrashing,
-                "S5" => FailureCause::Revocation,
-                other => {
-                    return Err(TraceError::Parse(format!(
-                        "line {}: unknown state {other:?}",
-                        i + 1
-                    )))
-                }
-            };
-            records.push(TraceRecord {
-                machine: parse_u64(fields[0], "machine")? as u32,
-                cause,
-                start: parse_u64(fields[2], "start")?,
-                end: parse_opt(fields[3], "end")?,
-                raw_end: parse_opt(fields[4], "raw_end")?,
-                avail_cpu: fields[5]
-                    .parse::<f64>()
-                    .map_err(|e| TraceError::Parse(format!("line {}: avail_cpu: {e}", i + 1)))?,
-                avail_mem_mb: parse_u64(fields[6], "avail_mem_mb")? as u32,
-            });
+            let rec = record_from_csv_line(&line)
+                .map_err(|e| TraceError::Parse(format!("line {}: {e}", i + 1)))?;
+            records.push(rec);
         }
         Ok(Trace { meta, records })
     }
+
+    /// Reads records from [`Trace::write_csv`] output like
+    /// [`Trace::read_csv`], but skips and reports damaged lines instead
+    /// of failing on the first (see [`Trace::read_jsonl_recovering`]).
+    pub fn read_csv_recovering<R: BufRead>(
+        r: R,
+        meta: TraceMeta,
+    ) -> Result<(Trace, TraceQualityReport), TraceError> {
+        let mut records = Vec::new();
+        let mut quality = TraceQualityReport::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            if i == 0 || line.trim().is_empty() {
+                continue; // header
+            }
+            match record_from_csv_line(&line) {
+                Ok(rec) => {
+                    quality.machine_mut(rec.machine);
+                    records.push(rec);
+                }
+                Err(_) => {
+                    quality.corrupt_lines += 1;
+                    quality.corrupt_line_numbers.push(i + 1);
+                }
+            }
+        }
+        quality.parsed_records = records.len() as u64;
+        Ok((Trace { meta, records }, quality))
+    }
+}
+
+fn record_from_csv_line(line: &str) -> Result<TraceRecord, String> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 7 {
+        return Err(format!("expected 7 fields, got {}", fields.len()));
+    }
+    let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse::<u64>().map_err(|e| format!("{what}: {e}"))
+    };
+    let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, String> {
+        if s == "-" {
+            Ok(None)
+        } else {
+            parse_u64(s, what).map(Some)
+        }
+    };
+    let cause = match fields[1] {
+        "S3" => FailureCause::CpuContention,
+        "S4" => FailureCause::MemoryThrashing,
+        "S5" => FailureCause::Revocation,
+        other => return Err(format!("unknown state {other:?}")),
+    };
+    Ok(TraceRecord {
+        machine: parse_u64(fields[0], "machine")? as u32,
+        cause,
+        start: parse_u64(fields[2], "start")?,
+        end: parse_opt(fields[3], "end")?,
+        raw_end: parse_opt(fields[4], "raw_end")?,
+        avail_cpu: fields[5].parse::<f64>().map_err(|e| format!("avail_cpu: {e}"))?,
+        avail_mem_mb: parse_u64(fields[6], "avail_mem_mb")? as u32,
+    })
 }
 
 // JSON conversion helpers. The field order and encodings (unit enum
@@ -423,6 +488,71 @@ mod tests {
         let meta = sample_trace().meta;
         let bad = "header\n0,S3,1\n";
         assert!(Trace::read_csv(bad.as_bytes(), meta).is_err());
+    }
+
+    #[test]
+    fn recovering_jsonl_equals_strict_on_clean_input() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let (back, q) = Trace::read_jsonl_recovering(&buf[..]).unwrap();
+        assert_eq!(back, t);
+        assert!(q.is_clean());
+        assert_eq!(q.parsed_records, t.records.len() as u64);
+    }
+
+    #[test]
+    fn recovering_jsonl_skips_and_reports_damage() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let mut lines: Vec<String> =
+            String::from_utf8(buf).unwrap().lines().map(String::from).collect();
+        lines[2] = "####corrupt####".into(); // second record
+        let text = lines.join("\n");
+        let (back, q) = Trace::read_jsonl_recovering(text.as_bytes()).unwrap();
+        assert_eq!(back.records.len(), t.records.len() - 1);
+        assert_eq!(back.records[0], t.records[0], "surviving records intact");
+        assert_eq!(back.records[1], t.records[2]);
+        assert_eq!(q.corrupt_lines, 1);
+        assert_eq!(q.corrupt_line_numbers, vec![3]);
+        assert_eq!(q.parsed_records, 2);
+    }
+
+    #[test]
+    fn recovering_jsonl_still_requires_the_meta_line() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let damaged = format!("not json\n{}", text.lines().nth(1).unwrap());
+        assert!(Trace::read_jsonl_recovering(damaged.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn recovering_csv_skips_and_reports_damage() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let mut lines: Vec<String> =
+            String::from_utf8(buf).unwrap().lines().map(String::from).collect();
+        lines[1] = lines[1][..5].to_string(); // truncated mid-record
+        lines.push("0,S9,1,2,2,0.5,100".into()); // bad state
+        let text = lines.join("\n");
+        let (back, q) = Trace::read_csv_recovering(text.as_bytes(), t.meta.clone()).unwrap();
+        assert_eq!(back.records, &t.records[1..]);
+        assert_eq!(q.corrupt_lines, 2);
+        assert_eq!(q.corrupt_line_numbers, vec![2, 5]);
+    }
+
+    #[test]
+    fn recovering_csv_equals_strict_on_clean_input() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let (back, q) = Trace::read_csv_recovering(&buf[..], t.meta.clone()).unwrap();
+        assert_eq!(back, t);
+        assert!(q.is_clean());
     }
 
     #[test]

@@ -10,15 +10,25 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
-echo "== experiment smoke (table1 + fig1a, reduced scale) =="
+echo "== experiment smoke (table1 + fig1a + faults, reduced scale) =="
 # Run from a scratch dir: fgcs-exp writes results/ relative to the cwd,
 # and the reduced-scale output must not clobber the committed artifacts.
+# The faults run doubles as the fault-injection reconciliation gate: the
+# experiment asserts internally that the zero-rate injection reproduces
+# the clean trace bit-for-bit and that every quality report matches the
+# injected fault counts, so a drifting harness fails this smoke.
 exp_bin="$PWD/target/release/fgcs-exp"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-for e in table1 fig1a; do
+for e in table1 fig1a faults; do
     (cd "$smoke_dir" && "$exp_bin" "$e" --quick > /dev/null)
 done
+# The fault matrix must actually have produced its drift report, with one
+# row per fault scale.
+fm="$smoke_dir/results/fault_matrix.csv"
+test -f "$fm" || { echo "missing $fm" >&2; exit 1; }
+rows=$(($(wc -l < "$fm") - 1))
+[ "$rows" -eq 5 ] || { echo "fault_matrix.csv: expected 5 scale rows, got $rows" >&2; exit 1; }
 
 echo "== sim throughput smoke (quick mode) =="
 FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench sim_throughput

@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the whole `fgcs` workspace.
 pub use fgcs_core as core;
+pub use fgcs_faults as faults;
 pub use fgcs_par as par;
 pub use fgcs_predict as predict;
 pub use fgcs_sim as sim;

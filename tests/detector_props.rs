@@ -14,6 +14,7 @@ fn config() -> DetectorConfig {
         guest_working_set_mb: 64,
         spike_tolerance: 60,
         harvest_delay: 300,
+        max_silence: None,
     }
 }
 

@@ -1,0 +1,170 @@
+//! Property-based tests of the hardened trace loaders against the
+//! corruption injector: for *any* trace and *any* corruption rate, the
+//! recovering loaders never panic, never return a silently-wrong record,
+//! and account for every line — surviving records round-trip exactly and
+//! damaged lines are counted, nothing else.
+
+use fgcs::core::model::{FailureCause, Thresholds};
+use fgcs::faults::corrupt::corrupt_text;
+use fgcs::faults::FaultConfig;
+use fgcs::testbed::trace::{Trace, TraceMeta, TraceRecord};
+use proptest::prelude::*;
+
+fn meta(machines: u32) -> TraceMeta {
+    TraceMeta {
+        seed: 1,
+        machines,
+        days: 30,
+        sample_period: 15,
+        start_weekday: 0,
+        span_secs: 30 * 86_400,
+        thresholds: Thresholds::LINUX_TESTBED,
+    }
+}
+
+prop_compose! {
+    fn arb_cause()(idx in 0usize..3) -> FailureCause {
+        [FailureCause::CpuContention, FailureCause::MemoryThrashing, FailureCause::Revocation][idx]
+    }
+}
+
+prop_compose! {
+    fn arb_record(machines: u32)(
+        machine in 0..machines,
+        cause in arb_cause(),
+        start in 0u64..2_000_000,
+        dur in prop::option::of(1u64..100_000),
+        raw_frac in 0.0f64..=1.0,
+        avail_cpu in 0.0f64..=1.0,
+        avail_mem in 0u32..2048,
+    ) -> TraceRecord {
+        let end = dur.map(|d| start + d);
+        let raw_end = end.map(|e| start + ((e - start) as f64 * raw_frac) as u64);
+        TraceRecord { machine, cause, start, end, raw_end, avail_cpu, avail_mem_mb: avail_mem }
+    }
+}
+
+fn corruption(seed: u64, rate: f64) -> FaultConfig {
+    let mut cfg = FaultConfig::off(seed);
+    cfg.corrupt_rate = rate;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// JSONL: every line of a corrupted file either survives as its
+    /// original record or is counted as corrupt — never both, never a
+    /// mutated record, never a panic.
+    #[test]
+    fn corrupted_jsonl_is_skip_or_survive(
+        records in prop::collection::vec(arb_record(5), 0..50),
+        seed in 0u64..1_000,
+        rate in 0.0f64..=1.0,
+    ) {
+        let trace = Trace { meta: meta(5), records };
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (damaged, creport) = corrupt_text(&text, &corruption(seed, rate), 0);
+
+        let (back, q) = Trace::read_jsonl_recovering(damaged.as_bytes()).unwrap();
+        prop_assert_eq!(back.meta, trace.meta, "meta line is never corrupted");
+        prop_assert_eq!(q.corrupt_lines, creport.lines_corrupted,
+            "loader counts exactly the injected damage");
+        prop_assert_eq!(
+            back.records.len() as u64 + q.corrupt_lines,
+            trace.records.len() as u64,
+            "every record survives or is counted"
+        );
+        // The surviving records are exactly the untouched originals, in
+        // order: corruption is detected, never silently absorbed.
+        let damaged_lines: std::collections::BTreeSet<usize> =
+            creport.corrupted_line_numbers.iter().copied().collect();
+        let expected: Vec<&TraceRecord> = trace
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !damaged_lines.contains(&(i + 1))) // line 0 is meta
+            .map(|(_, r)| r)
+            .collect();
+        prop_assert_eq!(back.records.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// CSV: same skip-or-survive guarantee as JSONL.
+    #[test]
+    fn corrupted_csv_is_skip_or_survive(
+        records in prop::collection::vec(arb_record(5), 0..50),
+        seed in 0u64..1_000,
+        rate in 0.0f64..=1.0,
+    ) {
+        let trace = Trace { meta: meta(5), records };
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (damaged, creport) = corrupt_text(&text, &corruption(seed, rate), 0);
+
+        let (back, q) = Trace::read_csv_recovering(damaged.as_bytes(), trace.meta.clone()).unwrap();
+        prop_assert_eq!(q.corrupt_lines, creport.lines_corrupted);
+        prop_assert_eq!(
+            back.records.len() as u64 + q.corrupt_lines,
+            trace.records.len() as u64
+        );
+        let damaged_lines: std::collections::BTreeSet<usize> =
+            creport.corrupted_line_numbers.iter().copied().collect();
+        let expected: Vec<&TraceRecord> = trace
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !damaged_lines.contains(&(i + 1))) // line 0 is the header
+            .map(|(_, r)| r)
+            .collect();
+        prop_assert_eq!(back.records.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// Zero corruption: the recovering loaders agree byte-for-byte with
+    /// the strict ones and report a clean bill of health.
+    #[test]
+    fn zero_corruption_equals_strict(records in prop::collection::vec(arb_record(5), 0..50)) {
+        let trace = Trace { meta: meta(5), records };
+
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let strict = Trace::read_jsonl(&buf[..]).unwrap();
+        let (recovered, q) = Trace::read_jsonl_recovering(&buf[..]).unwrap();
+        prop_assert_eq!(&recovered, &strict);
+        prop_assert!(q.is_clean());
+
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        let strict = Trace::read_csv(&buf[..], trace.meta.clone()).unwrap();
+        let (recovered, q) = Trace::read_csv_recovering(&buf[..], trace.meta.clone()).unwrap();
+        prop_assert_eq!(&recovered, &strict);
+        prop_assert!(q.is_clean());
+    }
+
+    /// The recovering JSONL loader never panics on arbitrary bytes after
+    /// a valid meta line (and the strict loader agrees when it succeeds).
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        garbage_bytes in prop::collection::vec(prop::collection::vec(32u8..127, 0..80), 0..30),
+    ) {
+        let garbage: Vec<String> = garbage_bytes
+            .into_iter()
+            .map(|b| String::from_utf8(b).expect("printable ascii"))
+            .collect();
+        let trace = Trace { meta: meta(2), records: vec![] };
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        for g in &garbage {
+            text.push_str(g);
+            text.push('\n');
+        }
+        let (back, q) = Trace::read_jsonl_recovering(text.as_bytes()).unwrap();
+        prop_assert_eq!(back.meta, trace.meta);
+        // Every non-blank garbage line is either a valid record or counted.
+        let non_blank = garbage.iter().filter(|g| !g.trim().is_empty()).count() as u64;
+        prop_assert_eq!(back.records.len() as u64 + q.corrupt_lines, non_blank);
+    }
+}

@@ -89,7 +89,11 @@ impl Criterion {
 
     /// Opens a named group; benchmark ids become `group/name`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     fn matches(&self, id: &str) -> bool {
@@ -98,7 +102,10 @@ impl Criterion {
 
     fn effective_times(&self) -> (Duration, Duration) {
         if std::env::var_os("FGCS_BENCH_QUICK").is_some() {
-            (self.warm_up.min(Duration::from_millis(50)), self.measurement.min(Duration::from_millis(200)))
+            (
+                self.warm_up.min(Duration::from_millis(50)),
+                self.measurement.min(Duration::from_millis(200)),
+            )
         } else {
             (self.warm_up, self.measurement)
         }
@@ -171,7 +178,10 @@ where
     let mut iters: u64 = 1;
     let mut per_iter_ns: f64;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         per_iter_ns = (b.elapsed.as_nanos() as f64 / iters as f64).max(0.01);
         if b.elapsed >= warm_up / 5 || Instant::now() >= warm_deadline {
@@ -186,7 +196,10 @@ where
     let mut total = Duration::ZERO;
     let mut best_ns = f64::INFINITY;
     for _ in 0..c.sample_size {
-        let mut b = Bencher { iters: batch_iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         total += b.elapsed;
         let ns = b.elapsed.as_nanos() as f64 / batch_iters as f64;

@@ -53,8 +53,19 @@ fn bench_monitor_detector(c: &mut Criterion) {
     g.bench_function("detector_observe", |b| {
         b.iter(|| {
             t += 15;
-            let load = if (t / 900).is_multiple_of(2) { 0.1 } else { 0.9 };
-            black_box(det.observe(t, &Observation { host_load: load, free_mem_mb: 512, alive: true }))
+            let load = if (t / 900).is_multiple_of(2) {
+                0.1
+            } else {
+                0.9
+            };
+            black_box(det.observe(
+                t,
+                &Observation {
+                    host_load: load,
+                    free_mem_mb: 512,
+                    alive: true,
+                },
+            ))
         })
     });
     g.finish();
@@ -62,7 +73,10 @@ fn bench_monitor_detector(c: &mut Criterion) {
 
 fn bench_lab_generator(c: &mut Criterion) {
     let mut g = c.benchmark_group("lab");
-    let cfg = LabConfig { days: 7, ..LabConfig::default() };
+    let cfg = LabConfig {
+        days: 7,
+        ..LabConfig::default()
+    };
     g.bench_function("plan_generation_7days", |b| {
         b.iter(|| black_box(MachinePlan::generate(&cfg, 3)))
     });
@@ -78,7 +92,9 @@ fn bench_stats(c: &mut Criterion) {
     let mut g = c.benchmark_group("stats");
     let mut rng = Rng::new(5);
     let samples: Vec<f64> = (0..10_000).map(|_| rng.f64() * 12.0).collect();
-    g.bench_function("ecdf_build_10k", |b| b.iter(|| black_box(Ecdf::new(&samples))));
+    g.bench_function("ecdf_build_10k", |b| {
+        b.iter(|| black_box(Ecdf::new(&samples)))
+    });
     let ecdf = Ecdf::new(&samples);
     g.bench_function("ecdf_eval", |b| b.iter(|| black_box(ecdf.eval(6.0))));
     g.bench_function("rng_f64_1k", |b| {
@@ -136,7 +152,14 @@ fn bench_policy_and_cluster(c: &mut Criterion) {
         let hosts = [synthetic::host_process("h", 0.4)];
         b.iter(|| {
             let mut p = TwoThresholdPolicy::new(Thresholds::LINUX_TESTBED, secs(60));
-            black_box(run_policy(&MachineConfig::default(), &hosts, &mut p, secs(2), 2, 20))
+            black_box(run_policy(
+                &MachineConfig::default(),
+                &hosts,
+                &mut p,
+                secs(2),
+                2,
+                20,
+            ))
         })
     });
     g.bench_function("cluster_drain_4nodes", |b| {
@@ -152,7 +175,9 @@ fn bench_policy_and_cluster(c: &mut Criterion) {
                     "j",
                     ProcClass::Guest,
                     0,
-                    Demand::CpuBound { total_work: Some(secs(2)) },
+                    Demand::CpuBound {
+                        total_work: Some(secs(2)),
+                    },
                     MemSpec::tiny(),
                 ));
             }
@@ -204,7 +229,14 @@ fn bench_loadtrace(c: &mut Criterion) {
     let mut g = c.benchmark_group("loadtrace");
     g.throughput(Throughput::Elements(series.samples.len() as u64));
     g.bench_function("derive_events_2days", |b| {
-        b.iter(|| black_box(derive_events(&series, det, cfg.phys_mem_mb, cfg.kernel_mem_mb)))
+        b.iter(|| {
+            black_box(derive_events(
+                &series,
+                det,
+                cfg.phys_mem_mb,
+                cfg.kernel_mem_mb,
+            ))
+        })
     });
     g.bench_function("csv_write_2days", |b| {
         b.iter(|| {

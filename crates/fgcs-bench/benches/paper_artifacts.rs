@@ -72,8 +72,12 @@ fn bench_table2(c: &mut Criterion) {
     let cfg = bench_testbed_cfg();
     let trace = bench_trace();
     let mut g = c.benchmark_group("bench_table2");
-    g.bench_function("run_testbed_4x7", |b| b.iter(|| black_box(run_testbed(&cfg))));
-    g.bench_function("analyze_causes", |b| b.iter(|| black_box(analysis::table2(&trace))));
+    g.bench_function("run_testbed_4x7", |b| {
+        b.iter(|| black_box(run_testbed(&cfg)))
+    });
+    g.bench_function("analyze_causes", |b| {
+        b.iter(|| black_box(analysis::table2(&trace)))
+    });
     g.finish();
 }
 
@@ -87,8 +91,12 @@ fn bench_fig6(c: &mut Criterion) {
 fn bench_fig7(c: &mut Criterion) {
     let trace = bench_trace();
     let mut g = c.benchmark_group("bench_fig7");
-    g.bench_function("hourly_bands", |b| b.iter(|| black_box(analysis::hourly(&trace))));
-    g.bench_function("regularity", |b| b.iter(|| black_box(analysis::regularity(&trace))));
+    g.bench_function("hourly_bands", |b| {
+        b.iter(|| black_box(analysis::hourly(&trace)))
+    });
+    g.bench_function("regularity", |b| {
+        b.iter(|| black_box(analysis::regularity(&trace)))
+    });
     g.finish();
 }
 
@@ -98,7 +106,10 @@ fn bench_predict(c: &mut Criterion) {
     g.bench_function("evaluate_all_predictors_1window", |b| {
         b.iter(|| {
             let mut preds = standard_predictors();
-            let cfg = EvalConfig { windows: vec![2 * 3600], ..Default::default() };
+            let cfg = EvalConfig {
+                windows: vec![2 * 3600],
+                ..Default::default()
+            };
             black_box(evaluate(&trace, &mut preds, &cfg))
         })
     });

@@ -27,10 +27,43 @@ use fgcs_sim::time::secs;
 /// batched path retires whole sleep horizons at once.
 fn idle_heavy() -> Machine {
     let mut m = Machine::default_linux();
-    m.spawn(ProcSpec::new("h1", ProcClass::Host, 0, Demand::DutyCycle { busy: 2, idle: 998 }, MemSpec::tiny()));
-    m.spawn(ProcSpec::new("h2", ProcClass::Host, 0, Demand::DutyCycle { busy: 5, idle: 1995 }, MemSpec::tiny()));
-    m.spawn(ProcSpec::new("sys", ProcClass::System, 0, Demand::DutyCycle { busy: 1, idle: 4999 }, MemSpec::tiny()));
-    m.spawn(ProcSpec::new("g", ProcClass::Guest, 19, Demand::DutyCycle { busy: 10, idle: 3990 }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new(
+        "h1",
+        ProcClass::Host,
+        0,
+        Demand::DutyCycle { busy: 2, idle: 998 },
+        MemSpec::tiny(),
+    ));
+    m.spawn(ProcSpec::new(
+        "h2",
+        ProcClass::Host,
+        0,
+        Demand::DutyCycle {
+            busy: 5,
+            idle: 1995,
+        },
+        MemSpec::tiny(),
+    ));
+    m.spawn(ProcSpec::new(
+        "sys",
+        ProcClass::System,
+        0,
+        Demand::DutyCycle {
+            busy: 1,
+            idle: 4999,
+        },
+        MemSpec::tiny(),
+    ));
+    m.spawn(ProcSpec::new(
+        "g",
+        ProcClass::Guest,
+        19,
+        Demand::DutyCycle {
+            busy: 10,
+            idle: 3990,
+        },
+        MemSpec::tiny(),
+    ));
     m
 }
 
@@ -38,10 +71,34 @@ fn idle_heavy() -> Machine {
 /// always someone runnable, batches bounded by quanta and margins.
 fn contended() -> Machine {
     let mut m = Machine::default_linux();
-    m.spawn(ProcSpec::new("h1", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
-    m.spawn(ProcSpec::new("h2", ProcClass::Host, 5, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
-    m.spawn(ProcSpec::new("g1", ProcClass::Guest, 19, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
-    m.spawn(ProcSpec::new("g2", ProcClass::Guest, 10, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+    m.spawn(ProcSpec::new(
+        "h1",
+        ProcClass::Host,
+        0,
+        Demand::CpuBound { total_work: None },
+        MemSpec::tiny(),
+    ));
+    m.spawn(ProcSpec::new(
+        "h2",
+        ProcClass::Host,
+        5,
+        Demand::CpuBound { total_work: None },
+        MemSpec::tiny(),
+    ));
+    m.spawn(ProcSpec::new(
+        "g1",
+        ProcClass::Guest,
+        19,
+        Demand::CpuBound { total_work: None },
+        MemSpec::tiny(),
+    ));
+    m.spawn(ProcSpec::new(
+        "g2",
+        ProcClass::Guest,
+        10,
+        Demand::CpuBound { total_work: None },
+        MemSpec::tiny(),
+    ));
     m
 }
 
@@ -49,8 +106,20 @@ fn contended() -> Machine {
 /// tick owes page-fault stall, most wall time is iowait.
 fn thrashing() -> Machine {
     let mut m = Machine::new(MachineConfig::solaris_384mb());
-    m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::resident(250)));
-    m.spawn(ProcSpec::new("g", ProcClass::Guest, 19, Demand::CpuBound { total_work: None }, MemSpec::resident(250)));
+    m.spawn(ProcSpec::new(
+        "h",
+        ProcClass::Host,
+        0,
+        Demand::CpuBound { total_work: None },
+        MemSpec::resident(250),
+    ));
+    m.spawn(ProcSpec::new(
+        "g",
+        ProcClass::Guest,
+        19,
+        Demand::CpuBound { total_work: None },
+        MemSpec::resident(250),
+    ));
     m
 }
 

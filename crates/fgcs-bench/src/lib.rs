@@ -11,7 +11,12 @@ use fgcs_testbed::trace::Trace;
 
 /// Contention config for benches: short runs, single combo.
 pub fn bench_contention_cfg() -> ContentionConfig {
-    ContentionConfig { warmup_secs: 2, measure_secs: 20, combos: 1, seed: 0xBE7C4 }
+    ContentionConfig {
+        warmup_secs: 2,
+        measure_secs: 20,
+        combos: 1,
+        seed: 0xBE7C4,
+    }
 }
 
 /// Testbed config for benches: 4 machines, 7 days.

@@ -68,8 +68,11 @@ pub fn threshold_from_rows(rows: &[Fig1Row]) -> f64 {
 
     let mut best: Option<f64> = None;
     for m in m_values {
-        let mut series: Vec<(f64, f64)> =
-            rows.iter().filter(|r| r.m == m).map(|r| (r.lh, r.reduction)).collect();
+        let mut series: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.m == m)
+            .map(|r| (r.lh, r.reduction))
+            .collect();
         series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
         for (i, &(lh, red)) in series.iter().enumerate() {
             // "Steadily above": this grid point and the following two
@@ -119,10 +122,26 @@ mod tests {
     #[test]
     fn threshold_extraction_picks_lowest_exceeding_lh() {
         let rows = vec![
-            Fig1Row { lh: 0.2, m: 1, reduction: 0.02 },
-            Fig1Row { lh: 0.4, m: 1, reduction: 0.08 },
-            Fig1Row { lh: 0.3, m: 2, reduction: 0.06 },
-            Fig1Row { lh: 0.6, m: 1, reduction: 0.2 },
+            Fig1Row {
+                lh: 0.2,
+                m: 1,
+                reduction: 0.02,
+            },
+            Fig1Row {
+                lh: 0.4,
+                m: 1,
+                reduction: 0.08,
+            },
+            Fig1Row {
+                lh: 0.3,
+                m: 2,
+                reduction: 0.06,
+            },
+            Fig1Row {
+                lh: 0.6,
+                m: 1,
+                reduction: 0.2,
+            },
         ];
         assert_eq!(threshold_from_rows(&rows), 0.3);
     }
@@ -130,8 +149,16 @@ mod tests {
     #[test]
     fn threshold_falls_back_to_grid_top() {
         let rows = vec![
-            Fig1Row { lh: 0.2, m: 1, reduction: 0.01 },
-            Fig1Row { lh: 0.8, m: 1, reduction: 0.04 },
+            Fig1Row {
+                lh: 0.2,
+                m: 1,
+                reduction: 0.01,
+            },
+            Fig1Row {
+                lh: 0.8,
+                m: 1,
+                reduction: 0.04,
+            },
         ];
         assert_eq!(threshold_from_rows(&rows), 0.8);
     }

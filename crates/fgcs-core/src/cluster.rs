@@ -56,7 +56,9 @@ pub struct RandomPlacement {
 impl RandomPlacement {
     /// Creates a random placement with the given seed.
     pub fn new(seed: u64) -> Self {
-        RandomPlacement { rng: Rng::new(seed) }
+        RandomPlacement {
+            rng: Rng::new(seed),
+        }
     }
 }
 
@@ -66,7 +68,11 @@ impl Placement for RandomPlacement {
     }
 
     fn choose(&mut self, nodes: &[NodeView]) -> Option<usize> {
-        let open: Vec<usize> = nodes.iter().filter(|n| n.accepts_jobs).map(|n| n.node).collect();
+        let open: Vec<usize> = nodes
+            .iter()
+            .filter(|n| n.accepts_jobs)
+            .map(|n| n.node)
+            .collect();
         if open.is_empty() {
             None
         } else {
@@ -284,7 +290,11 @@ impl Cluster {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> ClusterStats {
-        let mut s = ClusterStats { queued: self.queue.len(), dispatched: self.dispatched, ..Default::default() };
+        let mut s = ClusterStats {
+            queued: self.queue.len(),
+            dispatched: self.dispatched,
+            ..Default::default()
+        };
         for n in &self.nodes {
             let ns: ControllerStats = n.stats();
             s.completed += ns.completed;
@@ -292,8 +302,7 @@ impl Cluster {
         }
         let responses: Vec<u64> = self.jobs.iter().filter_map(|j| j.response()).collect();
         if !responses.is_empty() {
-            s.mean_response_ticks =
-                responses.iter().sum::<u64>() as f64 / responses.len() as f64;
+            s.mean_response_ticks = responses.iter().sum::<u64>() as f64 / responses.len() as f64;
         }
         s
     }
@@ -328,7 +337,11 @@ impl Cluster {
 
     /// True while any job is queued or running.
     pub fn has_outstanding_work(&self) -> bool {
-        !self.queue.is_empty() || self.nodes.iter().any(|n| n.guest_running() || n.queue_len() > 0)
+        !self.queue.is_empty()
+            || self
+                .nodes
+                .iter()
+                .any(|n| n.guest_running() || n.queue_len() > 0)
     }
 
     /// Reconciles per-node outcomes with the job table: jobs whose guest
@@ -392,7 +405,9 @@ mod tests {
             "job",
             ProcClass::Guest,
             0,
-            Demand::CpuBound { total_work: Some(secs(work_secs)) },
+            Demand::CpuBound {
+                total_work: Some(secs(work_secs)),
+            },
             MemSpec::tiny(),
         )
     }
@@ -428,7 +443,10 @@ mod tests {
         c.run_ticks(secs(10));
         let running: usize = (0..2).map(|i| c.node(i).guest_running() as usize).sum();
         assert_eq!(running, 2, "both nodes busy");
-        assert!(c.stats().queued >= 1, "excess jobs wait in the cluster queue");
+        assert!(
+            c.stats().queued >= 1,
+            "excess jobs wait in the cluster queue"
+        );
     }
 
     #[test]
@@ -445,7 +463,11 @@ mod tests {
         c.run_ticks(secs(10));
         c.submit(job(5));
         c.run_until_drained(secs(120));
-        assert_eq!(c.node(1).stats().completed, 1, "idle node should get the job");
+        assert_eq!(
+            c.node(1).stats().completed,
+            1,
+            "idle node should get the job"
+        );
         assert_eq!(c.node(0).stats().started, 0);
     }
 
@@ -474,7 +496,10 @@ mod tests {
         );
         // Give the flaky node time to record failures.
         c.run_ticks(fgcs_sim::time::minutes(10));
-        assert!(!c.node(0).event_log().events().is_empty(), "flaky node has history");
+        assert!(
+            !c.node(0).event_log().events().is_empty(),
+            "flaky node has history"
+        );
         c.submit(job(5));
         c.run_until_drained(secs(300));
         assert_eq!(c.node(1).stats().completed, 1);
@@ -506,8 +531,14 @@ mod tests {
             0,
             Demand::Phases {
                 phases: vec![
-                    fgcs_sim::proc::Phase { busy: 1, idle: secs(20) },
-                    fgcs_sim::proc::Phase { busy: secs(600), idle: 1 },
+                    fgcs_sim::proc::Phase {
+                        busy: 1,
+                        idle: secs(20),
+                    },
+                    fgcs_sim::proc::Phase {
+                        busy: secs(600),
+                        idle: 1,
+                    },
                 ],
                 repeat: false,
             },
@@ -524,8 +555,15 @@ mod tests {
         c.run_until_drained(fgcs_sim::time::minutes(60));
         let rec = &c.jobs()[id];
         assert!(rec.completed_at.is_some(), "{rec:?}");
-        assert!(rec.restarts >= 1, "job should have been killed once: {rec:?}");
-        assert_eq!(c.node(1).stats().completed, 1, "finished on the steady node");
+        assert!(
+            rec.restarts >= 1,
+            "job should have been killed once: {rec:?}"
+        );
+        assert_eq!(
+            c.node(1).stats().completed,
+            1,
+            "finished on the steady node"
+        );
     }
 
     #[test]
@@ -540,7 +578,10 @@ mod tests {
         c.run_ticks(fgcs_sim::time::minutes(3));
         let views = c.views();
         assert_eq!(views.len(), 2);
-        assert!(!views[0].accepts_jobs, "overloaded node must not accept jobs: {views:?}");
+        assert!(
+            !views[0].accepts_jobs,
+            "overloaded node must not accept jobs: {views:?}"
+        );
         assert!(views[1].accepts_jobs, "{views:?}");
         assert!(views[0].failures >= 1);
         assert_eq!(views[1].state, AvailState::S1);
@@ -554,7 +595,9 @@ mod tests {
             "burst",
             ProcClass::Host,
             0,
-            Demand::CpuBound { total_work: Some(secs(120)) },
+            Demand::CpuBound {
+                total_work: Some(secs(120)),
+            },
             MemSpec::tiny(),
         ));
         let mut c = Cluster::new(

@@ -30,14 +30,24 @@ pub struct ContentionConfig {
 
 impl Default for ContentionConfig {
     fn default() -> Self {
-        ContentionConfig { warmup_secs: 20, measure_secs: 240, combos: 12, seed: 0x46474353 }
+        ContentionConfig {
+            warmup_secs: 20,
+            measure_secs: 240,
+            combos: 12,
+            seed: 0x46474353,
+        }
     }
 }
 
 impl ContentionConfig {
     /// A cheaper configuration for tests and benchmarks.
     pub fn quick() -> Self {
-        ContentionConfig { warmup_secs: 10, measure_secs: 120, combos: 6, seed: 0x46474353 }
+        ContentionConfig {
+            warmup_secs: 10,
+            measure_secs: 120,
+            combos: 6,
+            seed: 0x46474353,
+        }
     }
 }
 
@@ -116,7 +126,10 @@ pub fn reduction_point(lh: f64, m: usize, guest_nice: i8, cfg: &ContentionConfig
     // runs inline (fgcs-par never nests pools).
     let rates = fgcs_par::par_jobs(cfg.combos, |combo| {
         // Independent deterministic stream per (LH, m, nice, combo).
-        let stream = (lh * 1000.0) as u64 ^ ((m as u64) << 20) ^ ((guest_nice as u64) << 32) ^ ((combo as u64) << 40);
+        let stream = (lh * 1000.0) as u64
+            ^ ((m as u64) << 20)
+            ^ ((guest_nice as u64) << 32)
+            ^ ((combo as u64) << 40);
         let mut rng = Rng::for_stream(cfg.seed, stream);
         let hosts = synthetic::host_group(&mut rng, lh, m);
         let guest = synthetic::guest_process(guest_nice);
@@ -157,7 +170,10 @@ pub fn fig1_sweep(
 
 /// The standard Figure 1 grid: `LH ∈ {0.1, …, 1.0}`, `M ∈ {1, …, 5}`.
 pub fn fig1_standard_grid() -> (Vec<f64>, Vec<usize>) {
-    ((1..=10).map(|i| i as f64 / 10.0).collect(), (1..=5).collect())
+    (
+        (1..=10).map(|i| i as f64 / 10.0).collect(),
+        (1..=5).collect(),
+    )
 }
 
 /// A row of the Figure 2 surface: reduction rate for one host load and
@@ -175,7 +191,11 @@ pub struct Fig2Row {
 /// Sweeps Figure 2: a single host process against guests of different
 /// priorities — the experiment showing that gradually decreasing guest
 /// priority buys nothing between `Th1` and `Th2`.
-pub fn priority_sweep(lh_values: &[f64], nice_values: &[i8], cfg: &ContentionConfig) -> Vec<Fig2Row> {
+pub fn priority_sweep(
+    lh_values: &[f64],
+    nice_values: &[i8],
+    cfg: &ContentionConfig,
+) -> Vec<Fig2Row> {
     let points: Vec<(f64, i8)> = lh_values
         .iter()
         .flat_map(|&lh| nice_values.iter().map(move |&n| (lh, n)))
@@ -184,7 +204,11 @@ pub fn priority_sweep(lh_values: &[f64], nice_values: &[i8], cfg: &ContentionCon
         let hosts = [synthetic::host_process("host", lh)];
         let guest = synthetic::guest_process(nice);
         let meas = measure_group(&MachineConfig::default(), &hosts, Some(&guest), cfg);
-        Fig2Row { lh, guest_nice: nice, reduction: meas.reduction_rate }
+        Fig2Row {
+            lh,
+            guest_nice: nice,
+            reduction: meas.reduction_rate,
+        }
     })
 }
 
@@ -308,10 +332,9 @@ pub fn table1_measurements(cfg: &ContentionConfig) -> Vec<Table1Row> {
     let workloads = musbus::all();
     rows.extend(fgcs_par::par_map(&workloads, |h| {
         let meas = measure_group(&MachineConfig::solaris_384mb(), &h.processes(), None, cfg);
-        let (res, virt) = h
-            .processes()
-            .iter()
-            .fold((0, 0), |(r, v), p| (r + p.mem.resident_mb, v + p.mem.virtual_mb));
+        let (res, virt) = h.processes().iter().fold((0, 0), |(r, v), p| {
+            (r + p.mem.resident_mb, v + p.mem.virtual_mb)
+        });
         Table1Row {
             name: h.name,
             cpu_usage: meas.lh_isolated,
@@ -372,8 +395,11 @@ pub fn measure_managed(
 /// Convenience: reduction rates and `LH` values for one guest class,
 /// indexed `[m][lh]` as the paper's Figure 1 plots them.
 pub fn fig1_series(rows: &[Fig1Row], m: usize) -> Vec<(f64, f64)> {
-    let mut series: Vec<(f64, f64)> =
-        rows.iter().filter(|r| r.m == m).map(|r| (r.lh, r.reduction)).collect();
+    let mut series: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.m == m)
+        .map(|r| (r.lh, r.reduction))
+        .collect();
     series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
     series
 }
@@ -461,6 +487,10 @@ mod tests {
         assert!((apsi.cpu_usage - 0.98).abs() < 0.02);
         assert_eq!(apsi.resident_mb, 193);
         let h5 = rows.iter().find(|r| r.name == "H5").unwrap();
-        assert!((h5.cpu_usage - 0.57).abs() < 0.06, "H5 cpu {}", h5.cpu_usage);
+        assert!(
+            (h5.cpu_usage - 0.57).abs() < 0.06,
+            "H5 cpu {}",
+            h5.cpu_usage
+        );
     }
 }

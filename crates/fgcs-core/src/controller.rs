@@ -178,7 +178,11 @@ impl Controller {
 
     fn reap_completed(&mut self) {
         if let GuestSlot::Running { pid, .. } = &self.slot {
-            let exited = self.machine.process(*pid).map(|p| p.is_exited()).unwrap_or(true);
+            let exited = self
+                .machine
+                .process(*pid)
+                .map(|p| p.is_exited())
+                .unwrap_or(true);
             if exited {
                 self.slot = GuestSlot::Idle;
                 self.stats.completed += 1;
@@ -229,7 +233,9 @@ impl Controller {
                 }
             }
             Some(GuestAction::Terminate) => {
-                if let GuestSlot::Running { pid, spec } = std::mem::replace(&mut self.slot, GuestSlot::Idle) {
+                if let GuestSlot::Running { pid, spec } =
+                    std::mem::replace(&mut self.slot, GuestSlot::Idle)
+                {
                     let _ = self.machine.kill(pid);
                     self.stats.terminated += 1;
                     if self.cfg.resubmit_on_failure {
@@ -294,7 +300,9 @@ mod tests {
             "job",
             ProcClass::Guest,
             0,
-            Demand::CpuBound { total_work: Some(secs(work_secs)) },
+            Demand::CpuBound {
+                total_work: Some(secs(work_secs)),
+            },
             MemSpec::tiny(),
         )
     }
@@ -332,7 +340,11 @@ mod tests {
         ctl.submit(finite_guest(60));
         ctl.run_ticks(secs(10));
         let pid = ctl.guest_pid().expect("guest running");
-        assert_eq!(ctl.machine().process(pid).unwrap().nice, 19, "S2 demands nice 19");
+        assert_eq!(
+            ctl.machine().process(pid).unwrap().nice,
+            19,
+            "S2 demands nice 19"
+        );
         assert_eq!(ctl.detector().state(), crate::model::AvailState::S2);
     }
 
@@ -361,7 +373,9 @@ mod tests {
             "burst",
             ProcClass::Host,
             0,
-            Demand::CpuBound { total_work: Some(secs(30)) },
+            Demand::CpuBound {
+                total_work: Some(secs(30)),
+            },
             MemSpec::tiny(),
         ));
         let mut cfg = quick_cfg();
@@ -381,7 +395,9 @@ mod tests {
             "mem-hog",
             ProcClass::Host,
             0,
-            Demand::CpuBound { total_work: Some(secs(20)) },
+            Demand::CpuBound {
+                total_work: Some(secs(20)),
+            },
             MemSpec::resident(250),
         ));
         let mut ctl = Controller::new(quick_cfg(), machine);
@@ -389,11 +405,16 @@ mod tests {
             "big-job",
             ProcClass::Guest,
             0,
-            Demand::CpuBound { total_work: Some(secs(2)) },
+            Demand::CpuBound {
+                total_work: Some(secs(2)),
+            },
             MemSpec::resident(120), // 250 + 120 + 100 > 384: must wait
         ));
         ctl.run_ticks(secs(10));
-        assert!(!ctl.guest_running(), "placement deferred under memory pressure");
+        assert!(
+            !ctl.guest_running(),
+            "placement deferred under memory pressure"
+        );
         ctl.run_ticks(secs(120));
         assert_eq!(ctl.stats().completed, 1, "{:?}", ctl.stats());
     }
@@ -408,7 +429,10 @@ mod tests {
             ProcClass::Host,
             0,
             Demand::Phases {
-                phases: vec![fgcs_sim::proc::Phase { busy: secs(5), idle: secs(300) }],
+                phases: vec![fgcs_sim::proc::Phase {
+                    busy: secs(5),
+                    idle: secs(300),
+                }],
                 repeat: true,
             },
             MemSpec::tiny(),

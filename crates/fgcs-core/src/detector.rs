@@ -65,16 +65,28 @@ impl std::fmt::Display for DetectorConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DetectorConfigError::ZeroSpikeTolerance => {
-                write!(f, "spike_tolerance must be positive (0 turns every blip into S3)")
+                write!(
+                    f,
+                    "spike_tolerance must be positive (0 turns every blip into S3)"
+                )
             }
             DetectorConfigError::ZeroHarvestDelay => {
-                write!(f, "harvest_delay must be positive (0 defeats the 5-minute rule)")
+                write!(
+                    f,
+                    "harvest_delay must be positive (0 defeats the 5-minute rule)"
+                )
             }
             DetectorConfigError::ZeroGuestWorkingSet => {
-                write!(f, "guest_working_set_mb must be positive (0 makes S4 undetectable)")
+                write!(
+                    f,
+                    "guest_working_set_mb must be positive (0 makes S4 undetectable)"
+                )
             }
             DetectorConfigError::ZeroMaxSilence => {
-                write!(f, "max_silence must be positive when set (0 censors every gap)")
+                write!(
+                    f,
+                    "max_silence must be positive when set (0 censors every gap)"
+                )
             }
         }
     }
@@ -229,7 +241,10 @@ impl Detector {
         cfg.validate()?;
         Ok(Detector {
             cfg,
-            mode: Mode::Available { band: LoadBand::Light, spike_since: None },
+            mode: Mode::Available {
+                band: LoadBand::Light,
+                spike_since: None,
+            },
             last_t: None,
         })
     }
@@ -249,7 +264,10 @@ impl Detector {
     /// Current model state.
     pub fn state(&self) -> AvailState {
         match self.mode {
-            Mode::Available { band: LoadBand::Light, .. } => AvailState::S1,
+            Mode::Available {
+                band: LoadBand::Light,
+                ..
+            } => AvailState::S1,
             Mode::Available { .. } => AvailState::S2,
             Mode::Unavailable { cause, .. } => cause.state(),
         }
@@ -264,7 +282,13 @@ impl Detector {
     /// (the guest, if any, is suspended). New jobs should not be placed
     /// until the spike resolves one way or the other.
     pub fn spike_active(&self) -> bool {
-        matches!(self.mode, Mode::Available { spike_since: Some(_), .. })
+        matches!(
+            self.mode,
+            Mode::Available {
+                spike_since: Some(_),
+                ..
+            }
+        )
     }
 
     /// Feeds one observation taken at time `t`. Timestamps must be
@@ -285,9 +309,16 @@ impl Detector {
             if t.saturating_sub(last) > max_silence {
                 gap = Some((last, t));
                 if let Mode::Unavailable { cause, .. } = self.mode {
-                    edges.push(EventEdge::Ended { cause, at: last, calm_from: last });
+                    edges.push(EventEdge::Ended {
+                        cause,
+                        at: last,
+                        calm_from: last,
+                    });
                 }
-                self.mode = Mode::Available { band: LoadBand::Light, spike_since: None };
+                self.mode = Mode::Available {
+                    band: LoadBand::Light,
+                    spike_since: None,
+                };
             }
         }
         self.last_t = Some(t);
@@ -308,8 +339,10 @@ impl Detector {
                             None => {
                                 // First excessive sample: suspend, start
                                 // the tolerance clock.
-                                self.mode =
-                                    Mode::Available { band, spike_since: Some(t) };
+                                self.mode = Mode::Available {
+                                    band,
+                                    spike_since: Some(t),
+                                };
                                 action = Some(GuestAction::Suspend);
                             }
                             Some(s0) if t.saturating_sub(s0) >= self.cfg.spike_tolerance => {
@@ -328,17 +361,31 @@ impl Detector {
                                     _ => GuestAction::SetLowestPriority,
                                 });
                             }
-                            self.mode = Mode::Available { band: new_band, spike_since: None };
+                            self.mode = Mode::Available {
+                                band: new_band,
+                                spike_since: None,
+                            };
                         }
                     }
                 }
             }
-            Mode::Unavailable { cause, calm_since, revived } => {
+            Mode::Unavailable {
+                cause,
+                calm_since,
+                revived,
+            } => {
                 // A machine death during a contention outage is a new,
                 // different occurrence: close one, open the other.
                 if !obs.alive && cause != FailureCause::Revocation {
-                    edges.push(EventEdge::Ended { cause, at: t, calm_from: t });
-                    edges.push(EventEdge::Started { cause: FailureCause::Revocation, at: t });
+                    edges.push(EventEdge::Ended {
+                        cause,
+                        at: t,
+                        calm_from: t,
+                    });
+                    edges.push(EventEdge::Started {
+                        cause: FailureCause::Revocation,
+                        at: t,
+                    });
                     self.mode = Mode::Unavailable {
                         cause: FailureCause::Revocation,
                         calm_since: None,
@@ -367,30 +414,53 @@ impl Detector {
                             } else {
                                 since
                             };
-                            edges.push(EventEdge::Ended { cause, at: t, calm_from });
+                            edges.push(EventEdge::Ended {
+                                cause,
+                                at: t,
+                                calm_from,
+                            });
                             let band = match self.cfg.thresholds.classify(obs.host_load) {
                                 LoadBand::Light => LoadBand::Light,
                                 _ => LoadBand::Heavy,
                             };
-                            self.mode = Mode::Available { band, spike_since: None };
+                            self.mode = Mode::Available {
+                                band,
+                                spike_since: None,
+                            };
                             action = Some(GuestAction::MachineAvailable);
                         } else {
-                            self.mode =
-                                Mode::Unavailable { cause, calm_since: Some(since), revived };
+                            self.mode = Mode::Unavailable {
+                                cause,
+                                calm_since: Some(since),
+                                revived,
+                            };
                         }
                     } else {
-                        self.mode = Mode::Unavailable { cause, calm_since: None, revived };
+                        self.mode = Mode::Unavailable {
+                            cause,
+                            calm_since: None,
+                            revived,
+                        };
                     }
                 }
             }
         }
 
-        Step { state: self.state(), action, edges, gap }
+        Step {
+            state: self.state(),
+            action,
+            edges,
+            gap,
+        }
     }
 
     fn fail(&mut self, cause: FailureCause, t: u64, edges: &mut Vec<EventEdge>) {
         edges.push(EventEdge::Started { cause, at: t });
-        self.mode = Mode::Unavailable { cause, calm_since: None, revived: None };
+        self.mode = Mode::Unavailable {
+            cause,
+            calm_since: None,
+            revived: None,
+        };
     }
 }
 
@@ -409,7 +479,11 @@ mod tests {
     }
 
     fn obs(load: f64) -> Observation {
-        Observation { host_load: load, free_mem_mb: 1000, alive: true }
+        Observation {
+            host_load: load,
+            free_mem_mb: 1000,
+            alive: true,
+        }
     }
 
     #[test]
@@ -440,7 +514,11 @@ mod tests {
         d.observe(0, &obs(0.3));
         let s = d.observe(10, &obs(0.9));
         assert_eq!(s.action, Some(GuestAction::Suspend));
-        assert_eq!(s.state, AvailState::S2, "state stays S2 during a transient spike");
+        assert_eq!(
+            s.state,
+            AvailState::S2,
+            "state stays S2 during a transient spike"
+        );
         // Spike ends within tolerance.
         let s = d.observe(40, &obs(0.3));
         assert_eq!(s.action, Some(GuestAction::Resume));
@@ -460,7 +538,10 @@ mod tests {
         assert_eq!(s.action, Some(GuestAction::Terminate));
         assert_eq!(
             s.edges,
-            vec![EventEdge::Started { cause: FailureCause::CpuContention, at: 70 }]
+            vec![EventEdge::Started {
+                cause: FailureCause::CpuContention,
+                at: 70
+            }]
         );
     }
 
@@ -476,13 +557,20 @@ mod tests {
     fn memory_pressure_is_immediate_s4() {
         let mut d = Detector::new(cfg());
         d.observe(0, &obs(0.1));
-        let o = Observation { host_load: 0.1, free_mem_mb: 99, alive: true };
+        let o = Observation {
+            host_load: 0.1,
+            free_mem_mb: 99,
+            alive: true,
+        };
         let s = d.observe(10, &o);
         assert_eq!(s.state, AvailState::S4);
         assert_eq!(s.action, Some(GuestAction::Terminate));
         assert_eq!(
             s.edges,
-            vec![EventEdge::Started { cause: FailureCause::MemoryThrashing, at: 10 }]
+            vec![EventEdge::Started {
+                cause: FailureCause::MemoryThrashing,
+                at: 10
+            }]
         );
     }
 
@@ -494,7 +582,10 @@ mod tests {
         assert_eq!(s.state, AvailState::S5);
         assert_eq!(
             s.edges,
-            vec![EventEdge::Started { cause: FailureCause::Revocation, at: 10 }]
+            vec![EventEdge::Started {
+                cause: FailureCause::Revocation,
+                at: 10
+            }]
         );
     }
 
@@ -515,7 +606,11 @@ mod tests {
         assert_eq!(s.action, Some(GuestAction::MachineAvailable));
         assert_eq!(
             s.edges,
-            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 320, calm_from: 20 }]
+            vec![EventEdge::Ended {
+                cause: FailureCause::Revocation,
+                at: 320,
+                calm_from: 20
+            }]
         );
     }
 
@@ -534,7 +629,11 @@ mod tests {
         let s = d.observe(440, &obs(0.1)); // 130 + 300 harvest delay
         assert_eq!(
             s.edges,
-            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 440, calm_from: 40 }]
+            vec![EventEdge::Ended {
+                cause: FailureCause::Revocation,
+                at: 440,
+                calm_from: 40
+            }]
         );
     }
 
@@ -548,7 +647,11 @@ mod tests {
         let s = d.observe(390, &obs(0.1));
         assert_eq!(
             s.edges,
-            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 390, calm_from: 90 }]
+            vec![EventEdge::Ended {
+                cause: FailureCause::Revocation,
+                at: 390,
+                calm_from: 90
+            }]
         );
     }
 
@@ -585,8 +688,15 @@ mod tests {
         assert_eq!(
             s.edges,
             vec![
-                EventEdge::Ended { cause: FailureCause::CpuContention, at: 120, calm_from: 120 },
-                EventEdge::Started { cause: FailureCause::Revocation, at: 120 },
+                EventEdge::Ended {
+                    cause: FailureCause::CpuContention,
+                    at: 120,
+                    calm_from: 120
+                },
+                EventEdge::Started {
+                    cause: FailureCause::Revocation,
+                    at: 120
+                },
             ]
         );
     }
@@ -594,25 +704,45 @@ mod tests {
     #[test]
     fn s4_requires_working_set_threshold_exactly() {
         let mut d = Detector::new(cfg());
-        let o = Observation { host_load: 0.1, free_mem_mb: 100, alive: true };
+        let o = Observation {
+            host_load: 0.1,
+            free_mem_mb: 100,
+            alive: true,
+        };
         let s = d.observe(0, &o);
-        assert_eq!(s.state, AvailState::S1, "exactly fitting working set is fine");
+        assert_eq!(
+            s.state,
+            AvailState::S1,
+            "exactly fitting working set is fine"
+        );
     }
 
     #[test]
     fn zero_config_values_are_rejected() {
         let mut c = cfg();
         c.spike_tolerance = 0;
-        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroSpikeTolerance);
+        assert_eq!(
+            Detector::try_new(c).unwrap_err(),
+            DetectorConfigError::ZeroSpikeTolerance
+        );
         let mut c = cfg();
         c.harvest_delay = 0;
-        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroHarvestDelay);
+        assert_eq!(
+            Detector::try_new(c).unwrap_err(),
+            DetectorConfigError::ZeroHarvestDelay
+        );
         let mut c = cfg();
         c.guest_working_set_mb = 0;
-        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroGuestWorkingSet);
+        assert_eq!(
+            Detector::try_new(c).unwrap_err(),
+            DetectorConfigError::ZeroGuestWorkingSet
+        );
         let mut c = cfg();
         c.max_silence = Some(0);
-        assert_eq!(Detector::try_new(c).unwrap_err(), DetectorConfigError::ZeroMaxSilence);
+        assert_eq!(
+            Detector::try_new(c).unwrap_err(),
+            DetectorConfigError::ZeroMaxSilence
+        );
         assert!(Detector::try_new(cfg()).is_ok());
     }
 
@@ -651,7 +781,11 @@ mod tests {
         assert_eq!(s.gap, Some((20, 1000)));
         assert_eq!(
             s.edges,
-            vec![EventEdge::Ended { cause: FailureCause::Revocation, at: 20, calm_from: 20 }]
+            vec![EventEdge::Ended {
+                cause: FailureCause::Revocation,
+                at: 20,
+                calm_from: 20
+            }]
         );
         assert_eq!(s.state, AvailState::S1, "re-baselined from the new sample");
     }
@@ -680,8 +814,15 @@ mod tests {
         assert_eq!(
             s.edges,
             vec![
-                EventEdge::Ended { cause: FailureCause::CpuContention, at: 60, calm_from: 60 },
-                EventEdge::Started { cause: FailureCause::Revocation, at: 1000 },
+                EventEdge::Ended {
+                    cause: FailureCause::CpuContention,
+                    at: 60,
+                    calm_from: 60
+                },
+                EventEdge::Started {
+                    cause: FailureCause::Revocation,
+                    at: 1000
+                },
             ],
             "gap closes the old occurrence, the new observation opens a new one"
         );
@@ -695,11 +836,15 @@ mod tests {
         let mut d = Detector::new(c);
         d.observe(0, &obs(0.1));
         d.observe(10, &obs(0.9)); // spike clock starts at 10
-        // 990 of silence; a naive detector would declare S3 here because
-        // "the spike persisted 990 > 60".
+                                  // 990 of silence; a naive detector would declare S3 here because
+                                  // "the spike persisted 990 > 60".
         let s = d.observe(1000, &obs(0.9));
         assert_eq!(s.gap, Some((10, 1000)));
-        assert_ne!(s.state, AvailState::S3, "spike tolerance restarts after a gap");
+        assert_ne!(
+            s.state,
+            AvailState::S3,
+            "spike tolerance restarts after a gap"
+        );
         assert_eq!(s.action, Some(GuestAction::Suspend));
     }
 
@@ -710,7 +855,10 @@ mod tests {
         let mut d = Detector::new(c);
         d.observe(0, &obs(0.1));
         let s = d.observe(120, &obs(0.1));
-        assert_eq!(s.gap, None, "boundary: gap must strictly exceed max_silence");
+        assert_eq!(
+            s.gap, None,
+            "boundary: gap must strictly exceed max_silence"
+        );
     }
 
     #[test]
@@ -730,8 +878,15 @@ mod tests {
         assert_eq!(
             edges,
             vec![
-                EventEdge::Started { cause: FailureCause::CpuContention, at: 90 },
-                EventEdge::Ended { cause: FailureCause::CpuContention, at: 420, calm_from: 120 },
+                EventEdge::Started {
+                    cause: FailureCause::CpuContention,
+                    at: 90
+                },
+                EventEdge::Ended {
+                    cause: FailureCause::CpuContention,
+                    at: 420,
+                    calm_from: 120
+                },
             ]
         );
         assert_eq!(d.state(), AvailState::S1);

@@ -62,10 +62,19 @@ impl EventLog {
         match edge {
             EventEdge::Started { cause, at } => {
                 assert!(!self.open, "Started while an occurrence is open");
-                self.events.push(UnavailEvent { cause, start: at, end: None, raw_end: None });
+                self.events.push(UnavailEvent {
+                    cause,
+                    start: at,
+                    end: None,
+                    raw_end: None,
+                });
                 self.open = true;
             }
-            EventEdge::Ended { cause, at, calm_from } => {
+            EventEdge::Ended {
+                cause,
+                at,
+                calm_from,
+            } => {
                 assert!(self.open, "Ended without an open occurrence");
                 let last = self.events.last_mut().expect("open implies non-empty");
                 assert_eq!(last.cause, cause, "edge cause mismatch");
@@ -136,7 +145,11 @@ mod tests {
     }
 
     fn ended(cause: FailureCause, at: u64) -> EventEdge {
-        EventEdge::Ended { cause, at, calm_from: at }
+        EventEdge::Ended {
+            cause,
+            at,
+            calm_from: at,
+        }
     }
 
     #[test]
@@ -244,7 +257,14 @@ mod tests {
             })
             .collect();
         for (t, load) in samples {
-            let step = d.observe(t, &Observation { host_load: load, free_mem_mb: 100, alive: true });
+            let step = d.observe(
+                t,
+                &Observation {
+                    host_load: load,
+                    free_mem_mb: 100,
+                    alive: true,
+                },
+            );
             log.extend(step.edges);
         }
         assert_eq!(log.events().len(), 1);

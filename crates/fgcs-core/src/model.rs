@@ -30,8 +30,13 @@ pub enum AvailState {
 
 impl AvailState {
     /// All five states in order.
-    pub const ALL: [AvailState; 5] =
-        [AvailState::S1, AvailState::S2, AvailState::S3, AvailState::S4, AvailState::S5];
+    pub const ALL: [AvailState; 5] = [
+        AvailState::S1,
+        AvailState::S2,
+        AvailState::S3,
+        AvailState::S4,
+        AvailState::S5,
+    ];
 
     /// True for the failure states S3/S4/S5.
     pub fn is_failure(self) -> bool {
@@ -64,13 +69,36 @@ impl AvailState {
         }
     }
 
+    /// Stable numeric code 1..=5, for wire formats and compact logs.
+    pub fn code(self) -> u8 {
+        match self {
+            AvailState::S1 => 1,
+            AvailState::S2 => 2,
+            AvailState::S3 => 3,
+            AvailState::S4 => 4,
+            AvailState::S5 => 5,
+        }
+    }
+
+    /// Inverse of [`AvailState::code`].
+    pub fn from_code(code: u8) -> Option<AvailState> {
+        match code {
+            1 => Some(AvailState::S1),
+            2 => Some(AvailState::S2),
+            3 => Some(AvailState::S3),
+            4 => Some(AvailState::S4),
+            5 => Some(AvailState::S5),
+            _ => None,
+        }
+    }
+
     /// Whether a *guest job* may observe a transition from `self` to
     /// `to`. Availability states inter-convert; failure states are
     /// absorbing for the job (Figure 5's arrows all point into S3/S4/S5).
     pub fn can_transition(self, to: AvailState) -> bool {
         match (self.is_failure(), to.is_failure()) {
-            (true, _) => false,         // failures are absorbing for the job
-            (false, _) => self != to,   // S1<->S2 and any failure entry
+            (true, _) => false,       // failures are absorbing for the job
+            (false, _) => self != to, // S1<->S2 and any failure entry
         }
     }
 }
@@ -113,6 +141,25 @@ impl FailureCause {
     /// True for the two UEC causes.
     pub fn is_uec(self) -> bool {
         !matches!(self, FailureCause::Revocation)
+    }
+
+    /// Stable numeric code 1..=3, for wire formats and compact logs.
+    pub fn code(self) -> u8 {
+        match self {
+            FailureCause::CpuContention => 1,
+            FailureCause::MemoryThrashing => 2,
+            FailureCause::Revocation => 3,
+        }
+    }
+
+    /// Inverse of [`FailureCause::code`].
+    pub fn from_code(code: u8) -> Option<FailureCause> {
+        match code {
+            1 => Some(FailureCause::CpuContention),
+            2 => Some(FailureCause::MemoryThrashing),
+            3 => Some(FailureCause::Revocation),
+            _ => None,
+        }
     }
 }
 
@@ -254,6 +301,24 @@ mod tests {
     #[should_panic(expected = "invalid thresholds")]
     fn thresholds_validate_order() {
         Thresholds::new(0.7, 0.3);
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for s in AvailState::ALL {
+            assert_eq!(AvailState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(AvailState::from_code(0), None);
+        assert_eq!(AvailState::from_code(6), None);
+        for c in [
+            FailureCause::CpuContention,
+            FailureCause::MemoryThrashing,
+            FailureCause::Revocation,
+        ] {
+            assert_eq!(FailureCause::from_code(c.code()), Some(c));
+        }
+        assert_eq!(FailureCause::from_code(0), None);
+        assert_eq!(FailureCause::from_code(4), None);
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl Observation {
     /// An observation representing a dead machine (URR): no service, no
     /// meaningful load reading.
     pub fn dead() -> Self {
-        Observation { host_load: 0.0, free_mem_mb: 0, alive: false }
+        Observation {
+            host_load: 0.0,
+            free_mem_mb: 0,
+            alive: false,
+        }
     }
 }
 
@@ -72,7 +76,10 @@ pub struct Monitor {
 impl Monitor {
     /// Creates a monitor with no sample history.
     pub fn new() -> Self {
-        Monitor { last: None, resets: 0 }
+        Monitor {
+            last: None,
+            resets: 0,
+        }
     }
 
     /// Takes one sample. The first call establishes the counter baseline
@@ -152,7 +159,12 @@ mod tests {
     #[test]
     fn first_sample_establishes_baseline() {
         let mut m = Monitor::new();
-        let p = FakeProbe { busy: 100, total: 1000, mem: 512, alive: true };
+        let p = FakeProbe {
+            busy: 100,
+            total: 1000,
+            mem: 512,
+            alive: true,
+        };
         let o = m.sample(&p);
         assert_eq!(o.host_load, 0.0);
         assert_eq!(o.free_mem_mb, 512);
@@ -162,7 +174,12 @@ mod tests {
     #[test]
     fn diff_computes_window_load() {
         let mut m = Monitor::new();
-        let mut p = FakeProbe { busy: 0, total: 0, mem: 512, alive: true };
+        let mut p = FakeProbe {
+            busy: 0,
+            total: 0,
+            mem: 512,
+            alive: true,
+        };
         m.sample(&p);
         p.busy = 30;
         p.total = 100;
@@ -177,7 +194,12 @@ mod tests {
     #[test]
     fn dead_service_reports_urr_and_resets() {
         let mut m = Monitor::new();
-        let mut p = FakeProbe { busy: 0, total: 0, mem: 512, alive: true };
+        let mut p = FakeProbe {
+            busy: 0,
+            total: 0,
+            mem: 512,
+            alive: true,
+        };
         m.sample(&p);
         p.alive = false;
         let o = m.sample(&p);
@@ -194,7 +216,12 @@ mod tests {
     #[test]
     fn stalled_counters_report_zero() {
         let mut m = Monitor::new();
-        let p = FakeProbe { busy: 5, total: 10, mem: 1, alive: true };
+        let p = FakeProbe {
+            busy: 5,
+            total: 10,
+            mem: 1,
+            alive: true,
+        };
         m.sample(&p);
         let o = m.sample(&p); // identical counters: empty window
         assert_eq!(o.host_load, 0.0);
@@ -203,7 +230,12 @@ mod tests {
     #[test]
     fn counter_reset_rebaselines_instead_of_garbage() {
         let mut m = Monitor::new();
-        let mut p = FakeProbe { busy: 500_000, total: 1_000_000, mem: 512, alive: true };
+        let mut p = FakeProbe {
+            busy: 500_000,
+            total: 1_000_000,
+            mem: 512,
+            alive: true,
+        };
         m.sample(&p);
         // Monitor restart: counters restart from (near) zero. total < t0,
         // so the old code already re-baselined — but busy-in-between
@@ -227,19 +259,32 @@ mod tests {
         // went backwards (partial reset / torn read). The naive diff
         // underflowed u64 and clamped to a 100% load spike.
         let mut m = Monitor::new();
-        let mut p = FakeProbe { busy: 900, total: 1_000, mem: 512, alive: true };
+        let mut p = FakeProbe {
+            busy: 900,
+            total: 1_000,
+            mem: 512,
+            alive: true,
+        };
         m.sample(&p);
         p.busy = 100; // busy < b0 ...
         p.total = 2_000; // ... but total > t0
         let o = m.sample(&p);
-        assert_eq!(o.host_load, 0.0, "inconsistent window must not fake a spike");
+        assert_eq!(
+            o.host_load, 0.0,
+            "inconsistent window must not fake a spike"
+        );
         assert_eq!(m.reset_count(), 1);
     }
 
     #[test]
     fn busy_outrunning_total_is_a_reset() {
         let mut m = Monitor::new();
-        let mut p = FakeProbe { busy: 0, total: 1_000, mem: 512, alive: true };
+        let mut p = FakeProbe {
+            busy: 0,
+            total: 1_000,
+            mem: 512,
+            alive: true,
+        };
         m.sample(&p);
         p.busy = 5_000; // busy diff 5000 > total diff 1000
         p.total = 2_000;
@@ -256,7 +301,11 @@ mod tests {
         assert!(mon.sample(&machine).alive);
         machine.revoke();
         let o = mon.sample(&machine);
-        assert_eq!(o, Observation::dead(), "revocation is visible from the probe");
+        assert_eq!(
+            o,
+            Observation::dead(),
+            "revocation is visible from the probe"
+        );
         machine.restore_service();
         assert!(mon.sample(&machine).alive);
     }

@@ -61,7 +61,13 @@ pub struct TwoThresholdPolicy {
 impl TwoThresholdPolicy {
     /// Creates the policy with a spike tolerance in ticks.
     pub fn new(thresholds: Thresholds, spike_tolerance: u64) -> Self {
-        TwoThresholdPolicy { thresholds, spike_tolerance, spike_since: None, suspended: false, nice: 0 }
+        TwoThresholdPolicy {
+            thresholds,
+            spike_tolerance,
+            spike_since: None,
+            suspended: false,
+            nice: 0,
+        }
     }
 }
 
@@ -112,7 +118,10 @@ pub struct GradualPolicy {
 impl GradualPolicy {
     /// Creates the policy.
     pub fn new(thresholds: Thresholds) -> Self {
-        GradualPolicy { thresholds, nice: 0 }
+        GradualPolicy {
+            thresholds,
+            nice: 0,
+        }
     }
 }
 
@@ -169,7 +178,10 @@ pub struct CoarseGrainedPolicy {
 impl CoarseGrainedPolicy {
     /// Creates the policy with a 5% activity threshold.
     pub fn new() -> Self {
-        CoarseGrainedPolicy { activity_threshold: 0.05, suspended: false }
+        CoarseGrainedPolicy {
+            activity_threshold: 0.05,
+            suspended: false,
+        }
     }
 }
 
@@ -292,7 +304,10 @@ pub fn run_policy(
 /// The standard policy lineup for comparisons.
 pub fn standard_policies(thresholds: Thresholds) -> Vec<Box<dyn GuestPolicy>> {
     vec![
-        Box::new(TwoThresholdPolicy::new(thresholds, fgcs_sim::time::minutes(1))),
+        Box::new(TwoThresholdPolicy::new(
+            thresholds,
+            fgcs_sim::time::minutes(1),
+        )),
         Box::new(GradualPolicy::new(thresholds)),
         Box::new(AlwaysLowestPolicy::default()),
         Box::new(CoarseGrainedPolicy::new()),
@@ -305,7 +320,11 @@ mod tests {
     use fgcs_sim::workloads::synthetic;
 
     fn obs(load: f64) -> Observation {
-        Observation { host_load: load, free_mem_mb: 900, alive: true }
+        Observation {
+            host_load: load,
+            free_mem_mb: 900,
+            alive: true,
+        }
     }
 
     #[test]
@@ -351,7 +370,14 @@ mod tests {
     fn run_policy_measures_both_sides() {
         let hosts = [synthetic::host_process("h", 0.3)];
         let mut policy = AlwaysLowestPolicy::default();
-        let out = run_policy(&MachineConfig::default(), &hosts, &mut policy, secs(2), 5, 60);
+        let out = run_policy(
+            &MachineConfig::default(),
+            &hosts,
+            &mut policy,
+            secs(2),
+            5,
+            60,
+        );
         assert!(out.host_reduction < 0.05, "{out:?}");
         assert!(out.guest_usage > 0.5, "{out:?}");
         assert!(!out.guest_terminated);
@@ -363,8 +389,14 @@ mod tests {
         // guest suspended almost always, harvesting nearly nothing.
         let hosts = [synthetic::host_process("h", 0.3)];
         let mut coarse = CoarseGrainedPolicy::new();
-        let coarse_out =
-            run_policy(&MachineConfig::default(), &hosts, &mut coarse, secs(2), 5, 60);
+        let coarse_out = run_policy(
+            &MachineConfig::default(),
+            &hosts,
+            &mut coarse,
+            secs(2),
+            5,
+            60,
+        );
         let mut fine = TwoThresholdPolicy::new(Thresholds::LINUX_TESTBED, secs(60));
         let fine_out = run_policy(&MachineConfig::default(), &hosts, &mut fine, secs(2), 5, 60);
         assert!(
@@ -377,7 +409,14 @@ mod tests {
     fn two_threshold_terminates_under_sustained_overload() {
         let hosts = [synthetic::host_process("h", 0.9)];
         let mut policy = TwoThresholdPolicy::new(Thresholds::LINUX_TESTBED, secs(60));
-        let out = run_policy(&MachineConfig::default(), &hosts, &mut policy, secs(2), 5, 120);
+        let out = run_policy(
+            &MachineConfig::default(),
+            &hosts,
+            &mut policy,
+            secs(2),
+            5,
+            120,
+        );
         assert!(out.guest_terminated, "{out:?}");
         assert!(out.host_reduction < 0.1, "{out:?}");
     }

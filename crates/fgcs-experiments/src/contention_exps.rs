@@ -29,9 +29,7 @@ pub fn fig1(guest_nice: i8, quick: bool) {
     let (lh, m) = contention::fig1_standard_grid();
     let rows = contention::fig1_sweep(guest_nice, &lh, &m, &cfg);
 
-    let mut table = TextTable::new(&[
-        "LH", "M=1", "M=2", "M=3", "M=4", "M=5",
-    ]);
+    let mut table = TextTable::new(&["LH", "M=1", "M=2", "M=3", "M=4", "M=5"]);
     let series: Vec<Vec<(f64, f64)>> = (1..=5).map(|mm| fig1_series(&rows, mm)).collect();
     let mut csv = Vec::new();
     for (i, &l) in lh.iter().enumerate() {
@@ -65,8 +63,16 @@ pub fn calibrate_exp(quick: bool) {
         CalibrationConfig::default()
     };
     let cal = calibrate(&cfg);
-    compare_line("Th1 (equal-priority guest harms host)", format!("{:.2}", cal.thresholds.th1), "0.20");
-    compare_line("Th2 (nice-19 guest harms host)", format!("{:.2}", cal.thresholds.th2), "0.60");
+    compare_line(
+        "Th1 (equal-priority guest harms host)",
+        format!("{:.2}", cal.thresholds.th1),
+        "0.20",
+    );
+    compare_line(
+        "Th2 (nice-19 guest harms host)",
+        format!("{:.2}", cal.thresholds.th2),
+        "0.60",
+    );
     let rows: Vec<String> = cal
         .equal_priority
         .iter()
@@ -146,9 +152,17 @@ pub fn fig3(quick: bool) {
     }
     table.print();
     let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
-    compare_line("mean extra guest CPU at equal priority", format!("{:.1}pp", mean_gap * 100.0), "~2pp");
-    let path = write_csv("fig3", "host_usage,guest_usage_isolated,equal_prio,nice19", &csv)
-        .expect("write csv");
+    compare_line(
+        "mean extra guest CPU at equal priority",
+        format!("{:.1}pp", mean_gap * 100.0),
+        "~2pp",
+    );
+    let path = write_csv(
+        "fig3",
+        "host_usage,guest_usage_isolated,equal_prio,nice19",
+        &csv,
+    )
+    .expect("write csv");
     println!("wrote {}", path.display());
 }
 
@@ -160,8 +174,7 @@ pub fn fig4(quick: bool) {
 
     for nice in [0i8, 19] {
         println!("\nguest priority {nice}:");
-        let mut table =
-            TextTable::new(&["workload", "apsi", "galgel", "bzip2", "mcf"]);
+        let mut table = TextTable::new(&["workload", "apsi", "galgel", "bzip2", "mcf"]);
         for h in ["H1", "H2", "H3", "H4", "H5", "H6"] {
             let mut cells = vec![h.to_string()];
             for app in ["apsi", "galgel", "bzip2", "mcf"] {
@@ -185,8 +198,12 @@ pub fn fig4(quick: bool) {
             )
         })
         .collect();
-    let path = write_csv("fig4", "workload,guest_app,guest_nice,reduction,thrashing", &csv)
-        .expect("write csv");
+    let path = write_csv(
+        "fig4",
+        "workload,guest_app,guest_nice,reduction,thrashing",
+        &csv,
+    )
+    .expect("write csv");
     println!("wrote {}", path.display());
     println!(
         "paper's findings: H2/H5 thrash with apsi/bzip2/mcf regardless of priority \
@@ -214,7 +231,11 @@ pub fn table1(quick: bool) {
         ("H6", 0.662, 84, 113),
     ];
     let mut table = TextTable::new(&[
-        "workload", "CPU (measured)", "CPU (paper)", "resident MB", "virtual MB",
+        "workload",
+        "CPU (measured)",
+        "CPU (paper)",
+        "resident MB",
+        "virtual MB",
     ]);
     let mut csv = Vec::new();
     for r in &rows {
@@ -232,8 +253,12 @@ pub fn table1(quick: bool) {
         ));
     }
     table.print();
-    let path = write_csv("table1", "name,cpu_measured,cpu_paper,resident_mb,virtual_mb", &csv)
-        .expect("write csv");
+    let path = write_csv(
+        "table1",
+        "name,cpu_measured,cpu_paper,resident_mb,virtual_mb",
+        &csv,
+    )
+    .expect("write csv");
     println!("wrote {}", path.display());
 }
 
@@ -249,7 +274,11 @@ pub fn fig5() {
     for from in AvailState::ALL {
         let mut cells = vec![from.to_string()];
         for to in AvailState::ALL {
-            cells.push(if from.can_transition(to) { "yes".into() } else { ".".into() });
+            cells.push(if from.can_transition(to) {
+                "yes".into()
+            } else {
+                ".".into()
+            });
         }
         table.row(cells);
     }
@@ -266,7 +295,11 @@ pub fn ablation(quick: bool) {
     let machine = fgcs_sim::machine::MachineConfig::default();
 
     let mut table = TextTable::new(&[
-        "host LH", "static nice 0", "static nice 19", "managed policy", "managed guest CPU",
+        "host LH",
+        "static nice 0",
+        "static nice 19",
+        "managed policy",
+        "managed guest CPU",
     ]);
     let mut csv = Vec::new();
     for &lh in &[0.1, 0.3, 0.5, 0.7, 0.9] {
@@ -297,8 +330,12 @@ pub fn ablation(quick: bool) {
         ));
     }
     table.print();
-    let path = write_csv("ablation_policy", "lh,static0,static19,managed,managed_guest_cpu", &csv)
-        .expect("write csv");
+    let path = write_csv(
+        "ablation_policy",
+        "lh,static0,static19,managed,managed_guest_cpu",
+        &csv,
+    )
+    .expect("write csv");
     println!("wrote {}", path.display());
     println!(
         "the managed policy keeps host slowdown near the nice-19 line at high \

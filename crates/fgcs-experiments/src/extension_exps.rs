@@ -20,7 +20,12 @@ pub fn policies(quick: bool) {
     let thresholds = Thresholds::LINUX_TESTBED;
 
     let mut table = TextTable::new(&[
-        "host LH", "policy", "host slowdown", "guest CPU", "terminated", "mgmt actions",
+        "host LH",
+        "policy",
+        "host slowdown",
+        "guest CPU",
+        "terminated",
+        "mgmt actions",
     ]);
     let mut csv = Vec::new();
     for &lh in &[0.1, 0.3, 0.5, 0.7, 0.9] {
@@ -39,7 +44,11 @@ pub fn policies(quick: bool) {
                 policy.name().to_string(),
                 pct(out.host_reduction),
                 pct(out.guest_usage),
-                if out.guest_terminated { "yes".into() } else { "no".into() },
+                if out.guest_terminated {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
                 out.actions.to_string(),
             ]);
             csv.push(format!(
@@ -99,7 +108,11 @@ pub fn cluster_study(quick: bool) {
     ];
 
     let mut table = TextTable::new(&[
-        "placement", "mean response (min)", "completed", "terminations", "dispatches",
+        "placement",
+        "mean response (min)",
+        "completed",
+        "terminations",
+        "dispatches",
     ]);
     let mut csv = Vec::new();
     for placement in placements {
@@ -119,7 +132,9 @@ pub fn cluster_study(quick: bool) {
                 format!("job-{i}"),
                 ProcClass::Guest,
                 0,
-                Demand::CpuBound { total_work: Some(minutes(job_minutes)) },
+                Demand::CpuBound {
+                    total_work: Some(minutes(job_minutes)),
+                },
                 MemSpec::resident(32),
             ));
             cluster.run_ticks(arrival_gap);
@@ -134,7 +149,10 @@ pub fn cluster_study(quick: bool) {
             s.terminated.to_string(),
             s.dispatched.to_string(),
         ]);
-        csv.push(format!("{name},{mean_resp:.3},{},{},{}", s.completed, s.terminated, s.dispatched));
+        csv.push(format!(
+            "{name},{mean_resp:.3},{},{},{}",
+            s.completed, s.terminated, s.dispatched
+        ));
     }
     table.print();
     println!(
@@ -142,8 +160,12 @@ pub fn cluster_study(quick: bool) {
          mean response approaches the job's raw compute time; blind \
          strategies pay the slowdown of whatever machine they hit."
     );
-    let path = write_csv("cluster", "placement,mean_response_min,completed,terminated,dispatched", &csv)
-        .expect("csv");
+    let path = write_csv(
+        "cluster",
+        "placement,mean_response_min,completed,terminated,dispatched",
+        &csv,
+    )
+    .expect("csv");
     println!("wrote {}", path.display());
 }
 
@@ -170,7 +192,10 @@ pub fn detector_rules(quick: bool) {
         ("neither rule", 1, 15),
     ];
     let mut table = TextTable::new(&[
-        "detector", "events/machine-day", "vs paper rules", "intervals <5min",
+        "detector",
+        "events/machine-day",
+        "vs paper rules",
+        "intervals <5min",
         "wd mean interval (h)",
     ]);
     let mut csv = Vec::new();
@@ -244,7 +269,10 @@ pub fn scenario_study(quick: bool) {
             lab.machines = 12;
             lab.days = 56;
         }
-        let cfg = TestbedConfig { lab, ..TestbedConfig::default() };
+        let cfg = TestbedConfig {
+            lab,
+            ..TestbedConfig::default()
+        };
         let trace = run_testbed(&cfg);
         let t2 = analysis::table2(&trace);
         let (cpu, mem, urr) = t2.percentage_ranges();
@@ -253,9 +281,17 @@ pub fn scenario_study(quick: bool) {
         let rate = total as f64 / trace.machine_days() as f64;
 
         let mut preds = standard_predictors();
-        let eval_cfg = EvalConfig { windows: vec![2 * 3600], ..Default::default() };
+        let eval_cfg = EvalConfig {
+            windows: vec![2 * 3600],
+            ..Default::default()
+        };
         let rows = evaluate(&trace, &mut preds, &eval_cfg);
-        let brier = |n: &str| rows.iter().find(|r| r.predictor == n).map(|r| r.brier).unwrap_or(f64::NAN);
+        let brier = |n: &str| {
+            rows.iter()
+                .find(|r| r.predictor == n)
+                .map(|r| r.brier)
+                .unwrap_or(f64::NAN)
+        };
 
         table.row(vec![
             name.to_string(),
@@ -306,7 +342,12 @@ pub fn seeds(quick: bool) {
         &[20050801, 1, 42, 0xFEED, 20260707]
     };
     let mut table = TextTable::new(&[
-        "seed", "total (per machine)", "cpu%", "mem%", "urr%", "reboot frac",
+        "seed",
+        "total (per machine)",
+        "cpu%",
+        "mem%",
+        "urr%",
+        "reboot frac",
         "mean events/machine ±95% CI",
     ]);
     let mut csv = Vec::new();

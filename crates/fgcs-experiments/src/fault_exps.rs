@@ -17,9 +17,8 @@ use crate::report::{banner, compare_line, pct, write_csv, TextTable};
 /// Fleet-wide fraction of occurrences per cause (S3, S4, S5).
 fn cause_fractions(trace: &Trace) -> (f64, f64, f64) {
     let n = trace.records.len().max(1) as f64;
-    let frac = |cause: FailureCause| {
-        trace.records.iter().filter(|r| r.cause == cause).count() as f64 / n
-    };
+    let frac =
+        |cause: FailureCause| trace.records.iter().filter(|r| r.cause == cause).count() as f64 / n;
     (
         frac(FailureCause::CpuContention),
         frac(FailureCause::MemoryThrashing),
@@ -45,14 +44,24 @@ pub fn fault_matrix(quick: bool) {
     // The identity injection must reproduce the clean pipeline exactly —
     // this is the byte-identity guarantee the whole harness rests on.
     let (identity, q0) = run_testbed_faulty(&cfg, &FaultConfig::off(cfg.lab.seed), &sup);
-    assert!(identity == baseline, "identity injection diverged from the clean testbed");
+    assert!(
+        identity == baseline,
+        "identity injection diverged from the clean testbed"
+    );
     assert!(q0.is_clean(), "identity injection reported faults: {q0}");
     println!("identity check: zero-rate injection is bit-identical to the clean run");
 
     let scales = [0.0, 0.5, 1.0, 2.0, 4.0];
     let mut table = TextTable::new(&[
-        "scale", "records", "cpu %", "mem %", "urr %", "wd mean h", "we mean h",
-        "censored h", "corrupt",
+        "scale",
+        "records",
+        "cpu %",
+        "mem %",
+        "urr %",
+        "wd mean h",
+        "we mean h",
+        "censored h",
+        "corrupt",
     ]);
     let mut csv = Vec::new();
     for &scale in &scales {
@@ -68,8 +77,7 @@ pub fn fault_matrix(quick: bool) {
                 continue;
             }
             let consumed = m.samples_used + m.out_of_order + m.lost_in_crash;
-            let delivered =
-                expected_samples + m.duplicated - m.dropped - m.lost_in_restart;
+            let delivered = expected_samples + m.duplicated - m.dropped - m.lost_in_restart;
             assert_eq!(
                 consumed, delivered,
                 "machine {}: supervisor accounting does not reconcile with the injector",

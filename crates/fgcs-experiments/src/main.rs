@@ -16,32 +16,76 @@ mod extension_exps;
 mod fault_exps;
 mod predict_exps;
 mod report;
+mod serve_exps;
 mod trace_exps;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("table1", "Table 1: resource usage of tested applications"),
-    ("fig1a", "Figure 1(a): host CPU reduction vs LH, equal priority"),
-    ("fig1b", "Figure 1(b): host CPU reduction vs LH, guest nice 19"),
-    ("calibrate", "Derive Th1/Th2 from the sweeps (the paper's reading of Fig 1)"),
+    (
+        "fig1a",
+        "Figure 1(a): host CPU reduction vs LH, equal priority",
+    ),
+    (
+        "fig1b",
+        "Figure 1(b): host CPU reduction vs LH, guest nice 19",
+    ),
+    (
+        "calibrate",
+        "Derive Th1/Th2 from the sweeps (the paper's reading of Fig 1)",
+    ),
     ("fig2", "Figure 2: reduction vs LH x guest priority"),
-    ("fig3", "Figure 3: guest CPU usage, equal vs lowest priority"),
-    ("fig4", "Figure 4: SPEC x Musbus slowdown and thrashing on 384 MB Solaris"),
+    (
+        "fig3",
+        "Figure 3: guest CPU usage, equal vs lowest priority",
+    ),
+    (
+        "fig4",
+        "Figure 4: SPEC x Musbus slowdown and thrashing on 384 MB Solaris",
+    ),
     ("fig5", "Figure 5: the five-state availability model"),
-    ("table2", "Table 2: unavailability by cause over the 3-month testbed"),
+    (
+        "table2",
+        "Table 2: unavailability by cause over the 3-month testbed",
+    ),
     ("fig6", "Figure 6: CDF of availability-interval lengths"),
-    ("fig7", "Figure 7: unavailability occurrences per hour of day"),
+    (
+        "fig7",
+        "Figure 7: unavailability occurrences per hour of day",
+    ),
     ("regularity", "X1 (§5.3): daily patterns repeat across days"),
     ("predict", "X2 (§6): availability predictors vs baselines"),
     ("proactive", "X3 (§1): proactive vs oblivious job placement"),
-    ("ablation", "X4: two-threshold managed policy vs static priorities"),
+    (
+        "ablation",
+        "X4: two-threshold managed policy vs static priorities",
+    ),
     ("policies", "X5: the full §3.2.2 policy design space"),
-    ("scenarios", "X6 (§6): predictability across testbed scenarios"),
+    (
+        "scenarios",
+        "X6 (§6): predictability across testbed scenarios",
+    ),
     ("cluster", "X7: placement strategies on a live FGCS cluster"),
-    ("rules", "X8: ablation of the 1-min spike tolerance and 5-min harvest delay"),
-    ("depth", "X9: history depth and trimming ablation for the predictor"),
+    (
+        "rules",
+        "X8: ablation of the 1-min spike tolerance and 5-min harvest delay",
+    ),
+    (
+        "depth",
+        "X9: history depth and trimming ablation for the predictor",
+    ),
     ("seeds", "X10: Table 2 statistics across independent seeds"),
-    ("faults", "X11: Table 2 / Figure 6 drift under injected measurement faults"),
-    ("trace", "Dump the full testbed trace to results/ (JSONL + CSV)"),
+    (
+        "faults",
+        "X11: Table 2 / Figure 6 drift under injected measurement faults",
+    ),
+    (
+        "serve",
+        "X12: fgcs-service throughput, query latency, overload backpressure (not in `all`)",
+    ),
+    (
+        "trace",
+        "Dump the full testbed trace to results/ (JSONL + CSV)",
+    ),
 ];
 
 fn usage() -> ! {
@@ -71,6 +115,7 @@ fn run(name: &str, quick: bool) {
         "depth" => predict_exps::depth(quick),
         "seeds" => extension_exps::seeds(quick),
         "faults" => fault_exps::fault_matrix(quick),
+        "serve" => serve_exps::serve(quick),
         "table2" => trace_exps::table2(quick),
         "fig6" => trace_exps::fig6(quick),
         "fig7" => trace_exps::fig7(quick),
@@ -93,7 +138,13 @@ fn main() {
     let t0 = std::time::Instant::now();
     if name == "all" {
         for (n, _) in EXPERIMENTS {
-            run(n, quick);
+            // `serve` measures wall-clock throughput/latency, so its
+            // outputs are not byte-reproducible golden files like the
+            // other CSVs; run it explicitly (`fgcs-exp serve`), the way
+            // `cargo bench` regenerates BENCH_sim.json.
+            if *n != "serve" {
+                run(n, quick);
+            }
         }
     } else {
         run(name, quick);

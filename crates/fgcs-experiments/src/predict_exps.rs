@@ -102,8 +102,7 @@ pub fn proactive(quick: bool) {
     let mut predictor2 = MachineHourlyPredictor::default();
     let (gobl, gpro) = compare_gang(&trace, &mut predictor2, 0.6, &gang_cfg);
     println!("\ngang jobs (4 tasks each, response = makespan over the group):");
-    let mut gtable =
-        TextTable::new(&["policy", "mean makespan", "mean failures/task", "timeouts"]);
+    let mut gtable = TextTable::new(&["policy", "mean makespan", "mean failures/task", "timeouts"]);
     for o in [&gobl, &gpro] {
         gtable.row(vec![
             o.policy.to_string(),
@@ -120,14 +119,29 @@ pub fn proactive(quick: bool) {
     );
 
     let csv = vec![
-        format!("single,oblivious,{:.2},{:.4},{}", obl.mean_response, obl.mean_failures, obl.timed_out),
-        format!("single,proactive,{:.2},{:.4},{}", pro.mean_response, pro.mean_failures, pro.timed_out),
-        format!("gang4,oblivious,{:.2},{:.4},{}", gobl.mean_response, gobl.mean_failures, gobl.timed_out),
-        format!("gang4,proactive,{:.2},{:.4},{}", gpro.mean_response, gpro.mean_failures, gpro.timed_out),
+        format!(
+            "single,oblivious,{:.2},{:.4},{}",
+            obl.mean_response, obl.mean_failures, obl.timed_out
+        ),
+        format!(
+            "single,proactive,{:.2},{:.4},{}",
+            pro.mean_response, pro.mean_failures, pro.timed_out
+        ),
+        format!(
+            "gang4,oblivious,{:.2},{:.4},{}",
+            gobl.mean_response, gobl.mean_failures, gobl.timed_out
+        ),
+        format!(
+            "gang4,proactive,{:.2},{:.4},{}",
+            gpro.mean_response, gpro.mean_failures, gpro.timed_out
+        ),
     ];
-    let path =
-        write_csv("proactive", "shape,policy,mean_response_secs,mean_failures,timeouts", &csv)
-            .expect("csv");
+    let path = write_csv(
+        "proactive",
+        "shape,policy,mean_response_secs,mean_failures,timeouts",
+        &csv,
+    )
+    .expect("csv");
     println!("wrote {}", path.display());
 }
 
@@ -140,19 +154,42 @@ pub fn depth(quick: bool) {
     use fgcs_predict::predictor::HistoryWindowPredictor;
     banner("Prediction depth (X9) — history days and trimming");
     let trace = standard_trace(quick);
-    let cfg = EvalConfig { windows: vec![2 * 3600], ..Default::default() };
+    let cfg = EvalConfig {
+        windows: vec![2 * 3600],
+        ..Default::default()
+    };
 
     let mut table = TextTable::new(&["history days", "Brier (trim)", "Brier (no trim)"]);
     let mut csv = Vec::new();
     for days in [1usize, 2, 3, 5, 10, 15, 20] {
         let mut preds: Vec<Box<dyn fgcs_predict::AvailabilityPredictor>> = vec![
-            Box::new(HistoryWindowPredictor::new().with_history_days(days).with_trim(true)),
-            Box::new(HistoryWindowPredictor::new().with_history_days(days).with_trim(false)),
+            Box::new(
+                HistoryWindowPredictor::new()
+                    .with_history_days(days)
+                    .with_trim(true),
+            ),
+            Box::new(
+                HistoryWindowPredictor::new()
+                    .with_history_days(days)
+                    .with_trim(false),
+            ),
         ];
         let rows = evaluate(&trace, &mut preds, &cfg);
-        let trim = rows.iter().find(|r| r.predictor == "history-window").unwrap().brier;
-        let no_trim = rows.iter().find(|r| r.predictor == "history-no-trim").unwrap().brier;
-        table.row(vec![days.to_string(), format!("{trim:.4}"), format!("{no_trim:.4}")]);
+        let trim = rows
+            .iter()
+            .find(|r| r.predictor == "history-window")
+            .unwrap()
+            .brier;
+        let no_trim = rows
+            .iter()
+            .find(|r| r.predictor == "history-no-trim")
+            .unwrap()
+            .brier;
+        table.row(vec![
+            days.to_string(),
+            format!("{trim:.4}"),
+            format!("{no_trim:.4}"),
+        ]);
         csv.push(format!("{days},{trim:.5},{no_trim:.5}"));
     }
     table.print();
@@ -161,7 +198,11 @@ pub fn depth(quick: bool) {
          saturates the score — recent history really is all the predictor \
          needs, as the paper's regularity result implies."
     );
-    let path = write_csv("predict_depth", "history_days,brier_trim,brier_no_trim", &csv)
-        .expect("csv");
+    let path = write_csv(
+        "predict_depth",
+        "history_days,brier_trim,brier_no_trim",
+        &csv,
+    )
+    .expect("csv");
     println!("wrote {}", path.display());
 }

@@ -1,0 +1,236 @@
+//! X12: the networked availability service under load.
+//!
+//! Two phases over real localhost TCP:
+//!
+//! 1. **Clean** — replay the lab through the load generator at full
+//!    speed with interleaved availability queries; measure ingest
+//!    throughput and query latency percentiles, and assert the streamed
+//!    pipeline decodes everything and answers queries.
+//! 2. **Overload** — pin the server's ingest capacity (1 worker, tiny
+//!    queue, artificial per-batch cost) well below the offered load and
+//!    verify the backpressure accounting reconciles exactly:
+//!    `sent == ingested + shed + decode-rejected`.
+//!
+//! Writes `results/serve.csv` and `BENCH_serve.json` (cwd-relative).
+
+use fgcs_service::{run_loadgen, LoadGenConfig, LoadGenReport, Server, ServiceConfig};
+use fgcs_stats::quantile::quantile;
+use fgcs_testbed::json::ObjWriter;
+use fgcs_testbed::runner::TestbedConfig;
+use fgcs_wire::StatsPayload;
+
+use crate::report::{banner, write_csv};
+
+struct PhaseOutcome {
+    report: LoadGenReport,
+    stats: StatsPayload,
+    throughput: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Waits until every sent batch is accounted for (ingested, shed, or
+/// decode-rejected) and the queue is empty, then snapshots stats.
+fn drain(server: &Server, batches_sent: u64) -> StatsPayload {
+    for _ in 0..600 {
+        let stats = server.stats();
+        if stats.ingested_batches + stats.shed_batches + stats.decode_errors >= batches_sent
+            && stats.queue_depth == 0
+        {
+            return stats;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("X12: server failed to drain; stats = {:?}", server.stats());
+}
+
+fn run_phase(svc: ServiceConfig, lg: &LoadGenConfig) -> PhaseOutcome {
+    let server = Server::start(svc).expect("X12: server starts");
+    let addr = server.local_addr().to_string();
+    let report = run_loadgen(&addr, lg).expect("X12: load generator runs");
+    let stats = drain(&server, report.batches_sent);
+    server.shutdown();
+
+    let throughput = if report.elapsed_secs > 0.0 {
+        report.samples_sent as f64 / report.elapsed_secs
+    } else {
+        0.0
+    };
+    let lat: Vec<f64> = report
+        .query_latencies_us
+        .iter()
+        .map(|&us| us as f64)
+        .collect();
+    let p50_us = quantile(&lat, 0.5).unwrap_or(0.0);
+    let p99_us = quantile(&lat, 0.99).unwrap_or(0.0);
+    PhaseOutcome {
+        report,
+        stats,
+        throughput,
+        p50_us,
+        p99_us,
+    }
+}
+
+fn reconcile(phase: &str, out: &PhaseOutcome) {
+    let (r, s) = (&out.report, &out.stats);
+    assert_eq!(
+        s.ingested_batches + s.shed_batches + s.decode_errors,
+        r.batches_sent,
+        "X12 {phase}: server identity sent == ingested + shed + decode-rejected"
+    );
+    assert_eq!(
+        r.acks + r.busys + r.error_replies,
+        r.batches_sent,
+        "X12 {phase}: client identity acks + busys + errors == sent"
+    );
+    assert_eq!(
+        s.busy_replies, s.shed_batches,
+        "X12 {phase}: one Busy per shed batch"
+    );
+    assert_eq!(
+        r.busys, s.shed_batches,
+        "X12 {phase}: client saw every Busy"
+    );
+}
+
+/// X12: throughput/latency of the availability service plus overload
+/// accounting.
+pub fn serve(quick: bool) {
+    banner("X12 — fgcs-service: streamed ingest throughput and overload backpressure");
+    let mut cfg = TestbedConfig::default();
+    if quick {
+        cfg.lab.machines = 4;
+        cfg.lab.days = 2;
+    } else {
+        cfg.lab.machines = 12;
+        cfg.lab.days = 7;
+    }
+
+    // Phase 1: clean, full-speed, queries interleaved.
+    let mut svc = ServiceConfig::for_testbed(&cfg);
+    svc.queue_capacity = 4096;
+    let mut lg = LoadGenConfig::new(cfg.lab.clone());
+    lg.batch_size = 128;
+    lg.query_every_batches = 8;
+    lg.query_horizon = 1_800;
+    let clean = run_phase(svc, &lg);
+    reconcile("clean", &clean);
+    assert_eq!(
+        clean.stats.decode_errors, 0,
+        "X12 clean: a clean stream must decode fully"
+    );
+    assert!(
+        clean.report.queries_sent > 0 && clean.report.queries_answered > 0,
+        "X12 clean: availability queries must be issued and answered"
+    );
+    assert_eq!(
+        clean.stats.ingested_samples + clean.stats.shed_samples,
+        clean.report.samples_sent,
+        "X12 clean: every sample accounted"
+    );
+    println!(
+        "clean:    {} machines, {} samples in {:.2} s  ->  {:.0} samples/s ingest",
+        clean.report.machines,
+        clean.report.samples_sent,
+        clean.report.elapsed_secs,
+        clean.throughput
+    );
+    println!(
+        "          {} queries answered, latency p50 {:.0} us  p99 {:.0} us",
+        clean.report.queries_answered, clean.p50_us, clean.p99_us
+    );
+
+    // Phase 2: overload — ingest capacity pinned far below offered load.
+    let mut svc = ServiceConfig::for_testbed(&cfg);
+    svc.workers = 1;
+    svc.queue_capacity = 4;
+    svc.ingest_delay_us = 2_000;
+    let mut lg = LoadGenConfig::new(cfg.lab.clone());
+    lg.batch_size = 16;
+    // Ingest capacity is 1/ingest_delay = 500 batches/s = 8k samples/s;
+    // pace the fleet to ~4x that so overload is sustained, not a burst.
+    lg.samples_per_sec = 32_000 / cfg.lab.machines as u64;
+    lg.max_samples_per_machine = Some(if quick { 2_000 } else { 4_000 });
+    lg.query_every_batches = 32;
+    let over = run_phase(svc, &lg);
+    reconcile("overload", &over);
+    assert!(
+        over.stats.shed_batches > 0,
+        "X12 overload: the queue must actually overflow"
+    );
+    assert!(
+        over.report.queries_answered > 0,
+        "X12 overload: the server must stay query-responsive under overload"
+    );
+    let shed_frac = over.stats.shed_batches as f64 / over.report.batches_sent as f64;
+    println!(
+        "overload: {} batches offered, {} ingested, {} shed ({:.1}% shed), 0 lost silently",
+        over.report.batches_sent,
+        over.stats.ingested_batches,
+        over.stats.shed_batches,
+        100.0 * shed_frac
+    );
+    println!(
+        "          queries under overload: {} answered, latency p50 {:.0} us  p99 {:.0} us",
+        over.report.queries_answered, over.p50_us, over.p99_us
+    );
+
+    let row = |phase: &str, o: &PhaseOutcome| {
+        format!(
+            "{phase},{},{},{},{:.3},{:.0},{:.0},{:.0},{},{},{}",
+            o.report.machines,
+            o.report.batches_sent,
+            o.report.samples_sent,
+            o.report.elapsed_secs,
+            o.throughput,
+            o.p50_us,
+            o.p99_us,
+            o.stats.shed_batches,
+            o.stats.decode_errors,
+            o.report.queries_answered
+        )
+    };
+    let path = write_csv(
+        "serve",
+        "phase,machines,batches,samples,elapsed_s,samples_per_s,query_p50_us,query_p99_us,\
+         shed_batches,decode_errors,queries_answered",
+        &[row("clean", &clean), row("overload", &over)],
+    )
+    .expect("write results/serve.csv");
+    println!("wrote {}", path.display());
+
+    let phase_obj = |o: &PhaseOutcome| {
+        let mut w = ObjWriter::new();
+        w.u64("machines", o.report.machines as u64)
+            .u64("batches_sent", o.report.batches_sent)
+            .u64("samples_sent", o.report.samples_sent)
+            .f64("elapsed_secs", o.report.elapsed_secs)
+            .f64("samples_per_sec", o.throughput)
+            .f64("query_p50_us", o.p50_us)
+            .f64("query_p99_us", o.p99_us)
+            .u64("queries_answered", o.report.queries_answered)
+            .u64("ingested_batches", o.stats.ingested_batches)
+            .u64("shed_batches", o.stats.shed_batches)
+            .u64("decode_errors", o.stats.decode_errors);
+        w
+    };
+    let mut bench = ObjWriter::new();
+    bench
+        .str("benchmark", "serve_throughput")
+        .str(
+            "description",
+            "X12: fgcs-service over localhost TCP. clean = full-speed trace replay with \
+             interleaved availability queries; overload = ingest capacity pinned below \
+             offered load (1 worker, queue capacity 4, 2 ms/batch), exercising \
+             shed-oldest backpressure with exact accounting.",
+        )
+        .str(
+            "command",
+            "cargo run --release -p fgcs-experiments --bin fgcs-exp -- serve",
+        )
+        .obj("clean", phase_obj(&clean))
+        .obj("overload", phase_obj(&over));
+    std::fs::write("BENCH_serve.json", bench.finish() + "\n").expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -34,11 +34,23 @@ pub fn table2(quick: bool) {
 
     let mut table = TextTable::new(&["category", "measured (per machine)", "paper (per machine)"]);
     table.row(vec!["total".into(), t2.total.to_string(), "405-453".into()]);
-    table.row(vec!["UEC / CPU contention".into(), t2.cpu.to_string(), "283-356".into()]);
-    table.row(vec!["UEC / memory contention".into(), t2.mem.to_string(), "83-121".into()]);
+    table.row(vec![
+        "UEC / CPU contention".into(),
+        t2.cpu.to_string(),
+        "283-356".into(),
+    ]);
+    table.row(vec![
+        "UEC / memory contention".into(),
+        t2.mem.to_string(),
+        "83-121".into(),
+    ]);
     table.row(vec!["URR".into(), t2.urr.to_string(), "3-12".into()]);
     table.row(vec!["CPU %".into(), format!("{cpu_pct}%"), "69-79%".into()]);
-    table.row(vec!["memory %".into(), format!("{mem_pct}%"), "19-30%".into()]);
+    table.row(vec![
+        "memory %".into(),
+        format!("{mem_pct}%"),
+        "19-30%".into(),
+    ]);
     table.row(vec!["URR %".into(), format!("{urr_pct}%"), "0-3%".into()]);
     table.print();
     compare_line(
@@ -51,7 +63,12 @@ pub fn table2(quick: bool) {
         .per_machine
         .iter()
         .enumerate()
-        .map(|(m, c)| format!("{m},{},{},{},{},{}", c.total, c.cpu, c.mem, c.urr, c.urr_reboots))
+        .map(|(m, c)| {
+            format!(
+                "{m},{},{},{},{},{}",
+                c.total, c.cpu, c.mem, c.urr, c.urr_reboots
+            )
+        })
         .collect();
     let path = write_csv("table2", "machine,total,cpu,mem,urr,urr_reboots", &csv).expect("csv");
     println!("wrote {}", path.display());
@@ -64,22 +81,45 @@ pub fn fig6(quick: bool) {
     let iv = analysis::intervals(&trace);
 
     let mut table = TextTable::new(&["interval length", "weekday CDF", "weekend CDF"]);
-    let grid_hours: Vec<f64> =
-        vec![5.0 / 60.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0];
+    let grid_hours: Vec<f64> = vec![
+        5.0 / 60.0,
+        0.5,
+        1.0,
+        2.0,
+        3.0,
+        4.0,
+        5.0,
+        6.0,
+        8.0,
+        10.0,
+        12.0,
+    ];
     let mut csv = Vec::new();
     for &h in &grid_hours {
         let wd = iv.weekday.eval(h);
         let we = iv.weekend.eval(h);
         table.row(vec![
-            if h < 0.2 { "5 min".into() } else { format!("{h:.1} h") },
+            if h < 0.2 {
+                "5 min".into()
+            } else {
+                format!("{h:.1} h")
+            },
             pct(wd),
             pct(we),
         ]);
         csv.push(format!("{h:.3},{wd:.4},{we:.4}"));
     }
     table.print();
-    compare_line("weekday mean interval", hours(iv.weekday.mean() * 3600.0), "close to 3 h");
-    compare_line("weekend mean interval", hours(iv.weekend.mean() * 3600.0), "above 5 h");
+    compare_line(
+        "weekday mean interval",
+        hours(iv.weekday.mean() * 3600.0),
+        "close to 3 h",
+    );
+    compare_line(
+        "weekend mean interval",
+        hours(iv.weekend.mean() * 3600.0),
+        "above 5 h",
+    );
     compare_line(
         "weekday intervals in 2-4 h",
         pct(iv.fraction_between(DayType::Weekday, 2.0, 4.0)),
@@ -90,7 +130,11 @@ pub fn fig6(quick: bool) {
         pct(iv.fraction_between(DayType::Weekend, 4.0, 6.0)),
         "~60%",
     );
-    compare_line("intervals shorter than 5 min", pct(iv.weekday.eval(5.0 / 60.0)), "~5%");
+    compare_line(
+        "intervals shorter than 5 min",
+        pct(iv.weekday.eval(5.0 / 60.0)),
+        "~5%",
+    );
     let path = write_csv("fig6", "hours,weekday_cdf,weekend_cdf", &csv).expect("csv");
     println!("wrote {}", path.display());
 }
@@ -102,7 +146,10 @@ pub fn fig7(quick: bool) {
     let h = analysis::hourly(&trace);
 
     let mut csv = Vec::new();
-    for (dt, g) in [(DayType::Weekday, &h.weekday), (DayType::Weekend, &h.weekend)] {
+    for (dt, g) in [
+        (DayType::Weekday, &h.weekday),
+        (DayType::Weekend, &h.weekend),
+    ] {
         println!("\n{dt}s (mean [min-max], bar scaled to 20):");
         let mut table = TextTable::new(&["hour", "mean", "range", ""]);
         for (hour, s) in g.iter() {
@@ -112,7 +159,12 @@ pub fn fig7(quick: bool) {
                 format!("[{:.0}-{:.0}]", s.min(), s.max()),
                 bar(s.mean(), 20.0, 30),
             ]);
-            csv.push(format!("{dt},{hour},{:.3},{:.0},{:.0}", s.mean(), s.min(), s.max()));
+            csv.push(format!(
+                "{dt},{hour},{:.3},{:.0},{:.0}",
+                s.mean(),
+                s.min(),
+                s.max()
+            ));
         }
         table.print();
     }
@@ -132,10 +184,26 @@ pub fn regularity(quick: bool) {
     banner("Regularity (§5.3) — are daily patterns comparable to recent history?");
     let trace = standard_trace(quick);
     let r = analysis::regularity(&trace);
-    compare_line("mean pairwise weekday correlation", format!("{:.2}", r.weekday_correlation), "high (patterns repeat)");
-    compare_line("mean pairwise weekend correlation", format!("{:.2}", r.weekend_correlation), "high (patterns repeat)");
-    compare_line("mean per-hour weekday CV", format!("{:.2}", r.weekday_mean_cv), "small deviations");
-    compare_line("mean per-hour weekend CV", format!("{:.2}", r.weekend_mean_cv), "small deviations");
+    compare_line(
+        "mean pairwise weekday correlation",
+        format!("{:.2}", r.weekday_correlation),
+        "high (patterns repeat)",
+    );
+    compare_line(
+        "mean pairwise weekend correlation",
+        format!("{:.2}", r.weekend_correlation),
+        "high (patterns repeat)",
+    );
+    compare_line(
+        "mean per-hour weekday CV",
+        format!("{:.2}", r.weekday_mean_cv),
+        "small deviations",
+    );
+    compare_line(
+        "mean per-hour weekend CV",
+        format!("{:.2}", r.weekend_mean_cv),
+        "small deviations",
+    );
     println!(
         "interpretation: per-hour failure counts correlate strongly across days \
          of the same type, which is exactly what makes the history-window \
@@ -154,7 +222,9 @@ pub fn dump_trace(quick: bool) {
     trace
         .write_jsonl(std::fs::File::create(&jsonl).expect("create"))
         .expect("write jsonl");
-    trace.write_csv(std::fs::File::create(&csv).expect("create")).expect("write csv");
+    trace
+        .write_csv(std::fs::File::create(&csv).expect("create"))
+        .expect("write csv");
     println!(
         "wrote {} ({} records) and {}",
         jsonl.display(),

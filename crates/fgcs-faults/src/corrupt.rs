@@ -67,8 +67,11 @@ pub fn corrupt_text(text: &str, cfg: &FaultConfig, stream: u64) -> (String, Corr
                 // number, i.e. a silently wrong record. Respect UTF-8
                 // boundaries (trace lines are ASCII, but be safe).
                 let limit = line.rfind(',').unwrap_or(line.len().saturating_sub(1));
-                let mut cut =
-                    if limit == 0 { 0 } else { rng.range_u64(1, limit as u64 + 1) as usize };
+                let mut cut = if limit == 0 {
+                    0
+                } else {
+                    rng.range_u64(1, limit as u64 + 1) as usize
+                };
                 while cut > 0 && !line.is_char_boundary(cut) {
                     cut -= 1;
                 }
@@ -86,8 +89,13 @@ pub fn corrupt_text(text: &str, cfg: &FaultConfig, stream: u64) -> (String, Corr
                 let mut bytes = line.as_bytes().to_vec();
                 // Smash whole UTF-8 sequences, not just one byte, so the
                 // result stays a valid (if garbled) Rust string.
-                let start = (0..=pos).rev().find(|&p| line.is_char_boundary(p)).unwrap_or(0);
-                let end = (pos + 1..=line.len()).find(|&p| line.is_char_boundary(p)).unwrap_or(line.len());
+                let start = (0..=pos)
+                    .rev()
+                    .find(|&p| line.is_char_boundary(p))
+                    .unwrap_or(0);
+                let end = (pos + 1..=line.len())
+                    .find(|&p| line.is_char_boundary(p))
+                    .unwrap_or(line.len());
                 bytes.splice(start..end, std::iter::once(0x01));
                 out.push_str(&String::from_utf8(bytes).expect("char-boundary splice"));
             }
@@ -95,6 +103,54 @@ pub fn corrupt_text(text: &str, cfg: &FaultConfig, stream: u64) -> (String, Corr
         out.push('\n');
     }
     (out, report)
+}
+
+/// Domain-separation salt for the frame-corruption RNG.
+const FRAME_SALT: u64 = 0x6672_616d_6543_7270; // "frameCrp"
+
+/// Byte-level corruption of binary protocol frames, the wire analogue of
+/// [`corrupt_text`]: with probability `rate` per frame, one payload byte
+/// is XOR-ed with a nonzero mask.
+///
+/// Unlike the frozen on-disk trace formats, the wire format *does* carry
+/// a per-frame CRC32 of its payload, so here even a single flipped bit
+/// is detectable — the stronger guarantee the text corruptor cannot
+/// give. The load generator counts frames it corrupted; the server
+/// counts frames its decoder rejected; the corruption experiment asserts
+/// the two numbers are equal.
+#[derive(Debug)]
+pub struct FrameCorruptor {
+    rng: Rng,
+    rate: f64,
+    /// Frames corrupted so far.
+    pub frames_corrupted: u64,
+}
+
+impl FrameCorruptor {
+    /// A corruptor for one (seeded) stream, flipping a byte in each
+    /// frame with probability `cfg.corrupt_rate`.
+    pub fn new(cfg: &FaultConfig, stream: u64) -> Self {
+        FrameCorruptor {
+            rng: Rng::for_stream(cfg.seed ^ FRAME_SALT, stream),
+            rate: cfg.corrupt_rate,
+            frames_corrupted: 0,
+        }
+    }
+
+    /// Possibly corrupts one encoded frame in place, XOR-ing a single
+    /// byte at index `skip..` (callers pass the frame header length so
+    /// only payload bytes are touched — a header flip would desync the
+    /// whole stream instead of poisoning one frame). Returns whether the
+    /// frame was corrupted. Frames with no payload pass through.
+    pub fn corrupt(&mut self, frame: &mut [u8], skip: usize) -> bool {
+        if frame.len() <= skip || !self.rng.chance(self.rate) {
+            return false;
+        }
+        let idx = skip + self.rng.below((frame.len() - skip) as u64) as usize;
+        frame[idx] ^= 0xa5;
+        self.frames_corrupted += 1;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -137,11 +193,18 @@ mod tests {
         let text = sample_text();
         let (out, rep) = corrupt_text(&text, &cfg, 0);
         assert!(rep.lines_corrupted > 50);
-        assert_eq!(rep.lines_corrupted as usize, rep.corrupted_line_numbers.len());
+        assert_eq!(
+            rep.lines_corrupted as usize,
+            rep.corrupted_line_numbers.len()
+        );
         assert!(rep.corrupted_line_numbers.iter().all(|&i| i > 0));
         let out_lines: Vec<&str> = out.lines().collect();
         let in_lines: Vec<&str> = text.lines().collect();
-        assert_eq!(out_lines.len(), in_lines.len(), "corruption never adds or removes lines");
+        assert_eq!(
+            out_lines.len(),
+            in_lines.len(),
+            "corruption never adds or removes lines"
+        );
         assert_eq!(out_lines[0], in_lines[0]);
         // Exactly the reported lines differ, and none is left empty.
         for (i, (a, b)) in in_lines.iter().zip(&out_lines).enumerate() {
@@ -149,6 +212,60 @@ mod tests {
             assert_eq!(a != b, touched, "line {i}");
             assert!(!b.is_empty());
         }
+    }
+
+    #[test]
+    fn frame_corruptor_flips_exactly_one_payload_byte() {
+        let mut cfg = FaultConfig::off(9);
+        cfg.corrupt_rate = 1.0;
+        let mut c = FrameCorruptor::new(&cfg, 0);
+        let skip = 12;
+        for round in 0..50u8 {
+            let original: Vec<u8> = (0..40).map(|i| i ^ round).collect();
+            let mut frame = original.clone();
+            assert!(c.corrupt(&mut frame, skip));
+            let diffs: Vec<usize> = (0..frame.len())
+                .filter(|&i| frame[i] != original[i])
+                .collect();
+            assert_eq!(diffs.len(), 1, "exactly one byte must change");
+            assert!(diffs[0] >= skip, "header bytes must never be touched");
+            assert_eq!(frame[diffs[0]] ^ original[diffs[0]], 0xa5);
+        }
+        assert_eq!(c.frames_corrupted, 50);
+    }
+
+    #[test]
+    fn frame_corruptor_zero_rate_and_empty_payload_pass_through() {
+        let mut c = FrameCorruptor::new(&FaultConfig::off(9), 0);
+        let mut frame = vec![1u8; 20];
+        assert!(!c.corrupt(&mut frame, 12), "zero rate never corrupts");
+        let mut cfg = FaultConfig::off(9);
+        cfg.corrupt_rate = 1.0;
+        let mut c = FrameCorruptor::new(&cfg, 0);
+        let mut header_only = vec![1u8; 12];
+        assert!(
+            !c.corrupt(&mut header_only, 12),
+            "no payload, nothing to corrupt"
+        );
+        assert_eq!(c.frames_corrupted, 0);
+    }
+
+    #[test]
+    fn frame_corruptor_is_deterministic_per_stream() {
+        let mut cfg = FaultConfig::off(5);
+        cfg.corrupt_rate = 0.5;
+        let run = |stream: u64| {
+            let mut c = FrameCorruptor::new(&cfg, stream);
+            let mut outcomes = Vec::new();
+            for i in 0..100u8 {
+                let mut frame = vec![i; 32];
+                c.corrupt(&mut frame, 12);
+                outcomes.push(frame);
+            }
+            (outcomes, c.frames_corrupted)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different streams corrupt differently");
     }
 
     #[test]

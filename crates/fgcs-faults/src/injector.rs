@@ -194,7 +194,10 @@ where
             {
                 self.stats.delayed += 1;
                 let slots = self.rng.range_u64(1, self.cfg.max_delay_slots as u64 + 1) as u32;
-                self.pending.push(Delayed { sample: s, after_slots: slots });
+                self.pending.push(Delayed {
+                    sample: s,
+                    after_slots: slots,
+                });
                 continue;
             }
             if self.cfg.duplicate_rate > 0.0 && self.rng.chance(self.cfg.duplicate_rate) {

@@ -36,6 +36,7 @@
 pub mod corrupt;
 pub mod injector;
 
+pub use corrupt::{corrupt_text, CorruptionReport, FrameCorruptor};
 pub use injector::{CrashPlan, FaultStream, FaultyProbe, Timestamped};
 
 /// Fault rates for one injection run. All rates are probabilities per
@@ -215,8 +216,16 @@ mod tests {
 
     #[test]
     fn stats_merge_adds() {
-        let mut a = InjectionStats { dropped: 1, duplicated: 2, ..Default::default() };
-        let b = InjectionStats { dropped: 10, clock_jumps: 3, ..Default::default() };
+        let mut a = InjectionStats {
+            dropped: 1,
+            duplicated: 2,
+            ..Default::default()
+        };
+        let b = InjectionStats {
+            dropped: 10,
+            clock_jumps: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.dropped, 11);
         assert_eq!(a.duplicated, 2);

@@ -55,15 +55,32 @@ std::thread_local! {
 /// Returns the worker count used by [`par_map`]: the `FGCS_PAR_WORKERS`
 /// environment variable if set to a positive integer, otherwise the
 /// available parallelism — either way capped by the item count (and at
-/// least 1).
+/// least 1). An invalid override (`0`, empty, unparseable) falls back to
+/// the default and warns once on stderr instead of being trusted
+/// downstream: a typo'd `FGCS_PAR_WORKERS=O8` should not silently
+/// serialize a sweep.
 pub fn default_workers(items: usize) -> usize {
-    let hw = std::env::var("FGCS_PAR_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        });
+    let hw_default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let hw = match std::env::var("FGCS_PAR_WORKERS") {
+        Err(_) => hw_default(),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "fgcs-par: ignoring FGCS_PAR_WORKERS={v:?} \
+                         (expected a positive integer); using the default worker count"
+                    );
+                });
+                hw_default()
+            }
+        },
+    };
     hw.min(items).max(1)
 }
 
@@ -119,8 +136,7 @@ where
                     }
                     let lo = c * chunk;
                     let hi = (lo + chunk).min(n);
-                    let buf: Vec<R> =
-                        (lo..hi).map(|i| f(i, &items[i])).collect();
+                    let buf: Vec<R> = (lo..hi).map(|i| f(i, &items[i])).collect();
                     *slots[c].lock().expect("result slot poisoned") = Some(buf);
                 }
             });
@@ -248,8 +264,9 @@ mod tests {
             let inner: Vec<u64> = (0..100).collect();
             par_map(&inner, |&y| x * 1000 + y).iter().sum::<u64>()
         });
-        let expect: Vec<u64> =
-            (0..8).map(|x| (0..100).map(|y| x * 1000 + y).sum()).collect();
+        let expect: Vec<u64> = (0..8)
+            .map(|x| (0..100).map(|y| x * 1000 + y).sum())
+            .collect();
         assert_eq!(out, expect);
     }
 

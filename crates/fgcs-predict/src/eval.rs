@@ -80,8 +80,7 @@ fn evaluate_inner(
     cfg: &EvalConfig,
 ) -> Vec<EvalResult> {
     let span = trace.meta.span_secs;
-    let train_end =
-        ((span as f64 * cfg.train_fraction) as u64 / SECS_PER_DAY) * SECS_PER_DAY;
+    let train_end = ((span as f64 * cfg.train_fraction) as u64 / SECS_PER_DAY) * SECS_PER_DAY;
     for p in predictors.iter_mut() {
         p.fit(trace, train_end);
     }
@@ -166,7 +165,10 @@ mod tests {
     fn evaluation_produces_rows_for_every_predictor_and_window() {
         let trace = small_trace();
         let mut preds = standard_predictors();
-        let cfg = EvalConfig { windows: vec![3600, 4 * 3600], ..Default::default() };
+        let cfg = EvalConfig {
+            windows: vec![3600, 4 * 3600],
+            ..Default::default()
+        };
         let rows = evaluate(&trace, &mut preds, &cfg);
         assert_eq!(rows.len(), preds.len() * 2);
         for r in &rows {
@@ -180,10 +182,16 @@ mod tests {
     fn history_window_beats_global_rate_on_lab_trace() {
         let trace = small_trace();
         let mut preds = standard_predictors();
-        let cfg = EvalConfig { windows: vec![2 * 3600], ..Default::default() };
+        let cfg = EvalConfig {
+            windows: vec![2 * 3600],
+            ..Default::default()
+        };
         let rows = evaluate(&trace, &mut preds, &cfg);
         let brier_of = |name: &str| {
-            rows.iter().find(|r| r.predictor == name).map(|r| r.brier).unwrap()
+            rows.iter()
+                .find(|r| r.predictor == name)
+                .map(|r| r.brier)
+                .unwrap()
         };
         // The paper's claim: history windows predict better than a
         // structure-free rate.
@@ -198,7 +206,10 @@ mod tests {
     #[test]
     fn empty_quality_report_changes_nothing() {
         let trace = small_trace();
-        let cfg = EvalConfig { windows: vec![3600], ..Default::default() };
+        let cfg = EvalConfig {
+            windows: vec![3600],
+            ..Default::default()
+        };
         let plain = evaluate(&trace, &mut standard_predictors(), &cfg);
         let censored = evaluate_censored(
             &trace,
@@ -212,7 +223,10 @@ mod tests {
     #[test]
     fn censored_windows_are_not_scored() {
         let trace = small_trace();
-        let cfg = EvalConfig { windows: vec![3600], ..Default::default() };
+        let cfg = EvalConfig {
+            windows: vec![3600],
+            ..Default::default()
+        };
         let plain = evaluate(&trace, &mut standard_predictors(), &cfg);
         // Censor the whole test suffix of machine 0: all its queries go.
         let mut q = TraceQualityReport::new();
@@ -231,9 +245,11 @@ mod tests {
         cfg.lab.days = 28;
         let mut faults = FaultConfig::noisy(5);
         faults.crash_rate_per_day = 0.1; // some censoring, not total
-        let (trace, quality) =
-            run_testbed_faulty(&cfg, &faults, &SupervisorConfig::default());
-        let ecfg = EvalConfig { windows: vec![3600], ..Default::default() };
+        let (trace, quality) = run_testbed_faulty(&cfg, &faults, &SupervisorConfig::default());
+        let ecfg = EvalConfig {
+            windows: vec![3600],
+            ..Default::default()
+        };
         let rows = evaluate_censored(&trace, &quality, &mut standard_predictors(), &ecfg);
         for r in &rows {
             assert!(r.queries > 0, "not everything may be censored");
@@ -249,7 +265,10 @@ mod tests {
         let trace = small_trace();
         let mut preds: Vec<Box<dyn AvailabilityPredictor>> =
             vec![Box::new(crate::predictor::HistoryWindowPredictor::new())];
-        let cfg = EvalConfig { windows: vec![1800, 8 * 3600], ..Default::default() };
+        let cfg = EvalConfig {
+            windows: vec![1800, 8 * 3600],
+            ..Default::default()
+        };
         let rows = evaluate(&trace, &mut preds, &cfg);
         assert!(rows.iter().all(|r| r.brier <= 0.5));
     }

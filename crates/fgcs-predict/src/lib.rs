@@ -20,14 +20,18 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod online;
 pub mod predictor;
 pub mod proactive;
 pub mod renewal;
 
 pub use eval::{evaluate, standard_predictors, EvalConfig, EvalResult};
+pub use online::OnlineAvailabilityModel;
 pub use predictor::{
     AvailabilityPredictor, BaseRatePredictor, GlobalRatePredictor, HistoryWindowPredictor,
     HourlyRatePredictor, LastDayPredictor, MachineHourlyPredictor,
 };
-pub use proactive::{compare, compare_gang, replay, replay_gang, GangConfig, Policy, PolicyOutcome, ProactiveConfig};
+pub use proactive::{
+    compare, compare_gang, replay, replay_gang, GangConfig, Policy, PolicyOutcome, ProactiveConfig,
+};
 pub use renewal::RenewalPredictor;

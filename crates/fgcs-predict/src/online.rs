@@ -1,0 +1,195 @@
+//! Online (streaming) availability prediction for the service.
+//!
+//! The batch predictors in [`crate::predictor`] train on a complete
+//! [`fgcs_testbed::trace::Trace`]. A server ingesting live sample
+//! streams has no such artifact — events arrive one at a time and
+//! queries may come at any moment. [`OnlineAvailabilityModel`] keeps
+//! the sufficient statistics of the placement-grade
+//! [`crate::predictor::MachineHourlyPredictor`] (per-machine event
+//! counts, pooled per-(day-type, hour) counts, observed span)
+//! incrementally, so its answers match a freshly fitted batch
+//! predictor — the equivalence test below pins this, bit for bit.
+
+use std::collections::BTreeMap;
+
+use fgcs_testbed::calendar::{day_index, day_type, DayType, SECS_PER_DAY};
+
+/// Streaming sufficient statistics for the factorized
+/// `λ(m, d, h) = rate_m · shape(d, h)` model.
+///
+/// Matches [`crate::predictor::MachineHourlyPredictor`] fitted with
+/// `train_end` equal to this model's observed horizon, provided the
+/// same machines are registered and the horizon does not exceed the
+/// trace's nominal span (the batch fit clamps its day count to
+/// `meta.days`; a live stream has no such bound).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineAvailabilityModel {
+    start_weekday: u8,
+    /// Unavailability events per machine. Registration with zero events
+    /// matters: the machine count normalizes the pooled shape.
+    events: BTreeMap<u32, u64>,
+    hour_counts: [[f64; 24]; 2],
+    total_events: u64,
+    horizon_t: u64,
+}
+
+impl OnlineAvailabilityModel {
+    /// A fresh model. `start_weekday` anchors the weekday/weekend
+    /// calendar, as in `TraceMeta::start_weekday`.
+    pub fn new(start_weekday: u8) -> Self {
+        OnlineAvailabilityModel {
+            start_weekday,
+            ..Default::default()
+        }
+    }
+
+    /// Registers a machine (idempotent). Machines with zero events
+    /// still count toward the pooled-shape normalization, exactly as
+    /// `meta.machines` does in the batch fit.
+    pub fn ensure_machine(&mut self, machine: u32) {
+        self.events.entry(machine).or_insert(0);
+    }
+
+    /// Advances the observed horizon — the streaming analogue of
+    /// `train_end`. Call with every ingested sample timestamp.
+    pub fn observe_time(&mut self, t: u64) {
+        self.horizon_t = self.horizon_t.max(t);
+    }
+
+    /// Records the *start* of an unavailability occurrence.
+    pub fn record_event(&mut self, machine: u32, start: u64) {
+        *self.events.entry(machine).or_insert(0) += 1;
+        let idx = (day_type(day_index(start), self.start_weekday) == DayType::Weekend) as usize;
+        let hour = ((start % SECS_PER_DAY) / 3600) as usize;
+        self.hour_counts[idx][hour] += 1.0;
+        self.total_events += 1;
+    }
+
+    /// Machines registered so far.
+    pub fn machines(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Observed horizon (max sample timestamp seen).
+    pub fn horizon(&self) -> u64 {
+        self.horizon_t
+    }
+
+    /// Total events recorded.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Probability that `machine` stays available throughout
+    /// `[t, t + window)` under the factorized Poisson model, using
+    /// everything streamed so far. An unknown machine is treated as
+    /// event-free (probability 1), like an out-of-range machine id in
+    /// the batch predictor.
+    pub fn predict(&self, machine: u32, t: u64, window: u64) -> f64 {
+        let span = self.horizon_t.max(1) as f64;
+        let rate = match self.events.get(&machine) {
+            Some(&n) => n as f64 / span,
+            None => 0.0,
+        };
+
+        // Same-type day tally over the observed span, mirroring the
+        // batch fit's `train_days` loop.
+        let mut hours_of_type = [0.0f64; 2];
+        for day in 0..self.horizon_t / SECS_PER_DAY {
+            let idx = (day_type(day, self.start_weekday) == DayType::Weekend) as usize;
+            hours_of_type[idx] += 1.0;
+        }
+        let machines_f = self.events.len().max(1) as f64;
+        let overall_rate = self.total_events as f64 / (span * machines_f);
+
+        let shape = |idx: usize, hour: usize| -> f64 {
+            let machine_secs = hours_of_type[idx] * 3600.0 * machines_f;
+            let hour_rate = if machine_secs > 0.0 {
+                self.hour_counts[idx][hour] / machine_secs
+            } else {
+                0.0
+            };
+            if overall_rate > 0.0 {
+                hour_rate / overall_rate
+            } else {
+                1.0
+            }
+        };
+
+        let mut expected = 0.0;
+        let mut cursor = t;
+        let end = t + window;
+        while cursor < end {
+            let idx =
+                (day_type(day_index(cursor), self.start_weekday) == DayType::Weekend) as usize;
+            let hour = ((cursor % SECS_PER_DAY) / 3600) as usize;
+            let hour_end = cursor - (cursor % 3600) + 3600;
+            let slice = hour_end.min(end) - cursor;
+            expected += rate * shape(idx, hour) * slice as f64;
+            cursor = hour_end;
+        }
+        (-expected).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{AvailabilityPredictor, MachineHourlyPredictor};
+    use fgcs_testbed::{run_testbed, TestbedConfig};
+
+    #[test]
+    fn matches_batch_machine_hourly_predictor_bit_for_bit() {
+        let cfg = TestbedConfig::tiny();
+        let trace = run_testbed(&cfg);
+        let train_end = 3 * SECS_PER_DAY; // inside the 4-day span
+
+        let mut batch = MachineHourlyPredictor::default();
+        batch.fit(&trace, train_end);
+
+        let mut online = OnlineAvailabilityModel::new(trace.meta.start_weekday);
+        for m in 0..trace.meta.machines {
+            online.ensure_machine(m);
+        }
+        online.observe_time(train_end);
+        for r in trace.records.iter().filter(|r| r.start < train_end) {
+            online.record_event(r.machine, r.start);
+        }
+
+        for m in 0..trace.meta.machines {
+            for t in [train_end, train_end + 7 * 3600, train_end + 20 * 3600] {
+                for w in [600u64, 1800, 3600, 8 * 3600] {
+                    let a = batch.predict(m, t, w);
+                    let b = online.predict(m, t, w);
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "machine {m} t {t} w {w}: batch {a} online {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_machine_predicts_certainty() {
+        let online = OnlineAvailabilityModel::new(0);
+        assert_eq!(online.predict(99, 0, 3600), 1.0);
+    }
+
+    #[test]
+    fn events_lower_the_probability() {
+        let mut online = OnlineAvailabilityModel::new(0);
+        online.ensure_machine(0);
+        online.ensure_machine(1);
+        online.observe_time(7 * SECS_PER_DAY);
+        for day in 0..5u64 {
+            online.record_event(0, day * SECS_PER_DAY + 10 * 3600);
+        }
+        let busy = online.predict(0, 7 * SECS_PER_DAY + 9 * 3600, 2 * 3600);
+        let quiet = online.predict(1, 7 * SECS_PER_DAY + 9 * 3600, 2 * 3600);
+        assert!(busy < quiet, "busy {busy} quiet {quiet}");
+        assert!((0.0..=1.0).contains(&busy));
+        assert_eq!(quiet, 1.0);
+    }
+}

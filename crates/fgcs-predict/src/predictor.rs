@@ -28,9 +28,9 @@ pub trait AvailabilityPredictor {
 /// True iff no occurrence on `machine` intersects `[t, t+w)` — the
 /// ground truth the predictors are scored against.
 pub fn window_was_available(records: &[TraceRecord], machine: u32, t: u64, w: u64) -> bool {
-    !records.iter().any(|r| {
-        r.machine == machine && r.start < t + w && r.end.unwrap_or(u64::MAX) > t
-    })
+    !records
+        .iter()
+        .any(|r| r.machine == machine && r.start < t + w && r.end.unwrap_or(u64::MAX) > t)
 }
 
 /// Per-machine event index with O(log n) window queries.
@@ -81,7 +81,11 @@ impl EventIndex {
 }
 
 fn training_records(trace: &Trace, train_end: u64) -> Vec<&TraceRecord> {
-    trace.records.iter().filter(|r| r.start < train_end).collect()
+    trace
+        .records
+        .iter()
+        .filter(|r| r.start < train_end)
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -176,7 +180,11 @@ impl AvailabilityPredictor for HistoryWindowPredictor {
             if hs + hw > self.train_end {
                 continue; // window leaks outside the training data
             }
-            outcomes.push(if self.index.window_available(machine, hs, hw) { 1.0 } else { 0.0 });
+            outcomes.push(if self.index.window_available(machine, hs, hw) {
+                1.0
+            } else {
+                0.0
+            });
         }
         if outcomes.is_empty() {
             return 0.5; // no history: maximal uncertainty
@@ -266,7 +274,11 @@ impl AvailabilityPredictor for HourlyRatePredictor {
         for (idx, row) in counts.iter().enumerate() {
             for (h, &c) in row.iter().enumerate() {
                 let machine_secs = hours_of_type[idx] * 3600.0 * machines;
-                self.rates[idx][h] = if machine_secs > 0.0 { c / machine_secs } else { 0.0 };
+                self.rates[idx][h] = if machine_secs > 0.0 {
+                    c / machine_secs
+                } else {
+                    0.0
+                };
             }
         }
     }
@@ -346,20 +358,32 @@ impl AvailabilityPredictor for MachineHourlyPredictor {
         for (idx, row) in hour_counts.iter().enumerate() {
             for (h, &c) in row.iter().enumerate() {
                 let machine_secs = hours_of_type[idx] * 3600.0 * machines_f;
-                let hour_rate = if machine_secs > 0.0 { c / machine_secs } else { 0.0 };
-                self.shape[idx][h] = if overall_rate > 0.0 { hour_rate / overall_rate } else { 1.0 };
+                let hour_rate = if machine_secs > 0.0 {
+                    c / machine_secs
+                } else {
+                    0.0
+                };
+                self.shape[idx][h] = if overall_rate > 0.0 {
+                    hour_rate / overall_rate
+                } else {
+                    1.0
+                };
             }
         }
     }
 
     fn predict(&self, machine: u32, t: u64, window: u64) -> f64 {
-        let rate = self.machine_rate.get(machine as usize).copied().unwrap_or(0.0);
+        let rate = self
+            .machine_rate
+            .get(machine as usize)
+            .copied()
+            .unwrap_or(0.0);
         let mut expected = 0.0;
         let mut cursor = t;
         let end = t + window;
         while cursor < end {
-            let idx = (day_type(day_index(cursor), self.start_weekday) == DayType::Weekend)
-                as usize;
+            let idx =
+                (day_type(day_index(cursor), self.start_weekday) == DayType::Weekend) as usize;
             let hour = ((cursor % SECS_PER_DAY) / 3600) as usize;
             let hour_end = cursor - (cursor % 3600) + 3600;
             let slice = hour_end.min(end) - cursor;
@@ -385,7 +409,9 @@ impl AvailabilityPredictor for LastDayPredictor {
     }
 
     fn fit(&mut self, trace: &Trace, train_end: u64) {
-        let mut p = HistoryWindowPredictor::new().with_history_days(1).with_trim(false);
+        let mut p = HistoryWindowPredictor::new()
+            .with_history_days(1)
+            .with_trim(false);
         p.alpha = 0.05;
         p.fit(trace, train_end);
         self.inner = Some(p);
@@ -411,7 +437,10 @@ pub struct BaseRatePredictor {
 impl BaseRatePredictor {
     /// Creates a base-rate predictor probing with the given window.
     pub fn new(probe_window: u64) -> Self {
-        BaseRatePredictor { probe_window, rate: 0.5 }
+        BaseRatePredictor {
+            probe_window,
+            rate: 0.5,
+        }
     }
 }
 
@@ -421,8 +450,12 @@ impl AvailabilityPredictor for BaseRatePredictor {
     }
 
     fn fit(&mut self, trace: &Trace, train_end: u64) {
-        let records: Vec<TraceRecord> =
-            trace.records.iter().filter(|r| r.start < train_end).copied().collect();
+        let records: Vec<TraceRecord> = trace
+            .records
+            .iter()
+            .filter(|r| r.start < train_end)
+            .copied()
+            .collect();
         let mut good = 0u64;
         let mut total = 0u64;
         let step = self.probe_window.max(600);
@@ -436,7 +469,11 @@ impl AvailabilityPredictor for BaseRatePredictor {
                 t += step;
             }
         }
-        self.rate = if total == 0 { 0.5 } else { good as f64 / total as f64 };
+        self.rate = if total == 0 {
+            0.5
+        } else {
+            good as f64 / total as f64
+        };
     }
 
     fn predict(&self, _machine: u32, _t: u64, _window: u64) -> f64 {
@@ -483,7 +520,10 @@ mod tests {
                 records.push(rec(0, s, s + 1800));
             }
         }
-        Trace { meta: meta(2, days), records }
+        Trace {
+            meta: meta(2, days),
+            records,
+        }
     }
 
     #[test]
@@ -535,7 +575,10 @@ mod tests {
         let mut records = Vec::new();
         let s = 7 * SECS_PER_DAY + 10 * 3600; // second Monday
         records.push(rec(0, s, s + 1800));
-        let trace = Trace { meta: meta(1, 28), records };
+        let trace = Trace {
+            meta: meta(1, 28),
+            records,
+        };
         let t = 21 * SECS_PER_DAY + 10 * 3600;
         let mut trimmed = HistoryWindowPredictor::new().with_trim(true);
         trimmed.fit(&trace, 21 * SECS_PER_DAY);

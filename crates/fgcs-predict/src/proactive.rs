@@ -89,12 +89,14 @@ struct MachineEvents<'a> {
 
 impl<'a> MachineEvents<'a> {
     fn new(trace: &'a Trace) -> Self {
-        let mut events: Vec<Vec<&TraceRecord>> =
-            vec![Vec::new(); trace.meta.machines as usize];
+        let mut events: Vec<Vec<&TraceRecord>> = vec![Vec::new(); trace.meta.machines as usize];
         for r in &trace.records {
             events[r.machine as usize].push(r);
         }
-        MachineEvents { events, span: trace.meta.span_secs }
+        MachineEvents {
+            events,
+            span: trace.meta.span_secs,
+        }
     }
 
     /// The event covering `t` on `machine`, if any.
@@ -107,7 +109,10 @@ impl<'a> MachineEvents<'a> {
 
     /// The next event starting at or after `t`.
     fn next_after(&self, machine: u32, t: u64) -> Option<&TraceRecord> {
-        self.events[machine as usize].iter().find(|r| r.start >= t).copied()
+        self.events[machine as usize]
+            .iter()
+            .find(|r| r.start >= t)
+            .copied()
     }
 
     /// True if the machine is available at `t`.
@@ -153,8 +158,15 @@ pub fn replay(
                 break false;
             }
             // Choose a machine.
-            let choice =
-                choose_machine(&events, predictor, policy, machines, now, work, &mut choice_rng);
+            let choice = choose_machine(
+                &events,
+                predictor,
+                policy,
+                machines,
+                now,
+                work,
+                &mut choice_rng,
+            );
             let Some(m) = choice else {
                 // Nobody available: wait for the earliest recovery.
                 let wake = (0..machines)
@@ -204,7 +216,9 @@ fn choose_machine(
     work: u64,
     rng: &mut Rng,
 ) -> Option<u32> {
-    let candidates: Vec<u32> = (0..machines).filter(|&m| events.available(m, now)).collect();
+    let candidates: Vec<u32> = (0..machines)
+        .filter(|&m| events.available(m, now))
+        .collect();
     if candidates.is_empty() {
         return None;
     }
@@ -215,11 +229,16 @@ fn choose_machine(
             // random: a deterministic argmax would dogpile one machine
             // whenever estimates tie, which is neither realistic nor fair
             // to the baseline.
-            let scored: Vec<(u32, f64)> =
-                candidates.iter().map(|&m| (m, predictor.predict(m, now, work))).collect();
+            let scored: Vec<(u32, f64)> = candidates
+                .iter()
+                .map(|&m| (m, predictor.predict(m, now, work)))
+                .collect();
             let best_p = scored.iter().map(|s| s.1).fold(f64::NEG_INFINITY, f64::max);
-            let near: Vec<u32> =
-                scored.iter().filter(|s| s.1 >= best_p - 0.02).map(|s| s.0).collect();
+            let near: Vec<u32> = scored
+                .iter()
+                .filter(|s| s.1 >= best_p - 0.02)
+                .map(|s| s.0)
+                .collect();
             *rng.choose(&near)
         }
     })
@@ -240,7 +259,10 @@ pub struct GangConfig {
 
 impl Default for GangConfig {
     fn default() -> Self {
-        GangConfig { base: ProactiveConfig::default(), tasks: 4 }
+        GangConfig {
+            base: ProactiveConfig::default(),
+            tasks: 4,
+        }
     }
 }
 
@@ -270,14 +292,23 @@ pub fn replay_gang(
     let mut timed_out = 0usize;
 
     for _ in 0..cfg.base.jobs {
-        let submit =
-            job_rng.range_u64(cfg.base.submit_from, submit_until.max(cfg.base.submit_from + 1));
+        let submit = job_rng.range_u64(
+            cfg.base.submit_from,
+            submit_until.max(cfg.base.submit_from + 1),
+        );
         let work = job_rng.range_u64(cfg.base.job_secs.0, cfg.base.job_secs.1 + 1);
         let deadline = submit + cfg.base.max_response;
 
         // Initial gang placement on distinct machines.
         let mut placements = gang_placement(
-            &events, predictor, policy, machines, submit, work, cfg.tasks, &mut choice_rng,
+            &events,
+            predictor,
+            policy,
+            machines,
+            submit,
+            work,
+            cfg.tasks,
+            &mut choice_rng,
         );
         while placements.len() < cfg.tasks {
             placements.push(None); // tasks that could not be placed yet
@@ -297,7 +328,13 @@ pub fn replay_gang(
                 let m = match placed.take() {
                     Some(m) => m,
                     None => match choose_machine(
-                        &events, predictor, policy, machines, now, work, &mut choice_rng,
+                        &events,
+                        predictor,
+                        policy,
+                        machines,
+                        now,
+                        work,
+                        &mut choice_rng,
                     ) {
                         Some(m) => m,
                         None => {
@@ -354,8 +391,9 @@ fn gang_placement(
     k: usize,
     rng: &mut Rng,
 ) -> Vec<Option<u32>> {
-    let mut candidates: Vec<u32> =
-        (0..machines).filter(|&m| events.available(m, now)).collect();
+    let mut candidates: Vec<u32> = (0..machines)
+        .filter(|&m| events.available(m, now))
+        .collect();
     match policy {
         Policy::Oblivious => rng.shuffle(&mut candidates),
         Policy::Proactive => {
@@ -421,7 +459,11 @@ mod tests {
     fn jobs_complete_under_both_policies() {
         let trace = lab_trace();
         let mut p = HistoryWindowPredictor::new();
-        let cfg = ProactiveConfig { jobs: 60, job_secs: (1800, 2 * 3600), ..Default::default() };
+        let cfg = ProactiveConfig {
+            jobs: 60,
+            job_secs: (1800, 2 * 3600),
+            ..Default::default()
+        };
         let (obl, pro) = compare(&trace, &mut p, 0.6, &cfg);
         assert_eq!(obl.policy, Policy::Oblivious);
         assert_eq!(pro.policy, Policy::Proactive);
@@ -437,7 +479,10 @@ mod tests {
         // competitive with random placement (the paper expects a win).
         let trace = lab_trace();
         let mut p = MachineHourlyPredictor::default();
-        let cfg = ProactiveConfig { jobs: 150, ..Default::default() };
+        let cfg = ProactiveConfig {
+            jobs: 150,
+            ..Default::default()
+        };
         let (obl, pro) = compare(&trace, &mut p, 0.6, &cfg);
         assert!(
             pro.mean_response <= obl.mean_response * 1.1,
@@ -451,7 +496,11 @@ mod tests {
     fn gang_jobs_complete_and_cost_more_than_singles() {
         let trace = lab_trace();
         let mut p = MachineHourlyPredictor::default();
-        let base = ProactiveConfig { jobs: 60, job_secs: (1800, 2 * 3600), ..Default::default() };
+        let base = ProactiveConfig {
+            jobs: 60,
+            job_secs: (1800, 2 * 3600),
+            ..Default::default()
+        };
         let (single, _) = compare(&trace, &mut p, 0.6, &base);
         let gang_cfg = GangConfig { base, tasks: 4 };
         let (gang, _) = compare_gang(&trace, &mut p, 0.6, &gang_cfg);
@@ -474,7 +523,10 @@ mod tests {
         let trace = run_testbed(&cfg);
         let mut p = MachineHourlyPredictor::default();
         let gang_cfg = GangConfig {
-            base: ProactiveConfig { jobs: 120, ..Default::default() },
+            base: ProactiveConfig {
+                jobs: 120,
+                ..Default::default()
+            },
             tasks: 4,
         };
         let (obl, pro) = compare_gang(&trace, &mut p, 0.6, &gang_cfg);

@@ -162,7 +162,10 @@ mod tests {
                 records.push(rec(0, s, s + 1800));
             }
         }
-        Trace { meta: meta(1, 21), records }
+        Trace {
+            meta: meta(1, 21),
+            records,
+        }
     }
 
     #[test]

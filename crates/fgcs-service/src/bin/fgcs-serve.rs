@@ -1,0 +1,75 @@
+//! `fgcs-serve`: run the availability service from the command line.
+//!
+//! ```text
+//! fgcs-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//! ```
+//!
+//! Prints the bound address on stdout (port 0 picks a free port, which
+//! is how the CI smoke drives it), then serves until stdin reaches EOF.
+
+use std::io::Read;
+use std::process::exit;
+
+use fgcs_service::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fgcs-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+         \n\
+         Runs until stdin reaches EOF. Prints `listening on ADDR` once bound."
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut cfg = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("fgcs-serve: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) => cfg.workers = n,
+                Err(_) => usage(),
+            },
+            "--queue-capacity" => match value("--queue-capacity").parse() {
+                Ok(n) if n >= 1 => cfg.queue_capacity = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fgcs-serve: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fgcs-serve: failed to start: {e}");
+            exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+
+    // Block until the parent closes our stdin, then drain and exit.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    let stats = server.stats();
+    server.shutdown();
+    eprintln!(
+        "fgcs-serve: done — ingested {} batches ({} samples), shed {}, decode errors {}, \
+         {} queries answered",
+        stats.ingested_batches,
+        stats.ingested_samples,
+        stats.shed_batches,
+        stats.decode_errors,
+        stats.queries_answered
+    );
+}

@@ -1,0 +1,199 @@
+//! Blocking service client with capped-backoff reconnection.
+//!
+//! Reconnection reuses the testbed supervisor's semantics
+//! ([`SupervisorConfig`]): retry with exponential backoff doubling from
+//! `backoff_base_secs` up to `backoff_cap_secs`, give up after
+//! `max_retries` consecutive failures, and reset the attempt counter
+//! once a connection stays healthy. Tests scale the backoff unit down
+//! to milliseconds via [`ClientConfig::backoff_unit_ms`].
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use fgcs_testbed::{backoff_delay, SupervisorConfig};
+use fgcs_wire::{Decoder, Frame};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:4715`.
+    pub addr: String,
+    /// Retry/backoff policy (the `*_secs` fields are multiplied by
+    /// [`ClientConfig::backoff_unit_ms`]).
+    pub sup: SupervisorConfig,
+    /// Milliseconds per supervisor "second". 1000 gives the literal
+    /// testbed policy; tests use 1 to keep retries fast.
+    pub backoff_unit_ms: u64,
+    /// Read timeout per reply, ms.
+    pub read_timeout_ms: u64,
+}
+
+impl ClientConfig {
+    /// Defaults for `addr`: testbed supervisor policy, 1 s backoff
+    /// unit, 5 s reply timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        ClientConfig {
+            addr: addr.into(),
+            sup: SupervisorConfig::default(),
+            backoff_unit_ms: 1_000,
+            read_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// A blocking request/reply client. Every request sends one frame and
+/// waits for exactly one reply, transparently reconnecting (with
+/// capped backoff) on connection failure.
+///
+/// Reconnect-and-resend gives *at-least-once* delivery: if the
+/// connection dies after the server processed a request but before the
+/// reply arrived, the retry delivers it again. Idempotent queries don't
+/// care; sample batches would be double-ingested, which the detector
+/// tolerates (duplicate timestamps are not out-of-order) but accounting
+/// tests avoid by not killing connections mid-stream.
+pub struct ServiceClient {
+    cfg: ClientConfig,
+    stream: Option<TcpStream>,
+    decoder: Decoder,
+    /// Successful reconnections performed (first connect excluded).
+    pub reconnects: u64,
+    /// Time of the last successful connect, for the healthy-reset rule.
+    connected_at: Option<Instant>,
+    ever_connected: bool,
+}
+
+impl ServiceClient {
+    /// Connects to the server, retrying with capped backoff per
+    /// `cfg.sup`. Fails only after `max_retries` consecutive failures.
+    pub fn connect(cfg: ClientConfig) -> io::Result<Self> {
+        let mut client = ServiceClient {
+            cfg,
+            stream: None,
+            decoder: Decoder::new(),
+            reconnects: 0,
+            connected_at: None,
+            ever_connected: false,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Drops the current connection without telling the server — a
+    /// fault-injection hook: the next request must transparently
+    /// reconnect.
+    pub fn force_disconnect(&mut self) {
+        self.stream = None;
+        self.decoder = Decoder::new();
+    }
+
+    /// True while a TCP connection is held.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut attempts: u32 = 0;
+        loop {
+            match TcpStream::connect(&self.cfg.addr) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(Duration::from_millis(
+                        self.cfg.read_timeout_ms.max(10),
+                    )))?;
+                    let _ = stream.set_nodelay(true);
+                    self.stream = Some(stream);
+                    self.decoder = Decoder::new();
+                    if self.ever_connected {
+                        self.reconnects += 1;
+                    }
+                    self.ever_connected = true;
+                    self.connected_at = Some(Instant::now());
+                    return Ok(());
+                }
+                Err(e) => {
+                    // A connection that stayed healthy long enough earns
+                    // its retry budget back, as in the testbed supervisor.
+                    let healthy_ms = self
+                        .cfg
+                        .sup
+                        .healthy_reset_secs
+                        .saturating_mul(self.cfg.backoff_unit_ms);
+                    if attempts > 0
+                        && self
+                            .connected_at
+                            .is_some_and(|t| t.elapsed() >= Duration::from_millis(healthy_ms))
+                    {
+                        attempts = 0;
+                    }
+                    attempts += 1;
+                    if attempts > self.cfg.sup.max_retries {
+                        return Err(e);
+                    }
+                    let delay_ms = backoff_delay(&self.cfg.sup, attempts)
+                        .saturating_mul(self.cfg.backoff_unit_ms);
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+            }
+        }
+    }
+
+    /// Sends one frame and waits for its reply.
+    pub fn request(&mut self, frame: &Frame) -> io::Result<Frame> {
+        let bytes = frame
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.request_encoded(&bytes)
+    }
+
+    /// Sends pre-encoded bytes (possibly deliberately corrupted — the
+    /// load generator's fault path) and waits for one reply frame.
+    pub fn request_encoded(&mut self, bytes: &[u8]) -> io::Result<Frame> {
+        let mut attempts: u32 = 0;
+        loop {
+            match self.try_request(bytes) {
+                Ok(frame) => return Ok(frame),
+                Err(e) => {
+                    // The connection is suspect; rebuild it and retry
+                    // the whole request.
+                    self.force_disconnect();
+                    attempts += 1;
+                    if attempts > self.cfg.sup.max_retries {
+                        return Err(e);
+                    }
+                    let delay_ms = backoff_delay(&self.cfg.sup, attempts)
+                        .saturating_mul(self.cfg.backoff_unit_ms);
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+            }
+        }
+    }
+
+    fn try_request(&mut self, bytes: &[u8]) -> io::Result<Frame> {
+        self.ensure_connected()?;
+        let stream = self.stream.as_mut().expect("connected");
+        stream.write_all(bytes)?;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => {}
+                Err(e) => {
+                    // The server sent something undecodable; the
+                    // connection state is unknowable. Surface as I/O.
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+            let n = self.stream.as_mut().expect("connected").read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before replying",
+                ));
+            }
+            self.decoder.push(&buf[..n]);
+        }
+    }
+}

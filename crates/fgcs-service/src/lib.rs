@@ -1,0 +1,51 @@
+//! The FGCS availability service: the paper's monitor → detector →
+//! predictor loop, turned into a real server/client system.
+//!
+//! iShare publishes machine availability so consumers can place guest
+//! jobs on other people's idle cycles (§5). In this workspace that loop
+//! had only existed as in-process function calls
+//! (`fgcs_testbed::run_testbed`); this crate runs it across a TCP
+//! boundary:
+//!
+//! * [`Server`] — a threaded TCP server (accept loop + `fgcs-par`-style
+//!   worker pool) that ingests per-machine sample streams into the
+//!   existing `fgcs-core` [`Monitor`](fgcs_core::monitor::Monitor) /
+//!   detector (via [`fgcs_testbed::OccurrenceRecorder`], so a streamed
+//!   trace yields **bit-identical** records to an in-process run),
+//!   maintains an online `fgcs-predict` model, and answers
+//!   availability/placement queries from live state.
+//! * [`ServiceClient`] — a blocking client with capped-backoff
+//!   reconnection (reusing [`fgcs_testbed::SupervisorConfig`]
+//!   semantics).
+//! * [`loadgen`] — a load generator replaying testbed traces at
+//!   configurable fan-in, optionally through `fgcs-faults` frame
+//!   corruption to exercise the decode error paths.
+//!
+//! ## Backpressure
+//!
+//! The ingest queue is bounded ([`ServiceConfig::queue_capacity`]
+//! batches). When a batch arrives at a full queue the *oldest* queued
+//! batch is shed to make room and the producer gets a
+//! [`fgcs_wire::Frame::Busy`] instead of an `Ack`. Every client frame
+//! earns exactly one reply, so the accounting reconciles exactly:
+//!
+//! ```text
+//! batches sent == ingested + shed + decode-rejected
+//! acks + busys + error replies == batches sent      (client side)
+//! ```
+//!
+//! Shed batches are *exclusion*, not silent loss: they are counted and
+//! reported via `Stats`, the same discipline as censored spans in the
+//! fault pipeline (DESIGN.md §8.4 and §9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+mod state;
+
+pub use client::{ClientConfig, ServiceClient};
+pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
+pub use server::{Server, ServiceConfig};

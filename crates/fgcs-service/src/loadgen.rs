@@ -1,0 +1,239 @@
+//! Trace-replaying load generator: N machines × M samples/s against a
+//! running server, optionally through frame corruption.
+//!
+//! One thread per simulated machine, each with its own
+//! [`ServiceClient`] and its own deterministic
+//! [`FrameCorruptor`](fgcs_faults::FrameCorruptor) stream. The report
+//! carries both sides of the client accounting identity:
+//! `acks + busys + error_replies == batches_sent`.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use fgcs_faults::{FaultConfig, FrameCorruptor};
+use fgcs_testbed::{LabConfig, MachinePlan, SupervisorConfig};
+use fgcs_wire::{Frame, SampleLoad, WireSample, HEADER_LEN};
+
+use crate::client::{ClientConfig, ServiceClient};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Lab model whose machines are replayed (`lab.machines` = fan-in).
+    pub lab: LabConfig,
+    /// Samples per `SampleBatch` frame.
+    pub batch_size: usize,
+    /// Pacing per machine, samples/second of wall clock; 0 = as fast as
+    /// possible (the overload mode).
+    pub samples_per_sec: u64,
+    /// Fault injection; only `corrupt_rate` (frame corruption) and
+    /// `seed` are consulted.
+    pub faults: FaultConfig,
+    /// Reconnect policy for each machine's client.
+    pub sup: SupervisorConfig,
+    /// Milliseconds per supervisor "second" (see
+    /// [`ClientConfig::backoff_unit_ms`]).
+    pub backoff_unit_ms: u64,
+    /// Cap on samples replayed per machine; `None` replays the whole
+    /// span.
+    pub max_samples_per_machine: Option<u64>,
+    /// Issue a `QueryAvail` every this many batches (per machine),
+    /// measuring reply latency; 0 disables querying.
+    pub query_every_batches: u64,
+    /// Horizon for those queries, seconds of trace time.
+    pub query_horizon: u64,
+}
+
+impl LoadGenConfig {
+    /// A small, fast configuration replaying `lab` unpaced and clean.
+    pub fn new(lab: LabConfig) -> Self {
+        LoadGenConfig {
+            lab,
+            batch_size: 64,
+            samples_per_sec: 0,
+            faults: FaultConfig::off(0),
+            sup: SupervisorConfig::default(),
+            backoff_unit_ms: 1,
+            max_samples_per_machine: None,
+            query_every_batches: 0,
+            query_horizon: 1_800,
+        }
+    }
+}
+
+/// What one load-generation run did and observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadGenReport {
+    /// Machines replayed.
+    pub machines: usize,
+    /// `SampleBatch` frames sent (including corrupted ones).
+    pub batches_sent: u64,
+    /// Samples inside those frames.
+    pub samples_sent: u64,
+    /// Frames the injector corrupted before sending.
+    pub frames_corrupted: u64,
+    /// `Ack` replies received.
+    pub acks: u64,
+    /// `Busy` replies received.
+    pub busys: u64,
+    /// `Error` replies received *to sample batches* (the corrupted
+    /// ones; must equal `frames_corrupted` exactly).
+    pub error_replies: u64,
+    /// `QueryAvail` requests issued.
+    pub queries_sent: u64,
+    /// `AvailReply`s received (a query for a machine the server has not
+    /// ingested yet earns an `Error` instead; those are not counted
+    /// here or in `error_replies`).
+    pub queries_answered: u64,
+    /// Reply latency of every query, µs, in issue order.
+    pub query_latencies_us: Vec<u64>,
+    /// Transparent reconnections across all clients.
+    pub reconnects: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_secs: f64,
+}
+
+impl LoadGenReport {
+    fn merge(&mut self, other: LoadGenReport) {
+        self.machines += other.machines;
+        self.batches_sent += other.batches_sent;
+        self.samples_sent += other.samples_sent;
+        self.frames_corrupted += other.frames_corrupted;
+        self.acks += other.acks;
+        self.busys += other.busys;
+        self.error_replies += other.error_replies;
+        self.queries_sent += other.queries_sent;
+        self.queries_answered += other.queries_answered;
+        self.query_latencies_us.extend(other.query_latencies_us);
+        self.reconnects += other.reconnects;
+        self.elapsed_secs = self.elapsed_secs.max(other.elapsed_secs);
+    }
+}
+
+/// Replays every machine of `cfg.lab` against the server at `addr`,
+/// one thread per machine. Returns the merged report; fails on the
+/// first machine whose client gives up entirely.
+pub fn run_loadgen(addr: &str, cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
+    let started = Instant::now();
+    let ids: Vec<usize> = (0..cfg.lab.machines).collect();
+    let results: Vec<io::Result<LoadGenReport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| scope.spawn(move || replay_machine(addr, cfg, id)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread panicked"))
+            .collect()
+    });
+    let mut report = LoadGenReport::default();
+    for r in results {
+        report.merge(r?);
+    }
+    report.elapsed_secs = started.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+fn replay_machine(addr: &str, cfg: &LoadGenConfig, machine_id: usize) -> io::Result<LoadGenReport> {
+    let started = Instant::now();
+    let mut client = ServiceClient::connect(ClientConfig {
+        addr: addr.to_string(),
+        sup: cfg.sup,
+        backoff_unit_ms: cfg.backoff_unit_ms,
+        read_timeout_ms: 10_000,
+    })?;
+    let mut corruptor = FrameCorruptor::new(&cfg.faults, machine_id as u64);
+    let plan = MachinePlan::generate(&cfg.lab, machine_id);
+    let mut report = LoadGenReport {
+        machines: 1,
+        ..Default::default()
+    };
+
+    let batch_size = cfg.batch_size.max(1);
+    let pace = if cfg.samples_per_sec > 0 {
+        // Per-batch sleep that yields the configured per-machine rate.
+        Some(Duration::from_micros(
+            (batch_size as u64).saturating_mul(1_000_000) / cfg.samples_per_sec,
+        ))
+    } else {
+        None
+    };
+
+    let mut pending: Vec<WireSample> = Vec::with_capacity(batch_size);
+    let mut taken = 0u64;
+    let mut samples = plan.samples();
+    loop {
+        let sample = samples.next();
+        if let Some(s) = &sample {
+            if cfg.max_samples_per_machine.is_some_and(|cap| taken >= cap) {
+                // Cap reached: flush what's pending and stop.
+            } else {
+                taken += 1;
+                pending.push(WireSample {
+                    t: s.t,
+                    load: SampleLoad::Direct(s.host_load),
+                    host_resident_mb: s.host_resident_mb,
+                    alive: s.alive,
+                });
+                if pending.len() < batch_size {
+                    continue;
+                }
+            }
+        }
+        if !pending.is_empty() {
+            let batch = Frame::SampleBatch {
+                machine: machine_id as u32,
+                samples: std::mem::take(&mut pending),
+            };
+            let mut bytes = batch
+                .encode()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            corruptor.corrupt(&mut bytes, HEADER_LEN);
+            let sample_count = match &batch {
+                Frame::SampleBatch { samples, .. } => samples.len() as u64,
+                _ => unreachable!(),
+            };
+            report.batches_sent += 1;
+            report.samples_sent += sample_count;
+            match client.request_encoded(&bytes)? {
+                Frame::Ack { .. } => report.acks += 1,
+                Frame::Busy { .. } => report.busys += 1,
+                Frame::Error { .. } => report.error_replies += 1,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected reply to SampleBatch: tag {}", other.tag()),
+                    ))
+                }
+            }
+            if let Some(d) = pace {
+                std::thread::sleep(d);
+            }
+            if cfg.query_every_batches > 0
+                && report.batches_sent.is_multiple_of(cfg.query_every_batches)
+            {
+                let q = Frame::QueryAvail {
+                    machine: machine_id as u32,
+                    horizon: cfg.query_horizon,
+                };
+                let sent_at = Instant::now();
+                let reply = client.request(&q)?;
+                report
+                    .query_latencies_us
+                    .push(sent_at.elapsed().as_micros() as u64);
+                report.queries_sent += 1;
+                if matches!(reply, Frame::AvailReply { .. }) {
+                    report.queries_answered += 1;
+                }
+            }
+        }
+        let capped = cfg.max_samples_per_machine.is_some_and(|cap| taken >= cap);
+        if sample.is_none() || capped {
+            break;
+        }
+    }
+    report.frames_corrupted = corruptor.frames_corrupted;
+    report.reconnects = client.reconnects;
+    report.elapsed_secs = started.elapsed().as_secs_f64();
+    Ok(report)
+}

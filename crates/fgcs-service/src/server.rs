@@ -1,0 +1,426 @@
+//! The threaded TCP server: accept loop, per-connection request/reply
+//! threads, and the ingest worker pool.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fgcs_core::detector::DetectorConfig;
+use fgcs_testbed::{LabConfig, TraceRecord};
+use fgcs_wire::{
+    Decoder, ErrorCode, Frame, StatsPayload, WireTransition, MAX_TRANSITIONS_PER_FRAME,
+};
+
+use crate::state::{Batch, Shared};
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Bind address. Use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Ingest worker count; 0 means [`fgcs_par::default_workers`].
+    pub workers: usize,
+    /// Ingest queue capacity, in batches. Arrivals beyond this shed the
+    /// oldest queued batch and earn a `Busy` reply.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout, ms. Bounds how long a connection
+    /// thread can miss a shutdown request.
+    pub read_timeout_ms: u64,
+    /// Detector configuration applied to every machine's stream.
+    pub detector: DetectorConfig,
+    /// Physical memory assumed per streamed machine, MB (for the
+    /// free-for-guest computation, as in [`LabConfig`]).
+    pub phys_mem_mb: u32,
+    /// Kernel/system memory reserve per machine, MB.
+    pub kernel_mem_mb: u32,
+    /// Weekday of trace-time zero (0 = Monday), anchoring the online
+    /// predictor's calendar.
+    pub start_weekday: u8,
+    /// Artificial per-batch ingest cost, µs. Zero in production; the
+    /// overload tests use it to pin ingest capacity below offered load.
+    pub ingest_delay_us: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let lab = LabConfig::default();
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 256,
+            read_timeout_ms: 200,
+            detector: DetectorConfig::wallclock_default(),
+            phys_mem_mb: lab.phys_mem_mb,
+            kernel_mem_mb: lab.kernel_mem_mb,
+            start_weekday: lab.start_weekday,
+            ingest_delay_us: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration matching a [`fgcs_testbed::TestbedConfig`], so a
+    /// streamed lab trace reproduces the in-process pipeline exactly.
+    pub fn for_testbed(cfg: &fgcs_testbed::TestbedConfig) -> Self {
+        ServiceConfig {
+            detector: cfg.detector,
+            phys_mem_mb: cfg.lab.phys_mem_mb,
+            kernel_mem_mb: cfg.lab.kernel_mem_mb,
+            start_weekday: cfg.lab.start_weekday,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Memory left for a guest when host processes hold `resident_mb`.
+    pub(crate) fn free_for_guest_mb(&self, resident_mb: u32) -> u32 {
+        self.phys_mem_mb
+            .saturating_sub(self.kernel_mem_mb)
+            .saturating_sub(resident_mb)
+    }
+}
+
+/// A running availability server. Dropping the handle does *not* stop
+/// the server; call [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts the server: one accept thread, one thread per
+    /// connection, and a pool of ingest workers draining the queue.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            fgcs_par::default_workers(usize::MAX)
+        };
+        let read_timeout = Duration::from_millis(cfg.read_timeout_ms.max(10));
+        let shared = Arc::new(Shared::new(cfg));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || ingest_worker(&shared))
+            })
+            .collect();
+
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let conn_handles = Arc::clone(&conn_handles);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down() {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_read_timeout(Some(read_timeout));
+                    let _ = stream.set_nodelay(true);
+                    let shared = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || serve_connection(&shared, stream));
+                    conn_handles.lock().unwrap().push(handle);
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            conn_handles,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when binding to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A stats snapshot, identical to what a `QueryStats` frame returns.
+    pub fn stats(&self) -> StatsPayload {
+        self.shared.stats_snapshot()
+    }
+
+    /// The occurrence records built so far for one machine (clone of the
+    /// live recorder state), or `None` if it never streamed a sample.
+    pub fn records(&self, machine: u32) -> Option<Vec<TraceRecord>> {
+        self.shared
+            .machine_get(machine)
+            .map(|cell| cell.lock().unwrap().records().to_vec())
+    }
+
+    /// The state-transition log for one machine.
+    pub fn transitions(&self, machine: u32) -> Option<Vec<WireTransition>> {
+        self.shared
+            .machine_get(machine)
+            .map(|cell| cell.lock().unwrap().transitions().to_vec())
+    }
+
+    /// Out-of-order samples discarded for one machine.
+    pub fn out_of_order(&self, machine: u32) -> u64 {
+        self.shared
+            .machine_get(machine)
+            .map_or(0, |cell| cell.lock().unwrap().out_of_order)
+    }
+
+    /// Stops the server: drains the ingest queue, then joins every
+    /// thread. Queued batches are ingested, not dropped — the
+    /// reconciliation identity must hold at shutdown.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Ingest worker: claims one machine's queued batches at a time,
+/// preserving per-machine sample order. Drains the queue fully before
+/// exiting on shutdown.
+fn ingest_worker(shared: &Shared) {
+    loop {
+        let claimed = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                match queue.claim() {
+                    Some(work) => break Some(work),
+                    None => {
+                        if shared.shutting_down() && queue.len() == 0 {
+                            break None;
+                        }
+                        // Either empty, or every queued machine is busy;
+                        // a finishing worker or a new push wakes us.
+                        let (q, _) = shared
+                            .queue_cv
+                            .wait_timeout(queue, Duration::from_millis(50))
+                            .unwrap();
+                        queue = q;
+                    }
+                }
+            }
+        };
+        let Some((machine, batches)) = claimed else {
+            return;
+        };
+        for batch in &batches {
+            shared.ingest_batch(batch);
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        queue.finish(machine);
+        drop(queue);
+        // The machine may have accumulated new batches while busy, and
+        // idle workers may be waiting for it to be released.
+        shared.queue_cv.notify_all();
+    }
+}
+
+/// Per-connection loop: strict request/reply. Every decoded frame earns
+/// exactly one reply; every decode error earns an `Error` reply (and
+/// closes the connection if the error is fatal).
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let mut decoder = Decoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    // Per-connection accepted-batch sequence, echoed in `Ack`.
+    let mut ack_seq: u64 = 0;
+    loop {
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    let reply = handle_frame(shared, frame, &mut ack_seq);
+                    if !write_frame(&mut stream, &reply) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    shared
+                        .counters
+                        .decode_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let reply = Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        detail: e.to_string(),
+                    };
+                    let sent = write_frame(&mut stream, &reply);
+                    if e.is_fatal() || !sent {
+                        return;
+                    }
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> bool {
+    match frame.encode() {
+        Ok(bytes) => stream.write_all(&bytes).is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn handle_frame(shared: &Shared, frame: Frame, ack_seq: &mut u64) -> Frame {
+    match frame {
+        Frame::SampleBatch { machine, samples } => {
+            let mut queue = shared.queue.lock().unwrap();
+            let shed = queue.push(Batch { machine, samples });
+            drop(queue);
+            shared.queue_cv.notify_one();
+            match shed {
+                Some(victim) => {
+                    shared.counters.shed_batches.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .shed_samples
+                        .fetch_add(victim.samples.len() as u64, Ordering::Relaxed);
+                    let total = shared.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                    // The arriving batch *was* accepted; Busy tells the
+                    // producer the queue overflowed and sheds happened.
+                    Frame::Busy {
+                        shed_batches: total + 1,
+                    }
+                }
+                None => {
+                    *ack_seq += 1;
+                    Frame::Ack { seq: *ack_seq }
+                }
+            }
+        }
+        Frame::QueryAvail { machine, horizon } => {
+            let Some(cell) = shared.machine_get(machine) else {
+                return Frame::Error {
+                    code: ErrorCode::UnknownMachine,
+                    detail: format!("machine {machine} has not streamed any samples"),
+                };
+            };
+            let (state, last_t, available) = {
+                let m = cell.lock().unwrap();
+                (m.state(), m.last_t(), m.is_available())
+            };
+            let prob = if available {
+                shared
+                    .online
+                    .lock()
+                    .unwrap()
+                    .predict(machine, last_t, horizon)
+            } else {
+                // Currently inside an unavailability occurrence: the
+                // window cannot be failure-free.
+                0.0
+            };
+            shared
+                .counters
+                .queries_answered
+                .fetch_add(1, Ordering::Relaxed);
+            Frame::AvailReply {
+                machine,
+                state: state.code(),
+                prob,
+            }
+        }
+        Frame::Place { job_len } => {
+            // Rank currently harvestable machines (available, no spike
+            // pending) by predicted survival over the job length;
+            // BTreeMap order makes ties deterministic (lowest id wins).
+            let candidates: Vec<u32> = {
+                let map = shared.machines.lock().unwrap();
+                map.iter()
+                    .filter(|(_, cell)| {
+                        let m = cell.lock().unwrap();
+                        m.is_available() && !m.spike_active()
+                    })
+                    .map(|(&id, _)| id)
+                    .collect()
+            };
+            let online = shared.online.lock().unwrap();
+            let now = online.horizon();
+            let mut best: Option<(u32, f64)> = None;
+            for id in candidates {
+                let p = online.predict(id, now, job_len);
+                if best.is_none_or(|(_, bp)| p > bp) {
+                    best = Some((id, p));
+                }
+            }
+            drop(online);
+            shared
+                .counters
+                .placements_answered
+                .fetch_add(1, Ordering::Relaxed);
+            match best {
+                Some((machine, prob)) => Frame::PlaceReply {
+                    machine: Some(machine),
+                    prob,
+                },
+                None => Frame::PlaceReply {
+                    machine: None,
+                    prob: 0.0,
+                },
+            }
+        }
+        Frame::QueryStats => Frame::StatsReply(shared.stats_snapshot()),
+        Frame::QueryTransitions {
+            machine,
+            since_seq,
+            max,
+        } => {
+            let Some(cell) = shared.machine_get(machine) else {
+                return Frame::Error {
+                    code: ErrorCode::UnknownMachine,
+                    detail: format!("machine {machine} has not streamed any samples"),
+                };
+            };
+            let cap = (max as usize).min(MAX_TRANSITIONS_PER_FRAME);
+            let transitions: Vec<WireTransition> = cell
+                .lock()
+                .unwrap()
+                .transitions()
+                .iter()
+                .filter(|t| t.seq >= since_seq)
+                .take(cap)
+                .copied()
+                .collect();
+            Frame::Transitions {
+                machine,
+                transitions,
+            }
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // misuse, answered (once) rather than dropped.
+        other => Frame::Error {
+            code: ErrorCode::Unsupported,
+            detail: format!("frame tag {} is not a request", other.tag()),
+        },
+    }
+}

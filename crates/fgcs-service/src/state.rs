@@ -1,0 +1,436 @@
+//! Server-side state: per-machine detector pipelines, the bounded
+//! ingest queue, and the shared counters behind the `Stats` frame.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use fgcs_core::model::AvailState;
+use fgcs_core::monitor::{Monitor, Observation, ResourceProbe};
+use fgcs_predict::OnlineAvailabilityModel;
+use fgcs_testbed::{OccurrenceRecorder, TraceRecord};
+use fgcs_wire::{MachineStat, SampleLoad, StatsPayload, WireSample, WireTransition};
+
+use crate::server::ServiceConfig;
+
+/// A queued sample batch.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    pub machine: u32,
+    pub samples: Vec<WireSample>,
+}
+
+/// Bounded multi-machine FIFO. Two invariants matter:
+///
+/// * **Per-machine order.** A worker claims *all* queued batches of one
+///   machine at once and the machine is marked busy until it finishes,
+///   so two workers can never interleave one machine's samples — the
+///   detector requires non-decreasing timestamps.
+/// * **Shed oldest first.** On overflow the globally oldest queued
+///   batch is dropped (and returned for accounting); the arriving batch
+///   is always accepted. Old samples describe state the detector has
+///   already moved past; the freshest data is the most valuable.
+#[derive(Debug)]
+pub(crate) struct IngestQueue {
+    cap: usize,
+    total: usize,
+    /// Machine id per queued batch, in global arrival order.
+    order: VecDeque<u32>,
+    per_machine: BTreeMap<u32, VecDeque<Batch>>,
+    /// Machines currently claimed by a worker.
+    busy: BTreeSet<u32>,
+}
+
+impl IngestQueue {
+    pub(crate) fn new(cap: usize) -> Self {
+        IngestQueue {
+            cap: cap.max(1),
+            total: 0,
+            order: VecDeque::new(),
+            per_machine: BTreeMap::new(),
+            busy: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Enqueues a batch; if the queue was full, sheds and returns the
+    /// oldest queued batch.
+    pub(crate) fn push(&mut self, batch: Batch) -> Option<Batch> {
+        let shed = if self.total >= self.cap {
+            let victim = self
+                .order
+                .pop_front()
+                .expect("full queue has an order entry");
+            let q = self
+                .per_machine
+                .get_mut(&victim)
+                .expect("order entry has a batch");
+            let b = q.pop_front().expect("order entry has a batch");
+            if q.is_empty() {
+                self.per_machine.remove(&victim);
+            }
+            self.total -= 1;
+            Some(b)
+        } else {
+            None
+        };
+        self.order.push_back(batch.machine);
+        self.per_machine
+            .entry(batch.machine)
+            .or_default()
+            .push_back(batch);
+        self.total += 1;
+        shed
+    }
+
+    /// Claims the first machine (in arrival order) not already being
+    /// drained, removing *all* its queued batches and marking it busy.
+    /// Returns `None` if every queued machine is busy (or the queue is
+    /// empty).
+    pub(crate) fn claim(&mut self) -> Option<(u32, VecDeque<Batch>)> {
+        let machine = self
+            .order
+            .iter()
+            .copied()
+            .find(|m| !self.busy.contains(m))?;
+        let batches = self
+            .per_machine
+            .remove(&machine)
+            .expect("ordered machine has batches");
+        self.total -= batches.len();
+        self.order.retain(|&m| m != machine);
+        self.busy.insert(machine);
+        Some((machine, batches))
+    }
+
+    /// Releases a machine claimed by [`IngestQueue::claim`].
+    pub(crate) fn finish(&mut self, machine: u32) {
+        self.busy.remove(&machine);
+    }
+}
+
+/// Probe adapter turning a counter-level [`WireSample`] into one
+/// `ResourceProbe` read, so remote counter streams run through the same
+/// `Monitor` (baseline diffs, reset absorption) as local ones.
+struct WireProbe {
+    busy: u64,
+    total: u64,
+    free_mem_mb: u32,
+    alive: bool,
+}
+
+impl ResourceProbe for WireProbe {
+    fn cpu_counters(&self) -> (u64, u64) {
+        (self.busy, self.total)
+    }
+
+    fn free_mem_for_guest_mb(&self) -> u32 {
+        self.free_mem_mb
+    }
+
+    fn service_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+/// One machine's ingest pipeline: monitor → recorder (detector +
+/// occurrence records) → transition log.
+#[derive(Debug)]
+pub(crate) struct MachineState {
+    monitor: Monitor,
+    recorder: OccurrenceRecorder,
+    transitions: Vec<WireTransition>,
+    last_t: Option<u64>,
+    pub(crate) out_of_order: u64,
+}
+
+impl MachineState {
+    fn new(machine: u32, cfg: &ServiceConfig) -> Self {
+        MachineState {
+            monitor: Monitor::new(),
+            recorder: OccurrenceRecorder::new(machine, cfg.detector),
+            transitions: Vec::new(),
+            last_t: None,
+            out_of_order: 0,
+        }
+    }
+
+    /// Feeds one wire sample. Returns the starts of any unavailability
+    /// occurrences this sample triggered (for the online model).
+    fn ingest_sample(&mut self, cfg: &ServiceConfig, s: &WireSample) -> Vec<u64> {
+        // The detector requires non-decreasing timestamps; late
+        // deliveries are discarded and counted, as in the supervised
+        // testbed tracer.
+        if self.last_t.is_some_and(|lt| s.t < lt) {
+            self.out_of_order += 1;
+            return Vec::new();
+        }
+        self.last_t = Some(s.t);
+
+        let free_mem_mb = cfg.free_for_guest_mb(s.host_resident_mb);
+        let obs = match s.load {
+            SampleLoad::Direct(host_load) => {
+                if s.alive {
+                    Observation {
+                        host_load,
+                        free_mem_mb,
+                        alive: true,
+                    }
+                } else {
+                    Observation::dead()
+                }
+            }
+            SampleLoad::Counters { busy, total } => self.monitor.sample(&WireProbe {
+                busy,
+                total,
+                free_mem_mb,
+                alive: s.alive,
+            }),
+        };
+
+        let before = self.recorder.state();
+        let step = self.recorder.observe(s.t, &obs);
+        if step.state != before {
+            self.transitions.push(WireTransition {
+                seq: self.transitions.len() as u64 + 1,
+                at: s.t,
+                state: step.state.code(),
+            });
+        }
+        step.edges
+            .iter()
+            .filter_map(|e| match *e {
+                fgcs_core::detector::EventEdge::Started { at, .. } => Some(at),
+                _ => None,
+            })
+            .collect()
+    }
+
+    pub(crate) fn state(&self) -> AvailState {
+        self.recorder.state()
+    }
+
+    pub(crate) fn is_available(&self) -> bool {
+        self.recorder.is_available()
+    }
+
+    pub(crate) fn spike_active(&self) -> bool {
+        self.recorder.spike_active()
+    }
+
+    pub(crate) fn last_t(&self) -> u64 {
+        self.last_t.unwrap_or(0)
+    }
+
+    pub(crate) fn records(&self) -> &[TraceRecord] {
+        self.recorder.records()
+    }
+
+    pub(crate) fn transitions(&self) -> &[WireTransition] {
+        &self.transitions
+    }
+}
+
+/// Monotone counters behind the `Stats` frame.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub ingested_batches: AtomicU64,
+    pub ingested_samples: AtomicU64,
+    pub shed_batches: AtomicU64,
+    pub shed_samples: AtomicU64,
+    pub decode_errors: AtomicU64,
+    pub busy_replies: AtomicU64,
+    pub queries_answered: AtomicU64,
+    pub placements_answered: AtomicU64,
+}
+
+/// Everything the accept loop, connection threads and ingest workers
+/// share.
+pub(crate) struct Shared {
+    pub cfg: ServiceConfig,
+    pub machines: Mutex<BTreeMap<u32, Arc<Mutex<MachineState>>>>,
+    pub online: Mutex<OnlineAvailabilityModel>,
+    pub queue: Mutex<IngestQueue>,
+    pub queue_cv: Condvar,
+    pub shutdown: AtomicBool,
+    pub counters: Counters,
+    pub started_at: Instant,
+}
+
+impl Shared {
+    pub(crate) fn new(cfg: ServiceConfig) -> Self {
+        let queue = IngestQueue::new(cfg.queue_capacity);
+        let online = OnlineAvailabilityModel::new(cfg.start_weekday);
+        Shared {
+            cfg,
+            machines: Mutex::new(BTreeMap::new()),
+            online: Mutex::new(online),
+            queue: Mutex::new(queue),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            started_at: Instant::now(),
+        }
+    }
+
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Looks up (or creates) the state cell for a machine.
+    pub(crate) fn machine_entry(&self, machine: u32) -> Arc<Mutex<MachineState>> {
+        let mut map = self.machines.lock().unwrap();
+        if let Some(m) = map.get(&machine) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(Mutex::new(MachineState::new(machine, &self.cfg)));
+        map.insert(machine, Arc::clone(&m));
+        self.online.lock().unwrap().ensure_machine(machine);
+        m
+    }
+
+    /// Looks up a machine without creating it.
+    pub(crate) fn machine_get(&self, machine: u32) -> Option<Arc<Mutex<MachineState>>> {
+        self.machines.lock().unwrap().get(&machine).map(Arc::clone)
+    }
+
+    /// Ingests one claimed batch into its machine's pipeline and the
+    /// online model. Called from ingest workers only.
+    pub(crate) fn ingest_batch(&self, batch: &Batch) {
+        if self.cfg.ingest_delay_us > 0 {
+            // Artificial per-batch cost, used by overload tests to pin
+            // the server's ingest capacity below the offered load.
+            std::thread::sleep(std::time::Duration::from_micros(self.cfg.ingest_delay_us));
+        }
+        let cell = self.machine_entry(batch.machine);
+        let mut started = Vec::new();
+        let mut max_t = None;
+        {
+            let mut m = cell.lock().unwrap();
+            for s in &batch.samples {
+                started.extend(m.ingest_sample(&self.cfg, s));
+                max_t = Some(max_t.map_or(s.t, |t: u64| t.max(s.t)));
+            }
+        }
+        // Online-model updates happen outside the machine lock; the
+        // model has its own.
+        let mut online = self.online.lock().unwrap();
+        if let Some(t) = max_t {
+            online.observe_time(t);
+        }
+        for at in started {
+            online.record_event(batch.machine, at);
+        }
+        drop(online);
+        self.counters
+            .ingested_batches
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .ingested_samples
+            .fetch_add(batch.samples.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot for the `Stats` frame (also exposed on [`crate::Server`]).
+    pub(crate) fn stats_snapshot(&self) -> StatsPayload {
+        let c = &self.counters;
+        let ingested_samples = c.ingested_samples.load(Ordering::Relaxed);
+        let elapsed = self.started_at.elapsed().as_secs_f64();
+        let machines: Vec<MachineStat> = self
+            .machines
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&id, cell)| {
+                let m = cell.lock().unwrap();
+                MachineStat {
+                    machine: id,
+                    state: m.state().code(),
+                    last_t: m.last_t(),
+                    occurrences: m.records().len() as u64,
+                    transitions: m.transitions().len() as u64,
+                }
+            })
+            .collect();
+        StatsPayload {
+            ingested_batches: c.ingested_batches.load(Ordering::Relaxed),
+            ingested_samples,
+            shed_batches: c.shed_batches.load(Ordering::Relaxed),
+            shed_samples: c.shed_samples.load(Ordering::Relaxed),
+            decode_errors: c.decode_errors.load(Ordering::Relaxed),
+            busy_replies: c.busy_replies.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().unwrap().len() as u64,
+            queries_answered: c.queries_answered.load(Ordering::Relaxed),
+            placements_answered: c.placements_answered.load(Ordering::Relaxed),
+            ingest_rate: if elapsed > 0.0 {
+                ingested_samples as f64 / elapsed
+            } else {
+                0.0
+            },
+            machines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(machine: u32, n: usize) -> Batch {
+        Batch {
+            machine,
+            samples: vec![
+                WireSample {
+                    t: 0,
+                    load: SampleLoad::Direct(0.1),
+                    host_resident_mb: 100,
+                    alive: true
+                };
+                n
+            ],
+        }
+    }
+
+    #[test]
+    fn queue_sheds_oldest_on_overflow() {
+        let mut q = IngestQueue::new(2);
+        assert!(q.push(batch(1, 3)).is_none());
+        assert!(q.push(batch(2, 4)).is_none());
+        let shed = q.push(batch(3, 5)).expect("overflow sheds");
+        assert_eq!(shed.machine, 1, "oldest batch goes first");
+        assert_eq!(shed.samples.len(), 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn claim_drains_one_machine_and_blocks_reclaim_until_finish() {
+        let mut q = IngestQueue::new(10);
+        q.push(batch(1, 1));
+        q.push(batch(2, 1));
+        q.push(batch(1, 2));
+        let (m, batches) = q.claim().expect("work available");
+        assert_eq!(m, 1, "machine 1 arrived first");
+        assert_eq!(batches.len(), 2, "claim takes all of machine 1's batches");
+        assert_eq!(q.len(), 1);
+        // Machine 1 is busy: a new batch for it queues but cannot be
+        // claimed; machine 2 can.
+        q.push(batch(1, 3));
+        let (m2, _) = q.claim().expect("machine 2 claimable");
+        assert_eq!(m2, 2);
+        assert!(q.claim().is_none(), "machine 1 is busy");
+        q.finish(1);
+        let (m1, b1) = q.claim().expect("machine 1 released");
+        assert_eq!(m1, 1);
+        assert_eq!(b1.len(), 1);
+    }
+
+    #[test]
+    fn queue_capacity_is_at_least_one() {
+        let mut q = IngestQueue::new(0);
+        assert!(q.push(batch(1, 1)).is_none(), "cap clamps to 1");
+        assert!(q.push(batch(2, 1)).is_some());
+    }
+}

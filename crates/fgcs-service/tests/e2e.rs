@@ -1,0 +1,245 @@
+//! End-to-end tests over real localhost TCP: parity with the in-process
+//! pipeline, overload accounting, corruption accounting, and client
+//! reconnection.
+
+use fgcs_faults::FaultConfig;
+use fgcs_service::{ClientConfig, LoadGenConfig, Server, ServiceClient, ServiceConfig};
+use fgcs_testbed::{trace_machine, MachinePlan, OccurrenceRecorder, TestbedConfig};
+use fgcs_wire::{ErrorCode, Frame, SampleLoad, WireSample, WireTransition};
+
+/// Polls until the server's counters reconcile with `batches_sent`
+/// (queued work may still be draining when the load generator returns).
+fn drain(server: &Server, batches_sent: u64) -> fgcs_wire::StatsPayload {
+    for _ in 0..600 {
+        let stats = server.stats();
+        let accounted = stats.ingested_batches + stats.shed_batches + stats.decode_errors;
+        if accounted >= batches_sent && stats.queue_depth == 0 {
+            return stats;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server failed to drain: {:?}", server.stats());
+}
+
+/// Streaming a clean lab trace over TCP must produce **bit-identical**
+/// occurrence records and state transitions to the in-process pipeline
+/// — parity by construction through the shared `OccurrenceRecorder`.
+#[test]
+fn tcp_stream_matches_in_process_pipeline_bit_for_bit() {
+    let cfg = TestbedConfig::tiny();
+    let server = Server::start(ServiceConfig::for_testbed(&cfg)).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let lg = LoadGenConfig::new(cfg.lab.clone());
+    let report = fgcs_service::run_loadgen(&addr, &lg).expect("loadgen runs");
+    assert_eq!(report.machines, cfg.lab.machines);
+    assert!(report.batches_sent > 0);
+    assert_eq!(
+        report.acks, report.batches_sent,
+        "clean run: every batch acked"
+    );
+    assert_eq!(report.error_replies, 0);
+    assert_eq!(report.frames_corrupted, 0);
+
+    let stats = drain(&server, report.batches_sent);
+    assert_eq!(stats.decode_errors, 0, "clean stream must decode fully");
+    assert_eq!(stats.ingested_samples, report.samples_sent);
+
+    for machine in 0..cfg.lab.machines {
+        let streamed = server.records(machine as u32).expect("machine streamed");
+        let local = trace_machine(&cfg, machine);
+        assert_eq!(
+            streamed, local,
+            "machine {machine}: records must be bit-identical"
+        );
+        assert_eq!(server.out_of_order(machine as u32), 0);
+
+        // Transitions: replay the same plan through a local recorder.
+        let expected = expected_transitions(&cfg, machine);
+        let got = server
+            .transitions(machine as u32)
+            .expect("machine streamed");
+        assert_eq!(
+            got, expected,
+            "machine {machine}: transition log must match"
+        );
+    }
+    server.shutdown();
+}
+
+fn expected_transitions(cfg: &TestbedConfig, machine: usize) -> Vec<WireTransition> {
+    let plan = MachinePlan::generate(&cfg.lab, machine);
+    let mut rec = OccurrenceRecorder::new(machine as u32, cfg.detector);
+    let mut out = Vec::new();
+    for s in plan.samples() {
+        let obs = if s.alive {
+            fgcs_core::monitor::Observation {
+                host_load: s.host_load,
+                free_mem_mb: cfg.lab.free_for_guest_mb(s.host_resident_mb),
+                alive: true,
+            }
+        } else {
+            fgcs_core::monitor::Observation::dead()
+        };
+        let before = rec.state();
+        let step = rec.observe(s.t, &obs);
+        if step.state != before {
+            out.push(WireTransition {
+                seq: out.len() as u64 + 1,
+                at: s.t,
+                state: step.state.code(),
+            });
+        }
+    }
+    out
+}
+
+/// Under ≥2× offered load the bounded queue sheds, the producers see
+/// `Busy`, and the accounting reconciles *exactly*:
+/// `sent == ingested + shed + decode-rejected`, while the server keeps
+/// answering queries.
+#[test]
+fn overload_sheds_and_reconciles_exactly() {
+    let cfg = TestbedConfig::tiny();
+    let mut svc = ServiceConfig::for_testbed(&cfg);
+    svc.workers = 1;
+    svc.queue_capacity = 4;
+    svc.ingest_delay_us = 2_000; // ~500 batches/s capacity, unpaced offered load
+    let server = Server::start(svc).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let mut lg = LoadGenConfig::new(cfg.lab.clone());
+    lg.batch_size = 16;
+    lg.max_samples_per_machine = Some(4_000);
+    let report = fgcs_service::run_loadgen(&addr, &lg).expect("loadgen runs");
+
+    // Query responsiveness while (or right after) the queue is saturated.
+    let mut client = ServiceClient::connect(ClientConfig::new(&addr)).expect("client connects");
+    let reply = client
+        .request(&Frame::QueryStats)
+        .expect("stats answered under load");
+    assert!(matches!(reply, Frame::StatsReply(_)));
+
+    let stats = drain(&server, report.batches_sent);
+    assert!(
+        stats.shed_batches > 0,
+        "load must actually overflow the queue: {stats:?}"
+    );
+    assert_eq!(
+        stats.ingested_batches + stats.shed_batches + stats.decode_errors,
+        report.batches_sent,
+        "server-side identity: sent == ingested + shed + decode-rejected"
+    );
+    assert_eq!(
+        stats.ingested_samples + stats.shed_samples,
+        report.samples_sent,
+        "samples reconcile too"
+    );
+    assert_eq!(stats.busy_replies, stats.shed_batches, "one Busy per shed");
+    assert_eq!(
+        report.acks + report.busys + report.error_replies,
+        report.batches_sent,
+        "client-side identity: every batch earned exactly one reply"
+    );
+    assert_eq!(report.busys, stats.shed_batches);
+    server.shutdown();
+}
+
+/// Corrupted frames are detected by CRC and rejected — never ingested —
+/// and the counts agree on both ends: injector == client Error replies
+/// == server decode errors.
+#[test]
+fn corruption_is_detected_and_accounted_exactly() {
+    let cfg = TestbedConfig::tiny();
+    let server = Server::start(ServiceConfig::for_testbed(&cfg)).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let mut lg = LoadGenConfig::new(cfg.lab.clone());
+    lg.faults = FaultConfig {
+        corrupt_rate: 0.2,
+        ..FaultConfig::off(11)
+    };
+    lg.max_samples_per_machine = Some(3_000);
+    let report = fgcs_service::run_loadgen(&addr, &lg).expect("loadgen runs");
+    assert!(
+        report.frames_corrupted > 0,
+        "rate 0.2 must corrupt something"
+    );
+
+    let stats = drain(&server, report.batches_sent);
+    assert_eq!(report.error_replies, report.frames_corrupted);
+    assert_eq!(stats.decode_errors, report.frames_corrupted);
+    assert_eq!(
+        stats.ingested_batches,
+        report.batches_sent - report.frames_corrupted
+    );
+    assert_eq!(
+        report.acks + report.busys + report.error_replies,
+        report.batches_sent,
+        "client-side identity holds under corruption"
+    );
+    server.shutdown();
+}
+
+/// A dropped connection heals transparently: the next request reconnects
+/// with backoff and the server keeps its per-machine state.
+#[test]
+fn client_reconnects_transparently() {
+    let server = Server::start(ServiceConfig::default()).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let mut cfg = ClientConfig::new(&addr);
+    cfg.backoff_unit_ms = 1;
+    let mut client = ServiceClient::connect(cfg).expect("client connects");
+    let batch = |t: u64| Frame::SampleBatch {
+        machine: 7,
+        samples: vec![WireSample {
+            t,
+            load: SampleLoad::Direct(0.01),
+            host_resident_mb: 64,
+            alive: true,
+        }],
+    };
+    assert!(matches!(
+        client.request(&batch(0)).unwrap(),
+        Frame::Ack { .. }
+    ));
+    assert_eq!(client.reconnects, 0);
+
+    client.force_disconnect();
+    assert!(!client.is_connected());
+    assert!(matches!(
+        client.request(&batch(60)).unwrap(),
+        Frame::Ack { .. }
+    ));
+    assert_eq!(client.reconnects, 1, "exactly one transparent reconnect");
+
+    let stats = drain(&server, 2);
+    assert_eq!(stats.ingested_batches, 2, "state survived the reconnect");
+    server.shutdown();
+}
+
+/// Querying a machine the server has never seen earns a typed error,
+/// not a hang or a connection drop.
+#[test]
+fn unknown_machine_query_gets_typed_error() {
+    let server = Server::start(ServiceConfig::default()).expect("server starts");
+    let addr = server.local_addr().to_string();
+    let mut client = ServiceClient::connect(ClientConfig::new(&addr)).expect("client connects");
+    let reply = client
+        .request(&Frame::QueryAvail {
+            machine: 999,
+            horizon: 1_800,
+        })
+        .expect("reply arrives");
+    match reply {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownMachine),
+        other => panic!("expected Error, got tag {}", other.tag()),
+    }
+    // The connection is still usable afterwards.
+    let reply = client
+        .request(&Frame::QueryStats)
+        .expect("stats still answered");
+    assert!(matches!(reply, Frame::StatsReply(_)));
+    server.shutdown();
+}

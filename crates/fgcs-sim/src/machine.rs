@@ -340,7 +340,10 @@ impl Machine {
             .sum();
         let runnable = self.procs.iter().filter(|p| p.is_runnable()).count();
         assert_eq!(self.resident_all_mb, all, "resident aggregate drifted");
-        assert_eq!(self.resident_host_mb, host, "host resident aggregate drifted");
+        assert_eq!(
+            self.resident_host_mb, host,
+            "host resident aggregate drifted"
+        );
         assert_eq!(self.runnable_count, runnable, "runnable count drifted");
         if self.sleep_min_valid {
             let min = self
@@ -548,7 +551,10 @@ impl Machine {
             let wins = match best {
                 None => true,
                 Some(b) => {
-                    g > best_goodness || (g == best_goodness && Some(i) == self.current && Some(b) != self.current)
+                    g > best_goodness
+                        || (g == best_goodness
+                            && Some(i) == self.current
+                            && Some(b) != self.current)
                 }
             };
             if wins {
@@ -894,7 +900,13 @@ mod tests {
     #[test]
     fn equal_cpu_bound_processes_share_evenly() {
         let mut m = Machine::default_linux();
-        m.spawn(ProcSpec::new("a", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        m.spawn(ProcSpec::new(
+            "a",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        ));
         m.spawn(ProcSpec::cpu_bound_guest("b", 0));
         let d = m.measure(secs(30));
         let host_share = d.host as f64 / d.total() as f64;
@@ -907,11 +919,20 @@ mod tests {
         // process gets 6 ticks and the nice-19 process 1 tick, so the
         // shares approach 6/7 and 1/7.
         let mut m = Machine::default_linux();
-        m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        m.spawn(ProcSpec::new(
+            "h",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        ));
         m.spawn(ProcSpec::cpu_bound_guest("g", 19));
         let d = m.measure(secs(60));
         let guest_share = d.guest as f64 / d.total() as f64;
-        assert!((guest_share - 1.0 / 7.0).abs() < 0.02, "guest share {guest_share}");
+        assert!(
+            (guest_share - 1.0 / 7.0).abs() < 0.02,
+            "guest share {guest_share}"
+        );
     }
 
     #[test]
@@ -966,7 +987,13 @@ mod tests {
     #[test]
     fn renice_takes_effect() {
         let mut m = Machine::default_linux();
-        m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        m.spawn(ProcSpec::new(
+            "h",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        ));
         let g = m.spawn(ProcSpec::cpu_bound_guest("g", 0));
         m.renice(g, 19).unwrap();
         let d = m.measure(secs(60));
@@ -1027,7 +1054,9 @@ mod tests {
                 "job",
                 ProcClass::Host,
                 0,
-                Demand::CpuBound { total_work: Some(work) },
+                Demand::CpuBound {
+                    total_work: Some(work),
+                },
                 MemSpec::resident(150),
             ));
             if extra_mem > 0 {
@@ -1060,7 +1089,11 @@ mod tests {
         ));
         let d = m.measure(secs(10));
         assert!(d.iowait > 0, "no iowait recorded: {d:?}");
-        assert!(d.host_load() < 0.9, "host load should collapse: {}", d.host_load());
+        assert!(
+            d.host_load() < 0.9,
+            "host load should collapse: {}",
+            d.host_load()
+        );
     }
 
     #[test]
@@ -1149,7 +1182,13 @@ mod tests {
         // With one CPU-bound nice-0 process and one nice-19, the nice-19
         // process must still run within every epoch (starvation freedom).
         let mut m = Machine::default_linux();
-        m.spawn(ProcSpec::new("h", ProcClass::Host, 0, Demand::CpuBound { total_work: None }, MemSpec::tiny()));
+        m.spawn(ProcSpec::new(
+            "h",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        ));
         let g = m.spawn(ProcSpec::cpu_bound_guest("g", 19));
         m.run_ticks(secs(10));
         assert!(m.process(g).unwrap().cpu_ticks > 0, "nice 19 starved");

@@ -56,13 +56,19 @@ pub struct MemSpec {
 impl MemSpec {
     /// A footprint with equal resident and virtual size.
     pub const fn resident(mb: u32) -> Self {
-        MemSpec { resident_mb: mb, virtual_mb: mb }
+        MemSpec {
+            resident_mb: mb,
+            virtual_mb: mb,
+        }
     }
 
     /// The negligible footprint of the synthetic CPU-contention programs
     /// ("all the programs have very small resident sets", §3.2.1).
     pub const fn tiny() -> Self {
-        MemSpec { resident_mb: 2, virtual_mb: 4 }
+        MemSpec {
+            resident_mb: 2,
+            virtual_mb: 4,
+        }
     }
 }
 
@@ -162,20 +168,44 @@ pub struct ProcSpec {
 
 impl ProcSpec {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, class: ProcClass, nice: i8, demand: Demand, mem: MemSpec) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        class: ProcClass,
+        nice: i8,
+        demand: Demand,
+        mem: MemSpec,
+    ) -> Self {
         assert!((-20..=19).contains(&nice), "nice out of range");
-        ProcSpec { name: name.into(), class, nice, demand, mem }
+        ProcSpec {
+            name: name.into(),
+            class,
+            nice,
+            demand,
+            mem,
+        }
     }
 
     /// A tiny-footprint synthetic host program with the given isolated
     /// usage and duty-cycle period.
     pub fn synthetic_host(name: impl Into<String>, usage: f64, period_ticks: u64) -> Self {
-        ProcSpec::new(name, ProcClass::Host, 0, Demand::duty_cycle(usage, period_ticks), MemSpec::tiny())
+        ProcSpec::new(
+            name,
+            ProcClass::Host,
+            0,
+            Demand::duty_cycle(usage, period_ticks),
+            MemSpec::tiny(),
+        )
     }
 
     /// A fully CPU-bound guest process at the given nice value.
     pub fn cpu_bound_guest(name: impl Into<String>, nice: i8) -> Self {
-        ProcSpec::new(name, ProcClass::Guest, nice, Demand::CpuBound { total_work: None }, MemSpec::tiny())
+        ProcSpec::new(
+            name,
+            ProcClass::Guest,
+            nice,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        )
     }
 }
 
@@ -260,7 +290,10 @@ impl Process {
             nice,
             counter: nice_to_ticks(nice),
             state: RunState::Runnable,
-            progress: DemandProgress { phase: 0, busy_left },
+            progress: DemandProgress {
+                phase: 0,
+                busy_left,
+            },
             cpu_ticks: 0,
             work_frac: 0.0,
             wait_ticks: 0,
@@ -323,7 +356,10 @@ impl Process {
     /// settle at most once, at the end of the batch.
     pub fn run_bulk(&mut self, k: u64) {
         debug_assert!(self.is_runnable(), "ran a non-runnable process");
-        debug_assert!(k <= self.progress.busy_left, "bulk run overshoots the busy period");
+        debug_assert!(
+            k <= self.progress.busy_left,
+            "bulk run overshoots the busy period"
+        );
         // `run_tick(1.0)` computes `(work_frac + 1.0) - 1.0`, which snaps
         // a sub-ulp fraction left over from thrashing onto the 2^-52
         // grid; once on the grid the value is a fixed point, so applying
@@ -344,7 +380,9 @@ impl Process {
     pub fn sleep_bulk(&mut self, k: u64) {
         if let RunState::Sleeping { remaining } = self.state {
             debug_assert!(k <= remaining, "bulk sleep would skip the wake tick");
-            self.state = RunState::Sleeping { remaining: remaining - k };
+            self.state = RunState::Sleeping {
+                remaining: remaining - k,
+            };
         }
     }
 
@@ -421,7 +459,9 @@ impl Process {
                     self.state = RunState::Runnable;
                 }
             } else {
-                self.state = RunState::Sleeping { remaining: remaining - 1 };
+                self.state = RunState::Sleeping {
+                    remaining: remaining - 1,
+                };
             }
         }
     }
@@ -429,10 +469,12 @@ impl Process {
     /// Suspends (SIGSTOP). No-op if exited or already suspended.
     pub fn suspend(&mut self) {
         self.state = match self.state {
-            RunState::Runnable => RunState::Suspended { prev: SleepOrRun::Runnable },
-            RunState::Sleeping { remaining } => {
-                RunState::Suspended { prev: SleepOrRun::Sleeping(remaining) }
-            }
+            RunState::Runnable => RunState::Suspended {
+                prev: SleepOrRun::Runnable,
+            },
+            RunState::Sleeping { remaining } => RunState::Suspended {
+                prev: SleepOrRun::Sleeping(remaining),
+            },
             other => other,
         };
     }
@@ -502,7 +544,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Full usage becomes CPU bound.
-        assert_eq!(Demand::duty_cycle(1.0, 40), Demand::CpuBound { total_work: None });
+        assert_eq!(
+            Demand::duty_cycle(1.0, 40),
+            Demand::CpuBound { total_work: None }
+        );
         // Near-full usage keeps one idle tick.
         match Demand::duty_cycle(0.999, 40) {
             Demand::DutyCycle { busy, idle } => {
@@ -545,7 +590,9 @@ mod tests {
             "g",
             ProcClass::Guest,
             0,
-            Demand::CpuBound { total_work: Some(3) },
+            Demand::CpuBound {
+                total_work: Some(3),
+            },
             MemSpec::tiny(),
         );
         let mut p = Process::spawn(Pid(1), spec, 0);
@@ -563,7 +610,9 @@ mod tests {
             "g",
             ProcClass::Guest,
             0,
-            Demand::CpuBound { total_work: Some(2) },
+            Demand::CpuBound {
+                total_work: Some(2),
+            },
             MemSpec::tiny(),
         );
         let mut p = Process::spawn(Pid(1), spec, 0);
@@ -581,7 +630,9 @@ mod tests {
             "g",
             ProcClass::Guest,
             0,
-            Demand::CpuBound { total_work: Some(1) },
+            Demand::CpuBound {
+                total_work: Some(1),
+            },
             MemSpec::tiny(),
         );
         let mut p = Process::spawn(Pid(1), spec, 0);
@@ -622,7 +673,10 @@ mod tests {
             "loop",
             ProcClass::Host,
             0,
-            Demand::Phases { phases: vec![Phase { busy: 1, idle: 1 }], repeat: true },
+            Demand::Phases {
+                phases: vec![Phase { busy: 1, idle: 1 }],
+                repeat: true,
+            },
             MemSpec::tiny(),
         );
         let mut p = Process::spawn(Pid(1), spec, 0);
@@ -686,6 +740,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "nice out of range")]
     fn nice_range_enforced() {
-        ProcSpec::new("x", ProcClass::Host, 21, Demand::CpuBound { total_work: None }, MemSpec::tiny());
+        ProcSpec::new(
+            "x",
+            ProcClass::Host,
+            21,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        );
     }
 }

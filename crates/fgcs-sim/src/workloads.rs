@@ -125,13 +125,33 @@ pub mod spec {
     }
 
     /// apsi: 98% CPU, 193 MB resident, 205 MB virtual.
-    pub const APSI: SpecApp = SpecApp { name: "apsi", cpu_usage: 0.98, resident_mb: 193, virtual_mb: 205 };
+    pub const APSI: SpecApp = SpecApp {
+        name: "apsi",
+        cpu_usage: 0.98,
+        resident_mb: 193,
+        virtual_mb: 205,
+    };
     /// galgel: 99% CPU, 29 MB resident, 155 MB virtual.
-    pub const GALGEL: SpecApp = SpecApp { name: "galgel", cpu_usage: 0.99, resident_mb: 29, virtual_mb: 155 };
+    pub const GALGEL: SpecApp = SpecApp {
+        name: "galgel",
+        cpu_usage: 0.99,
+        resident_mb: 29,
+        virtual_mb: 155,
+    };
     /// bzip2: 97% CPU, 180 MB resident, 182 MB virtual.
-    pub const BZIP2: SpecApp = SpecApp { name: "bzip2", cpu_usage: 0.97, resident_mb: 180, virtual_mb: 182 };
+    pub const BZIP2: SpecApp = SpecApp {
+        name: "bzip2",
+        cpu_usage: 0.97,
+        resident_mb: 180,
+        virtual_mb: 182,
+    };
     /// mcf: 99% CPU, 96 MB resident, 96 MB virtual.
-    pub const MCF: SpecApp = SpecApp { name: "mcf", cpu_usage: 0.99, resident_mb: 96, virtual_mb: 96 };
+    pub const MCF: SpecApp = SpecApp {
+        name: "mcf",
+        cpu_usage: 0.99,
+        resident_mb: 96,
+        virtual_mb: 96,
+    };
 
     /// All four guest applications, in the paper's order.
     pub fn all() -> [SpecApp; 4] {
@@ -146,7 +166,10 @@ pub mod spec {
                 ProcClass::Guest,
                 nice,
                 Demand::duty_cycle(self.cpu_usage, 100),
-                MemSpec { resident_mb: self.resident_mb, virtual_mb: self.virtual_mb },
+                MemSpec {
+                    resident_mb: self.resident_mb,
+                    virtual_mb: self.virtual_mb,
+                },
             )
         }
     }
@@ -170,17 +193,47 @@ pub mod musbus {
     }
 
     /// H1: 8.6% CPU, 71 MB.
-    pub const H1: MusbusWorkload = MusbusWorkload { name: "H1", cpu_usage: 0.086, resident_mb: 71, virtual_mb: 122 };
+    pub const H1: MusbusWorkload = MusbusWorkload {
+        name: "H1",
+        cpu_usage: 0.086,
+        resident_mb: 71,
+        virtual_mb: 122,
+    };
     /// H2: 9.2% CPU, 213 MB (the memory-thrashing workload).
-    pub const H2: MusbusWorkload = MusbusWorkload { name: "H2", cpu_usage: 0.092, resident_mb: 213, virtual_mb: 247 };
+    pub const H2: MusbusWorkload = MusbusWorkload {
+        name: "H2",
+        cpu_usage: 0.092,
+        resident_mb: 213,
+        virtual_mb: 247,
+    };
     /// H3: 17.2% CPU, 53 MB.
-    pub const H3: MusbusWorkload = MusbusWorkload { name: "H3", cpu_usage: 0.172, resident_mb: 53, virtual_mb: 151 };
+    pub const H3: MusbusWorkload = MusbusWorkload {
+        name: "H3",
+        cpu_usage: 0.172,
+        resident_mb: 53,
+        virtual_mb: 151,
+    };
     /// H4: 21.9% CPU, 68 MB.
-    pub const H4: MusbusWorkload = MusbusWorkload { name: "H4", cpu_usage: 0.219, resident_mb: 68, virtual_mb: 122 };
+    pub const H4: MusbusWorkload = MusbusWorkload {
+        name: "H4",
+        cpu_usage: 0.219,
+        resident_mb: 68,
+        virtual_mb: 122,
+    };
     /// H5: 57.0% CPU, 210 MB (heavy CPU and memory).
-    pub const H5: MusbusWorkload = MusbusWorkload { name: "H5", cpu_usage: 0.570, resident_mb: 210, virtual_mb: 236 };
+    pub const H5: MusbusWorkload = MusbusWorkload {
+        name: "H5",
+        cpu_usage: 0.570,
+        resident_mb: 210,
+        virtual_mb: 236,
+    };
     /// H6: 66.2% CPU, 84 MB (heavy CPU).
-    pub const H6: MusbusWorkload = MusbusWorkload { name: "H6", cpu_usage: 0.662, resident_mb: 84, virtual_mb: 113 };
+    pub const H6: MusbusWorkload = MusbusWorkload {
+        name: "H6",
+        cpu_usage: 0.662,
+        resident_mb: 84,
+        virtual_mb: 113,
+    };
 
     /// All six workloads, in the paper's order.
     pub fn all() -> [MusbusWorkload; 6] {
@@ -232,7 +285,10 @@ pub mod musbus {
                 ProcClass::Host,
                 0,
                 Demand::Phases {
-                    phases: vec![Phase { busy, idle: 200 - busy }],
+                    phases: vec![Phase {
+                        busy,
+                        idle: 200 - busy,
+                    }],
                     repeat: true,
                 },
                 MemSpec {
@@ -292,7 +348,11 @@ mod tests {
             m.spawn(s);
         }
         let d = m.measure(secs(120));
-        assert!((d.host_load() - 0.5).abs() < 0.06, "measured {}", d.host_load());
+        assert!(
+            (d.host_load() - 0.5).abs() < 0.06,
+            "measured {}",
+            d.host_load()
+        );
     }
 
     #[test]

@@ -16,17 +16,36 @@ use fgcs_stats::rng::Rng;
 /// Asserts every observable of the two machines is identical.
 fn assert_same(a: &Machine, b: &Machine, ctx: &str) {
     assert_eq!(a.now(), b.now(), "clock diverged ({ctx})");
-    assert_eq!(a.accounting(), b.accounting(), "accounting diverged ({ctx})");
-    assert_eq!(a.recalc_count(), b.recalc_count(), "recalcs diverged ({ctx})");
-    assert_eq!(a.total_resident_mb(), b.total_resident_mb(), "memory diverged ({ctx})");
-    assert_eq!(a.host_resident_mb(), b.host_resident_mb(), "host memory diverged ({ctx})");
+    assert_eq!(
+        a.accounting(),
+        b.accounting(),
+        "accounting diverged ({ctx})"
+    );
+    assert_eq!(
+        a.recalc_count(),
+        b.recalc_count(),
+        "recalcs diverged ({ctx})"
+    );
+    assert_eq!(
+        a.total_resident_mb(),
+        b.total_resident_mb(),
+        "memory diverged ({ctx})"
+    );
+    assert_eq!(
+        a.host_resident_mb(),
+        b.host_resident_mb(),
+        "host memory diverged ({ctx})"
+    );
     let pa: Vec<_> = a.processes().collect();
     let pb: Vec<_> = b.processes().collect();
     assert_eq!(pa.len(), pb.len(), "process count diverged ({ctx})");
     for (x, y) in pa.iter().zip(&pb) {
         let pid = x.pid;
         assert_eq!(x.cpu_ticks, y.cpu_ticks, "{pid} cpu_ticks diverged ({ctx})");
-        assert_eq!(x.wait_ticks, y.wait_ticks, "{pid} wait_ticks diverged ({ctx})");
+        assert_eq!(
+            x.wait_ticks, y.wait_ticks,
+            "{pid} wait_ticks diverged ({ctx})"
+        );
         assert_eq!(x.counter, y.counter, "{pid} counter diverged ({ctx})");
         assert_eq!(x.state, y.state, "{pid} state diverged ({ctx})");
         assert_eq!(x.nice, y.nice, "{pid} nice diverged ({ctx})");
@@ -45,11 +64,17 @@ fn assert_same(a: &Machine, b: &Machine, ctx: &str) {
 /// pattern, both classes, the full nice range, and footprints from tiny
 /// to thrash-inducing.
 fn random_spec(rng: &mut Rng, heavy_mem: bool, sleepy: bool) -> ProcSpec {
-    let class = if rng.chance(0.5) { ProcClass::Host } else { ProcClass::Guest };
+    let class = if rng.chance(0.5) {
+        ProcClass::Host
+    } else {
+        ProcClass::Guest
+    };
     let nice = rng.range_u64(0, 19) as i8;
     let demand = match rng.below(if sleepy { 5 } else { 4 }) {
         0 => Demand::CpuBound { total_work: None },
-        1 => Demand::CpuBound { total_work: Some(rng.range_u64(1, 400)) },
+        1 => Demand::CpuBound {
+            total_work: Some(rng.range_u64(1, 400)),
+        },
         2 => Demand::DutyCycle {
             busy: rng.range_u64(1, 50),
             idle: rng.range_u64(1, 80),
@@ -62,7 +87,10 @@ fn random_spec(rng: &mut Rng, heavy_mem: bool, sleepy: bool) -> ProcSpec {
                     idle: rng.range_u64(0, 40),
                 })
                 .collect();
-            Demand::Phases { phases, repeat: rng.chance(0.5) }
+            Demand::Phases {
+                phases,
+                repeat: rng.chance(0.5),
+            }
         }
         // Sleeper-heavy mix: long sleeps dominate so idle batching and
         // wake ordering get a workout.

@@ -88,7 +88,13 @@ pub fn bootstrap_mean_ci(
     level: f64,
     rng: &mut Rng,
 ) -> Option<ConfidenceInterval> {
-    bootstrap_ci(data, |xs| xs.iter().sum::<f64>() / xs.len() as f64, resamples, level, rng)
+    bootstrap_ci(
+        data,
+        |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+        resamples,
+        level,
+        rng,
+    )
 }
 
 #[cfg(test)]

@@ -49,7 +49,9 @@ pub struct Bernoulli {
 impl Bernoulli {
     /// Creates a Bernoulli distribution. `p` is clamped to `[0, 1]`.
     pub fn new(p: f64) -> Self {
-        Bernoulli { p: p.clamp(0.0, 1.0) }
+        Bernoulli {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -187,7 +189,9 @@ pub struct LogNormal {
 impl LogNormal {
     /// Creates from the underlying normal parameters.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        LogNormal { norm: Normal::new(mu, sigma) }
+        LogNormal {
+            norm: Normal::new(mu, sigma),
+        }
     }
 
     /// Creates a log-normal with the given *median* and `sigma`

@@ -17,7 +17,9 @@ pub struct GroupedStats<K: Ord + Clone> {
 impl<K: Ord + Clone> GroupedStats<K> {
     /// Creates an empty grouped accumulator.
     pub fn new() -> Self {
-        GroupedStats { groups: BTreeMap::new() }
+        GroupedStats {
+            groups: BTreeMap::new(),
+        }
     }
 
     /// Adds an observation under `key`.

@@ -29,7 +29,11 @@ pub fn exp_smooth(xs: &[f64], alpha: f64) -> Vec<f64> {
     let mut out = Vec::with_capacity(xs.len());
     let mut s = f64::NAN;
     for (i, &x) in xs.iter().enumerate() {
-        s = if i == 0 { x } else { alpha * x + (1.0 - alpha) * s };
+        s = if i == 0 {
+            x
+        } else {
+            alpha * x + (1.0 - alpha) * s
+        };
         out.push(s);
     }
     out

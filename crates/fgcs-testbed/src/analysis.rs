@@ -92,9 +92,12 @@ impl Table2 {
     /// paper reports them.
     pub fn percentage_ranges(&self) -> (Range, Range, Range) {
         let pct = |get: fn(&CauseCounts) -> usize| {
-            Range::over(self.per_machine.iter().filter(|c| c.total > 0).map(|c| {
-                (get(c) * 100 + c.total / 2) / c.total
-            }))
+            Range::over(
+                self.per_machine
+                    .iter()
+                    .filter(|c| c.total > 0)
+                    .map(|c| (get(c) * 100 + c.total / 2) / c.total),
+            )
         };
         (pct(|c| c.cpu), pct(|c| c.mem), pct(|c| c.urr))
     }
@@ -199,7 +202,10 @@ pub fn intervals(trace: &Trace) -> IntervalAnalysis {
             }
         }
     }
-    IntervalAnalysis { weekday: Ecdf::new(&weekday), weekend: Ecdf::new(&weekend) }
+    IntervalAnalysis {
+        weekday: Ecdf::new(&weekday),
+        weekend: Ecdf::new(&weekend),
+    }
 }
 
 /// [`intervals`] over a trace with known quality problems: availability
@@ -225,7 +231,10 @@ pub fn intervals_censored(trace: &Trace, quality: &TraceQualityReport) -> Interv
             }
         }
     }
-    IntervalAnalysis { weekday: Ecdf::new(&weekday), weekend: Ecdf::new(&weekend) }
+    IntervalAnalysis {
+        weekday: Ecdf::new(&weekday),
+        weekend: Ecdf::new(&weekend),
+    }
 }
 
 /// The Figure 7 reproduction: per-hour occurrence counts, aggregated
@@ -247,7 +256,10 @@ pub fn day_hour_counts(trace: &Trace) -> Vec<[u32; 24]> {
     let days = trace.meta.days as usize;
     let mut counts = vec![[0u32; 24]; days];
     for r in &trace.records {
-        let end = r.end.unwrap_or(trace.meta.span_secs).min(trace.meta.span_secs);
+        let end = r
+            .end
+            .unwrap_or(trace.meta.span_secs)
+            .min(trace.meta.span_secs);
         let mut hour_start = r.start - (r.start % SECS_PER_HOUR);
         while hour_start < end {
             let day = (hour_start / SECS_PER_DAY) as usize;
@@ -330,8 +342,8 @@ pub fn regularity(trace: &Trace) -> Regularity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgcs_core::model::Thresholds;
     use crate::trace::{TraceMeta, TraceRecord};
+    use fgcs_core::model::Thresholds;
 
     fn meta(machines: u32, days: u32) -> TraceMeta {
         TraceMeta {
@@ -363,7 +375,10 @@ mod tests {
         // into intervals [0, 3600) and [7200, 86400). Censoring a span
         // inside the second interval must drop that whole interval.
         let records = vec![rec(0, FailureCause::CpuContention, 3_600, 7_200, 7_000)];
-        let trace = Trace { meta: meta(1, 1), records };
+        let trace = Trace {
+            meta: meta(1, 1),
+            records,
+        };
         let clean = intervals(&trace);
         assert_eq!(clean.weekday.len(), 2);
 
@@ -371,7 +386,10 @@ mod tests {
         q.machine_mut(0).censored_spans = vec![(10_000, 12_000)];
         let censored = intervals_censored(&trace, &q);
         assert_eq!(censored.weekday.len(), 1, "overlapping interval excluded");
-        assert!((censored.weekday.mean() - 1.0).abs() < 1e-9, "the 1 h interval survives");
+        assert!(
+            (censored.weekday.mean() - 1.0).abs() < 1e-9,
+            "the 1 h interval survives"
+        );
 
         // An empty quality report reproduces the uncensored analysis.
         let same = intervals_censored(&trace, &TraceQualityReport::new());
@@ -388,7 +406,10 @@ mod tests {
             rec(1, FailureCause::Revocation, 3_000, 11_000, 10_000), // hw failure
             rec(1, FailureCause::CpuContention, 20_000, 20_600, 20_300),
         ];
-        let t2 = table2(&Trace { meta: meta(2, 1), records });
+        let t2 = table2(&Trace {
+            meta: meta(2, 1),
+            records,
+        });
         assert_eq!(t2.per_machine[0].total, 3);
         assert_eq!(t2.per_machine[0].urr_reboots, 1);
         assert_eq!(t2.per_machine[1].urr_reboots, 0);
@@ -415,7 +436,13 @@ mod tests {
         // One event on a weekday (day 0, Monday) and one on a weekend
         // (day 5, Saturday) for a 7-day, 1-machine trace.
         let records = vec![
-            rec(0, FailureCause::CpuContention, 10 * SECS_PER_HOUR, 11 * SECS_PER_HOUR, 10 * SECS_PER_HOUR + 600),
+            rec(
+                0,
+                FailureCause::CpuContention,
+                10 * SECS_PER_HOUR,
+                11 * SECS_PER_HOUR,
+                10 * SECS_PER_HOUR + 600,
+            ),
             rec(
                 0,
                 FailureCause::CpuContention,
@@ -424,7 +451,10 @@ mod tests {
                 5 * SECS_PER_DAY + 11 * SECS_PER_HOUR,
             ),
         ];
-        let a = intervals(&Trace { meta: meta(1, 7), records });
+        let a = intervals(&Trace {
+            meta: meta(1, 7),
+            records,
+        });
         // Intervals: [0,10h) wd, [11h, day5+10h) wd, [day5+12h, day7) we.
         assert_eq!(a.weekday.len(), 2);
         assert_eq!(a.weekend.len(), 1);
@@ -435,7 +465,10 @@ mod tests {
     fn day_hour_counts_spanning_event() {
         // Event from 01:30 to 03:10 covers hour bins 1, 2 and 3.
         let records = vec![rec(0, FailureCause::CpuContention, 5_400, 11_400, 11_000)];
-        let m = day_hour_counts(&Trace { meta: meta(1, 1), records });
+        let m = day_hour_counts(&Trace {
+            meta: meta(1, 1),
+            records,
+        });
         assert_eq!(m[0][1], 1);
         assert_eq!(m[0][2], 1);
         assert_eq!(m[0][3], 1);
@@ -447,10 +480,25 @@ mod tests {
     fn hourly_aggregates_across_machines() {
         // Two machines failing in the same hour of the same weekday.
         let records = vec![
-            rec(0, FailureCause::CpuContention, 10 * SECS_PER_HOUR, 10 * SECS_PER_HOUR + 100, 10 * SECS_PER_HOUR + 50),
-            rec(1, FailureCause::CpuContention, 10 * SECS_PER_HOUR + 200, 10 * SECS_PER_HOUR + 300, 10 * SECS_PER_HOUR + 250),
+            rec(
+                0,
+                FailureCause::CpuContention,
+                10 * SECS_PER_HOUR,
+                10 * SECS_PER_HOUR + 100,
+                10 * SECS_PER_HOUR + 50,
+            ),
+            rec(
+                1,
+                FailureCause::CpuContention,
+                10 * SECS_PER_HOUR + 200,
+                10 * SECS_PER_HOUR + 300,
+                10 * SECS_PER_HOUR + 250,
+            ),
         ];
-        let h = hourly(&Trace { meta: meta(2, 1), records });
+        let h = hourly(&Trace {
+            meta: meta(2, 1),
+            records,
+        });
         let stats = h.weekday.get(&10).expect("hour 10 present");
         assert_eq!(stats.mean(), 2.0);
         assert_eq!(h.weekday.get(&11), None.or(h.weekday.get(&11)));
@@ -460,10 +508,25 @@ mod tests {
     fn regularity_of_identical_days_is_perfect() {
         // The same event pattern on two weekdays.
         let records = vec![
-            rec(0, FailureCause::CpuContention, 10 * SECS_PER_HOUR, 10 * SECS_PER_HOUR + 600, 10 * SECS_PER_HOUR + 300),
-            rec(0, FailureCause::CpuContention, SECS_PER_DAY + 10 * SECS_PER_HOUR, SECS_PER_DAY + 10 * SECS_PER_HOUR + 600, SECS_PER_DAY + 10 * SECS_PER_HOUR + 300),
+            rec(
+                0,
+                FailureCause::CpuContention,
+                10 * SECS_PER_HOUR,
+                10 * SECS_PER_HOUR + 600,
+                10 * SECS_PER_HOUR + 300,
+            ),
+            rec(
+                0,
+                FailureCause::CpuContention,
+                SECS_PER_DAY + 10 * SECS_PER_HOUR,
+                SECS_PER_DAY + 10 * SECS_PER_HOUR + 600,
+                SECS_PER_DAY + 10 * SECS_PER_HOUR + 300,
+            ),
         ];
-        let r = regularity(&Trace { meta: meta(1, 2), records });
+        let r = regularity(&Trace {
+            meta: meta(1, 2),
+            records,
+        });
         assert!((r.weekday_correlation - 1.0).abs() < 1e-9);
         assert_eq!(r.weekday_mean_cv, 0.0);
     }
@@ -473,7 +536,10 @@ mod tests {
         let mut r = rec(0, FailureCause::Revocation, 23 * SECS_PER_HOUR, 0, 0);
         r.end = None;
         r.raw_end = None;
-        let m = day_hour_counts(&Trace { meta: meta(1, 1), records: vec![r] });
+        let m = day_hour_counts(&Trace {
+            meta: meta(1, 1),
+            records: vec![r],
+        });
         assert_eq!(m[0][23], 1);
     }
 }

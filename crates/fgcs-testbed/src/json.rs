@@ -28,9 +28,7 @@ impl Value {
     /// The value as u64, if it is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
-            Value::Num(n) if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 => {
-                Some(n as u64)
-            }
+            Value::Num(n) if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 => Some(n as u64),
             _ => None,
         }
     }
@@ -89,7 +87,10 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
-        Some(c) => Err(format!("unexpected character {:?} at byte {}", *c as char, *pos)),
+        Some(c) => Err(format!(
+            "unexpected character {:?} at byte {}",
+            *c as char, *pos
+        )),
     }
 }
 
@@ -113,7 +114,9 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("bad number {text:?}: {e}"))
 }
 
 fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -195,7 +198,9 @@ pub struct ObjWriter {
 impl ObjWriter {
     /// Starts an empty object.
     pub fn new() -> Self {
-        ObjWriter { buf: String::from("{") }
+        ObjWriter {
+            buf: String::from("{"),
+        }
     }
 
     fn key(&mut self, k: &str) {
@@ -272,7 +277,10 @@ mod tests {
         th.f64("th1", 0.2).f64("th2", 0.6);
         let mut w = ObjWriter::new();
         w.u64("seed", 7).obj("thresholds", th);
-        assert_eq!(w.finish(), r#"{"seed":7,"thresholds":{"th1":0.2,"th2":0.6}}"#);
+        assert_eq!(
+            w.finish(),
+            r#"{"seed":7,"thresholds":{"th1":0.2,"th2":0.6}}"#
+        );
     }
 
     #[test]

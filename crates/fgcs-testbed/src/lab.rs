@@ -124,12 +124,12 @@ impl Default for LabConfig {
             phys_mem_mb: 1124,
             kernel_mem_mb: 100,
             weekday_occupancy: [
-                0.10, 0.06, 0.04, 0.03, 0.03, 0.03, 0.04, 0.08, 0.18, 0.32, 0.45, 0.52, 0.55,
-                0.58, 0.60, 0.62, 0.60, 0.55, 0.48, 0.42, 0.38, 0.32, 0.24, 0.15,
+                0.10, 0.06, 0.04, 0.03, 0.03, 0.03, 0.04, 0.08, 0.18, 0.32, 0.45, 0.52, 0.55, 0.58,
+                0.60, 0.62, 0.60, 0.55, 0.48, 0.42, 0.38, 0.32, 0.24, 0.15,
             ],
             weekend_occupancy: [
-                0.08, 0.05, 0.04, 0.03, 0.02, 0.02, 0.03, 0.04, 0.08, 0.12, 0.18, 0.22, 0.25,
-                0.26, 0.28, 0.28, 0.26, 0.24, 0.22, 0.20, 0.18, 0.15, 0.12, 0.10,
+                0.08, 0.05, 0.04, 0.03, 0.02, 0.02, 0.03, 0.04, 0.08, 0.12, 0.18, 0.22, 0.25, 0.26,
+                0.28, 0.28, 0.26, 0.24, 0.22, 0.20, 0.18, 0.15, 0.12, 0.10,
             ],
             session_median_mins: 45.0,
             session_sigma: 0.8,
@@ -166,7 +166,20 @@ impl LabConfig {
 
     /// A small configuration for tests: 2 machines, 4 days.
     pub fn tiny() -> Self {
-        LabConfig { machines: 2, days: 4, ..LabConfig::default() }
+        LabConfig {
+            machines: 2,
+            days: 4,
+            ..LabConfig::default()
+        }
+    }
+
+    /// Memory left for a guest process when host + system processes
+    /// hold `resident_mb`: physical minus kernel minus resident,
+    /// saturating at zero.
+    pub fn free_for_guest_mb(&self, resident_mb: u32) -> u32 {
+        self.phys_mem_mb
+            .saturating_sub(self.kernel_mem_mb)
+            .saturating_sub(resident_mb)
     }
 
     /// The occupancy profile for a day type.
@@ -250,8 +263,7 @@ impl MachinePlan {
         let mut downtimes: Vec<(u64, u64)> = Vec::new();
         let span = cfg.span_secs();
 
-        let session_len =
-            LogNormal::with_median(cfg.session_median_mins * 60.0, cfg.session_sigma);
+        let session_len = LogNormal::with_median(cfg.session_median_mins * 60.0, cfg.session_sigma);
         let burst_len = LogNormal::with_median(cfg.burst_median_secs, cfg.burst_sigma);
         let burst_load = Uniform::new(cfg.burst_load.0, cfg.burst_load.1);
         let session_load = Uniform::new(cfg.session_load.0, cfg.session_load.1);
@@ -281,9 +293,10 @@ impl MachinePlan {
                         start,
                         end,
                         load: session_load.sample(&mut rng),
-                        mem_mb: rng
-                            .range_u64(cfg.session_resident_mb.0 as u64, cfg.session_resident_mb.1 as u64 + 1)
-                            as u32,
+                        mem_mb: rng.range_u64(
+                            cfg.session_resident_mb.0 as u64,
+                            cfg.session_resident_mb.1 as u64 + 1,
+                        ) as u32,
                     });
 
                     // Heavy bursts within the session.
@@ -310,7 +323,8 @@ impl MachinePlan {
                     // Frustration reboot during the session?
                     if rng.chance(cfg.reboots_per_session_hour * hours) {
                         let rs = start + rng.below((end - start).max(1));
-                        let rd = rng.range_u64(cfg.reboot_downtime_secs.0, cfg.reboot_downtime_secs.1 + 1);
+                        let rd = rng
+                            .range_u64(cfg.reboot_downtime_secs.0, cfg.reboot_downtime_secs.1 + 1);
                         downtimes.push((rs, (rs + rd).min(span)));
                     }
                 }
@@ -448,7 +462,8 @@ impl Iterator for SampleIter<'_> {
         self.active.retain(|c| c.end > t);
 
         // Downtime?
-        while self.next_down < self.plan.downtimes.len() && self.plan.downtimes[self.next_down].1 <= t
+        while self.next_down < self.plan.downtimes.len()
+            && self.plan.downtimes[self.next_down].1 <= t
         {
             self.next_down += 1;
         }
@@ -459,7 +474,12 @@ impl Iterator for SampleIter<'_> {
             .map(|&(s, e)| s <= t && t < e)
             .unwrap_or(false);
         if down {
-            return Some(LoadSample { t, host_load: 0.0, host_resident_mb: 0, alive: false });
+            return Some(LoadSample {
+                t,
+                host_load: 0.0,
+                host_resident_mb: 0,
+                alive: false,
+            });
         }
 
         let mut load: f64 = self.noise.range_f64(0.0, cfg.idle_load_max);
@@ -468,7 +488,12 @@ impl Iterator for SampleIter<'_> {
             load += c.load;
             mem = mem.saturating_add(c.mem_mb);
         }
-        Some(LoadSample { t, host_load: load.min(1.0), host_resident_mb: mem, alive: true })
+        Some(LoadSample {
+            t,
+            host_load: load.min(1.0),
+            host_resident_mb: mem,
+            alive: true,
+        })
     }
 }
 
@@ -504,7 +529,10 @@ mod tests {
         }
         // ~4/hour over 4 days, though sub-sample-period blips are missed.
         assert!(spikes > 50, "spikes {spikes}");
-        assert!(longest <= 90, "blips must stay transient, longest {longest}s");
+        assert!(
+            longest <= 90,
+            "blips must stay transient, longest {longest}s"
+        );
     }
 
     #[test]
@@ -567,16 +595,17 @@ mod tests {
         cfg.blips_per_hour = 0.0;
         let plan = MachinePlan::generate(&cfg, 0);
         // Without updatedb and bursts, load stays at session base levels.
-        let max = plan
-            .samples()
-            .map(|s| s.host_load)
-            .fold(0.0, f64::max);
+        let max = plan.samples().map(|s| s.host_load).fold(0.0, f64::max);
         assert!(max < 0.5, "max load {max}");
     }
 
     #[test]
     fn weekday_busier_than_weekend() {
-        let cfg = LabConfig { machines: 1, days: 14, ..LabConfig::default() };
+        let cfg = LabConfig {
+            machines: 1,
+            days: 14,
+            ..LabConfig::default()
+        };
         let plan = MachinePlan::generate(&cfg, 0);
         let mut wd = (0.0, 0u64);
         let mut we = (0.0, 0u64);
@@ -634,7 +663,8 @@ mod tests {
     fn arrival_rate_inversion() {
         let cfg = LabConfig::default();
         // p = ρ/(1+ρ) must hold for the computed λ.
-        let mean_secs = cfg.session_median_mins * 60.0 * (cfg.session_sigma * cfg.session_sigma / 2.0).exp();
+        let mean_secs =
+            cfg.session_median_mins * 60.0 * (cfg.session_sigma * cfg.session_sigma / 2.0).exp();
         for &p in &[0.1, 0.3, 0.6] {
             let lambda = cfg.arrival_rate(p);
             let rho = lambda * mean_secs;
@@ -649,6 +679,9 @@ mod tests {
         cfg.bursts_per_session_hour = 3.0;
         let plan = MachinePlan::generate(&cfg, 0);
         let peak = plan.samples().map(|s| s.host_resident_mb).max().unwrap();
-        assert!(peak > cfg.base_resident_mb + cfg.mem_burst_mb.0, "peak {peak}");
+        assert!(
+            peak > cfg.base_resident_mb + cfg.mem_burst_mb.0,
+            "peak {peak}"
+        );
     }
 }

@@ -48,7 +48,7 @@ pub mod trace;
 pub use lab::{LabConfig, LoadSample, MachinePlan};
 pub use quality::{MachineQuality, QualityTotals, TraceQualityReport};
 pub use runner::{
-    run_testbed, run_testbed_faulty, trace_machine, trace_machine_supervised, SupervisorConfig,
-    TestbedConfig,
+    backoff_delay, run_testbed, run_testbed_faulty, trace_machine, trace_machine_supervised,
+    OccurrenceRecorder, SupervisorConfig, TestbedConfig,
 };
 pub use trace::{Trace, TraceError, TraceMeta, TraceRecord};

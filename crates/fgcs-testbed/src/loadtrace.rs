@@ -44,7 +44,11 @@ impl LoadSeries {
     /// `t,load_millis,resident_mb,alive` rows (load quantized to 0.1% —
     /// the precision `vmstat` output actually carries).
     pub fn write_csv<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
-        writeln!(w, "# machine={} sample_period={}", self.machine, self.sample_period)?;
+        writeln!(
+            w,
+            "# machine={} sample_period={}",
+            self.machine, self.sample_period
+        )?;
         writeln!(w, "t,load_millis,resident_mb,alive")?;
         for s in &self.samples {
             writeln!(
@@ -88,7 +92,10 @@ impl LoadSeries {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 4 {
-                return Err(TraceError::Parse(format!("line {}: expected 4 fields", i + 2)));
+                return Err(TraceError::Parse(format!(
+                    "line {}: expected 4 fields",
+                    i + 2
+                )));
             }
             let parse = |s: &str, what: &str| -> Result<u64, TraceError> {
                 s.parse::<u64>()
@@ -101,7 +108,11 @@ impl LoadSeries {
                 alive: parse(fields[3], "alive")? != 0,
             });
         }
-        Ok(LoadSeries { machine, sample_period, samples })
+        Ok(LoadSeries {
+            machine,
+            sample_period,
+            samples,
+        })
     }
 
     /// The samples quantized the way [`LoadSeries::write_csv`] stores
@@ -141,9 +152,15 @@ pub fn derive_events(
     let mut avail_samples = 0u64;
 
     for s in &series.samples {
-        let free = phys_mem_mb.saturating_sub(kernel_mem_mb).saturating_sub(s.host_resident_mb);
+        let free = phys_mem_mb
+            .saturating_sub(kernel_mem_mb)
+            .saturating_sub(s.host_resident_mb);
         let obs = if s.alive {
-            Observation { host_load: s.host_load, free_mem_mb: free, alive: true }
+            Observation {
+                host_load: s.host_load,
+                free_mem_mb: free,
+                alive: true,
+            }
         } else {
             Observation::dead()
         };
@@ -208,7 +225,9 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(LoadSeries::read_csv(&b""[..]).is_err());
-        assert!(LoadSeries::read_csv(&b"# no keys\nt,load_millis,resident_mb,alive\n"[..]).is_err());
+        assert!(
+            LoadSeries::read_csv(&b"# no keys\nt,load_millis,resident_mb,alive\n"[..]).is_err()
+        );
         let bad = "# machine=0 sample_period=15\nt,load_millis,resident_mb,alive\n1,2\n";
         assert!(LoadSeries::read_csv(bad.as_bytes()).is_err());
     }
@@ -235,7 +254,12 @@ mod tests {
         // thresholds without re-collecting.
         let cfg = TestbedConfig::tiny();
         let series = LoadSeries::collect(&cfg.lab, 0);
-        let baseline = derive_events(&series, cfg.detector, cfg.lab.phys_mem_mb, cfg.lab.kernel_mem_mb);
+        let baseline = derive_events(
+            &series,
+            cfg.detector,
+            cfg.lab.phys_mem_mb,
+            cfg.lab.kernel_mem_mb,
+        );
         let mut strict = cfg.detector;
         strict.thresholds = fgcs_core::model::Thresholds::new(0.05, 0.12);
         let stricter = derive_events(&series, strict, cfg.lab.phys_mem_mb, cfg.lab.kernel_mem_mb);

@@ -70,12 +70,17 @@ impl MachineQuality {
 
     /// Total seconds of this machine's trace that are censored.
     pub fn censored_secs(&self) -> u64 {
-        self.censored_spans.iter().map(|(a, b)| b.saturating_sub(*a)).sum()
+        self.censored_spans
+            .iter()
+            .map(|(a, b)| b.saturating_sub(*a))
+            .sum()
     }
 
     /// True if `[start, end)` overlaps any censored span.
     pub fn overlaps_censored(&self, start: u64, end: u64) -> bool {
-        self.censored_spans.iter().any(|&(a, b)| start < b && a < end)
+        self.censored_spans
+            .iter()
+            .any(|&(a, b)| start < b && a < end)
     }
 }
 
@@ -101,7 +106,10 @@ impl TraceQualityReport {
 
     /// The entry for one machine, creating it on first use.
     pub fn machine_mut(&mut self, id: u32) -> &mut MachineQuality {
-        self.machines.entry(id).or_insert_with(|| MachineQuality { machine: id, ..Default::default() })
+        self.machines.entry(id).or_insert_with(|| MachineQuality {
+            machine: id,
+            ..Default::default()
+        })
     }
 
     /// A perfectly clean trace: every stream clean, no file damage.
@@ -182,7 +190,13 @@ impl fmt::Display for TraceQualityReport {
             f,
             "  stream: {} dropped, {} duplicated, {} delayed, {} out-of-order, \
              {} restarts (-{} samples), {} clock jumps",
-            t.dropped, t.duplicated, t.delayed, t.out_of_order, t.restarts, t.lost_in_restart, t.clock_jumps
+            t.dropped,
+            t.duplicated,
+            t.delayed,
+            t.out_of_order,
+            t.restarts,
+            t.lost_in_restart,
+            t.clock_jumps
         )?;
         write!(
             f,
@@ -223,7 +237,10 @@ mod tests {
         m.censored_spans = vec![(100, 200), (500, 700)];
         assert!(m.overlaps_censored(150, 160));
         assert!(m.overlaps_censored(0, 101));
-        assert!(!m.overlaps_censored(200, 500), "touching endpoints do not overlap");
+        assert!(
+            !m.overlaps_censored(200, 500),
+            "touching endpoints do not overlap"
+        );
         assert!(m.overlaps_censored(199, 501));
         assert_eq!(m.censored_secs(), 300);
     }

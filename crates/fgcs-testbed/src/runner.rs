@@ -7,7 +7,8 @@
 //! with the mean available CPU/memory of the preceding availability
 //! interval.
 
-use fgcs_core::detector::{Detector, DetectorConfig, EventEdge};
+use fgcs_core::detector::{Detector, DetectorConfig, EventEdge, Step};
+use fgcs_core::model::AvailState;
 use fgcs_core::monitor::Observation;
 use fgcs_faults::{CrashPlan, FaultConfig, FaultStream};
 
@@ -26,14 +27,136 @@ pub struct TestbedConfig {
 
 impl Default for TestbedConfig {
     fn default() -> Self {
-        TestbedConfig { lab: LabConfig::default(), detector: DetectorConfig::wallclock_default() }
+        TestbedConfig {
+            lab: LabConfig::default(),
+            detector: DetectorConfig::wallclock_default(),
+        }
     }
 }
 
 impl TestbedConfig {
     /// Small configuration for tests.
     pub fn tiny() -> Self {
-        TestbedConfig { lab: LabConfig::tiny(), detector: DetectorConfig::wallclock_default() }
+        TestbedConfig {
+            lab: LabConfig::tiny(),
+            detector: DetectorConfig::wallclock_default(),
+        }
+    }
+}
+
+/// Detector + occurrence bookkeeping for one machine: feeds observations
+/// to the §4 detector and turns its event edges into [`TraceRecord`]s,
+/// tracking the running mean of guest-available CPU/memory over the
+/// preceding availability interval.
+///
+/// Both testbed tracers *and* the networked ingest path
+/// (`fgcs-service`) are built on this type, so a sample stream replayed
+/// over TCP produces bit-identical records to an in-process run by
+/// construction: same accumulation order, same f64 sums.
+#[derive(Debug, Clone)]
+pub struct OccurrenceRecorder {
+    machine: u32,
+    detector: Detector,
+    records: Vec<TraceRecord>,
+    open: Option<usize>,
+    avail_cpu_sum: f64,
+    avail_mem_sum: f64,
+    avail_samples: u64,
+}
+
+impl OccurrenceRecorder {
+    /// A recorder for `machine` with a fresh detector.
+    pub fn new(machine: u32, config: DetectorConfig) -> Self {
+        OccurrenceRecorder {
+            machine,
+            detector: Detector::new(config),
+            records: Vec::new(),
+            open: None,
+            avail_cpu_sum: 0.0,
+            avail_mem_sum: 0.0,
+            avail_samples: 0,
+        }
+    }
+
+    /// Current detector state.
+    pub fn state(&self) -> AvailState {
+        self.detector.state()
+    }
+
+    /// Whether the machine is currently in an availability state.
+    pub fn is_available(&self) -> bool {
+        self.detector.is_available()
+    }
+
+    /// Whether a load spike is pending (above Th2 but within tolerance).
+    pub fn spike_active(&self) -> bool {
+        self.detector.spike_active()
+    }
+
+    /// Records produced so far. The last one may still be open
+    /// (`end == None`).
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, returning its records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Feeds one observation: accumulates availability-interval means,
+    /// steps the detector, and converts event edges into records.
+    /// Timestamps must be non-decreasing (the caller discards
+    /// out-of-order samples).
+    pub fn observe(&mut self, t: u64, obs: &Observation) -> Step {
+        // Means cover samples where the machine was observed available
+        // *before* this sample was applied: the sample that triggers an
+        // occurrence belongs to the occurrence, not to the interval.
+        if self.detector.is_available() && obs.alive {
+            self.avail_cpu_sum += 1.0 - obs.host_load;
+            self.avail_mem_sum += obs.free_mem_mb as f64;
+            self.avail_samples += 1;
+        }
+
+        let step = self.detector.observe(t, obs);
+        if step.gap.is_some() {
+            // What accumulated before the silence does not describe the
+            // interval that resumes after it.
+            self.avail_cpu_sum = 0.0;
+            self.avail_mem_sum = 0.0;
+            self.avail_samples = 0;
+        }
+        for edge in &step.edges {
+            match *edge {
+                EventEdge::Started { cause, at } => {
+                    debug_assert!(self.open.is_none(), "nested occurrence");
+                    let n = self.avail_samples.max(1) as f64;
+                    self.records.push(TraceRecord {
+                        machine: self.machine,
+                        cause,
+                        start: at,
+                        end: None,
+                        raw_end: None,
+                        avail_cpu: self.avail_cpu_sum / n,
+                        avail_mem_mb: (self.avail_mem_sum / n) as u32,
+                    });
+                    self.open = Some(self.records.len() - 1);
+                    self.avail_cpu_sum = 0.0;
+                    self.avail_mem_sum = 0.0;
+                    self.avail_samples = 0;
+                }
+                EventEdge::Ended { at, calm_from, .. } => {
+                    let idx = self.open.take().expect("Ended without open record");
+                    let start = self.records[idx].start;
+                    // A gap-close can end an occurrence at its own start
+                    // sample; clamp instead of trusting the edge times.
+                    let end = at.max(start);
+                    self.records[idx].end = Some(end);
+                    self.records[idx].raw_end = Some(calm_from.clamp(start, end));
+                }
+            }
+        }
+        step
     }
 }
 
@@ -64,69 +187,20 @@ pub fn run_testbed(cfg: &TestbedConfig) -> Trace {
 /// Traces a single machine over the full span.
 pub fn trace_machine(cfg: &TestbedConfig, machine_id: usize) -> Vec<TraceRecord> {
     let plan = MachinePlan::generate(&cfg.lab, machine_id);
-    let mut detector = Detector::new(cfg.detector);
-    let mut records: Vec<TraceRecord> = Vec::new();
-    let mut open: Option<usize> = None;
-
-    // Running means of guest-available CPU and memory over the current
-    // availability interval.
-    let mut avail_cpu_sum = 0.0;
-    let mut avail_mem_sum = 0.0;
-    let mut avail_samples = 0u64;
-
-    let free_for_guest = |resident_mb: u32| -> u32 {
-        cfg.lab
-            .phys_mem_mb
-            .saturating_sub(cfg.lab.kernel_mem_mb)
-            .saturating_sub(resident_mb)
-    };
-
+    let mut recorder = OccurrenceRecorder::new(machine_id as u32, cfg.detector);
     for s in plan.samples() {
         let obs = if s.alive {
             Observation {
                 host_load: s.host_load,
-                free_mem_mb: free_for_guest(s.host_resident_mb),
+                free_mem_mb: cfg.lab.free_for_guest_mb(s.host_resident_mb),
                 alive: true,
             }
         } else {
             Observation::dead()
         };
-
-        if detector.is_available() && s.alive {
-            avail_cpu_sum += 1.0 - s.host_load;
-            avail_mem_sum += free_for_guest(s.host_resident_mb) as f64;
-            avail_samples += 1;
-        }
-
-        let step = detector.observe(s.t, &obs);
-        for edge in step.edges {
-            match edge {
-                EventEdge::Started { cause, at } => {
-                    debug_assert!(open.is_none(), "nested occurrence");
-                    let n = avail_samples.max(1) as f64;
-                    records.push(TraceRecord {
-                        machine: machine_id as u32,
-                        cause,
-                        start: at,
-                        end: None,
-                        raw_end: None,
-                        avail_cpu: avail_cpu_sum / n,
-                        avail_mem_mb: (avail_mem_sum / n) as u32,
-                    });
-                    open = Some(records.len() - 1);
-                    avail_cpu_sum = 0.0;
-                    avail_mem_sum = 0.0;
-                    avail_samples = 0;
-                }
-                EventEdge::Ended { at, calm_from, .. } => {
-                    let idx = open.take().expect("Ended without open record");
-                    records[idx].end = Some(at);
-                    records[idx].raw_end = Some(calm_from.max(records[idx].start));
-                }
-            }
-        }
+        recorder.observe(s.t, &obs);
     }
-    records
+    recorder.into_records()
 }
 
 /// How the testbed supervisor handles faulty per-machine tracing.
@@ -164,6 +238,15 @@ impl Default for SupervisorConfig {
             max_silence_secs: 120,
         }
     }
+}
+
+/// Capped exponential backoff after the `attempt`-th consecutive crash
+/// (1-based): `base * 2^(attempt-1)`, capped. Shared by the testbed
+/// supervisor and the service client's reconnect loop.
+pub fn backoff_delay(sup: &SupervisorConfig, attempt: u32) -> u64 {
+    sup.backoff_base_secs
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+        .min(sup.backoff_cap_secs)
 }
 
 /// Runs the testbed with fault injection under supervision. With
@@ -215,29 +298,20 @@ pub fn trace_machine_supervised(
     let plan = MachinePlan::generate(&cfg.lab, machine_id);
     let mut det_cfg = cfg.detector;
     det_cfg.max_silence = Some(sup.max_silence_secs);
-    let mut detector = Detector::new(det_cfg);
-    let mut quality = MachineQuality { machine: machine_id as u32, ..Default::default() };
+    let mut quality = MachineQuality {
+        machine: machine_id as u32,
+        ..Default::default()
+    };
     let crash_plan = CrashPlan::generate(faults, machine_id as u64, span);
     let mut crashes = crash_plan.times.iter().copied().peekable();
     let mut stream = FaultStream::new(plan.samples(), faults, machine_id as u64);
 
-    let mut records: Vec<TraceRecord> = Vec::new();
-    let mut open: Option<usize> = None;
-    let mut avail_cpu_sum = 0.0;
-    let mut avail_mem_sum = 0.0;
-    let mut avail_samples = 0u64;
+    let mut recorder = OccurrenceRecorder::new(machine_id as u32, det_cfg);
     let mut outage_until: u64 = 0;
     let mut attempts: u32 = 0;
     let mut last_crash_t: Option<u64> = None;
     let mut last_t: Option<u64> = None;
     let mut abandoned_at: Option<u64> = None;
-
-    let free_for_guest = |resident_mb: u32| -> u32 {
-        cfg.lab
-            .phys_mem_mb
-            .saturating_sub(cfg.lab.kernel_mem_mb)
-            .saturating_sub(resident_mb)
-    };
 
     'samples: while let Some(s) = stream.next() {
         // Supervision: handle tracer crashes scheduled before this sample.
@@ -261,10 +335,7 @@ pub fn trace_machine_supervised(
                 abandoned_at = Some(crash_t);
                 break 'samples;
             }
-            let backoff = sup
-                .backoff_base_secs
-                .saturating_mul(1u64 << (attempts - 1).min(20))
-                .min(sup.backoff_cap_secs);
+            let backoff = backoff_delay(sup, attempts);
             outage_until = outage_until.max(crash_t.saturating_add(backoff));
         }
         if s.t < outage_until {
@@ -283,55 +354,17 @@ pub fn trace_machine_supervised(
         let obs = if s.alive {
             Observation {
                 host_load: s.host_load,
-                free_mem_mb: free_for_guest(s.host_resident_mb),
+                free_mem_mb: cfg.lab.free_for_guest_mb(s.host_resident_mb),
                 alive: true,
             }
         } else {
             Observation::dead()
         };
 
-        if detector.is_available() && s.alive {
-            avail_cpu_sum += 1.0 - s.host_load;
-            avail_mem_sum += free_for_guest(s.host_resident_mb) as f64;
-            avail_samples += 1;
-        }
-
-        let step = detector.observe(s.t, &obs);
+        let step = recorder.observe(s.t, &obs);
         if let Some(gap) = step.gap {
             quality.gaps += 1;
             quality.censored_spans.push(gap);
-            // What accumulated before the silence does not describe the
-            // interval that resumes after it.
-            avail_cpu_sum = 0.0;
-            avail_mem_sum = 0.0;
-            avail_samples = 0;
-        }
-        for edge in step.edges {
-            match edge {
-                EventEdge::Started { cause, at } => {
-                    debug_assert!(open.is_none(), "nested occurrence");
-                    let n = avail_samples.max(1) as f64;
-                    records.push(TraceRecord {
-                        machine: machine_id as u32,
-                        cause,
-                        start: at,
-                        end: None,
-                        raw_end: None,
-                        avail_cpu: avail_cpu_sum / n,
-                        avail_mem_mb: (avail_mem_sum / n) as u32,
-                    });
-                    open = Some(records.len() - 1);
-                    avail_cpu_sum = 0.0;
-                    avail_mem_sum = 0.0;
-                    avail_samples = 0;
-                }
-                EventEdge::Ended { at, calm_from, .. } => {
-                    let idx = open.take().expect("Ended without open record");
-                    records[idx].end = Some(at.max(records[idx].start));
-                    records[idx].raw_end =
-                        Some(calm_from.clamp(records[idx].start, records[idx].end.unwrap()));
-                }
-            }
         }
     }
 
@@ -347,7 +380,7 @@ pub fn trace_machine_supervised(
     quality.restarts = stats.restarts;
     quality.lost_in_restart = stats.lost_in_restart;
     quality.clock_jumps = stats.clock_jumps;
-    (records, quality)
+    (recorder.into_records(), quality)
 }
 
 #[cfg(test)]
@@ -365,7 +398,10 @@ mod tests {
             .iter()
             .filter(|r| r.cause == FailureCause::CpuContention)
             .count();
-        assert!(cpu as u32 >= trace.meta.machines * trace.meta.days / 2, "cpu events {cpu}");
+        assert!(
+            cpu as u32 >= trace.meta.machines * trace.meta.days / 2,
+            "cpu events {cpu}"
+        );
     }
 
     #[test]
@@ -434,12 +470,14 @@ mod tests {
         let mut cfg = TestbedConfig::tiny();
         cfg.lab.days = 6;
         let faults = FaultConfig::noisy(42);
-        let (trace, quality) =
-            run_testbed_faulty(&cfg, &faults, &SupervisorConfig::default());
+        let (trace, quality) = run_testbed_faulty(&cfg, &faults, &SupervisorConfig::default());
         assert!(!trace.records.is_empty());
         assert!(!quality.is_clean(), "noisy run must report faults");
         let t = quality.totals();
-        assert!(t.dropped > 0, "drop rate 0.005 over 6 days must drop something");
+        assert!(
+            t.dropped > 0,
+            "drop rate 0.005 over 6 days must drop something"
+        );
         // Records stay structurally sound even under faults.
         for (_, recs) in trace.per_machine() {
             for w in recs.windows(2) {
@@ -471,11 +509,16 @@ mod tests {
         cfg.lab.days = 8;
         let mut faults = FaultConfig::off(3);
         faults.crash_rate_per_day = 6.0; // crashes far beyond the retry budget
-        let sup = SupervisorConfig { max_retries: 2, ..SupervisorConfig::default() };
+        let sup = SupervisorConfig {
+            max_retries: 2,
+            ..SupervisorConfig::default()
+        };
         let (trace, quality) = run_testbed_faulty(&cfg, &faults, &sup);
-        let abandoned: Vec<_> =
-            quality.machines.values().filter(|m| m.gave_up).collect();
-        assert!(!abandoned.is_empty(), "this crash rate must exhaust 2 retries");
+        let abandoned: Vec<_> = quality.machines.values().filter(|m| m.gave_up).collect();
+        assert!(
+            !abandoned.is_empty(),
+            "this crash rate must exhaust 2 retries"
+        );
         for m in abandoned {
             assert_eq!(m.crashes, sup.max_retries as u64 + 1);
             let (_, until) = *m.censored_spans.last().unwrap();

@@ -97,13 +97,20 @@ mod tests {
     fn small(mut lab: LabConfig) -> TestbedConfig {
         lab.machines = 4;
         lab.days = 14;
-        TestbedConfig { lab, detector: DetectorConfig::wallclock_default() }
+        TestbedConfig {
+            lab,
+            detector: DetectorConfig::wallclock_default(),
+        }
     }
 
     #[test]
     fn profiles_are_valid_occupancies() {
         for (name, cfg) in all() {
-            for &p in cfg.weekday_occupancy.iter().chain(cfg.weekend_occupancy.iter()) {
+            for &p in cfg
+                .weekday_occupancy
+                .iter()
+                .chain(cfg.weekend_occupancy.iter())
+            {
                 assert!((0.0..0.95).contains(&p), "{name}: occupancy {p}");
             }
         }
@@ -132,7 +139,12 @@ mod tests {
         let lab = analysis::table2(&run_testbed(&small(student_lab())));
         let ent = analysis::table2(&run_testbed(&small(enterprise_desktop())));
         let urr = |t2: &analysis::Table2| -> usize { t2.per_machine.iter().map(|c| c.urr).sum() };
-        assert!(urr(&ent) <= urr(&lab), "enterprise {} lab {}", urr(&ent), urr(&lab));
+        assert!(
+            urr(&ent) <= urr(&lab),
+            "enterprise {} lab {}",
+            urr(&ent),
+            urr(&lab)
+        );
     }
 
     #[test]
@@ -157,6 +169,9 @@ mod tests {
         }
         let wd_mean = wd.0 / wd.1.max(1) as f64;
         let we_mean = we.0 / we.1.max(1) as f64;
-        assert!(we_mean >= wd_mean * 0.8, "weekday {wd_mean} weekend {we_mean}");
+        assert!(
+            we_mean >= wd_mean * 0.8,
+            "weekday {wd_mean} weekend {we_mean}"
+        );
     }
 }

@@ -169,7 +169,9 @@ impl Trace {
     /// `samples_used`-independent `parsed_records`. On an undamaged file
     /// this returns exactly what [`Trace::read_jsonl`] returns, plus a
     /// clean report.
-    pub fn read_jsonl_recovering<R: BufRead>(r: R) -> Result<(Trace, TraceQualityReport), TraceError> {
+    pub fn read_jsonl_recovering<R: BufRead>(
+        r: R,
+    ) -> Result<(Trace, TraceQualityReport), TraceError> {
         let mut lines = r.lines();
         let meta_line = lines
             .next()
@@ -210,7 +212,9 @@ impl Trace {
                 r.state(),
                 r.start,
                 r.end.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
-                r.raw_end.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+                r.raw_end
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 r.avail_cpu,
                 r.avail_mem_mb,
             )?;
@@ -291,7 +295,9 @@ fn record_from_csv_line(line: &str) -> Result<TraceRecord, String> {
         start: parse_u64(fields[2], "start")?,
         end: parse_opt(fields[3], "end")?,
         raw_end: parse_opt(fields[4], "raw_end")?,
-        avail_cpu: fields[5].parse::<f64>().map_err(|e| format!("avail_cpu: {e}"))?,
+        avail_cpu: fields[5]
+            .parse::<f64>()
+            .map_err(|e| format!("avail_cpu: {e}"))?,
         avail_mem_mb: parse_u64(fields[6], "avail_mem_mb")? as u32,
     })
 }
@@ -340,11 +346,15 @@ fn get<'a>(obj: &'a BTreeMap<String, Value>, key: &str) -> Result<&'a Value, Str
 }
 
 fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
-    get(obj, key)?.as_u64().ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+    get(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
 }
 
 fn get_f64(obj: &BTreeMap<String, Value>, key: &str) -> Result<f64, String> {
-    get(obj, key)?.as_f64().ok_or_else(|| format!("field {key:?} is not a number"))
+    get(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
 }
 
 fn get_opt_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<Option<u64>, String> {
@@ -360,7 +370,9 @@ fn get_opt_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<Option<u64>, 
 fn meta_from_json(line: &str) -> Result<TraceMeta, String> {
     let v = json::parse(line)?;
     let o = v.as_obj().ok_or("meta line is not an object")?;
-    let th = get(o, "thresholds")?.as_obj().ok_or("thresholds is not an object")?;
+    let th = get(o, "thresholds")?
+        .as_obj()
+        .ok_or("thresholds is not an object")?;
     Ok(TraceMeta {
         seed: get_u64(o, "seed")?,
         machines: get_u64(o, "machines")? as u32,
@@ -506,8 +518,11 @@ mod tests {
         let t = sample_trace();
         let mut buf = Vec::new();
         t.write_jsonl(&mut buf).unwrap();
-        let mut lines: Vec<String> =
-            String::from_utf8(buf).unwrap().lines().map(String::from).collect();
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
         lines[2] = "####corrupt####".into(); // second record
         let text = lines.join("\n");
         let (back, q) = Trace::read_jsonl_recovering(text.as_bytes()).unwrap();
@@ -534,8 +549,11 @@ mod tests {
         let t = sample_trace();
         let mut buf = Vec::new();
         t.write_csv(&mut buf).unwrap();
-        let mut lines: Vec<String> =
-            String::from_utf8(buf).unwrap().lines().map(String::from).collect();
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
         lines[1] = lines[1][..5].to_string(); // truncated mid-record
         lines.push("0,S9,1,2,2,0.5,100".into()); // bad state
         let text = lines.join("\n");

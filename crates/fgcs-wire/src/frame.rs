@@ -1,0 +1,630 @@
+//! The message vocabulary and payload serialization.
+//!
+//! Every message is a [`Frame`]; payload field layouts are documented in
+//! DESIGN.md §9. All integers are little-endian; `f64` fields travel as
+//! their IEEE-754 bit pattern so values round-trip bit-exactly.
+
+use crate::codec::{ByteReader, EncodeError, PayloadError};
+
+/// Protocol version carried in every frame header. Decoders reject
+/// frames from any other version rather than guessing at layouts.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on samples per [`Frame::SampleBatch`].
+pub const MAX_SAMPLES_PER_BATCH: usize = 16_384;
+/// Hard cap on transitions per [`Frame::Transitions`].
+pub const MAX_TRANSITIONS_PER_FRAME: usize = 65_536;
+/// Hard cap on per-machine entries in a [`StatsPayload`].
+pub const MAX_MACHINE_STATS: usize = 65_536;
+/// Hard cap on the detail string of an [`Frame::Error`].
+pub const MAX_ERROR_DETAIL: usize = 1_024;
+
+/// How one sample reports CPU usage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleLoad {
+    /// Host load already computed by the sender, in `[0, 1]`.
+    Direct(f64),
+    /// Raw cumulative counters (busy ticks, total ticks); the server
+    /// diffs them through its per-machine `fgcs_core::monitor::Monitor`,
+    /// which also absorbs counter resets.
+    Counters {
+        /// Cumulative busy (host + system) ticks since boot.
+        busy: u64,
+        /// Cumulative total ticks since boot.
+        total: u64,
+    },
+}
+
+/// One monitor sample as it crosses the wire — the observable surface of
+/// `fgcs_testbed::lab::LoadSample`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSample {
+    /// Timestamp, seconds since the machine's trace start.
+    pub t: u64,
+    /// CPU usage, direct or counter-level.
+    pub load: SampleLoad,
+    /// Resident memory of host + system processes, MB.
+    pub host_resident_mb: u32,
+    /// Machine/service liveness.
+    pub alive: bool,
+}
+
+/// One detector state transition, as pushed to consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTransition {
+    /// Per-machine monotone sequence number.
+    pub seq: u64,
+    /// Timestamp of the observation that caused the transition.
+    pub at: u64,
+    /// New state, coded 1..=5 (`AvailState::code`).
+    pub state: u8,
+}
+
+/// Per-machine entry of a [`StatsPayload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineStat {
+    /// Machine id.
+    pub machine: u32,
+    /// Current detector state, coded 1..=5.
+    pub state: u8,
+    /// Timestamp of the last ingested sample.
+    pub last_t: u64,
+    /// Unavailability occurrences recorded so far.
+    pub occurrences: u64,
+    /// State transitions recorded so far.
+    pub transitions: u64,
+}
+
+/// Server counters exposed by [`Frame::StatsReply`]. The backpressure
+/// identity `ingested + shed + decode-rejected == frames sent` is checked
+/// against these by the overload experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsPayload {
+    /// Sample batches fed to a detector.
+    pub ingested_batches: u64,
+    /// Samples fed to a detector.
+    pub ingested_samples: u64,
+    /// Batches shed (oldest-first) because the ingest queue was full.
+    pub shed_batches: u64,
+    /// Samples inside shed batches.
+    pub shed_samples: u64,
+    /// Frames rejected by the decoder (bad checksum/payload/tag).
+    pub decode_errors: u64,
+    /// `Busy` frames sent to producers.
+    pub busy_replies: u64,
+    /// Batches currently queued, not yet ingested.
+    pub queue_depth: u64,
+    /// Availability queries answered.
+    pub queries_answered: u64,
+    /// Placement requests answered.
+    pub placements_answered: u64,
+    /// Ingested samples per second since the server started.
+    pub ingest_rate: f64,
+    /// Per-machine detector state.
+    pub machines: Vec<MachineStat>,
+}
+
+/// Typed error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame failed to decode (checksum, payload, or unknown tag).
+    BadFrame,
+    /// The queried machine has never streamed a sample.
+    UnknownMachine,
+    /// The request is valid but the server does not support it.
+    Unsupported,
+    /// The server hit an internal error handling the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire code (1-based; 0 is reserved as invalid).
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::UnknownMachine => 2,
+            ErrorCode::Unsupported => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::BadFrame),
+            2 => Some(ErrorCode::UnknownMachine),
+            3 => Some(ErrorCode::Unsupported),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol message. The strict request/reply pairing (every client
+/// frame earns exactly one server frame) is what makes the shed/reject
+/// accounting reconcile exactly; see DESIGN.md §9.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Producer → server: a batch of monitor samples for one machine.
+    SampleBatch {
+        /// Machine id the samples belong to.
+        machine: u32,
+        /// The samples, timestamps non-decreasing.
+        samples: Vec<WireSample>,
+    },
+    /// Server → producer: the batch was queued. `seq` counts batches
+    /// accepted on this connection.
+    Ack {
+        /// Batches accepted on this connection so far.
+        seq: u64,
+    },
+    /// Server → producer: the batch was queued, but the ingest queue was
+    /// full and the *oldest* queued batch was shed to make room. The
+    /// producer should slow down.
+    Busy {
+        /// Total batches the server has shed so far.
+        shed_batches: u64,
+    },
+    /// Consumer → server: probability the machine stays available over
+    /// `[now, now + horizon)`.
+    QueryAvail {
+        /// Machine id.
+        machine: u32,
+        /// Window length, seconds.
+        horizon: u64,
+    },
+    /// Server → consumer: answer to [`Frame::QueryAvail`].
+    AvailReply {
+        /// Machine id echoed back.
+        machine: u32,
+        /// Current detector state, coded 1..=5.
+        state: u8,
+        /// Probability of uninterrupted availability over the horizon.
+        prob: f64,
+    },
+    /// Consumer → server: pick the machine most likely to stay available
+    /// for a job of the given length.
+    Place {
+        /// Job length, seconds.
+        job_len: u64,
+    },
+    /// Server → consumer: answer to [`Frame::Place`].
+    PlaceReply {
+        /// Chosen machine, or `None` if no machine is currently
+        /// harvestable.
+        machine: Option<u32>,
+        /// Predicted availability of the chosen machine over the job.
+        prob: f64,
+    },
+    /// Consumer → server: request a [`Frame::StatsReply`].
+    QueryStats,
+    /// Server → consumer: ingest/queue/shed counters and per-machine
+    /// detector state.
+    StatsReply(StatsPayload),
+    /// Consumer → server: request transitions of one machine with
+    /// `seq >= since_seq`, at most `max` of them.
+    QueryTransitions {
+        /// Machine id.
+        machine: u32,
+        /// First sequence number wanted.
+        since_seq: u64,
+        /// Cap on transitions returned.
+        max: u32,
+    },
+    /// Server → consumer: state/transition push for one machine.
+    Transitions {
+        /// Machine id.
+        machine: u32,
+        /// The transitions, sequence-ordered.
+        transitions: Vec<WireTransition>,
+    },
+    /// Either direction: a typed error. Sent by the server for
+    /// unanswerable requests and for every rejected (undecodable) frame.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail (bounded).
+        detail: String,
+    },
+}
+
+impl Frame {
+    /// The frame's type tag, as carried in the header.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::SampleBatch { .. } => 1,
+            Frame::Ack { .. } => 2,
+            Frame::Busy { .. } => 3,
+            Frame::QueryAvail { .. } => 4,
+            Frame::AvailReply { .. } => 5,
+            Frame::Place { .. } => 6,
+            Frame::PlaceReply { .. } => 7,
+            Frame::QueryStats => 8,
+            Frame::StatsReply(_) => 9,
+            Frame::QueryTransitions { .. } => 10,
+            Frame::Transitions { .. } => 11,
+            Frame::Error { .. } => 12,
+        }
+    }
+
+    /// Serializes the payload (everything after the header) into `out`.
+    pub(crate) fn encode_payload(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        match self {
+            Frame::SampleBatch { machine, samples } => {
+                if samples.len() > MAX_SAMPLES_PER_BATCH {
+                    return Err(EncodeError::TooManyElements {
+                        what: "samples",
+                        len: samples.len(),
+                        max: MAX_SAMPLES_PER_BATCH,
+                    });
+                }
+                put_u32(out, *machine);
+                put_u32(out, samples.len() as u32);
+                for s in samples {
+                    put_u64(out, s.t);
+                    match s.load {
+                        SampleLoad::Direct(load) => {
+                            out.push(0);
+                            put_f64(out, load);
+                        }
+                        SampleLoad::Counters { busy, total } => {
+                            out.push(1);
+                            put_u64(out, busy);
+                            put_u64(out, total);
+                        }
+                    }
+                    put_u32(out, s.host_resident_mb);
+                    out.push(s.alive as u8);
+                }
+            }
+            Frame::Ack { seq } => put_u64(out, *seq),
+            Frame::Busy { shed_batches } => put_u64(out, *shed_batches),
+            Frame::QueryAvail { machine, horizon } => {
+                put_u32(out, *machine);
+                put_u64(out, *horizon);
+            }
+            Frame::AvailReply {
+                machine,
+                state,
+                prob,
+            } => {
+                put_u32(out, *machine);
+                out.push(*state);
+                put_f64(out, *prob);
+            }
+            Frame::Place { job_len } => put_u64(out, *job_len),
+            Frame::PlaceReply { machine, prob } => {
+                match machine {
+                    Some(m) => {
+                        out.push(1);
+                        put_u32(out, *m);
+                    }
+                    None => {
+                        out.push(0);
+                        put_u32(out, 0);
+                    }
+                }
+                put_f64(out, *prob);
+            }
+            Frame::QueryStats => {}
+            Frame::StatsReply(s) => {
+                if s.machines.len() > MAX_MACHINE_STATS {
+                    return Err(EncodeError::TooManyElements {
+                        what: "machine stats",
+                        len: s.machines.len(),
+                        max: MAX_MACHINE_STATS,
+                    });
+                }
+                put_u64(out, s.ingested_batches);
+                put_u64(out, s.ingested_samples);
+                put_u64(out, s.shed_batches);
+                put_u64(out, s.shed_samples);
+                put_u64(out, s.decode_errors);
+                put_u64(out, s.busy_replies);
+                put_u64(out, s.queue_depth);
+                put_u64(out, s.queries_answered);
+                put_u64(out, s.placements_answered);
+                put_f64(out, s.ingest_rate);
+                put_u32(out, s.machines.len() as u32);
+                for m in &s.machines {
+                    put_u32(out, m.machine);
+                    out.push(m.state);
+                    put_u64(out, m.last_t);
+                    put_u64(out, m.occurrences);
+                    put_u64(out, m.transitions);
+                }
+            }
+            Frame::QueryTransitions {
+                machine,
+                since_seq,
+                max,
+            } => {
+                put_u32(out, *machine);
+                put_u64(out, *since_seq);
+                put_u32(out, *max);
+            }
+            Frame::Transitions {
+                machine,
+                transitions,
+            } => {
+                if transitions.len() > MAX_TRANSITIONS_PER_FRAME {
+                    return Err(EncodeError::TooManyElements {
+                        what: "transitions",
+                        len: transitions.len(),
+                        max: MAX_TRANSITIONS_PER_FRAME,
+                    });
+                }
+                put_u32(out, *machine);
+                put_u32(out, transitions.len() as u32);
+                for t in transitions {
+                    put_u64(out, t.seq);
+                    put_u64(out, t.at);
+                    out.push(t.state);
+                }
+            }
+            Frame::Error { code, detail } => {
+                let bytes = detail.as_bytes();
+                if bytes.len() > MAX_ERROR_DETAIL {
+                    return Err(EncodeError::TooManyElements {
+                        what: "error detail bytes",
+                        len: bytes.len(),
+                        max: MAX_ERROR_DETAIL,
+                    });
+                }
+                out.push(code.code());
+                put_u32(out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a payload for `tag`. The whole payload must be
+    /// consumed; trailing bytes are an error (they would mean a layout
+    /// mismatch that a lenient decoder would silently paper over).
+    pub(crate) fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, PayloadError> {
+        let mut r = ByteReader::new(payload);
+        let frame = match tag {
+            1 => {
+                let machine = r.u32()?;
+                let count = r.u32()? as usize;
+                if count > MAX_SAMPLES_PER_BATCH {
+                    return Err(PayloadError::new(format!(
+                        "sample count {count} exceeds cap {MAX_SAMPLES_PER_BATCH}"
+                    )));
+                }
+                let mut samples = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let t = r.u64()?;
+                    let load = match r.u8()? {
+                        0 => SampleLoad::Direct(r.f64()?),
+                        1 => SampleLoad::Counters {
+                            busy: r.u64()?,
+                            total: r.u64()?,
+                        },
+                        k => return Err(PayloadError::new(format!("unknown sample kind {k}"))),
+                    };
+                    let host_resident_mb = r.u32()?;
+                    let alive = r.flag()?;
+                    samples.push(WireSample {
+                        t,
+                        load,
+                        host_resident_mb,
+                        alive,
+                    });
+                }
+                Frame::SampleBatch { machine, samples }
+            }
+            2 => Frame::Ack { seq: r.u64()? },
+            3 => Frame::Busy {
+                shed_batches: r.u64()?,
+            },
+            4 => Frame::QueryAvail {
+                machine: r.u32()?,
+                horizon: r.u64()?,
+            },
+            5 => {
+                let machine = r.u32()?;
+                let state = state_code(r.u8()?)?;
+                let prob = r.f64()?;
+                Frame::AvailReply {
+                    machine,
+                    state,
+                    prob,
+                }
+            }
+            6 => Frame::Place { job_len: r.u64()? },
+            7 => {
+                let has = r.flag()?;
+                let m = r.u32()?;
+                let prob = r.f64()?;
+                Frame::PlaceReply {
+                    machine: has.then_some(m),
+                    prob,
+                }
+            }
+            8 => Frame::QueryStats,
+            9 => {
+                let mut s = StatsPayload {
+                    ingested_batches: r.u64()?,
+                    ingested_samples: r.u64()?,
+                    shed_batches: r.u64()?,
+                    shed_samples: r.u64()?,
+                    decode_errors: r.u64()?,
+                    busy_replies: r.u64()?,
+                    queue_depth: r.u64()?,
+                    queries_answered: r.u64()?,
+                    placements_answered: r.u64()?,
+                    ingest_rate: r.f64()?,
+                    machines: Vec::new(),
+                };
+                let count = r.u32()? as usize;
+                if count > MAX_MACHINE_STATS {
+                    return Err(PayloadError::new(format!(
+                        "machine stat count {count} exceeds cap {MAX_MACHINE_STATS}"
+                    )));
+                }
+                for _ in 0..count {
+                    s.machines.push(MachineStat {
+                        machine: r.u32()?,
+                        state: state_code(r.u8()?)?,
+                        last_t: r.u64()?,
+                        occurrences: r.u64()?,
+                        transitions: r.u64()?,
+                    });
+                }
+                Frame::StatsReply(s)
+            }
+            10 => Frame::QueryTransitions {
+                machine: r.u32()?,
+                since_seq: r.u64()?,
+                max: r.u32()?,
+            },
+            11 => {
+                let machine = r.u32()?;
+                let count = r.u32()? as usize;
+                if count > MAX_TRANSITIONS_PER_FRAME {
+                    return Err(PayloadError::new(format!(
+                        "transition count {count} exceeds cap {MAX_TRANSITIONS_PER_FRAME}"
+                    )));
+                }
+                let mut transitions = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    transitions.push(WireTransition {
+                        seq: r.u64()?,
+                        at: r.u64()?,
+                        state: state_code(r.u8()?)?,
+                    });
+                }
+                Frame::Transitions {
+                    machine,
+                    transitions,
+                }
+            }
+            12 => {
+                let code = ErrorCode::from_code(r.u8()?)
+                    .ok_or_else(|| PayloadError::new("unknown error code"))?;
+                let len = r.u32()? as usize;
+                if len > MAX_ERROR_DETAIL {
+                    return Err(PayloadError::new(format!(
+                        "error detail length {len} exceeds cap {MAX_ERROR_DETAIL}"
+                    )));
+                }
+                let bytes = r.bytes(len)?;
+                let detail = std::str::from_utf8(bytes)
+                    .map_err(|e| PayloadError::new(format!("error detail not UTF-8: {e}")))?
+                    .to_string();
+                Frame::Error { code, detail }
+            }
+            other => return Err(PayloadError::new(format!("unknown frame tag {other}"))),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Validates a model-state code (1..=5, `AvailState::code`).
+fn state_code(code: u8) -> Result<u8, PayloadError> {
+    if (1..=5).contains(&code) {
+        Ok(code)
+    } else {
+        Err(PayloadError::new(format!(
+            "state code {code} outside 1..=5"
+        )))
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for c in [
+            ErrorCode::BadFrame,
+            ErrorCode::UnknownMachine,
+            ErrorCode::Unsupported,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_code(c.code()), Some(c));
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(200), None);
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        let frames = vec![
+            Frame::SampleBatch {
+                machine: 0,
+                samples: vec![],
+            },
+            Frame::Ack { seq: 0 },
+            Frame::Busy { shed_batches: 0 },
+            Frame::QueryAvail {
+                machine: 0,
+                horizon: 0,
+            },
+            Frame::AvailReply {
+                machine: 0,
+                state: 1,
+                prob: 0.5,
+            },
+            Frame::Place { job_len: 0 },
+            Frame::PlaceReply {
+                machine: None,
+                prob: 0.0,
+            },
+            Frame::QueryStats,
+            Frame::StatsReply(StatsPayload::default()),
+            Frame::QueryTransitions {
+                machine: 0,
+                since_seq: 0,
+                max: 0,
+            },
+            Frame::Transitions {
+                machine: 0,
+                transitions: vec![],
+            },
+            Frame::Error {
+                code: ErrorCode::BadFrame,
+                detail: String::new(),
+            },
+        ];
+        let mut tags: Vec<u8> = frames.iter().map(|f| f.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), frames.len());
+    }
+
+    #[test]
+    fn nan_probability_round_trips_bit_exactly() {
+        let bits = 0x7ff8_dead_beef_0001u64;
+        let f = Frame::AvailReply {
+            machine: 1,
+            state: 2,
+            prob: f64::from_bits(bits),
+        };
+        let enc = crate::codec::encode(&f).unwrap();
+        let mut d = Decoder::new();
+        d.push(&enc);
+        match d.next_frame().unwrap().unwrap() {
+            Frame::AvailReply { prob, .. } => assert_eq!(prob.to_bits(), bits),
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    use crate::codec::Decoder;
+}

@@ -1,0 +1,277 @@
+//! Fuzz-style round-trip properties for the wire protocol.
+//!
+//! Equality is checked on the *re-encoded bytes*, not on the decoded
+//! value: encode → decode → encode must be the identity on byte
+//! strings. That is strictly stronger than value equality for the f64
+//! fields (NaN bit patterns must survive) and is exactly the guarantee
+//! the end-to-end parity test leans on.
+
+use proptest::prelude::*;
+
+use fgcs_wire::{
+    decode_one, DecodeError, Decoder, EncodeError, ErrorCode, Frame, MachineStat, SampleLoad,
+    StatsPayload, WireSample, WireTransition, HEADER_LEN, MAX_ERROR_DETAIL, MAX_SAMPLES_PER_BATCH,
+};
+
+/// encode → decode → encode must reproduce the exact byte string.
+fn assert_bytes_round_trip(frame: &Frame) -> Result<(), TestCaseError> {
+    let bytes = frame.encode().expect("encodable");
+    let decoded = decode_one(&bytes).expect("decodable");
+    let again = decoded.encode().expect("re-encodable");
+    prop_assert_eq!(&bytes, &again);
+    prop_assert_eq!(frame.tag(), decoded.tag());
+    Ok(())
+}
+
+fn sample_strategy() -> impl proptest::strategy::Strategy<Value = WireSample> {
+    (
+        (any::<u64>(), any::<bool>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u32>(), any::<bool>()),
+    )
+        .prop_map(
+            |((t, direct, load_bits), (busy, total, resident, alive))| WireSample {
+                t,
+                load: if direct {
+                    // Arbitrary bit patterns: NaNs and infinities included.
+                    SampleLoad::Direct(f64::from_bits(load_bits))
+                } else {
+                    SampleLoad::Counters { busy, total }
+                },
+                host_resident_mb: resident,
+                alive,
+            },
+        )
+}
+
+fn transition_strategy() -> impl proptest::strategy::Strategy<Value = WireTransition> {
+    (any::<u64>(), any::<u64>(), 1u8..=5).prop_map(|(seq, at, state)| WireTransition {
+        seq,
+        at,
+        state,
+    })
+}
+
+fn machine_stat_strategy() -> impl proptest::strategy::Strategy<Value = MachineStat> {
+    (
+        (any::<u32>(), 1u8..=5),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((machine, state), (last_t, occurrences, transitions))| MachineStat {
+                machine,
+                state,
+                last_t,
+                occurrences,
+                transitions,
+            },
+        )
+}
+
+fn detail_strategy() -> impl proptest::strategy::Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..64)
+        .prop_map(|v| String::from_utf8(v).expect("ascii is utf-8"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sample_batches_round_trip(
+        machine in any::<u32>(),
+        samples in prop::collection::vec(sample_strategy(), 0..48),
+    ) {
+        assert_bytes_round_trip(&Frame::SampleBatch { machine, samples })?;
+    }
+
+    #[test]
+    fn control_frames_round_trip(
+        seq in any::<u64>(),
+        machine in any::<u32>(),
+        horizon in any::<u64>(),
+        job_len in any::<u64>(),
+    ) {
+        assert_bytes_round_trip(&Frame::Ack { seq })?;
+        assert_bytes_round_trip(&Frame::Busy { shed_batches: seq })?;
+        assert_bytes_round_trip(&Frame::QueryAvail { machine, horizon })?;
+        assert_bytes_round_trip(&Frame::Place { job_len })?;
+        assert_bytes_round_trip(&Frame::QueryStats)?;
+        assert_bytes_round_trip(&Frame::QueryTransitions {
+            machine,
+            since_seq: seq,
+            max: horizon as u32,
+        })?;
+    }
+
+    #[test]
+    fn reply_frames_round_trip(
+        machine in any::<u32>(),
+        state in 1u8..=5,
+        prob_bits in any::<u64>(),
+        chosen in prop::option::of(any::<u32>()),
+    ) {
+        let prob = f64::from_bits(prob_bits);
+        assert_bytes_round_trip(&Frame::AvailReply { machine, state, prob })?;
+        assert_bytes_round_trip(&Frame::PlaceReply { machine: chosen, prob })?;
+    }
+
+    #[test]
+    fn transitions_round_trip(
+        machine in any::<u32>(),
+        transitions in prop::collection::vec(transition_strategy(), 0..64),
+    ) {
+        assert_bytes_round_trip(&Frame::Transitions { machine, transitions })?;
+    }
+
+    #[test]
+    fn stats_round_trip(
+        counters in prop::collection::vec(any::<u64>(), 9..10),
+        rate_bits in any::<u64>(),
+        machines in prop::collection::vec(machine_stat_strategy(), 0..24),
+    ) {
+        let s = StatsPayload {
+            ingested_batches: counters[0],
+            ingested_samples: counters[1],
+            shed_batches: counters[2],
+            shed_samples: counters[3],
+            decode_errors: counters[4],
+            busy_replies: counters[5],
+            queue_depth: counters[6],
+            queries_answered: counters[7],
+            placements_answered: counters[8],
+            ingest_rate: f64::from_bits(rate_bits),
+            machines,
+        };
+        assert_bytes_round_trip(&Frame::StatsReply(s))?;
+    }
+
+    #[test]
+    fn error_frames_round_trip(code in 1u8..=4, detail in detail_strategy()) {
+        let code = ErrorCode::from_code(code).expect("valid code");
+        assert_bytes_round_trip(&Frame::Error { code, detail })?;
+    }
+
+    #[test]
+    fn chunked_decode_equals_oneshot(
+        seqs in prop::collection::vec(any::<u64>(), 1..12),
+        chunk in 1usize..40,
+    ) {
+        // A mixed stream of frames, fed to one decoder in `chunk`-byte
+        // pieces and to another in one shot.
+        let frames: Vec<Frame> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| match i % 3 {
+                0 => Frame::Ack { seq: s },
+                1 => Frame::QueryAvail { machine: s as u32, horizon: s },
+                _ => Frame::SampleBatch {
+                    machine: s as u32,
+                    samples: vec![WireSample {
+                        t: s,
+                        load: SampleLoad::Direct(0.25),
+                        host_resident_mb: 64,
+                        alive: true,
+                    }],
+                },
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode().unwrap());
+        }
+
+        let mut oneshot = Decoder::new();
+        oneshot.push(&stream);
+        let mut expect = Vec::new();
+        while let Some(f) = oneshot.next_frame().unwrap() {
+            expect.push(f);
+        }
+
+        let mut chunked = Decoder::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            chunked.push(piece);
+            while let Some(f) = chunked.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Any byte soup must produce frames, recoverable errors, a
+        // fatal error, or starvation — never a panic or an infinite
+        // loop (every non-`Ok(None)` outcome consumes at least a
+        // header's worth of bytes or poisons the decoder).
+        let mut d = Decoder::new();
+        d.push(&bytes);
+        for _ in 0..=bytes.len() {
+            match d.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) if e.is_fatal() => break,
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn payload_flip_always_detected(
+        machine in any::<u32>(),
+        samples in prop::collection::vec(sample_strategy(), 1..16),
+        flip_seed in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        // The guarantee FrameCorruptor (fgcs-faults) relies on: XOR-ing
+        // any payload byte with a nonzero mask must be detected, so
+        // "frames corrupted" == "frames rejected" exactly.
+        let frame = Frame::SampleBatch { machine, samples };
+        let mut bytes = frame.encode().unwrap();
+        let payload_len = bytes.len() - HEADER_LEN;
+        let idx = HEADER_LEN + (flip_seed as usize % payload_len);
+        bytes[idx] ^= mask;
+        let mut d = Decoder::new();
+        d.push(&bytes);
+        match d.next_frame() {
+            Err(DecodeError::BadChecksum { .. }) => {}
+            other => {
+                return Err(TestCaseError::fail(format!("flip at {idx} undetected: {other:?}")))
+            }
+        }
+        // The corrupted frame was consumed; a clean frame still decodes.
+        let good = Frame::Ack { seq: 7 };
+        d.push(&good.encode().unwrap());
+        prop_assert_eq!(d.next_frame().unwrap(), Some(good));
+    }
+}
+
+#[test]
+fn encode_rejects_overlong_fields() {
+    let sample = WireSample {
+        t: 0,
+        load: SampleLoad::Direct(0.0),
+        host_resident_mb: 0,
+        alive: true,
+    };
+    let too_many = Frame::SampleBatch {
+        machine: 0,
+        samples: vec![sample; MAX_SAMPLES_PER_BATCH + 1],
+    };
+    assert!(matches!(
+        too_many.encode(),
+        Err(EncodeError::TooManyElements {
+            what: "samples",
+            ..
+        })
+    ));
+
+    let long_detail = Frame::Error {
+        code: ErrorCode::Internal,
+        detail: "x".repeat(MAX_ERROR_DETAIL + 1),
+    };
+    assert!(matches!(
+        long_detail.encode(),
+        Err(EncodeError::TooManyElements { .. })
+    ));
+}

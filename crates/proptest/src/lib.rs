@@ -142,7 +142,9 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::{TestCaseError, TestCaseResult};
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, Arbitrary};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, Arbitrary,
+    };
 
     /// Namespaced strategy modules, as upstream's `prop::` re-export.
     pub mod prop {

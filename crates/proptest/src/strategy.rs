@@ -65,7 +65,10 @@ pub fn fn_strategy<T, F>(f: F) -> FnStrategy<T, F>
 where
     F: Fn(&mut TestRng) -> T,
 {
-    FnStrategy { f, _marker: PhantomData }
+    FnStrategy {
+        f,
+        _marker: PhantomData,
+    }
 }
 
 impl<T, F> Strategy for FnStrategy<T, F>

@@ -36,7 +36,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// Builds a failure from a message.
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 

@@ -40,7 +40,9 @@ fn main() {
             format!("task-{i}"),
             ProcClass::Guest,
             0,
-            Demand::CpuBound { total_work: Some(minutes(5)) },
+            Demand::CpuBound {
+                total_work: Some(minutes(5)),
+            },
             MemSpec::resident(32),
         ));
     }
@@ -62,7 +64,10 @@ fn main() {
     );
 
     println!("\nper-node outcome:");
-    println!("{:>5} {:>10} {:>10} {:>11} {:>9}", "node", "host load", "completed", "terminated", "failures");
+    println!(
+        "{:>5} {:>10} {:>10} {:>11} {:>9}",
+        "node", "host load", "completed", "terminated", "failures"
+    );
     for (i, &load) in host_loads.iter().enumerate() {
         let s = cluster.node(i).stats();
         println!(

@@ -17,13 +17,22 @@ fn main() {
     let machine = MachineConfig::default();
 
     println!("single host process vs CPU-bound guest (reduction of host CPU usage):\n");
-    println!("{:>4}  {:>12}  {:>12}", "LH", "guest nice 0", "guest nice 19");
+    println!(
+        "{:>4}  {:>12}  {:>12}",
+        "LH", "guest nice 0", "guest nice 19"
+    );
     for i in 1..=9 {
         let lh = i as f64 / 10.0;
         let hosts = [synthetic::host_process("host", lh)];
         let eq = measure_group(&machine, &hosts, Some(&synthetic::guest_process(0)), &cfg);
         let low = measure_group(&machine, &hosts, Some(&synthetic::guest_process(19)), &cfg);
-        let mark = |r: f64| if r > NOTICEABLE_SLOWDOWN { " <-- noticeable" } else { "" };
+        let mark = |r: f64| {
+            if r > NOTICEABLE_SLOWDOWN {
+                " <-- noticeable"
+            } else {
+                ""
+            }
+        };
         println!(
             "{:>4.1}  {:>11.1}%  {:>11.1}%{}{}",
             lh,

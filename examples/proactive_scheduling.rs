@@ -18,23 +18,37 @@ fn main() {
     // A heterogeneous lab: some machines are busier than others, which
     // is what gives prediction-driven placement its edge.
     cfg.lab.machine_busyness_spread = 0.6;
-    println!("generating a {}-machine, {}-day trace...", cfg.lab.machines, cfg.lab.days);
+    println!(
+        "generating a {}-machine, {}-day trace...",
+        cfg.lab.machines, cfg.lab.days
+    );
     let trace = run_testbed(&cfg);
 
     // How well can availability be predicted at all?
     println!("\npredictor quality over 2-hour windows (Brier, lower = better):");
     let mut predictors = standard_predictors();
-    let eval_cfg = EvalConfig { windows: vec![2 * 3600], ..Default::default() };
+    let eval_cfg = EvalConfig {
+        windows: vec![2 * 3600],
+        ..Default::default()
+    };
     let mut rows = evaluate(&trace, &mut predictors, &eval_cfg);
     rows.sort_by(|a, b| a.brier.partial_cmp(&b.brier).expect("no NaN"));
     for r in &rows {
-        println!("  {:<16} brier {:.4}  accuracy {:.1}%", r.predictor, r.brier, r.accuracy * 100.0);
+        println!(
+            "  {:<16} brier {:.4}  accuracy {:.1}%",
+            r.predictor,
+            r.brier,
+            r.accuracy * 100.0
+        );
     }
 
     // Use it to place jobs.
     println!("\nreplaying 200 compute-bound guest jobs under both policies...");
     let mut predictor = MachineHourlyPredictor::default();
-    let job_cfg = ProactiveConfig { jobs: 200, ..Default::default() };
+    let job_cfg = ProactiveConfig {
+        jobs: 200,
+        ..Default::default()
+    };
     let (oblivious, proactive) = compare(&trace, &mut predictor, 0.6, &job_cfg);
 
     for o in [&oblivious, &proactive] {

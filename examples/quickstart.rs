@@ -23,8 +23,14 @@ fn main() {
         0,
         Demand::Phases {
             phases: vec![
-                Phase { busy: 1, idle: secs(60) },   // quiet first
-                Phase { busy: secs(90), idle: secs(3600) },
+                Phase {
+                    busy: 1,
+                    idle: secs(60),
+                }, // quiet first
+                Phase {
+                    busy: secs(90),
+                    idle: secs(3600),
+                },
             ],
             repeat: false,
         },
@@ -33,13 +39,18 @@ fn main() {
 
     // Submit a 3-minute compute-bound guest job through the controller;
     // a job killed by unavailability is automatically resubmitted.
-    let cfg = ControllerConfig { resubmit_on_failure: true, ..ControllerConfig::default() };
+    let cfg = ControllerConfig {
+        resubmit_on_failure: true,
+        ..ControllerConfig::default()
+    };
     let mut ctl = Controller::new(cfg, machine);
     ctl.submit(ProcSpec::new(
         "monte-carlo",
         ProcClass::Guest,
         0,
-        Demand::CpuBound { total_work: Some(secs(180)) },
+        Demand::CpuBound {
+            total_work: Some(secs(180)),
+        },
         MemSpec::resident(48),
     ));
 
@@ -71,9 +82,14 @@ fn main() {
     }
 
     let s = ctl.stats();
-    println!("\njob lifecycle: started {}x, completed {}, terminated {}, suspended {}x, reniced {}x",
-        s.started, s.completed, s.terminated, s.suspensions, s.renices);
-    println!("unavailability occurrences recorded: {}", ctl.event_log().events().len());
+    println!(
+        "\njob lifecycle: started {}x, completed {}, terminated {}, suspended {}x, reniced {}x",
+        s.started, s.completed, s.terminated, s.suspensions, s.renices
+    );
+    println!(
+        "unavailability occurrences recorded: {}",
+        ctl.event_log().events().len()
+    );
     for e in ctl.event_log().events() {
         println!("  {:?}", e);
     }

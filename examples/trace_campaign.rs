@@ -21,7 +21,10 @@ fn main() {
         cfg.lab.machines, cfg.lab.days, cfg.lab.sample_period
     );
     let trace = run_testbed(&cfg);
-    println!("collected {} unavailability occurrences", trace.records.len());
+    println!(
+        "collected {} unavailability occurrences",
+        trace.records.len()
+    );
 
     // Persist and reload — the round trip a real deployment would do.
     let path = std::env::temp_dir().join("fgcs_trace_campaign.jsonl");
@@ -38,9 +41,14 @@ fn main() {
     let t2 = analysis::table2(&trace);
     let (cpu, mem, urr) = t2.percentage_ranges();
     println!("\nunavailability by cause (per-machine ranges):");
-    println!("  total {}   cpu {} ({cpu}%)   memory {} ({mem}%)   urr {} ({urr}%)",
-        t2.total, t2.cpu, t2.mem, t2.urr);
-    println!("  fraction of URR that are reboots: {:.0}%", t2.urr_reboot_fraction * 100.0);
+    println!(
+        "  total {}   cpu {} ({cpu}%)   memory {} ({mem}%)   urr {} ({urr}%)",
+        t2.total, t2.cpu, t2.mem, t2.urr
+    );
+    println!(
+        "  fraction of URR that are reboots: {:.0}%",
+        t2.urr_reboot_fraction * 100.0
+    );
 
     // Figure 6.
     let iv = analysis::intervals(&trace);

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
 echo "== build (release) =="
 cargo build --release
 
@@ -29,6 +32,23 @@ fm="$smoke_dir/results/fault_matrix.csv"
 test -f "$fm" || { echo "missing $fm" >&2; exit 1; }
 rows=$(($(wc -l < "$fm") - 1))
 [ "$rows" -eq 5 ] || { echo "fault_matrix.csv: expected 5 scale rows, got $rows" >&2; exit 1; }
+
+echo "== availability-service smoke (X12 serve, reduced scale) =="
+# Server + load generator over localhost TCP. The experiment asserts the
+# accounting identities internally (sent == ingested + shed +
+# decode-rejected, one reply per frame); the smoke additionally checks
+# that a clean stream decoded fully and that availability queries were
+# actually answered through the wire.
+(cd "$smoke_dir" && "$exp_bin" serve --quick > serve.out)
+sv="$smoke_dir/results/serve.csv"
+test -f "$sv" || { echo "missing $sv" >&2; exit 1; }
+test -f "$smoke_dir/BENCH_serve.json" || { echo "missing BENCH_serve.json" >&2; exit 1; }
+# serve.csv: phase,...,shed_batches,decode_errors,queries_answered
+clean_row=$(grep '^clean,' "$sv") || { echo "serve.csv: no clean row" >&2; exit 1; }
+dec=$(echo "$clean_row" | cut -d, -f10)
+ans=$(echo "$clean_row" | cut -d, -f11)
+[ "$dec" -eq 0 ] || { echo "serve smoke: clean phase had $dec decode errors" >&2; exit 1; }
+[ "$ans" -gt 0 ] || { echo "serve smoke: no availability queries answered" >&2; exit 1; }
 
 echo "== sim throughput smoke (quick mode) =="
 FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench sim_throughput

@@ -3,6 +3,8 @@ pub use fgcs_core as core;
 pub use fgcs_faults as faults;
 pub use fgcs_par as par;
 pub use fgcs_predict as predict;
+pub use fgcs_service as service;
 pub use fgcs_sim as sim;
 pub use fgcs_stats as stats;
 pub use fgcs_testbed as testbed;
+pub use fgcs_wire as wire;

@@ -14,9 +14,154 @@ fn job(work_secs: u64) -> ProcSpec {
         "job",
         ProcClass::Guest,
         0,
-        Demand::CpuBound { total_work: Some(secs(work_secs)) },
+        Demand::CpuBound {
+            total_work: Some(secs(work_secs)),
+        },
         MemSpec::tiny(),
     )
+}
+
+/// Runs the cluster in `dispatch`-sized steps until `pred` holds or the
+/// tick budget is exhausted; true if the predicate was reached.
+fn run_until(c: &mut Cluster, budget: u64, pred: impl Fn(&Cluster) -> bool) -> bool {
+    let mut spent = 0;
+    while spent < budget {
+        if pred(c) {
+            return true;
+        }
+        c.run_ticks(secs(10));
+        spent += secs(10);
+    }
+    pred(c)
+}
+
+/// Submitting to a cluster with zero nodes must hold the jobs in the
+/// queue indefinitely — no panic, no silent drop — under every
+/// placement strategy.
+#[test]
+fn empty_cluster_queues_jobs_without_dropping() {
+    let placements: Vec<Box<dyn fgcs::core::cluster::Placement>> = vec![
+        Box::new(RandomPlacement::new(1)),
+        Box::new(RoundRobinPlacement::default()),
+        Box::new(LeastLoadedPlacement),
+    ];
+    for placement in placements {
+        let mut c = Cluster::new(Vec::new(), ControllerConfig::default(), placement);
+        assert!(c.is_empty());
+        for _ in 0..3 {
+            c.submit(job(5));
+        }
+        c.run_ticks(minutes(5));
+        assert_eq!(c.stats().queued, 3, "nowhere to go: all jobs stay queued");
+        assert_eq!(c.stats().dispatched, 0);
+        assert!(c.jobs().iter().all(|j| j.completed_at.is_none()));
+        // run_until_drained must give up at its budget, not spin forever.
+        let spent = c.run_until_drained(minutes(2));
+        assert!(spent >= minutes(2));
+        assert_eq!(c.stats().queued, 3, "budget exhaustion must not drop jobs");
+    }
+}
+
+/// When every node is unavailable (sustained 0.95 hogs drive S3), a
+/// submitted job stays queued — never dispatched, never dropped.
+#[test]
+fn all_nodes_unavailable_keeps_job_queued() {
+    let machines: Vec<Machine> = (0..2)
+        .map(|_| {
+            let mut m = Machine::default_linux();
+            m.spawn(synthetic::host_process("hog", 0.95));
+            m
+        })
+        .collect();
+    let mut c = Cluster::new(
+        machines,
+        ControllerConfig::default(),
+        Box::new(LeastLoadedPlacement),
+    );
+    let all_closed = run_until(&mut c, minutes(15), |c| {
+        c.views().iter().all(|v| !v.accepts_jobs)
+    });
+    assert!(
+        all_closed,
+        "0.95 hogs must drive every node out of availability"
+    );
+
+    c.submit(job(5));
+    c.run_ticks(minutes(10));
+    assert_eq!(c.stats().queued, 1, "job must wait in the cluster queue");
+    assert_eq!(c.stats().dispatched, 0, "no node may accept it");
+    assert!(c.jobs()[0].completed_at.is_none());
+    assert!(
+        c.has_outstanding_work(),
+        "the job is still owed to the user"
+    );
+}
+
+/// A re-queue storm: every placement immediately fails because a hog
+/// arrives right after dispatch and the detector kills the guest. Jobs
+/// must survive repeated kill/re-queue cycles and finish once the
+/// storm passes.
+#[test]
+fn requeue_storm_conserves_jobs_until_nodes_recover() {
+    let machines = vec![Machine::default_linux(), Machine::default_linux()];
+    let mut c = Cluster::new(
+        machines,
+        ControllerConfig::default(),
+        Box::new(RoundRobinPlacement::default()),
+    );
+    c.run_ticks(secs(6));
+    let jobs = 2;
+    for _ in 0..jobs {
+        c.submit(job(120));
+    }
+
+    for round in 0..2 {
+        let placed = run_until(&mut c, minutes(10), |c| {
+            (0..c.len()).all(|i| c.node(i).guest_running())
+        });
+        assert!(placed, "round {round}: both jobs must be (re-)placed");
+        // The storm hits: heavy host load lands on every node at once.
+        let pids: Vec<_> = (0..c.len())
+            .map(|i| {
+                c.node_mut(i)
+                    .machine_mut()
+                    .spawn(synthetic::host_process("storm", 0.97))
+            })
+            .collect();
+        let killed = run_until(&mut c, minutes(15), |c| {
+            (0..c.len()).all(|i| !c.node(i).guest_running()) && c.stats().queued == jobs
+        });
+        assert!(
+            killed,
+            "round {round}: every guest must be killed and re-queued"
+        );
+        let restarts: u32 = c.jobs().iter().map(|j| j.restarts).sum();
+        assert_eq!(
+            restarts as u64,
+            c.stats().terminated,
+            "every kill is a restart"
+        );
+        assert!(
+            restarts as usize >= jobs * (round + 1),
+            "each round re-queues every job"
+        );
+        assert!(c.jobs().iter().all(|j| j.completed_at.is_none()));
+        // The storm passes; the nodes recover after the harvest delay.
+        for (i, pid) in pids.into_iter().enumerate() {
+            c.node_mut(i)
+                .machine_mut()
+                .kill(pid)
+                .expect("storm process exists");
+        }
+    }
+
+    c.run_until_drained(minutes(60));
+    let finished = c.jobs().iter().filter(|j| j.completed_at.is_some()).count();
+    assert_eq!(finished, jobs, "all jobs complete once the storm is over");
+    assert!(
+        c.jobs().iter().all(|j| j.restarts >= 2),
+        "survived at least two kills each"
+    );
 }
 
 proptest! {

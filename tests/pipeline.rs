@@ -56,9 +56,18 @@ fn trace_analyses_are_mutually_consistent() {
         let avail: u64 = intervals.iter().map(|(s, e)| e - s).sum();
         let unavail: u64 = recs
             .iter()
-            .map(|r| r.end.unwrap_or(trace.meta.span_secs).min(trace.meta.span_secs) - r.start)
+            .map(|r| {
+                r.end
+                    .unwrap_or(trace.meta.span_secs)
+                    .min(trace.meta.span_secs)
+                    - r.start
+            })
             .sum();
-        assert_eq!(avail + unavail, trace.meta.span_secs, "machine {m} does not tile");
+        assert_eq!(
+            avail + unavail,
+            trace.meta.span_secs,
+            "machine {m} does not tile"
+        );
     }
 }
 
@@ -102,7 +111,11 @@ fn paper_claims_hold_on_the_synthetic_testbed() {
 
     // §5.3: daily patterns repeat (high across-day correlation).
     let reg = analysis::regularity(&trace);
-    assert!(reg.weekday_correlation > 0.4, "corr {}", reg.weekday_correlation);
+    assert!(
+        reg.weekday_correlation > 0.4,
+        "corr {}",
+        reg.weekday_correlation
+    );
 }
 
 #[test]
@@ -129,7 +142,10 @@ fn urr_split_identifies_reboots() {
 fn prediction_beats_uninformed_baselines() {
     let trace = month_trace();
     let mut preds = standard_predictors();
-    let cfg = EvalConfig { windows: vec![3600, 4 * 3600], ..Default::default() };
+    let cfg = EvalConfig {
+        windows: vec![3600, 4 * 3600],
+        ..Default::default()
+    };
     let rows = evaluate(&trace, &mut preds, &cfg);
     for &w in &[3600u64, 4 * 3600] {
         let brier = |name: &str| {
@@ -162,7 +178,10 @@ fn proactive_placement_beats_oblivious() {
     cfg.lab.machine_busyness_spread = 0.6;
     let trace = run_testbed(&cfg);
     let mut predictor = MachineHourlyPredictor::default();
-    let job_cfg = ProactiveConfig { jobs: 250, ..Default::default() };
+    let job_cfg = ProactiveConfig {
+        jobs: 250,
+        ..Default::default()
+    };
     let (obl, pro) = compare(&trace, &mut predictor, 0.6, &job_cfg);
     assert!(
         pro.mean_response < obl.mean_response,

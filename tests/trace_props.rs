@@ -51,7 +51,10 @@ fn arb_clean_records(machines: u32) -> impl Strategy<Value = Vec<TraceRecord>> {
             let mut per_machine: Vec<Vec<TraceRecord>> = vec![Vec::new(); machines as usize];
             for (m, gap, dur, cause) in raw {
                 let list = &mut per_machine[m as usize];
-                let start = list.last().map(|r: &TraceRecord| r.end.unwrap() + gap + 1).unwrap_or(gap);
+                let start = list
+                    .last()
+                    .map(|r: &TraceRecord| r.end.unwrap() + gap + 1)
+                    .unwrap_or(gap);
                 list.push(TraceRecord {
                     machine: m,
                     cause,

@@ -1,7 +1,9 @@
 //! `fgcs-serve`: run the availability service from the command line.
 //!
 //! ```text
-//! fgcs-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//! fgcs-serve [--addr HOST:PORT] [--backend threads|epoll] [--workers N]
+//!            [--queue-capacity N] [--max-conns N] [--shards N]
+//!            [--auth-token TOKEN]
 //! ```
 //!
 //! Prints the bound address on stdout (port 0 picks a free port, which
@@ -10,11 +12,13 @@
 use std::io::Read;
 use std::process::exit;
 
-use fgcs_service::{Server, ServiceConfig};
+use fgcs_service::{Backend, Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fgcs-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+        "usage: fgcs-serve [--addr HOST:PORT] [--backend threads|epoll] [--workers N]\n\
+         \x20                 [--queue-capacity N] [--max-conns N] [--shards N]\n\
+         \x20                 [--auth-token TOKEN]\n\
          \n\
          Runs until stdin reaches EOF. Prints `listening on ADDR` once bound."
     );
@@ -33,6 +37,13 @@ fn main() {
         };
         match arg.as_str() {
             "--addr" => cfg.addr = value("--addr"),
+            "--backend" => match Backend::parse(&value("--backend")) {
+                Some(b) => cfg.backend = b,
+                None => {
+                    eprintln!("fgcs-serve: --backend must be `threads` or `epoll`");
+                    usage()
+                }
+            },
             "--workers" => match value("--workers").parse() {
                 Ok(n) => cfg.workers = n,
                 Err(_) => usage(),
@@ -41,6 +52,15 @@ fn main() {
                 Ok(n) if n >= 1 => cfg.queue_capacity = n,
                 _ => usage(),
             },
+            "--max-conns" => match value("--max-conns").parse() {
+                Ok(n) => cfg.max_connections = n,
+                Err(_) => usage(),
+            },
+            "--shards" => match value("--shards").parse() {
+                Ok(n) => cfg.state_shards = n,
+                Err(_) => usage(),
+            },
+            "--auth-token" => cfg.auth_token = Some(value("--auth-token")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fgcs-serve: unknown argument {other:?}");
@@ -57,6 +77,7 @@ fn main() {
         }
     };
     println!("listening on {}", server.local_addr());
+    eprintln!("fgcs-serve: backend={}", server.backend().name());
 
     // Block until the parent closes our stdin, then drain and exit.
     let mut sink = Vec::new();

@@ -1,0 +1,123 @@
+//! `fgcs-smoke`: a tiny end-to-end client probe for CI.
+//!
+//! ```text
+//! fgcs-smoke --addr HOST:PORT [--token TOKEN]
+//! ```
+//!
+//! Against a running server it checks, in order:
+//!
+//! 1. a (token-authenticated) client can send a sample batch and get
+//!    an `Ack`;
+//! 2. after a forced disconnect the next batch transparently
+//!    reconnects (re-authenticating) and is `Ack`ed too;
+//! 3. `QueryStats` reports both batches ingested;
+//! 4. when a token is set, a client presenting the *wrong* token is
+//!    rejected with `PermissionDenied` (the typed `Unauthorized`
+//!    error), not retried into oblivion.
+//!
+//! Exits 0 on success, 1 with a message on the first failure — the CI
+//! smoke gate for the epoll backend + auth handshake.
+
+use std::process::exit;
+
+use fgcs_service::{ClientConfig, ServiceClient};
+use fgcs_wire::{Frame, SampleLoad, WireSample};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fgcs-smoke: FAIL: {msg}");
+    exit(1);
+}
+
+fn batch(machine: u32, t0: u64) -> Frame {
+    let samples = (0..4)
+        .map(|i| WireSample {
+            t: t0 + 60 * i,
+            load: SampleLoad::Direct(0.05),
+            host_resident_mb: 64,
+            alive: true,
+        })
+        .collect();
+    Frame::SampleBatch { machine, samples }
+}
+
+fn main() {
+    let mut addr = None;
+    let mut token: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--token" => token = args.next(),
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        fail("--addr is required");
+    };
+
+    let mut cfg = ClientConfig::new(addr.clone());
+    cfg.backoff_unit_ms = 1; // keep CI fast if something is down
+    cfg.token = token.clone();
+    let mut client = match ServiceClient::connect(cfg.clone()) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("connect: {e}")),
+    };
+
+    match client.request(&batch(7, 0)) {
+        Ok(Frame::Ack { .. }) => {}
+        Ok(other) => fail(&format!("batch 1: expected Ack, got tag {}", other.tag())),
+        Err(e) => fail(&format!("batch 1: {e}")),
+    }
+
+    client.force_disconnect();
+    match client.request(&batch(7, 240)) {
+        Ok(Frame::Ack { .. }) => {}
+        Ok(other) => fail(&format!(
+            "batch 2 (after reconnect): expected Ack, got tag {}",
+            other.tag()
+        )),
+        Err(e) => fail(&format!("batch 2 (after reconnect): {e}")),
+    }
+    if client.reconnects != 1 {
+        fail(&format!("expected 1 reconnect, saw {}", client.reconnects));
+    }
+
+    match client.request(&Frame::QueryStats) {
+        Ok(Frame::StatsReply(stats)) => {
+            // The queue is asynchronous; both batches must at least be
+            // accounted for (ingested now or still queued — an Ack
+            // means accepted, so ingested catches up; poll briefly).
+            let mut ingested = stats.ingested_batches;
+            let mut spins = 0;
+            while ingested < 2 && spins < 100 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                match client.request(&Frame::QueryStats) {
+                    Ok(Frame::StatsReply(s)) => ingested = s.ingested_batches,
+                    Ok(other) => fail(&format!("stats poll: unexpected tag {}", other.tag())),
+                    Err(e) => fail(&format!("stats poll: {e}")),
+                }
+                spins += 1;
+            }
+            if ingested < 2 {
+                fail(&format!("expected >= 2 ingested batches, saw {ingested}"));
+            }
+        }
+        Ok(other) => fail(&format!("stats: unexpected tag {}", other.tag())),
+        Err(e) => fail(&format!("stats: {e}")),
+    }
+
+    if token.is_some() {
+        let mut bad = ClientConfig::new(addr);
+        bad.backoff_unit_ms = 1;
+        bad.token = Some("definitely-not-the-token".to_string());
+        match ServiceClient::connect(bad) {
+            Err(e) if e.kind() == std::io::ErrorKind::PermissionDenied => {}
+            Err(e) => fail(&format!(
+                "wrong token: expected PermissionDenied, got {e:?}"
+            )),
+            Ok(_) => fail("wrong token was accepted"),
+        }
+    }
+
+    println!("fgcs-smoke: OK");
+}

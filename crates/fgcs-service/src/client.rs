@@ -12,7 +12,7 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use fgcs_testbed::{backoff_delay, SupervisorConfig};
-use fgcs_wire::{Decoder, Frame};
+use fgcs_wire::{Decoder, ErrorCode, Frame};
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -27,17 +27,23 @@ pub struct ClientConfig {
     pub backoff_unit_ms: u64,
     /// Read timeout per reply, ms.
     pub read_timeout_ms: u64,
+    /// Auth token presented (as the first frame) on every connect and
+    /// reconnect; `None` sends no `Auth` frame. A server rejection
+    /// surfaces as `PermissionDenied` and is never retried — backoff
+    /// cannot fix a wrong secret.
+    pub token: Option<String>,
 }
 
 impl ClientConfig {
     /// Defaults for `addr`: testbed supervisor policy, 1 s backoff
-    /// unit, 5 s reply timeout.
+    /// unit, 5 s reply timeout, no auth token.
     pub fn new(addr: impl Into<String>) -> Self {
         ClientConfig {
             addr: addr.into(),
             sup: SupervisorConfig::default(),
             backoff_unit_ms: 1_000,
             read_timeout_ms: 5_000,
+            token: None,
         }
     }
 }
@@ -98,14 +104,17 @@ impl ServiceClient {
         }
         let mut attempts: u32 = 0;
         loop {
-            match TcpStream::connect(&self.cfg.addr) {
-                Ok(stream) => {
-                    stream.set_read_timeout(Some(Duration::from_millis(
-                        self.cfg.read_timeout_ms.max(10),
-                    )))?;
-                    let _ = stream.set_nodelay(true);
-                    self.stream = Some(stream);
-                    self.decoder = Decoder::new();
+            let attempt = TcpStream::connect(&self.cfg.addr).and_then(|stream| {
+                stream.set_read_timeout(Some(Duration::from_millis(
+                    self.cfg.read_timeout_ms.max(10),
+                )))?;
+                let _ = stream.set_nodelay(true);
+                self.stream = Some(stream);
+                self.decoder = Decoder::new();
+                self.authenticate()
+            });
+            match attempt {
+                Ok(()) => {
                     if self.ever_connected {
                         self.reconnects += 1;
                     }
@@ -113,6 +122,9 @@ impl ServiceClient {
                     self.connected_at = Some(Instant::now());
                     return Ok(());
                 }
+                // A typed auth rejection is terminal; backoff cannot
+                // fix a wrong secret.
+                Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
                 Err(e) => {
                     // A connection that stayed healthy long enough earns
                     // its retry budget back, as in the testbed supervisor.
@@ -140,6 +152,45 @@ impl ServiceClient {
         }
     }
 
+    /// Presents the configured auth token on a fresh connection; no-op
+    /// without one. A typed `Unauthorized` rejection becomes
+    /// `PermissionDenied` (terminal — see [`ClientConfig::token`]); any
+    /// transport failure drops the stream so a retry reconnects.
+    fn authenticate(&mut self) -> io::Result<()> {
+        let Some(token) = self.cfg.token.clone() else {
+            return Ok(());
+        };
+        let bytes = Frame::Auth { token }
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let reply = match self.exchange(&bytes) {
+            Ok(reply) => reply,
+            Err(e) => {
+                self.force_disconnect();
+                return Err(e);
+            }
+        };
+        match reply {
+            Frame::Ack { .. } => Ok(()),
+            Frame::Error { code, detail } => {
+                self.force_disconnect();
+                let kind = if code == ErrorCode::Unauthorized {
+                    io::ErrorKind::PermissionDenied
+                } else {
+                    io::ErrorKind::ConnectionRefused
+                };
+                Err(io::Error::new(kind, format!("auth rejected: {detail}")))
+            }
+            other => {
+                self.force_disconnect();
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected reply to Auth: tag {}", other.tag()),
+                ))
+            }
+        }
+    }
+
     /// Sends one frame and waits for its reply.
     pub fn request(&mut self, frame: &Frame) -> io::Result<Frame> {
         let bytes = frame
@@ -155,6 +206,9 @@ impl ServiceClient {
         loop {
             match self.try_request(bytes) {
                 Ok(frame) => return Ok(frame),
+                // A typed auth rejection is terminal: retrying resends
+                // the same wrong token.
+                Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
                 Err(e) => {
                     // The connection is suspect; rebuild it and retry
                     // the whole request.
@@ -173,6 +227,11 @@ impl ServiceClient {
 
     fn try_request(&mut self, bytes: &[u8]) -> io::Result<Frame> {
         self.ensure_connected()?;
+        self.exchange(bytes)
+    }
+
+    /// Writes pre-framed bytes on the held stream and reads one reply.
+    fn exchange(&mut self, bytes: &[u8]) -> io::Result<Frame> {
         let stream = self.stream.as_mut().expect("connected");
         stream.write_all(bytes)?;
         let mut buf = [0u8; 16 * 1024];

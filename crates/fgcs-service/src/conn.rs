@@ -1,0 +1,202 @@
+//! Backend-independent per-connection frame handling.
+//!
+//! Both the threaded backend and the epoll readiness loop feed every
+//! decoded frame through [`handle_conn_frame`], so request semantics —
+//! auth gating, shed accounting, query answers, the one-reply-per-frame
+//! identity — are a single code path and cannot drift between backends.
+
+use std::sync::atomic::Ordering;
+
+use fgcs_wire::{ErrorCode, Frame, WireTransition, MAX_TRANSITIONS_PER_FRAME};
+
+use crate::state::{Batch, Shared};
+
+/// Per-connection protocol state, owned by whichever backend runs the
+/// connection.
+#[derive(Debug, Default)]
+pub(crate) struct ConnCtx {
+    /// Batches accepted on this connection, echoed in `Ack`.
+    pub ack_seq: u64,
+    /// Whether the stream has presented a valid auth token (always
+    /// `false` until then; irrelevant when the server has no token).
+    pub authed: bool,
+}
+
+/// What to do with a handled frame's reply.
+#[derive(Debug)]
+pub(crate) enum Outcome {
+    /// Write the reply; keep the connection.
+    Reply(Frame),
+    /// Write the reply, then close the connection (auth failures).
+    ReplyThenClose(Frame),
+}
+
+/// Handles one decoded frame: auth gate first, then the request
+/// dispatch. Exactly one reply per frame, always.
+pub(crate) fn handle_conn_frame(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Outcome {
+    if let Some(expected) = &shared.cfg.auth_token {
+        if !ctx.authed {
+            return match frame {
+                Frame::Auth { ref token } if token == expected => {
+                    ctx.authed = true;
+                    Outcome::Reply(Frame::Ack { seq: 0 })
+                }
+                Frame::Auth { .. } => {
+                    shared.counters.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                    Outcome::ReplyThenClose(Frame::Error {
+                        code: ErrorCode::Unauthorized,
+                        detail: "auth token mismatch".to_string(),
+                    })
+                }
+                _ => {
+                    shared.counters.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                    Outcome::ReplyThenClose(Frame::Error {
+                        code: ErrorCode::Unauthorized,
+                        detail: "authenticate before sending requests".to_string(),
+                    })
+                }
+            };
+        }
+    }
+    if let Frame::Auth { .. } = frame {
+        // Re-auth on an authed stream, or auth to an open server:
+        // harmless, acknowledged, not counted as a batch.
+        return Outcome::Reply(Frame::Ack { seq: 0 });
+    }
+    Outcome::Reply(handle_request(shared, frame, ctx))
+}
+
+/// The request dispatch (post-auth). Formerly `server::handle_frame`.
+fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
+    match frame {
+        Frame::SampleBatch { machine, samples } => {
+            let mut queue = shared.queue.lock().unwrap();
+            let shed = queue.push(Batch { machine, samples });
+            drop(queue);
+            shared.queue_cv.notify_one();
+            match shed {
+                Some(victim) => {
+                    shared.counters.shed_batches.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .shed_samples
+                        .fetch_add(victim.samples.len() as u64, Ordering::Relaxed);
+                    let total = shared.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                    // The arriving batch *was* accepted; Busy tells the
+                    // producer the queue overflowed and sheds happened.
+                    Frame::Busy {
+                        shed_batches: total + 1,
+                    }
+                }
+                None => {
+                    ctx.ack_seq += 1;
+                    Frame::Ack { seq: ctx.ack_seq }
+                }
+            }
+        }
+        Frame::QueryAvail { machine, horizon } => {
+            let Some(cell) = shared.machine_get(machine) else {
+                return Frame::Error {
+                    code: ErrorCode::UnknownMachine,
+                    detail: format!("machine {machine} has not streamed any samples"),
+                };
+            };
+            let (state, last_t, available) = {
+                let m = cell.lock().unwrap();
+                (m.state(), m.last_t(), m.is_available())
+            };
+            let prob = if available {
+                shared
+                    .online
+                    .lock()
+                    .unwrap()
+                    .predict(machine, last_t, horizon)
+            } else {
+                // Currently inside an unavailability occurrence: the
+                // window cannot be failure-free.
+                0.0
+            };
+            shared
+                .counters
+                .queries_answered
+                .fetch_add(1, Ordering::Relaxed);
+            Frame::AvailReply {
+                machine,
+                state: state.code(),
+                prob,
+            }
+        }
+        Frame::Place { job_len } => {
+            // Rank currently harvestable machines (available, no spike
+            // pending) by predicted survival over the job length; the
+            // sorted collection makes ties deterministic (lowest id
+            // wins).
+            let candidates: Vec<u32> = shared
+                .machines_sorted()
+                .into_iter()
+                .filter(|(_, cell)| {
+                    let m = cell.lock().unwrap();
+                    m.is_available() && !m.spike_active()
+                })
+                .map(|(id, _)| id)
+                .collect();
+            let online = shared.online.lock().unwrap();
+            let now = online.horizon();
+            let mut best: Option<(u32, f64)> = None;
+            for id in candidates {
+                let p = online.predict(id, now, job_len);
+                if best.is_none_or(|(_, bp)| p > bp) {
+                    best = Some((id, p));
+                }
+            }
+            drop(online);
+            shared
+                .counters
+                .placements_answered
+                .fetch_add(1, Ordering::Relaxed);
+            match best {
+                Some((machine, prob)) => Frame::PlaceReply {
+                    machine: Some(machine),
+                    prob,
+                },
+                None => Frame::PlaceReply {
+                    machine: None,
+                    prob: 0.0,
+                },
+            }
+        }
+        Frame::QueryStats => Frame::StatsReply(shared.stats_snapshot()),
+        Frame::QueryTransitions {
+            machine,
+            since_seq,
+            max,
+        } => {
+            let Some(cell) = shared.machine_get(machine) else {
+                return Frame::Error {
+                    code: ErrorCode::UnknownMachine,
+                    detail: format!("machine {machine} has not streamed any samples"),
+                };
+            };
+            let cap = (max as usize).min(MAX_TRANSITIONS_PER_FRAME);
+            let transitions: Vec<WireTransition> = cell
+                .lock()
+                .unwrap()
+                .transitions()
+                .iter()
+                .filter(|t| t.seq >= since_seq)
+                .take(cap)
+                .copied()
+                .collect();
+            Frame::Transitions {
+                machine,
+                transitions,
+            }
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // misuse, answered (once) rather than dropped.
+        other => Frame::Error {
+            code: ErrorCode::Unsupported,
+            detail: format!("frame tag {} is not a request", other.tag()),
+        },
+    }
+}

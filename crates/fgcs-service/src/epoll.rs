@@ -1,0 +1,306 @@
+//! The epoll readiness-loop backend (Linux only).
+//!
+//! One thread owns every connection: the listener and all conn sockets
+//! are nonblocking and registered with one epoll instance
+//! (level-triggered). Invariants (DESIGN.md §10):
+//!
+//! * **Buffer reuse.** One shared 64 KiB read scratch and one shared
+//!   encode scratch serve every connection; each connection's write
+//!   buffer is cleared (capacity kept) once flushed. Steady state
+//!   allocates nothing per frame.
+//! * **Partial-frame reassembly.** Each connection owns a
+//!   `fgcs_wire::Decoder`; bytes are pushed as they arrive and frames
+//!   pulled out whole. A connection that dies mid-frame takes its
+//!   decoder (and the fragment) with it — no cross-connection state.
+//! * **Identical semantics.** Every decoded frame goes through the same
+//!   [`handle_conn_frame`] as the threaded backend; decode errors are
+//!   counted and answered the same way.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use fgcs_sys::{
+    accept_nonblocking, Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use fgcs_wire::{encode_into, Decoder, ErrorCode, Frame};
+
+use crate::conn::{handle_conn_frame, ConnCtx, Outcome};
+use crate::state::Shared;
+
+/// One connection's state inside the event loop.
+struct Conn {
+    stream: TcpStream,
+    decoder: Decoder,
+    ctx: ConnCtx,
+    /// Bytes queued for the peer that the socket would not take yet.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Close once `out` drains (auth reject / fatal decode error).
+    close_after_flush: bool,
+    /// Whether the current epoll interest set includes `EPOLLOUT`.
+    registered_writable: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            decoder: Decoder::new(),
+            ctx: ConnCtx::default(),
+            out: Vec::new(),
+            out_pos: 0,
+            close_after_flush: false,
+            registered_writable: false,
+        }
+    }
+
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+/// Writes as much of `buf` as the nonblocking socket takes. Returns the
+/// byte count written; `WouldBlock` stops early without error.
+fn write_some(stream: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
+    let mut written = 0;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(written)
+}
+
+/// Flushes the connection's pending output; clears the buffer (keeping
+/// its capacity — the reuse invariant) once fully drained.
+fn flush_out(conn: &mut Conn) -> io::Result<()> {
+    if !conn.has_pending_out() {
+        return Ok(());
+    }
+    let w = write_some(&mut conn.stream, &conn.out[conn.out_pos..])?;
+    conn.out_pos += w;
+    if !conn.has_pending_out() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    Ok(())
+}
+
+/// Encodes `reply` through the shared scratch and sends it: straight to
+/// the socket while no backlog exists, else appended to the
+/// connection's write buffer (order preserved). `false` = connection
+/// is dead.
+fn queue_reply(conn: &mut Conn, reply: &Frame, ebuf: &mut Vec<u8>) -> bool {
+    if encode_into(reply, ebuf).is_err() {
+        return false;
+    }
+    if conn.has_pending_out() {
+        conn.out.extend_from_slice(ebuf);
+        return true;
+    }
+    match write_some(&mut conn.stream, ebuf) {
+        Ok(w) if w == ebuf.len() => true,
+        Ok(w) => {
+            conn.out.extend_from_slice(&ebuf[w..]);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Decodes and answers every complete frame buffered on the connection.
+/// `false` = connection is dead (write failure).
+fn drain_frames(shared: &Shared, conn: &mut Conn, ebuf: &mut Vec<u8>) -> bool {
+    while !conn.close_after_flush {
+        match conn.decoder.next_frame() {
+            Ok(Some(frame)) => match handle_conn_frame(shared, frame, &mut conn.ctx) {
+                Outcome::Reply(reply) => {
+                    if !queue_reply(conn, &reply, ebuf) {
+                        return false;
+                    }
+                }
+                Outcome::ReplyThenClose(reply) => {
+                    let _ = queue_reply(conn, &reply, ebuf);
+                    conn.close_after_flush = true;
+                }
+            },
+            Ok(None) => break,
+            Err(e) => {
+                shared
+                    .counters
+                    .decode_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let reply = Frame::Error {
+                    code: ErrorCode::BadFrame,
+                    detail: e.to_string(),
+                };
+                if !queue_reply(conn, &reply, ebuf) {
+                    return false;
+                }
+                if e.is_fatal() {
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Handles one readiness event for a connection. `false` = close now.
+fn process_conn(
+    shared: &Shared,
+    conn: &mut Conn,
+    readiness: u32,
+    rbuf: &mut [u8],
+    ebuf: &mut Vec<u8>,
+) -> bool {
+    if readiness & EPOLLERR != 0 {
+        return false;
+    }
+    if readiness & EPOLLOUT != 0 && flush_out(conn).is_err() {
+        return false;
+    }
+    if !conn.close_after_flush && readiness & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0 {
+        loop {
+            match conn.stream.read(rbuf) {
+                Ok(0) => return false, // peer closed
+                Ok(n) => {
+                    conn.decoder.push(&rbuf[..n]);
+                    if !drain_frames(shared, conn, ebuf) {
+                        return false;
+                    }
+                    if conn.close_after_flush {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+    // A closing connection with nothing left to flush is done.
+    !conn.close_after_flush || conn.has_pending_out()
+}
+
+/// Re-registers the connection when its `EPOLLOUT` need changed.
+fn sync_interest(ep: &Epoll, conn: &mut Conn, fd: RawFd) {
+    let wants_write = conn.has_pending_out();
+    if wants_write != conn.registered_writable {
+        let mut interest = EPOLLIN | EPOLLRDHUP;
+        if wants_write {
+            interest |= EPOLLOUT;
+        }
+        if ep.modify(fd, interest, fd as u64).is_ok() {
+            conn.registered_writable = wants_write;
+        }
+    }
+}
+
+fn close_conn(ep: &Epoll, conns: &mut HashMap<RawFd, Conn>, fd: RawFd, shared: &Shared) {
+    let _ = ep.delete(fd);
+    if conns.remove(&fd).is_some() {
+        shared.active_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Accepts every pending connection, refusing beyond `max_conns` with a
+/// best-effort `Error { ConnLimit }`.
+fn accept_ready(
+    shared: &Shared,
+    listener: &TcpListener,
+    ep: &Epoll,
+    conns: &mut HashMap<RawFd, Conn>,
+    max_conns: usize,
+    ebuf: &mut Vec<u8>,
+) {
+    loop {
+        match accept_nonblocking(listener) {
+            Ok(Some(mut stream)) => {
+                if conns.len() >= max_conns {
+                    shared.counters.conn_rejects.fetch_add(1, Ordering::Relaxed);
+                    let reject = Frame::Error {
+                        code: ErrorCode::ConnLimit,
+                        detail: format!("server is at its connection cap ({max_conns})"),
+                    };
+                    if encode_into(&reject, ebuf).is_ok() {
+                        let _ = write_some(&mut stream, ebuf);
+                    }
+                    continue; // drop closes
+                }
+                let _ = stream.set_nodelay(true);
+                let fd = stream.as_raw_fd();
+                if ep.add(fd, EPOLLIN | EPOLLRDHUP, fd as u64).is_err() {
+                    continue;
+                }
+                conns.insert(fd, Conn::new(stream));
+                shared.active_conns.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(None) => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// The event loop. Runs until [`Shared::shutting_down`]; the shutdown
+/// path wakes it with a throwaway connection (and the 50 ms wait
+/// timeout bounds the latency regardless).
+pub(crate) fn run_event_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    max_conns: usize,
+) -> io::Result<()> {
+    let ep = Epoll::new()?;
+    let listen_fd = listener.as_raw_fd();
+    let listen_token = listen_fd as u64;
+    ep.add(listen_fd, EPOLLIN, listen_token)?;
+
+    let mut conns: HashMap<RawFd, Conn> = HashMap::new();
+    let mut events = vec![EpollEvent::zeroed(); 1024];
+    let mut rbuf = vec![0u8; 64 * 1024];
+    let mut ebuf: Vec<u8> = Vec::with_capacity(4096);
+
+    loop {
+        let n = ep.wait(&mut events, 50)?;
+        if shared.shutting_down() {
+            break;
+        }
+        // Connection events first, accepts second: a fd closed in this
+        // batch can then never be reused (by an accept) while stale
+        // readiness for its previous owner is still queued behind it.
+        for ev in &events[..n] {
+            let token = ev.token();
+            if token == listen_token {
+                continue;
+            }
+            let fd = token as RawFd;
+            let Some(conn) = conns.get_mut(&fd) else {
+                continue;
+            };
+            if process_conn(shared, conn, ev.readiness(), &mut rbuf, &mut ebuf) {
+                sync_interest(&ep, conn, fd);
+            } else {
+                close_conn(&ep, &mut conns, fd, shared);
+            }
+        }
+        for ev in &events[..n] {
+            if ev.token() == listen_token {
+                accept_ready(shared, listener, &ep, &mut conns, max_conns, &mut ebuf);
+            }
+        }
+    }
+    // Dropping the map closes every connection; queued batches are
+    // drained by the ingest workers after this thread exits.
+    let count = conns.len() as u64;
+    drop(conns);
+    shared.active_conns.fetch_sub(count, Ordering::Relaxed);
+    Ok(())
+}

@@ -7,19 +7,25 @@
 //! (`fgcs_testbed::run_testbed`); this crate runs it across a TCP
 //! boundary:
 //!
-//! * [`Server`] — a threaded TCP server (accept loop + `fgcs-par`-style
-//!   worker pool) that ingests per-machine sample streams into the
-//!   existing `fgcs-core` [`Monitor`](fgcs_core::monitor::Monitor) /
-//!   detector (via [`fgcs_testbed::OccurrenceRecorder`], so a streamed
-//!   trace yields **bit-identical** records to an in-process run),
-//!   maintains an online `fgcs-predict` model, and answers
-//!   availability/placement queries from live state.
+//! * [`Server`] — a TCP server with two interchangeable connection
+//!   backends ([`Backend`]): thread-per-connection, or a single epoll
+//!   readiness loop (Linux, via the in-tree `fgcs-sys` shim). Both
+//!   ingest per-machine sample streams into the existing `fgcs-core`
+//!   [`Monitor`](fgcs_core::monitor::Monitor) / detector (via
+//!   [`fgcs_testbed::OccurrenceRecorder`], so a streamed trace yields
+//!   **bit-identical** records to an in-process run — and to the other
+//!   backend), maintain an online `fgcs-predict` model, and answer
+//!   availability/placement queries from live state. Per-machine state
+//!   is sharded ([`ServiceConfig::state_shards`]); an optional shared
+//!   auth token ([`ServiceConfig::auth_token`]) gates every stream.
 //! * [`ServiceClient`] — a blocking client with capped-backoff
 //!   reconnection (reusing [`fgcs_testbed::SupervisorConfig`]
-//!   semantics).
+//!   semantics) that presents the auth token on every (re)connect.
 //! * [`loadgen`] — a load generator replaying testbed traces at
 //!   configurable fan-in, optionally through `fgcs-faults` frame
-//!   corruption to exercise the decode error paths.
+//!   corruption to exercise the decode error paths; plus
+//!   [`run_fanin`], a single-threaded epoll-driven connection-scaling
+//!   driver (64 → 4096 sockets from one thread).
 //!
 //! ## Backpressure
 //!
@@ -42,10 +48,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
+#[cfg(target_os = "linux")]
+mod epoll;
 pub mod loadgen;
 pub mod server;
 mod state;
 
 pub use client::{ClientConfig, ServiceClient};
+#[cfg(target_os = "linux")]
+pub use loadgen::{run_fanin, FanInConfig, FanInReport};
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
-pub use server::{Server, ServiceConfig};
+pub use server::{Backend, Server, ServiceConfig};

@@ -42,6 +42,8 @@ pub struct LoadGenConfig {
     pub query_every_batches: u64,
     /// Horizon for those queries, seconds of trace time.
     pub query_horizon: u64,
+    /// Auth token each machine's client presents on connect.
+    pub token: Option<String>,
 }
 
 impl LoadGenConfig {
@@ -57,6 +59,7 @@ impl LoadGenConfig {
             max_samples_per_machine: None,
             query_every_batches: 0,
             query_horizon: 1_800,
+            token: None,
         }
     }
 }
@@ -141,6 +144,7 @@ fn replay_machine(addr: &str, cfg: &LoadGenConfig, machine_id: usize) -> io::Res
         sup: cfg.sup,
         backoff_unit_ms: cfg.backoff_unit_ms,
         read_timeout_ms: 10_000,
+        token: cfg.token.clone(),
     })?;
     let mut corruptor = FrameCorruptor::new(&cfg.faults, machine_id as u64);
     let plan = MachinePlan::generate(&cfg.lab, machine_id);
@@ -150,14 +154,12 @@ fn replay_machine(addr: &str, cfg: &LoadGenConfig, machine_id: usize) -> io::Res
     };
 
     let batch_size = cfg.batch_size.max(1);
-    let pace = if cfg.samples_per_sec > 0 {
-        // Per-batch sleep that yields the configured per-machine rate.
-        Some(Duration::from_micros(
-            (batch_size as u64).saturating_mul(1_000_000) / cfg.samples_per_sec,
-        ))
-    } else {
-        None
-    };
+    // Per-batch sleep that yields the configured per-machine rate
+    // (unpaced when the rate is 0).
+    let pace = (batch_size as u64)
+        .saturating_mul(1_000_000)
+        .checked_div(cfg.samples_per_sec)
+        .map(Duration::from_micros);
 
     let mut pending: Vec<WireSample> = Vec::with_capacity(batch_size);
     let mut taken = 0u64;
@@ -236,4 +238,580 @@ fn replay_machine(addr: &str, cfg: &LoadGenConfig, machine_id: usize) -> io::Res
     report.reconnects = client.reconnects;
     report.elapsed_secs = started.elapsed().as_secs_f64();
     Ok(report)
+}
+
+#[cfg(target_os = "linux")]
+pub use fanin::{run_fanin, FanInConfig, FanInReport};
+
+/// The connection-scaling driver: thousands of monitor connections from
+/// one thread (Linux only; it runs on the same `fgcs-sys` epoll shim as
+/// the server's readiness-loop backend).
+///
+/// `run_loadgen` spends one OS thread per machine, which is exactly the
+/// limitation the scaling experiment measures on the *server* — the
+/// client must not hit it first. Here every connection is a small state
+/// machine (handshake → paced batches → replies → optional query)
+/// multiplexed over nonblocking sockets, so a single driver thread
+/// sustains 4096 concurrent streams at a fixed aggregate sample rate.
+#[cfg(target_os = "linux")]
+mod fanin {
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::net::TcpStream;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::time::{Duration, Instant};
+
+    use fgcs_sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+    use fgcs_wire::{encode_into, Decoder, ErrorCode, Frame, SampleLoad, WireSample};
+
+    /// Fan-in driver configuration.
+    #[derive(Debug, Clone)]
+    pub struct FanInConfig {
+        /// Concurrent connections to open (one synthetic machine each;
+        /// machine id == connection index).
+        pub conns: usize,
+        /// `SampleBatch` frames each connection sends.
+        pub batches_per_conn: u64,
+        /// Samples per batch.
+        pub batch_size: usize,
+        /// Aggregate offered load across *all* connections,
+        /// samples/second; 0 = unpaced.
+        pub aggregate_samples_per_sec: u64,
+        /// Issue a `QueryAvail` after every this many batches (per
+        /// connection), measuring reply latency; 0 disables.
+        pub query_every_batches: u64,
+        /// Horizon for those queries, seconds of trace time.
+        pub query_horizon: u64,
+        /// Auth token presented as each connection's first frame.
+        pub token: Option<String>,
+        /// Give up (marking unfinished connections failed) after this
+        /// many wall-clock seconds.
+        pub deadline_secs: u64,
+    }
+
+    impl FanInConfig {
+        /// `conns` connections, 4 batches × 32 samples each, unpaced,
+        /// no queries, 120 s deadline.
+        pub fn new(conns: usize) -> Self {
+            FanInConfig {
+                conns,
+                batches_per_conn: 4,
+                batch_size: 32,
+                aggregate_samples_per_sec: 0,
+                query_every_batches: 0,
+                query_horizon: 1_800,
+                token: None,
+                deadline_secs: 120,
+            }
+        }
+    }
+
+    /// What a fan-in run did and observed. The batch identity is
+    /// `acks + busys + error_replies == batches_sent` (client side),
+    /// reconciling against the server's `ingested + shed +
+    /// decode-rejected` — but only when `conns_failed == 0`: a failed
+    /// connection may have a batch in flight with no reply.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct FanInReport {
+        /// Connections requested.
+        pub conns_requested: usize,
+        /// Connections that established TCP.
+        pub conns_connected: usize,
+        /// Connections that completed every batch (the scaling curve's
+        /// "sustained" number).
+        pub conns_sustained: usize,
+        /// Connections the server refused during the handshake (conn
+        /// cap or auth); they sent zero batches.
+        pub conns_rejected: usize,
+        /// Connections that died after the handshake (should be zero).
+        pub conns_failed: usize,
+        /// `SampleBatch` frames sent.
+        pub batches_sent: u64,
+        /// Samples inside those frames.
+        pub samples_sent: u64,
+        /// `Ack` replies received.
+        pub acks: u64,
+        /// `Busy` replies received.
+        pub busys: u64,
+        /// `Error` replies received to sample batches.
+        pub error_replies: u64,
+        /// `QueryAvail` requests issued.
+        pub queries_sent: u64,
+        /// `AvailReply`s received.
+        pub queries_answered: u64,
+        /// `Error` replies received to queries.
+        pub query_errors: u64,
+        /// Reply latency of every answered query, µs.
+        pub query_latencies_us: Vec<u64>,
+        /// Wall-clock duration of the run, seconds.
+        pub elapsed_secs: f64,
+    }
+
+    #[derive(Debug)]
+    enum Phase {
+        /// `Auth` sent, awaiting `Ack`.
+        AwaitAuth,
+        /// `QueryStats` probe sent, awaiting `StatsReply`. The probe
+        /// forces the server to commit before any batch is sent: a
+        /// refused connection (conn cap, bad token) answers — or
+        /// closes — here, so rejected connections send zero batches
+        /// and the batch identity stays exact.
+        AwaitProbe,
+        /// Waiting until the pacing deadline to send the next batch.
+        Idle,
+        /// Batch sent, awaiting `Ack`/`Busy`/`Error`.
+        AwaitBatchReply,
+        /// `QueryAvail` sent, awaiting its reply.
+        AwaitQueryReply { sent_at: Instant },
+        /// All batches acknowledged.
+        Done,
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        decoder: Decoder,
+        phase: Phase,
+        /// Unflushed output (nonblocking writes that didn't finish).
+        out: Vec<u8>,
+        out_pos: usize,
+        registered_writable: bool,
+        batches_done: u64,
+        /// Next sample timestamp for this machine's synthetic stream.
+        next_t: u64,
+        due: Instant,
+    }
+
+    impl Conn {
+        fn has_pending_out(&self) -> bool {
+            self.out_pos < self.out.len()
+        }
+    }
+
+    fn write_some(stream: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
+        let mut written = 0;
+        while written < buf.len() {
+            match stream.write(&buf[written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(written)
+    }
+
+    /// Sends a frame on a nonblocking conn, buffering what the socket
+    /// refuses. `false` = connection is dead.
+    fn send_frame(conn: &mut Conn, frame: &Frame, ebuf: &mut Vec<u8>) -> bool {
+        if encode_into(frame, ebuf).is_err() {
+            return false;
+        }
+        if conn.has_pending_out() {
+            conn.out.extend_from_slice(ebuf);
+            return true;
+        }
+        match write_some(&mut conn.stream, ebuf) {
+            Ok(w) if w == ebuf.len() => true,
+            Ok(w) => {
+                conn.out.extend_from_slice(&ebuf[w..]);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Builds the next synthetic batch for a machine: one-minute
+    /// samples, light steady load — enough to drive the full decode →
+    /// queue → detector path without detector-state churn.
+    fn next_batch(machine: u32, conn: &mut Conn, batch_size: usize) -> Frame {
+        let samples: Vec<WireSample> = (0..batch_size)
+            .map(|i| WireSample {
+                t: conn.next_t + 60 * i as u64,
+                load: SampleLoad::Direct(0.05),
+                host_resident_mb: 100,
+                alive: true,
+            })
+            .collect();
+        conn.next_t += 60 * batch_size as u64;
+        Frame::SampleBatch { machine, samples }
+    }
+
+    enum Fate {
+        Keep,
+        Rejected,
+        Failed,
+        Finished,
+    }
+
+    /// Advances one connection's state machine on a received frame.
+    fn on_frame(
+        slot: u32,
+        conn: &mut Conn,
+        frame: Frame,
+        cfg: &FanInConfig,
+        report: &mut FanInReport,
+        period: Option<Duration>,
+        ebuf: &mut Vec<u8>,
+    ) -> Fate {
+        match conn.phase {
+            Phase::AwaitAuth => match frame {
+                Frame::Ack { .. } => {
+                    conn.phase = Phase::AwaitProbe;
+                    if send_frame(conn, &Frame::QueryStats, ebuf) {
+                        Fate::Keep
+                    } else {
+                        Fate::Rejected
+                    }
+                }
+                _ => Fate::Rejected,
+            },
+            Phase::AwaitProbe => match frame {
+                Frame::StatsReply(_) => {
+                    conn.phase = Phase::Idle;
+                    Fate::Keep
+                }
+                _ => Fate::Rejected,
+            },
+            Phase::AwaitBatchReply => {
+                match frame {
+                    Frame::Ack { .. } => report.acks += 1,
+                    Frame::Busy { .. } => report.busys += 1,
+                    Frame::Error { .. } => report.error_replies += 1,
+                    _ => return Fate::Failed,
+                }
+                conn.batches_done += 1;
+                if conn.batches_done >= cfg.batches_per_conn {
+                    conn.phase = Phase::Done;
+                    return Fate::Finished;
+                }
+                if cfg.query_every_batches > 0
+                    && conn.batches_done.is_multiple_of(cfg.query_every_batches)
+                {
+                    let q = Frame::QueryAvail {
+                        machine: slot,
+                        horizon: cfg.query_horizon,
+                    };
+                    report.queries_sent += 1;
+                    conn.phase = Phase::AwaitQueryReply {
+                        sent_at: Instant::now(),
+                    };
+                    if send_frame(conn, &q, ebuf) {
+                        Fate::Keep
+                    } else {
+                        Fate::Failed
+                    }
+                } else {
+                    conn.phase = Phase::Idle;
+                    if let Some(p) = period {
+                        conn.due += p;
+                    }
+                    Fate::Keep
+                }
+            }
+            Phase::AwaitQueryReply { sent_at } => {
+                match frame {
+                    Frame::AvailReply { .. } => {
+                        report.queries_answered += 1;
+                        report
+                            .query_latencies_us
+                            .push(sent_at.elapsed().as_micros() as u64);
+                    }
+                    Frame::Error { .. } => report.query_errors += 1,
+                    _ => return Fate::Failed,
+                }
+                conn.phase = Phase::Idle;
+                if let Some(p) = period {
+                    conn.due += p;
+                }
+                Fate::Keep
+            }
+            Phase::Idle | Phase::Done => Fate::Failed, // unsolicited frame
+        }
+    }
+
+    /// Runs the fan-in scaling driver against `addr`.
+    pub fn run_fanin(addr: &str, cfg: &FanInConfig) -> io::Result<FanInReport> {
+        let started = Instant::now();
+        let deadline = started + Duration::from_secs(cfg.deadline_secs.max(1));
+        let batch_size = cfg.batch_size.max(1);
+        // Fixed aggregate rate: each connection sends a batch every
+        // `period`, so conns × batch_size / period == the target rate.
+        let period = (batch_size as u64)
+            .saturating_mul(cfg.conns as u64)
+            .saturating_mul(1_000_000_000)
+            .checked_div(cfg.aggregate_samples_per_sec)
+            .map(Duration::from_nanos);
+        let mut report = FanInReport {
+            conns_requested: cfg.conns,
+            ..Default::default()
+        };
+
+        let ep = Epoll::new()?;
+        let mut conns: Vec<Option<Conn>> = Vec::with_capacity(cfg.conns);
+        let mut fd_to_slot: HashMap<RawFd, u32> = HashMap::new();
+        let mut ebuf: Vec<u8> = Vec::with_capacity(4096);
+
+        for slot in 0..cfg.conns {
+            let stream = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    report.conns_rejected += 1;
+                    conns.push(None);
+                    continue;
+                }
+            };
+            report.conns_connected += 1;
+            let _ = stream.set_nodelay(true);
+            stream.set_nonblocking(true)?;
+            let fd = stream.as_raw_fd();
+            let mut conn = Conn {
+                stream,
+                decoder: Decoder::new(),
+                phase: Phase::AwaitProbe,
+                out: Vec::new(),
+                out_pos: 0,
+                registered_writable: false,
+                batches_done: 0,
+                next_t: 0,
+                due: started,
+            };
+            let first = match &cfg.token {
+                Some(token) => {
+                    conn.phase = Phase::AwaitAuth;
+                    Frame::Auth {
+                        token: token.clone(),
+                    }
+                }
+                None => Frame::QueryStats,
+            };
+            if !send_frame(&mut conn, &first, &mut ebuf) {
+                report.conns_rejected += 1;
+                conns.push(None);
+                continue;
+            }
+            ep.add(fd, EPOLLIN | EPOLLRDHUP, slot as u64)?;
+            fd_to_slot.insert(fd, slot as u32);
+            conns.push(Some(conn));
+        }
+
+        // Stagger first-send deadlines across one period so the
+        // aggregate rate is flat, not conns-sized bursts. Re-based
+        // *after* the connect loop: at thousands of connections the
+        // serial connects take longer than a period, and dues anchored
+        // at `started` would all be past — one thundering burst.
+        let t0 = Instant::now();
+        if let Some(p) = period {
+            for (slot, conn) in conns.iter_mut().enumerate() {
+                if let Some(c) = conn {
+                    c.due = t0 + p * slot as u32 / cfg.conns as u32;
+                }
+            }
+        }
+
+        let mut open = conns.iter().filter(|c| c.is_some()).count();
+        let mut events = vec![EpollEvent::zeroed(); 1024];
+        let mut rbuf = vec![0u8; 64 * 1024];
+
+        while open > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // Fire every idle connection whose pacing deadline passed.
+            let mut next_due: Option<Instant> = None;
+            for slot in 0..conns.len() {
+                let Some(conn) = conns[slot].as_mut() else {
+                    continue;
+                };
+                if !matches!(conn.phase, Phase::Idle) {
+                    continue;
+                }
+                if conn.due <= now {
+                    let batch = next_batch(slot as u32, conn, batch_size);
+                    report.batches_sent += 1;
+                    report.samples_sent += batch_size as u64;
+                    conn.phase = Phase::AwaitBatchReply;
+                    if !send_frame(conn, &batch, &mut ebuf) {
+                        report.conns_failed += 1;
+                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        open -= 1;
+                        continue;
+                    }
+                    sync_interest(&ep, conn, slot as u64);
+                } else {
+                    next_due = Some(next_due.map_or(conn.due, |d: Instant| d.min(conn.due)));
+                }
+            }
+            let timeout_ms = match next_due {
+                Some(d) => (d.saturating_duration_since(now).as_millis() as i32).clamp(0, 50),
+                None => 50,
+            };
+            let n = ep.wait(&mut events, timeout_ms)?;
+            for ev in &events[..n] {
+                let slot = ev.token() as usize;
+                let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                    continue;
+                };
+                let readiness = ev.readiness();
+                let mut fate = Fate::Keep;
+                if readiness & EPOLLERR != 0 {
+                    fate = match conn.phase {
+                        Phase::AwaitAuth | Phase::AwaitProbe => Fate::Rejected,
+                        _ => Fate::Failed,
+                    };
+                }
+                if matches!(fate, Fate::Keep)
+                    && readiness & EPOLLOUT != 0
+                    && flush_out(conn).is_err()
+                {
+                    fate = Fate::Failed;
+                }
+                if matches!(fate, Fate::Keep) && readiness & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0
+                {
+                    fate = read_and_dispatch(
+                        slot as u32,
+                        conn,
+                        cfg,
+                        &mut report,
+                        period,
+                        &mut rbuf,
+                        &mut ebuf,
+                    );
+                }
+                match fate {
+                    Fate::Keep => sync_interest(&ep, conn, slot as u64),
+                    Fate::Rejected => {
+                        report.conns_rejected += 1;
+                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        open -= 1;
+                    }
+                    Fate::Failed => {
+                        report.conns_failed += 1;
+                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        open -= 1;
+                    }
+                    Fate::Finished => {
+                        report.conns_sustained += 1;
+                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        open -= 1;
+                    }
+                }
+            }
+        }
+        // Deadline hit with connections still open: they failed.
+        for slot in 0..conns.len() {
+            if conns[slot].is_some() {
+                report.conns_failed += 1;
+                close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+            }
+        }
+        report.elapsed_secs = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// Reads until `WouldBlock`, dispatching every complete frame.
+    #[allow(clippy::too_many_arguments)]
+    fn read_and_dispatch(
+        slot: u32,
+        conn: &mut Conn,
+        cfg: &FanInConfig,
+        report: &mut FanInReport,
+        period: Option<Duration>,
+        rbuf: &mut [u8],
+        ebuf: &mut Vec<u8>,
+    ) -> Fate {
+        loop {
+            match conn.stream.read(rbuf) {
+                Ok(0) => {
+                    // EOF: a handshake-phase close is a rejection (the
+                    // server refused before any batch was sent).
+                    return match conn.phase {
+                        Phase::AwaitAuth | Phase::AwaitProbe => Fate::Rejected,
+                        Phase::Done => Fate::Finished,
+                        _ => Fate::Failed,
+                    };
+                }
+                Ok(n) => {
+                    conn.decoder.push(&rbuf[..n]);
+                    loop {
+                        match conn.decoder.next_frame() {
+                            Ok(Some(frame)) => {
+                                // A typed handshake rejection (conn cap
+                                // or bad token) is a rejection, not a
+                                // failure, whatever phase follows it.
+                                if let Frame::Error { code, .. } = &frame {
+                                    if matches!(conn.phase, Phase::AwaitAuth | Phase::AwaitProbe)
+                                        && matches!(
+                                            code,
+                                            ErrorCode::ConnLimit | ErrorCode::Unauthorized
+                                        )
+                                    {
+                                        return Fate::Rejected;
+                                    }
+                                }
+                                match on_frame(slot, conn, frame, cfg, report, period, ebuf) {
+                                    Fate::Keep => {}
+                                    other => return other,
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return Fate::Failed,
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Fate::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A reset during the handshake is a rejection too: a
+                // refusing server closes with our probe still unread in
+                // its receive buffer, which turns the close into an RST
+                // that can race ahead of the typed error frame.
+                Err(_) => {
+                    return match conn.phase {
+                        Phase::AwaitAuth | Phase::AwaitProbe => Fate::Rejected,
+                        _ => Fate::Failed,
+                    };
+                }
+            }
+        }
+    }
+
+    fn flush_out(conn: &mut Conn) -> io::Result<()> {
+        if !conn.has_pending_out() {
+            return Ok(());
+        }
+        let w = write_some(&mut conn.stream, &conn.out[conn.out_pos..])?;
+        conn.out_pos += w;
+        if !conn.has_pending_out() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    fn sync_interest(ep: &Epoll, conn: &mut Conn, token: u64) {
+        let wants_write = conn.has_pending_out();
+        if wants_write != conn.registered_writable {
+            let mut interest = EPOLLIN | EPOLLRDHUP;
+            if wants_write {
+                interest |= EPOLLOUT;
+            }
+            if ep.modify(conn.stream.as_raw_fd(), interest, token).is_ok() {
+                conn.registered_writable = wants_write;
+            }
+        }
+    }
+
+    fn close_slot(
+        ep: &Epoll,
+        conns: &mut [Option<Conn>],
+        fd_to_slot: &mut HashMap<RawFd, u32>,
+        slot: usize,
+    ) {
+        if let Some(conn) = conns[slot].take() {
+            let fd = conn.stream.as_raw_fd();
+            let _ = ep.delete(fd);
+            fd_to_slot.remove(&fd);
+        }
+    }
 }

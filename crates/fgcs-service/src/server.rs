@@ -1,5 +1,6 @@
-//! The threaded TCP server: accept loop, per-connection request/reply
-//! threads, and the ingest worker pool.
+//! The TCP server: two interchangeable connection backends (thread per
+//! connection, or one epoll readiness loop) in front of one ingest
+//! worker pool and one sharded state store.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -10,17 +11,49 @@ use std::time::Duration;
 
 use fgcs_core::detector::DetectorConfig;
 use fgcs_testbed::{LabConfig, TraceRecord};
-use fgcs_wire::{
-    Decoder, ErrorCode, Frame, StatsPayload, WireTransition, MAX_TRANSITIONS_PER_FRAME,
-};
+use fgcs_wire::{Decoder, ErrorCode, Frame, StatsPayload, WireTransition};
 
-use crate::state::{Batch, Shared};
+use crate::conn::{handle_conn_frame, ConnCtx, Outcome};
+use crate::state::Shared;
+
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One OS thread per connection (the PR 3 design). Simple, but the
+    /// thread budget caps fan-in; see [`ServiceConfig::max_connections`].
+    #[default]
+    Threads,
+    /// One epoll readiness loop owning every connection as nonblocking
+    /// state (Linux only). Fan-in is bounded by fds, not threads.
+    Epoll,
+}
+
+impl Backend {
+    /// Parses a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "threads" => Some(Backend::Threads),
+            "epoll" => Some(Backend::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Threads => "threads",
+            Backend::Epoll => "epoll",
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Bind address. Use port 0 to let the OS pick (tests do).
     pub addr: String,
+    /// Connection backend.
+    pub backend: Backend,
     /// Ingest worker count; 0 means [`fgcs_par::default_workers`].
     pub workers: usize,
     /// Ingest queue capacity, in batches. Arrivals beyond this shed the
@@ -29,6 +62,19 @@ pub struct ServiceConfig {
     /// Per-connection read timeout, ms. Bounds how long a connection
     /// thread can miss a shutdown request.
     pub read_timeout_ms: u64,
+    /// Concurrent-connection cap; 0 picks the backend default (1024 for
+    /// threads — a thread-budget ceiling — and 16384 for epoll).
+    /// Connections beyond the cap are refused with
+    /// `Error { ConnLimit }` and closed.
+    pub max_connections: usize,
+    /// Shard count for the per-machine state map; 0 means 16. More
+    /// shards cut lock contention between ingest workers and query
+    /// handlers; the read paths re-sort so results stay deterministic.
+    pub state_shards: usize,
+    /// Shared auth token. When set, every connection must present it in
+    /// a [`Frame::Auth`] before any other frame; violations earn
+    /// `Error { Unauthorized }` and a close. `None` disables the gate.
+    pub auth_token: Option<String>,
     /// Detector configuration applied to every machine's stream.
     pub detector: DetectorConfig,
     /// Physical memory assumed per streamed machine, MB (for the
@@ -49,9 +95,13 @@ impl Default for ServiceConfig {
         let lab = LabConfig::default();
         ServiceConfig {
             addr: "127.0.0.1:0".to_string(),
+            backend: Backend::Threads,
             workers: 0,
             queue_capacity: 256,
             read_timeout_ms: 200,
+            max_connections: 0,
+            state_shards: 0,
+            auth_token: None,
             detector: DetectorConfig::wallclock_default(),
             phys_mem_mb: lab.phys_mem_mb,
             kernel_mem_mb: lab.kernel_mem_mb,
@@ -80,12 +130,34 @@ impl ServiceConfig {
             .saturating_sub(self.kernel_mem_mb)
             .saturating_sub(resident_mb)
     }
+
+    /// The resolved state-map shard count.
+    pub(crate) fn state_shards(&self) -> usize {
+        if self.state_shards > 0 {
+            self.state_shards
+        } else {
+            16
+        }
+    }
+
+    /// The resolved connection cap for this configuration's backend.
+    pub fn effective_max_connections(&self) -> usize {
+        if self.max_connections > 0 {
+            self.max_connections
+        } else {
+            match self.backend {
+                Backend::Threads => 1024,
+                Backend::Epoll => 16384,
+            }
+        }
+    }
 }
 
 /// A running availability server. Dropping the handle does *not* stop
 /// the server; call [`Server::shutdown`].
 pub struct Server {
     addr: SocketAddr,
+    backend: Backend,
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
@@ -93,11 +165,13 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and starts the server: one accept thread, one thread per
-    /// connection, and a pool of ingest workers draining the queue.
+    /// Binds and starts the server: the selected connection backend
+    /// plus a pool of ingest workers draining the queue.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let backend = cfg.backend;
+        let max_conns = cfg.effective_max_connections();
         let workers = if cfg.workers > 0 {
             cfg.workers
         } else {
@@ -114,26 +188,39 @@ impl Server {
             .collect();
 
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            let conn_handles = Arc::clone(&conn_handles);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutting_down() {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let _ = stream.set_read_timeout(Some(read_timeout));
-                    let _ = stream.set_nodelay(true);
+        let accept_handle = match backend {
+            Backend::Threads => {
+                let shared = Arc::clone(&shared);
+                let conn_handles = Arc::clone(&conn_handles);
+                std::thread::spawn(move || {
+                    accept_loop(&shared, &listener, max_conns, read_timeout, &conn_handles)
+                })
+            }
+            Backend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    listener.set_nonblocking(true)?;
                     let shared = Arc::clone(&shared);
-                    let handle = std::thread::spawn(move || serve_connection(&shared, stream));
-                    conn_handles.lock().unwrap().push(handle);
+                    std::thread::spawn(move || {
+                        if let Err(e) = crate::epoll::run_event_loop(&shared, &listener, max_conns)
+                        {
+                            eprintln!("fgcs-service: epoll event loop failed: {e}");
+                        }
+                    })
                 }
-            })
+                #[cfg(not(target_os = "linux"))]
+                {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Unsupported,
+                        "the epoll backend requires Linux",
+                    ));
+                }
+            }
         };
 
         Ok(Server {
             addr,
+            backend,
             shared,
             accept_handle: Some(accept_handle),
             worker_handles,
@@ -146,9 +233,24 @@ impl Server {
         self.addr
     }
 
+    /// Which backend this server runs.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// A stats snapshot, identical to what a `QueryStats` frame returns.
     pub fn stats(&self) -> StatsPayload {
         self.shared.stats_snapshot()
+    }
+
+    /// Streams rejected by the auth gate so far.
+    pub fn auth_rejects(&self) -> u64 {
+        self.shared.counters.auth_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the connection cap so far.
+    pub fn conn_rejects(&self) -> u64 {
+        self.shared.counters.conn_rejects.load(Ordering::Relaxed)
     }
 
     /// The occurrence records built so far for one machine (clone of the
@@ -179,7 +281,8 @@ impl Server {
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock the accept loop / wake the event loop with a
+        // throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
@@ -191,6 +294,44 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+    }
+}
+
+/// The threaded backend's accept loop: one thread per connection, with
+/// the connection cap enforced *before* the spawn.
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    max_conns: usize,
+    read_timeout: Duration,
+    conn_handles: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if shared.active_conns.load(Ordering::Relaxed) >= max_conns as u64 {
+            shared.counters.conn_rejects.fetch_add(1, Ordering::Relaxed);
+            // Best effort: tell the peer why before closing.
+            let reject = Frame::Error {
+                code: ErrorCode::ConnLimit,
+                detail: format!("server is at its connection cap ({max_conns})"),
+            };
+            if let Ok(bytes) = reject.encode() {
+                let _ = stream.write_all(&bytes);
+            }
+            continue;
+        }
+        shared.active_conns.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            serve_connection(&shared, stream);
+            shared.active_conns.fetch_sub(1, Ordering::Relaxed);
+        });
+        conn_handles.lock().unwrap().push(handle);
     }
 }
 
@@ -240,17 +381,21 @@ fn ingest_worker(shared: &Shared) {
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let mut decoder = Decoder::new();
     let mut buf = [0u8; 64 * 1024];
-    // Per-connection accepted-batch sequence, echoed in `Ack`.
-    let mut ack_seq: u64 = 0;
+    let mut ctx = ConnCtx::default();
     loop {
         loop {
             match decoder.next_frame() {
-                Ok(Some(frame)) => {
-                    let reply = handle_frame(shared, frame, &mut ack_seq);
-                    if !write_frame(&mut stream, &reply) {
+                Ok(Some(frame)) => match handle_conn_frame(shared, frame, &mut ctx) {
+                    Outcome::Reply(reply) => {
+                        if !write_frame(&mut stream, &reply) {
+                            return;
+                        }
+                    }
+                    Outcome::ReplyThenClose(reply) => {
+                        let _ = write_frame(&mut stream, &reply);
                         return;
                     }
-                }
+                },
                 Ok(None) => break,
                 Err(e) => {
                     shared
@@ -288,139 +433,5 @@ fn write_frame(stream: &mut TcpStream, frame: &Frame) -> bool {
     match frame.encode() {
         Ok(bytes) => stream.write_all(&bytes).is_ok(),
         Err(_) => false,
-    }
-}
-
-fn handle_frame(shared: &Shared, frame: Frame, ack_seq: &mut u64) -> Frame {
-    match frame {
-        Frame::SampleBatch { machine, samples } => {
-            let mut queue = shared.queue.lock().unwrap();
-            let shed = queue.push(Batch { machine, samples });
-            drop(queue);
-            shared.queue_cv.notify_one();
-            match shed {
-                Some(victim) => {
-                    shared.counters.shed_batches.fetch_add(1, Ordering::Relaxed);
-                    shared
-                        .counters
-                        .shed_samples
-                        .fetch_add(victim.samples.len() as u64, Ordering::Relaxed);
-                    let total = shared.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
-                    // The arriving batch *was* accepted; Busy tells the
-                    // producer the queue overflowed and sheds happened.
-                    Frame::Busy {
-                        shed_batches: total + 1,
-                    }
-                }
-                None => {
-                    *ack_seq += 1;
-                    Frame::Ack { seq: *ack_seq }
-                }
-            }
-        }
-        Frame::QueryAvail { machine, horizon } => {
-            let Some(cell) = shared.machine_get(machine) else {
-                return Frame::Error {
-                    code: ErrorCode::UnknownMachine,
-                    detail: format!("machine {machine} has not streamed any samples"),
-                };
-            };
-            let (state, last_t, available) = {
-                let m = cell.lock().unwrap();
-                (m.state(), m.last_t(), m.is_available())
-            };
-            let prob = if available {
-                shared
-                    .online
-                    .lock()
-                    .unwrap()
-                    .predict(machine, last_t, horizon)
-            } else {
-                // Currently inside an unavailability occurrence: the
-                // window cannot be failure-free.
-                0.0
-            };
-            shared
-                .counters
-                .queries_answered
-                .fetch_add(1, Ordering::Relaxed);
-            Frame::AvailReply {
-                machine,
-                state: state.code(),
-                prob,
-            }
-        }
-        Frame::Place { job_len } => {
-            // Rank currently harvestable machines (available, no spike
-            // pending) by predicted survival over the job length;
-            // BTreeMap order makes ties deterministic (lowest id wins).
-            let candidates: Vec<u32> = {
-                let map = shared.machines.lock().unwrap();
-                map.iter()
-                    .filter(|(_, cell)| {
-                        let m = cell.lock().unwrap();
-                        m.is_available() && !m.spike_active()
-                    })
-                    .map(|(&id, _)| id)
-                    .collect()
-            };
-            let online = shared.online.lock().unwrap();
-            let now = online.horizon();
-            let mut best: Option<(u32, f64)> = None;
-            for id in candidates {
-                let p = online.predict(id, now, job_len);
-                if best.is_none_or(|(_, bp)| p > bp) {
-                    best = Some((id, p));
-                }
-            }
-            drop(online);
-            shared
-                .counters
-                .placements_answered
-                .fetch_add(1, Ordering::Relaxed);
-            match best {
-                Some((machine, prob)) => Frame::PlaceReply {
-                    machine: Some(machine),
-                    prob,
-                },
-                None => Frame::PlaceReply {
-                    machine: None,
-                    prob: 0.0,
-                },
-            }
-        }
-        Frame::QueryStats => Frame::StatsReply(shared.stats_snapshot()),
-        Frame::QueryTransitions {
-            machine,
-            since_seq,
-            max,
-        } => {
-            let Some(cell) = shared.machine_get(machine) else {
-                return Frame::Error {
-                    code: ErrorCode::UnknownMachine,
-                    detail: format!("machine {machine} has not streamed any samples"),
-                };
-            };
-            let cap = (max as usize).min(MAX_TRANSITIONS_PER_FRAME);
-            let transitions: Vec<WireTransition> = cell
-                .lock()
-                .unwrap()
-                .transitions()
-                .iter()
-                .filter(|t| t.seq >= since_seq)
-                .take(cap)
-                .copied()
-                .collect();
-            Frame::Transitions {
-                machine,
-                transitions,
-            }
-        }
-        // Server-to-client frames arriving at the server are protocol
-        // misuse, answered (once) rather than dropped.
-        other => Frame::Error {
-            code: ErrorCode::Unsupported,
-            detail: format!("frame tag {} is not a request", other.tag()),
-        },
     }
 }

@@ -246,18 +246,33 @@ pub(crate) struct Counters {
     pub busy_replies: AtomicU64,
     pub queries_answered: AtomicU64,
     pub placements_answered: AtomicU64,
+    /// Streams rejected by the auth gate (not part of `StatsPayload`:
+    /// the reject happens before the stream is trusted).
+    pub auth_rejects: AtomicU64,
+    /// Connections refused at the cap with `Error { ConnLimit }`.
+    pub conn_rejects: AtomicU64,
 }
+
+/// One shard of the per-machine state map.
+type StateShard = Mutex<BTreeMap<u32, Arc<Mutex<MachineState>>>>;
 
 /// Everything the accept loop, connection threads and ingest workers
 /// share.
 pub(crate) struct Shared {
     pub cfg: ServiceConfig,
-    pub machines: Mutex<BTreeMap<u32, Arc<Mutex<MachineState>>>>,
+    /// Per-machine pipelines, sharded by machine id so ingest workers
+    /// and query handlers touching different machines stop serializing
+    /// on one map lock (DESIGN.md §10). Deterministic read paths
+    /// (stats, placement) re-sort by id after collecting across shards.
+    shards: Box<[StateShard]>,
     pub online: Mutex<OnlineAvailabilityModel>,
     pub queue: Mutex<IngestQueue>,
     pub queue_cv: Condvar,
     pub shutdown: AtomicBool,
     pub counters: Counters,
+    /// Connections currently served (threaded backend: live conn
+    /// threads; epoll backend: registered conn fds).
+    pub active_conns: AtomicU64,
     pub started_at: Instant,
 }
 
@@ -265,14 +280,18 @@ impl Shared {
     pub(crate) fn new(cfg: ServiceConfig) -> Self {
         let queue = IngestQueue::new(cfg.queue_capacity);
         let online = OnlineAvailabilityModel::new(cfg.start_weekday);
+        let n_shards = cfg.state_shards();
+        let shards: Box<[StateShard]> =
+            (0..n_shards).map(|_| Mutex::new(BTreeMap::new())).collect();
         Shared {
             cfg,
-            machines: Mutex::new(BTreeMap::new()),
+            shards,
             online: Mutex::new(online),
             queue: Mutex::new(queue),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
+            active_conns: AtomicU64::new(0),
             started_at: Instant::now(),
         }
     }
@@ -281,21 +300,43 @@ impl Shared {
         self.shutdown.load(Ordering::Acquire)
     }
 
+    fn shard(&self, machine: u32) -> &StateShard {
+        &self.shards[machine as usize % self.shards.len()]
+    }
+
     /// Looks up (or creates) the state cell for a machine.
     pub(crate) fn machine_entry(&self, machine: u32) -> Arc<Mutex<MachineState>> {
-        let mut map = self.machines.lock().unwrap();
+        let mut map = self.shard(machine).lock().unwrap();
         if let Some(m) = map.get(&machine) {
             return Arc::clone(m);
         }
         let m = Arc::new(Mutex::new(MachineState::new(machine, &self.cfg)));
         map.insert(machine, Arc::clone(&m));
+        drop(map);
         self.online.lock().unwrap().ensure_machine(machine);
         m
     }
 
     /// Looks up a machine without creating it.
     pub(crate) fn machine_get(&self, machine: u32) -> Option<Arc<Mutex<MachineState>>> {
-        self.machines.lock().unwrap().get(&machine).map(Arc::clone)
+        self.shard(machine)
+            .lock()
+            .unwrap()
+            .get(&machine)
+            .map(Arc::clone)
+    }
+
+    /// Every known machine, sorted by id — the same order the single
+    /// pre-shard BTreeMap used to iterate in, so stats and placement
+    /// stay deterministic (lowest id wins ties).
+    pub(crate) fn machines_sorted(&self) -> Vec<(u32, Arc<Mutex<MachineState>>)> {
+        let mut all: Vec<(u32, Arc<Mutex<MachineState>>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.lock().unwrap();
+            all.extend(map.iter().map(|(&id, cell)| (id, Arc::clone(cell))));
+        }
+        all.sort_unstable_by_key(|&(id, _)| id);
+        all
     }
 
     /// Ingests one claimed batch into its machine's pipeline and the
@@ -340,11 +381,9 @@ impl Shared {
         let ingested_samples = c.ingested_samples.load(Ordering::Relaxed);
         let elapsed = self.started_at.elapsed().as_secs_f64();
         let machines: Vec<MachineStat> = self
-            .machines
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(&id, cell)| {
+            .machines_sorted()
+            .into_iter()
+            .map(|(id, cell)| {
                 let m = cell.lock().unwrap();
                 MachineStat {
                     machine: id,
@@ -425,6 +464,26 @@ mod tests {
         let (m1, b1) = q.claim().expect("machine 1 released");
         assert_eq!(m1, 1);
         assert_eq!(b1.len(), 1);
+    }
+
+    #[test]
+    fn sharded_map_keeps_sorted_iteration_order() {
+        let cfg = crate::server::ServiceConfig {
+            state_shards: 4,
+            ..Default::default()
+        };
+        let shared = Shared::new(cfg);
+        // Insert in scrambled order, across all shards.
+        for id in [9u32, 2, 7, 0, 13, 4, 11, 6] {
+            shared.machine_entry(id);
+        }
+        let ids: Vec<u32> = shared.machines_sorted().iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 2, 4, 6, 7, 9, 11, 13]);
+        // Entry is idempotent and get finds what entry created.
+        shared.machine_entry(7);
+        assert_eq!(shared.machines_sorted().len(), 8);
+        assert!(shared.machine_get(13).is_some());
+        assert!(shared.machine_get(14).is_none());
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Backend-equivalence, auth-handshake, disconnect, and connection-cap
+//! tests over real localhost TCP.
+//!
+//! The epoll readiness loop must be *indistinguishable* from the
+//! thread-per-connection backend at the protocol and accounting level:
+//! same replies, same occurrence records bit for bit, same identities.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use fgcs_service::{Backend, ClientConfig, Server, ServiceClient, ServiceConfig};
+use fgcs_testbed::{trace_machine, MachinePlan, OccurrenceRecorder, TestbedConfig};
+use fgcs_wire::{Decoder, ErrorCode, Frame, SampleLoad, WireSample, WireTransition};
+
+/// Polls until the server's counters reconcile with `batches_sent`.
+fn drain(server: &Server, batches_sent: u64) -> fgcs_wire::StatsPayload {
+    for _ in 0..600 {
+        let stats = server.stats();
+        let accounted = stats.ingested_batches + stats.shed_batches + stats.decode_errors;
+        if accounted >= batches_sent && stats.queue_depth == 0 {
+            return stats;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server failed to drain: {:?}", server.stats());
+}
+
+fn expected_transitions(cfg: &TestbedConfig, machine: usize) -> Vec<WireTransition> {
+    let plan = MachinePlan::generate(&cfg.lab, machine);
+    let mut rec = OccurrenceRecorder::new(machine as u32, cfg.detector);
+    let mut out = Vec::new();
+    for s in plan.samples() {
+        let obs = if s.alive {
+            fgcs_core::monitor::Observation {
+                host_load: s.host_load,
+                free_mem_mb: cfg.lab.free_for_guest_mb(s.host_resident_mb),
+                alive: true,
+            }
+        } else {
+            fgcs_core::monitor::Observation::dead()
+        };
+        let before = rec.state();
+        let step = rec.observe(s.t, &obs);
+        if step.state != before {
+            out.push(WireTransition {
+                seq: out.len() as u64 + 1,
+                at: s.t,
+                state: step.state.code(),
+            });
+        }
+    }
+    out
+}
+
+fn batch(machine: u32, t0: u64, n: u64) -> Frame {
+    let samples = (0..n)
+        .map(|i| WireSample {
+            t: t0 + 60 * i,
+            load: SampleLoad::Direct(0.05),
+            host_resident_mb: 64,
+            alive: true,
+        })
+        .collect();
+    Frame::SampleBatch { machine, samples }
+}
+
+/// Streams `TestbedConfig::tiny` through a server on `backend` and
+/// returns (per-machine records, per-machine transitions, stats).
+#[cfg(target_os = "linux")]
+fn stream_tiny(
+    backend: Backend,
+) -> (
+    Vec<Vec<fgcs_testbed::TraceRecord>>,
+    Vec<Vec<WireTransition>>,
+    fgcs_wire::StatsPayload,
+) {
+    let cfg = TestbedConfig::tiny();
+    let mut svc = ServiceConfig::for_testbed(&cfg);
+    svc.backend = backend;
+    let server = Server::start(svc).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let lg = fgcs_service::LoadGenConfig::new(cfg.lab.clone());
+    let report = fgcs_service::run_loadgen(&addr, &lg).expect("loadgen runs");
+    assert_eq!(report.acks, report.batches_sent, "clean run fully acked");
+    let stats = drain(&server, report.batches_sent);
+    assert_eq!(stats.decode_errors, 0);
+
+    let mut records = Vec::new();
+    let mut transitions = Vec::new();
+    for machine in 0..cfg.lab.machines {
+        records.push(server.records(machine as u32).expect("machine streamed"));
+        transitions.push(server.transitions(machine as u32).expect("streamed"));
+    }
+    server.shutdown();
+    (records, transitions, stats)
+}
+
+/// The tentpole equivalence proof: the same trace through the threaded
+/// and epoll backends yields **byte-identical** occurrence records and
+/// transition logs — and both match the in-process pipeline.
+#[test]
+#[cfg(target_os = "linux")]
+fn backends_produce_bit_identical_records() {
+    let cfg = TestbedConfig::tiny();
+    let (rec_t, tr_t, stats_t) = stream_tiny(Backend::Threads);
+    let (rec_e, tr_e, stats_e) = stream_tiny(Backend::Epoll);
+
+    for machine in 0..cfg.lab.machines {
+        let local = trace_machine(&cfg, machine);
+        assert_eq!(
+            rec_t[machine], local,
+            "threaded backend vs in-process, machine {machine}"
+        );
+        assert_eq!(
+            rec_e[machine], rec_t[machine],
+            "epoll vs threaded records, machine {machine}"
+        );
+        let expected = expected_transitions(&cfg, machine);
+        assert_eq!(tr_t[machine], expected, "threaded transitions {machine}");
+        assert_eq!(tr_e[machine], tr_t[machine], "epoll transitions {machine}");
+    }
+    assert_eq!(stats_t.ingested_batches, stats_e.ingested_batches);
+    assert_eq!(stats_t.ingested_samples, stats_e.ingested_samples);
+    assert_eq!(stats_t.shed_batches, stats_e.shed_batches);
+}
+
+/// A client dying mid-frame must not corrupt reassembly: the complete
+/// frames before the cut are ingested, the fragment is discarded with
+/// the connection, no decode error is charged, and a second connection
+/// carries on to the exact in-process result.
+fn mid_batch_disconnect(backend: Backend) {
+    let svc = ServiceConfig {
+        backend,
+        ..Default::default()
+    };
+    let server = Server::start(svc).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let b1 = batch(3, 0, 4);
+    let b2 = batch(3, 240, 4);
+    let b3 = batch(3, 480, 4);
+
+    // Connection A: batch 1 whole, then half of batch 2, then death.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("conn A");
+        stream.write_all(&b1.encode().unwrap()).unwrap();
+        let mut dec = Decoder::new();
+        let mut buf = [0u8; 4096];
+        let reply = loop {
+            if let Some(f) = dec.next_frame().unwrap() {
+                break f;
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed early");
+            dec.push(&buf[..n]);
+        };
+        assert!(matches!(reply, Frame::Ack { .. }));
+        let enc2 = b2.encode().unwrap();
+        stream.write_all(&enc2[..enc2.len() / 2]).unwrap();
+        stream.flush().unwrap();
+        // Drop: RST/FIN with a partial frame buffered server-side.
+    }
+
+    // Connection B: resend batch 2, then batch 3.
+    let mut cfg = ClientConfig::new(&addr);
+    cfg.backoff_unit_ms = 1;
+    let mut client = ServiceClient::connect(cfg).expect("conn B");
+    assert!(matches!(client.request(&b2).unwrap(), Frame::Ack { .. }));
+    assert!(matches!(client.request(&b3).unwrap(), Frame::Ack { .. }));
+
+    let stats = drain(&server, 3);
+    assert_eq!(stats.ingested_batches, 3, "{backend:?}: 3 whole batches");
+    assert_eq!(
+        stats.decode_errors, 0,
+        "{backend:?}: a truncated tail is not a decode error"
+    );
+    assert_eq!(stats.shed_batches, 0);
+
+    // Records equal an in-process run over the same 12 samples. The
+    // default server derives its memory model from `LabConfig::default`.
+    let lab = fgcs_testbed::LabConfig::default();
+    let mut rec = OccurrenceRecorder::new(3, ServiceConfig::default().detector);
+    for f in [&b1, &b2, &b3] {
+        let Frame::SampleBatch { samples, .. } = f else {
+            unreachable!()
+        };
+        for s in samples {
+            let obs = fgcs_core::monitor::Observation {
+                host_load: 0.05,
+                free_mem_mb: lab.free_for_guest_mb(s.host_resident_mb),
+                alive: true,
+            };
+            rec.observe(s.t, &obs);
+        }
+    }
+    assert_eq!(
+        server.records(3).expect("machine exists"),
+        rec.into_records(),
+        "{backend:?}: reassembly survived the mid-frame death"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn mid_batch_disconnect_threads() {
+    mid_batch_disconnect(Backend::Threads);
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn mid_batch_disconnect_epoll() {
+    mid_batch_disconnect(Backend::Epoll);
+}
+
+/// The auth handshake: the right token opens the stream, the wrong
+/// token (or none) earns a typed `Unauthorized` and a close — on both
+/// backends, with the server counting each rejection.
+fn auth_handshake(backend: Backend) {
+    let svc = ServiceConfig {
+        backend,
+        auth_token: Some("s3cret".to_string()),
+        ..Default::default()
+    };
+    let server = Server::start(svc).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    // Right token: full request cycle works, reconnect re-authenticates.
+    let mut cfg = ClientConfig::new(&addr);
+    cfg.backoff_unit_ms = 1;
+    cfg.token = Some("s3cret".to_string());
+    let mut client = ServiceClient::connect(cfg).expect("authed connect");
+    assert!(matches!(
+        client.request(&batch(1, 0, 2)).unwrap(),
+        Frame::Ack { .. }
+    ));
+    client.force_disconnect();
+    assert!(matches!(
+        client.request(&batch(1, 120, 2)).unwrap(),
+        Frame::Ack { .. }
+    ));
+    assert_eq!(client.reconnects, 1);
+
+    // Wrong token: terminal PermissionDenied, no retry storm.
+    let mut bad = ClientConfig::new(&addr);
+    bad.backoff_unit_ms = 1;
+    bad.token = Some("wrong".to_string());
+    match ServiceClient::connect(bad) {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::PermissionDenied, "{e}"),
+        Ok(_) => panic!("wrong token accepted"),
+    }
+
+    // No token at all: the first data frame is refused with the typed
+    // error before touching any machine state.
+    let mut anon = ServiceClient::connect(ClientConfig::new(&addr)).expect("tcp connects");
+    match anon.request(&batch(2, 0, 2)).unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::Unauthorized),
+        other => panic!("expected Unauthorized, got tag {}", other.tag()),
+    }
+
+    let stats = drain(&server, 2);
+    assert_eq!(stats.ingested_batches, 2, "only authed batches ingested");
+    assert_eq!(
+        server.auth_rejects(),
+        2,
+        "{backend:?}: one wrong-token + one anonymous rejection"
+    );
+    assert!(
+        server.records(2).is_none(),
+        "anon batch never reached state"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn auth_handshake_threads() {
+    auth_handshake(Backend::Threads);
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn auth_handshake_epoll() {
+    auth_handshake(Backend::Epoll);
+}
+
+/// Over the connection cap the server answers with a typed `ConnLimit`
+/// error instead of hanging or silently dropping.
+#[test]
+fn over_cap_connection_gets_typed_error() {
+    let svc = ServiceConfig {
+        backend: Backend::Threads,
+        max_connections: 1,
+        ..Default::default()
+    };
+    let server = Server::start(svc).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let mut first = ServiceClient::connect(ClientConfig::new(&addr)).expect("first conn");
+    assert!(matches!(
+        first.request(&Frame::QueryStats).unwrap(),
+        Frame::StatsReply(_)
+    ));
+
+    // Second connection: expect Error { ConnLimit } then EOF.
+    let mut stream = TcpStream::connect(&addr).expect("tcp connects");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut dec = Decoder::new();
+    let mut buf = [0u8; 4096];
+    let reply = loop {
+        if let Some(f) = dec.next_frame().unwrap() {
+            break f;
+        }
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "connection closed without the typed error");
+        dec.push(&buf[..n]);
+    };
+    match reply {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::ConnLimit),
+        other => panic!("expected ConnLimit, got tag {}", other.tag()),
+    }
+    assert_eq!(server.conn_rejects(), 1);
+
+    // The first connection is unaffected.
+    assert!(matches!(
+        first.request(&Frame::QueryStats).unwrap(),
+        Frame::StatsReply(_)
+    ));
+    server.shutdown();
+}
+
+/// Small fan-in smoke on both backends: every connection sustains, the
+/// client- and server-side identities reconcile exactly.
+#[test]
+#[cfg(target_os = "linux")]
+fn fanin_driver_reconciles_on_both_backends() {
+    for backend in [Backend::Threads, Backend::Epoll] {
+        let svc = ServiceConfig {
+            backend,
+            auth_token: Some("s3cret".to_string()),
+            ..Default::default()
+        };
+        let server = Server::start(svc).expect("server starts");
+        let addr = server.local_addr().to_string();
+
+        let mut fic = fgcs_service::FanInConfig::new(8);
+        fic.batches_per_conn = 3;
+        fic.batch_size = 8;
+        fic.query_every_batches = 2;
+        fic.token = Some("s3cret".to_string());
+        let report = fgcs_service::run_fanin(&addr, &fic).expect("fan-in runs");
+
+        assert_eq!(report.conns_connected, 8, "{backend:?}");
+        assert_eq!(report.conns_sustained, 8, "{backend:?}");
+        assert_eq!(report.conns_failed, 0, "{backend:?}");
+        assert_eq!(report.conns_rejected, 0, "{backend:?}");
+        assert_eq!(report.batches_sent, 24, "{backend:?}");
+        assert_eq!(
+            report.acks + report.busys + report.error_replies,
+            report.batches_sent,
+            "{backend:?}: client-side identity"
+        );
+        assert_eq!(report.queries_sent, 8, "{backend:?}");
+        assert_eq!(
+            report.queries_answered + report.query_errors,
+            report.queries_sent,
+            "{backend:?}"
+        );
+
+        let stats = drain(&server, report.batches_sent);
+        assert_eq!(
+            stats.ingested_batches + stats.shed_batches + stats.decode_errors,
+            report.batches_sent,
+            "{backend:?}: server-side identity"
+        );
+        assert_eq!(
+            stats.ingested_samples + stats.shed_samples,
+            report.samples_sent
+        );
+        server.shutdown();
+    }
+}

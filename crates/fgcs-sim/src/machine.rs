@@ -659,8 +659,10 @@ impl Machine {
     /// * the earliest sleeper's timer expires (`min_sleep`);
     /// * a pending iowait stall ends (`iowait_until`).
     ///
-    /// Epoch recalculations, wakes due *this* tick, and thrashing ticks
-    /// (fractional efficiency) are never batched.
+    /// Epoch recalculations and wakes due *this* tick are never batched.
+    /// Thrashing spans (fractional efficiency) batch through
+    /// [`Machine::batch_thrash_span`], which replays the stall-debt
+    /// arithmetic scalar-exactly.
     fn try_batch(&mut self, rem: u64) -> u64 {
         #[cfg(debug_assertions)]
         self.assert_aggregates();
@@ -682,16 +684,6 @@ impl Machine {
                 return k;
             }
             self.iowait_until = self.now;
-        }
-
-        // Thrashing work ticks retire fractional demand and must go tick
-        // by tick; bail before paying for the scan. `is_thrashing()`
-        // (an O(1) compare on the cached aggregate) is the same
-        // predicate as `memory_efficiency() < 1.0` without the `powf`.
-        // Idle batching stays legal under memory pressure — nobody
-        // computes — so only bail when someone is runnable.
-        if self.runnable_count > 0 && self.is_thrashing() {
-            return 0;
         }
 
         // One scan replaces step()'s separate wake / selection passes:
@@ -777,6 +769,15 @@ impl Machine {
         } else {
             u64::MAX
         };
+
+        // Under memory pressure the chosen's work ticks interleave with
+        // page-fault stalls; a dedicated path batches the whole span.
+        // `is_thrashing()` (an O(1) compare on the cached aggregate) is
+        // the same predicate as `memory_efficiency() < 1.0` sans `powf`.
+        if self.is_thrashing() {
+            return self.batch_thrash_span(rem, chosen, margin, min_sleep);
+        }
+
         let p = &self.procs[chosen];
         let mut k = rem.min(p.counter).min(p.progress.busy_left).min(margin);
         if let Some(m) = min_sleep {
@@ -830,6 +831,126 @@ impl Machine {
         self.current = Some(chosen);
         self.now += k;
         k
+    }
+
+    /// Batches a thrashing span: `w` work ticks by `chosen`, each
+    /// followed by the page-fault stall its fractional efficiency
+    /// charges, exactly as the per-tick path interleaves them.
+    ///
+    /// Equivalence argument: memory aggregates cannot change inside the
+    /// span (no wake lands before the bound `min_sleep`, nobody else
+    /// runs, and the chosen's busy period can end only on the *last*
+    /// work tick), so the efficiency — and therefore the per-tick debt
+    /// increment `d` — is bit-constant. The scalar loop below replays
+    /// `step()`'s float sequence verbatim (`debt += d; floor; subtract`)
+    /// so the residual `stall_debt` lands on identical bits. Stalls of
+    /// the final work tick are left *pending* (as `iowait_until`)
+    /// whenever that tick ends the busy period or the tick budget runs
+    /// out, because `step()` re-checks the memory pressure on every
+    /// stall tick and the pressure may have just changed.
+    fn batch_thrash_span(
+        &mut self,
+        rem: u64,
+        chosen: usize,
+        margin: u64,
+        min_sleep: Option<u64>,
+    ) -> u64 {
+        let d = {
+            let eff = self.memory_efficiency();
+            ((1.0 - eff) / eff).min(50.0)
+        };
+        let busy0 = self.procs[chosen].progress.busy_left;
+        let mut cap_w = self.procs[chosen].counter.min(busy0).min(margin);
+        if let Some(m) = min_sleep {
+            cap_w = cap_w.min(m);
+        }
+        if cap_w == 0 {
+            return 0;
+        }
+
+        let log_on = self.run_log.is_some();
+        let mut log_positions: Vec<u64> = Vec::new();
+        let mut debt = self.stall_debt;
+        let mut w: u64 = 0;
+        let mut consumed_stalls: u64 = 0;
+        // Absolute tick position as the span replays; becomes `now`.
+        let mut pos = self.now;
+        // `iowait_until` as the per-tick path would have left it: set by
+        // the last work tick whose debt crossed a whole stall.
+        let mut iowait_until = None;
+        while w < cap_w && w + consumed_stalls < rem {
+            if log_on {
+                log_positions.push(pos);
+            }
+            w += 1;
+            debt += d;
+            let whole = debt.floor();
+            pos += 1;
+            if whole >= 1.0 {
+                debt -= whole;
+                let stall = whole as u64;
+                iowait_until = Some(pos + stall);
+                if w == busy0 {
+                    // The busy period ends on this tick; the pressure
+                    // may change, so its stall is re-checked per tick.
+                    break;
+                }
+                let avail = rem - (w + consumed_stalls);
+                let c = stall.min(avail);
+                consumed_stalls += c;
+                pos += c;
+                if c < stall {
+                    break; // tick budget exhausted mid-stall
+                }
+            }
+        }
+        let total = w + consumed_stalls;
+        if total < 2 {
+            return 0;
+        }
+
+        // Bulk-apply, in step() order. Sleep timers tick only on work
+        // ticks (stall ticks return before the wake pass), hence `w`.
+        for sp in &mut self.procs {
+            sp.sleep_bulk(w);
+        }
+        if let Some(m) = &mut self.sleep_min {
+            *m -= w;
+        }
+        {
+            let p = &mut self.procs[chosen];
+            p.counter -= w;
+            p.run_bulk(w);
+        }
+        self.reconcile_aggregates(chosen, true, true);
+        if let RunState::Sleeping { remaining } = self.procs[chosen].state {
+            self.sleep_min = Some(match self.sleep_min {
+                Some(m) => m.min(remaining),
+                None => remaining,
+            });
+        }
+        self.stall_debt = debt;
+        if let Some(u) = iowait_until {
+            self.iowait_until = u;
+        }
+        match self.procs[chosen].spec.class {
+            ProcClass::Host => self.acct.host += w,
+            ProcClass::System => self.acct.system += w,
+            ProcClass::Guest => self.acct.guest += w,
+        }
+        self.acct.iowait += consumed_stalls;
+        if let Some(log) = &mut self.run_log {
+            let pid = self.procs[chosen].pid;
+            log.extend(log_positions.into_iter().map(|t| (t, pid)));
+        }
+        for (i, sp) in self.procs.iter_mut().enumerate() {
+            if i != chosen && sp.is_runnable() {
+                sp.wait_ticks += w;
+            }
+        }
+        self.current = Some(chosen);
+        self.now = pos;
+        total
     }
 
     /// Measures CPU accounting over the next `ticks` ticks and returns

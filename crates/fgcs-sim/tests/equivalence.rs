@@ -197,6 +197,76 @@ fn batched_equals_stepwise_thrashing_and_sleepy() {
     }
 }
 
+/// Sustained thrashing spans are batched (work ticks + page-fault
+/// stalls together) and must stay tick-exact against the reference:
+/// the fractional stall-debt accrual is replayed scalar-exactly, so
+/// the residual debt, the iowait accounting, and the run-log positions
+/// all land on identical values.
+///
+/// Two pressure regimes matter and both are pinned here: *mild*
+/// overcommit (efficiency > 0.5, debt crosses a whole stall only every
+/// few work ticks) and *deep* overcommit (several stall ticks per work
+/// tick). The per-segment control actions kill/resume residents so the
+/// pressure flips on and off mid-run.
+#[test]
+fn thrash_spans_batch_tick_exactly() {
+    for (label, resident_mb) in [("mild", 430u32), ("deep", 900u32)] {
+        let cfg = MachineConfig::solaris_384mb();
+        let mut reference = Machine::new(cfg.clone());
+        let mut batched = Machine::new(cfg);
+        reference.enable_run_log();
+        batched.enable_run_log();
+
+        // One big host resident creates the pressure; a host and a
+        // guest compete for the CPU through the span (so the margin
+        // and wait-tick paths are exercised while thrashing); a
+        // duty-cycle sleeper bounds batches with wake horizons.
+        let heavy = ProcSpec::new(
+            "resident",
+            ProcClass::Host,
+            10,
+            Demand::DutyCycle { busy: 7, idle: 23 },
+            MemSpec::resident(resident_mb),
+        );
+        let cruncher = ProcSpec::new(
+            "cruncher",
+            ProcClass::Host,
+            0,
+            Demand::CpuBound { total_work: None },
+            MemSpec::tiny(),
+        );
+        let guest = ProcSpec::cpu_bound_guest("guest", 19);
+        for (r, b) in [(&heavy, &heavy), (&cruncher, &cruncher), (&guest, &guest)] {
+            let pa = reference.spawn(r.clone());
+            let pb = batched.spawn(b.clone());
+            assert_eq!(pa, pb);
+        }
+
+        let mut rng = Rng::for_stream(0x0071_8405, resident_mb as u64);
+        for seg in 0..30 {
+            let span = rng.range_u64(50, 400);
+            reference.run_ticks_stepwise(span);
+            let mut left = span;
+            while left > 0 {
+                let chunk = rng.range_u64(1, left.min(128) + 1).min(left);
+                batched.run_ticks(chunk);
+                left -= chunk;
+            }
+            assert_same(
+                &reference,
+                &batched,
+                &format!("{label} overcommit, segment {seg}"),
+            );
+        }
+        // The span must actually have thrashed: page-fault stalls are
+        // the whole point of the scenario.
+        assert!(
+            reference.accounting().iowait > 0,
+            "{label}: scenario never thrashed"
+        );
+    }
+}
+
 /// The documented six-to-one epoch pattern must survive batching with
 /// the run log enabled (per-tick entries, identical to the reference).
 #[test]

@@ -1,0 +1,23 @@
+//! Minimal Linux syscall shim for the epoll readiness-loop backend.
+//!
+//! The build environment has no crate registry, so `fgcs-service`
+//! cannot pull in `libc`/`mio`. This crate binds the handful of
+//! syscalls the event loop needs — `epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `fcntl` (for `O_NONBLOCK`) and `accept4` — directly
+//! via `extern "C"` declarations against the C library the binary
+//! already links, and wraps them in safe, RAII-owning types.
+//!
+//! Every other crate in the workspace keeps `#![forbid(unsafe_code)]`;
+//! all `unsafe` lives here, behind wrappers whose contracts are plain
+//! `std::io` ones (owned fds, `io::Result`, EINTR retried).
+//!
+//! Only compiled on Linux; on other targets the crate is empty and the
+//! service falls back to the threaded backend.
+
+#![warn(missing_docs)]
+
+#[cfg(target_os = "linux")]
+mod linux;
+
+#[cfg(target_os = "linux")]
+pub use linux::*;

@@ -233,8 +233,10 @@ mod tests {
 
     #[test]
     fn censored_overlap_is_half_open() {
-        let mut m = MachineQuality::default();
-        m.censored_spans = vec![(100, 200), (500, 700)];
+        let m = MachineQuality {
+            censored_spans: vec![(100, 200), (500, 700)],
+            ..Default::default()
+        };
         assert!(m.overlaps_censored(150, 160));
         assert!(m.overlaps_censored(0, 101));
         assert!(

@@ -313,7 +313,7 @@ pub fn trace_machine_supervised(
     let mut last_t: Option<u64> = None;
     let mut abandoned_at: Option<u64> = None;
 
-    'samples: while let Some(s) = stream.next() {
+    'samples: for s in stream.by_ref() {
         // Supervision: handle tracer crashes scheduled before this sample.
         while let Some(&crash_t) = crashes.peek() {
             if crash_t > s.t {

@@ -202,8 +202,20 @@ impl From<PayloadError> for DecodeError {
 
 /// Serializes a frame: header + payload, ready to write to a socket.
 pub fn encode(frame: &Frame) -> Result<Vec<u8>, EncodeError> {
-    let mut buf = vec![0u8; HEADER_LEN];
-    frame.encode_payload(&mut buf)?;
+    let mut buf = Vec::with_capacity(HEADER_LEN + 64);
+    encode_into(frame, &mut buf)?;
+    Ok(buf)
+}
+
+/// Serializes a frame into a caller-owned buffer, clearing it first.
+/// The buffer's capacity is reused across calls — the readiness-loop
+/// backend encodes every reply through one scratch buffer so steady
+/// state allocates nothing per frame. On error the buffer contents are
+/// unspecified (but safe to reuse).
+pub fn encode_into(frame: &Frame, buf: &mut Vec<u8>) -> Result<(), EncodeError> {
+    buf.clear();
+    buf.resize(HEADER_LEN, 0);
+    frame.encode_payload(buf)?;
     let payload_len = buf.len() - HEADER_LEN;
     if payload_len > MAX_FRAME_LEN {
         return Err(EncodeError::Oversize { len: payload_len });
@@ -215,7 +227,7 @@ pub fn encode(frame: &Frame) -> Result<Vec<u8>, EncodeError> {
     buf[3] = frame.tag();
     buf[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
     buf[8..12].copy_from_slice(&crc.to_le_bytes());
-    Ok(buf)
+    Ok(())
 }
 
 impl Frame {
@@ -409,6 +421,26 @@ mod tests {
         // The canonical IEEE check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let frames = vec![
+            Frame::Ack { seq: 17 },
+            Frame::Error {
+                code: ErrorCode::Internal,
+                detail: "a somewhat longer detail string".into(),
+            },
+            Frame::Ack { seq: 18 },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            encode_into(f, &mut buf).unwrap();
+            assert_eq!(buf, encode(f).unwrap(), "same bytes as the Vec path");
+            assert_eq!(decode_one(&buf).unwrap(), *f);
+        }
+        // The shrink back to a small frame must not leave stale bytes.
+        assert_eq!(buf.len(), encode(&frames[2]).unwrap().len());
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub const MAX_TRANSITIONS_PER_FRAME: usize = 65_536;
 pub const MAX_MACHINE_STATS: usize = 65_536;
 /// Hard cap on the detail string of an [`Frame::Error`].
 pub const MAX_ERROR_DETAIL: usize = 1_024;
+/// Hard cap on the token string of a [`Frame::Auth`].
+pub const MAX_AUTH_TOKEN: usize = 256;
 
 /// How one sample reports CPU usage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +117,12 @@ pub enum ErrorCode {
     Unsupported,
     /// The server hit an internal error handling the request.
     Internal,
+    /// The stream has not presented a valid [`Frame::Auth`] token; the
+    /// server closes the connection after sending this.
+    Unauthorized,
+    /// The server is at its connection cap; this connection is refused
+    /// and closed.
+    ConnLimit,
 }
 
 impl ErrorCode {
@@ -125,6 +133,8 @@ impl ErrorCode {
             ErrorCode::UnknownMachine => 2,
             ErrorCode::Unsupported => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::Unauthorized => 5,
+            ErrorCode::ConnLimit => 6,
         }
     }
 
@@ -135,6 +145,8 @@ impl ErrorCode {
             2 => Some(ErrorCode::UnknownMachine),
             3 => Some(ErrorCode::Unsupported),
             4 => Some(ErrorCode::Internal),
+            5 => Some(ErrorCode::Unauthorized),
+            6 => Some(ErrorCode::ConnLimit),
             _ => None,
         }
     }
@@ -226,6 +238,16 @@ pub enum Frame {
         /// Human-readable detail (bounded).
         detail: String,
     },
+    /// Client → server: shared-token authentication. When the server is
+    /// configured with a token, this must be the first frame on every
+    /// connection; a matching token earns `Ack { seq: 0 }`, anything
+    /// else earns `Error { Unauthorized }` and the connection is
+    /// closed. Servers without a token configured accept (and `Ack`)
+    /// the frame but do not require it.
+    Auth {
+        /// The shared secret (UTF-8, bounded by [`MAX_AUTH_TOKEN`]).
+        token: String,
+    },
 }
 
 impl Frame {
@@ -244,6 +266,7 @@ impl Frame {
             Frame::QueryTransitions { .. } => 10,
             Frame::Transitions { .. } => 11,
             Frame::Error { .. } => 12,
+            Frame::Auth { .. } => 13,
         }
     }
 
@@ -372,6 +395,18 @@ impl Frame {
                     });
                 }
                 out.push(code.code());
+                put_u32(out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            Frame::Auth { token } => {
+                let bytes = token.as_bytes();
+                if bytes.len() > MAX_AUTH_TOKEN {
+                    return Err(EncodeError::TooManyElements {
+                        what: "auth token bytes",
+                        len: bytes.len(),
+                        max: MAX_AUTH_TOKEN,
+                    });
+                }
                 put_u32(out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
             }
@@ -516,6 +551,19 @@ impl Frame {
                     .to_string();
                 Frame::Error { code, detail }
             }
+            13 => {
+                let len = r.u32()? as usize;
+                if len > MAX_AUTH_TOKEN {
+                    return Err(PayloadError::new(format!(
+                        "auth token length {len} exceeds cap {MAX_AUTH_TOKEN}"
+                    )));
+                }
+                let bytes = r.bytes(len)?;
+                let token = std::str::from_utf8(bytes)
+                    .map_err(|e| PayloadError::new(format!("auth token not UTF-8: {e}")))?
+                    .to_string();
+                Frame::Auth { token }
+            }
             other => return Err(PayloadError::new(format!("unknown frame tag {other}"))),
         };
         r.finish()?;
@@ -557,6 +605,8 @@ mod tests {
             ErrorCode::UnknownMachine,
             ErrorCode::Unsupported,
             ErrorCode::Internal,
+            ErrorCode::Unauthorized,
+            ErrorCode::ConnLimit,
         ] {
             assert_eq!(ErrorCode::from_code(c.code()), Some(c));
         }
@@ -602,6 +652,9 @@ mod tests {
                 code: ErrorCode::BadFrame,
                 detail: String::new(),
             },
+            Frame::Auth {
+                token: String::new(),
+            },
         ];
         let mut tags: Vec<u8> = frames.iter().map(|f| f.tag()).collect();
         tags.sort_unstable();
@@ -623,6 +676,49 @@ mod tests {
         match d.next_frame().unwrap().unwrap() {
             Frame::AvailReply { prob, .. } => assert_eq!(prob.to_bits(), bits),
             other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_round_trips_and_respects_the_token_cap() {
+        let f = Frame::Auth {
+            token: "s3cr3t-τøκ".to_string(),
+        };
+        let enc = f.encode().unwrap();
+        assert_eq!(crate::codec::decode_one(&enc).unwrap(), f);
+
+        let over = Frame::Auth {
+            token: "x".repeat(MAX_AUTH_TOKEN + 1),
+        };
+        assert!(matches!(
+            over.encode(),
+            Err(EncodeError::TooManyElements { .. })
+        ));
+        let at_cap = Frame::Auth {
+            token: "x".repeat(MAX_AUTH_TOKEN),
+        };
+        let enc = at_cap.encode().unwrap();
+        assert_eq!(crate::codec::decode_one(&enc).unwrap(), at_cap);
+    }
+
+    #[test]
+    fn auth_with_invalid_utf8_is_recoverable() {
+        let mut enc = Frame::Auth {
+            token: "abcd".to_string(),
+        }
+        .encode()
+        .unwrap();
+        // Corrupt a token byte into an invalid UTF-8 lead byte and fix
+        // the CRC so the failure is the UTF-8 check, not the checksum.
+        let n = enc.len();
+        enc[n - 1] = 0xff;
+        let crc = crate::codec::crc32(&enc[crate::codec::HEADER_LEN..]);
+        enc[8..12].copy_from_slice(&crc.to_le_bytes());
+        let mut d = Decoder::new();
+        d.push(&enc);
+        match d.next_frame() {
+            Err(e) => assert!(!e.is_fatal(), "bad token bytes skip one frame: {e}"),
+            other => panic!("expected decode error, got {other:?}"),
         }
     }
 

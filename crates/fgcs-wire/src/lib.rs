@@ -37,9 +37,11 @@
 pub mod codec;
 pub mod frame;
 
-pub use codec::{decode_one, DecodeError, Decoder, EncodeError, HEADER_LEN, MAX_FRAME_LEN};
+pub use codec::{
+    decode_one, encode_into, DecodeError, Decoder, EncodeError, HEADER_LEN, MAX_FRAME_LEN,
+};
 pub use frame::{
     ErrorCode, Frame, MachineStat, SampleLoad, StatsPayload, WireSample, WireTransition,
-    MAX_ERROR_DETAIL, MAX_MACHINE_STATS, MAX_SAMPLES_PER_BATCH, MAX_TRANSITIONS_PER_FRAME,
-    PROTOCOL_VERSION,
+    MAX_AUTH_TOKEN, MAX_ERROR_DETAIL, MAX_MACHINE_STATS, MAX_SAMPLES_PER_BATCH,
+    MAX_TRANSITIONS_PER_FRAME, PROTOCOL_VERSION,
 };

@@ -145,9 +145,14 @@ proptest! {
     }
 
     #[test]
-    fn error_frames_round_trip(code in 1u8..=4, detail in detail_strategy()) {
+    fn error_frames_round_trip(code in 1u8..=6, detail in detail_strategy()) {
         let code = ErrorCode::from_code(code).expect("valid code");
         assert_bytes_round_trip(&Frame::Error { code, detail })?;
+    }
+
+    #[test]
+    fn auth_frames_round_trip(token in detail_strategy()) {
+        assert_bytes_round_trip(&Frame::Auth { token })?;
     }
 
     #[test]

@@ -49,6 +49,39 @@ dec=$(echo "$clean_row" | cut -d, -f10)
 ans=$(echo "$clean_row" | cut -d, -f11)
 [ "$dec" -eq 0 ] || { echo "serve smoke: clean phase had $dec decode errors" >&2; exit 1; }
 [ "$ans" -gt 0 ] || { echo "serve smoke: no availability queries answered" >&2; exit 1; }
+# The fan-in scaling phase must have produced its per-backend curve, both
+# in the smoke run and in the committed benchmark artifact.
+for bj in "$smoke_dir/BENCH_serve.json" BENCH_serve.json; do
+    grep -q '"scaling"' "$bj" \
+        || { echo "$bj: missing \"scaling\" section (X12 fan-in phase)" >&2; exit 1; }
+done
+test -f "$smoke_dir/results/serve_scaling.csv" \
+    || { echo "missing serve_scaling.csv" >&2; exit 1; }
+
+echo "== epoll backend smoke (fgcs-serve + fgcs-smoke over localhost) =="
+# Drive the readiness-loop backend through a real process boundary: a
+# server on a free port with auth enabled, probed by fgcs-smoke (authed
+# batch, forced reconnect mid-stream, stats query, and one wrong-token
+# rejection). The server runs until we close its stdin.
+serve_fifo="$smoke_dir/serve.stdin"
+mkfifo "$serve_fifo"
+./target/release/fgcs-serve --addr 127.0.0.1:0 --backend epoll \
+    --auth-token ci-smoke-token \
+    < "$serve_fifo" > "$smoke_dir/serve_addr.out" 2> "$smoke_dir/serve_epoll.log" &
+serve_pid=$!
+exec 9> "$serve_fifo"
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve_addr.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "fgcs-serve never reported its address" >&2; exit 1; }
+./target/release/fgcs-smoke --addr "$addr" --token ci-smoke-token
+exec 9>&-
+wait "$serve_pid"
+grep -q 'backend=epoll' "$smoke_dir/serve_epoll.log" \
+    || { echo "fgcs-serve did not run the epoll backend" >&2; exit 1; }
 
 echo "== sim throughput smoke (quick mode) =="
 FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench sim_throughput

@@ -215,6 +215,39 @@ enum Mode {
     },
 }
 
+/// Serializable view of a [`Detector`]'s dynamic state (everything but
+/// the configuration), captured by [`Detector::snapshot`]. A detector
+/// rebuilt via [`Detector::restore`] with the same configuration
+/// continues the observation stream exactly where the snapshot left
+/// off: feeding both detectors the same subsequent samples yields
+/// identical steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorSnapshot {
+    /// The machine was available (S1/S2, possibly with a tolerated
+    /// spike pending).
+    Available {
+        /// Load band of the last sample.
+        band: LoadBand,
+        /// When the current `LH > Th2` spike started, if one is being
+        /// tolerated.
+        spike_since: Option<u64>,
+        /// Timestamp of the last observation.
+        last_t: Option<u64>,
+    },
+    /// The machine was inside an unavailability occurrence (S3/S4/S5).
+    Unavailable {
+        /// Failure cause of the open occurrence.
+        cause: FailureCause,
+        /// When the machine last turned calm, if the harvest-delay clock
+        /// is running.
+        calm_since: Option<u64>,
+        /// For revocations: when the service first responded again.
+        revived: Option<u64>,
+        /// Timestamp of the last observation.
+        last_t: Option<u64>,
+    },
+}
+
 /// The incremental unavailability detector.
 #[derive(Debug, Clone)]
 pub struct Detector {
@@ -289,6 +322,60 @@ impl Detector {
                 ..
             }
         )
+    }
+
+    /// Captures the detector's dynamic state for checkpointing.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        match self.mode {
+            Mode::Available { band, spike_since } => DetectorSnapshot::Available {
+                band,
+                spike_since,
+                last_t: self.last_t,
+            },
+            Mode::Unavailable {
+                cause,
+                calm_since,
+                revived,
+            } => DetectorSnapshot::Unavailable {
+                cause,
+                calm_since,
+                revived,
+                last_t: self.last_t,
+            },
+        }
+    }
+
+    /// Rebuilds a detector from a [`Detector::snapshot`] under `cfg`.
+    /// For the restored detector to continue the stream exactly, `cfg`
+    /// must equal the configuration the snapshot was taken under; the
+    /// configuration is still validated so a corrupted restore cannot
+    /// produce a silently misbehaving detector.
+    pub fn restore(
+        cfg: DetectorConfig,
+        snap: DetectorSnapshot,
+    ) -> Result<Detector, DetectorConfigError> {
+        cfg.validate()?;
+        let (mode, last_t) = match snap {
+            DetectorSnapshot::Available {
+                band,
+                spike_since,
+                last_t,
+            } => (Mode::Available { band, spike_since }, last_t),
+            DetectorSnapshot::Unavailable {
+                cause,
+                calm_since,
+                revived,
+                last_t,
+            } => (
+                Mode::Unavailable {
+                    cause,
+                    calm_since,
+                    revived,
+                },
+                last_t,
+            ),
+        };
+        Ok(Detector { cfg, mode, last_t })
     }
 
     /// Feeds one observation taken at time `t`. Timestamps must be
@@ -890,5 +977,55 @@ mod tests {
             ]
         );
         assert_eq!(d.state(), AvailState::S1);
+    }
+
+    /// Snapshot/restore at *every* prefix of an eventful stream: the
+    /// restored detector must produce exactly the same steps as the
+    /// uninterrupted one for the remainder — the invariant the service's
+    /// crash-safe checkpointing is built on.
+    #[test]
+    fn snapshot_restore_continues_stream_exactly() {
+        let mut silent_cfg = cfg();
+        silent_cfg.max_silence = Some(600);
+        // Spike, contention, recovery, death, revival, and a censoring
+        // gap: every Mode variant and timer is exercised.
+        let samples: Vec<(u64, Observation)> = vec![
+            (0, obs(0.1)),
+            (30, obs(0.4)),
+            (60, obs(0.7)),
+            (150, obs(0.7)), // tolerance exceeded -> S3
+            (180, obs(0.1)),
+            (500, obs(0.1)), // harvest delay passed -> S1
+            (530, Observation::dead()),
+            (560, obs(0.2)),  // revived, calm clock running
+            (900, obs(0.2)),  // harvested again
+            (1700, obs(0.1)), // 800 s silence -> gap
+            (1730, obs(0.9)),
+        ];
+        for cut in 0..samples.len() {
+            let mut full = Detector::new(silent_cfg);
+            for (t, o) in &samples[..cut] {
+                full.observe(*t, o);
+            }
+            let mut restored =
+                Detector::restore(silent_cfg, full.snapshot()).expect("restore succeeds");
+            for (t, o) in &samples[cut..] {
+                let a = full.observe(*t, o);
+                let b = restored.observe(*t, o);
+                assert_eq!(a, b, "divergence after cut {cut} at t {t}");
+            }
+            assert_eq!(full.snapshot(), restored.snapshot(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_invalid_config() {
+        let d = Detector::new(cfg());
+        let mut bad = cfg();
+        bad.spike_tolerance = 0;
+        assert_eq!(
+            Detector::restore(bad, d.snapshot()).err(),
+            Some(DetectorConfigError::ZeroSpikeTolerance)
+        );
     }
 }

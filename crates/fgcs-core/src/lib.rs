@@ -36,7 +36,9 @@ pub mod monitor;
 pub mod policy;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats};
-pub use detector::{Detector, DetectorConfig, DetectorConfigError, EventEdge, GuestAction, Step};
+pub use detector::{
+    Detector, DetectorConfig, DetectorConfigError, DetectorSnapshot, EventEdge, GuestAction, Step,
+};
 pub use events::{EventLog, UnavailEvent};
 pub use model::{AvailState, FailureCause, LoadBand, Thresholds, NOTICEABLE_SLOWDOWN};
-pub use monitor::{Monitor, Observation, ResourceProbe};
+pub use monitor::{Monitor, MonitorSnapshot, Observation, ResourceProbe};

@@ -228,6 +228,27 @@ pub enum LoadBand {
     Excessive,
 }
 
+impl LoadBand {
+    /// Stable numeric code 1..=3, for wire formats and compact logs.
+    pub fn code(self) -> u8 {
+        match self {
+            LoadBand::Light => 1,
+            LoadBand::Heavy => 2,
+            LoadBand::Excessive => 3,
+        }
+    }
+
+    /// Inverse of [`LoadBand::code`].
+    pub fn from_code(code: u8) -> Option<LoadBand> {
+        match code {
+            1 => Some(LoadBand::Light),
+            2 => Some(LoadBand::Heavy),
+            3 => Some(LoadBand::Excessive),
+            _ => None,
+        }
+    }
+}
+
 /// The slowdown tolerance defining "noticeable": the paper uses a 5%
 /// reduction of host CPU usage throughout.
 pub const NOTICEABLE_SLOWDOWN: f64 = 0.05;

@@ -131,6 +131,35 @@ impl Monitor {
     pub fn reset(&mut self) {
         self.last = None;
     }
+
+    /// Captures the monitor's complete state for checkpointing. A
+    /// monitor restored from the snapshot continues diffing counter
+    /// streams from the same baseline, so a process restart does not
+    /// masquerade as a counter reset.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            last: self.last,
+            resets: self.resets,
+        }
+    }
+
+    /// Rebuilds a monitor from a [`Monitor::snapshot`].
+    pub fn restore(snap: MonitorSnapshot) -> Monitor {
+        Monitor {
+            last: snap.last,
+            resets: snap.resets,
+        }
+    }
+}
+
+/// Serializable view of a [`Monitor`]'s state (see [`Monitor::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorSnapshot {
+    /// The counter baseline `(busy, total)` of the last consistent
+    /// sample, if any.
+    pub last: Option<(u64, u64)>,
+    /// Counter resets absorbed so far.
+    pub resets: u64,
 }
 
 #[cfg(test)]
@@ -308,6 +337,30 @@ mod tests {
         );
         machine.restore_service();
         assert!(mon.sample(&machine).alive);
+    }
+
+    #[test]
+    fn snapshot_restore_keeps_baseline_and_reset_count() {
+        let mut m = Monitor::new();
+        let mut p = FakeProbe {
+            busy: 500_000,
+            total: 1_000_000,
+            mem: 512,
+            alive: true,
+        };
+        m.sample(&p);
+        p.busy = 10; // counter reset absorbed pre-snapshot
+        p.total = 100;
+        m.sample(&p);
+        let mut restored = Monitor::restore(m.snapshot());
+        // The restored monitor diffs from the persisted baseline (10, 100)
+        // rather than re-establishing one (which would report 0).
+        p.busy = 40;
+        p.total = 200;
+        let o = restored.sample(&p);
+        assert!((o.host_load - 0.3).abs() < 1e-12, "load {}", o.host_load);
+        assert_eq!(restored.reset_count(), 1, "reset count survives");
+        assert_eq!(m.sample(&p).host_load, o.host_load, "matches original");
     }
 
     #[test]

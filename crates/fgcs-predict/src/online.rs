@@ -172,6 +172,48 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_from_records_matches_streamed_model_bit_for_bit() {
+        // The service snapshot restore path does not persist this model;
+        // it replays (machine, start) pairs from the restored records and
+        // re-advances the horizon. That rebuild must be indistinguishable
+        // from the model that streamed the events live.
+        let cfg = TestbedConfig::tiny();
+        let trace = run_testbed(&cfg);
+        let horizon = trace.records.iter().map(|r| r.start).max().unwrap() + 900;
+
+        let mut live = OnlineAvailabilityModel::new(trace.meta.start_weekday);
+        for m in 0..trace.meta.machines {
+            live.ensure_machine(m);
+        }
+        // Interleave time advances and events, as live ingest does.
+        for r in &trace.records {
+            live.observe_time(r.start);
+            live.record_event(r.machine, r.start);
+        }
+        live.observe_time(horizon);
+
+        let mut rebuilt = OnlineAvailabilityModel::new(trace.meta.start_weekday);
+        for m in 0..trace.meta.machines {
+            rebuilt.ensure_machine(m);
+        }
+        for r in &trace.records {
+            rebuilt.record_event(r.machine, r.start);
+        }
+        rebuilt.observe_time(horizon);
+
+        assert_eq!(live.total_events(), rebuilt.total_events());
+        assert_eq!(live.horizon(), rebuilt.horizon());
+        assert_eq!(live.machines(), rebuilt.machines());
+        for m in 0..trace.meta.machines {
+            for w in [600u64, 3600, 8 * 3600] {
+                let a = live.predict(m, horizon, w);
+                let b = rebuilt.predict(m, horizon, w);
+                assert_eq!(a.to_bits(), b.to_bits(), "machine {m} w {w}");
+            }
+        }
+    }
+
+    #[test]
     fn unknown_machine_predicts_certainty() {
         let online = OnlineAvailabilityModel::new(0);
         assert_eq!(online.predict(99, 0, 3600), 1.0);

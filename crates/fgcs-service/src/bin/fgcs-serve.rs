@@ -3,7 +3,8 @@
 //! ```text
 //! fgcs-serve [--addr HOST:PORT] [--backend threads|epoll] [--workers N]
 //!            [--queue-capacity N] [--max-conns N] [--shards N]
-//!            [--auth-token TOKEN]
+//!            [--auth-token TOKEN] [--snapshot-dir DIR]
+//!            [--snapshot-interval MS] [--reuse-addr]
 //! ```
 //!
 //! Prints the bound address on stdout (port 0 picks a free port, which
@@ -18,9 +19,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: fgcs-serve [--addr HOST:PORT] [--backend threads|epoll] [--workers N]\n\
          \x20                 [--queue-capacity N] [--max-conns N] [--shards N]\n\
-         \x20                 [--auth-token TOKEN]\n\
+         \x20                 [--auth-token TOKEN] [--snapshot-dir DIR]\n\
+         \x20                 [--snapshot-interval MS] [--reuse-addr]\n\
          \n\
-         Runs until stdin reaches EOF. Prints `listening on ADDR` once bound."
+         Runs until stdin reaches EOF. Prints `listening on ADDR` once bound.\n\
+         With --snapshot-dir the server checkpoints its ingest state there\n\
+         periodically and on shutdown, and restores from it at startup."
     );
     exit(2);
 }
@@ -61,6 +65,12 @@ fn main() {
                 Err(_) => usage(),
             },
             "--auth-token" => cfg.auth_token = Some(value("--auth-token")),
+            "--snapshot-dir" => cfg.snapshot_dir = Some(value("--snapshot-dir")),
+            "--snapshot-interval" => match value("--snapshot-interval").parse() {
+                Ok(ms) => cfg.snapshot_interval_ms = ms,
+                Err(_) => usage(),
+            },
+            "--reuse-addr" => cfg.reuse_addr = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fgcs-serve: unknown argument {other:?}");

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! fgcs-smoke --addr HOST:PORT [--token TOKEN]
+//! fgcs-smoke --addr HOST:PORT --replay MACHINES:SAMPLES [--resume]
 //! ```
 //!
-//! Against a running server it checks, in order:
+//! **Probe mode** (no `--replay`) checks, in order:
 //!
 //! 1. a (token-authenticated) client can send a sample batch and get
 //!    an `Ack`;
@@ -15,9 +16,21 @@
 //!    rejected with `PermissionDenied` (the typed `Unauthorized`
 //!    error), not retried into oblivion.
 //!
+//! **Replay mode** streams a deterministic square-wave trace (the same
+//! wave regardless of timing, so two runs are bit-comparable) for
+//! `MACHINES` machines × `SAMPLES` samples each, then waits until the
+//! server has ingested everything. With `--resume` it first asks the
+//! server (via `QueryStats`, whose per-machine stats carry `last_t`)
+//! how far each machine got, and replays only samples *strictly after*
+//! that — the client side of restart recovery. Strictly: a duplicate
+//! of the `last_t` sample would be accepted by the server (only `t <
+//! last_t` counts as out-of-order) and would skew availability means.
+//!
 //! Exits 0 on success, 1 with a message on the first failure — the CI
-//! smoke gate for the epoll backend + auth handshake.
+//! smoke gate for the epoll backend, auth handshake, and the
+//! kill-and-restart snapshot check.
 
+use std::collections::BTreeMap;
 use std::process::exit;
 
 use fgcs_service::{ClientConfig, ServiceClient};
@@ -40,14 +53,103 @@ fn batch(machine: u32, t0: u64) -> Frame {
     Frame::SampleBatch { machine, samples }
 }
 
+/// The deterministic replay wave: sample `i` of machine `m` is at
+/// `t = i * 15` with a square-wave load (40 samples busy, 40 idle,
+/// phase-shifted per machine) — long enough stretches to drive real
+/// detector transitions and occurrence records.
+fn wave_sample(machine: u32, i: u64) -> WireSample {
+    let busy = ((i + 7 * machine as u64) / 40) % 2 == 1;
+    WireSample {
+        t: i * 15,
+        load: SampleLoad::Direct(if busy { 0.9 } else { 0.05 }),
+        host_resident_mb: 100,
+        alive: true,
+    }
+}
+
+fn query_stats(client: &mut ServiceClient) -> fgcs_wire::StatsPayload {
+    match client.request(&Frame::QueryStats) {
+        Ok(Frame::StatsReply(stats)) => stats,
+        Ok(other) => fail(&format!("stats: unexpected tag {}", other.tag())),
+        Err(e) => fail(&format!("stats: {e}")),
+    }
+}
+
+/// Streams the wave to the server; with `resume` set, only the samples
+/// the server hasn't seen yet (per its own `last_t` book-keeping).
+fn run_replay(client: &mut ServiceClient, machines: u32, samples: u64, resume: bool) {
+    let mut last_t: BTreeMap<u32, u64> = BTreeMap::new();
+    if resume {
+        for m in query_stats(client).machines {
+            last_t.insert(m.machine, m.last_t);
+        }
+    }
+    for machine in 1..=machines {
+        let from = last_t.get(&machine).copied();
+        let todo: Vec<WireSample> = (0..samples)
+            .map(|i| wave_sample(machine, i))
+            .filter(|s| from.is_none_or(|lt| s.t > lt))
+            .collect();
+        for chunk in todo.chunks(50) {
+            let frame = Frame::SampleBatch {
+                machine,
+                samples: chunk.to_vec(),
+            };
+            match client.request(&frame) {
+                Ok(Frame::Ack { .. }) => {}
+                // A shed batch would break the bit-identity the restart
+                // smoke diffs on; the replay load is far below the
+                // queue capacity, so Busy means something is wrong.
+                Ok(other) => fail(&format!(
+                    "replay machine {machine}: expected Ack, got tag {}",
+                    other.tag()
+                )),
+                Err(e) => fail(&format!("replay machine {machine}: {e}")),
+            }
+        }
+    }
+    // Ingest is asynchronous: wait until every machine's pipeline has
+    // consumed its final sample before declaring the replay done (the
+    // caller may snapshot-and-diff right after we exit).
+    let final_t = (samples - 1) * 15;
+    for _ in 0..200 {
+        let stats = query_stats(client);
+        let caught_up = (1..=machines).all(|m| {
+            stats
+                .machines
+                .iter()
+                .any(|s| s.machine == m && s.last_t >= final_t)
+        });
+        if caught_up {
+            println!("fgcs-smoke: replay OK ({machines} machines x {samples} samples)");
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    fail("replay: server did not catch up to the final sample in time");
+}
+
 fn main() {
     let mut addr = None;
     let mut token: Option<String> = None;
+    let mut replay: Option<(u32, u64)> = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),
             "--token" => token = args.next(),
+            "--replay" => {
+                let spec = args.next().unwrap_or_default();
+                let parsed = spec
+                    .split_once(':')
+                    .and_then(|(m, n)| Some((m.parse::<u32>().ok()?, n.parse::<u64>().ok()?)));
+                match parsed {
+                    Some((m, n)) if m >= 1 && n >= 2 => replay = Some((m, n)),
+                    _ => fail("--replay needs MACHINES:SAMPLES (at least 1:2)"),
+                }
+            }
+            "--resume" => resume = true,
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
@@ -62,6 +164,11 @@ fn main() {
         Ok(c) => c,
         Err(e) => fail(&format!("connect: {e}")),
     };
+
+    if let Some((machines, samples)) = replay {
+        run_replay(&mut client, machines, samples, resume);
+        return;
+    }
 
     match client.request(&batch(7, 0)) {
         Ok(Frame::Ack { .. }) => {}

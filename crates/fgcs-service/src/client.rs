@@ -128,6 +128,11 @@ impl ServiceClient {
                 Err(e) => {
                     // A connection that stayed healthy long enough earns
                     // its retry budget back, as in the testbed supervisor.
+                    // The credit is *consumed* (`take`): `elapsed()`
+                    // keeps growing after the stream died, so keeping
+                    // `connected_at` around would reset the budget on
+                    // every failed attempt and the client would retry a
+                    // dead server forever instead of giving up.
                     let healthy_ms = self
                         .cfg
                         .sup
@@ -136,6 +141,7 @@ impl ServiceClient {
                     if attempts > 0
                         && self
                             .connected_at
+                            .take()
                             .is_some_and(|t| t.elapsed() >= Duration::from_millis(healthy_ms))
                     {
                         attempts = 0;

@@ -5,8 +5,6 @@
 //! auth gating, shed accounting, query answers, the one-reply-per-frame
 //! identity — are a single code path and cannot drift between backends.
 
-use std::sync::atomic::Ordering;
-
 use fgcs_wire::{ErrorCode, Frame, WireTransition, MAX_TRANSITIONS_PER_FRAME};
 
 use crate::state::{Batch, Shared};
@@ -42,14 +40,14 @@ pub(crate) fn handle_conn_frame(shared: &Shared, frame: Frame, ctx: &mut ConnCtx
                     Outcome::Reply(Frame::Ack { seq: 0 })
                 }
                 Frame::Auth { .. } => {
-                    shared.counters.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.update(|c| c.auth_rejects += 1);
                     Outcome::ReplyThenClose(Frame::Error {
                         code: ErrorCode::Unauthorized,
                         detail: "auth token mismatch".to_string(),
                     })
                 }
                 _ => {
-                    shared.counters.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.update(|c| c.auth_rejects += 1);
                     Outcome::ReplyThenClose(Frame::Error {
                         code: ErrorCode::Unauthorized,
                         detail: "authenticate before sending requests".to_string(),
@@ -76,16 +74,18 @@ fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
             shared.queue_cv.notify_one();
             match shed {
                 Some(victim) => {
-                    shared.counters.shed_batches.fetch_add(1, Ordering::Relaxed);
-                    shared
-                        .counters
-                        .shed_samples
-                        .fetch_add(victim.samples.len() as u64, Ordering::Relaxed);
-                    let total = shared.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                    // One locked update, so a concurrent stats read can
+                    // never see the shed batch without its samples.
+                    let total = shared.counters.update(|c| {
+                        c.shed_batches += 1;
+                        c.shed_samples += victim.samples.len() as u64;
+                        c.busy_replies += 1;
+                        c.busy_replies
+                    });
                     // The arriving batch *was* accepted; Busy tells the
                     // producer the queue overflowed and sheds happened.
                     Frame::Busy {
-                        shed_batches: total + 1,
+                        shed_batches: total,
                     }
                 }
                 None => {
@@ -116,10 +116,7 @@ fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
                 // window cannot be failure-free.
                 0.0
             };
-            shared
-                .counters
-                .queries_answered
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.update(|c| c.queries_answered += 1);
             Frame::AvailReply {
                 machine,
                 state: state.code(),
@@ -150,10 +147,7 @@ fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
                 }
             }
             drop(online);
-            shared
-                .counters
-                .placements_answered
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.update(|c| c.placements_answered += 1);
             match best {
                 Some((machine, prob)) => Frame::PlaceReply {
                     machine: Some(machine),

@@ -134,10 +134,7 @@ fn drain_frames(shared: &Shared, conn: &mut Conn, ebuf: &mut Vec<u8>) -> bool {
             },
             Ok(None) => break,
             Err(e) => {
-                shared
-                    .counters
-                    .decode_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.update(|c| c.decode_errors += 1);
                 let reply = Frame::Error {
                     code: ErrorCode::BadFrame,
                     detail: e.to_string(),
@@ -226,7 +223,7 @@ fn accept_ready(
         match accept_nonblocking(listener) {
             Ok(Some(mut stream)) => {
                 if conns.len() >= max_conns {
-                    shared.counters.conn_rejects.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.update(|c| c.conn_rejects += 1);
                     let reject = Frame::Error {
                         code: ErrorCode::ConnLimit,
                         detail: format!("server is at its connection cap ({max_conns})"),
@@ -296,6 +293,11 @@ pub(crate) fn run_event_loop(
                 accept_ready(shared, listener, &ep, &mut conns, max_conns, &mut ebuf);
             }
         }
+        // Periodic checkpoint hook — the epoll analogue of the threaded
+        // backend's checkpointer thread (same sink, same interval
+        // gating, same format; the 50 ms wait timeout bounds how stale
+        // the check can get on an idle server).
+        shared.checkpoint_if_due();
     }
     // Dropping the map closes every connection; queued batches are
     // drained by the ingest workers after this thread exits.

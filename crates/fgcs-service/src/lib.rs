@@ -53,6 +53,7 @@ mod conn;
 mod epoll;
 pub mod loadgen;
 pub mod server;
+mod snapshot;
 mod state;
 
 pub use client::{ClientConfig, ServiceClient};

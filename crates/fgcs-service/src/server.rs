@@ -88,6 +88,17 @@ pub struct ServiceConfig {
     /// Artificial per-batch ingest cost, µs. Zero in production; the
     /// overload tests use it to pin ingest capacity below offered load.
     pub ingest_delay_us: u64,
+    /// Directory for crash-safe snapshots. When set, the server
+    /// checkpoints its full ingest state there periodically and on
+    /// graceful shutdown, and restores from the newest usable snapshot
+    /// at startup (DESIGN.md §11). `None` disables snapshotting.
+    pub snapshot_dir: Option<String>,
+    /// Minimum milliseconds between periodic snapshots.
+    pub snapshot_interval_ms: u64,
+    /// Bind with `SO_REUSEADDR` (Linux, via `fgcs-sys`), so a restarted
+    /// server can rebind its old port while the previous life's sockets
+    /// sit in TIME_WAIT. Off by default.
+    pub reuse_addr: bool,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +118,9 @@ impl Default for ServiceConfig {
             kernel_mem_mb: lab.kernel_mem_mb,
             start_weekday: lab.start_weekday,
             ingest_delay_us: 0,
+            snapshot_dir: None,
+            snapshot_interval_ms: 5000,
+            reuse_addr: false,
         }
     }
 }
@@ -162,13 +176,19 @@ pub struct Server {
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    checkpoint_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds and starts the server: the selected connection backend
     /// plus a pool of ingest workers draining the queue.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        // Build (and possibly restore) the shared state *before*
+        // binding: once the listener exists, clients can connect and
+        // would race the restore with fresh machine state.
+        let shared = Arc::new(Shared::new(cfg)?);
+        let cfg = &shared.cfg;
+        let listener = bind_listener(cfg)?;
         let addr = listener.local_addr()?;
         let backend = cfg.backend;
         let max_conns = cfg.effective_max_connections();
@@ -178,7 +198,6 @@ impl Server {
             fgcs_par::default_workers(usize::MAX)
         };
         let read_timeout = Duration::from_millis(cfg.read_timeout_ms.max(10));
-        let shared = Arc::new(Shared::new(cfg));
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
@@ -186,6 +205,23 @@ impl Server {
                 std::thread::spawn(move || ingest_worker(&shared))
             })
             .collect();
+
+        // Periodic checkpoints. The epoll backend calls
+        // `checkpoint_if_due` from its event loop; the threaded accept
+        // loop blocks in `incoming()`, so it gets a dedicated
+        // checkpointer thread. Both paths go through the same sink, so
+        // semantics (interval, serialization, format) are identical.
+        let checkpoint_handle = if shared.snapshots_enabled() && backend == Backend::Threads {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || {
+                while !shared.shutting_down() {
+                    shared.checkpoint_if_due();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }))
+        } else {
+            None
+        };
 
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = match backend {
@@ -225,6 +261,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             worker_handles,
             conn_handles,
+            checkpoint_handle,
         })
     }
 
@@ -245,12 +282,12 @@ impl Server {
 
     /// Streams rejected by the auth gate so far.
     pub fn auth_rejects(&self) -> u64 {
-        self.shared.counters.auth_rejects.load(Ordering::Relaxed)
+        self.shared.counters.snapshot().auth_rejects
     }
 
     /// Connections refused at the connection cap so far.
     pub fn conn_rejects(&self) -> u64 {
-        self.shared.counters.conn_rejects.load(Ordering::Relaxed)
+        self.shared.counters.snapshot().conn_rejects
     }
 
     /// The occurrence records built so far for one machine (clone of the
@@ -287,6 +324,9 @@ impl Server {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.checkpoint_handle.take() {
+            let _ = h.join();
+        }
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
@@ -294,7 +334,29 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        // Final checkpoint, after every thread has quiesced: the
+        // snapshot captures the fully drained state.
+        self.shared.checkpoint_final();
     }
+}
+
+/// Binds the listening socket per the configuration. With `reuse_addr`
+/// set (Linux), binds through `fgcs-sys` with `SO_REUSEADDR` so a
+/// restarted server can reclaim a port whose old sockets are still in
+/// TIME_WAIT; elsewhere, or by default, a plain std bind.
+fn bind_listener(cfg: &ServiceConfig) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    if cfg.reuse_addr {
+        use std::net::ToSocketAddrs;
+        let addr = cfg.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("address {:?} resolves to nothing", cfg.addr),
+            )
+        })?;
+        return fgcs_sys::listen_reusable(&addr);
+    }
+    TcpListener::bind(&cfg.addr)
 }
 
 /// The threaded backend's accept loop: one thread per connection, with
@@ -312,7 +374,7 @@ fn accept_loop(
         }
         let Ok(mut stream) = stream else { continue };
         if shared.active_conns.load(Ordering::Relaxed) >= max_conns as u64 {
-            shared.counters.conn_rejects.fetch_add(1, Ordering::Relaxed);
+            shared.counters.update(|c| c.conn_rejects += 1);
             // Best effort: tell the peer why before closing.
             let reject = Frame::Error {
                 code: ErrorCode::ConnLimit,
@@ -398,10 +460,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 },
                 Ok(None) => break,
                 Err(e) => {
-                    shared
-                        .counters
-                        .decode_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.counters.update(|c| c.decode_errors += 1);
                     let reply = Frame::Error {
                         code: ErrorCode::BadFrame,
                         detail: e.to_string(),

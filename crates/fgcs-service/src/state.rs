@@ -2,6 +2,8 @@
 //! ingest queue, and the shared counters behind the `Stats` frame.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -13,6 +15,7 @@ use fgcs_testbed::{OccurrenceRecorder, TraceRecord};
 use fgcs_wire::{MachineStat, SampleLoad, StatsPayload, WireSample, WireTransition};
 
 use crate::server::ServiceConfig;
+use crate::snapshot::{self, MachineSnapshot, SnapshotData, SnapshotSink};
 
 /// A queued sample batch.
 #[derive(Debug)]
@@ -146,6 +149,11 @@ pub(crate) struct MachineState {
     transitions: Vec<WireTransition>,
     last_t: Option<u64>,
     pub(crate) out_of_order: u64,
+    /// Sequence for the next transition. A dedicated counter (not
+    /// `transitions.len() + 1`): it is persisted in snapshots, so seqs
+    /// keep climbing monotonically across a restart instead of
+    /// restarting at 1 and colliding with what clients already saw.
+    next_seq: u64,
 }
 
 impl MachineState {
@@ -156,7 +164,49 @@ impl MachineState {
             transitions: Vec::new(),
             last_t: None,
             out_of_order: 0,
+            next_seq: 1,
         }
+    }
+
+    /// Captures everything this pipeline needs to resume after a
+    /// restart.
+    pub(crate) fn snapshot(&self, machine: u32) -> MachineSnapshot {
+        MachineSnapshot {
+            machine,
+            monitor: self.monitor.snapshot(),
+            recorder: self.recorder.snapshot(),
+            last_t: self.last_t,
+            out_of_order: self.out_of_order,
+            next_seq: self.next_seq,
+            records: self.recorder.records().to_vec(),
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    /// Rebuilds a pipeline from a snapshot, validating it against the
+    /// current detector config. The caller applies snapshots
+    /// all-or-nothing: a single failing machine rejects the whole file.
+    pub(crate) fn restore(cfg: &ServiceConfig, snap: MachineSnapshot) -> Result<Self, String> {
+        if snap
+            .transitions
+            .last()
+            .is_some_and(|t| snap.next_seq <= t.seq)
+        {
+            return Err(format!(
+                "machine {}: next_seq {} would reuse a persisted seq",
+                snap.machine, snap.next_seq
+            ));
+        }
+        let recorder = OccurrenceRecorder::restore(cfg.detector, &snap.recorder, snap.records)
+            .map_err(|e| format!("machine {}: {e}", snap.machine))?;
+        Ok(MachineState {
+            monitor: Monitor::restore(snap.monitor),
+            recorder,
+            transitions: snap.transitions,
+            last_t: snap.last_t,
+            out_of_order: snap.out_of_order,
+            next_seq: snap.next_seq,
+        })
     }
 
     /// Feeds one wire sample. Returns the starts of any unavailability
@@ -196,10 +246,11 @@ impl MachineState {
         let step = self.recorder.observe(s.t, &obs);
         if step.state != before {
             self.transitions.push(WireTransition {
-                seq: self.transitions.len() as u64 + 1,
+                seq: self.next_seq,
                 at: s.t,
                 state: step.state.code(),
             });
+            self.next_seq += 1;
         }
         step.edges
             .iter()
@@ -226,6 +277,10 @@ impl MachineState {
         self.last_t.unwrap_or(0)
     }
 
+    pub(crate) fn last_t_opt(&self) -> Option<u64> {
+        self.last_t
+    }
+
     pub(crate) fn records(&self) -> &[TraceRecord] {
         self.recorder.records()
     }
@@ -235,22 +290,45 @@ impl MachineState {
     }
 }
 
-/// Monotone counters behind the `Stats` frame.
-#[derive(Debug, Default)]
-pub(crate) struct Counters {
-    pub ingested_batches: AtomicU64,
-    pub ingested_samples: AtomicU64,
-    pub shed_batches: AtomicU64,
-    pub shed_samples: AtomicU64,
-    pub decode_errors: AtomicU64,
-    pub busy_replies: AtomicU64,
-    pub queries_answered: AtomicU64,
-    pub placements_answered: AtomicU64,
+/// The accounting counters behind the `Stats` frame, as plain values.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CounterValues {
+    pub ingested_batches: u64,
+    pub ingested_samples: u64,
+    pub shed_batches: u64,
+    pub shed_samples: u64,
+    pub decode_errors: u64,
+    pub busy_replies: u64,
+    pub queries_answered: u64,
+    pub placements_answered: u64,
     /// Streams rejected by the auth gate (not part of `StatsPayload`:
     /// the reject happens before the stream is trusted).
-    pub auth_rejects: AtomicU64,
+    pub auth_rejects: u64,
     /// Connections refused at the cap with `Error { ConnLimit }`.
-    pub conn_rejects: AtomicU64,
+    pub conn_rejects: u64,
+}
+
+/// Monotone counters behind the `Stats` frame.
+///
+/// One mutex instead of ten relaxed atomics: a shed event bumps three
+/// counters at once, and with independent atomics a concurrent stats
+/// read could observe the batch shed but not its samples (a torn
+/// snapshot). Updates are short and uncontended-in-practice; the lock
+/// makes every [`Counters::snapshot`] internally consistent — which the
+/// on-disk snapshots also rely on.
+#[derive(Debug, Default)]
+pub(crate) struct Counters(Mutex<CounterValues>);
+
+impl Counters {
+    /// Applies one atomic update to the counter set.
+    pub(crate) fn update<R>(&self, f: impl FnOnce(&mut CounterValues) -> R) -> R {
+        f(&mut self.0.lock().unwrap())
+    }
+
+    /// A consistent copy of all counters.
+    pub(crate) fn snapshot(&self) -> CounterValues {
+        *self.0.lock().unwrap()
+    }
 }
 
 /// One shard of the per-machine state map.
@@ -271,19 +349,34 @@ pub(crate) struct Shared {
     pub shutdown: AtomicBool,
     pub counters: Counters,
     /// Connections currently served (threaded backend: live conn
-    /// threads; epoll backend: registered conn fds).
+    /// threads; epoll backend: registered conn fds). Stays a plain
+    /// atomic — it is instantaneous occupancy, not accounting.
     pub active_conns: AtomicU64,
     pub started_at: Instant,
+    /// Serving time accumulated by previous lives of this server
+    /// (restored from snapshot), so `ingest_rate` spans restarts.
+    prior_elapsed_ms: u64,
+    /// Where periodic and shutdown checkpoints go; `None` disables
+    /// snapshotting entirely.
+    snapshots: Option<SnapshotSink>,
 }
 
 impl Shared {
-    pub(crate) fn new(cfg: ServiceConfig) -> Self {
+    /// Builds the shared state, restoring from the newest usable
+    /// snapshot when `cfg.snapshot_dir` is set. Restore happens here —
+    /// before the caller binds the listener — so early client traffic
+    /// can never race the restore with fresh machine state.
+    pub(crate) fn new(cfg: ServiceConfig) -> io::Result<Self> {
         let queue = IngestQueue::new(cfg.queue_capacity);
         let online = OnlineAvailabilityModel::new(cfg.start_weekday);
         let n_shards = cfg.state_shards();
         let shards: Box<[StateShard]> =
             (0..n_shards).map(|_| Mutex::new(BTreeMap::new())).collect();
-        Shared {
+        let snapshots = match &cfg.snapshot_dir {
+            Some(dir) => Some(SnapshotSink::new(Path::new(dir), cfg.snapshot_interval_ms)?),
+            None => None,
+        };
+        let mut shared = Shared {
             cfg,
             shards,
             online: Mutex::new(online),
@@ -293,7 +386,102 @@ impl Shared {
             counters: Counters::default(),
             active_conns: AtomicU64::new(0),
             started_at: Instant::now(),
+            prior_elapsed_ms: 0,
+            snapshots,
+        };
+        if let Some(dir) = shared.cfg.snapshot_dir.clone() {
+            if let Some(data) = snapshot::load_latest(Path::new(&dir)) {
+                if let Err(e) = shared.restore_from(data) {
+                    // A snapshot that parsed but doesn't fit the current
+                    // config (e.g. a changed detector) — start fresh
+                    // rather than guess.
+                    eprintln!("fgcs-service: snapshot not applicable, starting fresh: {e}");
+                }
+            }
         }
+        Ok(shared)
+    }
+
+    /// Applies a parsed snapshot all-or-nothing: every machine is
+    /// rebuilt and validated before anything is installed.
+    fn restore_from(&mut self, data: SnapshotData) -> Result<(), String> {
+        let mut restored: Vec<(u32, MachineState)> = Vec::with_capacity(data.machines.len());
+        for snap in data.machines {
+            let machine = snap.machine;
+            restored.push((machine, MachineState::restore(&self.cfg, snap)?));
+        }
+        // The online model is not persisted: it is rebuilt exactly from
+        // the restored occurrence records (each record start is one
+        // Started edge) plus the latest observed time. This matches the
+        // streamed model bit for bit — pinned by a fgcs-predict test.
+        let mut online = OnlineAvailabilityModel::new(self.cfg.start_weekday);
+        let mut horizon = None;
+        for (id, st) in &restored {
+            online.ensure_machine(*id);
+            for r in st.records() {
+                online.record_event(*id, r.start);
+            }
+            if let Some(t) = st.last_t_opt() {
+                horizon = Some(horizon.map_or(t, |h: u64| h.max(t)));
+            }
+        }
+        if let Some(h) = horizon {
+            online.observe_time(h);
+        }
+        for (id, st) in restored {
+            let shard = &self.shards[id as usize % self.shards.len()];
+            shard.lock().unwrap().insert(id, Arc::new(Mutex::new(st)));
+        }
+        *self.online.lock().unwrap() = online;
+        self.counters.update(|c| *c = data.counters);
+        self.prior_elapsed_ms = data.elapsed_ms;
+        Ok(())
+    }
+
+    /// Total serving time across all lives of this server, in ms.
+    fn elapsed_ms(&self) -> u64 {
+        self.prior_elapsed_ms + self.started_at.elapsed().as_millis() as u64
+    }
+
+    /// Collects a complete snapshot of the current state. Machines are
+    /// captured one at a time under their own locks (per-machine
+    /// consistency); the counters are copied under their single lock, so
+    /// they are mutually consistent as a set.
+    pub(crate) fn collect_snapshot(&self) -> SnapshotData {
+        let machines = self
+            .machines_sorted()
+            .into_iter()
+            .map(|(id, cell)| cell.lock().unwrap().snapshot(id))
+            .collect();
+        SnapshotData {
+            elapsed_ms: self.elapsed_ms(),
+            counters: self.counters.snapshot(),
+            machines,
+        }
+    }
+
+    /// Periodic checkpoint hook — called from the checkpointer thread
+    /// (threads backend) and from the event loop (epoll backend), with
+    /// identical semantics: the sink's single mutex gates the interval
+    /// and serializes writers. A write failure is logged, never fatal.
+    pub(crate) fn checkpoint_if_due(&self) {
+        let Some(sink) = &self.snapshots else { return };
+        if let Err(e) = sink.maybe_write(|| self.collect_snapshot()) {
+            eprintln!("fgcs-service: checkpoint failed: {e}");
+        }
+    }
+
+    /// Unconditional final checkpoint, for graceful shutdown.
+    pub(crate) fn checkpoint_final(&self) {
+        let Some(sink) = &self.snapshots else { return };
+        if let Err(e) = sink.write_now(&self.collect_snapshot()) {
+            eprintln!("fgcs-service: final checkpoint failed: {e}");
+        }
+    }
+
+    /// Whether snapshotting is enabled.
+    pub(crate) fn snapshots_enabled(&self) -> bool {
+        self.snapshots.is_some()
     }
 
     pub(crate) fn shutting_down(&self) -> bool {
@@ -367,19 +555,16 @@ impl Shared {
             online.record_event(batch.machine, at);
         }
         drop(online);
-        self.counters
-            .ingested_batches
-            .fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .ingested_samples
-            .fetch_add(batch.samples.len() as u64, Ordering::Relaxed);
+        self.counters.update(|c| {
+            c.ingested_batches += 1;
+            c.ingested_samples += batch.samples.len() as u64;
+        });
     }
 
     /// Snapshot for the `Stats` frame (also exposed on [`crate::Server`]).
     pub(crate) fn stats_snapshot(&self) -> StatsPayload {
-        let c = &self.counters;
-        let ingested_samples = c.ingested_samples.load(Ordering::Relaxed);
-        let elapsed = self.started_at.elapsed().as_secs_f64();
+        let c = self.counters.snapshot();
+        let elapsed = self.elapsed_ms() as f64 / 1000.0;
         let machines: Vec<MachineStat> = self
             .machines_sorted()
             .into_iter()
@@ -395,17 +580,17 @@ impl Shared {
             })
             .collect();
         StatsPayload {
-            ingested_batches: c.ingested_batches.load(Ordering::Relaxed),
-            ingested_samples,
-            shed_batches: c.shed_batches.load(Ordering::Relaxed),
-            shed_samples: c.shed_samples.load(Ordering::Relaxed),
-            decode_errors: c.decode_errors.load(Ordering::Relaxed),
-            busy_replies: c.busy_replies.load(Ordering::Relaxed),
+            ingested_batches: c.ingested_batches,
+            ingested_samples: c.ingested_samples,
+            shed_batches: c.shed_batches,
+            shed_samples: c.shed_samples,
+            decode_errors: c.decode_errors,
+            busy_replies: c.busy_replies,
             queue_depth: self.queue.lock().unwrap().len() as u64,
-            queries_answered: c.queries_answered.load(Ordering::Relaxed),
-            placements_answered: c.placements_answered.load(Ordering::Relaxed),
+            queries_answered: c.queries_answered,
+            placements_answered: c.placements_answered,
             ingest_rate: if elapsed > 0.0 {
-                ingested_samples as f64 / elapsed
+                c.ingested_samples as f64 / elapsed
             } else {
                 0.0
             },
@@ -472,7 +657,7 @@ mod tests {
             state_shards: 4,
             ..Default::default()
         };
-        let shared = Shared::new(cfg);
+        let shared = Shared::new(cfg).expect("no snapshot dir, infallible");
         // Insert in scrambled order, across all shards.
         for id in [9u32, 2, 7, 0, 13, 4, 11, 6] {
             shared.machine_entry(id);
@@ -491,5 +676,127 @@ mod tests {
         let mut q = IngestQueue::new(0);
         assert!(q.push(batch(1, 1)).is_none(), "cap clamps to 1");
         assert!(q.push(batch(2, 1)).is_some());
+    }
+
+    /// One square wave per machine: long enough busy/idle stretches to
+    /// drive real transitions and occurrence records.
+    fn wave_batch(machine: u32, from: usize, n: usize) -> Batch {
+        let samples = (from..from + n)
+            .map(|i| WireSample {
+                t: i as u64 * 15,
+                load: SampleLoad::Direct(if (i / 40) % 2 == 1 { 0.9 } else { 0.05 }),
+                host_resident_mb: 100,
+                alive: true,
+            })
+            .collect();
+        Batch { machine, samples }
+    }
+
+    fn snap_cfg(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            snapshot_dir: Some(dir.to_string_lossy().into_owned()),
+            snapshot_interval_ms: 60_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shared_state_survives_a_snapshot_restore_cycle() {
+        let dir = std::env::temp_dir().join(format!("fgcs-shared-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = Shared::new(snap_cfg(&dir)).expect("shared");
+        for m in [1u32, 5] {
+            first.ingest_batch(&wave_batch(m, 0, 200));
+        }
+        first.counters.update(|c| {
+            c.queries_answered = 7;
+            c.auth_rejects = 2;
+        });
+        let before = first.stats_snapshot();
+        assert!(
+            before.machines.iter().all(|m| m.transitions > 0),
+            "the wave must produce transitions for the test to mean anything"
+        );
+        first.checkpoint_final();
+        drop(first);
+
+        // A brand-new Shared on the same dir resumes where we left off.
+        let second = Shared::new(snap_cfg(&dir)).expect("restored shared");
+        let after = second.stats_snapshot();
+        assert_eq!(after.machines, before.machines);
+        assert_eq!(after.ingested_batches, before.ingested_batches);
+        assert_eq!(after.ingested_samples, before.ingested_samples);
+        assert_eq!(after.queries_answered, 7);
+        for m in [1u32, 5] {
+            let orig = Shared::new(ServiceConfig::default()).unwrap();
+            orig.ingest_batch(&wave_batch(m, 0, 200));
+            let orig_cell = orig.machine_get(m).unwrap();
+            let orig_state = orig_cell.lock().unwrap();
+            let cell = second.machine_get(m).expect("machine restored");
+            let st = cell.lock().unwrap();
+            assert_eq!(st.records(), orig_state.records(), "machine {m} records");
+            assert_eq!(
+                st.transitions(),
+                orig_state.transitions(),
+                "machine {m} transitions"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transition_seqs_continue_across_restore_and_resume_is_exact() {
+        let dir = std::env::temp_dir().join(format!("fgcs-seq-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Uninterrupted reference run.
+        let reference = Shared::new(ServiceConfig::default()).unwrap();
+        reference.ingest_batch(&wave_batch(1, 0, 400));
+
+        // Interrupted run: first half, checkpoint, new Shared, second half.
+        let first = Shared::new(snap_cfg(&dir)).expect("shared");
+        first.ingest_batch(&wave_batch(1, 0, 200));
+        first.checkpoint_final();
+        drop(first);
+        let second = Shared::new(snap_cfg(&dir)).expect("restored");
+        second.ingest_batch(&wave_batch(1, 200, 200));
+
+        let ref_cell = reference.machine_get(1).unwrap();
+        let ref_state = ref_cell.lock().unwrap();
+        let cell = second.machine_get(1).unwrap();
+        let st = cell.lock().unwrap();
+        assert_eq!(st.records(), ref_state.records(), "bit-identical records");
+        assert_eq!(
+            st.transitions(),
+            ref_state.transitions(),
+            "seqs continue monotonically past the restart — no restart at 1"
+        );
+        let seqs: Vec<u64> = st.transitions().iter().map(|t| t.seq).collect();
+        assert!(
+            seqs.windows(2).all(|w| w[1] > w[0]),
+            "strictly increasing seqs: {seqs:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_timestamp_resend_does_not_double_count() {
+        // The resend protocol replays samples with strictly t > last_t;
+        // this pins why: a sample at exactly last_t is *accepted* by the
+        // out-of-order check (which only rejects t < last_t) and would
+        // skew the availability means if replayed.
+        let shared = Shared::new(ServiceConfig::default()).unwrap();
+        shared.ingest_batch(&wave_batch(1, 0, 100));
+        let cell = shared.machine_get(1).unwrap();
+        let oo = cell.lock().unwrap().out_of_order;
+        assert_eq!(oo, 0);
+        // Replay the last sample (t == last_t): not counted out-of-order.
+        let last = wave_batch(1, 99, 1);
+        shared.ingest_batch(&last);
+        assert_eq!(cell.lock().unwrap().out_of_order, 0);
+        // A genuinely old sample is rejected and counted.
+        shared.ingest_batch(&wave_batch(1, 50, 1));
+        assert_eq!(cell.lock().unwrap().out_of_order, 1);
     }
 }

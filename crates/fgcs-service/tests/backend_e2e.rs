@@ -330,6 +330,108 @@ fn over_cap_connection_gets_typed_error() {
     server.shutdown();
 }
 
+/// A client must survive a *full server restart* on the same port: the
+/// next request transparently reconnects, the auth handshake is re-run
+/// before any queued data, and nothing wedges.
+fn reconnect_through_server_restart(backend: Backend) {
+    let svc = ServiceConfig {
+        backend,
+        auth_token: Some("s3cret".to_string()),
+        reuse_addr: true,
+        ..Default::default()
+    };
+
+    let first = Server::start(svc.clone()).expect("first life");
+    let addr = first.local_addr().to_string();
+    let mut cfg = ClientConfig::new(&addr);
+    cfg.backoff_unit_ms = 1;
+    cfg.token = Some("s3cret".to_string());
+    let mut client = ServiceClient::connect(cfg).expect("authed connect");
+    assert!(matches!(
+        client.request(&batch(1, 0, 2)).unwrap(),
+        Frame::Ack { .. }
+    ));
+    drain(&first, 1);
+    first.shutdown();
+
+    // Second life on the *same* port — possible only because the
+    // listener binds with SO_REUSEADDR while the first life's server-
+    // side sockets sit in TIME_WAIT.
+    let second = Server::start(ServiceConfig {
+        addr: addr.clone(),
+        ..svc
+    })
+    .expect("rebind the same port across the restart");
+
+    // The held stream is dead; the next request must reconnect AND
+    // re-authenticate (the new server has no memory of the old
+    // session) before the batch goes out.
+    assert!(matches!(
+        client.request(&batch(1, 120, 2)).unwrap(),
+        Frame::Ack { .. }
+    ));
+    assert_eq!(client.reconnects, 1, "{backend:?}: exactly one reconnect");
+    let stats = drain(&second, 1);
+    assert_eq!(
+        stats.ingested_batches, 1,
+        "{backend:?}: the post-restart batch was ingested by the new life"
+    );
+    assert_eq!(
+        second.auth_rejects(),
+        0,
+        "{backend:?}: the re-auth presented the token before any data"
+    );
+    second.shutdown();
+}
+
+#[test]
+fn reconnect_through_server_restart_threads() {
+    reconnect_through_server_restart(Backend::Threads);
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn reconnect_through_server_restart_epoll() {
+    reconnect_through_server_restart(Backend::Epoll);
+}
+
+/// When the server *stays* dead, a previously-healthy client must give
+/// up within its retry budget. Regression test for a reconnect wedge:
+/// the healthy-reset rule compared against `connected_at.elapsed()`,
+/// which keeps growing after the stream dies, so every failed attempt
+/// re-earned the budget and the client retried forever.
+#[test]
+fn previously_healthy_client_gives_up_when_server_stays_dead() {
+    let server = Server::start(ServiceConfig::default()).expect("server");
+    let addr = server.local_addr().to_string();
+    let mut cfg = ClientConfig::new(&addr);
+    cfg.backoff_unit_ms = 1;
+    // Tiny budget, and a healthy-reset horizon (1 ms) that the healthy
+    // connection below will definitely exceed — the exact precondition
+    // that used to wedge.
+    cfg.sup.max_retries = 3;
+    cfg.sup.backoff_base_secs = 1;
+    cfg.sup.backoff_cap_secs = 4;
+    cfg.sup.healthy_reset_secs = 1;
+    let mut client = ServiceClient::connect(cfg).expect("connects");
+    assert!(matches!(
+        client.request(&Frame::QueryStats).unwrap(),
+        Frame::StatsReply(_)
+    ));
+    std::thread::sleep(std::time::Duration::from_millis(10)); // healthy long enough
+    server.shutdown();
+
+    let begin = std::time::Instant::now();
+    let err = client
+        .request(&Frame::QueryStats)
+        .expect_err("the server is gone for good");
+    assert_ne!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    assert!(
+        begin.elapsed() < std::time::Duration::from_secs(30),
+        "gave up within the budget instead of retrying forever"
+    );
+}
+
 /// Small fan-in smoke on both backends: every connection sustains, the
 /// client- and server-side identities reconcile exactly.
 #[test]

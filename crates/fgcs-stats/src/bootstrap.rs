@@ -71,7 +71,7 @@ where
     if stats.is_empty() {
         return None;
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+    stats.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     Some(ConfidenceInterval {
         lo: quantile_sorted(&stats, alpha),

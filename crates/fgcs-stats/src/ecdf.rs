@@ -16,7 +16,7 @@ impl Ecdf {
     /// Builds an ECDF. NaN samples are dropped.
     pub fn new(samples: &[f64]) -> Self {
         let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted }
     }
 

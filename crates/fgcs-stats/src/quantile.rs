@@ -14,7 +14,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -50,7 +50,7 @@ pub fn quantiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     qs.iter()
         .map(|&q| {
             if (0.0..=1.0).contains(&q) {

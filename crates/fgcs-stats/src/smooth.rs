@@ -42,13 +42,15 @@ pub fn exp_smooth(xs: &[f64], alpha: f64) -> Vec<f64> {
 /// Mean after discarding the `trim` smallest and `trim` largest values.
 ///
 /// Falls back to the plain mean when fewer than `2*trim + 1` values are
-/// available. Returns `None` for empty input.
+/// available. Returns `None` for empty or NaN-bearing input (like
+/// [`crate::quantile::quantile`], it refuses to summarize corrupt data
+/// rather than panic or return NaN).
 pub fn trimmed_mean(xs: &[f64], trim: usize) -> Option<f64> {
-    if xs.is_empty() {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN expected"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let kept: &[f64] = if sorted.len() > 2 * trim {
         &sorted[trim..sorted.len() - trim]
     } else {
@@ -74,6 +76,16 @@ mod tests {
         assert_eq!(s[2], 3.0);
         assert_eq!(s[1], 3.0);
         assert_eq!(s[0], 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_nan_instead_of_panicking() {
+        // partial_cmp().expect(..) used to abort the whole analysis when
+        // a NaN slipped through a recovered trace; now the summary just
+        // declines.
+        assert_eq!(trimmed_mean(&[1.0, f64::NAN, 3.0], 1), None);
+        assert_eq!(trimmed_mean(&[f64::NAN], 0), None);
+        assert_eq!(trimmed_mean(&[1.0, 2.0, 30.0], 1), Some(2.0));
     }
 
     #[test]

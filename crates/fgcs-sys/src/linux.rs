@@ -61,6 +61,31 @@ impl EpollEvent {
     }
 }
 
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+
+/// `struct sockaddr_in` (network byte order for port and address).
+#[repr(C)]
+struct SockaddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6`.
+#[repr(C)]
+struct SockaddrIn6 {
+    sin6_family: u16,
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -68,6 +93,10 @@ extern "C" {
     fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
     fn accept4(sockfd: c_int, addr: *mut c_void, addrlen: *mut u32, flags: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_void, len: u32) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
@@ -197,6 +226,82 @@ pub fn accept_nonblocking(listener: &TcpListener) -> io::Result<Option<TcpStream
     }
 }
 
+/// Binds a TCP listener with `SO_REUSEADDR` set before `bind`, so a
+/// restarted server can re-bind its previous address immediately —
+/// without the option, the listening socket's lingering `TIME_WAIT`
+/// children block the rebind for up to a minute, which is exactly the
+/// window a crash-restarted `fgcs-serve` needs to come back in.
+/// (`std::net::TcpListener::bind` offers no hook between `socket()` and
+/// `bind()`, hence the raw calls.) The returned listener is in blocking
+/// mode with `CLOEXEC` set, like a std-bound one.
+pub fn listen_reusable(addr: &std::net::SocketAddr) -> io::Result<TcpListener> {
+    let domain = match addr {
+        std::net::SocketAddr::V4(_) => AF_INET,
+        std::net::SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: no pointers; on success the fd is exclusively owned here
+    // (and below, wrapped in OwnedFd-like manual close on error paths).
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    let close_on_err = |e: io::Error| -> io::Error {
+        // SAFETY: fd is owned and not yet wrapped; closed exactly once.
+        let _ = unsafe { close(fd) };
+        e
+    };
+    let one: c_int = 1;
+    // SAFETY: `one` outlives the call; the kernel copies 4 bytes.
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one as *const c_int as *const c_void,
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })
+    .map_err(close_on_err)?;
+    let ret = match addr {
+        std::net::SocketAddr::V4(a) => {
+            let sa = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: a.port().to_be(),
+                sin_addr: u32::from_ne_bytes(a.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            // SAFETY: `sa` is a properly laid-out sockaddr_in living
+            // across the call.
+            unsafe {
+                bind(
+                    fd,
+                    &sa as *const SockaddrIn as *const c_void,
+                    std::mem::size_of::<SockaddrIn>() as u32,
+                )
+            }
+        }
+        std::net::SocketAddr::V6(a) => {
+            let sa = SockaddrIn6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: a.port().to_be(),
+                sin6_flowinfo: a.flowinfo().to_be(),
+                sin6_addr: a.ip().octets(),
+                sin6_scope_id: a.scope_id(),
+            };
+            // SAFETY: as above, for sockaddr_in6.
+            unsafe {
+                bind(
+                    fd,
+                    &sa as *const SockaddrIn6 as *const c_void,
+                    std::mem::size_of::<SockaddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    cvt(ret).map_err(close_on_err)?;
+    // 128 matches std's listen backlog.
+    cvt(unsafe { listen(fd, 128) }).map_err(close_on_err)?;
+    // SAFETY: `fd` is a listening socket we exclusively own.
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +363,31 @@ mod tests {
         assert_ne!(events[0].readiness() & EPOLLOUT, 0);
         ep.delete(accepted.as_raw_fd()).unwrap();
         assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn listen_reusable_rebinds_after_a_served_connection() {
+        // First life: serve one connection, then die with it open (the
+        // server replies and closes first, putting ITS side in
+        // TIME_WAIT — the case that blocks a plain rebind).
+        let l1 = listen_reusable(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = l1.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut served, _) = l1.accept().unwrap();
+        served.write_all(b"hi").unwrap();
+        drop(served); // server closes first
+        let mut buf = [0u8; 2];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        drop(l1);
+        // Second life: the same port binds again immediately.
+        let l2 = listen_reusable(&addr).unwrap();
+        assert_eq!(l2.local_addr().unwrap(), addr);
+        let _c2 = TcpStream::connect(addr).unwrap();
+        assert!(l2.accept().is_ok());
+        // IPv6 path compiles and binds too.
+        let l6 = listen_reusable(&"[::1]:0".parse().unwrap()).unwrap();
+        assert!(l6.local_addr().unwrap().is_ipv6());
     }
 
     #[test]

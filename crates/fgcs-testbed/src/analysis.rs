@@ -345,6 +345,37 @@ mod tests {
     use crate::trace::{TraceMeta, TraceRecord};
     use fgcs_core::model::Thresholds;
 
+    /// End-to-end NaN regression: a recovered trace whose damaged line
+    /// carried a non-finite availability mean must flow through every §5
+    /// analysis without panicking — the loader rejects the line, the
+    /// stats sorts are total_cmp either way.
+    #[test]
+    fn recovered_trace_with_non_finite_means_analyzes_cleanly() {
+        use crate::runner::{run_testbed, TestbedConfig};
+        let trace = run_testbed(&TestbedConfig::tiny());
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // A corrupt record whose JSON number overflows to infinity.
+        text.push_str(
+            "{\"machine\":0,\"cause\":\"CpuContention\",\"start\":10,\
+             \"end\":20,\"raw_end\":20,\"avail_cpu\":1e999,\"avail_mem_mb\":1}\n",
+        );
+        let (back, q) = Trace::read_jsonl_recovering(text.as_bytes()).unwrap();
+        assert_eq!(q.corrupt_lines, 1, "the non-finite record is rejected");
+        assert_eq!(back.records.len(), trace.records.len());
+        assert!(back.records.iter().all(|r| r.avail_cpu.is_finite()));
+
+        let t2 = table2(&back);
+        assert!(t2.urr_reboot_fraction.is_finite());
+        let iv = intervals(&back);
+        assert!(iv.mean_hours(DayType::Weekday).is_finite());
+        let h = hourly(&back);
+        assert!(h.weekday.bands().iter().all(|(_, _, m, _)| m.is_finite()));
+        let r = regularity(&back);
+        assert!(r.weekday_correlation.is_finite());
+    }
+
     fn meta(machines: u32, days: u32) -> TraceMeta {
         TraceMeta {
             seed: 1,

@@ -49,6 +49,6 @@ pub use lab::{LabConfig, LoadSample, MachinePlan};
 pub use quality::{MachineQuality, QualityTotals, TraceQualityReport};
 pub use runner::{
     backoff_delay, run_testbed, run_testbed_faulty, trace_machine, trace_machine_supervised,
-    OccurrenceRecorder, SupervisorConfig, TestbedConfig,
+    OccurrenceRecorder, RecorderRestoreError, RecorderSnapshot, SupervisorConfig, TestbedConfig,
 };
 pub use trace::{Trace, TraceError, TraceMeta, TraceRecord};

@@ -7,7 +7,9 @@
 //! with the mean available CPU/memory of the preceding availability
 //! interval.
 
-use fgcs_core::detector::{Detector, DetectorConfig, EventEdge, Step};
+use fgcs_core::detector::{
+    Detector, DetectorConfig, DetectorConfigError, DetectorSnapshot, EventEdge, Step,
+};
 use fgcs_core::model::AvailState;
 use fgcs_core::monitor::Observation;
 use fgcs_faults::{CrashPlan, FaultConfig, FaultStream};
@@ -158,7 +160,106 @@ impl OccurrenceRecorder {
         }
         step
     }
+
+    /// Captures everything needed to resume this recorder after a
+    /// process restart, *except* the records themselves (callers persist
+    /// those separately — typically via the trace serializers — and hand
+    /// them back to [`OccurrenceRecorder::restore`]).
+    pub fn snapshot(&self) -> RecorderSnapshot {
+        RecorderSnapshot {
+            machine: self.machine,
+            detector: self.detector.snapshot(),
+            open: self.open.map(|i| i as u64),
+            avail_cpu_sum: self.avail_cpu_sum,
+            avail_mem_sum: self.avail_mem_sum,
+            avail_samples: self.avail_samples,
+        }
+    }
+
+    /// Rebuilds a recorder from a [`RecorderSnapshot`] and the records
+    /// that were persisted alongside it. The snapshot is validated
+    /// against the records before anything is applied: an `open` index
+    /// out of bounds, or pointing at an already-closed record, rejects
+    /// the whole snapshot (the crash-safe loader then falls back to an
+    /// older one rather than resuming from inconsistent state).
+    pub fn restore(
+        cfg: DetectorConfig,
+        snap: &RecorderSnapshot,
+        records: Vec<TraceRecord>,
+    ) -> Result<OccurrenceRecorder, RecorderRestoreError> {
+        let open = match snap.open {
+            None => None,
+            Some(i) => {
+                let idx = i as usize;
+                match records.get(idx) {
+                    None => return Err(RecorderRestoreError::OpenOutOfBounds(i)),
+                    Some(r) if r.end.is_some() => {
+                        return Err(RecorderRestoreError::OpenRecordClosed(i))
+                    }
+                    Some(_) => Some(idx),
+                }
+            }
+        };
+        let detector =
+            Detector::restore(cfg, snap.detector).map_err(RecorderRestoreError::InvalidConfig)?;
+        Ok(OccurrenceRecorder {
+            machine: snap.machine,
+            detector,
+            records,
+            open,
+            avail_cpu_sum: snap.avail_cpu_sum,
+            avail_mem_sum: snap.avail_mem_sum,
+            avail_samples: snap.avail_samples,
+        })
+    }
 }
+
+/// Serializable view of an [`OccurrenceRecorder`]'s resumable state
+/// (see [`OccurrenceRecorder::snapshot`]). Records are not included;
+/// they travel through the trace serializers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecorderSnapshot {
+    /// The machine this recorder traces.
+    pub machine: u32,
+    /// Detector state at snapshot time.
+    pub detector: DetectorSnapshot,
+    /// Index of the still-open record (`end == None`), if any.
+    pub open: Option<u64>,
+    /// Running sum of `1 - host_load` over the current availability
+    /// interval.
+    pub avail_cpu_sum: f64,
+    /// Running sum of free guest memory (MB) over the interval.
+    pub avail_mem_sum: f64,
+    /// Samples accumulated into the sums.
+    pub avail_samples: u64,
+}
+
+/// Why [`OccurrenceRecorder::restore`] rejected a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecorderRestoreError {
+    /// `open` pointed past the end of the persisted records.
+    OpenOutOfBounds(u64),
+    /// `open` pointed at a record that already has an end time.
+    OpenRecordClosed(u64),
+    /// The detector configuration failed validation.
+    InvalidConfig(DetectorConfigError),
+}
+
+impl std::fmt::Display for RecorderRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecorderRestoreError::OpenOutOfBounds(i) => {
+                write!(f, "open record index {i} out of bounds")
+            }
+            RecorderRestoreError::OpenRecordClosed(i) => {
+                write!(f, "open record index {i} points at a closed record")
+            }
+            RecorderRestoreError::InvalidConfig(e) => write!(f, "invalid detector config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecorderRestoreError {}
 
 /// Runs the whole testbed and collects the trace. Machines are traced in
 /// parallel; the result is deterministic in the seed regardless of the
@@ -540,6 +641,76 @@ mod tests {
         assert!(t.restarts > 0);
         assert!(t.gaps > 0, "a 300 s outage must be censored, got {quality}");
         assert_eq!(t.lost_in_restart, t.restarts * 20);
+    }
+
+    #[test]
+    fn recorder_snapshot_restore_resumes_exactly() {
+        // Stream a full lab machine, cut at several points (including
+        // mid-occurrence), restore, and require the resumed recorder to
+        // finish with bit-identical records — the invariant the service
+        // snapshot subsystem is built on.
+        let cfg = TestbedConfig::tiny();
+        let plan = MachinePlan::generate(&cfg.lab, 0);
+        let samples: Vec<_> = plan.samples().collect();
+        let to_obs = |s: &crate::lab::LoadSample| {
+            if s.alive {
+                Observation {
+                    host_load: s.host_load,
+                    free_mem_mb: cfg.lab.free_for_guest_mb(s.host_resident_mb),
+                    alive: true,
+                }
+            } else {
+                Observation::dead()
+            }
+        };
+        let mut full = OccurrenceRecorder::new(0, cfg.detector);
+        for s in &samples {
+            full.observe(s.t, &to_obs(s));
+        }
+        let expected = full.into_records();
+        for cut in [1, samples.len() / 3, samples.len() / 2, samples.len() - 1] {
+            let mut pre = OccurrenceRecorder::new(0, cfg.detector);
+            for s in &samples[..cut] {
+                pre.observe(s.t, &to_obs(s));
+            }
+            let snap = pre.snapshot();
+            let mut resumed =
+                OccurrenceRecorder::restore(cfg.detector, &snap, pre.records().to_vec())
+                    .expect("valid snapshot");
+            for s in &samples[cut..] {
+                resumed.observe(s.t, &to_obs(s));
+            }
+            assert_eq!(resumed.into_records(), expected, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let cfg = TestbedConfig::tiny();
+        let mut rec = OccurrenceRecorder::new(0, cfg.detector);
+        // Drive into an occurrence so `open` is set.
+        rec.observe(0, &Observation::dead());
+        let snap = rec.snapshot();
+        assert!(snap.open.is_some(), "death opens a record");
+        // open index beyond the records we pass back.
+        assert_eq!(
+            OccurrenceRecorder::restore(cfg.detector, &snap, Vec::new()).err(),
+            Some(RecorderRestoreError::OpenOutOfBounds(0))
+        );
+        // open pointing at an already-closed record.
+        let mut closed = rec.records().to_vec();
+        closed[0].end = Some(10);
+        assert_eq!(
+            OccurrenceRecorder::restore(cfg.detector, &snap, closed).err(),
+            Some(RecorderRestoreError::OpenRecordClosed(0))
+        );
+        // Invalid detector config is rejected before anything is applied.
+        let mut bad = cfg.detector;
+        bad.spike_tolerance = 0;
+        assert!(matches!(
+            OccurrenceRecorder::restore(bad, &snap, rec.records().to_vec()),
+            Err(RecorderRestoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

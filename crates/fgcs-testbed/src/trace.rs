@@ -295,11 +295,26 @@ fn record_from_csv_line(line: &str) -> Result<TraceRecord, String> {
         start: parse_u64(fields[2], "start")?,
         end: parse_opt(fields[3], "end")?,
         raw_end: parse_opt(fields[4], "raw_end")?,
-        avail_cpu: fields[5]
-            .parse::<f64>()
-            .map_err(|e| format!("avail_cpu: {e}"))?,
+        avail_cpu: parse_avail_cpu(
+            fields[5]
+                .parse::<f64>()
+                .map_err(|e| format!("avail_cpu: {e}"))?,
+        )?,
         avail_mem_mb: parse_u64(fields[6], "avail_mem_mb")? as u32,
     })
+}
+
+/// The loader-boundary NaN/∞ gate: `"NaN".parse::<f64>()` succeeds in
+/// Rust (and `1e999` overflows to `inf`), so a corrupted or recovered
+/// trace can carry non-finite availability means that later panic the
+/// `fgcs-stats` sorts. Every record parser rejects them here so nothing
+/// downstream ever sees one.
+fn parse_avail_cpu(v: f64) -> Result<f64, String> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("avail_cpu is not finite: {v}"))
+    }
 }
 
 // JSON conversion helpers. The field order and encodings (unit enum
@@ -321,7 +336,12 @@ fn meta_to_json(m: &TraceMeta) -> String {
     w.finish()
 }
 
-fn record_to_json(r: &TraceRecord) -> String {
+/// Serializes one record as a single JSON object line — the same
+/// encoding [`Trace::write_jsonl`] uses per record. Public so other
+/// on-disk formats (the `fgcs-service` snapshot files) reuse the exact
+/// byte encoding instead of inventing a second one; `{}`-formatted f64s
+/// round-trip bit-exactly (see `json::ObjWriter`).
+pub fn record_to_json(r: &TraceRecord) -> String {
     let mut w = ObjWriter::new();
     w.u64("machine", r.machine as u64)
         .str("cause", cause_name(r.cause))
@@ -384,9 +404,19 @@ fn meta_from_json(line: &str) -> Result<TraceMeta, String> {
     })
 }
 
-fn record_from_json(line: &str) -> Result<TraceRecord, String> {
+/// Parses one record from a JSON object line (inverse of
+/// [`record_to_json`]). Unknown fields are ignored, so wrappers may add
+/// their own discriminators around the record encoding. Non-finite
+/// `avail_cpu` values are rejected here, at the loader boundary.
+pub fn record_from_json(line: &str) -> Result<TraceRecord, String> {
     let v = json::parse(line)?;
     let o = v.as_obj().ok_or("record line is not an object")?;
+    record_from_obj(o)
+}
+
+/// Parses one record from an already-parsed JSON object (see
+/// [`record_from_json`]).
+pub fn record_from_obj(o: &BTreeMap<String, Value>) -> Result<TraceRecord, String> {
     let cause = match get(o, "cause")?.as_str().ok_or("cause is not a string")? {
         "CpuContention" => FailureCause::CpuContention,
         "MemoryThrashing" => FailureCause::MemoryThrashing,
@@ -399,7 +429,7 @@ fn record_from_json(line: &str) -> Result<TraceRecord, String> {
         start: get_u64(o, "start")?,
         end: get_opt_u64(o, "end")?,
         raw_end: get_opt_u64(o, "raw_end")?,
-        avail_cpu: get_f64(o, "avail_cpu")?,
+        avail_cpu: parse_avail_cpu(get_f64(o, "avail_cpu")?)?,
         avail_mem_mb: get_u64(o, "avail_mem_mb")? as u32,
     })
 }
@@ -571,6 +601,77 @@ mod tests {
         let (back, q) = Trace::read_csv_recovering(&buf[..], t.meta.clone()).unwrap();
         assert_eq!(back, t);
         assert!(q.is_clean());
+    }
+
+    #[test]
+    fn non_finite_avail_cpu_is_rejected_at_the_loader() {
+        // CSV: Rust's f64 parser happily accepts "NaN" and "inf".
+        let meta = sample_trace().meta;
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!(
+                "machine,state,start,end,raw_end,avail_cpu,avail_mem_mb\n0,S3,1,2,2,{bad},100\n"
+            );
+            let err = Trace::read_csv(text.as_bytes(), meta.clone()).unwrap_err();
+            assert!(
+                matches!(&err, TraceError::Parse(m) if m.contains("not finite")),
+                "{bad}: {err}"
+            );
+            // The recovering loader counts it as a corrupt line instead
+            // of letting the NaN through to the stats sorts.
+            let (t, q) = Trace::read_csv_recovering(text.as_bytes(), meta.clone()).unwrap();
+            assert!(t.records.is_empty());
+            assert_eq!(q.corrupt_lines, 1, "{bad}");
+        }
+        // JSONL: a JSON number literal can still overflow to infinity.
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let meta_line = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        let text = format!(
+            "{meta_line}\n{{\"machine\":0,\"cause\":\"CpuContention\",\"start\":1,\
+             \"end\":2,\"raw_end\":2,\"avail_cpu\":1e999,\"avail_mem_mb\":100}}\n"
+        );
+        assert!(Trace::read_jsonl(text.as_bytes()).is_err());
+        let (back, q) = Trace::read_jsonl_recovering(text.as_bytes()).unwrap();
+        assert!(back.records.is_empty());
+        assert_eq!(q.corrupt_lines, 1);
+    }
+
+    #[test]
+    fn recovering_jsonl_survives_truncation_mid_record() {
+        // The crash-during-checkpoint shape: the file ends mid-way
+        // through a record's bytes. The loader must keep every complete
+        // record and report exactly one corrupt line — never a
+        // half-applied record.
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        // Cut the last record line roughly in half (drop the trailing
+        // newline plus half the record).
+        let full = String::from_utf8(buf).unwrap();
+        let last_len = full.trim_end().lines().last().unwrap().len();
+        let cut = full.trim_end().len() - last_len / 2;
+        let truncated = &full[..cut];
+        let (back, q) = Trace::read_jsonl_recovering(truncated.as_bytes()).unwrap();
+        assert_eq!(back.records, &t.records[..t.records.len() - 1]);
+        assert_eq!(q.corrupt_lines, 1);
+        assert_eq!(q.parsed_records, (t.records.len() - 1) as u64);
+    }
+
+    #[test]
+    fn record_json_helpers_round_trip_and_ignore_wrappers() {
+        // The service snapshot format wraps record lines with a "kind"
+        // discriminator; the parser must ignore unknown fields.
+        let r = sample_trace().records[0];
+        let plain = record_to_json(&r);
+        assert_eq!(record_from_json(&plain).unwrap(), r);
+        let wrapped = format!("{{\"kind\":\"record\",{}", &plain[1..]);
+        assert_eq!(record_from_json(&wrapped).unwrap(), r);
     }
 
     #[test]

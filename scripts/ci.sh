@@ -83,6 +83,69 @@ wait "$serve_pid"
 grep -q 'backend=epoll' "$smoke_dir/serve_epoll.log" \
     || { echo "fgcs-serve did not run the epoll backend" >&2; exit 1; }
 
+echo "== kill-and-restart snapshot smoke (both backends) =="
+# The crash-safety gate: SIGKILL fgcs-serve mid-replay, restart it on
+# the same snapshot directory, resume the replay (strictly past each
+# machine's restored last_t, via fgcs-smoke --resume), shut down
+# gracefully, and diff the final snapshot's deterministic lines
+# (machine/record/transition) against an uninterrupted run's. The
+# header and counters lines legitimately differ (elapsed time, batch
+# boundaries after the resume), so they are excluded from the diff.
+#
+# $1=backend  $2=snapshot dir  $3=log tag  $4=kill mid-replay (yes/no)
+run_replay_server() {
+    local backend="$1" snapdir="$2" tag="$3" kill_mid="$4"
+    local fifo="$smoke_dir/$tag.stdin" out="$smoke_dir/$tag.out"
+    mkfifo "$fifo"
+    ./target/release/fgcs-serve --addr 127.0.0.1:0 --backend "$backend" \
+        --snapshot-dir "$snapdir" --snapshot-interval 50 --reuse-addr \
+        < "$fifo" > "$out" 2> "$smoke_dir/$tag.log" &
+    local pid=$!
+    exec 8> "$fifo"
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "$tag: fgcs-serve never reported its address" >&2; exit 1; }
+    if [ "$kill_mid" = yes ]; then
+        # First half of the wave, then wait for a periodic checkpoint
+        # (50 ms interval) and SIGKILL — no graceful anything.
+        ./target/release/fgcs-smoke --addr "$addr" --replay 3:200 > /dev/null
+        sleep 0.4
+        kill -9 "$pid"
+        exec 8>&-
+        rm -f "$fifo"
+        wait "$pid" 2> /dev/null || true
+    else
+        ./target/release/fgcs-smoke --addr "$addr" --replay 3:400 ${5:+--resume} > /dev/null
+        exec 8>&-  # EOF on stdin: graceful shutdown, final checkpoint
+        rm -f "$fifo"
+        wait "$pid"
+    fi
+}
+snapshot_fingerprint() {
+    # The deterministic payload of the newest snapshot in $1.
+    local newest
+    newest=$(ls "$1"/snap-*.snap | sort | tail -n 1)
+    grep -E '"kind":"(machine|record|transition)"' "$newest"
+}
+for backend in threads epoll; do
+    base="$smoke_dir/snap-$backend"
+    # Uninterrupted reference: the full wave through one server life.
+    run_replay_server "$backend" "$base-ref" "ref-$backend" no
+    # Crash run: half the wave, SIGKILL, restart on the same snapshot
+    # dir, resume the replay, graceful shutdown.
+    run_replay_server "$backend" "$base-crash" "crash1-$backend" yes
+    run_replay_server "$backend" "$base-crash" "crash2-$backend" no resume
+    snapshot_fingerprint "$base-ref"   > "$smoke_dir/fp-ref-$backend"
+    snapshot_fingerprint "$base-crash" > "$smoke_dir/fp-crash-$backend"
+    diff "$smoke_dir/fp-ref-$backend" "$smoke_dir/fp-crash-$backend" \
+        || { echo "$backend: snapshot after kill+restart+resume diverges from the uninterrupted run" >&2; exit 1; }
+    echo "  $backend: kill/restart snapshot matches the uninterrupted run"
+done
+
 echo "== sim throughput smoke (quick mode) =="
 FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench sim_throughput
 

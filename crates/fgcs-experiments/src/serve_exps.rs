@@ -15,9 +15,17 @@
 //!    (thread-per-connection vs epoll readiness loop) and record the
 //!    per-backend scaling curve: connections sustained, query p99, and
 //!    the exact accounting identity at every level.
+//! 4. **Multi-core scaling** (Linux) — the epoll backend at 1/2/4/8
+//!    event loops over a 1024–8192-connection ladder, fixed offered
+//!    load, with a per-batch ingest cost pinning single-loop capacity.
+//!    Measures ingested samples/s over the streaming window (connect
+//!    time excluded), query latency, and the instrumented
+//!    lock-contention table; the 4-loop/1-loop pair at the gate level
+//!    is the before/after evidence for the multi-loop socket layer.
 //!
-//! Writes `results/serve.csv`, `results/serve_scaling.csv`, and
-//! `BENCH_serve.json` (cwd-relative).
+//! Writes `results/serve.csv`, `results/serve_scaling.csv`,
+//! `results/serve_multicore.csv`, and `BENCH_serve.json`
+//! (cwd-relative).
 
 use fgcs_service::{run_loadgen, Backend, LoadGenConfig, LoadGenReport, Server, ServiceConfig};
 use fgcs_stats::quantile::quantile;
@@ -260,6 +268,178 @@ fn run_scaling(quick: bool) -> (Vec<ScalePoint>, usize) {
     (points, top)
 }
 
+/// One cell of the multi-core matrix: the epoll backend at `loops`
+/// event loops under `conns` connections of fixed offered load, with a
+/// per-batch ingest cost so single-loop capacity is the bottleneck.
+#[cfg(target_os = "linux")]
+struct CorePoint {
+    loops: usize,
+    conns: usize,
+    report: fgcs_service::FanInReport,
+    stats: StatsPayload,
+    contention: Vec<fgcs_service::LockContention>,
+    /// Streaming window: elapsed minus connection setup.
+    window_secs: f64,
+    /// Ingested samples per second of streaming window.
+    samples_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// The artificial per-batch ingest cost for the multi-core matrix, µs.
+/// It stands in for the real per-batch work a production deployment
+/// does (the detector step is sub-µs on synthetic waves), and it is
+/// what makes the matrix honest on a small CI box: the cost is paid
+/// inside each loop's thread, so N loops genuinely overlap N batches
+/// regardless of how many physical cores back them.
+#[cfg(target_os = "linux")]
+const CORE_INGEST_DELAY_US: u64 = 150;
+
+/// Offered aggregate load for every cell, samples/s — far above
+/// single-loop ingest capacity (batch_size / ingest_delay ≈ 213k/s),
+/// so throughput measures the server's ceiling, not the pacing.
+#[cfg(target_os = "linux")]
+const CORE_OFFERED_SAMPLES_PER_SEC: u64 = 800_000;
+
+#[cfg(target_os = "linux")]
+fn run_core_point(loops: usize, conns: usize, total_batches: u64) -> CorePoint {
+    use fgcs_service::FanInConfig;
+
+    let svc = ServiceConfig {
+        backend: Backend::Epoll,
+        event_loops: loops,
+        state_shards: 16,
+        // Also the per-pair forwarding-ring capacity: deep enough that
+        // a briefly-busy home loop queues foreign batches instead of
+        // shedding them.
+        queue_capacity: 1024,
+        ingest_delay_us: CORE_INGEST_DELAY_US,
+        ..Default::default()
+    };
+    let server = Server::start(svc).expect("X12 multicore: server starts");
+    let addr = server.local_addr().to_string();
+
+    let mut fic = FanInConfig::new(conns);
+    fic.batches_per_conn = (total_batches / conns as u64).clamp(4, 64);
+    fic.batch_size = 32;
+    fic.aggregate_samples_per_sec = CORE_OFFERED_SAMPLES_PER_SEC;
+    fic.query_every_batches = 4;
+    fic.deadline_secs = 300;
+    let report = fgcs_service::run_fanin(&addr, &fic).expect("X12 multicore: fan-in runs");
+
+    let stats = drain(&server, report.batches_sent);
+    let contention = server.lock_contention();
+    let ctx = format!("{loops} loops @ {conns}");
+    assert_eq!(
+        report.conns_failed, 0,
+        "X12 multicore {ctx}: no mid-stream deaths"
+    );
+    assert_eq!(
+        report.conns_sustained, conns,
+        "X12 multicore {ctx}: every connection sustained"
+    );
+    assert_eq!(
+        stats.ingested_batches + stats.shed_batches + stats.decode_errors,
+        report.batches_sent,
+        "X12 multicore {ctx}: server identity sent == ingested + shed + decode-rejected"
+    );
+    assert_eq!(
+        report.acks + report.busys + report.error_replies,
+        report.batches_sent,
+        "X12 multicore {ctx}: client identity acks + busys + errors == sent"
+    );
+    server.shutdown();
+
+    let window_secs = (report.elapsed_secs - report.connect_secs).max(1e-9);
+    let samples_per_sec = stats.ingested_samples as f64 / window_secs;
+    let lat: Vec<f64> = report
+        .query_latencies_us
+        .iter()
+        .map(|&us| us as f64)
+        .collect();
+    let p50_us = quantile(&lat, 0.5).unwrap_or(0.0);
+    let p99_us = quantile(&lat, 0.99).unwrap_or(0.0);
+    CorePoint {
+        loops,
+        conns,
+        report,
+        stats,
+        contention,
+        window_secs,
+        samples_per_sec,
+        p50_us,
+        p99_us,
+    }
+}
+
+/// Phase 4: the loops × connections matrix. Returns the points plus
+/// the gate level (the conns rung the before/after claim is made at).
+#[cfg(target_os = "linux")]
+fn run_multicore(quick: bool) -> (Vec<CorePoint>, usize) {
+    // Work per cell is held constant (total batches, split across the
+    // fleet) so cells differ only in loop count and fan-in width.
+    let (loop_counts, levels, total_batches): (&[usize], &[usize], u64) = if quick {
+        (&[1, 4], &[256], 4_096)
+    } else {
+        (&[1, 2, 4, 8], &[1024, 4096, 8192], 49_152)
+    };
+    let mut points = Vec::new();
+    for &conns in levels {
+        for &loops in loop_counts {
+            let p = run_core_point(loops, conns, total_batches);
+            println!(
+                "multicore: {} loops @ {:>4} conns: {:>8.0} samples/s over {:>5.2} s window, \
+                 query p50 {:>6.0} us  p99 {:>7.0} us, {} shed",
+                p.loops,
+                p.conns,
+                p.samples_per_sec,
+                p.window_secs,
+                p.p50_us,
+                p.p99_us,
+                p.stats.shed_batches
+            );
+            points.push(p);
+        }
+    }
+
+    // The gate rung: 4096 conns on the full ladder (256 in quick runs,
+    // where the numbers are logged but not asserted — two loops on a
+    // saturated CI box need the longer windows to separate cleanly).
+    let gate_conns = if quick { 256 } else { 4096 };
+    if !quick {
+        let l1 = points
+            .iter()
+            .find(|p| p.loops == 1 && p.conns == gate_conns)
+            .unwrap();
+        let l4 = points
+            .iter()
+            .find(|p| p.loops == 4 && p.conns == gate_conns)
+            .unwrap();
+        let speedup = l4.samples_per_sec / l1.samples_per_sec.max(1e-9);
+        assert!(
+            speedup >= 2.0,
+            "X12 multicore: 4 loops must ingest >= 2x one loop at {gate_conns} conns \
+             under the same offered load ({:.0} vs {:.0} samples/s = {speedup:.2}x)",
+            l4.samples_per_sec,
+            l1.samples_per_sec
+        );
+        // The latency half: spreading ingest across loops must not buy
+        // throughput by parking queries. A saturated single loop queues
+        // queries behind batch work, so l4's tail is normally *better*;
+        // the noise floor keeps sub-millisecond scheduler jitter from
+        // tripping the gate when both tails are tiny.
+        const NOISE_FLOOR_US: f64 = 500.0;
+        assert!(
+            l4.p99_us <= (1.5 * l1.p99_us).max(NOISE_FLOOR_US),
+            "X12 multicore: 4-loop query p99 must stay within 1.5x of single-loop \
+             ({:.0} us vs {:.0} us)",
+            l4.p99_us,
+            l1.p99_us
+        );
+    }
+    (points, gate_conns)
+}
+
 /// X12: throughput/latency of the availability service plus overload
 /// accounting.
 pub fn serve(quick: bool) {
@@ -346,6 +526,10 @@ pub fn serve(quick: bool) {
     #[cfg(target_os = "linux")]
     let (scale_points, scale_top) = run_scaling(quick);
 
+    // Phase 4: the multi-core loops × connections matrix.
+    #[cfg(target_os = "linux")]
+    let (core_points, core_gate_conns) = run_multicore(quick);
+
     let row = |phase: &str, o: &PhaseOutcome| {
         format!(
             "{phase},{},{},{},{:.3},{:.0},{:.0},{:.0},{},{},{}",
@@ -400,6 +584,36 @@ pub fn serve(quick: bool) {
             &rows,
         )
         .expect("write results/serve_scaling.csv");
+        println!("wrote {}", path.display());
+
+        let rows: Vec<String> = core_points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{:.3},{:.3},{:.0},{:.0},{:.0}",
+                    p.loops,
+                    p.conns,
+                    p.report.conns_sustained,
+                    p.report.batches_sent,
+                    p.report.acks,
+                    p.report.busys,
+                    p.stats.ingested_samples,
+                    p.stats.shed_batches,
+                    p.report.connect_secs,
+                    p.window_secs,
+                    p.samples_per_sec,
+                    p.p50_us,
+                    p.p99_us
+                )
+            })
+            .collect();
+        let path = write_csv(
+            "serve_multicore",
+            "loops,conns,sustained,batches,acks,busys,ingested_samples,shed,\
+             connect_s,window_s,samples_per_s,query_p50_us,query_p99_us",
+            &rows,
+        )
+        .expect("write results/serve_multicore.csv");
         println!("wrote {}", path.display());
     }
 
@@ -510,6 +724,98 @@ pub fn serve(quick: bool) {
             .obj("levels", levels)
             .obj("top", top);
         bench.obj("scaling", scaling);
+
+        // Phase 4: the multi-core matrix, keyed level -> loop count.
+        let core_obj = |p: &CorePoint| {
+            let mut w = ObjWriter::new();
+            w.u64("conns_sustained", p.report.conns_sustained as u64)
+                .u64("batches_sent", p.report.batches_sent)
+                .u64("ingested_samples", p.stats.ingested_samples)
+                .u64("shed_batches", p.stats.shed_batches)
+                .f64("connect_secs", p.report.connect_secs)
+                .f64("window_secs", p.window_secs)
+                .f64("samples_per_sec", p.samples_per_sec)
+                .f64("query_p50_us", p.p50_us)
+                .f64("query_p99_us", p.p99_us);
+            w
+        };
+        let contention_obj = |p: &CorePoint| {
+            let mut w = ObjWriter::new();
+            for c in &p.contention {
+                let mut lock = ObjWriter::new();
+                lock.u64("acquisitions", c.acquisitions)
+                    .u64("contended", c.contended)
+                    .u64("wait_us", c.wait_us);
+                w.obj(c.lock, lock);
+            }
+            w
+        };
+        let mut core_levels = ObjWriter::new();
+        let mut conns_seen: Vec<usize> = Vec::new();
+        for p in &core_points {
+            if !conns_seen.contains(&p.conns) {
+                conns_seen.push(p.conns);
+            }
+        }
+        for &conns in &conns_seen {
+            let mut level = ObjWriter::new();
+            for p in core_points.iter().filter(|p| p.conns == conns) {
+                level.obj(&format!("l{}", p.loops), core_obj(p));
+            }
+            core_levels.obj(&format!("c{conns}"), level);
+        }
+        let core_l1 = core_points
+            .iter()
+            .find(|p| p.loops == 1 && p.conns == core_gate_conns)
+            .unwrap();
+        let core_l4 = core_points
+            .iter()
+            .find(|p| p.loops == 4 && p.conns == core_gate_conns)
+            .unwrap();
+        // The before/after evidence in one flat object, simple enough
+        // for the CI gate to parse out of the committed artifact with
+        // sed: 1-loop vs 4-loop at the gate rung.
+        let mut gate = ObjWriter::new();
+        gate.u64("conns", core_gate_conns as u64)
+            .f64("l1_samples_per_sec", core_l1.samples_per_sec)
+            .f64("l4_samples_per_sec", core_l4.samples_per_sec)
+            .f64(
+                "speedup",
+                core_l4.samples_per_sec / core_l1.samples_per_sec.max(1e-9),
+            )
+            .f64("l1_query_p99_us", core_l1.p99_us)
+            .f64("l4_query_p99_us", core_l4.p99_us)
+            .f64("p99_ratio", core_l4.p99_us / core_l1.p99_us.max(1e-9));
+        let mut contention = ObjWriter::new();
+        contention
+            .str(
+                "description",
+                "instrumented lock acquisitions at the gate rung. before = 1 loop: one \
+                 thread serializes every batch, so zero contention but a hard \
+                 throughput ceiling. after = 4 loops: 4 threads ingest concurrently, \
+                 and because each loop owns its shard subset (foreign batches ride \
+                 SPSC rings, counters are per-slot) contended acquisitions stay at \
+                 ~zero rather than scaling with the thread count",
+            )
+            .obj("before_1_loop", contention_obj(core_l1))
+            .obj("after_4_loops", contention_obj(core_l4));
+        let mut multicore = ObjWriter::new();
+        multicore
+            .str(
+                "description",
+                "loops x connections matrix on the epoll backend: N SO_REUSEPORT event \
+                 loops pinned to disjoint state-shard subsets, fixed offered load, \
+                 per-batch ingest cost pinning single-loop capacity; samples_per_sec \
+                 is ingested samples over the streaming window (connect time excluded)",
+            )
+            .u64("ingest_delay_us", CORE_INGEST_DELAY_US)
+            .u64("offered_samples_per_sec", CORE_OFFERED_SAMPLES_PER_SEC)
+            .u64("batch_size", 32)
+            .u64("state_shards", 16)
+            .obj("levels", core_levels)
+            .obj("gate", gate)
+            .obj("contention", contention);
+        bench.obj("multicore", multicore);
     }
 
     std::fs::write("BENCH_serve.json", bench.finish() + "\n").expect("write BENCH_serve.json");

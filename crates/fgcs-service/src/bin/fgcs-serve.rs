@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! fgcs-serve [--addr HOST:PORT] [--backend threads|epoll] [--workers N]
-//!            [--queue-capacity N] [--max-conns N] [--shards N]
-//!            [--auth-token TOKEN] [--snapshot-dir DIR]
-//!            [--snapshot-interval MS] [--reuse-addr]
+//!            [--loops N] [--fd-handoff] [--queue-capacity N]
+//!            [--max-conns N] [--shards N] [--auth-token TOKEN]
+//!            [--snapshot-dir DIR] [--snapshot-interval MS] [--reuse-addr]
 //! ```
 //!
 //! Prints the bound address on stdout (port 0 picks a free port, which
@@ -18,13 +18,17 @@ use fgcs_service::{Backend, Server, ServiceConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: fgcs-serve [--addr HOST:PORT] [--backend threads|epoll] [--workers N]\n\
-         \x20                 [--queue-capacity N] [--max-conns N] [--shards N]\n\
-         \x20                 [--auth-token TOKEN] [--snapshot-dir DIR]\n\
-         \x20                 [--snapshot-interval MS] [--reuse-addr]\n\
+         \x20                 [--loops N] [--fd-handoff] [--queue-capacity N]\n\
+         \x20                 [--max-conns N] [--shards N] [--auth-token TOKEN]\n\
+         \x20                 [--snapshot-dir DIR] [--snapshot-interval MS] [--reuse-addr]\n\
          \n\
          Runs until stdin reaches EOF. Prints `listening on ADDR` once bound.\n\
          With --snapshot-dir the server checkpoints its ingest state there\n\
-         periodically and on shutdown, and restores from it at startup."
+         periodically and on shutdown, and restores from it at startup.\n\
+         --loops N runs the epoll backend as N event loops sharing the port\n\
+         via SO_REUSEPORT (0 = auto: min(cores, shards)); N must not exceed\n\
+         --shards. --fd-handoff forces the single-listener fd-handoff\n\
+         fallback instead of SO_REUSEPORT."
     );
     exit(2);
 }
@@ -52,6 +56,11 @@ fn main() {
                 Ok(n) => cfg.workers = n,
                 Err(_) => usage(),
             },
+            "--loops" => match value("--loops").parse() {
+                Ok(n) => cfg.event_loops = n,
+                Err(_) => usage(),
+            },
+            "--fd-handoff" => cfg.force_fd_handoff = true,
             "--queue-capacity" => match value("--queue-capacity").parse() {
                 Ok(n) if n >= 1 => cfg.queue_capacity = n,
                 _ => usage(),
@@ -87,7 +96,11 @@ fn main() {
         }
     };
     println!("listening on {}", server.local_addr());
-    eprintln!("fgcs-serve: backend={}", server.backend().name());
+    eprintln!(
+        "fgcs-serve: backend={} loops={}",
+        server.backend().name(),
+        server.event_loops()
+    );
 
     // Block until the parent closes our stdin, then drain and exit.
     let mut sink = Vec::new();

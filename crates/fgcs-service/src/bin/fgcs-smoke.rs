@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fgcs-smoke --addr HOST:PORT [--token TOKEN]
-//! fgcs-smoke --addr HOST:PORT --replay MACHINES:SAMPLES [--resume]
+//! fgcs-smoke --addr HOST:PORT --replay MACHINES:SAMPLES [--resume] [--loops N]
 //! ```
 //!
 //! **Probe mode** (no `--replay`) checks, in order:
@@ -25,6 +25,11 @@
 //! that — the client side of restart recovery. Strictly: a duplicate
 //! of the `last_t` sample would be accepted by the server (only `t <
 //! last_t` counts as out-of-order) and would skew availability means.
+//! `--loops N` replays over N concurrent connections (machine `m`
+//! rides connection `m % N`, so each machine's stream stays in order
+//! on one connection and the replay stays deterministic) — pointed at
+//! a multi-loop server this exercises concurrent ingest across event
+//! loops, including the cross-loop forwarding rings.
 //!
 //! Exits 0 on success, 1 with a message on the first failure — the CI
 //! smoke gate for the epoll backend, auth handshake, and the
@@ -75,16 +80,19 @@ fn query_stats(client: &mut ServiceClient) -> fgcs_wire::StatsPayload {
     }
 }
 
-/// Streams the wave to the server; with `resume` set, only the samples
-/// the server hasn't seen yet (per its own `last_t` book-keeping).
-fn run_replay(client: &mut ServiceClient, machines: u32, samples: u64, resume: bool) {
-    let mut last_t: BTreeMap<u32, u64> = BTreeMap::new();
-    if resume {
-        for m in query_stats(client).machines {
-            last_t.insert(m.machine, m.last_t);
-        }
-    }
-    for machine in 1..=machines {
+/// Streams one partition of the wave over its own connection. Runs on
+/// a worker thread, so failures exit the whole process via `fail`.
+fn stream_partition(
+    cfg: ClientConfig,
+    machines: Vec<u32>,
+    samples: u64,
+    last_t: BTreeMap<u32, u64>,
+) {
+    let mut client = match ServiceClient::connect(cfg) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("replay connect: {e}")),
+    };
+    for machine in machines {
         let from = last_t.get(&machine).copied();
         let todo: Vec<WireSample> = (0..samples)
             .map(|i| wave_sample(machine, i))
@@ -106,6 +114,46 @@ fn run_replay(client: &mut ServiceClient, machines: u32, samples: u64, resume: b
                 )),
                 Err(e) => fail(&format!("replay machine {machine}: {e}")),
             }
+        }
+    }
+}
+
+/// Streams the wave to the server over `loops` concurrent connections;
+/// with `resume` set, only the samples the server hasn't seen yet (per
+/// its own `last_t` book-keeping). Machine `m` always rides connection
+/// `m % loops`: per-machine sample order is preserved, so the recorded
+/// occurrences are deterministic however the connections interleave.
+fn run_replay(
+    cfg: &ClientConfig,
+    client: &mut ServiceClient,
+    machines: u32,
+    samples: u64,
+    resume: bool,
+    loops: u32,
+) {
+    let mut last_t: BTreeMap<u32, u64> = BTreeMap::new();
+    if resume {
+        for m in query_stats(client).machines {
+            last_t.insert(m.machine, m.last_t);
+        }
+    }
+    let conns = loops.clamp(1, machines);
+    let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); conns as usize];
+    for machine in 1..=machines {
+        partitions[(machine % conns) as usize].push(machine);
+    }
+    let workers: Vec<_> = partitions
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .map(|part| {
+            let cfg = cfg.clone();
+            let last_t = last_t.clone();
+            std::thread::spawn(move || stream_partition(cfg, part, samples, last_t))
+        })
+        .collect();
+    for worker in workers {
+        if worker.join().is_err() {
+            fail("replay: a streaming connection panicked");
         }
     }
     // Ingest is asynchronous: wait until every machine's pipeline has
@@ -134,11 +182,16 @@ fn main() {
     let mut token: Option<String> = None;
     let mut replay: Option<(u32, u64)> = None;
     let mut resume = false;
+    let mut loops = 1u32;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),
             "--token" => token = args.next(),
+            "--loops" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => loops = n,
+                _ => fail("--loops needs a count >= 1"),
+            },
             "--replay" => {
                 let spec = args.next().unwrap_or_default();
                 let parsed = spec
@@ -166,7 +219,7 @@ fn main() {
     };
 
     if let Some((machines, samples)) = replay {
-        run_replay(&mut client, machines, samples, resume);
+        run_replay(&cfg, &mut client, machines, samples, resume, loops);
         return;
     }
 

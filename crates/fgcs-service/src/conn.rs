@@ -29,9 +29,31 @@ pub(crate) enum Outcome {
     ReplyThenClose(Frame),
 }
 
+/// Where a connection's sample batches go — the one point where the
+/// backends' ingest paths diverge.
+pub(crate) enum IngestSink<'a> {
+    /// The shared bounded queue drained by the worker pool (threaded
+    /// backend). Overflow sheds the *oldest* queued batch.
+    Queue,
+    /// Loop-owned ingest (epoll backend): batches for shards this loop
+    /// owns are ingested inline; others are forwarded to their home
+    /// loop over an SPSC ring. A full ring sheds the *arriving* batch —
+    /// forwarded work is never reordered or dropped once accepted.
+    #[cfg(target_os = "linux")]
+    Loop(&'a mut crate::epoll::LoopRouter),
+    /// Unused; keeps the lifetime parameter on non-Linux builds.
+    #[cfg(not(target_os = "linux"))]
+    Phantom(std::marker::PhantomData<&'a ()>),
+}
+
 /// Handles one decoded frame: auth gate first, then the request
 /// dispatch. Exactly one reply per frame, always.
-pub(crate) fn handle_conn_frame(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Outcome {
+pub(crate) fn handle_conn_frame(
+    shared: &Shared,
+    frame: Frame,
+    ctx: &mut ConnCtx,
+    sink: &mut IngestSink<'_>,
+) -> Outcome {
     if let Some(expected) = &shared.cfg.auth_token {
         if !ctx.authed {
             return match frame {
@@ -61,17 +83,32 @@ pub(crate) fn handle_conn_frame(shared: &Shared, frame: Frame, ctx: &mut ConnCtx
         // harmless, acknowledged, not counted as a batch.
         return Outcome::Reply(Frame::Ack { seq: 0 });
     }
-    Outcome::Reply(handle_request(shared, frame, ctx))
+    Outcome::Reply(handle_request(shared, frame, ctx, sink))
 }
 
 /// The request dispatch (post-auth). Formerly `server::handle_frame`.
-fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
+fn handle_request(
+    shared: &Shared,
+    frame: Frame,
+    ctx: &mut ConnCtx,
+    sink: &mut IngestSink<'_>,
+) -> Frame {
     match frame {
         Frame::SampleBatch { machine, samples } => {
-            let mut queue = shared.queue.lock().unwrap();
-            let shed = queue.push(Batch { machine, samples });
-            drop(queue);
-            shared.queue_cv.notify_one();
+            let batch = Batch { machine, samples };
+            let shed = match sink {
+                IngestSink::Queue => {
+                    let mut queue = shared.lock_queue();
+                    let shed = queue.push(batch);
+                    drop(queue);
+                    shared.queue_cv.notify_one();
+                    shed
+                }
+                #[cfg(target_os = "linux")]
+                IngestSink::Loop(router) => router.submit(shared, batch),
+                #[cfg(not(target_os = "linux"))]
+                IngestSink::Phantom(_) => unreachable!("phantom sink is never constructed"),
+            };
             match shed {
                 Some(victim) => {
                     // One locked update, so a concurrent stats read can
@@ -82,8 +119,11 @@ fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
                         c.busy_replies += 1;
                         c.busy_replies
                     });
-                    // The arriving batch *was* accepted; Busy tells the
-                    // producer the queue overflowed and sheds happened.
+                    // Queue sink: the arriving batch *was* accepted and
+                    // the oldest queued one shed. Loop sink: a full
+                    // forwarding ring shed the arriving batch itself.
+                    // Either way Busy tells the producer the server
+                    // overflowed and exactly one batch was lost.
                     Frame::Busy {
                         shed_batches: total,
                     }
@@ -106,11 +146,7 @@ fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
                 (m.state(), m.last_t(), m.is_available())
             };
             let prob = if available {
-                shared
-                    .online
-                    .lock()
-                    .unwrap()
-                    .predict(machine, last_t, horizon)
+                shared.lock_online().predict(machine, last_t, horizon)
             } else {
                 // Currently inside an unavailability occurrence: the
                 // window cannot be failure-free.
@@ -137,7 +173,7 @@ fn handle_request(shared: &Shared, frame: Frame, ctx: &mut ConnCtx) -> Frame {
                 })
                 .map(|(id, _)| id)
                 .collect();
-            let online = shared.online.lock().unwrap();
+            let online = shared.lock_online();
             let now = online.horizon();
             let mut best: Option<(u32, f64)> = None;
             for id in candidates {

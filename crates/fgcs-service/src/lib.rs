@@ -8,8 +8,10 @@
 //! boundary:
 //!
 //! * [`Server`] — a TCP server with two interchangeable connection
-//!   backends ([`Backend`]): thread-per-connection, or a single epoll
-//!   readiness loop (Linux, via the in-tree `fgcs-sys` shim). Both
+//!   backends ([`Backend`]): thread-per-connection, or N epoll
+//!   readiness loops sharing one `SO_REUSEPORT` port (Linux, via the
+//!   in-tree `fgcs-sys` shim), each loop owning an exclusive subset of
+//!   the state shards ([`ServiceConfig::event_loops`]). Both
 //!   ingest per-machine sample streams into the existing `fgcs-core`
 //!   [`Monitor`](fgcs_core::monitor::Monitor) / detector (via
 //!   [`fgcs_testbed::OccurrenceRecorder`], so a streamed trace yields
@@ -24,14 +26,17 @@
 //! * [`loadgen`] — a load generator replaying testbed traces at
 //!   configurable fan-in, optionally through `fgcs-faults` frame
 //!   corruption to exercise the decode error paths; plus
-//!   [`run_fanin`], a single-threaded epoll-driven connection-scaling
-//!   driver (64 → 4096 sockets from one thread).
+//!   [`run_fanin`], a connection-scaling driver running thousands of
+//!   sockets from one thread on top of [`ClientPool`], the multiplexed
+//!   outbound connection pool ([`pool`]).
 //!
 //! ## Backpressure
 //!
-//! The ingest queue is bounded ([`ServiceConfig::queue_capacity`]
-//! batches). When a batch arrives at a full queue the *oldest* queued
-//! batch is shed to make room and the producer gets a
+//! Ingest capacity is bounded ([`ServiceConfig::queue_capacity`]
+//! batches). In the threaded backend a batch arriving at a full queue
+//! sheds the *oldest* queued batch to make room; in the epoll backend a
+//! batch bound for another loop's shard that finds the forwarding ring
+//! full is itself shed. Either way the producer gets a
 //! [`fgcs_wire::Frame::Busy`] instead of an `Ack`. Every client frame
 //! earns exactly one reply, so the accounting reconciles exactly:
 //!
@@ -52,6 +57,8 @@ mod conn;
 #[cfg(target_os = "linux")]
 mod epoll;
 pub mod loadgen;
+#[cfg(target_os = "linux")]
+pub mod pool;
 pub mod server;
 mod snapshot;
 mod state;
@@ -60,4 +67,6 @@ pub use client::{ClientConfig, ServiceClient};
 #[cfg(target_os = "linux")]
 pub use loadgen::{run_fanin, FanInConfig, FanInReport};
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
-pub use server::{Backend, Server, ServiceConfig};
+#[cfg(target_os = "linux")]
+pub use pool::{ClientPool, PoolCloseReason, PoolEvent};
+pub use server::{Backend, LockContention, Server, ServiceConfig};

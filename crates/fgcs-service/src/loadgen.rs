@@ -244,25 +244,24 @@ fn replay_machine(addr: &str, cfg: &LoadGenConfig, machine_id: usize) -> io::Res
 pub use fanin::{run_fanin, FanInConfig, FanInReport};
 
 /// The connection-scaling driver: thousands of monitor connections from
-/// one thread (Linux only; it runs on the same `fgcs-sys` epoll shim as
-/// the server's readiness-loop backend).
+/// one thread (Linux only), multiplexed over [`crate::ClientPool`] —
+/// the same epoll shim the server's readiness-loop backend runs on.
 ///
 /// `run_loadgen` spends one OS thread per machine, which is exactly the
 /// limitation the scaling experiment measures on the *server* — the
-/// client must not hit it first. Here every connection is a small state
-/// machine (handshake → paced batches → replies → optional query)
-/// multiplexed over nonblocking sockets, so a single driver thread
-/// sustains 4096 concurrent streams at a fixed aggregate sample rate.
+/// client must not hit it first. Here every connection is a small
+/// protocol state machine (handshake → paced batches → replies →
+/// optional query) driven by the pool's transport events, so a single
+/// driver thread sustains 8192 concurrent streams at a fixed aggregate
+/// sample rate.
 #[cfg(target_os = "linux")]
 mod fanin {
-    use std::collections::HashMap;
-    use std::io::{self, Read, Write};
-    use std::net::TcpStream;
-    use std::os::fd::{AsRawFd, RawFd};
+    use std::io;
     use std::time::{Duration, Instant};
 
-    use fgcs_sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-    use fgcs_wire::{encode_into, Decoder, ErrorCode, Frame, SampleLoad, WireSample};
+    use fgcs_wire::{ErrorCode, Frame, SampleLoad, WireSample};
+
+    use crate::pool::{ClientPool, PoolCloseReason, PoolEvent};
 
     /// Fan-in driver configuration.
     #[derive(Debug, Clone)]
@@ -345,6 +344,13 @@ mod fanin {
         pub query_latencies_us: Vec<u64>,
         /// Wall-clock duration of the run, seconds.
         pub elapsed_secs: f64,
+        /// Seconds of `elapsed_secs` spent establishing connections and
+        /// sending handshakes, before the paced streaming window began.
+        /// Throughput over the streaming window alone is
+        /// `samples_sent / (elapsed_secs - connect_secs)` — at
+        /// thousands of serial TCP connects the setup phase would
+        /// otherwise dominate and flatten any scaling comparison.
+        pub connect_secs: f64,
     }
 
     #[derive(Debug)]
@@ -367,73 +373,29 @@ mod fanin {
         Done,
     }
 
-    struct Conn {
-        stream: TcpStream,
-        decoder: Decoder,
+    /// Per-connection protocol state, indexed by pool slot (the pool
+    /// owns the transport: socket, reassembly, write buffering).
+    struct SlotState {
         phase: Phase,
-        /// Unflushed output (nonblocking writes that didn't finish).
-        out: Vec<u8>,
-        out_pos: usize,
-        registered_writable: bool,
         batches_done: u64,
         /// Next sample timestamp for this machine's synthetic stream.
         next_t: u64,
         due: Instant,
     }
 
-    impl Conn {
-        fn has_pending_out(&self) -> bool {
-            self.out_pos < self.out.len()
-        }
-    }
-
-    fn write_some(stream: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
-        let mut written = 0;
-        while written < buf.len() {
-            match stream.write(&buf[written..]) {
-                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => written += n,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(written)
-    }
-
-    /// Sends a frame on a nonblocking conn, buffering what the socket
-    /// refuses. `false` = connection is dead.
-    fn send_frame(conn: &mut Conn, frame: &Frame, ebuf: &mut Vec<u8>) -> bool {
-        if encode_into(frame, ebuf).is_err() {
-            return false;
-        }
-        if conn.has_pending_out() {
-            conn.out.extend_from_slice(ebuf);
-            return true;
-        }
-        match write_some(&mut conn.stream, ebuf) {
-            Ok(w) if w == ebuf.len() => true,
-            Ok(w) => {
-                conn.out.extend_from_slice(&ebuf[w..]);
-                true
-            }
-            Err(_) => false,
-        }
-    }
-
     /// Builds the next synthetic batch for a machine: one-minute
     /// samples, light steady load — enough to drive the full decode →
     /// queue → detector path without detector-state churn.
-    fn next_batch(machine: u32, conn: &mut Conn, batch_size: usize) -> Frame {
+    fn next_batch(machine: u32, state: &mut SlotState, batch_size: usize) -> Frame {
         let samples: Vec<WireSample> = (0..batch_size)
             .map(|i| WireSample {
-                t: conn.next_t + 60 * i as u64,
+                t: state.next_t + 60 * i as u64,
                 load: SampleLoad::Direct(0.05),
                 host_resident_mb: 100,
                 alive: true,
             })
             .collect();
-        conn.next_t += 60 * batch_size as u64;
+        state.next_t += 60 * batch_size as u64;
         Frame::SampleBatch { machine, samples }
     }
 
@@ -446,19 +408,28 @@ mod fanin {
 
     /// Advances one connection's state machine on a received frame.
     fn on_frame(
-        slot: u32,
-        conn: &mut Conn,
+        slot: usize,
+        state: &mut SlotState,
         frame: Frame,
         cfg: &FanInConfig,
         report: &mut FanInReport,
         period: Option<Duration>,
-        ebuf: &mut Vec<u8>,
+        pool: &mut ClientPool,
     ) -> Fate {
-        match conn.phase {
+        // A typed handshake rejection (conn cap or bad token) is a
+        // rejection, not a failure, whatever phase follows it.
+        if let Frame::Error { code, .. } = &frame {
+            if matches!(state.phase, Phase::AwaitAuth | Phase::AwaitProbe)
+                && matches!(code, ErrorCode::ConnLimit | ErrorCode::Unauthorized)
+            {
+                return Fate::Rejected;
+            }
+        }
+        match state.phase {
             Phase::AwaitAuth => match frame {
                 Frame::Ack { .. } => {
-                    conn.phase = Phase::AwaitProbe;
-                    if send_frame(conn, &Frame::QueryStats, ebuf) {
+                    state.phase = Phase::AwaitProbe;
+                    if pool.send(slot, &Frame::QueryStats) {
                         Fate::Keep
                     } else {
                         Fate::Rejected
@@ -468,7 +439,7 @@ mod fanin {
             },
             Phase::AwaitProbe => match frame {
                 Frame::StatsReply(_) => {
-                    conn.phase = Phase::Idle;
+                    state.phase = Phase::Idle;
                     Fate::Keep
                 }
                 _ => Fate::Rejected,
@@ -480,31 +451,31 @@ mod fanin {
                     Frame::Error { .. } => report.error_replies += 1,
                     _ => return Fate::Failed,
                 }
-                conn.batches_done += 1;
-                if conn.batches_done >= cfg.batches_per_conn {
-                    conn.phase = Phase::Done;
+                state.batches_done += 1;
+                if state.batches_done >= cfg.batches_per_conn {
+                    state.phase = Phase::Done;
                     return Fate::Finished;
                 }
                 if cfg.query_every_batches > 0
-                    && conn.batches_done.is_multiple_of(cfg.query_every_batches)
+                    && state.batches_done.is_multiple_of(cfg.query_every_batches)
                 {
                     let q = Frame::QueryAvail {
-                        machine: slot,
+                        machine: slot as u32,
                         horizon: cfg.query_horizon,
                     };
                     report.queries_sent += 1;
-                    conn.phase = Phase::AwaitQueryReply {
+                    state.phase = Phase::AwaitQueryReply {
                         sent_at: Instant::now(),
                     };
-                    if send_frame(conn, &q, ebuf) {
+                    if pool.send(slot, &q) {
                         Fate::Keep
                     } else {
                         Fate::Failed
                     }
                 } else {
-                    conn.phase = Phase::Idle;
+                    state.phase = Phase::Idle;
                     if let Some(p) = period {
-                        conn.due += p;
+                        state.due += p;
                     }
                     Fate::Keep
                 }
@@ -520,13 +491,29 @@ mod fanin {
                     Frame::Error { .. } => report.query_errors += 1,
                     _ => return Fate::Failed,
                 }
-                conn.phase = Phase::Idle;
+                state.phase = Phase::Idle;
                 if let Some(p) = period {
-                    conn.due += p;
+                    state.due += p;
                 }
                 Fate::Keep
             }
             Phase::Idle | Phase::Done => Fate::Failed, // unsolicited frame
+        }
+    }
+
+    /// Maps a transport close to a protocol fate. A handshake-phase
+    /// close is a rejection: the server refused before any batch was
+    /// sent (a refusing server's close often arrives as an RST that
+    /// races ahead of its typed error frame, so `Err` in the handshake
+    /// counts the same as a clean EOF there).
+    fn close_fate(state: &SlotState, reason: PoolCloseReason) -> Fate {
+        match reason {
+            PoolCloseReason::Eof | PoolCloseReason::Err => match state.phase {
+                Phase::AwaitAuth | Phase::AwaitProbe => Fate::Rejected,
+                Phase::Done if matches!(reason, PoolCloseReason::Eof) => Fate::Finished,
+                _ => Fate::Failed,
+            },
+            PoolCloseReason::Decode => Fate::Failed,
         }
     }
 
@@ -547,52 +534,37 @@ mod fanin {
             ..Default::default()
         };
 
-        let ep = Epoll::new()?;
-        let mut conns: Vec<Option<Conn>> = Vec::with_capacity(cfg.conns);
-        let mut fd_to_slot: HashMap<RawFd, u32> = HashMap::new();
-        let mut ebuf: Vec<u8> = Vec::with_capacity(4096);
+        let mut pool = ClientPool::connect(addr, cfg.conns)?;
+        report.conns_connected = pool.open_count();
+        report.conns_rejected = cfg.conns - pool.open_count();
 
+        let mut states: Vec<Option<SlotState>> = Vec::with_capacity(cfg.conns);
         for slot in 0..cfg.conns {
-            let stream = match TcpStream::connect(addr) {
-                Ok(s) => s,
-                Err(_) => {
-                    report.conns_rejected += 1;
-                    conns.push(None);
-                    continue;
-                }
-            };
-            report.conns_connected += 1;
-            let _ = stream.set_nodelay(true);
-            stream.set_nonblocking(true)?;
-            let fd = stream.as_raw_fd();
-            let mut conn = Conn {
-                stream,
-                decoder: Decoder::new(),
+            if !pool.is_open(slot) {
+                states.push(None);
+                continue;
+            }
+            let mut state = SlotState {
                 phase: Phase::AwaitProbe,
-                out: Vec::new(),
-                out_pos: 0,
-                registered_writable: false,
                 batches_done: 0,
                 next_t: 0,
                 due: started,
             };
             let first = match &cfg.token {
                 Some(token) => {
-                    conn.phase = Phase::AwaitAuth;
+                    state.phase = Phase::AwaitAuth;
                     Frame::Auth {
                         token: token.clone(),
                     }
                 }
                 None => Frame::QueryStats,
             };
-            if !send_frame(&mut conn, &first, &mut ebuf) {
+            if !pool.send(slot, &first) {
                 report.conns_rejected += 1;
-                conns.push(None);
+                states.push(None);
                 continue;
             }
-            ep.add(fd, EPOLLIN | EPOLLRDHUP, slot as u64)?;
-            fd_to_slot.insert(fd, slot as u32);
-            conns.push(Some(conn));
+            states.push(Some(state));
         }
 
         // Stagger first-send deadlines across one period so the
@@ -601,17 +573,17 @@ mod fanin {
         // serial connects take longer than a period, and dues anchored
         // at `started` would all be past — one thundering burst.
         let t0 = Instant::now();
+        report.connect_secs = (t0 - started).as_secs_f64();
         if let Some(p) = period {
-            for (slot, conn) in conns.iter_mut().enumerate() {
-                if let Some(c) = conn {
-                    c.due = t0 + p * slot as u32 / cfg.conns as u32;
+            for (slot, state) in states.iter_mut().enumerate() {
+                if let Some(s) = state {
+                    s.due = t0 + p * slot as u32 / cfg.conns as u32;
                 }
             }
         }
 
-        let mut open = conns.iter().filter(|c| c.is_some()).count();
-        let mut events = vec![EpollEvent::zeroed(); 1024];
-        let mut rbuf = vec![0u8; 64 * 1024];
+        let mut open = states.iter().filter(|s| s.is_some()).count();
+        let mut events: Vec<PoolEvent> = Vec::new();
 
         while open > 0 {
             let now = Instant::now();
@@ -620,198 +592,82 @@ mod fanin {
             }
             // Fire every idle connection whose pacing deadline passed.
             let mut next_due: Option<Instant> = None;
-            for slot in 0..conns.len() {
-                let Some(conn) = conns[slot].as_mut() else {
+            for slot in 0..states.len() {
+                let Some(state) = states[slot].as_mut() else {
                     continue;
                 };
-                if !matches!(conn.phase, Phase::Idle) {
+                if !matches!(state.phase, Phase::Idle) {
                     continue;
                 }
-                if conn.due <= now {
-                    let batch = next_batch(slot as u32, conn, batch_size);
+                if state.due <= now {
+                    let batch = next_batch(slot as u32, state, batch_size);
                     report.batches_sent += 1;
                     report.samples_sent += batch_size as u64;
-                    conn.phase = Phase::AwaitBatchReply;
-                    if !send_frame(conn, &batch, &mut ebuf) {
+                    state.phase = Phase::AwaitBatchReply;
+                    if !pool.send(slot, &batch) {
                         report.conns_failed += 1;
-                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        states[slot] = None;
                         open -= 1;
-                        continue;
                     }
-                    sync_interest(&ep, conn, slot as u64);
                 } else {
-                    next_due = Some(next_due.map_or(conn.due, |d: Instant| d.min(conn.due)));
+                    next_due = Some(next_due.map_or(state.due, |d: Instant| d.min(state.due)));
                 }
             }
             let timeout_ms = match next_due {
                 Some(d) => (d.saturating_duration_since(now).as_millis() as i32).clamp(0, 50),
                 None => 50,
             };
-            let n = ep.wait(&mut events, timeout_ms)?;
-            for ev in &events[..n] {
-                let slot = ev.token() as usize;
-                let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
-                    continue;
+            pool.poll(timeout_ms, &mut events)?;
+            for ev in events.drain(..) {
+                let (slot, fate) = match ev {
+                    PoolEvent::Frame { slot, frame } => {
+                        let Some(state) = states[slot].as_mut() else {
+                            continue; // slot already resolved this drain
+                        };
+                        (
+                            slot,
+                            on_frame(slot, state, frame, cfg, &mut report, period, &mut pool),
+                        )
+                    }
+                    PoolEvent::Closed { slot, reason } => {
+                        let Some(state) = states[slot].as_ref() else {
+                            continue;
+                        };
+                        (slot, close_fate(state, reason))
+                    }
                 };
-                let readiness = ev.readiness();
-                let mut fate = Fate::Keep;
-                if readiness & EPOLLERR != 0 {
-                    fate = match conn.phase {
-                        Phase::AwaitAuth | Phase::AwaitProbe => Fate::Rejected,
-                        _ => Fate::Failed,
-                    };
-                }
-                if matches!(fate, Fate::Keep)
-                    && readiness & EPOLLOUT != 0
-                    && flush_out(conn).is_err()
-                {
-                    fate = Fate::Failed;
-                }
-                if matches!(fate, Fate::Keep) && readiness & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0
-                {
-                    fate = read_and_dispatch(
-                        slot as u32,
-                        conn,
-                        cfg,
-                        &mut report,
-                        period,
-                        &mut rbuf,
-                        &mut ebuf,
-                    );
-                }
                 match fate {
-                    Fate::Keep => sync_interest(&ep, conn, slot as u64),
+                    Fate::Keep => {}
                     Fate::Rejected => {
                         report.conns_rejected += 1;
-                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        pool.close(slot);
+                        states[slot] = None;
                         open -= 1;
                     }
                     Fate::Failed => {
                         report.conns_failed += 1;
-                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        pool.close(slot);
+                        states[slot] = None;
                         open -= 1;
                     }
                     Fate::Finished => {
                         report.conns_sustained += 1;
-                        close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                        pool.close(slot);
+                        states[slot] = None;
                         open -= 1;
                     }
                 }
             }
         }
         // Deadline hit with connections still open: they failed.
-        for slot in 0..conns.len() {
-            if conns[slot].is_some() {
+        for slot in 0..states.len() {
+            if states[slot].is_some() {
                 report.conns_failed += 1;
-                close_slot(&ep, &mut conns, &mut fd_to_slot, slot);
+                pool.close(slot);
+                states[slot] = None;
             }
         }
         report.elapsed_secs = started.elapsed().as_secs_f64();
         Ok(report)
-    }
-
-    /// Reads until `WouldBlock`, dispatching every complete frame.
-    #[allow(clippy::too_many_arguments)]
-    fn read_and_dispatch(
-        slot: u32,
-        conn: &mut Conn,
-        cfg: &FanInConfig,
-        report: &mut FanInReport,
-        period: Option<Duration>,
-        rbuf: &mut [u8],
-        ebuf: &mut Vec<u8>,
-    ) -> Fate {
-        loop {
-            match conn.stream.read(rbuf) {
-                Ok(0) => {
-                    // EOF: a handshake-phase close is a rejection (the
-                    // server refused before any batch was sent).
-                    return match conn.phase {
-                        Phase::AwaitAuth | Phase::AwaitProbe => Fate::Rejected,
-                        Phase::Done => Fate::Finished,
-                        _ => Fate::Failed,
-                    };
-                }
-                Ok(n) => {
-                    conn.decoder.push(&rbuf[..n]);
-                    loop {
-                        match conn.decoder.next_frame() {
-                            Ok(Some(frame)) => {
-                                // A typed handshake rejection (conn cap
-                                // or bad token) is a rejection, not a
-                                // failure, whatever phase follows it.
-                                if let Frame::Error { code, .. } = &frame {
-                                    if matches!(conn.phase, Phase::AwaitAuth | Phase::AwaitProbe)
-                                        && matches!(
-                                            code,
-                                            ErrorCode::ConnLimit | ErrorCode::Unauthorized
-                                        )
-                                    {
-                                        return Fate::Rejected;
-                                    }
-                                }
-                                match on_frame(slot, conn, frame, cfg, report, period, ebuf) {
-                                    Fate::Keep => {}
-                                    other => return other,
-                                }
-                            }
-                            Ok(None) => break,
-                            Err(_) => return Fate::Failed,
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Fate::Keep,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                // A reset during the handshake is a rejection too: a
-                // refusing server closes with our probe still unread in
-                // its receive buffer, which turns the close into an RST
-                // that can race ahead of the typed error frame.
-                Err(_) => {
-                    return match conn.phase {
-                        Phase::AwaitAuth | Phase::AwaitProbe => Fate::Rejected,
-                        _ => Fate::Failed,
-                    };
-                }
-            }
-        }
-    }
-
-    fn flush_out(conn: &mut Conn) -> io::Result<()> {
-        if !conn.has_pending_out() {
-            return Ok(());
-        }
-        let w = write_some(&mut conn.stream, &conn.out[conn.out_pos..])?;
-        conn.out_pos += w;
-        if !conn.has_pending_out() {
-            conn.out.clear();
-            conn.out_pos = 0;
-        }
-        Ok(())
-    }
-
-    fn sync_interest(ep: &Epoll, conn: &mut Conn, token: u64) {
-        let wants_write = conn.has_pending_out();
-        if wants_write != conn.registered_writable {
-            let mut interest = EPOLLIN | EPOLLRDHUP;
-            if wants_write {
-                interest |= EPOLLOUT;
-            }
-            if ep.modify(conn.stream.as_raw_fd(), interest, token).is_ok() {
-                conn.registered_writable = wants_write;
-            }
-        }
-    }
-
-    fn close_slot(
-        ep: &Epoll,
-        conns: &mut [Option<Conn>],
-        fd_to_slot: &mut HashMap<RawFd, u32>,
-        slot: usize,
-    ) {
-        if let Some(conn) = conns[slot].take() {
-            let fd = conn.stream.as_raw_fd();
-            let _ = ep.delete(fd);
-            fd_to_slot.remove(&fd);
-        }
     }
 }

@@ -1,0 +1,350 @@
+//! A multiplexed outbound connection pool (Linux only): one thread
+//! holding thousands of client connections as nonblocking state over
+//! one epoll instance.
+//!
+//! This is the client-side twin of the server's readiness-loop backend,
+//! extracted from the fan-in load generator so anything that needs wide
+//! fan-out — the scaling driver today, cluster replication tomorrow —
+//! shares one multiplexer. The pool is transport only: it owns sockets,
+//! per-connection reassembly [`Decoder`]s and write buffers, and
+//! surfaces whole [`Frame`]s; protocol state machines (handshakes,
+//! pacing, retries) stay with the caller. [`crate::ServiceClient`] is
+//! the one-connection blocking counterpart.
+//!
+//! Connections are addressed by *slot* (their index at
+//! [`ClientPool::connect`] time). Slots never shift: a closed slot
+//! stays closed, so callers can keep per-slot protocol state in a
+//! parallel `Vec`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+
+use fgcs_sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use fgcs_wire::{encode_into, Decoder, Frame};
+
+/// Why the pool closed a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolCloseReason {
+    /// The peer closed the stream cleanly (EOF).
+    Eof,
+    /// A socket error (reset, broken pipe, `EPOLLERR`) or write
+    /// failure.
+    Err,
+    /// The peer sent bytes that do not decode as a frame.
+    Decode,
+}
+
+/// One thing that happened during [`ClientPool::poll`].
+#[derive(Debug)]
+pub enum PoolEvent {
+    /// A whole frame arrived on a connection.
+    Frame {
+        /// The connection's slot.
+        slot: usize,
+        /// The decoded frame.
+        frame: Frame,
+    },
+    /// The pool closed a connection (its slot is now dead). Frames that
+    /// arrived before the close are delivered first, in order.
+    Closed {
+        /// The connection's slot.
+        slot: usize,
+        /// Why it closed.
+        reason: PoolCloseReason,
+    },
+}
+
+struct PoolConn {
+    stream: TcpStream,
+    decoder: Decoder,
+    /// Unflushed output (nonblocking writes that didn't finish).
+    out: Vec<u8>,
+    out_pos: usize,
+    registered_writable: bool,
+}
+
+impl PoolConn {
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+/// A pool of nonblocking client connections multiplexed over one epoll
+/// instance. See the module docs for the slot model.
+pub struct ClientPool {
+    ep: Epoll,
+    conns: Vec<Option<PoolConn>>,
+    open: usize,
+    rbuf: Vec<u8>,
+    ebuf: Vec<u8>,
+}
+
+fn write_some(stream: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
+    let mut written = 0;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(written)
+}
+
+impl ClientPool {
+    /// Opens `conns` connections to `addr`. A slot whose TCP connect is
+    /// refused starts closed (no event is emitted for it) — check
+    /// [`ClientPool::is_open`] after construction; the pool itself is
+    /// only an error when epoll setup fails.
+    pub fn connect(addr: &str, conns: usize) -> io::Result<ClientPool> {
+        let ep = Epoll::new()?;
+        let mut pool = ClientPool {
+            ep,
+            conns: Vec::with_capacity(conns),
+            open: 0,
+            rbuf: vec![0u8; 64 * 1024],
+            ebuf: Vec::with_capacity(4096),
+        };
+        for slot in 0..conns {
+            let Ok(stream) = TcpStream::connect(addr) else {
+                pool.conns.push(None);
+                continue;
+            };
+            let _ = stream.set_nodelay(true);
+            stream.set_nonblocking(true)?;
+            pool.ep
+                .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, slot as u64)?;
+            pool.conns.push(Some(PoolConn {
+                stream,
+                decoder: Decoder::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                registered_writable: false,
+            }));
+            pool.open += 1;
+        }
+        Ok(pool)
+    }
+
+    /// Whether a slot's connection is still open.
+    pub fn is_open(&self, slot: usize) -> bool {
+        self.conns.get(slot).is_some_and(|c| c.is_some())
+    }
+
+    /// How many connections are currently open.
+    pub fn open_count(&self) -> usize {
+        self.open
+    }
+
+    /// The number of slots (open or closed).
+    pub fn slots(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Sends a frame on a slot, buffering whatever the nonblocking
+    /// socket refuses (order preserved; the buffered tail flushes as
+    /// the socket drains during [`ClientPool::poll`]). Returns `false`
+    /// — and closes the slot — if the slot is already closed, encoding
+    /// fails, or the socket is dead; no `Closed` event follows, the
+    /// return value is the notification.
+    pub fn send(&mut self, slot: usize, frame: &Frame) -> bool {
+        let Some(Some(conn)) = self.conns.get_mut(slot) else {
+            return false;
+        };
+        if encode_into(frame, &mut self.ebuf).is_err() {
+            self.close(slot);
+            return false;
+        }
+        if conn.has_pending_out() {
+            conn.out.extend_from_slice(&self.ebuf);
+        } else {
+            match write_some(&mut conn.stream, &self.ebuf) {
+                Ok(w) if w == self.ebuf.len() => {}
+                Ok(w) => conn.out.extend_from_slice(&self.ebuf[w..]),
+                Err(_) => {
+                    self.close(slot);
+                    return false;
+                }
+            }
+        }
+        self.sync_interest(slot);
+        true
+    }
+
+    /// Closes a slot (idempotent). The slot stays dead; no event is
+    /// emitted.
+    pub fn close(&mut self, slot: usize) {
+        if let Some(entry) = self.conns.get_mut(slot) {
+            if let Some(conn) = entry.take() {
+                let _ = self.ep.delete(conn.stream.as_raw_fd());
+                self.open -= 1;
+            }
+        }
+    }
+
+    fn sync_interest(&mut self, slot: usize) {
+        let Some(Some(conn)) = self.conns.get_mut(slot) else {
+            return;
+        };
+        let wants_write = conn.has_pending_out();
+        if wants_write != conn.registered_writable {
+            let mut interest = EPOLLIN | EPOLLRDHUP;
+            if wants_write {
+                interest |= EPOLLOUT;
+            }
+            if self
+                .ep
+                .modify(conn.stream.as_raw_fd(), interest, slot as u64)
+                .is_ok()
+            {
+                conn.registered_writable = wants_write;
+            }
+        }
+    }
+
+    /// Waits up to `timeout_ms` for socket readiness and appends what
+    /// happened to `out`: decoded frames in arrival order, and a
+    /// `Closed` event for every connection that died (after its last
+    /// frames). Returns how many events were appended.
+    pub fn poll(&mut self, timeout_ms: i32, out: &mut Vec<PoolEvent>) -> io::Result<usize> {
+        let mut events = [EpollEvent::zeroed(); 1024];
+        let n = self.ep.wait(&mut events, timeout_ms)?;
+        let before = out.len();
+        for ev in &events[..n] {
+            let slot = ev.token() as usize;
+            if let Some(reason) = self.process(slot, ev.readiness(), out) {
+                self.close(slot);
+                out.push(PoolEvent::Closed { slot, reason });
+            } else {
+                self.sync_interest(slot);
+            }
+        }
+        Ok(out.len() - before)
+    }
+
+    /// Handles one readiness event. `Some(reason)` = close the slot.
+    fn process(
+        &mut self,
+        slot: usize,
+        readiness: u32,
+        out: &mut Vec<PoolEvent>,
+    ) -> Option<PoolCloseReason> {
+        let Some(Some(conn)) = self.conns.get_mut(slot) else {
+            return None; // stale event for an already-closed slot
+        };
+        if readiness & EPOLLERR != 0 {
+            return Some(PoolCloseReason::Err);
+        }
+        if readiness & EPOLLOUT != 0 {
+            let flushed = (|| -> io::Result<()> {
+                if !conn.has_pending_out() {
+                    return Ok(());
+                }
+                let w = write_some(&mut conn.stream, &conn.out[conn.out_pos..])?;
+                conn.out_pos += w;
+                if !conn.has_pending_out() {
+                    conn.out.clear();
+                    conn.out_pos = 0;
+                }
+                Ok(())
+            })();
+            if flushed.is_err() {
+                return Some(PoolCloseReason::Err);
+            }
+        }
+        if readiness & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0 {
+            loop {
+                match conn.stream.read(&mut self.rbuf) {
+                    Ok(0) => return Some(PoolCloseReason::Eof),
+                    Ok(n) => {
+                        conn.decoder.push(&self.rbuf[..n]);
+                        loop {
+                            match conn.decoder.next_frame() {
+                                Ok(Some(frame)) => out.push(PoolEvent::Frame { slot, frame }),
+                                Ok(None) => break,
+                                Err(_) => return Some(PoolCloseReason::Decode),
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Some(PoolCloseReason::Err),
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Server, ServiceConfig};
+
+    #[test]
+    fn pool_multiplexes_requests_over_many_slots() {
+        let server = Server::start(ServiceConfig {
+            backend: Backend::Threads,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let mut pool = ClientPool::connect(&addr, 8).unwrap();
+        assert_eq!(pool.open_count(), 8);
+        assert_eq!(pool.slots(), 8);
+        for slot in 0..8 {
+            assert!(pool.is_open(slot));
+            assert!(pool.send(slot, &Frame::QueryStats));
+        }
+        // Every slot gets exactly one StatsReply.
+        let mut replies = vec![0usize; 8];
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while replies.iter().sum::<usize>() < 8 && std::time::Instant::now() < deadline {
+            events.clear();
+            pool.poll(50, &mut events).unwrap();
+            for ev in &events {
+                match ev {
+                    PoolEvent::Frame { slot, frame } => {
+                        assert!(matches!(frame, Frame::StatsReply(_)));
+                        replies[*slot] += 1;
+                    }
+                    PoolEvent::Closed { slot, reason } => {
+                        panic!("slot {slot} closed unexpectedly: {reason:?}")
+                    }
+                }
+            }
+        }
+        assert_eq!(replies, vec![1; 8]);
+
+        // Explicit close is idempotent and send-to-closed fails cleanly.
+        pool.close(3);
+        pool.close(3);
+        assert!(!pool.is_open(3));
+        assert_eq!(pool.open_count(), 7);
+        assert!(!pool.send(3, &Frame::QueryStats));
+
+        // A server-side close surfaces as a Closed event. Force one by
+        // sending garbage the decoder rejects fatally: the server
+        // replies BadFrame and closes, so the slot sees EOF (after the
+        // error frame).
+        server.shutdown();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut closed = 0;
+        while closed < 7 && std::time::Instant::now() < deadline {
+            events.clear();
+            pool.poll(50, &mut events).unwrap();
+            for ev in &events {
+                if let PoolEvent::Closed { .. } = ev {
+                    closed += 1;
+                }
+            }
+        }
+        assert_eq!(closed, 7, "shutdown closes every remaining slot");
+        assert_eq!(pool.open_count(), 0);
+    }
+}

@@ -1,6 +1,9 @@
-//! The TCP server: two interchangeable connection backends (thread per
-//! connection, or one epoll readiness loop) in front of one ingest
-//! worker pool and one sharded state store.
+//! The TCP server: two interchangeable connection backends in front of
+//! one sharded state store. The threaded backend (thread per
+//! connection) feeds a bounded queue drained by an ingest worker pool;
+//! the epoll backend runs N accept-sharing event loops, each owning a
+//! disjoint subset of the state shards and ingesting inline (DESIGN.md
+//! §10 and §12).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -13,7 +16,7 @@ use fgcs_core::detector::DetectorConfig;
 use fgcs_testbed::{LabConfig, TraceRecord};
 use fgcs_wire::{Decoder, ErrorCode, Frame, StatsPayload, WireTransition};
 
-use crate::conn::{handle_conn_frame, ConnCtx, Outcome};
+use crate::conn::{handle_conn_frame, ConnCtx, IngestSink, Outcome};
 use crate::state::Shared;
 
 /// How the server multiplexes connections.
@@ -99,6 +102,16 @@ pub struct ServiceConfig {
     /// server can rebind its old port while the previous life's sockets
     /// sit in TIME_WAIT. Off by default.
     pub reuse_addr: bool,
+    /// Epoll backend only: how many event loops to run, each with its
+    /// own `SO_REUSEPORT` listener and an exclusive subset of the state
+    /// shards (DESIGN.md §12). 0 means auto: `min(cores, shards)`.
+    /// Must not exceed [`ServiceConfig::state_shards`]; ignored by the
+    /// threaded backend.
+    pub event_loops: usize,
+    /// Testing hook: skip `SO_REUSEPORT` and run multi-loop through the
+    /// single-listener fd-handoff fallback, as if the kernel lacked the
+    /// option.
+    pub force_fd_handoff: bool,
 }
 
 impl Default for ServiceConfig {
@@ -121,6 +134,8 @@ impl Default for ServiceConfig {
             snapshot_dir: None,
             snapshot_interval_ms: 5000,
             reuse_addr: false,
+            event_loops: 0,
+            force_fd_handoff: false,
         }
     }
 }
@@ -154,6 +169,23 @@ impl ServiceConfig {
         }
     }
 
+    /// The resolved event-loop count: `event_loops` when set, else
+    /// `min(cores, shards)` for the epoll backend and always 1 for the
+    /// threaded backend (which has no event loops to multiply).
+    pub fn resolved_event_loops(&self) -> usize {
+        match self.backend {
+            Backend::Threads => 1,
+            Backend::Epoll => {
+                if self.event_loops > 0 {
+                    self.event_loops
+                } else {
+                    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                    cores.min(self.state_shards()).max(1)
+                }
+            }
+        }
+    }
+
     /// The resolved connection cap for this configuration's backend.
     pub fn effective_max_connections(&self) -> usize {
         if self.max_connections > 0 {
@@ -167,6 +199,21 @@ impl ServiceConfig {
     }
 }
 
+/// One instrumented lock category's contention numbers, from
+/// [`Server::lock_contention`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockContention {
+    /// Category name (`online`, `queue`, `machines`, `shards`,
+    /// `counters`).
+    pub lock: &'static str,
+    /// Total instrumented acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held.
+    pub contended: u64,
+    /// Microseconds spent blocked on contended acquisitions.
+    pub wait_us: u64,
+}
+
 /// A running availability server. Dropping the handle does *not* stop
 /// the server; call [`Server::shutdown`].
 pub struct Server {
@@ -174,6 +221,9 @@ pub struct Server {
     backend: Backend,
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
+    loop_handles: Vec<JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    loop_wakes: Vec<Arc<fgcs_sys::EventFd>>,
     worker_handles: Vec<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     checkpoint_handle: Option<JoinHandle<()>>,
@@ -181,37 +231,36 @@ pub struct Server {
 
 impl Server {
     /// Binds and starts the server: the selected connection backend
-    /// plus a pool of ingest workers draining the queue.
+    /// plus (threaded backend) a pool of ingest workers draining the
+    /// queue. The epoll backend ingests on its event loops directly —
+    /// each loop owns a disjoint shard subset — and spawns no workers.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Server> {
+        if cfg.backend == Backend::Epoll {
+            let loops = cfg.resolved_event_loops();
+            if loops > cfg.state_shards() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "event loops ({loops}) must not exceed state shards ({}): \
+                         every loop needs at least one shard to own",
+                        cfg.state_shards()
+                    ),
+                ));
+            }
+        }
         // Build (and possibly restore) the shared state *before*
         // binding: once the listener exists, clients can connect and
         // would race the restore with fresh machine state.
         let shared = Arc::new(Shared::new(cfg)?);
         let cfg = &shared.cfg;
-        let listener = bind_listener(cfg)?;
-        let addr = listener.local_addr()?;
         let backend = cfg.backend;
         let max_conns = cfg.effective_max_connections();
-        let workers = if cfg.workers > 0 {
-            cfg.workers
-        } else {
-            fgcs_par::default_workers(usize::MAX)
-        };
         let read_timeout = Duration::from_millis(cfg.read_timeout_ms.max(10));
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || ingest_worker(&shared))
-            })
-            .collect();
-
-        // Periodic checkpoints. The epoll backend calls
-        // `checkpoint_if_due` from its event loop; the threaded accept
-        // loop blocks in `incoming()`, so it gets a dedicated
-        // checkpointer thread. Both paths go through the same sink, so
-        // semantics (interval, serialization, format) are identical.
-        let checkpoint_handle = if shared.snapshots_enabled() && backend == Backend::Threads {
+        // Periodic checkpoints run on a dedicated thread for both
+        // backends: event loops never block on snapshot I/O, and the
+        // threaded accept loop blocks in `incoming()` anyway.
+        let checkpoint_handle = if shared.snapshots_enabled() {
             let shared = Arc::clone(&shared);
             Some(std::thread::spawn(move || {
                 while !shared.shutting_down() {
@@ -224,45 +273,67 @@ impl Server {
         };
 
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = match backend {
+        match backend {
             Backend::Threads => {
-                let shared = Arc::clone(&shared);
-                let conn_handles = Arc::clone(&conn_handles);
-                std::thread::spawn(move || {
-                    accept_loop(&shared, &listener, max_conns, read_timeout, &conn_handles)
+                let listener = bind_listener(cfg)?;
+                let addr = listener.local_addr()?;
+                let workers = if cfg.workers > 0 {
+                    cfg.workers
+                } else {
+                    fgcs_par::default_workers(usize::MAX)
+                };
+                let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+                    .map(|_| {
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || ingest_worker(&shared))
+                    })
+                    .collect();
+                let accept_handle = {
+                    let shared = Arc::clone(&shared);
+                    let conn_handles = Arc::clone(&conn_handles);
+                    std::thread::spawn(move || {
+                        accept_loop(&shared, &listener, max_conns, read_timeout, &conn_handles)
+                    })
+                };
+                Ok(Server {
+                    addr,
+                    backend,
+                    shared,
+                    accept_handle: Some(accept_handle),
+                    loop_handles: Vec::new(),
+                    #[cfg(target_os = "linux")]
+                    loop_wakes: Vec::new(),
+                    worker_handles,
+                    conn_handles,
+                    checkpoint_handle,
                 })
             }
             Backend::Epoll => {
                 #[cfg(target_os = "linux")]
                 {
-                    listener.set_nonblocking(true)?;
-                    let shared = Arc::clone(&shared);
-                    std::thread::spawn(move || {
-                        if let Err(e) = crate::epoll::run_event_loop(&shared, &listener, max_conns)
-                        {
-                            eprintln!("fgcs-service: epoll event loop failed: {e}");
-                        }
+                    let (addr, loop_handles, loop_wakes) =
+                        crate::epoll::spawn_loops(&shared, max_conns)?;
+                    Ok(Server {
+                        addr,
+                        backend,
+                        shared,
+                        accept_handle: None,
+                        loop_handles,
+                        loop_wakes,
+                        worker_handles: Vec::new(),
+                        conn_handles,
+                        checkpoint_handle,
                     })
                 }
                 #[cfg(not(target_os = "linux"))]
                 {
-                    return Err(std::io::Error::new(
+                    Err(std::io::Error::new(
                         std::io::ErrorKind::Unsupported,
                         "the epoll backend requires Linux",
-                    ));
+                    ))
                 }
             }
-        };
-
-        Ok(Server {
-            addr,
-            backend,
-            shared,
-            accept_handle: Some(accept_handle),
-            worker_handles,
-            conn_handles,
-            checkpoint_handle,
-        })
+        }
     }
 
     /// The bound address (with the OS-assigned port when binding to 0).
@@ -312,16 +383,59 @@ impl Server {
             .map_or(0, |cell| cell.lock().unwrap().out_of_order)
     }
 
-    /// Stops the server: drains the ingest queue, then joins every
-    /// thread. Queued batches are ingested, not dropped — the
-    /// reconciliation identity must hold at shutdown.
+    /// How many event loops serve connections (1 for the threaded
+    /// backend).
+    pub fn event_loops(&self) -> usize {
+        self.shared.event_loops
+    }
+
+    /// Contention numbers for every instrumented lock category, in a
+    /// fixed order. `counters` covers the slotted stats counters; the
+    /// rest are the [`crate::state`] categories (online model, ingest
+    /// queue, machine cells on the ingest path, shard maps).
+    pub fn lock_contention(&self) -> Vec<LockContention> {
+        let mk = |lock: &'static str, stats: &crate::state::LockStats| {
+            let (acquisitions, contended, wait_ns) = stats.values();
+            LockContention {
+                lock,
+                acquisitions,
+                contended,
+                wait_us: wait_ns / 1_000,
+            }
+        };
+        vec![
+            mk("online", &self.shared.locks.online),
+            mk("queue", &self.shared.locks.queue),
+            mk("machines", &self.shared.locks.machines),
+            mk("shards", &self.shared.locks.shards),
+            mk("counters", self.shared.counters.lock_stats()),
+        ]
+    }
+
+    /// Stops the server: drains the ingest queue and the cross-loop
+    /// forwarding rings, then joins every thread. Accepted batches are
+    /// ingested, not dropped — the reconciliation identity must hold at
+    /// shutdown.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
-        // Unblock the accept loop / wake the event loop with a
-        // throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        match self.backend {
+            Backend::Threads => {
+                // Unblock the accept loop with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+            }
+            Backend::Epoll => {
+                // Wake every event loop out of epoll_wait.
+                #[cfg(target_os = "linux")]
+                for wake in &self.loop_wakes {
+                    wake.signal();
+                }
+            }
+        }
         if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.loop_handles.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.checkpoint_handle.take() {
@@ -403,7 +517,7 @@ fn accept_loop(
 fn ingest_worker(shared: &Shared) {
     loop {
         let claimed = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.lock_queue();
             loop {
                 match queue.claim() {
                     Some(work) => break Some(work),
@@ -428,7 +542,7 @@ fn ingest_worker(shared: &Shared) {
         for batch in &batches {
             shared.ingest_batch(batch);
         }
-        let mut queue = shared.queue.lock().unwrap();
+        let mut queue = shared.lock_queue();
         queue.finish(machine);
         drop(queue);
         // The machine may have accumulated new batches while busy, and
@@ -444,10 +558,11 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let mut decoder = Decoder::new();
     let mut buf = [0u8; 64 * 1024];
     let mut ctx = ConnCtx::default();
+    let mut sink = IngestSink::Queue;
     loop {
         loop {
             match decoder.next_frame() {
-                Ok(Some(frame)) => match handle_conn_frame(shared, frame, &mut ctx) {
+                Ok(Some(frame)) => match handle_conn_frame(shared, frame, &mut ctx, &mut sink) {
                     Outcome::Reply(reply) => {
                         if !write_frame(&mut stream, &reply) {
                             return;

@@ -308,26 +308,187 @@ pub(crate) struct CounterValues {
     pub conn_rejects: u64,
 }
 
-/// Monotone counters behind the `Stats` frame.
-///
-/// One mutex instead of ten relaxed atomics: a shed event bumps three
-/// counters at once, and with independent atomics a concurrent stats
-/// read could observe the batch shed but not its samples (a torn
-/// snapshot). Updates are short and uncontended-in-practice; the lock
-/// makes every [`Counters::snapshot`] internally consistent — which the
-/// on-disk snapshots also rely on.
+impl CounterValues {
+    /// Field-wise sum, for folding per-slot counters on read.
+    fn accumulate(&mut self, o: &CounterValues) {
+        self.ingested_batches += o.ingested_batches;
+        self.ingested_samples += o.ingested_samples;
+        self.shed_batches += o.shed_batches;
+        self.shed_samples += o.shed_samples;
+        self.decode_errors += o.decode_errors;
+        self.busy_replies += o.busy_replies;
+        self.queries_answered += o.queries_answered;
+        self.placements_answered += o.placements_answered;
+        self.auth_rejects += o.auth_rejects;
+        self.conn_rejects += o.conn_rejects;
+    }
+}
+
+/// Contention statistics for one instrumented lock category. All
+/// relaxed atomics: the numbers feed the X12 contention table, not any
+/// control flow.
 #[derive(Debug, Default)]
-pub(crate) struct Counters(Mutex<CounterValues>);
+pub(crate) struct LockStats {
+    /// Total lock acquisitions through [`lock_timed`].
+    pub acquisitions: AtomicU64,
+    /// Acquisitions that found the lock held (`try_lock` failed).
+    pub contended: AtomicU64,
+    /// Nanoseconds spent blocked on contended acquisitions.
+    pub wait_ns: AtomicU64,
+}
+
+impl LockStats {
+    pub(crate) fn values(&self) -> (u64, u64, u64) {
+        (
+            self.acquisitions.load(Ordering::Relaxed),
+            self.contended.load(Ordering::Relaxed),
+            self.wait_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Locks a mutex while charging the acquisition to `stats`: an
+/// uncontended `try_lock` costs two relaxed increments; only the
+/// contended path reads the clock (twice), so instrumentation adds
+/// nothing measurable to an uncontended hot path.
+pub(crate) fn lock_timed<'a, T>(
+    m: &'a Mutex<T>,
+    stats: &LockStats,
+) -> std::sync::MutexGuard<'a, T> {
+    stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::WouldBlock) => {
+            stats.contended.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let g = m.lock().unwrap();
+            stats
+                .wait_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            g
+        }
+        Err(std::sync::TryLockError::Poisoned(e)) => panic!("poisoned lock: {e}"),
+    }
+}
+
+/// The instrumented lock categories of [`Shared`] (the counters track
+/// their own stats inside [`Counters`]). Per category, not per mutex:
+/// all 16 shard-map locks fold into `shards`, every machine cell into
+/// `machines` — the question the X12 table answers is "which *kind* of
+/// lock still costs time", not which instance.
+#[derive(Debug, Default)]
+pub(crate) struct LockStatsSet {
+    /// The global online-model mutex (the one remaining shared hot-path
+    /// lock in the multi-loop backend).
+    pub online: LockStats,
+    /// The bounded ingest queue (threaded backend hot path; idle under
+    /// the epoll backend, which ingests loop-locally).
+    pub queue: LockStats,
+    /// Per-machine pipeline cells, ingest path only.
+    pub machines: LockStats,
+    /// Shard map locks (machine-id → cell lookup).
+    pub shards: LockStats,
+}
+
+/// How many counter slots to allocate at minimum; covers every event
+/// loop plus the checkpointer and stats readers without collisions at
+/// the loop counts the experiments run (≤ 8).
+const COUNTER_SLOT_FLOOR: usize = 16;
+
+/// Returns this thread's counter-slot index in `0..n`. Threads get
+/// distinct slots round-robin on first use, so as long as at most `n`
+/// threads ever touch the counters (true for the epoll backend: one
+/// slot per loop) no two threads share a slot; beyond that (threaded
+/// backend with many conn threads) slots are shared and the mutex per
+/// slot keeps updates atomic.
+fn thread_slot(n: usize) -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    SLOT.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            s.set(v);
+        }
+        v
+    }) % n
+}
+
+/// One counter slot, padded to a cache line so two loops bumping
+/// adjacent slots don't false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CounterSlot(Mutex<CounterValues>);
+
+/// Monotone counters behind the `Stats` frame, sliced into per-thread
+/// slots folded on read.
+///
+/// A mutex (per slot) instead of relaxed atomics: a shed event bumps
+/// three counters at once, and with independent atomics a concurrent
+/// stats read could observe the batch shed but not its samples (a torn
+/// snapshot). Slotting restores what the single lock took away: each
+/// event loop lands in its own slot (see [`thread_slot`]), so loops
+/// never serialize on a shared counter lock during ingest, while
+/// [`Counters::snapshot`] holds *all* slot locks at once — the fold is
+/// still a consistent set, which the on-disk snapshots rely on.
+#[derive(Debug)]
+pub(crate) struct Counters {
+    slots: Box<[CounterSlot]>,
+    stats: LockStats,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters::new(COUNTER_SLOT_FLOOR)
+    }
+}
 
 impl Counters {
-    /// Applies one atomic update to the counter set.
-    pub(crate) fn update<R>(&self, f: impl FnOnce(&mut CounterValues) -> R) -> R {
-        f(&mut self.0.lock().unwrap())
+    pub(crate) fn new(slots: usize) -> Self {
+        let n = slots.max(COUNTER_SLOT_FLOOR);
+        Counters {
+            slots: (0..n).map(|_| CounterSlot::default()).collect(),
+            stats: LockStats::default(),
+        }
     }
 
-    /// A consistent copy of all counters.
+    /// Applies one atomic update to this thread's counter slot.
+    pub(crate) fn update<R>(&self, f: impl FnOnce(&mut CounterValues) -> R) -> R {
+        let slot = &self.slots[thread_slot(self.slots.len())];
+        f(&mut lock_timed(&slot.0, &self.stats))
+    }
+
+    /// A consistent fold of all slots: every slot lock is held
+    /// simultaneously (acquired in index order, so concurrent snapshots
+    /// can't deadlock; updaters only ever hold one), which means no
+    /// multi-counter update can be observed half-applied.
     pub(crate) fn snapshot(&self) -> CounterValues {
-        *self.0.lock().unwrap()
+        let guards: Vec<_> = self.slots.iter().map(|s| s.0.lock().unwrap()).collect();
+        let mut sum = CounterValues::default();
+        for g in &guards {
+            sum.accumulate(g);
+        }
+        sum
+    }
+
+    /// Replaces the entire counter set (snapshot restore): the restored
+    /// values land in slot 0, every other slot is zeroed, all under
+    /// simultaneously-held locks.
+    pub(crate) fn set_all(&self, values: CounterValues) {
+        let mut guards: Vec<_> = self.slots.iter().map(|s| s.0.lock().unwrap()).collect();
+        for g in guards.iter_mut() {
+            **g = CounterValues::default();
+        }
+        *guards[0] = values;
+    }
+
+    /// Contention stats for the slot locks.
+    pub(crate) fn lock_stats(&self) -> &LockStats {
+        &self.stats
     }
 }
 
@@ -348,6 +509,16 @@ pub(crate) struct Shared {
     pub queue_cv: Condvar,
     pub shutdown: AtomicBool,
     pub counters: Counters,
+    /// Contention instrumentation for the remaining shared locks.
+    pub locks: LockStatsSet,
+    /// Batches accepted (Ack'd) by one event loop but still in flight
+    /// on a cross-loop forwarding ring. Counted into `queue_depth` so
+    /// "queue empty" keeps meaning "everything accepted is ingested"
+    /// under the multi-loop backend too.
+    pub pending_forwarded: AtomicU64,
+    /// Resolved event-loop count (1 for the threaded backend); the
+    /// divisor of the shard→loop ownership map.
+    pub event_loops: usize,
     /// Connections currently served (threaded backend: live conn
     /// threads; epoll backend: registered conn fds). Stays a plain
     /// atomic — it is instantaneous occupancy, not accounting.
@@ -376,18 +547,22 @@ impl Shared {
             Some(dir) => Some(SnapshotSink::new(Path::new(dir), cfg.snapshot_interval_ms)?),
             None => None,
         };
+        let event_loops = cfg.resolved_event_loops().max(1);
         let mut shared = Shared {
-            cfg,
             shards,
             online: Mutex::new(online),
             queue: Mutex::new(queue),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters: Counters::new(event_loops),
+            locks: LockStatsSet::default(),
+            pending_forwarded: AtomicU64::new(0),
+            event_loops,
             active_conns: AtomicU64::new(0),
             started_at: Instant::now(),
             prior_elapsed_ms: 0,
             snapshots,
+            cfg,
         };
         if let Some(dir) = shared.cfg.snapshot_dir.clone() {
             if let Some(data) = snapshot::load_latest(Path::new(&dir)) {
@@ -433,7 +608,7 @@ impl Shared {
             shard.lock().unwrap().insert(id, Arc::new(Mutex::new(st)));
         }
         *self.online.lock().unwrap() = online;
-        self.counters.update(|c| *c = data.counters);
+        self.counters.set_all(data.counters);
         self.prior_elapsed_ms = data.elapsed_ms;
         Ok(())
     }
@@ -460,10 +635,10 @@ impl Shared {
         }
     }
 
-    /// Periodic checkpoint hook — called from the checkpointer thread
-    /// (threads backend) and from the event loop (epoll backend), with
-    /// identical semantics: the sink's single mutex gates the interval
-    /// and serializes writers. A write failure is logged, never fatal.
+    /// Periodic checkpoint hook — called from the dedicated
+    /// checkpointer thread (both backends; event loops never block on
+    /// snapshot I/O). The sink's single mutex gates the interval and
+    /// serializes writers. A write failure is logged, never fatal.
     pub(crate) fn checkpoint_if_due(&self) {
         let Some(sink) = &self.snapshots else { return };
         if let Err(e) = sink.maybe_write(|| self.collect_snapshot()) {
@@ -492,24 +667,41 @@ impl Shared {
         &self.shards[machine as usize % self.shards.len()]
     }
 
+    /// Which event loop owns a machine's shard. Shards are partitioned
+    /// round-robin across loops (`shard % loops`), so every loop owns
+    /// `shards/loops` of them exclusively; a connection whose batch
+    /// lands on a non-owning loop forwards it to the home loop instead
+    /// of locking across loops.
+    pub(crate) fn home_loop(&self, machine: u32) -> usize {
+        (machine as usize % self.shards.len()) % self.event_loops
+    }
+
+    /// The online-model lock, instrumented.
+    pub(crate) fn lock_online(&self) -> std::sync::MutexGuard<'_, OnlineAvailabilityModel> {
+        lock_timed(&self.online, &self.locks.online)
+    }
+
+    /// The ingest-queue lock, instrumented.
+    pub(crate) fn lock_queue(&self) -> std::sync::MutexGuard<'_, IngestQueue> {
+        lock_timed(&self.queue, &self.locks.queue)
+    }
+
     /// Looks up (or creates) the state cell for a machine.
     pub(crate) fn machine_entry(&self, machine: u32) -> Arc<Mutex<MachineState>> {
-        let mut map = self.shard(machine).lock().unwrap();
+        let mut map = lock_timed(self.shard(machine), &self.locks.shards);
         if let Some(m) = map.get(&machine) {
             return Arc::clone(m);
         }
         let m = Arc::new(Mutex::new(MachineState::new(machine, &self.cfg)));
         map.insert(machine, Arc::clone(&m));
         drop(map);
-        self.online.lock().unwrap().ensure_machine(machine);
+        self.lock_online().ensure_machine(machine);
         m
     }
 
     /// Looks up a machine without creating it.
     pub(crate) fn machine_get(&self, machine: u32) -> Option<Arc<Mutex<MachineState>>> {
-        self.shard(machine)
-            .lock()
-            .unwrap()
+        lock_timed(self.shard(machine), &self.locks.shards)
             .get(&machine)
             .map(Arc::clone)
     }
@@ -520,7 +712,7 @@ impl Shared {
     pub(crate) fn machines_sorted(&self) -> Vec<(u32, Arc<Mutex<MachineState>>)> {
         let mut all: Vec<(u32, Arc<Mutex<MachineState>>)> = Vec::new();
         for shard in self.shards.iter() {
-            let map = shard.lock().unwrap();
+            let map = lock_timed(shard, &self.locks.shards);
             all.extend(map.iter().map(|(&id, cell)| (id, Arc::clone(cell))));
         }
         all.sort_unstable_by_key(|&(id, _)| id);
@@ -528,7 +720,8 @@ impl Shared {
     }
 
     /// Ingests one claimed batch into its machine's pipeline and the
-    /// online model. Called from ingest workers only.
+    /// online model. Called from ingest workers (threaded backend) or
+    /// the machine's home event loop (epoll backend) only.
     pub(crate) fn ingest_batch(&self, batch: &Batch) {
         if self.cfg.ingest_delay_us > 0 {
             // Artificial per-batch cost, used by overload tests to pin
@@ -539,7 +732,7 @@ impl Shared {
         let mut started = Vec::new();
         let mut max_t = None;
         {
-            let mut m = cell.lock().unwrap();
+            let mut m = lock_timed(&cell, &self.locks.machines);
             for s in &batch.samples {
                 started.extend(m.ingest_sample(&self.cfg, s));
                 max_t = Some(max_t.map_or(s.t, |t: u64| t.max(s.t)));
@@ -547,7 +740,7 @@ impl Shared {
         }
         // Online-model updates happen outside the machine lock; the
         // model has its own.
-        let mut online = self.online.lock().unwrap();
+        let mut online = self.lock_online();
         if let Some(t) = max_t {
             online.observe_time(t);
         }
@@ -586,7 +779,8 @@ impl Shared {
             shed_samples: c.shed_samples,
             decode_errors: c.decode_errors,
             busy_replies: c.busy_replies,
-            queue_depth: self.queue.lock().unwrap().len() as u64,
+            queue_depth: self.queue.lock().unwrap().len() as u64
+                + self.pending_forwarded.load(Ordering::Acquire),
             queries_answered: c.queries_answered,
             placements_answered: c.placements_answered,
             ingest_rate: if elapsed > 0.0 {
@@ -669,6 +863,95 @@ mod tests {
         assert_eq!(shared.machines_sorted().len(), 8);
         assert!(shared.machine_get(13).is_some());
         assert!(shared.machine_get(14).is_none());
+    }
+
+    #[test]
+    fn slotted_counters_fold_and_replace_consistently() {
+        let c = Counters::new(4);
+        // Updates from many threads land in (possibly different) slots;
+        // the fold must see every one exactly once.
+        let c = Arc::new(c);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    c.update(|v| {
+                        v.shed_batches += 1;
+                        v.shed_samples += 3;
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.shed_batches, 800);
+        assert_eq!(snap.shed_samples, 2400);
+        // A multi-field update is never observed torn: the ratio is
+        // exact in every snapshot because snapshot() holds all slots.
+        assert_eq!(snap.shed_samples, 3 * snap.shed_batches);
+        // set_all replaces everything, across all slots.
+        let restored = CounterValues {
+            ingested_batches: 42,
+            ..Default::default()
+        };
+        c.set_all(restored);
+        let snap = c.snapshot();
+        assert_eq!(snap.ingested_batches, 42);
+        assert_eq!(snap.shed_batches, 0, "old slot contents cleared");
+        assert!(c.lock_stats().values().0 >= 800, "acquisitions counted");
+    }
+
+    #[test]
+    fn home_loop_partitions_shards_exclusively() {
+        let cfg = crate::server::ServiceConfig {
+            state_shards: 16,
+            event_loops: 4,
+            backend: crate::server::Backend::Epoll,
+            ..Default::default()
+        };
+        let shared = Shared::new(cfg).unwrap();
+        assert_eq!(shared.event_loops, 4);
+        // Every machine maps to exactly one loop, and two machines in
+        // the same shard always share a home loop.
+        for m in 0..200u32 {
+            let home = shared.home_loop(m);
+            assert!(home < 4);
+            assert_eq!(home, (m as usize % 16) % 4);
+            assert_eq!(shared.home_loop(m + 16), home, "same shard, same loop");
+        }
+        // All four loops own at least one shard.
+        let owners: std::collections::BTreeSet<usize> =
+            (0..16u32).map(|m| shared.home_loop(m)).collect();
+        assert_eq!(owners.len(), 4);
+    }
+
+    #[test]
+    fn lock_timed_counts_contention_only_when_blocked() {
+        let m = Mutex::new(0u32);
+        let stats = LockStats::default();
+        // Uncontended: acquisitions tick, contended does not.
+        *lock_timed(&m, &stats) += 1;
+        *lock_timed(&m, &stats) += 1;
+        let (acq, cont, _) = stats.values();
+        assert_eq!((acq, cont), (2, 0));
+        // Contended: hold the lock in another thread while this one
+        // acquires.
+        std::thread::scope(|s| {
+            let g = lock_timed(&m, &stats);
+            let h = s.spawn(|| {
+                *lock_timed(&m, &stats) += 1;
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(g);
+            h.join().unwrap();
+        });
+        let (acq, cont, wait) = stats.values();
+        assert_eq!(acq, 4);
+        assert_eq!(cont, 1);
+        assert!(wait > 0, "blocked time recorded");
     }
 
     #[test]

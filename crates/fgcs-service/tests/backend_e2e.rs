@@ -1,9 +1,12 @@
 //! Backend-equivalence, auth-handshake, disconnect, and connection-cap
 //! tests over real localhost TCP.
 //!
-//! The epoll readiness loop must be *indistinguishable* from the
+//! The epoll readiness loops must be *indistinguishable* from the
 //! thread-per-connection backend at the protocol and accounting level:
-//! same replies, same occurrence records bit for bit, same identities.
+//! same replies, same occurrence records bit for bit, same identities —
+//! at one event loop and at four (where cross-loop forwarding rings
+//! carry foreign-shard batches), over both the `SO_REUSEPORT` listener
+//! set and the fd-handoff fallback.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -64,11 +67,22 @@ fn batch(machine: u32, t0: u64, n: u64) -> Frame {
     Frame::SampleBatch { machine, samples }
 }
 
-/// Streams `TestbedConfig::tiny` through a server on `backend` and
-/// returns (per-machine records, per-machine transitions, stats).
+/// An epoll config running `loops` event loops.
+#[cfg(target_os = "linux")]
+fn epoll_cfg(loops: usize) -> ServiceConfig {
+    ServiceConfig {
+        backend: Backend::Epoll,
+        event_loops: loops,
+        ..Default::default()
+    }
+}
+
+/// Streams `TestbedConfig::tiny` through a server configured by
+/// `tweak` and returns (per-machine records, per-machine transitions,
+/// stats).
 #[cfg(target_os = "linux")]
 fn stream_tiny(
-    backend: Backend,
+    tweak: impl Fn(&mut ServiceConfig),
 ) -> (
     Vec<Vec<fgcs_testbed::TraceRecord>>,
     Vec<Vec<WireTransition>>,
@@ -76,7 +90,7 @@ fn stream_tiny(
 ) {
     let cfg = TestbedConfig::tiny();
     let mut svc = ServiceConfig::for_testbed(&cfg);
-    svc.backend = backend;
+    tweak(&mut svc);
     let server = Server::start(svc).expect("server starts");
     let addr = server.local_addr().to_string();
 
@@ -97,14 +111,39 @@ fn stream_tiny(
 }
 
 /// The tentpole equivalence proof: the same trace through the threaded
-/// and epoll backends yields **byte-identical** occurrence records and
-/// transition logs — and both match the in-process pipeline.
+/// backend and every epoll flavor — one loop, four loops (foreign-shard
+/// batches crossing the forwarding rings), and four loops forced onto
+/// the fd-handoff fallback — yields **byte-identical** occurrence
+/// records and transition logs, all matching the in-process pipeline.
 #[test]
 #[cfg(target_os = "linux")]
 fn backends_produce_bit_identical_records() {
     let cfg = TestbedConfig::tiny();
-    let (rec_t, tr_t, stats_t) = stream_tiny(Backend::Threads);
-    let (rec_e, tr_e, stats_e) = stream_tiny(Backend::Epoll);
+    let (rec_t, tr_t, stats_t) = stream_tiny(|s| s.backend = Backend::Threads);
+    let flavors: [(&str, Box<dyn Fn(&mut ServiceConfig)>); 3] = [
+        (
+            "epoll-1",
+            Box::new(|s: &mut ServiceConfig| {
+                s.backend = Backend::Epoll;
+                s.event_loops = 1;
+            }),
+        ),
+        (
+            "epoll-4",
+            Box::new(|s: &mut ServiceConfig| {
+                s.backend = Backend::Epoll;
+                s.event_loops = 4;
+            }),
+        ),
+        (
+            "epoll-4-handoff",
+            Box::new(|s: &mut ServiceConfig| {
+                s.backend = Backend::Epoll;
+                s.event_loops = 4;
+                s.force_fd_handoff = true;
+            }),
+        ),
+    ];
 
     for machine in 0..cfg.lab.machines {
         let local = trace_machine(&cfg, machine);
@@ -112,28 +151,51 @@ fn backends_produce_bit_identical_records() {
             rec_t[machine], local,
             "threaded backend vs in-process, machine {machine}"
         );
-        assert_eq!(
-            rec_e[machine], rec_t[machine],
-            "epoll vs threaded records, machine {machine}"
-        );
         let expected = expected_transitions(&cfg, machine);
         assert_eq!(tr_t[machine], expected, "threaded transitions {machine}");
-        assert_eq!(tr_e[machine], tr_t[machine], "epoll transitions {machine}");
     }
-    assert_eq!(stats_t.ingested_batches, stats_e.ingested_batches);
-    assert_eq!(stats_t.ingested_samples, stats_e.ingested_samples);
-    assert_eq!(stats_t.shed_batches, stats_e.shed_batches);
+    for (name, tweak) in &flavors {
+        let (rec_e, tr_e, stats_e) = stream_tiny(tweak);
+        for machine in 0..cfg.lab.machines {
+            assert_eq!(
+                rec_e[machine], rec_t[machine],
+                "{name} vs threaded records, machine {machine}"
+            );
+            assert_eq!(
+                tr_e[machine], tr_t[machine],
+                "{name} vs threaded transitions, machine {machine}"
+            );
+        }
+        assert_eq!(stats_t.ingested_batches, stats_e.ingested_batches, "{name}");
+        assert_eq!(stats_t.ingested_samples, stats_e.ingested_samples, "{name}");
+        assert_eq!(stats_t.shed_batches, stats_e.shed_batches, "{name}");
+    }
+}
+
+/// Running more event loops than state shards cannot partition the
+/// shards exclusively, so startup must refuse it with `InvalidInput`
+/// instead of silently starving a loop.
+#[test]
+#[cfg(target_os = "linux")]
+fn more_loops_than_shards_is_refused_at_startup() {
+    let svc = ServiceConfig {
+        backend: Backend::Epoll,
+        event_loops: 8,
+        state_shards: 4,
+        ..Default::default()
+    };
+    match Server::start(svc) {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput),
+        Ok(_) => panic!("loops > shards must not start"),
+    }
 }
 
 /// A client dying mid-frame must not corrupt reassembly: the complete
 /// frames before the cut are ingested, the fragment is discarded with
 /// the connection, no decode error is charged, and a second connection
 /// carries on to the exact in-process result.
-fn mid_batch_disconnect(backend: Backend) {
-    let svc = ServiceConfig {
-        backend,
-        ..Default::default()
-    };
+fn mid_batch_disconnect(svc: ServiceConfig) {
+    let backend = svc.backend;
     let server = Server::start(svc).expect("server starts");
     let addr = server.local_addr().to_string();
 
@@ -204,24 +266,30 @@ fn mid_batch_disconnect(backend: Backend) {
 
 #[test]
 fn mid_batch_disconnect_threads() {
-    mid_batch_disconnect(Backend::Threads);
+    mid_batch_disconnect(ServiceConfig {
+        backend: Backend::Threads,
+        ..Default::default()
+    });
 }
 
 #[test]
 #[cfg(target_os = "linux")]
 fn mid_batch_disconnect_epoll() {
-    mid_batch_disconnect(Backend::Epoll);
+    mid_batch_disconnect(epoll_cfg(1));
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn mid_batch_disconnect_epoll_multiloop() {
+    mid_batch_disconnect(epoll_cfg(4));
 }
 
 /// The auth handshake: the right token opens the stream, the wrong
 /// token (or none) earns a typed `Unauthorized` and a close — on both
 /// backends, with the server counting each rejection.
-fn auth_handshake(backend: Backend) {
-    let svc = ServiceConfig {
-        backend,
-        auth_token: Some("s3cret".to_string()),
-        ..Default::default()
-    };
+fn auth_handshake(mut svc: ServiceConfig) {
+    let backend = svc.backend;
+    svc.auth_token = Some("s3cret".to_string());
     let server = Server::start(svc).expect("server starts");
     let addr = server.local_addr().to_string();
 
@@ -274,13 +342,22 @@ fn auth_handshake(backend: Backend) {
 
 #[test]
 fn auth_handshake_threads() {
-    auth_handshake(Backend::Threads);
+    auth_handshake(ServiceConfig {
+        backend: Backend::Threads,
+        ..Default::default()
+    });
 }
 
 #[test]
 #[cfg(target_os = "linux")]
 fn auth_handshake_epoll() {
-    auth_handshake(Backend::Epoll);
+    auth_handshake(epoll_cfg(1));
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn auth_handshake_epoll_multiloop() {
+    auth_handshake(epoll_cfg(4));
 }
 
 /// Over the connection cap the server answers with a typed `ConnLimit`
@@ -333,13 +410,10 @@ fn over_cap_connection_gets_typed_error() {
 /// A client must survive a *full server restart* on the same port: the
 /// next request transparently reconnects, the auth handshake is re-run
 /// before any queued data, and nothing wedges.
-fn reconnect_through_server_restart(backend: Backend) {
-    let svc = ServiceConfig {
-        backend,
-        auth_token: Some("s3cret".to_string()),
-        reuse_addr: true,
-        ..Default::default()
-    };
+fn reconnect_through_server_restart(mut svc: ServiceConfig) {
+    let backend = svc.backend;
+    svc.auth_token = Some("s3cret".to_string());
+    svc.reuse_addr = true;
 
     let first = Server::start(svc.clone()).expect("first life");
     let addr = first.local_addr().to_string();
@@ -386,13 +460,22 @@ fn reconnect_through_server_restart(backend: Backend) {
 
 #[test]
 fn reconnect_through_server_restart_threads() {
-    reconnect_through_server_restart(Backend::Threads);
+    reconnect_through_server_restart(ServiceConfig {
+        backend: Backend::Threads,
+        ..Default::default()
+    });
 }
 
 #[test]
 #[cfg(target_os = "linux")]
 fn reconnect_through_server_restart_epoll() {
-    reconnect_through_server_restart(Backend::Epoll);
+    reconnect_through_server_restart(epoll_cfg(1));
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn reconnect_through_server_restart_epoll_multiloop() {
+    reconnect_through_server_restart(epoll_cfg(4));
 }
 
 /// When the server *stays* dead, a previously-healthy client must give
@@ -437,12 +520,16 @@ fn previously_healthy_client_gives_up_when_server_stays_dead() {
 #[test]
 #[cfg(target_os = "linux")]
 fn fanin_driver_reconciles_on_both_backends() {
-    for backend in [Backend::Threads, Backend::Epoll] {
-        let svc = ServiceConfig {
-            backend,
-            auth_token: Some("s3cret".to_string()),
-            ..Default::default()
-        };
+    let threads = ServiceConfig {
+        backend: Backend::Threads,
+        ..Default::default()
+    };
+    for (backend, mut svc) in [
+        ("threads", threads),
+        ("epoll-1", epoll_cfg(1)),
+        ("epoll-4", epoll_cfg(4)),
+    ] {
+        svc.auth_token = Some("s3cret".to_string());
         let server = Server::start(svc).expect("server starts");
         let addr = server.local_addr().to_string();
 

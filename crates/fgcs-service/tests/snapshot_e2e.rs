@@ -124,16 +124,14 @@ fn snap_dir(tag: &str) -> std::path::PathBuf {
 
 /// Graceful restart: stop mid-replay (final checkpoint), start a fresh
 /// server process-state on the same snapshot dir, resume, and end up
-/// bit-identical to the uninterrupted run — on either backend.
-fn graceful_restart_is_bit_identical(backend: Backend) {
-    let (ref_records, ref_transitions) = reference_run(backend);
-    let dir = snap_dir(&format!("graceful-{}", backend.name()));
-    let svc = ServiceConfig {
-        backend,
-        snapshot_dir: Some(dir.to_string_lossy().into_owned()),
-        snapshot_interval_ms: 60_000, // periodic writes irrelevant here
-        ..Default::default()
-    };
+/// bit-identical to an uninterrupted run *on the threaded backend* —
+/// the reference is always cross-backend, so a restart variant can
+/// never drift from the single-code-path baseline unnoticed.
+fn graceful_restart_is_bit_identical(tag: &str, mut svc: ServiceConfig) {
+    let (ref_records, ref_transitions) = reference_run(Backend::Threads);
+    let dir = snap_dir(&format!("graceful-{tag}"));
+    svc.snapshot_dir = Some(dir.to_string_lossy().into_owned());
+    svc.snapshot_interval_ms = 60_000; // periodic writes irrelevant here
 
     // First life: half the wave, then a graceful shutdown (which takes
     // the final checkpoint after draining).
@@ -155,12 +153,12 @@ fn graceful_restart_is_bit_identical(backend: Backend) {
         assert_eq!(
             second.records(m).expect("machine restored"),
             ref_records[idx],
-            "{backend:?}: records bit-identical through the restart, machine {m}"
+            "{tag}: records bit-identical through the restart, machine {m}"
         );
         assert_eq!(
             second.transitions(m).expect("machine restored"),
             ref_transitions[idx],
-            "{backend:?}: transition log identical (seqs continue, no restart at 1), machine {m}"
+            "{tag}: transition log identical (seqs continue, no restart at 1), machine {m}"
         );
     }
     second.shutdown();
@@ -169,13 +167,39 @@ fn graceful_restart_is_bit_identical(backend: Backend) {
 
 #[test]
 fn graceful_restart_is_bit_identical_threads() {
-    graceful_restart_is_bit_identical(Backend::Threads);
+    graceful_restart_is_bit_identical(
+        "threads",
+        ServiceConfig {
+            backend: Backend::Threads,
+            ..Default::default()
+        },
+    );
 }
 
 #[test]
 #[cfg(target_os = "linux")]
 fn graceful_restart_is_bit_identical_epoll() {
-    graceful_restart_is_bit_identical(Backend::Epoll);
+    graceful_restart_is_bit_identical(
+        "epoll-1",
+        ServiceConfig {
+            backend: Backend::Epoll,
+            event_loops: 1,
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn graceful_restart_is_bit_identical_epoll_multiloop() {
+    graceful_restart_is_bit_identical(
+        "epoll-4",
+        ServiceConfig {
+            backend: Backend::Epoll,
+            event_loops: 4,
+            ..Default::default()
+        },
+    );
 }
 
 /// Transition seqs must keep climbing across a restore: a client that
@@ -247,9 +271,10 @@ fn transition_seqs_survive_restart_without_collision() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Spawns the real `fgcs-serve` binary with snapshots on, returning the
+/// Spawns the real `fgcs-serve` binary with snapshots on (plus any
+/// `extra` flags, e.g. `--backend epoll --loops 4`), returning the
 /// child and its bound address (parsed from the `listening on` line).
-fn spawn_serve(dir: &std::path::Path, interval_ms: u64) -> (Child, String) {
+fn spawn_serve(dir: &std::path::Path, interval_ms: u64, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_fgcs-serve"))
         .args([
             "--addr",
@@ -259,6 +284,7 @@ fn spawn_serve(dir: &std::path::Path, interval_ms: u64) -> (Child, String) {
             "--snapshot-interval",
             &interval_ms.to_string(),
         ])
+        .args(extra)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -283,14 +309,13 @@ fn spawn_serve(dir: &std::path::Path, interval_ms: u64) -> (Child, String) {
 /// kill lands *between* ingest and checkpoint at an arbitrary point;
 /// any samples past the last snapshot are simply re-ingested by the
 /// resume protocol without seq collisions.
-#[test]
 #[cfg(unix)]
-fn sigkill_mid_replay_restores_and_resumes_bit_identical() {
+fn sigkill_mid_replay(tag: &str, serve_args: &[&str], restart_svc: ServiceConfig) {
     let (ref_records, ref_transitions) = reference_run(Backend::Threads);
-    let dir = snap_dir("sigkill");
+    let dir = snap_dir(&format!("sigkill-{tag}"));
 
     // First life: the real binary, checkpointing every 50 ms.
-    let (mut child, addr) = spawn_serve(&dir, 50);
+    let (mut child, addr) = spawn_serve(&dir, 50, serve_args);
     let mut client = connect(&addr);
     stream_wave(&mut client, 0..SAMPLES / 2, false);
     wait_caught_up(&mut client, SAMPLES / 2 - 1);
@@ -306,7 +331,7 @@ fn sigkill_mid_replay_restores_and_resumes_bit_identical() {
         .count();
     assert!(
         snaps > 0,
-        "at least one periodic checkpoint was written before the kill"
+        "{tag}: at least one periodic checkpoint was written before the kill"
     );
 
     // Second life: in-process server on the same dir (same restore
@@ -315,7 +340,7 @@ fn sigkill_mid_replay_restores_and_resumes_bit_identical() {
     let svc = ServiceConfig {
         snapshot_dir: Some(dir.to_string_lossy().into_owned()),
         snapshot_interval_ms: 60_000,
-        ..Default::default()
+        ..restart_svc
     };
     let second = Server::start(svc).expect("restarted server");
     let mut client = connect(&second.local_addr().to_string());
@@ -327,14 +352,39 @@ fn sigkill_mid_replay_restores_and_resumes_bit_identical() {
         assert_eq!(
             second.records(m).expect("machine restored"),
             ref_records[idx],
-            "records survive a SIGKILL + restore + resume, machine {m}"
+            "{tag}: records survive a SIGKILL + restore + resume, machine {m}"
         );
         assert_eq!(
             second.transitions(m).expect("machine restored"),
             ref_transitions[idx],
-            "transitions identical after the crash, machine {m}"
+            "{tag}: transitions identical after the crash, machine {m}"
         );
     }
     second.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg(unix)]
+fn sigkill_mid_replay_restores_and_resumes_bit_identical() {
+    sigkill_mid_replay("threads", &[], ServiceConfig::default());
+}
+
+/// The same crash, but the killed life *and* the restarted life run
+/// four epoll loops: the checkpoint must be a consistent cut across
+/// loop-owned shards (including batches in flight on the forwarding
+/// rings), and the restore must land identically however the new
+/// loops repartition the shards.
+#[test]
+#[cfg(target_os = "linux")]
+fn sigkill_mid_replay_multiloop_restores_bit_identical() {
+    sigkill_mid_replay(
+        "epoll-4",
+        &["--backend", "epoll", "--loops", "4"],
+        ServiceConfig {
+            backend: Backend::Epoll,
+            event_loops: 4,
+            ..Default::default()
+        },
+    );
 }

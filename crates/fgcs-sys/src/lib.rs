@@ -3,7 +3,9 @@
 //! The build environment has no crate registry, so `fgcs-service`
 //! cannot pull in `libc`/`mio`. This crate binds the handful of
 //! syscalls the event loop needs — `epoll_create1`, `epoll_ctl`,
-//! `epoll_wait`, `fcntl` (for `O_NONBLOCK`) and `accept4` — directly
+//! `epoll_wait`, `fcntl` (for `O_NONBLOCK`), `accept4`, `eventfd`
+//! (cross-loop wakeups), and raw `socket`/`setsockopt`/`bind`/`listen`
+//! (`SO_REUSEADDR`/`SO_REUSEPORT` listeners) — directly
 //! via `extern "C"` declarations against the C library the binary
 //! already links, and wraps them in safe, RAII-owning types.
 //!

@@ -66,6 +66,10 @@ const AF_INET6: c_int = 10;
 const SOCK_STREAM: c_int = 1;
 const SOL_SOCKET: c_int = 1;
 const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
 
 /// `struct sockaddr_in` (network byte order for port and address).
 #[repr(C)]
@@ -97,6 +101,9 @@ extern "C" {
     fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_void, len: u32) -> c_int;
     fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
     fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
@@ -235,6 +242,20 @@ pub fn accept_nonblocking(listener: &TcpListener) -> io::Result<Option<TcpStream
 /// `bind()`, hence the raw calls.) The returned listener is in blocking
 /// mode with `CLOEXEC` set, like a std-bound one.
 pub fn listen_reusable(addr: &std::net::SocketAddr) -> io::Result<TcpListener> {
+    listen_with(addr, false)
+}
+
+/// Binds a TCP listener with both `SO_REUSEADDR` and `SO_REUSEPORT`
+/// set before `bind`. Any number of listeners bound this way to the
+/// same address share it, and the kernel load-balances incoming
+/// connections across them by 4-tuple hash — the accept-sharing
+/// primitive behind the multi-loop epoll backend. All sharers must set
+/// the option before binding, including the first.
+pub fn listen_reuseport(addr: &std::net::SocketAddr) -> io::Result<TcpListener> {
+    listen_with(addr, true)
+}
+
+fn listen_with(addr: &std::net::SocketAddr, reuse_port: bool) -> io::Result<TcpListener> {
     let domain = match addr {
         std::net::SocketAddr::V4(_) => AF_INET,
         std::net::SocketAddr::V6(_) => AF_INET6,
@@ -248,17 +269,23 @@ pub fn listen_reusable(addr: &std::net::SocketAddr) -> io::Result<TcpListener> {
         e
     };
     let one: c_int = 1;
-    // SAFETY: `one` outlives the call; the kernel copies 4 bytes.
-    cvt(unsafe {
-        setsockopt(
-            fd,
-            SOL_SOCKET,
-            SO_REUSEADDR,
-            &one as *const c_int as *const c_void,
-            std::mem::size_of::<c_int>() as u32,
-        )
-    })
-    .map_err(close_on_err)?;
+    let mut opts = vec![SO_REUSEADDR];
+    if reuse_port {
+        opts.push(SO_REUSEPORT);
+    }
+    for opt in opts {
+        // SAFETY: `one` outlives the call; the kernel copies 4 bytes.
+        cvt(unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                &one as *const c_int as *const c_void,
+                std::mem::size_of::<c_int>() as u32,
+            )
+        })
+        .map_err(close_on_err)?;
+    }
     let ret = match addr {
         std::net::SocketAddr::V4(a) => {
             let sa = SockaddrIn {
@@ -300,6 +327,75 @@ pub fn listen_reusable(addr: &std::net::SocketAddr) -> io::Result<TcpListener> {
     cvt(unsafe { listen(fd, 128) }).map_err(close_on_err)?;
     // SAFETY: `fd` is a listening socket we exclusively own.
     Ok(unsafe { TcpListener::from_raw_fd(fd) })
+}
+
+/// An owned `eventfd(2)` — the cheapest cross-thread wakeup that an
+/// epoll loop can watch. One thread calls [`EventFd::signal`]; the loop
+/// has the fd registered for `EPOLLIN`, wakes from `epoll_wait`, and
+/// calls [`EventFd::drain`] to reset it. The fd is nonblocking and
+/// `CLOEXEC`; the kernel coalesces pending signals into one counter, so
+/// any number of signals cost exactly one wakeup.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a nonblocking, close-on-exec eventfd with counter 0.
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: no pointers involved; the returned fd is owned here.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, making the fd readable. A saturated
+    /// counter (`EAGAIN`) already guarantees a pending wakeup, so it is
+    /// treated as success; `EINTR` is retried.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        loop {
+            // SAFETY: `one` is 8 valid bytes for the duration of the call.
+            let ret = unsafe { write(self.fd, &one as *const u64 as *const c_void, 8) };
+            if ret >= 0 {
+                return;
+            }
+            let e = io::Error::last_os_error();
+            match e.kind() {
+                io::ErrorKind::Interrupted => continue,
+                _ => return, // EAGAIN: counter saturated, wakeup pending
+            }
+        }
+    }
+
+    /// Resets the counter to 0 (consumes all pending signals). Safe to
+    /// call when no signal is pending.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        loop {
+            // SAFETY: `buf` is 8 writable bytes for the call.
+            let ret = unsafe { read(self.fd, &mut buf as *mut u64 as *mut c_void, 8) };
+            if ret >= 0 {
+                return;
+            }
+            let e = io::Error::last_os_error();
+            match e.kind() {
+                io::ErrorKind::Interrupted => continue,
+                _ => return, // EAGAIN: already drained
+            }
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and drop it exactly once.
+        let _ = unsafe { close(self.fd) };
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +484,76 @@ mod tests {
         // IPv6 path compiles and binds too.
         let l6 = listen_reusable(&"[::1]:0".parse().unwrap()).unwrap();
         assert!(l6.local_addr().unwrap().is_ipv6());
+    }
+
+    #[test]
+    fn reuseport_listeners_share_a_port_and_both_accept() {
+        let l1 = listen_reuseport(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = l1.local_addr().unwrap();
+        // Second listener on the SAME concrete port succeeds only with
+        // SO_REUSEPORT on both sockets.
+        let l2 = listen_reuseport(&addr).unwrap();
+        assert_eq!(l2.local_addr().unwrap(), addr);
+        // Without the option, the same bind fails.
+        assert!(listen_reusable(&addr).is_err());
+
+        // Connections land on one of the sharers; drive enough that the
+        // accept below always finds its own. Each connect is matched to
+        // whichever listener reports readiness.
+        l1.set_nonblocking(true).unwrap();
+        l2.set_nonblocking(true).unwrap();
+        let mut clients = Vec::new();
+        let mut accepted = 0;
+        for _ in 0..8 {
+            clients.push(TcpStream::connect(addr).unwrap());
+        }
+        // Accept everything pending on either listener.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while accepted < clients.len() && std::time::Instant::now() < deadline {
+            for l in [&l1, &l2] {
+                while accept_nonblocking(l).unwrap().is_some() {
+                    accepted += 1;
+                }
+            }
+        }
+        assert_eq!(accepted, clients.len());
+    }
+
+    #[test]
+    fn eventfd_wakes_an_epoll_wait_and_drains() {
+        let efd = EventFd::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(efd.fd(), EPOLLIN, 42).unwrap();
+        let mut events = vec![EpollEvent::zeroed(); 4];
+
+        // Unsignalled: not readable.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        // Signals coalesce: three signals, one readable event.
+        efd.signal();
+        efd.signal();
+        efd.signal();
+        let n = ep.wait(&mut events, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        // Drain resets; the fd goes quiet again (level-triggered, so a
+        // non-drained counter would keep reporting readiness).
+        efd.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        // Signal from another thread wakes a blocking wait.
+        let efd = std::sync::Arc::new(efd);
+        let efd2 = efd.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            efd2.signal();
+        });
+        let n = ep.wait(&mut events, 5_000).unwrap();
+        assert_eq!(n, 1);
+        efd.drain();
+        t.join().unwrap();
     }
 
     #[test]

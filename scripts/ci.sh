@@ -8,10 +8,12 @@ echo "== rustfmt =="
 cargo fmt --all -- --check
 
 echo "== build (release) =="
-cargo build --release
+# --workspace: the smokes below run member binaries (fgcs-exp,
+# fgcs-serve, fgcs-smoke); a plain build only covers the root package.
+cargo build --release --workspace
 
 echo "== tests =="
-cargo test -q
+cargo test -q --workspace
 
 echo "== experiment smoke (table1 + fig1a + faults, reduced scale) =="
 # Run from a scratch dir: fgcs-exp writes results/ relative to the cwd,
@@ -49,14 +51,35 @@ dec=$(echo "$clean_row" | cut -d, -f10)
 ans=$(echo "$clean_row" | cut -d, -f11)
 [ "$dec" -eq 0 ] || { echo "serve smoke: clean phase had $dec decode errors" >&2; exit 1; }
 [ "$ans" -gt 0 ] || { echo "serve smoke: no availability queries answered" >&2; exit 1; }
-# The fan-in scaling phase must have produced its per-backend curve, both
-# in the smoke run and in the committed benchmark artifact.
+# The fan-in scaling and multi-core phases must have produced their
+# curves, both in the smoke run and in the committed benchmark artifact.
 for bj in "$smoke_dir/BENCH_serve.json" BENCH_serve.json; do
     grep -q '"scaling"' "$bj" \
         || { echo "$bj: missing \"scaling\" section (X12 fan-in phase)" >&2; exit 1; }
+    grep -q '"multicore"' "$bj" \
+        || { echo "$bj: missing \"multicore\" section (X12 multi-core phase)" >&2; exit 1; }
 done
 test -f "$smoke_dir/results/serve_scaling.csv" \
     || { echo "missing serve_scaling.csv" >&2; exit 1; }
+test -f "$smoke_dir/results/serve_multicore.csv" \
+    || { echo "missing serve_multicore.csv" >&2; exit 1; }
+
+echo "== multi-core benchmark gate (committed BENCH_serve.json) =="
+# The committed full-scale artifact must carry the multi-loop claim: at
+# the gate rung (4096 conns, fixed offered load) 4 loops ingest >= 2x
+# one loop, without giving the latency back (query p99 within 1.5x).
+gate_num() {
+    grep -o "\"$1\":[^,}]*" BENCH_serve.json | head -n 1 | cut -d: -f2
+}
+speedup=$(gate_num speedup)
+p99_ratio=$(gate_num p99_ratio)
+[ -n "$speedup" ] && [ -n "$p99_ratio" ] \
+    || { echo "BENCH_serve.json: multicore gate lacks speedup/p99_ratio" >&2; exit 1; }
+awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }' \
+    || { echo "multicore gate: 4-loop speedup $speedup < 2.0x" >&2; exit 1; }
+awk -v r="$p99_ratio" 'BEGIN { exit !(r <= 1.5) }' \
+    || { echo "multicore gate: 4-loop query p99 ratio $p99_ratio > 1.5x" >&2; exit 1; }
+echo "  4-loop vs 1-loop at the gate rung: ${speedup}x ingest, p99 ratio $p99_ratio"
 
 echo "== epoll backend smoke (fgcs-serve + fgcs-smoke over localhost) =="
 # Drive the readiness-loop backend through a real process boundary: a
@@ -93,12 +116,17 @@ echo "== kill-and-restart snapshot smoke (both backends) =="
 # boundaries after the resume), so they are excluded from the diff.
 #
 # $1=backend  $2=snapshot dir  $3=log tag  $4=kill mid-replay (yes/no)
+# $5=resume ("resume" or "")  $6=extra fgcs-serve args  $7=extra
+# fgcs-smoke args (both word-split, e.g. "--loops 4")
 run_replay_server() {
     local backend="$1" snapdir="$2" tag="$3" kill_mid="$4"
+    local resume="${5:-}" serve_extra="${6:-}" smoke_extra="${7:-}"
     local fifo="$smoke_dir/$tag.stdin" out="$smoke_dir/$tag.out"
     mkfifo "$fifo"
+    # shellcheck disable=SC2086  # extras are intentionally word-split
     ./target/release/fgcs-serve --addr 127.0.0.1:0 --backend "$backend" \
         --snapshot-dir "$snapdir" --snapshot-interval 50 --reuse-addr \
+        $serve_extra \
         < "$fifo" > "$out" 2> "$smoke_dir/$tag.log" &
     local pid=$!
     exec 8> "$fifo"
@@ -112,14 +140,17 @@ run_replay_server() {
     if [ "$kill_mid" = yes ]; then
         # First half of the wave, then wait for a periodic checkpoint
         # (50 ms interval) and SIGKILL — no graceful anything.
-        ./target/release/fgcs-smoke --addr "$addr" --replay 3:200 > /dev/null
+        # shellcheck disable=SC2086
+        ./target/release/fgcs-smoke --addr "$addr" --replay 3:200 $smoke_extra > /dev/null
         sleep 0.4
         kill -9 "$pid"
         exec 8>&-
         rm -f "$fifo"
         wait "$pid" 2> /dev/null || true
     else
-        ./target/release/fgcs-smoke --addr "$addr" --replay 3:400 ${5:+--resume} > /dev/null
+        # shellcheck disable=SC2086
+        ./target/release/fgcs-smoke --addr "$addr" --replay 3:400 \
+            ${resume:+--resume} $smoke_extra > /dev/null
         exec 8>&-  # EOF on stdin: graceful shutdown, final checkpoint
         rm -f "$fifo"
         wait "$pid"
@@ -145,6 +176,21 @@ for backend in threads epoll; do
         || { echo "$backend: snapshot after kill+restart+resume diverges from the uninterrupted run" >&2; exit 1; }
     echo "  $backend: kill/restart snapshot matches the uninterrupted run"
 done
+
+echo "== kill-and-restart snapshot smoke (epoll, 4 event loops) =="
+# Same crash gate, but with the server running 4 SO_REUSEPORT event
+# loops and the replay spread over 4 concurrent connections — ingest
+# crosses the per-loop forwarding rings while periodic checkpoints are
+# being cut. The final snapshot must still be bit-identical to the
+# single-loop epoll reference from the loop above: loop count is a
+# deployment knob, not a semantic one.
+ml_base="$smoke_dir/snap-epoll-ml"
+run_replay_server epoll "$ml_base-crash" crash1-epoll-ml yes "" "--loops 4" "--loops 4"
+run_replay_server epoll "$ml_base-crash" crash2-epoll-ml no resume "--loops 4" "--loops 4"
+snapshot_fingerprint "$ml_base-crash" > "$smoke_dir/fp-crash-epoll-ml"
+diff "$smoke_dir/fp-ref-epoll" "$smoke_dir/fp-crash-epoll-ml" \
+    || { echo "epoll --loops 4: snapshot after kill+restart+resume diverges from the single-loop run" >&2; exit 1; }
+echo "  epoll --loops 4: kill/restart snapshot matches the single-loop run"
 
 echo "== sim throughput smoke (quick mode) =="
 FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench sim_throughput

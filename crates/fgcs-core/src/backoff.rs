@@ -1,0 +1,137 @@
+//! Capped exponential backoff with optional deterministic jitter.
+//!
+//! Three subsystems grew their own copy of the same retry arithmetic:
+//! the testbed supervisor's crash-retry delays (`SupervisorConfig`),
+//! the service client's reconnect loop, and the cluster router's
+//! failover retries. They now all route through this module, so the
+//! doubling rule, the cap clamp and the overflow guard are pinned in
+//! exactly one place.
+//!
+//! The unit is deliberately abstract: the supervisor counts seconds,
+//! the clients count milliseconds. Callers multiply the returned unit
+//! count by whatever their unit is.
+
+/// A capped-exponential-backoff schedule: `base * 2^(attempt-1)`,
+/// clamped to `cap`, in caller-defined units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-attempt delay, in caller-defined units.
+    pub base: u64,
+    /// Delay ceiling, same units.
+    pub cap: u64,
+}
+
+impl BackoffPolicy {
+    /// The delay before the `attempt`-th consecutive retry (1-based),
+    /// without jitter.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        backoff_units(self.base, self.cap, attempt)
+    }
+
+    /// The delay before the `attempt`-th consecutive retry (1-based),
+    /// with deterministic jitter: a value in `[delay/2, delay]`, keyed
+    /// by `seed` and `attempt`. "Equal jitter" keeps retries spread out
+    /// without ever waiting longer than the un-jittered schedule, and
+    /// keying the jitter off a caller-supplied seed keeps retry timing
+    /// reproducible in tests and replays.
+    pub fn delay_jittered(&self, attempt: u32, seed: u64) -> u64 {
+        let d = self.delay(attempt);
+        let half = d / 2;
+        let spread = d - half;
+        if spread == 0 {
+            return d;
+        }
+        half + mix64(seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (spread + 1)
+    }
+}
+
+/// Capped exponential backoff after the `attempt`-th consecutive
+/// failure (1-based): `base * 2^(attempt-1)`, capped at `cap`. The
+/// shift exponent is clamped at 20 so huge attempt counters cannot
+/// overflow the multiply before the cap applies.
+pub fn backoff_units(base: u64, cap: u64, attempt: u32) -> u64 {
+    base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+        .min(cap)
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash for jitter.
+/// fgcs-core has no RNG dependency, and backoff jitter only needs
+/// decorrelation, not cryptographic quality.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap() {
+        let p = BackoffPolicy { base: 60, cap: 960 };
+        assert_eq!(p.delay(1), 60);
+        assert_eq!(p.delay(2), 120);
+        assert_eq!(p.delay(3), 240);
+        assert_eq!(p.delay(4), 480);
+        assert_eq!(p.delay(5), 960);
+        assert_eq!(p.delay(6), 960, "cap clamps every later attempt");
+        assert_eq!(p.delay(100), 960, "huge attempts stay at the cap");
+    }
+
+    #[test]
+    fn attempt_zero_and_overflow_are_safe() {
+        let p = BackoffPolicy {
+            base: 1,
+            cap: u64::MAX,
+        };
+        // Attempt 0 is treated like attempt 1 (saturating_sub).
+        assert_eq!(p.delay(0), 1);
+        // The shift exponent clamps at 20; the multiply saturates.
+        assert_eq!(p.delay(u32::MAX), 1 << 20);
+        let big = BackoffPolicy {
+            base: u64::MAX,
+            cap: u64::MAX,
+        };
+        assert_eq!(big.delay(50), u64::MAX);
+    }
+
+    #[test]
+    fn jitter_stays_in_upper_half_and_is_deterministic() {
+        let p = BackoffPolicy {
+            base: 100,
+            cap: 10_000,
+        };
+        for attempt in 1..=8 {
+            let d = p.delay(attempt);
+            for seed in 0..64u64 {
+                let j = p.delay_jittered(attempt, seed);
+                assert!(j >= d / 2 && j <= d, "jitter {j} outside [{}, {d}]", d / 2);
+                assert_eq!(j, p.delay_jittered(attempt, seed), "deterministic");
+            }
+        }
+        // Different seeds actually spread (not all identical).
+        let spread: std::collections::BTreeSet<u64> =
+            (0..64u64).map(|s| p.delay_jittered(4, s)).collect();
+        assert!(spread.len() > 8, "jitter must decorrelate seeds");
+    }
+
+    #[test]
+    fn zero_delay_jitter_is_zero() {
+        let p = BackoffPolicy { base: 0, cap: 0 };
+        assert_eq!(p.delay_jittered(3, 7), 0);
+    }
+
+    #[test]
+    fn matches_supervisor_schedule() {
+        // The testbed supervisor's historical schedule (base 60 s,
+        // cap 960 s) must be reproduced exactly by the shared helper.
+        for attempt in 0u32..64 {
+            let legacy = 60u64
+                .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+                .min(960);
+            assert_eq!(backoff_units(60, 960, attempt), legacy);
+        }
+    }
+}

@@ -21,10 +21,13 @@
 //! * [`policy`] — the §3.2.2 design space: the two-threshold policy and
 //!   the rejected alternatives (gradual priorities, always-lowest,
 //!   coarse-grained), executable for quantitative comparison.
+//! * [`backoff`] — the shared capped-exponential-backoff-with-jitter
+//!   schedule used by every retry loop in the workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod calibrate;
 pub mod cluster;
 pub mod contention;

@@ -5,6 +5,7 @@
 //!            [--loops N] [--fd-handoff] [--queue-capacity N]
 //!            [--max-conns N] [--shards N] [--auth-token TOKEN]
 //!            [--snapshot-dir DIR] [--snapshot-interval MS] [--reuse-addr]
+//!            [--repl-log N] [--follower-of HOST:PORT] [--pull-interval MS]
 //! ```
 //!
 //! Prints the bound address on stdout (port 0 picks a free port, which
@@ -21,6 +22,7 @@ fn usage() -> ! {
          \x20                 [--loops N] [--fd-handoff] [--queue-capacity N]\n\
          \x20                 [--max-conns N] [--shards N] [--auth-token TOKEN]\n\
          \x20                 [--snapshot-dir DIR] [--snapshot-interval MS] [--reuse-addr]\n\
+         \x20                 [--repl-log N] [--follower-of HOST:PORT] [--pull-interval MS]\n\
          \n\
          Runs until stdin reaches EOF. Prints `listening on ADDR` once bound.\n\
          With --snapshot-dir the server checkpoints its ingest state there\n\
@@ -28,7 +30,11 @@ fn usage() -> ! {
          --loops N runs the epoll backend as N event loops sharing the port\n\
          via SO_REUSEPORT (0 = auto: min(cores, shards)); N must not exceed\n\
          --shards. --fd-handoff forces the single-listener fd-handoff\n\
-         fallback instead of SO_REUSEPORT."
+         fallback instead of SO_REUSEPORT.\n\
+         --repl-log N retains the last N replication log entries so a\n\
+         follower can stream them; --follower-of ADDR starts this node as\n\
+         that primary's follower (rejects ingest until promoted over the\n\
+         wire), pulling every --pull-interval ms when caught up."
     );
     exit(2);
 }
@@ -80,6 +86,15 @@ fn main() {
                 Err(_) => usage(),
             },
             "--reuse-addr" => cfg.reuse_addr = true,
+            "--repl-log" => match value("--repl-log").parse() {
+                Ok(n) if n >= 1 => cfg.repl_log_capacity = n,
+                _ => usage(),
+            },
+            "--follower-of" => cfg.follower_of = Some(value("--follower-of")),
+            "--pull-interval" => match value("--pull-interval").parse() {
+                Ok(ms) => cfg.pull_interval_ms = ms,
+                Err(_) => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fgcs-serve: unknown argument {other:?}");

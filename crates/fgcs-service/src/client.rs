@@ -11,7 +11,8 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use fgcs_testbed::{backoff_delay, SupervisorConfig};
+use fgcs_core::backoff::BackoffPolicy;
+use fgcs_testbed::SupervisorConfig;
 use fgcs_wire::{Decoder, ErrorCode, Frame};
 
 /// Client configuration.
@@ -44,6 +45,21 @@ impl ClientConfig {
             backoff_unit_ms: 1_000,
             read_timeout_ms: 5_000,
             token: None,
+        }
+    }
+
+    /// The supervisor policy expressed in milliseconds, for the shared
+    /// backoff helper.
+    fn backoff_ms(&self) -> BackoffPolicy {
+        BackoffPolicy {
+            base: self
+                .sup
+                .backoff_base_secs
+                .saturating_mul(self.backoff_unit_ms),
+            cap: self
+                .sup
+                .backoff_cap_secs
+                .saturating_mul(self.backoff_unit_ms),
         }
     }
 }
@@ -150,8 +166,7 @@ impl ServiceClient {
                     if attempts > self.cfg.sup.max_retries {
                         return Err(e);
                     }
-                    let delay_ms = backoff_delay(&self.cfg.sup, attempts)
-                        .saturating_mul(self.cfg.backoff_unit_ms);
+                    let delay_ms = self.cfg.backoff_ms().delay(attempts);
                     std::thread::sleep(Duration::from_millis(delay_ms));
                 }
             }
@@ -223,8 +238,7 @@ impl ServiceClient {
                     if attempts > self.cfg.sup.max_retries {
                         return Err(e);
                     }
-                    let delay_ms = backoff_delay(&self.cfg.sup, attempts)
-                        .saturating_mul(self.cfg.backoff_unit_ms);
+                    let delay_ms = self.cfg.backoff_ms().delay(attempts);
                     std::thread::sleep(Duration::from_millis(delay_ms));
                 }
             }

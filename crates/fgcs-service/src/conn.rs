@@ -5,8 +5,12 @@
 //! auth gating, shed accounting, query answers, the one-reply-per-frame
 //! identity — are a single code path and cannot drift between backends.
 
-use fgcs_wire::{ErrorCode, Frame, WireTransition, MAX_TRANSITIONS_PER_FRAME};
+use fgcs_wire::{
+    ErrorCode, Frame, WireTransition, MAX_REPL_SNAPSHOT_BYTES, MAX_TRANSITIONS_PER_FRAME,
+};
 
+use crate::repl::PullReply;
+use crate::snapshot;
 use crate::state::{Batch, Shared};
 
 /// Per-connection protocol state, owned by whichever backend runs the
@@ -95,6 +99,14 @@ fn handle_request(
 ) -> Frame {
     match frame {
         Frame::SampleBatch { machine, samples } => {
+            if !shared.is_primary() {
+                // A fault-aware client treats this as a routing signal:
+                // close, re-resolve the shard's endpoint, resend there.
+                return Frame::Error {
+                    code: ErrorCode::NotPrimary,
+                    detail: "node is a follower; send ingest to the primary".to_string(),
+                };
+            }
             let batch = Batch { machine, samples };
             let shed = match sink {
                 IngestSink::Queue => {
@@ -196,6 +208,60 @@ fn handle_request(
             }
         }
         Frame::QueryStats => Frame::StatsReply(shared.stats_snapshot()),
+        Frame::ReplPull {
+            after_seq,
+            max_entries,
+        } => {
+            if !shared.repl.enabled() {
+                return Frame::Error {
+                    code: ErrorCode::Unsupported,
+                    detail: "replication log disabled; start the server with --repl-log"
+                        .to_string(),
+                };
+            }
+            // A pull for `after_seq = N` doubles as the follower's ack
+            // that everything through N is applied.
+            shared.repl.note_ack(after_seq);
+            match shared.repl.pull(after_seq, max_entries as usize) {
+                PullReply::Entries { head_seq, entries } => {
+                    Frame::ReplEntries { head_seq, entries }
+                }
+                PullReply::NeedSnapshot => {
+                    let data = shared.collect_snapshot();
+                    let repl_seq = data.repl_seq;
+                    let bytes = snapshot::serialize_snapshot(&data).into_bytes();
+                    if bytes.len() > MAX_REPL_SNAPSHOT_BYTES {
+                        // The state has outgrown single-frame resync;
+                        // the log must be sized so followers never lag
+                        // past its tail (DESIGN.md §13).
+                        return Frame::Error {
+                            code: ErrorCode::Unsupported,
+                            detail: format!(
+                                "state too large for snapshot resync ({} bytes); \
+                                 raise --repl-log so followers never need one",
+                                bytes.len()
+                            ),
+                        };
+                    }
+                    Frame::ReplSnapshot { repl_seq, bytes }
+                }
+            }
+        }
+        Frame::ReplStatus => {
+            let st = shared.repl.status();
+            Frame::ReplStatusReply {
+                role: shared.role_code(),
+                applied_seq: st.head_seq,
+                head_seq: st.head_seq,
+                tail_seq: st.tail_seq,
+                acked_seq: st.acked_seq,
+                log_len: st.len,
+            }
+        }
+        Frame::Promote => {
+            shared.promote();
+            Frame::Ack { seq: 0 }
+        }
         Frame::QueryTransitions {
             machine,
             since_seq,

@@ -53,17 +53,24 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(target_os = "linux")]
+pub mod cluster;
 mod conn;
 #[cfg(target_os = "linux")]
 mod epoll;
 pub mod loadgen;
 #[cfg(target_os = "linux")]
 pub mod pool;
+mod repl;
 pub mod server;
 mod snapshot;
 mod state;
 
+pub use repl::{ROLE_FOLLOWER, ROLE_PRIMARY};
+
 pub use client::{ClientConfig, ServiceClient};
+#[cfg(target_os = "linux")]
+pub use cluster::{ClusterClient, ClusterConfig, ClusterMetrics, ShardSpec};
 #[cfg(target_os = "linux")]
 pub use loadgen::{run_fanin, FanInConfig, FanInReport};
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};

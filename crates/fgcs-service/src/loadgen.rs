@@ -514,6 +514,10 @@ mod fanin {
                 _ => Fate::Failed,
             },
             PoolCloseReason::Decode => Fate::Failed,
+            // The fan-in driver opens slots with the blocking
+            // constructor, but classify anyway: a timed-out connect
+            // never carried a batch.
+            PoolCloseReason::ConnectTimeout => Fate::Rejected,
         }
     }
 
@@ -620,6 +624,9 @@ mod fanin {
             pool.poll(timeout_ms, &mut events)?;
             for ev in events.drain(..) {
                 let (slot, fate) = match ev {
+                    // Blocking connects: slots are established before
+                    // the loop, so no Connected events arrive here.
+                    PoolEvent::Connected { .. } => continue,
                     PoolEvent::Frame { slot, frame } => {
                         let Some(state) = states[slot].as_mut() else {
                             continue; // slot already resolved this drain

@@ -1,0 +1,489 @@
+//! Primary → follower replication: the seq log and the pull loop.
+//!
+//! Replication streams the primary's ingested sample batches — not its
+//! derived state — to a follower, which replays them through its own
+//! (deterministic) ingest path and therefore rebuilds records and
+//! transitions **bit-identically**. The protocol is pull-based so it
+//! rides the existing strict request/reply connection handling on both
+//! backends: the follower sends [`Frame::ReplPull`] and the primary
+//! answers with entries, an empty reply (caught up), or a full
+//! snapshot when the requested position has been trimmed from the log.
+//!
+//! ## Exactly-once apply
+//!
+//! Every log entry carries a primary-global sequence number, and every
+//! machine cell remembers the newest entry applied to it
+//! (`MachineState::last_repl_seq`, persisted in snapshots). Entry
+//! append (primary) and entry apply (follower) both happen inside the
+//! machine's critical section, with the log lock nested inside
+//! (machine → log, never the reverse), so:
+//!
+//! * log order equals seq order — a pull never observes seq `N`
+//!   without `N-1`;
+//! * a snapshot collector that reads the log head *first* and then
+//!   captures machines is a consistent cut: everything at or below
+//!   that head is fully contained, anything above it is absorbed on
+//!   restore by the per-machine `last_repl_seq` skip check.
+//!
+//! A restarted follower therefore resumes with `after_seq =` its own
+//! log head; duplicate deliveries are skipped per machine, gaps are
+//! impossible, and nothing is ever applied twice.
+//!
+//! ## Divergence tripwires
+//!
+//! Each entry records the primary's post-apply cursors
+//! (`last_t_after`, `next_seq_after`). The follower asserts its own
+//! cursors land exactly there after applying; any mismatch means the
+//! replicas have diverged and the pull loop stops hard rather than
+//! silently corrupting the follower.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fgcs_core::backoff::BackoffPolicy;
+use fgcs_testbed::SupervisorConfig;
+use fgcs_wire::{ErrorCode, Frame, ReplEntry, WireSample, MAX_REPL_ENTRIES_PER_FRAME};
+
+use crate::client::{ClientConfig, ServiceClient};
+use crate::snapshot;
+use crate::state::Shared;
+
+/// Role code for a primary, as carried in `ReplStatusReply::role`.
+pub const ROLE_PRIMARY: u8 = 1;
+/// Role code for a follower.
+pub const ROLE_FOLLOWER: u8 = 2;
+
+/// Default log capacity (entries) when a node is started as a follower
+/// without an explicit `repl_log_capacity`: a promoted follower must be
+/// able to serve its *own* follower from the log it mirrored.
+pub(crate) const DEFAULT_REPL_LOG_CAPACITY: usize = 4_096;
+
+/// What a [`ReplLog::pull`] request gets back.
+pub(crate) enum PullReply {
+    /// The requested position is retained: entries past `after_seq`
+    /// (possibly none, when the puller is caught up).
+    Entries {
+        /// Newest seq allocated (0 when nothing was ever logged).
+        head_seq: u64,
+        /// Seq-ascending entries starting just past `after_seq`.
+        entries: Vec<ReplEntry>,
+    },
+    /// The position was trimmed (or the puller has diverged ahead of
+    /// the log); only a full snapshot can resync it.
+    NeedSnapshot,
+}
+
+/// Log cursors for `ReplStatusReply`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReplLogStatus {
+    pub head_seq: u64,
+    pub tail_seq: u64,
+    pub acked_seq: u64,
+    pub len: u64,
+}
+
+#[derive(Debug)]
+struct ReplLogInner {
+    entries: VecDeque<ReplEntry>,
+    /// Next seq to allocate (primary) / expect (follower). Head is
+    /// `next_seq - 1`.
+    next_seq: u64,
+    /// Highest applied-seq any puller has acknowledged.
+    acked_seq: u64,
+}
+
+/// The replication seq log: a bounded ring of the most recent ingested
+/// batches, in seq order. Capacity 0 disables replication entirely
+/// ([`ReplLog::enabled`]); the log then never retains anything and
+/// pulls are answered `Unsupported`.
+#[derive(Debug)]
+pub(crate) struct ReplLog {
+    capacity: usize,
+    inner: Mutex<ReplLogInner>,
+}
+
+impl ReplLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ReplLog {
+            capacity,
+            inner: Mutex::new(ReplLogInner {
+                entries: VecDeque::new(),
+                next_seq: 1,
+                acked_seq: 0,
+            }),
+        }
+    }
+
+    /// Whether this node retains a log at all.
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Newest seq allocated/applied (0 before anything was logged).
+    pub(crate) fn head_seq(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq - 1
+    }
+
+    /// Allocates the next seq for a locally ingested batch and retains
+    /// the entry. Called by the primary's ingest path while it holds
+    /// the batch's machine lock — that nesting (machine → log) is what
+    /// makes log order equal seq order.
+    pub(crate) fn append_local(
+        &self,
+        machine: u32,
+        samples: Vec<WireSample>,
+        last_t_after: u64,
+        next_seq_after: u64,
+    ) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push_back(ReplEntry {
+            seq,
+            machine,
+            last_t_after,
+            next_seq_after,
+            samples,
+        });
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop_front();
+        }
+        seq
+    }
+
+    /// Mirrors a pulled entry into this follower's own log (so a
+    /// promoted follower can serve *its* follower) and advances the
+    /// expected cursor. Entries below the cursor are duplicate
+    /// deliveries and ignored; a gap above it is a protocol violation.
+    pub(crate) fn append_remote(&self, entry: &ReplEntry) -> Result<(), String> {
+        let mut inner = self.inner.lock().unwrap();
+        if entry.seq < inner.next_seq {
+            return Ok(());
+        }
+        if entry.seq > inner.next_seq {
+            return Err(format!(
+                "replication gap: expected seq {}, got {}",
+                inner.next_seq, entry.seq
+            ));
+        }
+        inner.next_seq = entry.seq + 1;
+        inner.entries.push_back(entry.clone());
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop_front();
+        }
+        Ok(())
+    }
+
+    /// Resets the cursor after installing a snapshot consistent with
+    /// `repl_seq`, discarding any retained entries (they predate the
+    /// snapshot or will be re-pulled).
+    pub(crate) fn reset_to(&self, repl_seq: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.entries.clear();
+        inner.next_seq = repl_seq + 1;
+    }
+
+    /// Raises the allocation cursor to at least `next` (never lowers
+    /// it) — used on restore and promotion so a new primary can never
+    /// re-allocate a seq some machine cell already carries.
+    pub(crate) fn raise_next(&self, next: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if next > inner.next_seq {
+            inner.entries.clear();
+            inner.next_seq = next;
+        }
+    }
+
+    /// Records a puller's applied-seq acknowledgement.
+    pub(crate) fn note_ack(&self, seq: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if seq > inner.acked_seq {
+            inner.acked_seq = seq;
+        }
+    }
+
+    /// Highest applied-seq acked by a puller.
+    pub(crate) fn acked_seq(&self) -> u64 {
+        self.inner.lock().unwrap().acked_seq
+    }
+
+    /// Answers a pull for entries past `after_seq`.
+    pub(crate) fn pull(&self, after_seq: u64, max_entries: usize) -> PullReply {
+        let inner = self.inner.lock().unwrap();
+        let head = inner.next_seq - 1;
+        if after_seq > head {
+            // The puller claims to be ahead of this log — divergence
+            // (e.g. it pulled from a different primary). Resync.
+            return PullReply::NeedSnapshot;
+        }
+        if after_seq == head {
+            return PullReply::Entries {
+                head_seq: head,
+                entries: Vec::new(),
+            };
+        }
+        match inner.entries.front() {
+            Some(front) if front.seq <= after_seq + 1 => {
+                let cap = max_entries.min(MAX_REPL_ENTRIES_PER_FRAME);
+                let entries: Vec<ReplEntry> = inner
+                    .entries
+                    .iter()
+                    .filter(|e| e.seq > after_seq)
+                    .take(cap)
+                    .cloned()
+                    .collect();
+                PullReply::Entries {
+                    head_seq: head,
+                    entries,
+                }
+            }
+            // Trimmed past the requested position (or nothing retained
+            // at all while the head has moved): snapshot resync.
+            _ => PullReply::NeedSnapshot,
+        }
+    }
+
+    pub(crate) fn status(&self) -> ReplLogStatus {
+        let inner = self.inner.lock().unwrap();
+        ReplLogStatus {
+            head_seq: inner.next_seq - 1,
+            tail_seq: inner.entries.front().map_or(0, |e| e.seq),
+            acked_seq: inner.acked_seq,
+            len: inner.entries.len() as u64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The follower pull loop
+// ---------------------------------------------------------------------------
+
+/// Spawns the follower's pull thread. The loop runs until shutdown or
+/// promotion, reconnecting to the primary with capped jittered backoff
+/// — a follower must outlive arbitrarily long primary outages.
+pub(crate) fn spawn_pull_thread(shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("fgcs-repl-pull".into())
+        .spawn(move || pull_loop(&shared))
+        .expect("spawn replication pull thread")
+}
+
+fn pull_loop(shared: &Shared) {
+    let addr = shared
+        .cfg
+        .follower_of
+        .clone()
+        .expect("pull loop requires follower_of");
+    // Fail individual connect attempts fast (max_retries 0) and let
+    // this loop own the retry cadence with the shared jittered policy.
+    let client_cfg = ClientConfig {
+        sup: SupervisorConfig {
+            max_retries: 0,
+            ..SupervisorConfig::default()
+        },
+        backoff_unit_ms: 1,
+        read_timeout_ms: 2_000,
+        token: shared.cfg.auth_token.clone(),
+        ..ClientConfig::new(addr.clone())
+    };
+    let policy = BackoffPolicy { base: 20, cap: 500 };
+    let seed = addr
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+    let mut client: Option<ServiceClient> = None;
+    let mut attempts: u32 = 0;
+    while !shared.shutting_down() && !shared.is_primary() {
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match ServiceClient::connect(client_cfg.clone()) {
+                Ok(c) => {
+                    client = Some(c);
+                    client.as_mut().unwrap()
+                }
+                Err(_) => {
+                    attempts = attempts.saturating_add(1);
+                    sleep_ms(policy.delay_jittered(attempts, seed));
+                    continue;
+                }
+            },
+        };
+        let after_seq = shared.repl.head_seq();
+        let pull = Frame::ReplPull {
+            after_seq,
+            max_entries: MAX_REPL_ENTRIES_PER_FRAME as u32,
+        };
+        match c.request(&pull) {
+            Ok(Frame::ReplEntries { head_seq, entries }) => {
+                attempts = 0;
+                let caught_up = entries.is_empty();
+                for e in &entries {
+                    if shared.shutting_down() {
+                        return;
+                    }
+                    if let Err(err) = shared.apply_repl_entry(e) {
+                        eprintln!(
+                            "fgcs-service: FATAL: follower diverged from {addr}: {err}; \
+                             pull loop stopped — resync by restarting with an empty state"
+                        );
+                        shared.repl_failed.store(true, Ordering::Release);
+                        return;
+                    }
+                }
+                if caught_up && shared.repl.head_seq() >= head_seq {
+                    sleep_ms(shared.cfg.pull_interval_ms.max(1));
+                }
+            }
+            Ok(Frame::ReplSnapshot { repl_seq, bytes }) => {
+                attempts = 0;
+                match install_pulled_snapshot(shared, repl_seq, &bytes) {
+                    Ok(()) => {}
+                    Err(err) => {
+                        eprintln!("fgcs-service: snapshot resync from {addr} failed: {err}");
+                        sleep_ms(policy.delay_jittered(1, seed));
+                    }
+                }
+            }
+            Ok(Frame::Error { code, detail }) => {
+                // The primary exists but can't serve us yet (no log
+                // configured, restarting, auth hiccup). Keep trying —
+                // an operator fixing the primary shouldn't have to
+                // restart every follower too.
+                attempts = attempts.saturating_add(1);
+                if attempts == 1 || code == ErrorCode::Unsupported {
+                    eprintln!("fgcs-service: pull from {addr} rejected ({code:?}): {detail}");
+                }
+                sleep_ms(policy.delay_jittered(attempts, seed));
+            }
+            Ok(other) => {
+                eprintln!(
+                    "fgcs-service: unexpected pull reply tag {} from {addr}",
+                    other.tag()
+                );
+                client = None;
+                attempts = attempts.saturating_add(1);
+                sleep_ms(policy.delay_jittered(attempts, seed));
+            }
+            Err(_) => {
+                client = None;
+                attempts = attempts.saturating_add(1);
+                sleep_ms(policy.delay_jittered(attempts, seed));
+            }
+        }
+    }
+}
+
+fn install_pulled_snapshot(shared: &Shared, repl_seq: u64, bytes: &[u8]) -> Result<(), String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "snapshot is not UTF-8".to_string())?;
+    let data = snapshot::parse_snapshot(text)?;
+    if data.repl_seq != repl_seq {
+        return Err(format!(
+            "frame says repl_seq {repl_seq}, snapshot says {}",
+            data.repl_seq
+        ));
+    }
+    shared.install_snapshot(data)
+}
+
+fn sleep_ms(ms: u64) {
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> ReplEntry {
+        ReplEntry {
+            seq,
+            machine: 1,
+            last_t_after: seq * 10,
+            next_seq_after: 1,
+            samples: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn log_allocates_monotone_seqs_and_trims_to_capacity() {
+        let log = ReplLog::new(3);
+        for i in 1..=5u64 {
+            let seq = log.append_local(7, Vec::new(), i * 10, 1);
+            assert_eq!(seq, i);
+        }
+        let st = log.status();
+        assert_eq!(st.head_seq, 5);
+        assert_eq!(st.tail_seq, 3, "capacity 3 keeps seqs 3..=5");
+        assert_eq!(st.len, 3);
+    }
+
+    #[test]
+    fn pull_serves_retained_positions_and_resyncs_trimmed_ones() {
+        let log = ReplLog::new(3);
+        for i in 1..=5u64 {
+            log.append_local(7, Vec::new(), i, 1);
+        }
+        // Caught up: empty entries, head visible.
+        match log.pull(5, 100) {
+            PullReply::Entries { head_seq, entries } => {
+                assert_eq!(head_seq, 5);
+                assert!(entries.is_empty());
+            }
+            PullReply::NeedSnapshot => panic!("caught-up pull must not resync"),
+        }
+        // Retained: seqs 3..=5, so after_seq 2 streams entries.
+        match log.pull(2, 2) {
+            PullReply::Entries { head_seq, entries } => {
+                assert_eq!(head_seq, 5);
+                assert_eq!(
+                    entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+                    vec![3, 4],
+                    "max_entries caps the reply"
+                );
+            }
+            PullReply::NeedSnapshot => panic!("retained pull must not resync"),
+        }
+        // Trimmed: after_seq 1 would need seq 2, which is gone.
+        assert!(matches!(log.pull(1, 100), PullReply::NeedSnapshot));
+        // Ahead of the log: divergence, resync.
+        assert!(matches!(log.pull(9, 100), PullReply::NeedSnapshot));
+    }
+
+    #[test]
+    fn append_remote_skips_duplicates_and_rejects_gaps() {
+        let log = ReplLog::new(8);
+        log.append_remote(&entry(1)).unwrap();
+        log.append_remote(&entry(2)).unwrap();
+        // Duplicate delivery after a reconnect: ignored.
+        log.append_remote(&entry(2)).unwrap();
+        assert_eq!(log.head_seq(), 2);
+        // A gap can only mean a protocol violation.
+        assert!(log.append_remote(&entry(5)).is_err());
+        log.append_remote(&entry(3)).unwrap();
+        assert_eq!(log.head_seq(), 3);
+    }
+
+    #[test]
+    fn reset_and_raise_move_the_cursor_safely() {
+        let log = ReplLog::new(4);
+        log.append_remote(&entry(1)).unwrap();
+        log.reset_to(10);
+        assert_eq!(log.head_seq(), 10);
+        assert_eq!(log.status().len, 0);
+        log.raise_next(8); // never lowers
+        assert_eq!(log.head_seq(), 10);
+        log.raise_next(21);
+        assert_eq!(log.head_seq(), 20);
+    }
+
+    #[test]
+    fn acks_are_monotone() {
+        let log = ReplLog::new(4);
+        log.note_ack(3);
+        log.note_ack(1);
+        assert_eq!(log.acked_seq(), 3);
+        log.note_ack(7);
+        assert_eq!(log.acked_seq(), 7);
+    }
+}

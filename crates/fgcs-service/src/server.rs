@@ -112,6 +112,19 @@ pub struct ServiceConfig {
     /// single-listener fd-handoff fallback, as if the kernel lacked the
     /// option.
     pub force_fd_handoff: bool,
+    /// Replication seq-log capacity, in entries. 0 disables replication
+    /// on a primary (followers force a default — see
+    /// [`ServiceConfig::repl_capacity`]). The log must retain enough
+    /// entries to cover a follower's restart gap, or the follower falls
+    /// back to a full snapshot resync (DESIGN.md §13).
+    pub repl_log_capacity: usize,
+    /// Run as a replication follower pulling from this primary address.
+    /// A follower rejects `SampleBatch` with `Error { NotPrimary }`,
+    /// answers queries from its replicated state, and can be promoted
+    /// with [`fgcs_wire::Frame::Promote`].
+    pub follower_of: Option<String>,
+    /// Idle sleep between pulls when the follower is caught up, ms.
+    pub pull_interval_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -136,6 +149,9 @@ impl Default for ServiceConfig {
             reuse_addr: false,
             event_loops: 0,
             force_fd_handoff: false,
+            repl_log_capacity: 0,
+            follower_of: None,
+            pull_interval_ms: 5,
         }
     }
 }
@@ -186,6 +202,20 @@ impl ServiceConfig {
         }
     }
 
+    /// The effective replication-log capacity: the explicit setting
+    /// when given; otherwise followers get a working default (a
+    /// promoted follower must be able to serve its own follower) and
+    /// plain primaries get 0 (replication off).
+    pub(crate) fn repl_capacity(&self) -> usize {
+        if self.repl_log_capacity > 0 {
+            self.repl_log_capacity
+        } else if self.follower_of.is_some() {
+            crate::repl::DEFAULT_REPL_LOG_CAPACITY
+        } else {
+            0
+        }
+    }
+
     /// The resolved connection cap for this configuration's backend.
     pub fn effective_max_connections(&self) -> usize {
         if self.max_connections > 0 {
@@ -227,6 +257,8 @@ pub struct Server {
     worker_handles: Vec<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     checkpoint_handle: Option<JoinHandle<()>>,
+    /// The follower's replication pull loop (`follower_of` only).
+    repl_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -272,6 +304,15 @@ impl Server {
             None
         };
 
+        // A follower starts its pull loop before (and independently of)
+        // the listener: replication is outbound, and the node answers
+        // queries from whatever state it has replicated so far.
+        let repl_handle = if shared.cfg.follower_of.is_some() {
+            Some(crate::repl::spawn_pull_thread(Arc::clone(&shared)))
+        } else {
+            None
+        };
+
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
         match backend {
             Backend::Threads => {
@@ -306,6 +347,7 @@ impl Server {
                     worker_handles,
                     conn_handles,
                     checkpoint_handle,
+                    repl_handle,
                 })
             }
             Backend::Epoll => {
@@ -323,6 +365,7 @@ impl Server {
                         worker_handles: Vec::new(),
                         conn_handles,
                         checkpoint_handle,
+                        repl_handle,
                     })
                 }
                 #[cfg(not(target_os = "linux"))]
@@ -389,6 +432,33 @@ impl Server {
         self.shared.event_loops
     }
 
+    /// The replication role code: 1 = primary, 2 = follower.
+    pub fn role(&self) -> u8 {
+        self.shared.role_code()
+    }
+
+    /// Promotes this node to primary in-process (the wire equivalent is
+    /// [`fgcs_wire::Frame::Promote`]). Idempotent.
+    pub fn promote(&self) {
+        self.shared.promote();
+    }
+
+    /// Newest replication seq this node has allocated (primary) or
+    /// applied (follower); 0 before anything was replicated.
+    pub fn repl_seq(&self) -> u64 {
+        self.shared.repl.head_seq()
+    }
+
+    /// Highest applied-seq a pulling follower has acknowledged.
+    pub fn repl_acked_seq(&self) -> u64 {
+        self.shared.repl.acked_seq()
+    }
+
+    /// Whether the follower pull loop stopped on a divergence tripwire.
+    pub fn repl_failed(&self) -> bool {
+        self.shared.repl_failed.load(Ordering::Acquire)
+    }
+
     /// Contention numbers for every instrumented lock category, in a
     /// fixed order. `counters` covers the slotted stats counters; the
     /// rest are the [`crate::state`] categories (online model, ingest
@@ -439,6 +509,11 @@ impl Server {
             let _ = h.join();
         }
         if let Some(h) = self.checkpoint_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.repl_handle.take() {
+            // The pull loop re-checks the shutdown flag between
+            // requests and sleeps are capped, so this join is bounded.
             let _ = h.join();
         }
         for h in self.worker_handles.drain(..) {
@@ -586,6 +661,15 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                     }
                 }
             }
+        }
+        // Re-check between requests, not just on read timeouts: a
+        // client that never pauses (a follower pulling the replication
+        // log flat-out) would otherwise keep this thread alive — and
+        // `Server::shutdown` joining it — forever. Frames already
+        // decoded got their replies above, so the one-reply-per-frame
+        // identity holds for everything the server accepted.
+        if shared.shutting_down() {
+            return;
         }
         match stream.read(&mut buf) {
             Ok(0) => return, // peer closed

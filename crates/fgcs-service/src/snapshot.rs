@@ -64,6 +64,10 @@ pub(crate) struct MachineSnapshot {
     /// The transition sequence counter — persisted so seqs continue
     /// monotonically instead of restarting at 1 and colliding.
     pub next_seq: u64,
+    /// Newest replication-log seq applied to this machine — the
+    /// exactly-once guard for replication resync (DESIGN.md §13).
+    /// Absent in pre-replication snapshot files; parsed as 0.
+    pub last_repl_seq: u64,
     pub records: Vec<TraceRecord>,
     pub transitions: Vec<WireTransition>,
 }
@@ -74,6 +78,11 @@ pub(crate) struct SnapshotData {
     /// Milliseconds of serving time accumulated across all lives of
     /// this server, so restored ingest rates stay meaningful.
     pub elapsed_ms: u64,
+    /// The replication floor this snapshot is consistent with: every
+    /// log entry with seq ≤ this value is fully contained (the
+    /// collector reads it before capturing any machine). Absent in
+    /// pre-replication snapshot files; parsed as 0.
+    pub repl_seq: u64,
     pub counters: CounterValues,
     /// Ascending machine id.
     pub machines: Vec<MachineSnapshot>,
@@ -130,6 +139,7 @@ fn machine_to_json(m: &MachineSnapshot) -> String {
         .opt_u64("last_t", m.last_t)
         .u64("out_of_order", m.out_of_order)
         .u64("next_seq", m.next_seq)
+        .u64("last_repl_seq", m.last_repl_seq)
         .u64("records", m.records.len() as u64)
         .u64("transitions", m.transitions.len() as u64);
     w.finish()
@@ -164,7 +174,8 @@ pub(crate) fn serialize_snapshot(data: &SnapshotData) -> String {
         .str("kind", "snapshot")
         .u64("version", SNAPSHOT_VERSION)
         .u64("machines", data.machines.len() as u64)
-        .u64("elapsed_ms", data.elapsed_ms);
+        .u64("elapsed_ms", data.elapsed_ms)
+        .u64("repl_seq", data.repl_seq);
     push(&mut body, header.finish());
     lines += 1;
     for m in &data.machines {
@@ -216,6 +227,18 @@ fn get_u64(o: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
     get(o, key)?
         .as_u64()
         .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+/// Reads a u64 field that pre-replication snapshot versions did not
+/// write: a missing key yields `default` (old files restore cleanly),
+/// but a present key with the wrong type is still an error.
+fn get_u64_or(o: &BTreeMap<String, Value>, key: &str, default: u64) -> Result<u64, String> {
+    match o.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} is not an unsigned integer")),
+    }
 }
 
 fn get_f64(o: &BTreeMap<String, Value>, key: &str) -> Result<f64, String> {
@@ -288,6 +311,7 @@ fn parse_machine(o: &BTreeMap<String, Value>) -> Result<(MachineSnapshot, u64, u
         last_t: get_opt_u64(o, "last_t")?,
         out_of_order: get_u64(o, "out_of_order")?,
         next_seq: get_u64(o, "next_seq")?,
+        last_repl_seq: get_u64_or(o, "last_repl_seq", 0)?,
         records: Vec::new(),
         transitions: Vec::new(),
     };
@@ -345,6 +369,7 @@ pub(crate) fn parse_snapshot(text: &str) -> Result<SnapshotData, String> {
     }
     let n_machines = get_u64(h, "machines")? as usize;
     let elapsed_ms = get_u64(h, "elapsed_ms")?;
+    let repl_seq = get_u64_or(h, "repl_seq", 0)?;
 
     let mut machines: Vec<MachineSnapshot> = Vec::with_capacity(n_machines);
     let mut expected: BTreeMap<u32, (usize, u64, u64)> = BTreeMap::new();
@@ -432,6 +457,7 @@ pub(crate) fn parse_snapshot(text: &str) -> Result<SnapshotData, String> {
     }
     Ok(SnapshotData {
         elapsed_ms,
+        repl_seq,
         counters: counters.ok_or("missing counters line")?,
         machines,
     })
@@ -625,6 +651,7 @@ mod tests {
             last_t: Some(5130),
             out_of_order: 1,
             next_seq: 5,
+            last_repl_seq: 42,
             records,
             transitions: vec![
                 WireTransition {
@@ -660,6 +687,7 @@ mod tests {
             last_t: Some(45),
             out_of_order: 0,
             next_seq: 2,
+            last_repl_seq: 0,
             records: Vec::new(),
             transitions: vec![WireTransition {
                 seq: 1,
@@ -669,6 +697,7 @@ mod tests {
         };
         SnapshotData {
             elapsed_ms: 7777,
+            repl_seq: 42,
             counters: CounterValues {
                 ingested_batches: 10,
                 ingested_samples: 200,
@@ -696,6 +725,34 @@ mod tests {
             back.machines[0].records[1].avail_cpu.to_bits(),
             (0.1f64 + 0.2).to_bits()
         );
+    }
+
+    #[test]
+    fn pre_replication_snapshots_parse_with_zero_repl_cursors() {
+        // Reconstruct the format as written before the replication
+        // fields existed: same lines, minus `repl_seq` in the header
+        // and `last_repl_seq` on machine lines, with a recomputed
+        // trailer. Such files live in real snapshot directories and
+        // must keep restoring.
+        let data = sample_data();
+        let text = serialize_snapshot(&data);
+        let body_end = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+        let old_body = text[..body_end]
+            .replace(",\"repl_seq\":42", "")
+            .replace(",\"last_repl_seq\":42", "")
+            .replace(",\"last_repl_seq\":0", "");
+        let lines = old_body.lines().count() as u64;
+        let crc = crc32(old_body.as_bytes());
+        let mut end = ObjWriter::new();
+        end.str("kind", "end")
+            .u64("lines", lines)
+            .u64("crc", crc as u64);
+        let old_text = format!("{old_body}{}\n", end.finish());
+        let back = parse_snapshot(&old_text).expect("old format parses");
+        assert_eq!(back.repl_seq, 0);
+        assert!(back.machines.iter().all(|m| m.last_repl_seq == 0));
+        assert_eq!(back.machines.len(), data.machines.len());
+        assert_eq!(back.machines[0].records, data.machines[0].records);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -12,8 +12,9 @@ use fgcs_core::model::AvailState;
 use fgcs_core::monitor::{Monitor, Observation, ResourceProbe};
 use fgcs_predict::OnlineAvailabilityModel;
 use fgcs_testbed::{OccurrenceRecorder, TraceRecord};
-use fgcs_wire::{MachineStat, SampleLoad, StatsPayload, WireSample, WireTransition};
+use fgcs_wire::{MachineStat, ReplEntry, SampleLoad, StatsPayload, WireSample, WireTransition};
 
+use crate::repl::{ReplLog, ROLE_FOLLOWER, ROLE_PRIMARY};
 use crate::server::ServiceConfig;
 use crate::snapshot::{self, MachineSnapshot, SnapshotData, SnapshotSink};
 
@@ -154,6 +155,11 @@ pub(crate) struct MachineState {
     /// keep climbing monotonically across a restart instead of
     /// restarting at 1 and colliding with what clients already saw.
     next_seq: u64,
+    /// Newest replication-log seq applied to (primary: stamped onto)
+    /// this machine, persisted in snapshots. The exactly-once guard:
+    /// a restoring or resyncing node skips any pulled entry at or
+    /// below this stamp (DESIGN.md §13).
+    pub(crate) last_repl_seq: u64,
 }
 
 impl MachineState {
@@ -165,6 +171,7 @@ impl MachineState {
             last_t: None,
             out_of_order: 0,
             next_seq: 1,
+            last_repl_seq: 0,
         }
     }
 
@@ -178,6 +185,7 @@ impl MachineState {
             last_t: self.last_t,
             out_of_order: self.out_of_order,
             next_seq: self.next_seq,
+            last_repl_seq: self.last_repl_seq,
             records: self.recorder.records().to_vec(),
             transitions: self.transitions.clone(),
         }
@@ -206,6 +214,7 @@ impl MachineState {
             last_t: snap.last_t,
             out_of_order: snap.out_of_order,
             next_seq: snap.next_seq,
+            last_repl_seq: snap.last_repl_seq,
         })
     }
 
@@ -279,6 +288,12 @@ impl MachineState {
 
     pub(crate) fn last_t_opt(&self) -> Option<u64> {
         self.last_t
+    }
+
+    /// The transition-seq counter, exposed for the replication
+    /// divergence tripwires (`ReplEntry::next_seq_after`).
+    pub(crate) fn next_transition_seq(&self) -> u64 {
+        self.next_seq
     }
 
     pub(crate) fn records(&self) -> &[TraceRecord] {
@@ -526,10 +541,22 @@ pub(crate) struct Shared {
     pub started_at: Instant,
     /// Serving time accumulated by previous lives of this server
     /// (restored from snapshot), so `ingest_rate` spans restarts.
-    prior_elapsed_ms: u64,
+    /// Atomic because a runtime snapshot install (follower resync)
+    /// rewrites it through `&self`.
+    prior_elapsed_ms: AtomicU64,
     /// Where periodic and shutdown checkpoints go; `None` disables
     /// snapshotting entirely.
     snapshots: Option<SnapshotSink>,
+    /// The replication seq log (capacity 0 when replication is off).
+    pub(crate) repl: ReplLog,
+    /// Replication role: `ROLE_PRIMARY` or `ROLE_FOLLOWER`. A follower
+    /// rejects `SampleBatch` with `NotPrimary` and runs the pull loop;
+    /// `Promote` flips this exactly once.
+    role: AtomicU8,
+    /// Set when the pull loop hit a divergence tripwire and stopped —
+    /// the node keeps answering queries from its frozen state but must
+    /// never be promoted.
+    pub(crate) repl_failed: AtomicBool,
 }
 
 impl Shared {
@@ -548,7 +575,13 @@ impl Shared {
             None => None,
         };
         let event_loops = cfg.resolved_event_loops().max(1);
-        let mut shared = Shared {
+        let role = if cfg.follower_of.is_some() {
+            ROLE_FOLLOWER
+        } else {
+            ROLE_PRIMARY
+        };
+        let repl = ReplLog::new(cfg.repl_capacity());
+        let shared = Shared {
             shards,
             online: Mutex::new(online),
             queue: Mutex::new(queue),
@@ -560,13 +593,16 @@ impl Shared {
             event_loops,
             active_conns: AtomicU64::new(0),
             started_at: Instant::now(),
-            prior_elapsed_ms: 0,
+            prior_elapsed_ms: AtomicU64::new(0),
             snapshots,
+            repl,
+            role: AtomicU8::new(role),
+            repl_failed: AtomicBool::new(false),
             cfg,
         };
         if let Some(dir) = shared.cfg.snapshot_dir.clone() {
             if let Some(data) = snapshot::load_latest(Path::new(&dir)) {
-                if let Err(e) = shared.restore_from(data) {
+                if let Err(e) = shared.install_snapshot(data) {
                     // A snapshot that parsed but doesn't fit the current
                     // config (e.g. a changed detector) — start fresh
                     // rather than guess.
@@ -578,8 +614,14 @@ impl Shared {
     }
 
     /// Applies a parsed snapshot all-or-nothing: every machine is
-    /// rebuilt and validated before anything is installed.
-    fn restore_from(&mut self, data: SnapshotData) -> Result<(), String> {
+    /// rebuilt and validated before anything is installed. Works
+    /// through `&self` so a follower can install a snapshot-resync
+    /// pulled from its primary at runtime (DESIGN.md §13) — existing
+    /// state is discarded shard by shard, so concurrent queries may
+    /// briefly see a mix of old and new machines mid-install; a node
+    /// being resynced was serving stale state anyway.
+    pub(crate) fn install_snapshot(&self, data: SnapshotData) -> Result<(), String> {
+        let repl_floor = data.repl_seq;
         let mut restored: Vec<(u32, MachineState)> = Vec::with_capacity(data.machines.len());
         for snap in data.machines {
             let machine = snap.machine;
@@ -603,26 +645,56 @@ impl Shared {
         if let Some(h) = horizon {
             online.observe_time(h);
         }
+        let max_stamp = restored
+            .iter()
+            .map(|(_, st)| st.last_repl_seq)
+            .max()
+            .unwrap_or(0);
+        for shard in self.shards.iter() {
+            lock_timed(shard, &self.locks.shards).clear();
+        }
         for (id, st) in restored {
             let shard = &self.shards[id as usize % self.shards.len()];
             shard.lock().unwrap().insert(id, Arc::new(Mutex::new(st)));
         }
         *self.online.lock().unwrap() = online;
         self.counters.set_all(data.counters);
-        self.prior_elapsed_ms = data.elapsed_ms;
+        self.prior_elapsed_ms
+            .store(data.elapsed_ms, Ordering::Release);
+        if self.is_primary() {
+            // A restarted primary must never re-allocate a seq some
+            // machine cell already carries (the snapshot header is a
+            // floor: stamps above it come from entries logged while
+            // the snapshot was being collected).
+            self.repl.raise_next(repl_floor.max(max_stamp) + 1);
+        } else {
+            // A follower resumes pulling just past the snapshot's
+            // floor; entries in (floor, max_stamp] that some machines
+            // already contain are skipped by their per-machine stamp.
+            self.repl.reset_to(repl_floor);
+        }
         Ok(())
     }
 
     /// Total serving time across all lives of this server, in ms.
     fn elapsed_ms(&self) -> u64 {
-        self.prior_elapsed_ms + self.started_at.elapsed().as_millis() as u64
+        self.prior_elapsed_ms.load(Ordering::Acquire) + self.started_at.elapsed().as_millis() as u64
     }
 
     /// Collects a complete snapshot of the current state. Machines are
     /// captured one at a time under their own locks (per-machine
     /// consistency); the counters are copied under their single lock, so
     /// they are mutually consistent as a set.
+    ///
+    /// The replication floor is read **before** any machine is
+    /// captured: log append/apply and the machine mutation share the
+    /// machine's critical section, so every entry at or below the head
+    /// observed here is fully contained in the captures that follow.
+    /// Entries above the floor may be partially contained; a restoring
+    /// node resumes pulling just past the floor and the per-machine
+    /// `last_repl_seq` stamps skip exactly the contained overlap.
     pub(crate) fn collect_snapshot(&self) -> SnapshotData {
+        let repl_seq = self.repl.head_seq();
         let machines = self
             .machines_sorted()
             .into_iter()
@@ -630,6 +702,7 @@ impl Shared {
             .collect();
         SnapshotData {
             elapsed_ms: self.elapsed_ms(),
+            repl_seq,
             counters: self.counters.snapshot(),
             machines,
         }
@@ -661,6 +734,33 @@ impl Shared {
 
     pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Whether this node currently accepts `SampleBatch` ingest.
+    pub(crate) fn is_primary(&self) -> bool {
+        self.role.load(Ordering::Acquire) == ROLE_PRIMARY
+    }
+
+    /// The wire role code (`ReplStatusReply::role`).
+    pub(crate) fn role_code(&self) -> u8 {
+        self.role.load(Ordering::Acquire)
+    }
+
+    /// Promotes a follower to primary (idempotent). The pull loop
+    /// observes the flip and exits; the allocation cursor is raised
+    /// past every stamp any machine carries so the new primary can
+    /// never re-allocate an applied seq.
+    pub(crate) fn promote(&self) {
+        if self.role.swap(ROLE_PRIMARY, Ordering::AcqRel) == ROLE_PRIMARY {
+            return;
+        }
+        let max_stamp = self
+            .machines_sorted()
+            .into_iter()
+            .map(|(_, cell)| cell.lock().unwrap().last_repl_seq)
+            .max()
+            .unwrap_or(0);
+        self.repl.raise_next(max_stamp + 1);
     }
 
     fn shard(&self, machine: u32) -> &StateShard {
@@ -737,21 +837,81 @@ impl Shared {
                 started.extend(m.ingest_sample(&self.cfg, s));
                 max_t = Some(max_t.map_or(s.t, |t: u64| t.max(s.t)));
             }
+            if self.repl.enabled() && self.is_primary() {
+                // Seq allocation nests the log lock inside the machine
+                // lock (machine → log, the fixed order), so log order
+                // equals seq order and the stamp lands in the same
+                // critical section as the mutation it describes.
+                let seq = self.repl.append_local(
+                    batch.machine,
+                    batch.samples.clone(),
+                    m.last_t(),
+                    m.next_transition_seq(),
+                );
+                m.last_repl_seq = seq;
+            }
         }
-        // Online-model updates happen outside the machine lock; the
-        // model has its own.
+        self.finish_ingest(batch.machine, batch.samples.len(), started, max_t);
+    }
+
+    /// The post-machine-lock half of ingest: online-model updates
+    /// (under the model's own lock) and the accounting counters.
+    fn finish_ingest(&self, machine: u32, n_samples: usize, started: Vec<u64>, max_t: Option<u64>) {
         let mut online = self.lock_online();
         if let Some(t) = max_t {
             online.observe_time(t);
         }
         for at in started {
-            online.record_event(batch.machine, at);
+            online.record_event(machine, at);
         }
         drop(online);
         self.counters.update(|c| {
             c.ingested_batches += 1;
-            c.ingested_samples += batch.samples.len() as u64;
+            c.ingested_samples += n_samples as u64;
         });
+    }
+
+    /// Applies one pulled replication entry (follower side): replays
+    /// the raw samples through the normal ingest path, stamps the
+    /// machine, mirrors the entry into this node's own log, and
+    /// asserts the divergence tripwires. An entry at or below the
+    /// machine's stamp is a duplicate delivery and skipped whole —
+    /// only the log cursor advances. Errors are fatal to replication.
+    pub(crate) fn apply_repl_entry(&self, entry: &ReplEntry) -> Result<(), String> {
+        let cell = self.machine_entry(entry.machine);
+        let mut started = Vec::new();
+        let mut max_t = None;
+        let mut applied = false;
+        {
+            let mut m = lock_timed(&cell, &self.locks.machines);
+            if entry.seq > m.last_repl_seq {
+                for s in &entry.samples {
+                    started.extend(m.ingest_sample(&self.cfg, s));
+                    max_t = Some(max_t.map_or(s.t, |t: u64| t.max(s.t)));
+                }
+                m.last_repl_seq = entry.seq;
+                if m.last_t() != entry.last_t_after
+                    || m.next_transition_seq() != entry.next_seq_after
+                {
+                    return Err(format!(
+                        "machine {} seq {}: cursors landed at last_t {} / next_seq {}, \
+                         primary had {} / {}",
+                        entry.machine,
+                        entry.seq,
+                        m.last_t(),
+                        m.next_transition_seq(),
+                        entry.last_t_after,
+                        entry.next_seq_after
+                    ));
+                }
+                applied = true;
+            }
+            self.repl.append_remote(entry)?;
+        }
+        if applied {
+            self.finish_ingest(entry.machine, entry.samples.len(), started, max_t);
+        }
+        Ok(())
     }
 
     /// Snapshot for the `Stats` frame (also exposed on [`crate::Server`]).

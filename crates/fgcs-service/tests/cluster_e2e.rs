@@ -1,0 +1,342 @@
+//! Replicated cluster mode, end to end: follower seq-log streaming,
+//! promotion, follower crash-restart resubscription, and kill-primary
+//! failover through the routing client.
+//!
+//! The contract under test (DESIGN.md §13): a follower pulling the
+//! primary's replication log rebuilds **bit-identical** state (the
+//! entries carry the raw ingested batches and ingest is deterministic);
+//! a follower restarted mid-stream resubscribes from the replication
+//! cursor its snapshot restored — never from scratch, never skipping —
+//! and still converges bit-identically; and killing the primary under
+//! live load, promoting the follower, and failing the router over loses
+//! zero records: the cluster's final state matches an unkilled
+//! single-server reference on the same trace, record for record.
+
+#![cfg(target_os = "linux")]
+
+use fgcs_core::backoff::BackoffPolicy;
+use fgcs_service::cluster::{ClusterClient, ClusterConfig, ShardSpec};
+use fgcs_service::{
+    Backend, ClientConfig, Server, ServiceClient, ServiceConfig, ROLE_FOLLOWER, ROLE_PRIMARY,
+};
+use fgcs_wire::{Frame, SampleLoad, WireSample};
+
+const MACHINES: u32 = 3;
+const SAMPLES: u64 = 400;
+
+/// The deterministic replay wave shared by the restart smokes: sample
+/// `i` of machine `m` at `t = i * 15`, 40 samples busy / 40 idle,
+/// phase-shifted per machine.
+fn wave_sample(machine: u32, i: u64) -> WireSample {
+    let busy = ((i + 7 * machine as u64) / 40) % 2 == 1;
+    WireSample {
+        t: i * 15,
+        load: SampleLoad::Direct(if busy { 0.9 } else { 0.05 }),
+        host_resident_mb: 100,
+        alive: true,
+    }
+}
+
+fn connect(addr: &str) -> ServiceClient {
+    let mut cfg = ClientConfig::new(addr);
+    cfg.backoff_unit_ms = 1;
+    ServiceClient::connect(cfg).expect("client connects")
+}
+
+fn primary_config() -> ServiceConfig {
+    ServiceConfig {
+        backend: Backend::Threads,
+        repl_log_capacity: 4096,
+        ..Default::default()
+    }
+}
+
+fn follower_config(primary_addr: &str) -> ServiceConfig {
+    ServiceConfig {
+        backend: Backend::Threads,
+        follower_of: Some(primary_addr.to_string()),
+        pull_interval_ms: 1,
+        ..Default::default()
+    }
+}
+
+/// Streams wave samples `range` for every machine directly to `client`.
+fn stream_wave(client: &mut ServiceClient, range: std::ops::Range<u64>) {
+    for machine in 1..=MACHINES {
+        let todo: Vec<WireSample> = range.clone().map(|i| wave_sample(machine, i)).collect();
+        for chunk in todo.chunks(50) {
+            let reply = client
+                .request(&Frame::SampleBatch {
+                    machine,
+                    samples: chunk.to_vec(),
+                })
+                .expect("batch sent");
+            assert!(matches!(reply, Frame::Ack { .. }), "tag {}", reply.tag());
+        }
+    }
+}
+
+/// Polls `Stats` until every machine's pipeline on `client`'s server
+/// has consumed its sample at `final_i`.
+fn wait_caught_up(client: &mut ServiceClient, final_i: u64) {
+    let final_t = final_i * 15;
+    for _ in 0..1_000 {
+        let Frame::StatsReply(stats) = client.request(&Frame::QueryStats).unwrap() else {
+            panic!("stats reply expected")
+        };
+        let done = (1..=MACHINES).all(|m| {
+            stats
+                .machines
+                .iter()
+                .any(|s| s.machine == m && s.last_t >= final_t)
+        });
+        if done && stats.queue_depth == 0 {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server did not catch up to sample {final_i}");
+}
+
+fn repl_status(client: &mut ServiceClient) -> (u8, u64, u64) {
+    match client.request(&Frame::ReplStatus).unwrap() {
+        Frame::ReplStatusReply {
+            role,
+            applied_seq,
+            acked_seq,
+            ..
+        } => (role, applied_seq, acked_seq),
+        other => panic!("repl status reply expected, got tag {}", other.tag()),
+    }
+}
+
+/// Asserts every machine's records and transitions are identical
+/// between two servers.
+fn assert_bit_identical(a: &Server, b: &Server, what: &str) {
+    for m in 1..=MACHINES {
+        assert_eq!(
+            a.records(m).expect("a streamed"),
+            b.records(m).expect("b streamed"),
+            "{what}: machine {m} occurrence records diverge"
+        );
+        assert_eq!(
+            a.transitions(m).expect("a streamed"),
+            b.transitions(m).expect("b streamed"),
+            "{what}: machine {m} transition log diverges"
+        );
+    }
+}
+
+fn snap_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fgcs-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A follower streaming the primary's seq log converges to the same
+/// state bit for bit, and promotion turns it into a primary that
+/// accepts ingest.
+#[test]
+fn follower_converges_bit_identical_and_promotes() {
+    let primary = Server::start(primary_config()).expect("primary");
+    let follower =
+        Server::start(follower_config(&primary.local_addr().to_string())).expect("follower");
+
+    let mut to_primary = connect(&primary.local_addr().to_string());
+    stream_wave(&mut to_primary, 0..SAMPLES);
+    wait_caught_up(&mut to_primary, SAMPLES - 1);
+
+    let mut to_follower = connect(&follower.local_addr().to_string());
+    wait_caught_up(&mut to_follower, SAMPLES - 1);
+    assert_bit_identical(&primary, &follower, "replicated catch-up");
+    assert!(!follower.repl_failed(), "no divergence tripwire fired");
+
+    // The follower applied everything the primary logged, and the
+    // primary saw the acks come back (acks ride the pull requests, so
+    // the last ack can lag one pull interval).
+    let (role, applied, _) = repl_status(&mut to_follower);
+    assert_eq!(role, ROLE_FOLLOWER);
+    assert_eq!(applied, primary.repl_seq(), "follower applied the full log");
+    for _ in 0..200 {
+        if primary.repl_acked_seq() == primary.repl_seq() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(primary.repl_acked_seq(), primary.repl_seq());
+
+    // A follower refuses ingest with the typed routing signal…
+    let reply = to_follower
+        .request(&Frame::SampleBatch {
+            machine: 1,
+            samples: vec![wave_sample(1, SAMPLES)],
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Frame::Error { code, .. } if code == fgcs_wire::ErrorCode::NotPrimary),
+        "follower must reject ingest: {reply:?}"
+    );
+
+    // …until promoted, after which it ingests like any primary.
+    let promoted = to_follower.request(&Frame::Promote).unwrap();
+    assert!(matches!(promoted, Frame::Ack { .. }));
+    let (role, _, _) = repl_status(&mut to_follower);
+    assert_eq!(role, ROLE_PRIMARY);
+    let reply = to_follower
+        .request(&Frame::SampleBatch {
+            machine: 1,
+            samples: vec![wave_sample(1, SAMPLES)],
+        })
+        .unwrap();
+    assert!(matches!(reply, Frame::Ack { .. }), "promoted node ingests");
+
+    primary.shutdown();
+    follower.shutdown();
+}
+
+/// A follower stopped mid-stream restarts from its snapshot, carries a
+/// positive replication cursor in that snapshot, resubscribes from it,
+/// and converges bit-identically — the crash-recovery path composed
+/// with replication.
+#[test]
+fn follower_restart_resubscribes_from_snapshot_cursor() {
+    let dir = snap_dir("resub");
+    let primary = Server::start(primary_config()).expect("primary");
+    let mut follower_cfg = follower_config(&primary.local_addr().to_string());
+    follower_cfg.snapshot_dir = Some(dir.to_string_lossy().into_owned());
+    follower_cfg.snapshot_interval_ms = 60_000; // the final checkpoint is the one that matters
+
+    let follower = Server::start(follower_cfg.clone()).expect("follower, first life");
+    let mut to_primary = connect(&primary.local_addr().to_string());
+    stream_wave(&mut to_primary, 0..SAMPLES / 2);
+    wait_caught_up(&mut to_primary, SAMPLES / 2 - 1);
+    let mut to_follower = connect(&follower.local_addr().to_string());
+    wait_caught_up(&mut to_follower, SAMPLES / 2 - 1);
+    // Graceful stop writes the final checkpoint with the follower's
+    // replication cursor in the header.
+    follower.shutdown();
+
+    let floor_in_snapshot = std::fs::read_dir(&dir)
+        .expect("snapshot dir exists")
+        .filter_map(|e| std::fs::read_to_string(e.ok()?.path()).ok())
+        .filter_map(|body| {
+            let (_, tail) = body.split_once("\"repl_seq\":")?;
+            tail.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .expect("a snapshot carrying repl_seq");
+    assert!(
+        floor_in_snapshot > 0,
+        "the snapshot must persist a positive replication cursor"
+    );
+
+    // The primary keeps moving while the follower is down.
+    stream_wave(&mut to_primary, SAMPLES / 2..SAMPLES);
+    wait_caught_up(&mut to_primary, SAMPLES - 1);
+
+    // Second life: restore, resubscribe from the restored cursor, and
+    // converge on the full wave.
+    let follower = Server::start(follower_cfg).expect("follower, second life");
+    let mut to_follower = connect(&follower.local_addr().to_string());
+    wait_caught_up(&mut to_follower, SAMPLES - 1);
+    assert_bit_identical(&primary, &follower, "restart + resubscribe");
+    assert!(!follower.repl_failed());
+    let (_, applied, _) = repl_status(&mut to_follower);
+    assert_eq!(applied, primary.repl_seq());
+
+    primary.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance scenario: kill the primary mid-replay under the
+/// router, promote its follower, fail the router over — zero records
+/// lost, final state bit-identical to an unkilled single-server
+/// reference on the same trace.
+#[test]
+fn kill_primary_promote_follower_router_loses_nothing() {
+    // Unkilled reference.
+    let reference = Server::start(ServiceConfig {
+        backend: Backend::Threads,
+        ..Default::default()
+    })
+    .expect("reference");
+    let mut to_reference = connect(&reference.local_addr().to_string());
+    stream_wave(&mut to_reference, 0..SAMPLES);
+    wait_caught_up(&mut to_reference, SAMPLES - 1);
+
+    // The replicated shard.
+    let primary = Server::start(primary_config()).expect("primary");
+    let follower =
+        Server::start(follower_config(&primary.local_addr().to_string())).expect("follower");
+    let mut cfg = ClusterConfig::new(vec![ShardSpec {
+        name: "shard-0".into(),
+        primary_addr: primary.local_addr().to_string(),
+        follower_addr: Some(follower.local_addr().to_string()),
+    }]);
+    cfg.backoff = BackoffPolicy { base: 2, cap: 20 };
+    cfg.max_attempts = 12;
+    let mut router = ClusterClient::connect(cfg).expect("router");
+
+    // First half of the wave through the router.
+    for machine in 1..=MACHINES {
+        let first: Vec<WireSample> = (0..SAMPLES / 2).map(|i| wave_sample(machine, i)).collect();
+        for chunk in first.chunks(50) {
+            let reply = router.ingest(machine, chunk.to_vec()).expect("ingest");
+            assert!(matches!(reply, Frame::Ack { .. }));
+        }
+    }
+    // Let the follower ack everything the primary logged, so the kill
+    // provably loses nothing up to the acked seq.
+    let mut to_follower = connect(&follower.local_addr().to_string());
+    wait_caught_up(&mut to_follower, SAMPLES / 2 - 1);
+    let acked_at_kill = primary.repl_acked_seq();
+    let head_at_kill = primary.repl_seq();
+
+    // Kill the primary, promote the follower.
+    primary.shutdown();
+    let promoted = to_follower.request(&Frame::Promote).unwrap();
+    assert!(matches!(promoted, Frame::Ack { .. }));
+
+    // Nothing acked was lost: the promoted follower applied at least
+    // everything the primary had acknowledged back to it.
+    let (role, applied, _) = repl_status(&mut to_follower);
+    assert_eq!(role, ROLE_PRIMARY);
+    assert!(
+        applied >= acked_at_kill,
+        "promoted follower applied {applied}, primary had acked {acked_at_kill}"
+    );
+    assert_eq!(
+        applied, head_at_kill,
+        "the follower was fully caught up at the kill"
+    );
+
+    // Second half through the router: the cached route points at the
+    // dead primary, so the first request fails over (and the ingest
+    // path resumes strictly after the follower's per-machine last_t —
+    // retried batches never double-count).
+    for machine in 1..=MACHINES {
+        let second: Vec<WireSample> = (SAMPLES / 2..SAMPLES)
+            .map(|i| wave_sample(machine, i))
+            .collect();
+        for chunk in second.chunks(50) {
+            let reply = router
+                .ingest(machine, chunk.to_vec())
+                .expect("ingest after kill");
+            assert!(matches!(reply, Frame::Ack { .. }));
+        }
+    }
+    assert!(
+        router.metrics.failovers >= 1,
+        "the router flipped to the promoted follower: {:?}",
+        router.metrics
+    );
+
+    wait_caught_up(&mut to_follower, SAMPLES - 1);
+    assert_bit_identical(&reference, &follower, "failover");
+    follower.shutdown();
+    reference.shutdown();
+}

@@ -343,11 +343,10 @@ impl Default for SupervisorConfig {
 
 /// Capped exponential backoff after the `attempt`-th consecutive crash
 /// (1-based): `base * 2^(attempt-1)`, capped. Shared by the testbed
-/// supervisor and the service client's reconnect loop.
+/// supervisor and the service client's reconnect loop; the arithmetic
+/// itself lives in [`fgcs_core::backoff`].
 pub fn backoff_delay(sup: &SupervisorConfig, attempt: u32) -> u64 {
-    sup.backoff_base_secs
-        .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
-        .min(sup.backoff_cap_secs)
+    fgcs_core::backoff::backoff_units(sup.backoff_base_secs, sup.backoff_cap_secs, attempt)
 }
 
 /// Runs the testbed with fault injection under supervision. With

@@ -20,6 +20,16 @@ pub const MAX_MACHINE_STATS: usize = 65_536;
 pub const MAX_ERROR_DETAIL: usize = 1_024;
 /// Hard cap on the token string of a [`Frame::Auth`].
 pub const MAX_AUTH_TOKEN: usize = 256;
+/// Hard cap on entries per [`Frame::ReplEntries`]. Each entry carries
+/// one ingested batch, so this bounds replication catch-up chunks.
+pub const MAX_REPL_ENTRIES_PER_FRAME: usize = 1_024;
+/// Hard cap on the serialized snapshot carried by a
+/// [`Frame::ReplSnapshot`] resync: the largest byte string that still
+/// fits a single frame under [`crate::codec::MAX_FRAME_LEN`] (8-byte
+/// seq + 4-byte length prefix). Primaries whose state outgrows this
+/// must keep enough replication log retained that followers never need
+/// a snapshot resync.
+pub const MAX_REPL_SNAPSHOT_BYTES: usize = crate::codec::MAX_FRAME_LEN - 12;
 
 /// How one sample reports CPU usage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +70,27 @@ pub struct WireTransition {
     pub at: u64,
     /// New state, coded 1..=5 (`AvailState::code`).
     pub state: u8,
+}
+
+/// One replication-log entry: an ingested sample batch plus the
+/// post-apply cursors it produced on the primary. The follower replays
+/// the batch through its own ingest path (which is deterministic) and
+/// then asserts that its cursors landed exactly on `last_t_after` /
+/// `next_seq_after` — any mismatch means the replicas have diverged and
+/// continuing would silently corrupt the follower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplEntry {
+    /// Primary-global monotone replication sequence number (1-based).
+    pub seq: u64,
+    /// Machine the batch belongs to.
+    pub machine: u32,
+    /// The machine's `last_t` after the primary applied this batch.
+    pub last_t_after: u64,
+    /// The machine's next transition seq after the primary applied
+    /// this batch.
+    pub next_seq_after: u64,
+    /// The raw samples, exactly as ingested.
+    pub samples: Vec<WireSample>,
 }
 
 /// Per-machine entry of a [`StatsPayload`].
@@ -123,6 +154,10 @@ pub enum ErrorCode {
     /// The server is at its connection cap; this connection is refused
     /// and closed.
     ConnLimit,
+    /// The request mutates ingest state but this node is a follower;
+    /// the client should fail over to the primary (or wait for this
+    /// node's promotion).
+    NotPrimary,
 }
 
 impl ErrorCode {
@@ -135,6 +170,7 @@ impl ErrorCode {
             ErrorCode::Internal => 4,
             ErrorCode::Unauthorized => 5,
             ErrorCode::ConnLimit => 6,
+            ErrorCode::NotPrimary => 7,
         }
     }
 
@@ -147,6 +183,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::Internal),
             5 => Some(ErrorCode::Unauthorized),
             6 => Some(ErrorCode::ConnLimit),
+            7 => Some(ErrorCode::NotPrimary),
             _ => None,
         }
     }
@@ -248,6 +285,59 @@ pub enum Frame {
         /// The shared secret (UTF-8, bounded by [`MAX_AUTH_TOKEN`]).
         token: String,
     },
+    /// Follower → primary: pull replication entries with
+    /// `seq > after_seq`. Doubles as the applied-seq ack — a pull for
+    /// `after_seq = N` tells the primary the follower has durably
+    /// applied everything through `N`, so the log can be trimmed.
+    ReplPull {
+        /// Highest replication seq the follower has applied.
+        after_seq: u64,
+        /// Cap on entries wanted in the reply.
+        max_entries: u32,
+    },
+    /// Primary → follower: answer to [`Frame::ReplPull`] when the
+    /// requested position is still in the log (possibly empty when the
+    /// follower is caught up).
+    ReplEntries {
+        /// Newest replication seq the primary has allocated (0 when
+        /// nothing was ever logged). Lets the follower see its lag even
+        /// on an empty reply.
+        head_seq: u64,
+        /// The entries, seq-ascending, starting just past `after_seq`.
+        entries: Vec<ReplEntry>,
+    },
+    /// Primary → follower: answer to [`Frame::ReplPull`] when the
+    /// requested position has been trimmed from the log (or the
+    /// follower is brand-new): a full serialized snapshot to install,
+    /// after which the follower resumes pulling from `repl_seq`.
+    ReplSnapshot {
+        /// Replication seq the snapshot is consistent with.
+        repl_seq: u64,
+        /// The serialized snapshot (DESIGN.md §11 format).
+        bytes: Vec<u8>,
+    },
+    /// Either role → server: request a [`Frame::ReplStatusReply`].
+    ReplStatus,
+    /// Server → client: replication-role and log-cursor status.
+    ReplStatusReply {
+        /// 1 = primary, 2 = follower.
+        role: u8,
+        /// Follower: highest replication seq applied. Primary: newest
+        /// seq allocated.
+        applied_seq: u64,
+        /// Newest seq in the retained log (0 when empty).
+        head_seq: u64,
+        /// Oldest seq in the retained log (0 when empty).
+        tail_seq: u64,
+        /// Highest applied-seq acked by a pulling follower.
+        acked_seq: u64,
+        /// Entries currently retained in the log.
+        log_len: u64,
+    },
+    /// Operator → follower: promote to primary. The node stops pulling,
+    /// starts accepting `SampleBatch` ingest and logging it for its own
+    /// followers, and replies `Ack { seq: 0 }`. Idempotent.
+    Promote,
 }
 
 impl Frame {
@@ -267,6 +357,12 @@ impl Frame {
             Frame::Transitions { .. } => 11,
             Frame::Error { .. } => 12,
             Frame::Auth { .. } => 13,
+            Frame::ReplPull { .. } => 14,
+            Frame::ReplEntries { .. } => 15,
+            Frame::ReplSnapshot { .. } => 16,
+            Frame::ReplStatus => 17,
+            Frame::ReplStatusReply { .. } => 18,
+            Frame::Promote => 19,
         }
     }
 
@@ -282,23 +378,7 @@ impl Frame {
                     });
                 }
                 put_u32(out, *machine);
-                put_u32(out, samples.len() as u32);
-                for s in samples {
-                    put_u64(out, s.t);
-                    match s.load {
-                        SampleLoad::Direct(load) => {
-                            out.push(0);
-                            put_f64(out, load);
-                        }
-                        SampleLoad::Counters { busy, total } => {
-                            out.push(1);
-                            put_u64(out, busy);
-                            put_u64(out, total);
-                        }
-                    }
-                    put_u32(out, s.host_resident_mb);
-                    out.push(s.alive as u8);
-                }
+                put_samples(out, samples);
             }
             Frame::Ack { seq } => put_u64(out, *seq),
             Frame::Busy { shed_batches } => put_u64(out, *shed_batches),
@@ -410,6 +490,67 @@ impl Frame {
                 put_u32(out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
             }
+            Frame::ReplPull {
+                after_seq,
+                max_entries,
+            } => {
+                put_u64(out, *after_seq);
+                put_u32(out, *max_entries);
+            }
+            Frame::ReplEntries { head_seq, entries } => {
+                if entries.len() > MAX_REPL_ENTRIES_PER_FRAME {
+                    return Err(EncodeError::TooManyElements {
+                        what: "replication entries",
+                        len: entries.len(),
+                        max: MAX_REPL_ENTRIES_PER_FRAME,
+                    });
+                }
+                put_u64(out, *head_seq);
+                put_u32(out, entries.len() as u32);
+                for e in entries {
+                    if e.samples.len() > MAX_SAMPLES_PER_BATCH {
+                        return Err(EncodeError::TooManyElements {
+                            what: "replication entry samples",
+                            len: e.samples.len(),
+                            max: MAX_SAMPLES_PER_BATCH,
+                        });
+                    }
+                    put_u64(out, e.seq);
+                    put_u32(out, e.machine);
+                    put_u64(out, e.last_t_after);
+                    put_u64(out, e.next_seq_after);
+                    put_samples(out, &e.samples);
+                }
+            }
+            Frame::ReplSnapshot { repl_seq, bytes } => {
+                if bytes.len() > MAX_REPL_SNAPSHOT_BYTES {
+                    return Err(EncodeError::TooManyElements {
+                        what: "replication snapshot bytes",
+                        len: bytes.len(),
+                        max: MAX_REPL_SNAPSHOT_BYTES,
+                    });
+                }
+                put_u64(out, *repl_seq);
+                put_u32(out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            Frame::ReplStatus => {}
+            Frame::ReplStatusReply {
+                role,
+                applied_seq,
+                head_seq,
+                tail_seq,
+                acked_seq,
+                log_len,
+            } => {
+                out.push(*role);
+                put_u64(out, *applied_seq);
+                put_u64(out, *head_seq);
+                put_u64(out, *tail_seq);
+                put_u64(out, *acked_seq);
+                put_u64(out, *log_len);
+            }
+            Frame::Promote => {}
         }
         Ok(())
     }
@@ -422,32 +563,7 @@ impl Frame {
         let frame = match tag {
             1 => {
                 let machine = r.u32()?;
-                let count = r.u32()? as usize;
-                if count > MAX_SAMPLES_PER_BATCH {
-                    return Err(PayloadError::new(format!(
-                        "sample count {count} exceeds cap {MAX_SAMPLES_PER_BATCH}"
-                    )));
-                }
-                let mut samples = Vec::with_capacity(count.min(1024));
-                for _ in 0..count {
-                    let t = r.u64()?;
-                    let load = match r.u8()? {
-                        0 => SampleLoad::Direct(r.f64()?),
-                        1 => SampleLoad::Counters {
-                            busy: r.u64()?,
-                            total: r.u64()?,
-                        },
-                        k => return Err(PayloadError::new(format!("unknown sample kind {k}"))),
-                    };
-                    let host_resident_mb = r.u32()?;
-                    let alive = r.flag()?;
-                    samples.push(WireSample {
-                        t,
-                        load,
-                        host_resident_mb,
-                        alive,
-                    });
-                }
+                let samples = read_samples(&mut r)?;
                 Frame::SampleBatch { machine, samples }
             }
             2 => Frame::Ack { seq: r.u64()? },
@@ -564,11 +680,123 @@ impl Frame {
                     .to_string();
                 Frame::Auth { token }
             }
+            14 => Frame::ReplPull {
+                after_seq: r.u64()?,
+                max_entries: r.u32()?,
+            },
+            15 => {
+                let head_seq = r.u64()?;
+                let count = r.u32()? as usize;
+                if count > MAX_REPL_ENTRIES_PER_FRAME {
+                    return Err(PayloadError::new(format!(
+                        "replication entry count {count} exceeds cap {MAX_REPL_ENTRIES_PER_FRAME}"
+                    )));
+                }
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let seq = r.u64()?;
+                    let machine = r.u32()?;
+                    let last_t_after = r.u64()?;
+                    let next_seq_after = r.u64()?;
+                    let samples = read_samples(&mut r)?;
+                    entries.push(ReplEntry {
+                        seq,
+                        machine,
+                        last_t_after,
+                        next_seq_after,
+                        samples,
+                    });
+                }
+                Frame::ReplEntries { head_seq, entries }
+            }
+            16 => {
+                let repl_seq = r.u64()?;
+                let len = r.u32()? as usize;
+                if len > MAX_REPL_SNAPSHOT_BYTES {
+                    return Err(PayloadError::new(format!(
+                        "replication snapshot length {len} exceeds cap {MAX_REPL_SNAPSHOT_BYTES}"
+                    )));
+                }
+                let bytes = r.bytes(len)?.to_vec();
+                Frame::ReplSnapshot { repl_seq, bytes }
+            }
+            17 => Frame::ReplStatus,
+            18 => {
+                let role = r.u8()?;
+                if !(1..=2).contains(&role) {
+                    return Err(PayloadError::new(format!(
+                        "replication role {role} outside 1..=2"
+                    )));
+                }
+                Frame::ReplStatusReply {
+                    role,
+                    applied_seq: r.u64()?,
+                    head_seq: r.u64()?,
+                    tail_seq: r.u64()?,
+                    acked_seq: r.u64()?,
+                    log_len: r.u64()?,
+                }
+            }
+            19 => Frame::Promote,
             other => return Err(PayloadError::new(format!("unknown frame tag {other}"))),
         };
         r.finish()?;
         Ok(frame)
     }
+}
+
+/// Serializes a sample list (count-prefixed), the shared layout of
+/// [`Frame::SampleBatch`] and [`Frame::ReplEntries`]. Callers enforce
+/// [`MAX_SAMPLES_PER_BATCH`] before encoding.
+fn put_samples(out: &mut Vec<u8>, samples: &[WireSample]) {
+    put_u32(out, samples.len() as u32);
+    for s in samples {
+        put_u64(out, s.t);
+        match s.load {
+            SampleLoad::Direct(load) => {
+                out.push(0);
+                put_f64(out, load);
+            }
+            SampleLoad::Counters { busy, total } => {
+                out.push(1);
+                put_u64(out, busy);
+                put_u64(out, total);
+            }
+        }
+        put_u32(out, s.host_resident_mb);
+        out.push(s.alive as u8);
+    }
+}
+
+/// Inverse of [`put_samples`], enforcing [`MAX_SAMPLES_PER_BATCH`].
+fn read_samples(r: &mut ByteReader<'_>) -> Result<Vec<WireSample>, PayloadError> {
+    let count = r.u32()? as usize;
+    if count > MAX_SAMPLES_PER_BATCH {
+        return Err(PayloadError::new(format!(
+            "sample count {count} exceeds cap {MAX_SAMPLES_PER_BATCH}"
+        )));
+    }
+    let mut samples = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let t = r.u64()?;
+        let load = match r.u8()? {
+            0 => SampleLoad::Direct(r.f64()?),
+            1 => SampleLoad::Counters {
+                busy: r.u64()?,
+                total: r.u64()?,
+            },
+            k => return Err(PayloadError::new(format!("unknown sample kind {k}"))),
+        };
+        let host_resident_mb = r.u32()?;
+        let alive = r.flag()?;
+        samples.push(WireSample {
+            t,
+            load,
+            host_resident_mb,
+            alive,
+        });
+    }
+    Ok(samples)
 }
 
 /// Validates a model-state code (1..=5, `AvailState::code`).
@@ -607,6 +835,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Unauthorized,
             ErrorCode::ConnLimit,
+            ErrorCode::NotPrimary,
         ] {
             assert_eq!(ErrorCode::from_code(c.code()), Some(c));
         }
@@ -655,6 +884,28 @@ mod tests {
             Frame::Auth {
                 token: String::new(),
             },
+            Frame::ReplPull {
+                after_seq: 0,
+                max_entries: 0,
+            },
+            Frame::ReplEntries {
+                head_seq: 0,
+                entries: vec![],
+            },
+            Frame::ReplSnapshot {
+                repl_seq: 0,
+                bytes: vec![],
+            },
+            Frame::ReplStatus,
+            Frame::ReplStatusReply {
+                role: 1,
+                applied_seq: 0,
+                head_seq: 0,
+                tail_seq: 0,
+                acked_seq: 0,
+                log_len: 0,
+            },
+            Frame::Promote,
         ];
         let mut tags: Vec<u8> = frames.iter().map(|f| f.tag()).collect();
         tags.sort_unstable();
@@ -699,6 +950,109 @@ mod tests {
         };
         let enc = at_cap.encode().unwrap();
         assert_eq!(crate::codec::decode_one(&enc).unwrap(), at_cap);
+    }
+
+    #[test]
+    fn replication_frames_round_trip() {
+        let frames = vec![
+            Frame::ReplPull {
+                after_seq: 42,
+                max_entries: 256,
+            },
+            Frame::ReplEntries {
+                head_seq: 99,
+                entries: vec![
+                    ReplEntry {
+                        seq: 43,
+                        machine: 7,
+                        last_t_after: 1_234,
+                        next_seq_after: 5,
+                        samples: vec![
+                            WireSample {
+                                t: 1_200,
+                                load: SampleLoad::Direct(0.25),
+                                host_resident_mb: 512,
+                                alive: true,
+                            },
+                            WireSample {
+                                t: 1_234,
+                                load: SampleLoad::Counters {
+                                    busy: 10,
+                                    total: 100,
+                                },
+                                host_resident_mb: 600,
+                                alive: false,
+                            },
+                        ],
+                    },
+                    ReplEntry {
+                        seq: 44,
+                        machine: 8,
+                        last_t_after: 0,
+                        next_seq_after: 1,
+                        samples: vec![],
+                    },
+                ],
+            },
+            Frame::ReplSnapshot {
+                repl_seq: 17,
+                bytes: b"{\"kind\":\"header\"}\n".to_vec(),
+            },
+            Frame::ReplStatus,
+            Frame::ReplStatusReply {
+                role: 2,
+                applied_seq: 40,
+                head_seq: 44,
+                tail_seq: 12,
+                acked_seq: 40,
+                log_len: 33,
+            },
+            Frame::Promote,
+        ];
+        for f in frames {
+            let enc = f.encode().unwrap();
+            assert_eq!(crate::codec::decode_one(&enc).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn repl_entries_respects_the_entry_cap() {
+        let entry = ReplEntry {
+            seq: 1,
+            machine: 0,
+            last_t_after: 0,
+            next_seq_after: 0,
+            samples: vec![],
+        };
+        let over = Frame::ReplEntries {
+            head_seq: 0,
+            entries: vec![entry; MAX_REPL_ENTRIES_PER_FRAME + 1],
+        };
+        assert!(matches!(
+            over.encode(),
+            Err(EncodeError::TooManyElements { .. })
+        ));
+    }
+
+    #[test]
+    fn repl_status_reply_rejects_unknown_roles() {
+        let mut enc = Frame::ReplStatusReply {
+            role: 1,
+            applied_seq: 0,
+            head_seq: 0,
+            tail_seq: 0,
+            acked_seq: 0,
+            log_len: 0,
+        }
+        .encode()
+        .unwrap();
+        // Corrupt the role byte (first payload byte) and fix the CRC.
+        enc[crate::codec::HEADER_LEN] = 9;
+        let crc = crate::codec::crc32(&enc[crate::codec::HEADER_LEN..]);
+        enc[8..12].copy_from_slice(&crc.to_le_bytes());
+        let mut d = Decoder::new();
+        d.push(&enc);
+        assert!(d.next_frame().is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ mod extension_exps;
 mod fault_exps;
 mod predict_exps;
 mod report;
+mod sched_exps;
 mod serve_exps;
 mod trace_exps;
 
@@ -83,6 +84,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "X12: fgcs-service throughput, query latency, overload backpressure (not in `all`)",
     ),
     (
+        "sched",
+        "X14: fgcs-sched prediction-driven placement vs baselines on a live cluster (not in `all`)",
+    ),
+    (
         "trace",
         "Dump the full testbed trace to results/ (JSONL + CSV)",
     ),
@@ -116,6 +121,7 @@ fn run(name: &str, quick: bool) {
         "seeds" => extension_exps::seeds(quick),
         "faults" => fault_exps::fault_matrix(quick),
         "serve" => serve_exps::serve(quick),
+        "sched" => sched_exps::sched(quick),
         "table2" => trace_exps::table2(quick),
         "fig6" => trace_exps::fig6(quick),
         "fig7" => trace_exps::fig7(quick),
@@ -141,8 +147,10 @@ fn main() {
             // `serve` measures wall-clock throughput/latency, so its
             // outputs are not byte-reproducible golden files like the
             // other CSVs; run it explicitly (`fgcs-exp serve`), the way
-            // `cargo bench` regenerates BENCH_sim.json.
-            if *n != "serve" {
+            // `cargo bench` regenerates BENCH_sim.json. `sched` splices
+            // a gate into BENCH_serve.json too, so it is likewise run
+            // explicitly (`fgcs-exp sched`).
+            if *n != "serve" && *n != "sched" {
                 run(n, quick);
             }
         }

@@ -32,6 +32,7 @@ pub use predictor::{
     HourlyRatePredictor, LastDayPredictor, MachineHourlyPredictor,
 };
 pub use proactive::{
-    compare, compare_gang, replay, replay_gang, GangConfig, Policy, PolicyOutcome, ProactiveConfig,
+    compare, compare_gang, replay, replay_gang, time_to_failure, GangConfig, MigrationTrigger,
+    Policy, PolicyOutcome, ProactiveConfig,
 };
 pub use renewal::RenewalPredictor;

@@ -29,9 +29,20 @@ pub struct OnlineAvailabilityModel {
     /// matters: the machine count normalizes the pooled shape.
     events: BTreeMap<u32, u64>,
     hour_counts: [[f64; 24]; 2],
+    /// Per-machine `(day-type, hour)` event counts, for
+    /// [`OnlineAvailabilityModel::predict_machine`]. Only machines with
+    /// at least one event carry an entry.
+    machine_hours: BTreeMap<u32, [[f64; 24]; 2]>,
     total_events: u64,
     horizon_t: u64,
 }
+
+/// Pseudo-event count weighting the pooled shape in
+/// [`OnlineAvailabilityModel::predict_machine`]: a machine's own hourly
+/// profile earns weight `n / (n + BLEND_PSEUDO_EVENTS)` after `n`
+/// events, so sparse machines lean on the fleet-wide shape and
+/// well-observed ones speak for themselves.
+const BLEND_PSEUDO_EVENTS: f64 = 12.0;
 
 impl OnlineAvailabilityModel {
     /// A fresh model. `start_weekday` anchors the weekday/weekend
@@ -62,6 +73,7 @@ impl OnlineAvailabilityModel {
         let idx = (day_type(day_index(start), self.start_weekday) == DayType::Weekend) as usize;
         let hour = ((start % SECS_PER_DAY) / 3600) as usize;
         self.hour_counts[idx][hour] += 1.0;
+        self.machine_hours.entry(machine).or_insert([[0.0; 24]; 2])[idx][hour] += 1.0;
         self.total_events += 1;
     }
 
@@ -126,6 +138,71 @@ impl OnlineAvailabilityModel {
             let hour_end = cursor - (cursor % 3600) + 3600;
             let slice = hour_end.min(end) - cursor;
             expected += rate * shape(idx, hour) * slice as f64;
+            cursor = hour_end;
+        }
+        (-expected).exp()
+    }
+
+    /// Like [`OnlineAvailabilityModel::predict`], but resolved *per
+    /// machine*: the event-rate integral blends this machine's own
+    /// `(day-type, hour)` profile with the pooled factorized model,
+    /// weighted `n / (n + BLEND_PSEUDO_EVENTS)` by the machine's event
+    /// count. The factorized model can only rank machines by overall
+    /// rate — two fleets busy at *opposite hours* look identical to it
+    /// — while this one learns each machine's schedule, which is what
+    /// placement-grade predictions need (§7: "different patterns of
+    /// host workloads").
+    pub fn predict_machine(&self, machine: u32, t: u64, window: u64) -> f64 {
+        let n = match self.events.get(&machine) {
+            Some(&n) => n as f64,
+            None => return 1.0,
+        };
+        let span = self.horizon_t.max(1) as f64;
+        let rate = n / span;
+        let own = self.machine_hours.get(&machine);
+        let weight = n / (n + BLEND_PSEUDO_EVENTS);
+
+        let mut hours_of_type = [0.0f64; 2];
+        for day in 0..self.horizon_t / SECS_PER_DAY {
+            let idx = (day_type(day, self.start_weekday) == DayType::Weekend) as usize;
+            hours_of_type[idx] += 1.0;
+        }
+        let machines_f = self.events.len().max(1) as f64;
+        let overall_rate = self.total_events as f64 / (span * machines_f);
+
+        let pooled_shape = |idx: usize, hour: usize| -> f64 {
+            let machine_secs = hours_of_type[idx] * 3600.0 * machines_f;
+            let hour_rate = if machine_secs > 0.0 {
+                self.hour_counts[idx][hour] / machine_secs
+            } else {
+                0.0
+            };
+            if overall_rate > 0.0 {
+                hour_rate / overall_rate
+            } else {
+                1.0
+            }
+        };
+        let own_rate = |idx: usize, hour: usize| -> f64 {
+            let secs = hours_of_type[idx] * 3600.0;
+            match own {
+                Some(counts) if secs > 0.0 => counts[idx][hour] / secs,
+                _ => 0.0,
+            }
+        };
+
+        let mut expected = 0.0;
+        let mut cursor = t;
+        let end = t + window;
+        while cursor < end {
+            let idx =
+                (day_type(day_index(cursor), self.start_weekday) == DayType::Weekend) as usize;
+            let hour = ((cursor % SECS_PER_DAY) / 3600) as usize;
+            let hour_end = cursor - (cursor % 3600) + 3600;
+            let slice = hour_end.min(end) - cursor;
+            let lambda =
+                weight * own_rate(idx, hour) + (1.0 - weight) * rate * pooled_shape(idx, hour);
+            expected += lambda * slice as f64;
             cursor = hour_end;
         }
         (-expected).exp()
@@ -217,6 +294,69 @@ mod tests {
     fn unknown_machine_predicts_certainty() {
         let online = OnlineAvailabilityModel::new(0);
         assert_eq!(online.predict(99, 0, 3600), 1.0);
+    }
+
+    #[test]
+    fn per_machine_prediction_separates_opposite_shifts() {
+        // Two machines, identical event totals, opposite schedules: the
+        // pooled factorized model cannot tell them apart; the
+        // per-machine blend must.
+        let mut online = OnlineAvailabilityModel::new(0);
+        online.ensure_machine(0);
+        online.ensure_machine(1);
+        online.observe_time(14 * SECS_PER_DAY);
+        for day in 0..14u64 {
+            online.record_event(0, day * SECS_PER_DAY + 10 * 3600); // day shift
+            online.record_event(1, day * SECS_PER_DAY + 22 * 3600); // night shift
+        }
+        let at = 14 * SECS_PER_DAY + 9 * 3600 + 1800; // 9:30 AM, weekday
+        let window = 2 * 3600;
+        let pooled0 = online.predict(0, at, window);
+        let pooled1 = online.predict(1, at, window);
+        assert_eq!(
+            pooled0.to_bits(),
+            pooled1.to_bits(),
+            "the factorized model is blind to per-machine schedules"
+        );
+        let m0 = online.predict_machine(0, at, window);
+        let m1 = online.predict_machine(1, at, window);
+        assert!(
+            m0 + 0.1 < m1,
+            "day-shift machine must look risky at 9:30 AM: {m0} vs {m1}"
+        );
+        // And the ranking flips at night.
+        let at_night = 14 * SECS_PER_DAY + 21 * 3600 + 1800;
+        let n0 = online.predict_machine(0, at_night, window);
+        let n1 = online.predict_machine(1, at_night, window);
+        assert!(
+            n1 + 0.1 < n0,
+            "night-shift machine risky at 9:30 PM: {n1} vs {n0}"
+        );
+    }
+
+    #[test]
+    fn sparse_machines_shrink_to_the_pooled_model() {
+        let mut online = OnlineAvailabilityModel::new(0);
+        online.ensure_machine(0);
+        online.ensure_machine(1);
+        online.observe_time(14 * SECS_PER_DAY);
+        for day in 0..14u64 {
+            online.record_event(0, day * SECS_PER_DAY + 10 * 3600);
+        }
+        // One event at hour 10: the lone-event machine's blend should
+        // sit close to the pooled prediction, not swing to its own
+        // (noisy) profile.
+        online.record_event(1, 10 * 3600);
+        let at = 14 * SECS_PER_DAY + 10 * 3600;
+        let pooled = online.predict(1, at, 3600);
+        let blended = online.predict_machine(1, at, 3600);
+        assert!(
+            (blended - pooled).abs() < 0.05,
+            "1 event of evidence must barely move the blend: pooled {pooled} blended {blended}"
+        );
+        // A machine with no events at all predicts certainty, like the
+        // pooled model does for an unknown machine.
+        assert_eq!(online.predict_machine(99, at, 3600), 1.0);
     }
 
     #[test]

@@ -442,9 +442,72 @@ pub fn compare(
     (oblivious, proactive)
 }
 
+/// SLO migration trigger used by the guest scheduler (`fgcs-sched`,
+/// DESIGN.md §14): a guest is proactively re-placed when the predicted
+/// probability of losing its host within the lookahead window reaches
+/// `fail_threshold`. The comparison is **inclusive** — a failure
+/// probability exactly at the threshold migrates — so a zero threshold
+/// means "migrate at any risk" and a threshold above 1.0 disables
+/// migration entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationTrigger {
+    /// Failure-probability threshold in `[0, 1]`.
+    pub fail_threshold: f64,
+}
+
+impl MigrationTrigger {
+    /// Creates a trigger firing at the given failure probability.
+    pub fn new(fail_threshold: f64) -> Self {
+        MigrationTrigger { fail_threshold }
+    }
+
+    /// Whether a guest whose host survives the lookahead window with
+    /// probability `survival` should be re-placed now. A non-finite
+    /// survival (a predictor bug upstream) must not strand the guest
+    /// on a dying host, so it counts as certain failure.
+    pub fn should_migrate(&self, survival: f64) -> bool {
+        !survival.is_finite() || (1.0 - survival) >= self.fail_threshold
+    }
+}
+
+/// Largest window `w <= max_horizon` (whole seconds) for which
+/// `survive(w)` stays at or above `threshold` — the scheduler's
+/// "predicted time to unavailability" of one machine. `survive` must be
+/// non-increasing in the window length, which any survival function
+/// is; the binary search probes it `O(log max_horizon)` times, so the
+/// helper is cheap enough to run over a wire-backed predictor (one
+/// `QueryAvail` round trip per probe). Returns 0 when even an
+/// instantaneous placement misses the threshold (a non-finite probe
+/// counts as a miss), and `max_horizon` when the whole horizon clears
+/// it.
+pub fn time_to_failure(
+    mut survive: impl FnMut(u64) -> f64,
+    threshold: f64,
+    max_horizon: u64,
+) -> u64 {
+    let clears = |p: f64| p.is_finite() && p >= threshold;
+    if clears(survive(max_horizon)) {
+        return max_horizon;
+    }
+    if !clears(survive(0)) {
+        return 0;
+    }
+    let (mut lo, mut hi) = (0u64, max_horizon);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if clears(survive(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::online::OnlineAvailabilityModel;
     use crate::predictor::{HistoryWindowPredictor, MachineHourlyPredictor};
     use fgcs_testbed::runner::{run_testbed, TestbedConfig};
 
@@ -453,6 +516,68 @@ mod tests {
         cfg.lab.machines = 6;
         cfg.lab.days = 28;
         run_testbed(&cfg)
+    }
+
+    #[test]
+    fn migration_threshold_is_inclusive() {
+        let trig = MigrationTrigger::new(0.25);
+        // Failure probability exactly at the threshold migrates.
+        assert!(trig.should_migrate(0.75));
+        assert!(trig.should_migrate(0.60));
+        assert!(!trig.should_migrate(0.7500001));
+        // Degenerate thresholds pin the boundary semantics down.
+        assert!(MigrationTrigger::new(0.0).should_migrate(1.0));
+        assert!(MigrationTrigger::new(1.0).should_migrate(0.0));
+        assert!(!MigrationTrigger::new(1.1).should_migrate(0.0));
+        // A broken predictor (NaN survival) must evacuate, not strand.
+        assert!(trig.should_migrate(f64::NAN));
+    }
+
+    #[test]
+    fn time_to_failure_boundary_is_inclusive() {
+        // A step survival function: >= threshold up to exactly 100s.
+        let step = |w: u64| if w <= 100 { 0.5 } else { 0.4 };
+        assert_eq!(time_to_failure(step, 0.5, 86_400), 100);
+        // Certain-failure and never-failure extremes.
+        assert_eq!(time_to_failure(|_| 0.0, 0.5, 86_400), 0);
+        assert_eq!(time_to_failure(|_| 1.0, 0.5, 86_400), 86_400);
+        assert_eq!(time_to_failure(|_| f64::NAN, 0.5, 86_400), 0);
+        assert_eq!(time_to_failure(|_| 0.9, 0.5, 0), 0);
+    }
+
+    #[test]
+    fn empty_history_never_triggers_migration() {
+        // A model that has seen no samples and no events treats every
+        // machine as event-free: survival 1.0 at any window, so the
+        // migration policy leaves guests alone and the predicted time
+        // to failure is the whole horizon.
+        let model = OnlineAvailabilityModel::new(0);
+        let surv = model.predict(7, 0, 6 * 3600);
+        assert_eq!(surv, 1.0);
+        assert!(!MigrationTrigger::new(0.5).should_migrate(surv));
+        assert_eq!(
+            time_to_failure(|w| model.predict(7, 0, w), 0.5, 86_400),
+            86_400
+        );
+    }
+
+    #[test]
+    fn all_unavailable_history_triggers_immediately() {
+        // An event at the top of every hour for a week: the machine is
+        // effectively always failing, so the trigger fires and the
+        // predicted time to failure is well under an hour.
+        let mut model = OnlineAvailabilityModel::new(0);
+        model.ensure_machine(1);
+        for h in 0..(7 * 24) {
+            model.record_event(1, h * 3600);
+        }
+        model.observe_time(7 * 86_400);
+        let now = 7 * 86_400;
+        let surv = model.predict(1, now, 3600);
+        assert!(surv < 0.5, "hourly-failing machine survives {surv}");
+        assert!(MigrationTrigger::new(0.5).should_migrate(surv));
+        let ttf = time_to_failure(|w| model.predict(1, now, w), 0.5, 86_400);
+        assert!(ttf < 3600, "ttf {ttf} for an hourly-failing machine");
     }
 
     #[test]

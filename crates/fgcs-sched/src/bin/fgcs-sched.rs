@@ -1,0 +1,166 @@
+//! `fgcs-sched`: run the guest scheduler against an availability
+//! cluster from the command line.
+//!
+//! ```text
+//! fgcs-sched --shard NAME=PRIMARY[,FOLLOWER] [--shard ...]
+//!            [--addr HOST:PORT] [--policy random|greedy|predictive]
+//!            [--user ID:BASE] [--pool N] [--default-base N]
+//!            [--tick-ms MS] [--tick-secs S]
+//! ```
+//!
+//! Prints `listening on ADDR` once bound (port 0 picks a free port),
+//! then serves the `Sched*` wire vocabulary until stdin reaches EOF —
+//! the same lifecycle contract as `fgcs-serve`, so the two compose in
+//! scripts (see the README quickstart).
+
+#[cfg(target_os = "linux")]
+fn main() {
+    linux::main()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    eprintln!("fgcs-sched: the cluster router needs Linux (epoll); no scheduler on this OS");
+    std::process::exit(2);
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io::Read;
+    use std::process::exit;
+
+    use fgcs_sched::{ClusterSource, Policy, SchedConfig, SchedServeConfig, SchedServer};
+    use fgcs_service::{ClusterClient, ClusterConfig, ShardSpec};
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: fgcs-sched --shard NAME=PRIMARY[,FOLLOWER] [--shard ...]\n\
+             \x20                 [--addr HOST:PORT] [--policy random|greedy|predictive]\n\
+             \x20                 [--user ID:BASE] [--pool N] [--default-base N]\n\
+             \x20                 [--tick-ms MS] [--tick-secs S]\n\
+             \n\
+             Schedules guest jobs over the availability cluster: --shard names\n\
+             each availability-service shard (primary address, optional\n\
+             follower). --user registers a fairshare base quota per user id;\n\
+             --pool sizes the borrowable extra pool; --default-base\n\
+             auto-registers unknown submitters. Runs until stdin reaches EOF;\n\
+             prints `listening on ADDR` once bound."
+        );
+        exit(2);
+    }
+
+    fn parse_shard(spec: &str) -> Option<ShardSpec> {
+        let (name, rest) = spec.split_once('=')?;
+        let (primary, follower) = match rest.split_once(',') {
+            Some((p, f)) => (p, Some(f.to_string())),
+            None => (rest, None),
+        };
+        if name.is_empty() || primary.is_empty() {
+            return None;
+        }
+        Some(ShardSpec {
+            name: name.to_string(),
+            primary_addr: primary.to_string(),
+            follower_addr: follower,
+        })
+    }
+
+    pub fn main() {
+        let mut serve_cfg = SchedServeConfig {
+            default_base: 1,
+            ..SchedServeConfig::default()
+        };
+        let mut sched_cfg = SchedConfig::default();
+        let mut shards: Vec<ShardSpec> = Vec::new();
+        let mut users: Vec<(u32, u64)> = Vec::new();
+
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| -> String {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("fgcs-sched: {name} needs a value");
+                    usage()
+                })
+            };
+            match arg.as_str() {
+                "--addr" => serve_cfg.addr = value("--addr"),
+                "--shard" => match parse_shard(&value("--shard")) {
+                    Some(s) => shards.push(s),
+                    None => {
+                        eprintln!("fgcs-sched: --shard wants NAME=PRIMARY[,FOLLOWER]");
+                        usage()
+                    }
+                },
+                "--policy" => match Policy::parse(&value("--policy")) {
+                    Some(p) => sched_cfg.policy = p,
+                    None => {
+                        eprintln!("fgcs-sched: --policy must be random, greedy, or predictive");
+                        usage()
+                    }
+                },
+                "--user" => {
+                    let v = value("--user");
+                    let parsed = v.split_once(':').and_then(|(id, base)| {
+                        Some((id.parse::<u32>().ok()?, base.parse::<u64>().ok()?))
+                    });
+                    match parsed {
+                        Some(u) => users.push(u),
+                        None => {
+                            eprintln!("fgcs-sched: --user wants ID:BASE");
+                            usage()
+                        }
+                    }
+                }
+                "--pool" => match value("--pool").parse() {
+                    Ok(n) => sched_cfg.pool_extra = n,
+                    Err(_) => usage(),
+                },
+                "--default-base" => match value("--default-base").parse() {
+                    Ok(n) => serve_cfg.default_base = n,
+                    Err(_) => usage(),
+                },
+                "--tick-ms" => match value("--tick-ms").parse() {
+                    Ok(n) => serve_cfg.tick_ms = n,
+                    Err(_) => usage(),
+                },
+                "--tick-secs" => match value("--tick-secs").parse() {
+                    Ok(n) => serve_cfg.tick_secs = n,
+                    Err(_) => usage(),
+                },
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("fgcs-sched: unknown argument {other}");
+                    usage()
+                }
+            }
+        }
+        if shards.is_empty() {
+            eprintln!("fgcs-sched: at least one --shard is required");
+            usage()
+        }
+
+        let client = match ClusterClient::connect(ClusterConfig::new(shards)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fgcs-sched: cluster setup failed: {e}");
+                exit(1);
+            }
+        };
+        let source = ClusterSource::new(client);
+        let server = match SchedServer::start(serve_cfg, sched_cfg, &users, source) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fgcs-sched: bind failed: {e}");
+                exit(1);
+            }
+        };
+        println!("listening on {}", server.local_addr());
+
+        // Lifecycle contract shared with fgcs-serve: run until stdin
+        // reaches EOF, then shut down cleanly.
+        let mut sink = [0u8; 4096];
+        let mut stdin = std::io::stdin();
+        while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+        server.shutdown();
+    }
+}

@@ -1,0 +1,188 @@
+//! Placement policies: how a queued guest picks its host.
+//!
+//! All three policies choose among the same candidate set (harvestable,
+//! unoccupied machines) and feed the same dispatch path, so the X14
+//! comparison is paired: the only degree of freedom is the ranking.
+
+use fgcs_stats::Rng;
+
+use crate::source::MachineView;
+
+/// The placement ranking in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Uniform-random over the candidates — the paper's oblivious
+    /// baseline.
+    Random,
+    /// Predictionless greedy: fewest unavailability occurrences
+    /// observed so far (a pure count, no temporal model), lowest id on
+    /// ties. The strongest heuristic available without a predictor.
+    Greedy,
+    /// Prediction-driven: highest predicted time-to-unavailability
+    /// ([`fgcs_predict::time_to_failure`]) for the job's remaining
+    /// runtime, survival probability over that runtime on ties.
+    Predictive,
+}
+
+impl Policy {
+    /// Stable lower-case name, used in CSV rows and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Random => "random",
+            Policy::Greedy => "greedy",
+            Policy::Predictive => "predictive",
+        }
+    }
+
+    /// Inverse of [`Policy::name`].
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "random" => Some(Policy::Random),
+            "greedy" => Some(Policy::Greedy),
+            "predictive" => Some(Policy::Predictive),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Picks a host for a job with `remaining` guest-seconds left, or
+/// `None` when `candidates` is empty. `survival(machine, window)` is
+/// only consulted by [`Policy::Predictive`]; over the cluster it costs
+/// one `QueryAvail` round trip per probe.
+pub(crate) fn choose(
+    policy: Policy,
+    candidates: &[MachineView],
+    remaining: u64,
+    place_threshold: f64,
+    max_horizon: u64,
+    rng: &mut Rng,
+    survival: &mut dyn FnMut(u32, u64) -> f64,
+) -> Option<u32> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match policy {
+        Policy::Random => {
+            let i = rng.below(candidates.len() as u64) as usize;
+            Some(candidates[i].machine)
+        }
+        Policy::Greedy => candidates
+            .iter()
+            .min_by_key(|c| (c.occurrences, c.machine))
+            .map(|c| c.machine),
+        Policy::Predictive => {
+            let horizon = max_horizon.max(remaining).max(1);
+            let mut best: Option<(u64, f64, u32)> = None;
+            for c in candidates {
+                let m = c.machine;
+                let ttf =
+                    fgcs_predict::time_to_failure(|w| survival(m, w), place_threshold, horizon);
+                let p = survival(m, remaining);
+                let better = match best {
+                    None => true,
+                    // Highest time-to-unavailability wins; survival
+                    // over the remaining runtime breaks ties, lowest
+                    // id makes the whole ranking deterministic.
+                    Some((bt, bp, bm)) => {
+                        ttf > bt || (ttf == bt && (p > bp || (p == bp && m < bm)))
+                    }
+                };
+                if better {
+                    best = Some((ttf, p, m));
+                }
+            }
+            best.map(|(_, _, m)| m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(machine: u32, occurrences: u64) -> MachineView {
+        MachineView {
+            machine,
+            harvestable: true,
+            occurrences,
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_the_machine_with_fewest_occurrences() {
+        let cands = vec![view(1, 9), view(2, 3), view(3, 3)];
+        let mut rng = Rng::new(1);
+        let got = choose(
+            Policy::Greedy,
+            &cands,
+            600,
+            0.5,
+            86_400,
+            &mut rng,
+            &mut |_, _| 1.0,
+        );
+        assert_eq!(got, Some(2), "fewest occurrences, lowest id tie-break");
+    }
+
+    #[test]
+    fn predictive_prefers_the_longest_time_to_unavailability() {
+        let cands = vec![view(1, 0), view(2, 0), view(3, 0)];
+        let mut rng = Rng::new(1);
+        // Machine 2 survives ~2h at the threshold, the others ~20min.
+        let mut survival = |m: u32, w: u64| -> f64 {
+            let ttf = if m == 2 { 7_200 } else { 1_200 };
+            if w <= ttf {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let got = choose(
+            Policy::Predictive,
+            &cands,
+            3_600,
+            0.5,
+            86_400,
+            &mut rng,
+            &mut survival,
+        );
+        assert_eq!(got, Some(2));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_in_range() {
+        let cands = vec![view(4, 0), view(5, 0), view(6, 0)];
+        let pick = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            choose(
+                Policy::Random,
+                &cands,
+                60,
+                0.5,
+                3_600,
+                &mut rng,
+                &mut |_, _| 1.0,
+            )
+            .unwrap()
+        };
+        assert_eq!(pick(9), pick(9));
+        assert!(cands.iter().any(|c| c.machine == pick(123)));
+    }
+
+    #[test]
+    fn empty_candidate_sets_place_nothing() {
+        let mut rng = Rng::new(0);
+        for p in [Policy::Random, Policy::Greedy, Policy::Predictive] {
+            assert_eq!(
+                choose(p, &[], 60, 0.5, 3_600, &mut rng, &mut |_, _| 1.0),
+                None
+            );
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The scheduler service end to end: the `Sched*` wire vocabulary over
+//! a live `SchedServer`, quota enforcement at the protocol surface,
+//! revocation-driven re-placement, and (on Linux) the full loop against
+//! a real availability service through the cluster router — verifying
+//! the `harvestable` stat bit and `QueryAvail` predictions actually
+//! drive placement decisions across process^W socket boundaries.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fgcs_sched::{
+    AvailabilitySource, MachineView, Policy, SchedConfig, SchedServeConfig, SchedServer,
+};
+use fgcs_service::{ClientConfig, ServiceClient};
+use fgcs_wire::{ErrorCode, Frame};
+
+/// An in-process availability source tests can mutate mid-run.
+#[derive(Clone, Default)]
+struct FakeSource {
+    state: Arc<Mutex<Vec<MachineView>>>,
+}
+
+impl FakeSource {
+    fn with_machines(ids: &[u32]) -> FakeSource {
+        let views = ids
+            .iter()
+            .map(|&machine| MachineView {
+                machine,
+                harvestable: true,
+                occurrences: 0,
+            })
+            .collect();
+        FakeSource {
+            state: Arc::new(Mutex::new(views)),
+        }
+    }
+
+    fn set_harvestable(&self, machine: u32, harvestable: bool) {
+        let mut views = self.state.lock().unwrap();
+        for v in views.iter_mut() {
+            if v.machine == machine {
+                v.harvestable = harvestable;
+            }
+        }
+    }
+}
+
+impl AvailabilitySource for FakeSource {
+    fn machines(&mut self) -> std::io::Result<Vec<MachineView>> {
+        Ok(self.state.lock().unwrap().clone())
+    }
+
+    fn survival(&mut self, _machine: u32, _window: u64) -> std::io::Result<f64> {
+        Ok(1.0)
+    }
+}
+
+fn connect(addr: &str) -> ServiceClient {
+    let mut cfg = ClientConfig::new(addr);
+    cfg.backoff_unit_ms = 1;
+    ServiceClient::connect(cfg).expect("client connects")
+}
+
+fn query_job(client: &mut ServiceClient, id: u64) -> (u8, Option<u32>, u32) {
+    match client.request(&Frame::SchedQueryJob { id }).unwrap() {
+        Frame::SchedJobReply {
+            state,
+            machine,
+            evictions,
+            ..
+        } => (state, machine, evictions),
+        other => panic!("job reply expected, got tag {}", other.tag()),
+    }
+}
+
+/// Polls until `pred` holds on the job or the deadline passes.
+fn wait_job(
+    client: &mut ServiceClient,
+    id: u64,
+    what: &str,
+    mut pred: impl FnMut(u8, Option<u32>, u32) -> bool,
+) -> (u8, Option<u32>, u32) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (state, machine, evictions) = query_job(client, id);
+        if pred(state, machine, evictions) {
+            return (state, machine, evictions);
+        }
+        assert!(Instant::now() < deadline, "timed out waiting: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn submit(client: &mut ServiceClient, user: u32, work: u64) -> Result<u64, ErrorCode> {
+    match client.request(&Frame::SchedSubmit { user, work }).unwrap() {
+        Frame::SchedJobReply { id, .. } => Ok(id),
+        Frame::Error { code, .. } => Err(code),
+        other => panic!("submit reply expected, got tag {}", other.tag()),
+    }
+}
+
+#[test]
+fn jobs_run_complete_and_respect_quotas_over_the_wire() {
+    let source = FakeSource::with_machines(&[1, 2, 3, 4]);
+    let server = SchedServer::start(
+        SchedServeConfig {
+            tick_ms: 2,
+            tick_secs: 60,
+            ..SchedServeConfig::default()
+        },
+        SchedConfig {
+            max_backlog_factor: 2,
+            pool_extra: 1,
+            ..SchedConfig::default()
+        },
+        &[(1, 1), (2, 1)],
+        source,
+    )
+    .expect("sched server starts");
+    let addr = server.local_addr().to_string();
+    let mut client = connect(&addr);
+
+    // A 2-tick job completes.
+    let id = submit(&mut client, 1, 120).expect("admitted");
+    wait_job(&mut client, id, "job completes", |state, _, _| state == 3);
+
+    // Admission control: backlog cap = factor 2 × allowance 1 = 2.
+    let a = submit(&mut client, 2, 100_000).expect("first fits");
+    let _b = submit(&mut client, 2, 100_000).expect("second fits");
+    assert_eq!(
+        submit(&mut client, 2, 100_000),
+        Err(ErrorCode::QuotaExceeded),
+        "third submission must be refused"
+    );
+    // Unknown users are refused too (strict mode: default_base 0).
+    assert_eq!(submit(&mut client, 99, 60), Err(ErrorCode::QuotaExceeded));
+
+    // Only one of user 2's jobs may run on base quota 1...
+    wait_job(&mut client, a, "first long job runs", |state, _, _| {
+        state == 2
+    });
+    let stats = server.stats();
+    assert_eq!(stats.running, 1, "base quota gates dispatch: {stats:?}");
+
+    // ...until an extra slot is borrowed from the pool.
+    match client
+        .request(&Frame::SchedShare {
+            user: 2,
+            op: 1,
+            amount: 5,
+        })
+        .unwrap()
+    {
+        Frame::SchedShareReply {
+            base,
+            extra,
+            pool_free,
+            ..
+        } => {
+            assert_eq!((base, extra, pool_free), (1, 1, 0), "pool of 1 runs dry");
+        }
+        other => panic!("share reply expected, got tag {}", other.tag()),
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().running < 2 {
+        assert!(Instant::now() < deadline, "extra slot never dispatched");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Conservation at the wire surface.
+    match client.request(&Frame::SchedQueryStats).unwrap() {
+        Frame::SchedStatsReply(s) => {
+            assert_eq!(s.submitted, s.completed + s.queued + s.running, "{s:?}");
+            assert_eq!(s.rejected, 2);
+        }
+        other => panic!("stats reply expected, got tag {}", other.tag()),
+    }
+    // An unknown id earns a typed error, not a hang.
+    match client
+        .request(&Frame::SchedQueryJob { id: 10_000 })
+        .unwrap()
+    {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownJob),
+        other => panic!("error expected, got tag {}", other.tag()),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn revocation_requeues_and_replaces_the_guest() {
+    let source = FakeSource::with_machines(&[1, 2]);
+    let handle = source.clone();
+    let server = SchedServer::start(
+        SchedServeConfig {
+            tick_ms: 2,
+            tick_secs: 60,
+            ..SchedServeConfig::default()
+        },
+        SchedConfig::default(),
+        &[(1, 1)],
+        source,
+    )
+    .expect("sched server starts");
+    let mut client = connect(&server.local_addr().to_string());
+
+    let id = submit(&mut client, 1, 1_000_000).expect("admitted");
+    let (_, host, _) = wait_job(&mut client, id, "guest placed", |state, _, _| state == 2);
+    let host = host.expect("running job has a host");
+
+    // The host is revoked: the guest must requeue and land elsewhere.
+    handle.set_harvestable(host, false);
+    let (_, new_host, evictions) = wait_job(
+        &mut client,
+        id,
+        "guest re-placed after revocation",
+        |state, machine, _| state == 2 && machine.is_some() && machine != Some(host),
+    );
+    assert_ne!(new_host, Some(host));
+    assert!(evictions >= 1, "the kill was accounted as an eviction");
+    server.shutdown();
+}
+
+/// The full loop on Linux: a real availability service, the cluster
+/// router as the scheduler's source, and guests placed/evicted off the
+/// service's own detector state — `harvestable` bits and `QueryAvail`
+/// predictions crossing two socket hops.
+#[cfg(target_os = "linux")]
+#[test]
+fn scheduler_follows_a_real_availability_service() {
+    use fgcs_sched::ClusterSource;
+    use fgcs_service::cluster::{ClusterClient, ClusterConfig, ShardSpec};
+    use fgcs_service::{Backend, Server, ServiceConfig};
+    use fgcs_wire::{SampleLoad, WireSample};
+
+    let svc = Server::start(ServiceConfig {
+        backend: Backend::Threads,
+        ..Default::default()
+    })
+    .expect("availability service starts");
+    let svc_addr = svc.local_addr().to_string();
+
+    let idle = |t: u64, alive: bool| WireSample {
+        t,
+        load: SampleLoad::Direct(0.05),
+        host_resident_mb: 100,
+        alive,
+    };
+    let mut feeder = connect(&svc_addr);
+    for machine in 1..=3u32 {
+        let samples: Vec<WireSample> = (0..50).map(|i| idle(i * 15, true)).collect();
+        let reply = feeder
+            .request(&Frame::SampleBatch { machine, samples })
+            .unwrap();
+        assert!(matches!(reply, Frame::Ack { .. }));
+    }
+
+    let cluster = ClusterClient::connect(ClusterConfig::new(vec![ShardSpec {
+        name: "s0".to_string(),
+        primary_addr: svc_addr.clone(),
+        follower_addr: None,
+    }]))
+    .expect("router connects");
+    let server = SchedServer::start(
+        SchedServeConfig {
+            tick_ms: 2,
+            tick_secs: 60,
+            ..SchedServeConfig::default()
+        },
+        SchedConfig {
+            policy: Policy::Predictive,
+            ..SchedConfig::default()
+        },
+        &[(1, 2)],
+        ClusterSource::new(cluster),
+    )
+    .expect("sched server starts");
+    let mut client = connect(&server.local_addr().to_string());
+
+    let id = submit(&mut client, 1, 1_000_000).expect("admitted");
+    let (_, host, _) = wait_job(&mut client, id, "guest placed off real stats", |s, _, _| {
+        s == 2
+    });
+    let host = host.expect("running job has a host");
+
+    // Kill the host at the *service* level: dead samples flip its
+    // detector state, the stats bit goes false, the scheduler evicts.
+    let dead: Vec<WireSample> = (50..60).map(|i| idle(i * 15, false)).collect();
+    let reply = feeder
+        .request(&Frame::SampleBatch {
+            machine: host,
+            samples: dead,
+        })
+        .unwrap();
+    assert!(matches!(reply, Frame::Ack { .. }));
+
+    wait_job(
+        &mut client,
+        id,
+        "guest re-placed off the service's revocation",
+        |state, machine, evictions| state == 2 && machine != Some(host) && evictions >= 1,
+    );
+    server.shutdown();
+    svc.shutdown();
+}

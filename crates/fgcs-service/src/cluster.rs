@@ -104,6 +104,10 @@ pub struct ClusterMetrics {
     pub resumed_batches: u64,
     /// Samples the resume filter dropped as already applied.
     pub skipped_samples: u64,
+    /// `NotPrimary` reroutes that skipped the backoff sleep: the
+    /// rejection is a routing signal naming a healthy endpoint, so the
+    /// first flip per request retries immediately.
+    pub instant_reroutes: u64,
 }
 
 /// Per-shard connection state.
@@ -197,6 +201,11 @@ impl ClusterClient {
         })
     }
 
+    /// Number of shards the router spans.
+    pub fn shard_count(&self) -> usize {
+        self.cfg.shards.len()
+    }
+
     /// The shard owning `machine` under rendezvous hashing.
     pub fn shard_for(&self, machine: u32) -> usize {
         rendezvous_owner(
@@ -227,6 +236,7 @@ impl ClusterClient {
         let shard = self.shard_for(machine);
         let mut pending = samples;
         let mut attempt: u32 = 0;
+        let mut rerouting = false;
         loop {
             if pending.is_empty() {
                 // Everything was applied before the failure; nothing
@@ -238,11 +248,15 @@ impl ClusterClient {
                 samples: pending.clone(),
             };
             match self.try_on(shard, &frame) {
-                Ok(Frame::Error { code, detail }) if code == ErrorCode::NotPrimary => {
+                Ok(Frame::Error {
+                    code: ErrorCode::NotPrimary,
+                    detail,
+                }) => {
                     // A routing signal, not an ambiguous failure: the
                     // follower applied nothing, so the full remainder
                     // goes to the flipped endpoint.
-                    self.bounce(shard, &mut attempt, &detail)?;
+                    self.bounce(shard, &mut attempt, &detail, !rerouting)?;
+                    rerouting = true;
                 }
                 Ok(reply) => return Ok(reply),
                 Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
@@ -251,8 +265,9 @@ impl ClusterClient {
                     // before the connection died. Fail over, then ask
                     // how far this machine actually got and resume
                     // strictly after it.
-                    self.bounce(shard, &mut attempt, &e.to_string())
+                    self.bounce(shard, &mut attempt, &e.to_string(), false)
                         .map_err(|_| e)?;
+                    rerouting = false;
                     let applied_t = self
                         .stats_of(shard)?
                         .machines
@@ -293,14 +308,23 @@ impl ClusterClient {
     /// this path retries verbatim, which is at-least-once.
     pub fn request_on(&mut self, s: usize, frame: &Frame) -> io::Result<Frame> {
         let mut attempt: u32 = 0;
+        let mut rerouting = false;
         loop {
             match self.try_on(s, frame) {
-                Ok(Frame::Error { code, detail }) if code == ErrorCode::NotPrimary => {
-                    self.bounce(s, &mut attempt, &detail)?;
+                Ok(Frame::Error {
+                    code: ErrorCode::NotPrimary,
+                    detail,
+                }) => {
+                    self.bounce(s, &mut attempt, &detail, !rerouting)?;
+                    rerouting = true;
                 }
                 Ok(reply) => return Ok(reply),
                 Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
-                Err(e) => self.bounce(s, &mut attempt, "transport").map_err(|_| e)?,
+                Err(e) => {
+                    self.bounce(s, &mut attempt, "transport", false)
+                        .map_err(|_| e)?;
+                    rerouting = false;
+                }
             }
         }
     }
@@ -308,7 +332,15 @@ impl ClusterClient {
     /// One failure step: drop the shard's connection, flip its
     /// endpoint (if replicated), charge the retry budget, and sleep the
     /// jittered backoff. `Err` when the budget is spent.
-    fn bounce(&mut self, s: usize, attempt: &mut u32, why: &str) -> io::Result<()> {
+    ///
+    /// `instant` skips the sleep: a `NotPrimary` rejection is a routing
+    /// signal from a live node — the flipped endpoint is known-good, so
+    /// the first reroute per request should not burn a backoff step.
+    /// Only the *first* consecutive one gets this (the caller clears it
+    /// after use); if both endpoints claim not-primary (promotion still
+    /// in flight) the subsequent flips back off normally rather than
+    /// ping-ponging hot between the two.
+    fn bounce(&mut self, s: usize, attempt: &mut u32, why: &str, instant: bool) -> io::Result<()> {
         if let Some(slot) = self.shards[s].slot.take() {
             self.pool.close(slot);
         }
@@ -324,6 +356,10 @@ impl ClusterClient {
             ));
         }
         self.metrics.retries += 1;
+        if instant {
+            self.metrics.instant_reroutes += 1;
+            return Ok(());
+        }
         let delay = self
             .cfg
             .backoff

@@ -158,7 +158,9 @@ fn handle_request(
                 (m.state(), m.last_t(), m.is_available())
             };
             let prob = if available {
-                shared.lock_online().predict(machine, last_t, horizon)
+                shared
+                    .lock_online()
+                    .predict_machine(machine, last_t, horizon)
             } else {
                 // Currently inside an unavailability occurrence: the
                 // window cannot be failure-free.
@@ -189,7 +191,7 @@ fn handle_request(
             let now = online.horizon();
             let mut best: Option<(u32, f64)> = None;
             for id in candidates {
-                let p = online.predict(id, now, job_len);
+                let p = online.predict_machine(id, now, job_len);
                 if best.is_none_or(|(_, bp)| p > bp) {
                     best = Some((id, p));
                 }

@@ -929,6 +929,7 @@ impl Shared {
                     last_t: m.last_t(),
                     occurrences: m.records().len() as u64,
                     transitions: m.transitions().len() as u64,
+                    harvestable: m.is_available() && !m.spike_active(),
                 }
             })
             .collect();

@@ -340,3 +340,162 @@ fn kill_primary_promote_follower_router_loses_nothing() {
     follower.shutdown();
     reference.shutdown();
 }
+
+/// A chained deployment — primary → mid → leaf, each pulling from the
+/// node above — converges bit-identically at depth 2. The mid node
+/// serves `ReplPull` from the log it mirrors (`append_remote` retains
+/// entries precisely so a follower can feed its own follower), so the
+/// leaf never talks to the primary at all.
+#[test]
+fn follower_chain_depth_two_converges_bit_identical() {
+    let primary = Server::start(primary_config()).expect("primary");
+    let mid = Server::start(follower_config(&primary.local_addr().to_string())).expect("mid");
+    let leaf = Server::start(follower_config(&mid.local_addr().to_string())).expect("leaf");
+
+    let mut to_primary = connect(&primary.local_addr().to_string());
+    let mut to_mid = connect(&mid.local_addr().to_string());
+    let mut to_leaf = connect(&leaf.local_addr().to_string());
+
+    // Two pushes with a convergence wait between them, so the second
+    // half exercises steady-state relay (mid already caught up), not
+    // just one bulk catch-up.
+    for range in [0..SAMPLES / 2, SAMPLES / 2..SAMPLES] {
+        stream_wave(&mut to_primary, range.clone());
+        wait_caught_up(&mut to_primary, range.end - 1);
+        wait_caught_up(&mut to_mid, range.end - 1);
+        wait_caught_up(&mut to_leaf, range.end - 1);
+    }
+
+    assert_bit_identical(&primary, &mid, "depth 1 of the chain");
+    assert_bit_identical(&primary, &leaf, "depth 2 of the chain");
+    assert!(!mid.repl_failed(), "mid tripped divergence");
+    assert!(!leaf.repl_failed(), "leaf tripped divergence");
+
+    // The seq log relays verbatim: every hop holds the same head.
+    let (role, applied, _) = repl_status(&mut to_leaf);
+    assert_eq!(role, ROLE_FOLLOWER);
+    assert_eq!(applied, primary.repl_seq(), "leaf applied the full log");
+    let (_, mid_applied, _) = repl_status(&mut to_mid);
+    assert_eq!(mid_applied, primary.repl_seq());
+
+    primary.shutdown();
+    mid.shutdown();
+    leaf.shutdown();
+}
+
+/// `NotPrimary` is a routing signal from a live node, not a fault: the
+/// router's first flip must retry immediately instead of burning a
+/// backoff step. With a 2 s backoff base, any sleep would blow the
+/// elapsed budget — a router booted with a stale shard view (follower
+/// listed as primary) must stream at full speed from request one, and
+/// a mid-stream kill + promotion must heal through the normal
+/// (slept) transport path without miscounting the instant reroutes.
+#[test]
+fn not_primary_reroute_skips_the_backoff_sleep() {
+    let primary = Server::start(primary_config()).expect("primary");
+    let follower =
+        Server::start(follower_config(&primary.local_addr().to_string())).expect("follower");
+
+    // Stale shard view: the follower is listed as the primary.
+    let mut cfg = ClusterConfig::new(vec![ShardSpec {
+        name: "shard-0".into(),
+        primary_addr: follower.local_addr().to_string(),
+        follower_addr: Some(primary.local_addr().to_string()),
+    }]);
+    cfg.backoff = BackoffPolicy {
+        base: 2_000,
+        cap: 2_000,
+    };
+    cfg.max_attempts = 4;
+    let mut router = ClusterClient::connect(cfg).expect("router");
+
+    let t0 = std::time::Instant::now();
+    for machine in 1..=MACHINES {
+        let first: Vec<WireSample> = (0..SAMPLES / 2).map(|i| wave_sample(machine, i)).collect();
+        for chunk in first.chunks(50) {
+            let reply = router.ingest(machine, chunk.to_vec()).expect("ingest");
+            assert!(matches!(reply, Frame::Ack { .. }));
+        }
+    }
+    // A jittered backoff step is at least base/2 = 1 s; staying under
+    // that proves the reroute never slept.
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(1_000),
+        "wrong-primary ingest burned a backoff step: {:?} elapsed, {:?}",
+        t0.elapsed(),
+        router.metrics
+    );
+    assert_eq!(
+        (router.metrics.instant_reroutes, router.metrics.failovers),
+        (1, 1),
+        "exactly one instant flip to the real primary: {:?}",
+        router.metrics
+    );
+
+    // Mid-stream promotion: the cached route now points at the real
+    // primary; kill it and promote the follower. The next ingest heals
+    // over the *transport* path, which must still back off (and must
+    // not count as an instant reroute).
+    let mut to_follower = connect(&follower.local_addr().to_string());
+    wait_caught_up(&mut to_follower, SAMPLES / 2 - 1);
+    primary.shutdown();
+    let promoted = to_follower.request(&Frame::Promote).unwrap();
+    assert!(matches!(promoted, Frame::Ack { .. }));
+
+    for machine in 1..=MACHINES {
+        let second: Vec<WireSample> = (SAMPLES / 2..SAMPLES)
+            .map(|i| wave_sample(machine, i))
+            .collect();
+        for chunk in second.chunks(50) {
+            let reply = router
+                .ingest(machine, chunk.to_vec())
+                .expect("ingest after kill + promotion");
+            assert!(matches!(reply, Frame::Ack { .. }));
+        }
+    }
+    assert!(
+        router.metrics.failovers >= 2,
+        "the transport fault flipped the route back: {:?}",
+        router.metrics
+    );
+    assert_eq!(
+        router.metrics.instant_reroutes, 1,
+        "transport bounces must not skip the sleep: {:?}",
+        router.metrics
+    );
+    wait_caught_up(&mut to_follower, SAMPLES - 1);
+    follower.shutdown();
+}
+
+/// When *both* endpoints answer `NotPrimary` (a promotion that never
+/// lands), only the first flip is instant — the rest back off, so two
+/// followers can never trap the router in a hot ping-pong loop.
+#[test]
+fn repeated_not_primary_backs_off_after_the_first_flip() {
+    let primary = Server::start(primary_config()).expect("primary");
+    let f1 = Server::start(follower_config(&primary.local_addr().to_string())).expect("f1");
+    let f2 = Server::start(follower_config(&primary.local_addr().to_string())).expect("f2");
+
+    let mut cfg = ClusterConfig::new(vec![ShardSpec {
+        name: "shard-0".into(),
+        primary_addr: f1.local_addr().to_string(),
+        follower_addr: Some(f2.local_addr().to_string()),
+    }]);
+    cfg.backoff = BackoffPolicy { base: 2, cap: 8 };
+    cfg.max_attempts = 3;
+    let mut router = ClusterClient::connect(cfg).expect("router");
+
+    let err = router
+        .ingest(1, vec![wave_sample(1, 0)])
+        .expect_err("two followers can never accept ingest");
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    assert_eq!(
+        router.metrics.instant_reroutes, 1,
+        "only the first consecutive NotPrimary skips the sleep: {:?}",
+        router.metrics
+    );
+
+    primary.shutdown();
+    f1.shutdown();
+    f2.shutdown();
+}

@@ -106,6 +106,11 @@ pub struct MachineStat {
     pub occurrences: u64,
     /// State transitions recorded so far.
     pub transitions: u64,
+    /// A guest may be placed here right now: the machine is in an
+    /// available state and its recent-spike guard is quiet. This is the
+    /// same predicate [`Frame::Place`] ranks candidates with, exported
+    /// so schedulers can filter machines without decoding state codes.
+    pub harvestable: bool,
 }
 
 /// Server counters exposed by [`Frame::StatsReply`]. The backpressure
@@ -137,6 +142,31 @@ pub struct StatsPayload {
     pub machines: Vec<MachineStat>,
 }
 
+/// Scheduler counters exposed by [`Frame::SchedStatsReply`]. The
+/// conservation identity `submitted == completed + queued + running`
+/// (rejected submissions never become jobs) is what the scheduler
+/// end-to-end tests reconcile against these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStatsPayload {
+    /// Jobs accepted via [`Frame::SchedSubmit`].
+    pub submitted: u64,
+    /// Jobs that reached their full work requirement.
+    pub completed: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Eviction events (host became unavailable under a running guest).
+    pub evictions: u64,
+    /// Proactive migrations (predicted failure crossed the SLO threshold).
+    pub migrations: u64,
+    /// Guest-seconds of progress lost to evictions (work since the last
+    /// checkpoint at the moment the host revoked the guest).
+    pub wasted_secs: u64,
+    /// Jobs currently waiting for placement.
+    pub queued: u64,
+    /// Jobs currently running on a host.
+    pub running: u64,
+}
+
 /// Typed error codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -158,6 +188,12 @@ pub enum ErrorCode {
     /// the client should fail over to the primary (or wait for this
     /// node's promotion).
     NotPrimary,
+    /// A job submission was refused because the user is already at
+    /// their fairshare allowance (base quota plus granted extra) times
+    /// the scheduler's backlog factor.
+    QuotaExceeded,
+    /// The queried job id is not known to the scheduler.
+    UnknownJob,
 }
 
 impl ErrorCode {
@@ -171,6 +207,8 @@ impl ErrorCode {
             ErrorCode::Unauthorized => 5,
             ErrorCode::ConnLimit => 6,
             ErrorCode::NotPrimary => 7,
+            ErrorCode::QuotaExceeded => 8,
+            ErrorCode::UnknownJob => 9,
         }
     }
 
@@ -184,6 +222,8 @@ impl ErrorCode {
             5 => Some(ErrorCode::Unauthorized),
             6 => Some(ErrorCode::ConnLimit),
             7 => Some(ErrorCode::NotPrimary),
+            8 => Some(ErrorCode::QuotaExceeded),
+            9 => Some(ErrorCode::UnknownJob),
             _ => None,
         }
     }
@@ -338,6 +378,69 @@ pub enum Frame {
     /// starts accepting `SampleBatch` ingest and logging it for its own
     /// followers, and replies `Ack { seq: 0 }`. Idempotent.
     Promote,
+    /// Client → scheduler: submit a guest job of `work` guest-seconds
+    /// on behalf of `user`. Earns a [`Frame::SchedJobReply`] when
+    /// admitted, or `Error { QuotaExceeded }` when the user's backlog
+    /// allowance is exhausted.
+    SchedSubmit {
+        /// Submitting user id.
+        user: u32,
+        /// Total work the job needs, guest-seconds.
+        work: u64,
+    },
+    /// Client → scheduler: query one job by id. Earns a
+    /// [`Frame::SchedJobReply`] or `Error { UnknownJob }`.
+    SchedQueryJob {
+        /// Job id from the submit reply.
+        id: u64,
+    },
+    /// Scheduler → client: the state of one job.
+    SchedJobReply {
+        /// Job id (allocated at submit, monotone per scheduler).
+        id: u64,
+        /// Owning user id.
+        user: u32,
+        /// Job state, coded 1..=3 (queued / running / completed).
+        state: u8,
+        /// Host machine while running, `None` otherwise.
+        machine: Option<u32>,
+        /// Checkpointed progress, guest-seconds.
+        done: u64,
+        /// Total work requirement, guest-seconds.
+        work: u64,
+        /// Times this job was evicted by host revocation.
+        evictions: u32,
+        /// Times this job was proactively migrated.
+        migrations: u32,
+    },
+    /// Client → scheduler: fairshare operation for one user, coded
+    /// 1..=3 (request extra / release extra / status only). Earns a
+    /// [`Frame::SchedShareReply`] with the post-operation ledger row.
+    SchedShare {
+        /// User id.
+        user: u32,
+        /// Operation code 1..=3.
+        op: u8,
+        /// Slots to request or release (ignored for status).
+        amount: u64,
+    },
+    /// Scheduler → client: one user's fairshare ledger row.
+    SchedShareReply {
+        /// User id echoed back.
+        user: u32,
+        /// Base quota, concurrent running-job slots.
+        base: u64,
+        /// Extra slots currently granted from the shared pool.
+        extra: u64,
+        /// Slots currently consumed by running jobs.
+        in_use: u64,
+        /// Slots left in the shared pool.
+        pool_free: u64,
+    },
+    /// Client → scheduler: request a [`Frame::SchedStatsReply`].
+    SchedQueryStats,
+    /// Scheduler → client: scheduler counters.
+    SchedStatsReply(SchedStatsPayload),
 }
 
 impl Frame {
@@ -363,6 +466,13 @@ impl Frame {
             Frame::ReplStatus => 17,
             Frame::ReplStatusReply { .. } => 18,
             Frame::Promote => 19,
+            Frame::SchedSubmit { .. } => 20,
+            Frame::SchedQueryJob { .. } => 21,
+            Frame::SchedJobReply { .. } => 22,
+            Frame::SchedShare { .. } => 23,
+            Frame::SchedShareReply { .. } => 24,
+            Frame::SchedQueryStats => 25,
+            Frame::SchedStatsReply(_) => 26,
         }
     }
 
@@ -435,6 +545,7 @@ impl Frame {
                     put_u64(out, m.last_t);
                     put_u64(out, m.occurrences);
                     put_u64(out, m.transitions);
+                    out.push(m.harvestable as u8);
                 }
             }
             Frame::QueryTransitions {
@@ -551,6 +662,68 @@ impl Frame {
                 put_u64(out, *log_len);
             }
             Frame::Promote => {}
+            Frame::SchedSubmit { user, work } => {
+                put_u32(out, *user);
+                put_u64(out, *work);
+            }
+            Frame::SchedQueryJob { id } => put_u64(out, *id),
+            Frame::SchedJobReply {
+                id,
+                user,
+                state,
+                machine,
+                done,
+                work,
+                evictions,
+                migrations,
+            } => {
+                put_u64(out, *id);
+                put_u32(out, *user);
+                out.push(*state);
+                match machine {
+                    Some(m) => {
+                        out.push(1);
+                        put_u32(out, *m);
+                    }
+                    None => {
+                        out.push(0);
+                        put_u32(out, 0);
+                    }
+                }
+                put_u64(out, *done);
+                put_u64(out, *work);
+                put_u32(out, *evictions);
+                put_u32(out, *migrations);
+            }
+            Frame::SchedShare { user, op, amount } => {
+                put_u32(out, *user);
+                out.push(*op);
+                put_u64(out, *amount);
+            }
+            Frame::SchedShareReply {
+                user,
+                base,
+                extra,
+                in_use,
+                pool_free,
+            } => {
+                put_u32(out, *user);
+                put_u64(out, *base);
+                put_u64(out, *extra);
+                put_u64(out, *in_use);
+                put_u64(out, *pool_free);
+            }
+            Frame::SchedQueryStats => {}
+            Frame::SchedStatsReply(s) => {
+                put_u64(out, s.submitted);
+                put_u64(out, s.completed);
+                put_u64(out, s.rejected);
+                put_u64(out, s.evictions);
+                put_u64(out, s.migrations);
+                put_u64(out, s.wasted_secs);
+                put_u64(out, s.queued);
+                put_u64(out, s.running);
+            }
         }
         Ok(())
     }
@@ -622,6 +795,7 @@ impl Frame {
                         last_t: r.u64()?,
                         occurrences: r.u64()?,
                         transitions: r.u64()?,
+                        harvestable: r.flag()?,
                     });
                 }
                 Frame::StatsReply(s)
@@ -738,6 +912,58 @@ impl Frame {
                 }
             }
             19 => Frame::Promote,
+            20 => Frame::SchedSubmit {
+                user: r.u32()?,
+                work: r.u64()?,
+            },
+            21 => Frame::SchedQueryJob { id: r.u64()? },
+            22 => {
+                let id = r.u64()?;
+                let user = r.u32()?;
+                let state = job_state_code(r.u8()?)?;
+                let has = r.flag()?;
+                let m = r.u32()?;
+                Frame::SchedJobReply {
+                    id,
+                    user,
+                    state,
+                    machine: has.then_some(m),
+                    done: r.u64()?,
+                    work: r.u64()?,
+                    evictions: r.u32()?,
+                    migrations: r.u32()?,
+                }
+            }
+            23 => {
+                let user = r.u32()?;
+                let op = r.u8()?;
+                if !(1..=3).contains(&op) {
+                    return Err(PayloadError::new(format!("share op {op} outside 1..=3")));
+                }
+                Frame::SchedShare {
+                    user,
+                    op,
+                    amount: r.u64()?,
+                }
+            }
+            24 => Frame::SchedShareReply {
+                user: r.u32()?,
+                base: r.u64()?,
+                extra: r.u64()?,
+                in_use: r.u64()?,
+                pool_free: r.u64()?,
+            },
+            25 => Frame::SchedQueryStats,
+            26 => Frame::SchedStatsReply(SchedStatsPayload {
+                submitted: r.u64()?,
+                completed: r.u64()?,
+                rejected: r.u64()?,
+                evictions: r.u64()?,
+                migrations: r.u64()?,
+                wasted_secs: r.u64()?,
+                queued: r.u64()?,
+                running: r.u64()?,
+            }),
             other => return Err(PayloadError::new(format!("unknown frame tag {other}"))),
         };
         r.finish()?;
@@ -810,6 +1036,17 @@ fn state_code(code: u8) -> Result<u8, PayloadError> {
     }
 }
 
+/// Validates a job-state code (1..=3: queued / running / completed).
+fn job_state_code(code: u8) -> Result<u8, PayloadError> {
+    if (1..=3).contains(&code) {
+        Ok(code)
+    } else {
+        Err(PayloadError::new(format!(
+            "job state code {code} outside 1..=3"
+        )))
+    }
+}
+
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -836,6 +1073,8 @@ mod tests {
             ErrorCode::Unauthorized,
             ErrorCode::ConnLimit,
             ErrorCode::NotPrimary,
+            ErrorCode::QuotaExceeded,
+            ErrorCode::UnknownJob,
         ] {
             assert_eq!(ErrorCode::from_code(c.code()), Some(c));
         }
@@ -906,6 +1145,32 @@ mod tests {
                 log_len: 0,
             },
             Frame::Promote,
+            Frame::SchedSubmit { user: 0, work: 0 },
+            Frame::SchedQueryJob { id: 0 },
+            Frame::SchedJobReply {
+                id: 0,
+                user: 0,
+                state: 1,
+                machine: None,
+                done: 0,
+                work: 0,
+                evictions: 0,
+                migrations: 0,
+            },
+            Frame::SchedShare {
+                user: 0,
+                op: 3,
+                amount: 0,
+            },
+            Frame::SchedShareReply {
+                user: 0,
+                base: 0,
+                extra: 0,
+                in_use: 0,
+                pool_free: 0,
+            },
+            Frame::SchedQueryStats,
+            Frame::SchedStatsReply(SchedStatsPayload::default()),
         ];
         let mut tags: Vec<u8> = frames.iter().map(|f| f.tag()).collect();
         tags.sort_unstable();
@@ -1013,6 +1278,88 @@ mod tests {
             let enc = f.encode().unwrap();
             assert_eq!(crate::codec::decode_one(&enc).unwrap(), f, "{f:?}");
         }
+    }
+
+    #[test]
+    fn sched_frames_round_trip() {
+        let frames = vec![
+            Frame::SchedSubmit {
+                user: 3,
+                work: 7_200,
+            },
+            Frame::SchedQueryJob { id: 11 },
+            Frame::SchedJobReply {
+                id: 11,
+                user: 3,
+                state: 2,
+                machine: Some(42),
+                done: 1_800,
+                work: 7_200,
+                evictions: 1,
+                migrations: 2,
+            },
+            Frame::SchedJobReply {
+                id: 12,
+                user: 3,
+                state: 1,
+                machine: None,
+                done: 0,
+                work: 600,
+                evictions: 0,
+                migrations: 0,
+            },
+            Frame::SchedShare {
+                user: 3,
+                op: 1,
+                amount: 2,
+            },
+            Frame::SchedShareReply {
+                user: 3,
+                base: 2,
+                extra: 2,
+                in_use: 3,
+                pool_free: 1,
+            },
+            Frame::SchedQueryStats,
+            Frame::SchedStatsReply(SchedStatsPayload {
+                submitted: 20,
+                completed: 15,
+                rejected: 4,
+                evictions: 6,
+                migrations: 3,
+                wasted_secs: 5_400,
+                queued: 2,
+                running: 3,
+            }),
+        ];
+        for f in frames {
+            let enc = f.encode().unwrap();
+            assert_eq!(crate::codec::decode_one(&enc).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn sched_job_reply_rejects_unknown_job_states() {
+        let mut enc = Frame::SchedJobReply {
+            id: 1,
+            user: 0,
+            state: 1,
+            machine: None,
+            done: 0,
+            work: 0,
+            evictions: 0,
+            migrations: 0,
+        }
+        .encode()
+        .unwrap();
+        // Corrupt the state byte (13th payload byte: id + user precede
+        // it) and fix the CRC so the failure is the state validator.
+        enc[crate::codec::HEADER_LEN + 12] = 9;
+        let crc = crate::codec::crc32(&enc[crate::codec::HEADER_LEN..]);
+        enc[8..12].copy_from_slice(&crc.to_le_bytes());
+        let mut d = Decoder::new();
+        d.push(&enc);
+        assert!(d.next_frame().is_err());
     }
 
     #[test]

@@ -10,7 +10,8 @@ use proptest::prelude::*;
 
 use fgcs_wire::{
     decode_one, DecodeError, Decoder, EncodeError, ErrorCode, Frame, MachineStat, SampleLoad,
-    StatsPayload, WireSample, WireTransition, HEADER_LEN, MAX_ERROR_DETAIL, MAX_SAMPLES_PER_BATCH,
+    SchedStatsPayload, StatsPayload, WireSample, WireTransition, HEADER_LEN, MAX_ERROR_DETAIL,
+    MAX_SAMPLES_PER_BATCH,
 };
 
 /// encode → decode → encode must reproduce the exact byte string.
@@ -53,16 +54,17 @@ fn transition_strategy() -> impl proptest::strategy::Strategy<Value = WireTransi
 
 fn machine_stat_strategy() -> impl proptest::strategy::Strategy<Value = MachineStat> {
     (
-        (any::<u32>(), 1u8..=5),
+        (any::<u32>(), 1u8..=5, any::<bool>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |((machine, state), (last_t, occurrences, transitions))| MachineStat {
+            |((machine, state, harvestable), (last_t, occurrences, transitions))| MachineStat {
                 machine,
                 state,
                 last_t,
                 occurrences,
                 transitions,
+                harvestable,
             },
         )
 }
@@ -145,7 +147,49 @@ proptest! {
     }
 
     #[test]
-    fn error_frames_round_trip(code in 1u8..=6, detail in detail_strategy()) {
+    fn sched_frames_round_trip(
+        ids in prop::collection::vec(any::<u64>(), 8..9),
+        user in any::<u32>(),
+        job_state in 1u8..=3,
+        share_op in 1u8..=3,
+        machine in prop::option::of(any::<u32>()),
+        counts in prop::collection::vec(any::<u32>(), 2..3),
+    ) {
+        assert_bytes_round_trip(&Frame::SchedSubmit { user, work: ids[0] })?;
+        assert_bytes_round_trip(&Frame::SchedQueryJob { id: ids[1] })?;
+        assert_bytes_round_trip(&Frame::SchedJobReply {
+            id: ids[1],
+            user,
+            state: job_state,
+            machine,
+            done: ids[2],
+            work: ids[3],
+            evictions: counts[0],
+            migrations: counts[1],
+        })?;
+        assert_bytes_round_trip(&Frame::SchedShare { user, op: share_op, amount: ids[4] })?;
+        assert_bytes_round_trip(&Frame::SchedShareReply {
+            user,
+            base: ids[5],
+            extra: ids[6],
+            in_use: ids[7],
+            pool_free: ids[0],
+        })?;
+        assert_bytes_round_trip(&Frame::SchedQueryStats)?;
+        assert_bytes_round_trip(&Frame::SchedStatsReply(SchedStatsPayload {
+            submitted: ids[0],
+            completed: ids[1],
+            rejected: ids[2],
+            evictions: ids[3],
+            migrations: ids[4],
+            wasted_secs: ids[5],
+            queued: ids[6],
+            running: ids[7],
+        }))?;
+    }
+
+    #[test]
+    fn error_frames_round_trip(code in 1u8..=9, detail in detail_strategy()) {
         let code = ErrorCode::from_code(code).expect("valid code");
         assert_bytes_round_trip(&Frame::Error { code, detail })?;
     }

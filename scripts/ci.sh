@@ -122,6 +122,57 @@ awk -v p="$c_p99" 'BEGIN { exit !(p <= 50000.0) }' \
     || { echo "cluster gate: during-failover query p99 ${c_p99} us > 50 ms" >&2; exit 1; }
 echo "  failover gap ${c_gap} ms, during-failover query p99 ${c_p99} us, 0 records lost"
 
+echo "== scheduler smoke (X14 sched, reduced scale) =="
+# fgcs-sched over a live 2-shard cluster: three policies replay the
+# same arrivals in lockstep against identical availability traces. The
+# experiment asserts the hard claims internally (quotas never exceeded,
+# predictive strictly fewer evictions AND less wasted work than both
+# baselines, equal-or-better completed work); the smoke re-checks the
+# headline numbers from the CSV it wrote. Runs after the serve smoke
+# because sched splices its gate into the same BENCH_serve.json.
+(cd "$smoke_dir" && "$exp_bin" sched --quick > sched.out)
+se="$smoke_dir/results/sched_eval.csv"
+test -f "$se" || { echo "missing $se" >&2; exit 1; }
+# sched_eval.csv: policy,submitted,completed,completed_work_secs,
+#                 evictions,migrations,wasted_secs,rejected,quota_violations
+for p in predictive greedy random; do
+    grep -q "^$p," "$se" || { echo "sched_eval.csv: no $p row" >&2; exit 1; }
+done
+s_viol=$(tail -n +2 "$se" | cut -d, -f9 | sort -u)
+[ "$s_viol" = "0" ] || { echo "sched smoke: fairshare quota violated" >&2; exit 1; }
+s_pred=$(grep '^predictive,' "$se" | cut -d, -f5)
+s_rand=$(grep '^random,' "$se" | cut -d, -f5)
+[ "$s_pred" -lt "$s_rand" ] \
+    || { echo "sched smoke: predictive evictions $s_pred not < random $s_rand" >&2; exit 1; }
+grep -q '"sched"' "$smoke_dir/BENCH_serve.json" \
+    || { echo "smoke BENCH_serve.json: sched gate never spliced" >&2; exit 1; }
+echo "  quotas held, predictive $s_pred evictions vs random $s_rand"
+
+echo "== scheduler gate (committed BENCH_serve.json) =="
+# The committed full-scale X14 artifact must carry the tentpole claim:
+# prediction-driven placement strictly beats BOTH baselines on
+# evictions and wasted work, completes at least as much work, and the
+# fairshare ledger never admitted past quota.
+g_viol=$(gate_num quota_violations)
+g_pe=$(gate_num pred_evictions);  g_pw=$(gate_num pred_wasted_secs)
+g_ge=$(gate_num greedy_evictions); g_gw=$(gate_num greedy_wasted_secs)
+g_re=$(gate_num rand_evictions);   g_rw=$(gate_num rand_wasted_secs)
+g_pc=$(gate_num pred_completed_work_secs)
+g_gc=$(gate_num greedy_completed_work_secs)
+g_rc=$(gate_num rand_completed_work_secs)
+for v in "$g_viol" "$g_pe" "$g_pw" "$g_ge" "$g_gw" "$g_re" "$g_rw" \
+         "$g_pc" "$g_gc" "$g_rc"; do
+    [ -n "$v" ] || { echo "BENCH_serve.json: missing X14 sched gate keys" >&2; exit 1; }
+done
+[ "$g_viol" -eq 0 ] || { echo "sched gate: $g_viol quota violations" >&2; exit 1; }
+[ "$g_pe" -lt "$g_ge" ] && [ "$g_pe" -lt "$g_re" ] \
+    || { echo "sched gate: pred evictions $g_pe not < greedy $g_ge / random $g_re" >&2; exit 1; }
+[ "$g_pw" -lt "$g_gw" ] && [ "$g_pw" -lt "$g_rw" ] \
+    || { echo "sched gate: pred wasted $g_pw not < greedy $g_gw / random $g_rw" >&2; exit 1; }
+[ "$g_pc" -ge "$g_gc" ] && [ "$g_pc" -ge "$g_rc" ] \
+    || { echo "sched gate: pred completed work $g_pc below a baseline" >&2; exit 1; }
+echo "  evictions pred/greedy/random: $g_pe/$g_ge/$g_re, wasted: $g_pw/$g_gw/$g_rw s"
+
 echo "== epoll backend smoke (fgcs-serve + fgcs-smoke over localhost) =="
 # Drive the readiness-loop backend through a real process boundary: a
 # server on a free port with auth enabled, probed by fgcs-smoke (authed

@@ -1,0 +1,99 @@
+//! Fleet-path benchmarks: the two optimizations that make the 100k+
+//! machine sweep (X15) feasible.
+//!
+//! * `tracer` — the per-sample reference tracer (`trace_machine`)
+//!   versus the event-horizon batched tracer (`trace_machine_batched`)
+//!   over one machine-fortnight, per archetype. The batched path
+//!   collapses dead downtime to a single detector observe and skips the
+//!   full observe on provably-calm idle spans; the two are
+//!   bit-identical (asserted in fgcs-testbed's tests).
+//! * `quantiles` — sort-based exact quantiles versus the mergeable
+//!   [`RankSketch`] over a 100k-element stream: the sketch is what lets
+//!   the Figure 6 analysis run without materializing fleet-scale
+//!   interval vectors.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fgcs_core::detector::DetectorConfig;
+use fgcs_stats::quantile::quantiles;
+use fgcs_stats::sketch::RankSketch;
+use fgcs_testbed::fleet::Archetype;
+use fgcs_testbed::runner::{trace_machine, trace_machine_batched, TestbedConfig};
+
+fn archetype_testbed(arch: Archetype) -> TestbedConfig {
+    let mut lab = arch.lab_config();
+    lab.machines = 1;
+    lab.days = 14;
+    TestbedConfig {
+        lab,
+        detector: DetectorConfig::wallclock_default(),
+    }
+}
+
+fn bench_tracer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_tracer");
+    for arch in [
+        Archetype::StudentLab,
+        Archetype::ServerFarm,
+        Archetype::Laptop,
+    ] {
+        let cfg = archetype_testbed(arch);
+        g.throughput(Throughput::Elements(cfg.lab.days as u64));
+        g.bench_function(format!("exact/{}", arch.name()), |b| {
+            b.iter(|| black_box(trace_machine(&cfg, 0).len()))
+        });
+        g.bench_function(format!("batched/{}", arch.name()), |b| {
+            b.iter(|| black_box(trace_machine_batched(&cfg, 0).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_quantiles");
+    // A deterministic scrambled stream, no RNG needed.
+    let xs: Vec<f64> = (0u64..100_000)
+        .map(|i| (i.wrapping_mul(2_654_435_761) % 100_003) as f64)
+        .collect();
+    let qs = [0.5, 0.9, 0.99];
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("sort_exact", |b| b.iter(|| black_box(quantiles(&xs, &qs))));
+    g.bench_function("sketch_k4096", |b| {
+        b.iter(|| {
+            let mut sk = RankSketch::new(4096);
+            sk.extend(&xs);
+            black_box(sk.quantiles(&qs))
+        })
+    });
+    // The mergeable path the fleet runner actually uses: per-chunk
+    // sketches merged in order.
+    g.bench_function("sketch_k4096_merged_16", |b| {
+        b.iter(|| {
+            let mut total = RankSketch::new(4096);
+            for chunk in xs.chunks(xs.len() / 16) {
+                let mut part = RankSketch::new(4096);
+                part.extend(chunk);
+                total.merge(&part);
+            }
+            black_box(total.quantiles(&qs))
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tracer, bench_quantiles
+}
+criterion_main!(benches);

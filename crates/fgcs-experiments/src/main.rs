@@ -14,6 +14,7 @@
 mod contention_exps;
 mod extension_exps;
 mod fault_exps;
+mod fleet_exps;
 mod predict_exps;
 mod report;
 mod sched_exps;
@@ -88,6 +89,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "X14: fgcs-sched prediction-driven placement vs baselines on a live cluster (not in `all`)",
     ),
     (
+        "fleet",
+        "X15: 100k-machine heterogeneous fleet through the streaming path (not in `all`)",
+    ),
+    (
         "trace",
         "Dump the full testbed trace to results/ (JSONL + CSV)",
     ),
@@ -122,6 +127,7 @@ fn run(name: &str, quick: bool) {
         "faults" => fault_exps::fault_matrix(quick),
         "serve" => serve_exps::serve(quick),
         "sched" => sched_exps::sched(quick),
+        "fleet" => fleet_exps::fleet(quick),
         "table2" => trace_exps::table2(quick),
         "fig6" => trace_exps::fig6(quick),
         "fig7" => trace_exps::fig7(quick),
@@ -149,8 +155,10 @@ fn main() {
             // other CSVs; run it explicitly (`fgcs-exp serve`), the way
             // `cargo bench` regenerates BENCH_sim.json. `sched` splices
             // a gate into BENCH_serve.json too, so it is likewise run
-            // explicitly (`fgcs-exp sched`).
-            if *n != "serve" && *n != "sched" {
+            // explicitly (`fgcs-exp sched`). `fleet` regenerates
+            // BENCH_fleet.json (wall-clock and RSS measurements), so it
+            // follows the same rule (`fgcs-exp fleet`).
+            if *n != "serve" && *n != "sched" && *n != "fleet" {
                 run(n, quick);
             }
         }

@@ -28,12 +28,21 @@
 //! (cwd-relative).
 
 use fgcs_service::{run_loadgen, Backend, LoadGenConfig, LoadGenReport, Server, ServiceConfig};
-use fgcs_stats::quantile::quantile;
+use fgcs_stats::quantile::quantiles;
 use fgcs_testbed::json::ObjWriter;
 use fgcs_testbed::runner::TestbedConfig;
 use fgcs_wire::StatsPayload;
 
 use crate::report::{banner, write_csv};
+
+/// p50/p99 of a latency sample with a single sort (the old
+/// `quantile(..)` pair sorted the vector twice).
+fn p50_p99_us(lat: &[f64]) -> (f64, f64) {
+    match quantiles(lat, &[0.5, 0.99]) {
+        Some(q) => (q[0], q[1]),
+        None => (0.0, 0.0),
+    }
+}
 
 struct PhaseOutcome {
     report: LoadGenReport,
@@ -75,8 +84,7 @@ fn run_phase(svc: ServiceConfig, lg: &LoadGenConfig) -> PhaseOutcome {
         .iter()
         .map(|&us| us as f64)
         .collect();
-    let p50_us = quantile(&lat, 0.5).unwrap_or(0.0);
-    let p99_us = quantile(&lat, 0.99).unwrap_or(0.0);
+    let (p50_us, p99_us) = p50_p99_us(&lat);
     PhaseOutcome {
         report,
         stats,
@@ -170,8 +178,7 @@ fn run_scale_point(backend: Backend, conns: usize, threads_cap: usize) -> ScaleP
         .iter()
         .map(|&us| us as f64)
         .collect();
-    let p50_us = quantile(&lat, 0.5).unwrap_or(0.0);
-    let p99_us = quantile(&lat, 0.99).unwrap_or(0.0);
+    let (p50_us, p99_us) = p50_p99_us(&lat);
     ScalePoint {
         backend,
         conns,
@@ -357,8 +364,7 @@ fn run_core_point(loops: usize, conns: usize, total_batches: u64) -> CorePoint {
         .iter()
         .map(|&us| us as f64)
         .collect();
-    let p50_us = quantile(&lat, 0.5).unwrap_or(0.0);
-    let p99_us = quantile(&lat, 0.99).unwrap_or(0.0);
+    let (p50_us, p99_us) = p50_p99_us(&lat);
     CorePoint {
         loops,
         conns,

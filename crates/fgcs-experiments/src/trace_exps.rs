@@ -1,9 +1,17 @@
 //! Regenerators for the trace study: Table 2, Figures 6–7, and the
 //! regularity analysis (§5).
+//!
+//! The analyses here run through the bounded-memory streaming path
+//! ([`fgcs_testbed::streaming`]) — the same code the fleet experiment
+//! uses at 100k+ machines — and, at this lab scale where it is cheap,
+//! verify every reported number against the exact in-memory oracle
+//! before printing anything.
 
+use fgcs_stats::sketch::DEFAULT_K;
 use fgcs_testbed::analysis::{self, REBOOT_CUTOFF_SECS};
 use fgcs_testbed::calendar::DayType;
 use fgcs_testbed::runner::{run_testbed, TestbedConfig};
+use fgcs_testbed::streaming::{StreamingAnalysis, Table2Summary};
 use fgcs_testbed::trace::Trace;
 
 use crate::report::{banner, bar, compare_line, hours, pct, write_csv, TextTable};
@@ -18,6 +26,53 @@ pub fn standard_trace(quick: bool) -> Trace {
     run_testbed(&cfg)
 }
 
+/// Folds `trace` through the streaming analysis and verifies it against
+/// the exact oracle: Table 2 and the Figure 7 matrix must agree
+/// bit-for-bit (integer folds commute), Figure 6 CDF queries must land
+/// within the sketch's runtime-certified rank-error bound.
+pub fn verified_streaming(trace: &Trace) -> StreamingAnalysis {
+    let acc = StreamingAnalysis::from_trace(trace, DEFAULT_K);
+    let t2 = analysis::table2(trace);
+    assert_eq!(
+        acc.table2_summary(),
+        Table2Summary::from(&t2),
+        "streaming Table 2 diverged from the exact oracle"
+    );
+    assert_eq!(
+        acc.day_hour_counts(),
+        &analysis::day_hour_counts(trace)[..],
+        "streaming Figure 7 matrix diverged from the exact oracle"
+    );
+    let iv = analysis::intervals(trace);
+    let mut worst_eps = 0.0f64;
+    for (dt, ecdf) in [
+        (DayType::Weekday, &iv.weekday),
+        (DayType::Weekend, &iv.weekend),
+    ] {
+        let sk = acc.interval_sketch(dt);
+        assert_eq!(sk.count(), ecdf.len() as u64, "{dt} interval count");
+        if sk.count() == 0 {
+            continue;
+        }
+        let eps = sk.rank_error_bound() as f64 / sk.count() as f64;
+        worst_eps = worst_eps.max(eps);
+        for i in 0..=48 {
+            let x = i as f64 * 0.5; // 0 h .. 24 h
+            let exact = ecdf.eval(x);
+            let sketched = sk.cdf(x).expect("non-empty sketch");
+            assert!(
+                (exact - sketched).abs() <= eps + 1e-12,
+                "{dt} cdf({x}): exact {exact}, sketch {sketched}, bound {eps}"
+            );
+        }
+    }
+    println!(
+        "[streaming verified against exact oracle: Table 2 + Fig 7 bit-identical, \
+         Fig 6 CDF error <= {worst_eps:.5} (k = {DEFAULT_K})]"
+    );
+    acc
+}
+
 /// Table 2: resource unavailability by cause.
 pub fn table2(quick: bool) {
     banner("Table 2 — resource unavailability due to different causes");
@@ -29,36 +84,50 @@ pub fn table2(quick: bool) {
         trace.machine_days(),
         trace.records.len()
     );
-    let t2 = analysis::table2(&trace);
-    let (cpu_pct, mem_pct, urr_pct) = t2.percentage_ranges();
+    let t2s = verified_streaming(&trace).table2_summary();
 
     let mut table = TextTable::new(&["category", "measured (per machine)", "paper (per machine)"]);
-    table.row(vec!["total".into(), t2.total.to_string(), "405-453".into()]);
+    table.row(vec![
+        "total".into(),
+        t2s.total.to_string(),
+        "405-453".into(),
+    ]);
     table.row(vec![
         "UEC / CPU contention".into(),
-        t2.cpu.to_string(),
+        t2s.cpu.to_string(),
         "283-356".into(),
     ]);
     table.row(vec![
         "UEC / memory contention".into(),
-        t2.mem.to_string(),
+        t2s.mem.to_string(),
         "83-121".into(),
     ]);
-    table.row(vec!["URR".into(), t2.urr.to_string(), "3-12".into()]);
-    table.row(vec!["CPU %".into(), format!("{cpu_pct}%"), "69-79%".into()]);
+    table.row(vec!["URR".into(), t2s.urr.to_string(), "3-12".into()]);
+    table.row(vec![
+        "CPU %".into(),
+        format!("{}%", t2s.cpu_pct),
+        "69-79%".into(),
+    ]);
     table.row(vec![
         "memory %".into(),
-        format!("{mem_pct}%"),
+        format!("{}%", t2s.mem_pct),
         "19-30%".into(),
     ]);
-    table.row(vec!["URR %".into(), format!("{urr_pct}%"), "0-3%".into()]);
+    table.row(vec![
+        "URR %".into(),
+        format!("{}%", t2s.urr_pct),
+        "0-3%".into(),
+    ]);
     table.print();
     compare_line(
         &format!("URR from reboots (raw outage < {REBOOT_CUTOFF_SECS}s)"),
-        pct(t2.urr_reboot_fraction),
+        pct(t2s.urr_reboot_fraction),
         "~90%",
     );
 
+    // The per-machine CSV is inherently a per-machine artifact; it comes
+    // from the exact path (which the summary above was verified against).
+    let t2 = analysis::table2(&trace);
     let csv: Vec<String> = t2
         .per_machine
         .iter()
@@ -78,7 +147,11 @@ pub fn table2(quick: bool) {
 pub fn fig6(quick: bool) {
     banner("Figure 6 — CDF of availability-interval lengths");
     let trace = standard_trace(quick);
-    let iv = analysis::intervals(&trace);
+    let acc = verified_streaming(&trace);
+    let (wd, we) = (
+        acc.interval_sketch(DayType::Weekday),
+        acc.interval_sketch(DayType::Weekend),
+    );
 
     let mut table = TextTable::new(&["interval length", "weekday CDF", "weekend CDF"]);
     let grid_hours: Vec<f64> = vec![
@@ -96,43 +169,43 @@ pub fn fig6(quick: bool) {
     ];
     let mut csv = Vec::new();
     for &h in &grid_hours {
-        let wd = iv.weekday.eval(h);
-        let we = iv.weekend.eval(h);
+        let wdc = wd.cdf(h).unwrap_or(0.0);
+        let wec = we.cdf(h).unwrap_or(0.0);
         table.row(vec![
             if h < 0.2 {
                 "5 min".into()
             } else {
                 format!("{h:.1} h")
             },
-            pct(wd),
-            pct(we),
+            pct(wdc),
+            pct(wec),
         ]);
-        csv.push(format!("{h:.3},{wd:.4},{we:.4}"));
+        csv.push(format!("{h:.3},{wdc:.4},{wec:.4}"));
     }
     table.print();
     compare_line(
         "weekday mean interval",
-        hours(iv.weekday.mean() * 3600.0),
+        hours(acc.mean_hours(DayType::Weekday) * 3600.0),
         "close to 3 h",
     );
     compare_line(
         "weekend mean interval",
-        hours(iv.weekend.mean() * 3600.0),
+        hours(acc.mean_hours(DayType::Weekend) * 3600.0),
         "above 5 h",
     );
     compare_line(
         "weekday intervals in 2-4 h",
-        pct(iv.fraction_between(DayType::Weekday, 2.0, 4.0)),
+        pct(wd.cdf(4.0).unwrap_or(0.0) - wd.cdf(2.0).unwrap_or(0.0)),
         "~60%",
     );
     compare_line(
         "weekend intervals in 4-6 h",
-        pct(iv.fraction_between(DayType::Weekend, 4.0, 6.0)),
+        pct(we.cdf(6.0).unwrap_or(0.0) - we.cdf(4.0).unwrap_or(0.0)),
         "~60%",
     );
     compare_line(
         "intervals shorter than 5 min",
-        pct(iv.weekday.eval(5.0 / 60.0)),
+        pct(wd.cdf(5.0 / 60.0).unwrap_or(0.0)),
         "~5%",
     );
     let path = write_csv("fig6", "hours,weekday_cdf,weekend_cdf", &csv).expect("csv");
@@ -143,7 +216,7 @@ pub fn fig6(quick: bool) {
 pub fn fig7(quick: bool) {
     banner("Figure 7 — unavailability occurrences per hour of day (testbed-wide)");
     let trace = standard_trace(quick);
-    let h = analysis::hourly(&trace);
+    let h = verified_streaming(&trace).hourly();
 
     let mut csv = Vec::new();
     for (dt, g) in [
@@ -183,7 +256,7 @@ pub fn fig7(quick: bool) {
 pub fn regularity(quick: bool) {
     banner("Regularity (§5.3) — are daily patterns comparable to recent history?");
     let trace = standard_trace(quick);
-    let r = analysis::regularity(&trace);
+    let r = verified_streaming(&trace).regularity();
     compare_line(
         "mean pairwise weekday correlation",
         format!("{:.2}", r.weekday_correlation),

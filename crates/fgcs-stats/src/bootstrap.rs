@@ -6,7 +6,7 @@
 //! used by the analysis extensions to state how stable the reproduced
 //! numbers are across resamples of the same trace.
 
-use crate::quantile::quantile_sorted;
+use crate::quantile::{quantile_sorted, sort_total};
 use crate::rng::Rng;
 
 /// A two-sided percentile confidence interval.
@@ -71,7 +71,7 @@ where
     if stats.is_empty() {
         return None;
     }
-    stats.sort_by(|a, b| a.total_cmp(b));
+    sort_total(&mut stats);
     let alpha = (1.0 - level) / 2.0;
     Some(ConfidenceInterval {
         lo: quantile_sorted(&stats, alpha),

@@ -26,6 +26,9 @@
 //!   the daily-pattern regularity analysis.
 //! * [`bootstrap`] — percentile-bootstrap confidence intervals for the
 //!   trace statistics.
+//! * [`sketch`] — a mergeable, deterministic streaming quantile/CDF
+//!   sketch with a runtime-certified rank-error bound, for fleet-scale
+//!   analyses that cannot afford sort-the-world.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod grouped;
 pub mod hist;
 pub mod quantile;
 pub mod rng;
+pub mod sketch;
 pub mod smooth;
 
 pub use desc::OnlineStats;
@@ -46,3 +50,4 @@ pub use ecdf::Ecdf;
 pub use hist::Histogram;
 pub use quantile::{median, quantile};
 pub use rng::Rng;
+pub use sketch::RankSketch;

@@ -5,17 +5,51 @@
 //! summaries ("about 60% of intervals are between 2 and 4 hours") call
 //! for.
 
+/// Sorts a slice of floats ascending with `total_cmp` — the one sort
+/// every summary in this crate (quantiles, trimmed means, bootstrap
+/// percentiles, sketch compaction) routes through.
+pub fn sort_total(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// Copies `xs` into a sorted vector, detecting NaN in the same pass as
+/// the copy (no separate `any()` scan). Returns `None` — without
+/// sorting — if the input is empty or contains NaN.
+pub fn sorted_copy(xs: &[f64]) -> Option<Vec<f64>> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = Vec::with_capacity(xs.len());
+    for &x in xs {
+        if x.is_nan() {
+            return None;
+        }
+        sorted.push(x);
+    }
+    sort_total(&mut sorted);
+    Some(sorted)
+}
+
 /// Returns the `q`-quantile (`0 <= q <= 1`) of the samples.
 ///
 /// The input does not need to be sorted. Returns `None` for an empty
 /// input or a `q` outside `[0, 1]`, or when the data contains NaN.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    Some(quantile_sorted(&sorted_copy(xs)?, q))
+}
+
+/// In-place fast path: sorts `xs` and reads the quantile from it, with
+/// no clone. Same `None` contract as [`quantile`]; on `None` the slice
+/// may or may not have been sorted.
+pub fn quantile_in_place(xs: &mut [f64], q: f64) -> Option<f64> {
     if xs.is_empty() || !(0.0..=1.0).contains(&q) || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    Some(quantile_sorted(&sorted, q))
+    sort_total(xs);
+    Some(quantile_sorted(xs, q))
 }
 
 /// `q`-quantile of an already ascending-sorted, non-empty slice.
@@ -46,11 +80,7 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 
 /// Several quantiles in one sort.
 pub fn quantiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
-    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
-        return None;
-    }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
+    let sorted = sorted_copy(xs)?;
     qs.iter()
         .map(|&q| {
             if (0.0..=1.0).contains(&q) {
@@ -107,6 +137,26 @@ mod tests {
         for (i, q) in [0.1, 0.5, 0.9].iter().enumerate() {
             assert_eq!(batch[i], quantile(&xs, *q).unwrap());
         }
+    }
+
+    #[test]
+    fn in_place_matches_cloning_path() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 3.0, -2.0];
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let mut scratch = xs;
+            assert_eq!(quantile_in_place(&mut scratch, q), quantile(&xs, q));
+        }
+        assert_eq!(quantile_in_place(&mut [], 0.5), None);
+        assert_eq!(quantile_in_place(&mut [1.0, f64::NAN], 0.5), None);
+        assert_eq!(quantile_in_place(&mut [1.0], 1.5), None);
+    }
+
+    #[test]
+    fn sorted_copy_contract() {
+        assert_eq!(sorted_copy(&[3.0, 1.0, 2.0]), Some(vec![1.0, 2.0, 3.0]));
+        assert_eq!(sorted_copy(&[]), None);
+        assert_eq!(sorted_copy(&[1.0, f64::NAN]), None);
     }
 
     #[test]

@@ -46,11 +46,7 @@ pub fn exp_smooth(xs: &[f64], alpha: f64) -> Vec<f64> {
 /// [`crate::quantile::quantile`], it refuses to summarize corrupt data
 /// rather than panic or return NaN).
 pub fn trimmed_mean(xs: &[f64], trim: usize) -> Option<f64> {
-    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
-        return None;
-    }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
+    let sorted = crate::quantile::sorted_copy(xs)?;
     let kept: &[f64] = if sorted.len() > 2 * trim {
         &sorted[trim..sorted.len() - trim]
     } else {

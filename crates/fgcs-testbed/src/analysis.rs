@@ -103,26 +103,34 @@ impl Table2 {
     }
 }
 
-/// Computes the Table 2 statistics from a trace.
-pub fn table2(trace: &Trace) -> Table2 {
-    let mut per_machine = vec![CauseCounts::default(); trace.meta.machines as usize];
-    for r in &trace.records {
-        let c = &mut per_machine[r.machine as usize];
-        c.total += 1;
+impl CauseCounts {
+    /// Counts one occurrence record, including the reboot/failure split
+    /// of URR — the single per-record rule both the exact [`table2`] and
+    /// the streaming path ([`crate::streaming`]) apply.
+    pub fn push_record(&mut self, r: &TraceRecord) {
+        self.total += 1;
         match r.cause {
-            FailureCause::CpuContention => c.cpu += 1,
-            FailureCause::MemoryThrashing => c.mem += 1,
+            FailureCause::CpuContention => self.cpu += 1,
+            FailureCause::MemoryThrashing => self.mem += 1,
             FailureCause::Revocation => {
-                c.urr += 1;
+                self.urr += 1;
                 let reboot = r
                     .raw_duration()
                     .map(|d| d < REBOOT_CUTOFF_SECS)
                     .unwrap_or(false);
                 if reboot {
-                    c.urr_reboots += 1;
+                    self.urr_reboots += 1;
                 }
             }
         }
+    }
+}
+
+/// Computes the Table 2 statistics from a trace.
+pub fn table2(trace: &Trace) -> Table2 {
+    let mut per_machine = vec![CauseCounts::default(); trace.meta.machines as usize];
+    for r in &trace.records {
+        per_machine[r.machine as usize].push_record(r);
     }
     let urr_total: usize = per_machine.iter().map(|c| c.urr).sum();
     let reboots: usize = per_machine.iter().map(|c| c.urr_reboots).sum();
@@ -253,34 +261,44 @@ pub struct HourlyAnalysis {
 /// multiple hours is counted once in every hour interval it overlaps, as
 /// the paper specifies.
 pub fn day_hour_counts(trace: &Trace) -> Vec<[u32; 24]> {
-    let days = trace.meta.days as usize;
-    let mut counts = vec![[0u32; 24]; days];
+    let mut counts = vec![[0u32; 24]; trace.meta.days as usize];
     for r in &trace.records {
-        let end = r
-            .end
-            .unwrap_or(trace.meta.span_secs)
-            .min(trace.meta.span_secs);
-        let mut hour_start = r.start - (r.start % SECS_PER_HOUR);
-        while hour_start < end {
-            let day = (hour_start / SECS_PER_DAY) as usize;
-            if day >= days {
-                break;
-            }
-            let hour = ((hour_start % SECS_PER_DAY) / SECS_PER_HOUR) as usize;
-            counts[day][hour] += 1;
-            hour_start += SECS_PER_HOUR;
-        }
+        count_record_hours(&mut counts, r, trace.meta.span_secs);
     }
     counts
 }
 
+/// Adds one record's hour-bin hits to a day×hour matrix — shared by
+/// [`day_hour_counts`] and the streaming path so the Figure 7 matrix is
+/// bit-identical either way.
+pub fn count_record_hours(counts: &mut [[u32; 24]], r: &TraceRecord, span_secs: u64) {
+    let days = counts.len();
+    let end = r.end.unwrap_or(span_secs).min(span_secs);
+    let mut hour_start = r.start - (r.start % SECS_PER_HOUR);
+    while hour_start < end {
+        let day = (hour_start / SECS_PER_DAY) as usize;
+        if day >= days {
+            break;
+        }
+        let hour = ((hour_start % SECS_PER_DAY) / SECS_PER_HOUR) as usize;
+        counts[day][hour] += 1;
+        hour_start += SECS_PER_HOUR;
+    }
+}
+
 /// Computes the Figure 7 hourly bands.
 pub fn hourly(trace: &Trace) -> HourlyAnalysis {
-    let matrix = day_hour_counts(trace);
+    hourly_from_matrix(&day_hour_counts(trace), trace.meta.start_weekday)
+}
+
+/// [`hourly`] from a precomputed day×hour matrix — the entry point the
+/// bounded-memory streaming path ([`crate::streaming`]) shares with the
+/// exact one, so both produce bit-identical Figure 7 bands.
+pub fn hourly_from_matrix(matrix: &[[u32; 24]], start_weekday: u8) -> HourlyAnalysis {
     let mut weekday = GroupedStats::new();
     let mut weekend = GroupedStats::new();
     for (day, hours) in matrix.iter().enumerate() {
-        let target = match day_type(day as u64, trace.meta.start_weekday) {
+        let target = match day_type(day as u64, start_weekday) {
             DayType::Weekday => &mut weekday,
             DayType::Weekend => &mut weekend,
         };
@@ -308,17 +326,23 @@ pub struct Regularity {
 
 /// Computes the regularity metrics.
 pub fn regularity(trace: &Trace) -> Regularity {
-    let matrix = day_hour_counts(trace);
+    regularity_from_matrix(&day_hour_counts(trace), trace.meta.start_weekday)
+}
+
+/// [`regularity`] from a precomputed day×hour matrix (shared with the
+/// streaming path, same bit-identity guarantee as
+/// [`hourly_from_matrix`]).
+pub fn regularity_from_matrix(matrix: &[[u32; 24]], start_weekday: u8) -> Regularity {
     let mut weekday_vecs: Vec<Vec<f64>> = Vec::new();
     let mut weekend_vecs: Vec<Vec<f64>> = Vec::new();
     for (day, hours) in matrix.iter().enumerate() {
         let v: Vec<f64> = hours.iter().map(|&c| c as f64).collect();
-        match day_type(day as u64, trace.meta.start_weekday) {
+        match day_type(day as u64, start_weekday) {
             DayType::Weekday => weekday_vecs.push(v),
             DayType::Weekend => weekend_vecs.push(v),
         }
     }
-    let bands = hourly(trace);
+    let bands = hourly_from_matrix(matrix, start_weekday);
     let mean_cv = |g: &GroupedStats<u8>| {
         let cvs: Vec<f64> = g
             .iter()

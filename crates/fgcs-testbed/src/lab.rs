@@ -111,6 +111,32 @@ pub struct LabConfig {
     /// (the paper's per-machine Table 2 ranges are fairly tight); the
     /// proactive-scheduling experiment raises it explicitly.
     pub machine_busyness_spread: f64,
+    /// Office-desktop archetype: the machine is powered off overnight
+    /// between `(off_hour, on_hour)` (wrapping past midnight when
+    /// `on_hour <= off_hour`). `None` (the default) disables the
+    /// behavior and draws no randomness, keeping existing seeds
+    /// bit-identical.
+    pub nightly_off_hours: Option<(u8, u8)>,
+    /// Probability (per day) that the user actually shuts the machine
+    /// down when [`Self::nightly_off_hours`] is set.
+    pub nightly_off_prob: f64,
+    /// Laptop archetype: lid-close revocations per occupied hour. The
+    /// machine simply vanishes mid-session — the paper's S5 without the
+    /// reboot signature. `0.0` (the default) draws no randomness.
+    pub lid_close_per_session_hour: f64,
+    /// Lid-close downtime range, seconds (long enough to never look
+    /// like a reboot).
+    pub lid_close_secs: (u64, u64),
+    /// Build-farm archetype: session-independent compile storms per
+    /// day (whole-farm CI bursts). `0.0` (the default) draws no
+    /// randomness.
+    pub storms_per_day: f64,
+    /// Compile-storm duration range, seconds.
+    pub storm_secs: (u64, u64),
+    /// Compile-storm load range.
+    pub storm_load: (f64, f64),
+    /// Compile-storm resident-memory range, MB.
+    pub storm_mem_mb: (u32, u32),
 }
 
 impl Default for LabConfig {
@@ -154,6 +180,14 @@ impl Default for LabConfig {
             blip_secs: (5, 40),
             blip_load: (0.70, 0.95),
             machine_busyness_spread: 0.15,
+            nightly_off_hours: None,
+            nightly_off_prob: 0.0,
+            lid_close_per_session_hour: 0.0,
+            lid_close_secs: (120, 1_800),
+            storms_per_day: 0.0,
+            storm_secs: (300, 2_700),
+            storm_load: (0.75, 1.0),
+            storm_mem_mb: (400, 900),
         }
     }
 }
@@ -327,6 +361,17 @@ impl MachinePlan {
                             .range_u64(cfg.reboot_downtime_secs.0, cfg.reboot_downtime_secs.1 + 1);
                         downtimes.push((rs, (rs + rd).min(span)));
                     }
+
+                    // Lid close mid-session (laptop archetype)? The
+                    // `> 0.0` gate short-circuits before any draw so
+                    // default configs keep their RNG streams.
+                    if cfg.lid_close_per_session_hour > 0.0
+                        && rng.chance(cfg.lid_close_per_session_hour * hours)
+                    {
+                        let ls = start + rng.below((end - start).max(1));
+                        let ld = rng.range_u64(cfg.lid_close_secs.0, cfg.lid_close_secs.1 + 1);
+                        downtimes.push((ls, (ls + ld).min(span)));
+                    }
                 }
             }
 
@@ -355,6 +400,39 @@ impl MachinePlan {
                     load: cfg.updatedb_load,
                     mem_mb: 40,
                 });
+            }
+
+            // --- Compile storms (build-farm archetype). ---
+            if cfg.storms_per_day > 0.0 {
+                let n = Poisson::new(cfg.storms_per_day).sample(&mut rng);
+                for _ in 0..n {
+                    let ss = day * SECS_PER_DAY + rng.below(SECS_PER_DAY);
+                    let sd = rng.range_u64(cfg.storm_secs.0, cfg.storm_secs.1 + 1);
+                    contributions.push(Contribution {
+                        start: ss,
+                        end: (ss + sd).min(span),
+                        load: rng.range_f64(cfg.storm_load.0, cfg.storm_load.1),
+                        mem_mb: rng
+                            .range_u64(cfg.storm_mem_mb.0 as u64, cfg.storm_mem_mb.1 as u64 + 1)
+                            as u32,
+                    });
+                }
+            }
+
+            // --- Nightly power-off (office-desktop archetype). ---
+            if let Some((off_h, on_h)) = cfg.nightly_off_hours {
+                if cfg.nightly_off_prob > 0.0 && rng.chance(cfg.nightly_off_prob) {
+                    let off = day * SECS_PER_DAY
+                        + off_h as u64 % 24 * SECS_PER_HOUR
+                        + rng.below(SECS_PER_HOUR);
+                    let on_day = if on_h <= off_h { day + 1 } else { day };
+                    let on = on_day * SECS_PER_DAY
+                        + on_h as u64 % 24 * SECS_PER_HOUR
+                        + rng.below(SECS_PER_HOUR);
+                    if on > off {
+                        downtimes.push((off.min(span), on.min(span)));
+                    }
+                }
             }
         }
 
@@ -426,6 +504,122 @@ impl MachinePlan {
             next_down: 0,
             noise: Rng::new(self.noise_seed),
         }
+    }
+
+    /// Seed of the per-sample background-noise stream (the batched
+    /// tracer replays it sample-for-sample to stay bit-identical with
+    /// [`Self::samples`]).
+    pub(crate) fn noise_seed(&self) -> u64 {
+        self.noise_seed
+    }
+
+    /// Iterates maximal time spans over which the machine's state is
+    /// constant: same liveness, same set of active contributions. Within
+    /// a span every monitor sample differs only by the background-noise
+    /// draw, which lets the fleet tracer process whole spans at a time
+    /// instead of re-deriving the active set per sample.
+    ///
+    /// The spans exactly tile `[0, span_secs)`, and evaluating
+    /// [`Self::samples`] at any `t` inside a span observes precisely
+    /// `loads`/`mem_mb` (alive) or a dead sample.
+    pub fn spans(&self) -> PlanSpanIter<'_> {
+        PlanSpanIter {
+            plan: self,
+            t: 0,
+            next_contrib: 0,
+            active: Vec::new(),
+            next_down: 0,
+        }
+    }
+}
+
+/// A maximal constant-state span of a [`MachinePlan`]: see
+/// [`MachinePlan::spans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSpan {
+    /// Span start, inclusive (seconds since trace start).
+    pub start: u64,
+    /// Span end, exclusive.
+    pub end: u64,
+    /// True if the machine is down for the whole span.
+    pub dead: bool,
+    /// Load of each active contribution, in activation order (the
+    /// per-sample sum `noise + loads[0] + loads[1] + …` reproduces
+    /// [`SampleIter`]'s float-add order bit-for-bit).
+    pub loads: Vec<f64>,
+    /// Total resident memory over the span, MB (the saturating fold is
+    /// order-deterministic, so it is safe to precompute).
+    pub mem_mb: u32,
+}
+
+/// Iterator over [`PlanSpan`]s: see [`MachinePlan::spans`].
+#[derive(Debug, Clone)]
+pub struct PlanSpanIter<'a> {
+    plan: &'a MachinePlan,
+    t: u64,
+    next_contrib: usize,
+    active: Vec<Contribution>,
+    next_down: usize,
+}
+
+impl Iterator for PlanSpanIter<'_> {
+    type Item = PlanSpan;
+
+    fn next(&mut self) -> Option<PlanSpan> {
+        let plan = self.plan;
+        let span_secs = plan.cfg.span_secs();
+        if self.t >= span_secs {
+            return None;
+        }
+        let t = self.t;
+
+        // Mirror SampleIter's bookkeeping at time `t`.
+        while self.next_contrib < plan.contributions.len()
+            && plan.contributions[self.next_contrib].start <= t
+        {
+            self.active.push(plan.contributions[self.next_contrib]);
+            self.next_contrib += 1;
+        }
+        self.active.retain(|c| c.end > t);
+        while self.next_down < plan.downtimes.len() && plan.downtimes[self.next_down].1 <= t {
+            self.next_down += 1;
+        }
+        let down = plan.downtimes.get(self.next_down);
+        let dead = down.map(|&(s, e)| s <= t && t < e).unwrap_or(false);
+
+        // The span extends to the next state change: a contribution
+        // starting or ending, or a downtime boundary.
+        let mut end = span_secs;
+        if let Some(c) = plan.contributions.get(self.next_contrib) {
+            end = end.min(c.start);
+        }
+        for c in &self.active {
+            end = end.min(c.end);
+        }
+        if let Some(&(s, e)) = down {
+            end = end.min(if dead { e } else { s.max(t + 1) });
+        }
+        debug_assert!(end > t, "span must advance");
+        self.t = end;
+
+        let (loads, mem_mb) = if dead {
+            (Vec::new(), 0)
+        } else {
+            let mut mem = plan.cfg.base_resident_mb;
+            let mut loads = Vec::with_capacity(self.active.len());
+            for c in &self.active {
+                loads.push(c.load);
+                mem = mem.saturating_add(c.mem_mb);
+            }
+            (loads, mem)
+        };
+        Some(PlanSpan {
+            start: t,
+            end,
+            dead,
+            loads,
+            mem_mb,
+        })
     }
 }
 

@@ -17,6 +17,11 @@
 //!   thresholds);
 //! * [`analysis`] — Table 2, Figure 6, Figure 7 and the §5.3 regularity
 //!   analysis;
+//! * [`streaming`] — the same analyses as bounded-memory sketch folds
+//!   that scale to fleets of 100k+ machines;
+//! * [`fleet`] — archetype-mixed fleet generation (labs, server farms,
+//!   office desktops, laptops, build farms) with deterministic chunked
+//!   fan-out;
 //! * [`calendar`] — weekday/weekend and hour-of-day arithmetic;
 //! * [`scenarios`] — the §6 future-work testbeds (enterprise desktop,
 //!   home PC) as ready-made configurations.
@@ -37,18 +42,23 @@
 
 pub mod analysis;
 pub mod calendar;
+pub mod fleet;
 pub mod json;
 pub mod lab;
 pub mod loadtrace;
 pub mod quality;
 pub mod runner;
 pub mod scenarios;
+pub mod streaming;
 pub mod trace;
 
+pub use fleet::{run_fleet, Archetype, FleetConfig, FleetResult};
 pub use lab::{LabConfig, LoadSample, MachinePlan};
 pub use quality::{MachineQuality, QualityTotals, TraceQualityReport};
 pub use runner::{
-    backoff_delay, run_testbed, run_testbed_faulty, trace_machine, trace_machine_supervised,
-    OccurrenceRecorder, RecorderRestoreError, RecorderSnapshot, SupervisorConfig, TestbedConfig,
+    backoff_delay, run_testbed, run_testbed_faulty, trace_machine, trace_machine_batched,
+    trace_machine_supervised, OccurrenceRecorder, RecorderRestoreError, RecorderSnapshot,
+    SupervisorConfig, TestbedConfig,
 };
+pub use streaming::{StreamingAnalysis, Table2Summary};
 pub use trace::{Trace, TraceError, TraceMeta, TraceRecord};

@@ -161,6 +161,17 @@ impl OccurrenceRecorder {
         step
     }
 
+    /// Fast path for the batched tracer: credits one available sample to
+    /// the running interval means without stepping the detector. Only
+    /// valid when the detector is calmly available (`is_available()`,
+    /// no pending spike) and the observation could not change that —
+    /// the float operations mirror [`Self::observe`] exactly.
+    pub(crate) fn accumulate_available_sample(&mut self, host_load: f64, free_mem_mb: u32) {
+        self.avail_cpu_sum += 1.0 - host_load;
+        self.avail_mem_sum += free_mem_mb as f64;
+        self.avail_samples += 1;
+    }
+
     /// Captures everything needed to resume this recorder after a
     /// process restart, *except* the records themselves (callers persist
     /// those separately — typically via the trace serializers — and hand
@@ -300,6 +311,92 @@ pub fn trace_machine(cfg: &TestbedConfig, machine_id: usize) -> Vec<TraceRecord>
             Observation::dead()
         };
         recorder.observe(s.t, &obs);
+    }
+    recorder.into_records()
+}
+
+/// Traces a single machine like [`trace_machine`] but in constant-state
+/// spans instead of sample-by-sample, producing **bit-identical
+/// records** (asserted by tests across all archetypes):
+///
+/// * downtime spans feed the detector one dead observation (at the
+///   first monitor tick inside the span) instead of thousands —
+///   consecutive dead samples are idempotent for the detector;
+/// * idle spans (no active contributions, background noise safely below
+///   `Th2`, memory unconstrained) step the detector only until it is
+///   calmly available, then credit the remaining samples straight to
+///   the interval means. The per-sample noise draw is still performed —
+///   the RNG stream position and float-add order are what make the two
+///   paths bit-identical.
+///
+/// Falls back to [`trace_machine`] when a `max_silence` gap policy is
+/// configured (the gap check inspects every sample's timestamp).
+pub fn trace_machine_batched(cfg: &TestbedConfig, machine_id: usize) -> Vec<TraceRecord> {
+    if cfg.detector.max_silence.is_some() {
+        return trace_machine(cfg, machine_id);
+    }
+    let plan = MachinePlan::generate(&cfg.lab, machine_id);
+    let lab = &cfg.lab;
+    let p = lab.sample_period;
+    let mut recorder = OccurrenceRecorder::new(machine_id as u32, cfg.detector);
+    let mut noise = fgcs_stats::Rng::new(plan.noise_seed());
+    // The idle fast path requires that an idle sample can never push a
+    // calm, available detector out of availability: noise below Th2
+    // (no spike, no S3) and free memory at base residency above the
+    // guest working set (no S4).
+    let idle_free = lab.free_for_guest_mb(lab.base_resident_mb);
+    let idle_calm = lab.idle_load_max < cfg.detector.thresholds.th2
+        && idle_free >= cfg.detector.guest_working_set_mb;
+
+    for span in plan.spans() {
+        // First monitor tick inside the span; spans shorter than the
+        // sampling period can fall between ticks and are never observed
+        // (exactly as in the sample-by-sample path).
+        let first = (span.start + p - 1) / p * p;
+        if first >= span.end {
+            continue;
+        }
+        if span.dead {
+            recorder.observe(first, &Observation::dead());
+            continue;
+        }
+        let free = lab.free_for_guest_mb(span.mem_mb);
+        let mut t = first;
+        if span.loads.is_empty() && idle_calm {
+            while t < span.end && !(recorder.is_available() && !recorder.spike_active()) {
+                let load = noise.range_f64(0.0, lab.idle_load_max);
+                recorder.observe(
+                    t,
+                    &Observation {
+                        host_load: load.min(1.0),
+                        free_mem_mb: free,
+                        alive: true,
+                    },
+                );
+                t += p;
+            }
+            while t < span.end {
+                let load = noise.range_f64(0.0, lab.idle_load_max);
+                recorder.accumulate_available_sample(load.min(1.0), free);
+                t += p;
+            }
+        } else {
+            while t < span.end {
+                let mut load = noise.range_f64(0.0, lab.idle_load_max);
+                for &l in &span.loads {
+                    load += l;
+                }
+                recorder.observe(
+                    t,
+                    &Observation {
+                        host_load: load.min(1.0),
+                        free_mem_mb: free,
+                        alive: true,
+                    },
+                );
+                t += p;
+            }
+        }
     }
     recorder.into_records()
 }
@@ -710,6 +807,80 @@ mod tests {
             OccurrenceRecorder::restore(bad, &snap, rec.records().to_vec()),
             Err(RecorderRestoreError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn batched_tracer_is_bit_identical_to_exact_on_all_archetypes() {
+        // The whole fleet subsystem rests on this: span-batched tracing
+        // must reproduce the per-sample path record-for-record,
+        // including the f64 interval means.
+        for (name, lab) in crate::scenarios::all() {
+            let cfg = TestbedConfig {
+                lab: LabConfig {
+                    machines: 3,
+                    days: 7,
+                    ..lab
+                },
+                detector: DetectorConfig::wallclock_default(),
+            };
+            for m in 0..cfg.lab.machines {
+                assert_eq!(
+                    trace_machine_batched(&cfg, m),
+                    trace_machine(&cfg, m),
+                    "{name} machine {m}"
+                );
+            }
+        }
+        for arch in crate::fleet::Archetype::ALL {
+            let cfg = TestbedConfig {
+                lab: LabConfig {
+                    machines: 3,
+                    days: 7,
+                    ..arch.lab_config()
+                },
+                detector: DetectorConfig::wallclock_default(),
+            };
+            for m in 0..cfg.lab.machines {
+                assert_eq!(
+                    trace_machine_batched(&cfg, m),
+                    trace_machine(&cfg, m),
+                    "{arch:?} machine {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_tracer_falls_back_under_gap_policy() {
+        let mut cfg = TestbedConfig::tiny();
+        cfg.detector.max_silence = Some(120);
+        assert_eq!(trace_machine_batched(&cfg, 0), trace_machine(&cfg, 0));
+    }
+
+    #[test]
+    fn plan_spans_tile_the_trace_and_match_samples() {
+        let mut lab = LabConfig::tiny();
+        lab.hw_failures_per_day = 0.3; // force downtimes into the window
+        let plan = MachinePlan::generate(&lab, 1);
+        let spans: Vec<_> = plan.spans().collect();
+        assert_eq!(spans.first().unwrap().start, 0);
+        assert_eq!(spans.last().unwrap().end, lab.span_secs());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "spans must tile");
+        }
+        // Every sample's dead/alive status and memory agree with the
+        // span that contains it.
+        let mut it = spans.iter();
+        let mut cur = it.next().unwrap();
+        for s in plan.samples() {
+            while s.t >= cur.end {
+                cur = it.next().unwrap();
+            }
+            assert_eq!(s.alive, !cur.dead, "t={}", s.t);
+            if s.alive {
+                assert_eq!(s.host_resident_mb, cur.mem_mb, "t={}", s.t);
+            }
+        }
     }
 
     #[test]

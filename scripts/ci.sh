@@ -173,6 +173,60 @@ done
     || { echo "sched gate: pred completed work $g_pc below a baseline" >&2; exit 1; }
 echo "  evictions pred/greedy/random: $g_pe/$g_ge/$g_re, wasted: $g_pw/$g_gw/$g_rw s"
 
+echo "== fleet streaming smoke (X15, reduced scale) =="
+# The experiment asserts internally: streaming == exact oracle on the
+# lab trace, sketch quantile error within its runtime certificate (at
+# production and stressed capacity), in-process worker-count
+# bit-reproducibility, and the RSS budget. The smoke additionally
+# re-runs the whole binary under a different worker count and requires
+# byte-identical CSVs — the determinism claim checked end to end.
+(cd "$smoke_dir" && FGCS_PAR_WORKERS=1 "$exp_bin" fleet --quick > fleet.out)
+fa="$smoke_dir/results/fleet_archetypes.csv"
+test -f "$fa" || { echo "missing $fa" >&2; exit 1; }
+rows=$(($(wc -l < "$fa") - 1))
+[ "$rows" -eq 6 ] \
+    || { echo "fleet_archetypes.csv: expected 5 archetypes + combined, got $rows rows" >&2; exit 1; }
+cp "$fa" "$smoke_dir/fleet_archetypes.w1.csv"
+cp "$smoke_dir/results/fleet_cdf.csv" "$smoke_dir/fleet_cdf.w1.csv"
+(cd "$smoke_dir" && FGCS_PAR_WORKERS=3 "$exp_bin" fleet --quick > fleet2.out)
+cmp -s "$fa" "$smoke_dir/fleet_archetypes.w1.csv" \
+    || { echo "fleet smoke: fleet_archetypes.csv differs across worker counts" >&2; exit 1; }
+cmp -s "$smoke_dir/results/fleet_cdf.csv" "$smoke_dir/fleet_cdf.w1.csv" \
+    || { echo "fleet smoke: fleet_cdf.csv differs across worker counts" >&2; exit 1; }
+grep -q '"sketch_within_bound":1' "$smoke_dir/BENCH_fleet.json" \
+    || { echo "smoke BENCH_fleet.json: sketch error outside its certificate" >&2; exit 1; }
+echo "  5 archetypes + combined, CSVs bit-identical across FGCS_PAR_WORKERS=1/3"
+
+echo "== fleet gate (committed BENCH_fleet.json) =="
+# The committed full-scale X15 artifact must carry the tentpole claim:
+# the 100k-machine sweep fit the fixed RSS budget, the sketch honored
+# its runtime-certified rank bound against the exact oracle (including
+# the stressed-capacity tier where compaction actually runs), and the
+# accumulators were bit-reproducible across worker counts.
+fleet_num() {
+    grep -o "\"$1\":[^,}]*" BENCH_fleet.json | head -n 1 | cut -d: -f2
+}
+f_machines=$(fleet_num fleet_machines)
+f_peak=$(fleet_num peak_rss_mb)
+f_budget=$(fleet_num rss_budget_mb)
+f_inb=$(fleet_num sketch_within_bound)
+f_repro=$(fleet_num repro_identical)
+f_err=$(fleet_num stress_rank_err)
+f_bound=$(fleet_num stress_rank_bound)
+for v in "$f_machines" "$f_peak" "$f_budget" "$f_inb" "$f_repro" \
+         "$f_err" "$f_bound"; do
+    [ -n "$v" ] || { echo "BENCH_fleet.json: missing X15 gate keys" >&2; exit 1; }
+done
+[ "$f_machines" -ge 100000 ] \
+    || { echo "fleet gate: only $f_machines machines (need >= 100000)" >&2; exit 1; }
+[ "$f_peak" -le "$f_budget" ] \
+    || { echo "fleet gate: peak RSS $f_peak MB over the $f_budget MB budget" >&2; exit 1; }
+[ "$f_inb" -eq 1 ] || { echo "fleet gate: sketch error escaped its certificate" >&2; exit 1; }
+[ "$f_repro" -eq 1 ] || { echo "fleet gate: not reproducible across worker counts" >&2; exit 1; }
+awk -v e="$f_err" -v b="$f_bound" 'BEGIN { exit !(e <= b) }' \
+    || { echo "fleet gate: stressed rank error $f_err > bound $f_bound" >&2; exit 1; }
+echo "  $f_machines machines, peak RSS $f_peak MB <= $f_budget MB, stressed rank err $f_err <= $f_bound"
+
 echo "== epoll backend smoke (fgcs-serve + fgcs-smoke over localhost) =="
 # Drive the readiness-loop backend through a real process boundary: a
 # server on a free port with auth enabled, probed by fgcs-smoke (authed
@@ -286,5 +340,8 @@ echo "  epoll --loops 4: kill/restart snapshot matches the single-loop run"
 
 echo "== sim throughput smoke (quick mode) =="
 FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench sim_throughput
+
+echo "== fleet path smoke (quick mode) =="
+FGCS_BENCH_QUICK=1 cargo bench -p fgcs-bench --bench fleet
 
 echo "ci.sh: all green"

@@ -1,0 +1,133 @@
+//! Property-based tests pinning the [`RankSketch`] against the exact
+//! sort-based path: the runtime rank-error certificate must hold for
+//! every query on arbitrary streams, merging must be equivalent to
+//! concatenation (same certificate), and NaN bookkeeping must mirror
+//! the strict exact-path behavior.
+
+use fgcs::stats::quantile::{quantile, quantile_in_place, quantiles, sorted_copy};
+use fgcs::stats::sketch::RankSketch;
+use proptest::prelude::*;
+
+/// Distance (in ranks) from `target` to the rank interval a value
+/// occupies in `sorted`. Zero means the value is a legitimate order
+/// statistic for that rank even under ties.
+fn rank_distance(sorted: &[f64], v: f64, target: f64) -> f64 {
+    let lo = sorted.partition_point(|&x| x < v) as f64;
+    let hi = sorted.partition_point(|&x| x <= v) as f64;
+    if target < lo {
+        lo - target
+    } else if target > hi {
+        target - hi
+    } else {
+        0.0
+    }
+}
+
+/// Asserts every integer percentile of `sk` lands within its certified
+/// rank-error bound of the exact order statistics of `xs`.
+fn check_certificate(sk: &RankSketch, xs: &[f64]) {
+    let sorted = sorted_copy(xs).expect("no NaNs here");
+    let n = sorted.len() as f64;
+    // One extra rank of slack for the discrete target convention.
+    let bound = sk.quantile_rank_error_bound() as f64 + 1.0;
+    for i in 1..100 {
+        let q = i as f64 / 100.0;
+        let v = sk.quantile(q).expect("non-empty, NaN-free");
+        let d = rank_distance(&sorted, v, q * n);
+        assert!(
+            d <= bound,
+            "q={q}: answer {v} is {d} ranks off (bound {bound}, n={n})"
+        );
+    }
+}
+
+/// Streams with very different shapes: uniform noise, quantized values
+/// (heavy ties), constant runs (maximal ties), a heavy tail, and a
+/// fully sorted ramp — one base vector mapped through a shape selector.
+fn arb_stream() -> impl Strategy<Value = Vec<f64>> {
+    (
+        0usize..5,
+        prop::collection::vec(0f64..1.0, 1..2000),
+        -10f64..10.0,
+    )
+        .prop_map(|(shape, base, c)| match shape {
+            0 => base.iter().map(|u| (u - 0.5) * 2e6).collect(),
+            1 => base.iter().map(|u| (u * 200.0).floor()).collect(),
+            2 => vec![c; base.len()],
+            3 => base.iter().map(|u| 1.0 / (1.0 - u * 0.999_999)).collect(),
+            _ => (0..base.len()).map(|i| i as f64).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn certificate_holds_on_arbitrary_streams(xs in arb_stream(), k in 8usize..128) {
+        let mut sk = RankSketch::new(k);
+        sk.extend(&xs);
+        prop_assert_eq!(sk.count(), xs.len() as u64);
+        check_certificate(&sk, &xs);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_concatenation(
+        a in arb_stream(),
+        b in arb_stream(),
+        k in 8usize..64,
+    ) {
+        let mut left = RankSketch::new(k);
+        left.extend(&a);
+        let mut right = RankSketch::new(k);
+        right.extend(&b);
+        left.merge(&right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(left.count(), all.len() as u64);
+        prop_assert_eq!(left.min(), sorted_copy(&all).unwrap().first().copied());
+        prop_assert_eq!(left.max(), sorted_copy(&all).unwrap().last().copied());
+        // The merged sketch carries its own (possibly larger)
+        // certificate, and must honor it against the union stream.
+        check_certificate(&left, &all);
+    }
+
+    #[test]
+    fn nan_poisons_sketch_exactly_like_the_exact_path(
+        mut xs in prop::collection::vec(-100f64..100.0, 1..200),
+        at in 0usize..200,
+    ) {
+        xs.insert(at.min(xs.len()), f64::NAN);
+        let mut sk = RankSketch::new(32);
+        sk.extend(&xs);
+        prop_assert_eq!(sk.nan_count(), 1);
+        // Strict quantiles refuse, exactly like `quantile` on a NaN
+        // slice; the lenient path answers from the finite subset.
+        prop_assert!(sk.quantile(0.5).is_none());
+        prop_assert!(quantile(&xs, 0.5).is_none());
+        if xs.len() > 1 {
+            prop_assert!(sk.quantile_lenient(0.5).is_some());
+        }
+    }
+
+    #[test]
+    fn quantile_helpers_agree(xs in prop::collection::vec(-1e3f64..1e3, 1..500)) {
+        // The three exact entry points answer identically.
+        let qs = [0.0, 0.25, 0.5, 0.9, 1.0];
+        let multi = quantiles(&xs, &qs).expect("finite");
+        for (&q, &m) in qs.iter().zip(&multi) {
+            prop_assert_eq!(quantile(&xs, q), Some(m));
+            let mut copy = xs.clone();
+            prop_assert_eq!(quantile_in_place(&mut copy, q), Some(m));
+        }
+        // And a generously-sized sketch holds every sample exactly, so
+        // its answers are legitimate order statistics.
+        let mut sk = RankSketch::new(4096);
+        sk.extend(&xs);
+        let sorted = sorted_copy(&xs).unwrap();
+        for &q in &qs[1..] {
+            let v = sk.quantile(q).unwrap();
+            prop_assert_eq!(rank_distance(&sorted, v, q * xs.len() as f64) as u64, 0);
+        }
+    }
+}

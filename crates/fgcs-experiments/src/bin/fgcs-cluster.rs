@@ -1,5 +1,5 @@
-//! `fgcs-cluster` — X13: kill-primary/promote-follower failover under
-//! live replayed load.
+//! `fgcs-cluster` — X13: kill-primary automatic failover under live
+//! replayed load.
 //!
 //! Boots a 2-shard cluster as real `fgcs-serve` processes (one primary
 //! + one replication follower per shard, machine ids owned by
@@ -10,18 +10,23 @@
 //! 1. **before** — both primaries healthy; baseline ingest throughput
 //!    and query latency through the router.
 //! 2. **during** — shard 0's primary is killed (`SIGKILL`, no graceful
-//!    anything) and its follower promoted over the wire; the router
-//!    rides out the dead endpoint with retries, fails over to the
-//!    promoted follower, and resumes the interrupted stream via the
-//!    strictly-`t > last_t` replay protocol.
+//!    anything, and **no operator step**): the follower's pull loop
+//!    detects the silence — consecutive missed pulls plus an expired
+//!    lease (DESIGN.md §13.5) — and self-promotes at a fresh epoch;
+//!    the router rides out the dead endpoint with retries, fails over
+//!    to the self-promoted follower, and resumes the interrupted
+//!    stream via the strictly-`t > last_t` replay protocol.
 //! 3. **after** — steady state on the promoted topology.
 //!
-//! The run asserts the tentpole claim end to end: zero records lost up
-//! to the acked replication seq, and the cluster's final per-machine
-//! transition records bit-identical to an unkilled single-server
-//! reference fed the same trace. Writes `results/serve_cluster.csv`
-//! and splices a flat `"cluster"` gate object into `BENCH_serve.json`
-//! (both cwd-relative), which `scripts/ci.sh` checks.
+//! The run asserts the tentpole claim end to end: detection +
+//! self-promotion lands in bounded time (`failover_promote_ms`), zero
+//! records lost up to the acked replication seq, and the cluster's
+//! final per-machine transition records bit-identical to an unkilled
+//! single-server reference fed the same trace. Reads route through the
+//! follower endpoints (`follower_reads` counts them). Writes
+//! `results/serve_cluster.csv` and splices a flat `"cluster"` gate
+//! object into `BENCH_serve.json` (both cwd-relative), which
+//! `scripts/ci.sh` checks.
 //!
 //! ```text
 //! fgcs-cluster [--quick]
@@ -253,23 +258,13 @@ mod imp {
     }
 
     /// Splices `{"cluster": obj}` into cwd `BENCH_serve.json`, keeping
-    /// everything X12 wrote. The cluster object is always the final
-    /// key, so a previous splice is a strict suffix and re-runs stay
-    /// idempotent. Creates a minimal document when X12 has not run.
+    /// every other section (X12's serve numbers, X14's sched gate, …)
+    /// byte-for-byte. Creates a minimal document when X12 has not run.
     fn splice_bench(obj: String) {
         let path = "BENCH_serve.json";
         let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{}".to_string());
-        let body = base.trim_end();
-        let body = body
-            .strip_suffix('}')
-            .unwrap_or_else(|| panic!("{path}: not a JSON object"))
-            .trim_end();
-        let body = match body.rfind(",\"cluster\":") {
-            Some(i) => &body[..i],
-            None => body,
-        };
-        let sep = if body.ends_with('{') { "" } else { "," };
-        let out = format!("{body}{sep}\"cluster\":{obj}}}\n");
+        let out = fgcs_testbed::json::splice_key(&base, "cluster", &obj)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
         std::fs::write(path, out).expect("write BENCH_serve.json");
         println!("spliced cluster gate into {path}");
     }
@@ -341,6 +336,10 @@ mod imp {
                 ],
             )
         };
+        // Followers run with automatic failover armed: a primary that
+        // misses 3 consecutive pulls after its 250 ms lease expires is
+        // declared dead and the follower self-promotes. No operator
+        // anywhere in this experiment.
         let spawn_follower = |of: &str| {
             Node::spawn(
                 &bin,
@@ -353,6 +352,11 @@ mod imp {
                     of.into(),
                     "--pull-interval".into(),
                     "1".into(),
+                    "--auto-promote".into(),
+                    "--lease".into(),
+                    "250".into(),
+                    "--missed-pulls".into(),
+                    "3".into(),
                 ],
             )
         };
@@ -423,17 +427,25 @@ mod imp {
         };
         drop(p0);
 
-        // The failure: SIGKILL the primary, promote its follower.
+        // The failure: SIGKILL the primary. Nothing else — no Promote
+        // frame, no operator. The follower must notice the silence and
+        // take over on its own; `failover_promote_ms` is how long the
+        // cluster had no shard-0 primary.
         let t_kill = Instant::now();
         primary0.kill();
-        let reply = f0.request(&Frame::Promote).expect("X13: promote");
-        assert!(matches!(reply, Frame::Ack { .. }), "{reply:?}");
-        let (role, applied_at_promote, _, _) = repl_status(&mut f0);
-        assert_eq!(
-            role,
-            fgcs_service::ROLE_PRIMARY,
-            "X13: promotion flips role"
-        );
+        let promote_ms = {
+            let mut flipped = None;
+            for _ in 0..4_000 {
+                let (role, _, _, _) = repl_status(&mut f0);
+                if role == fgcs_service::ROLE_PRIMARY {
+                    flipped = Some(t_kill.elapsed().as_secs_f64() * 1e3);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            flipped.expect("X13: follower never self-promoted after the SIGKILL")
+        };
+        let (_, applied_at_promote, _, _) = repl_status(&mut f0);
         assert!(
             applied_at_promote >= acked_at_kill,
             "X13: promoted follower behind the acked seq ({applied_at_promote} < {acked_at_kill})"
@@ -473,6 +485,10 @@ mod imp {
         assert!(
             m.failovers >= 1,
             "X13: the router must have failed shard 0 over (metrics {m:?})"
+        );
+        assert!(
+            m.follower_reads >= 1,
+            "X13: queries must have been served from follower endpoints (metrics {m:?})"
         );
 
         // Converge and compare: every machine's transition records on
@@ -524,9 +540,11 @@ mod imp {
             );
         }
         println!(
-            "failover: gap {gap_ms:.1} ms (SIGKILL -> first shard-0 ack), \
-             {} retries, {} failovers, {} resumed batches, {} samples deduped on resume",
-            m.retries, m.failovers, m.resumed_batches, m.skipped_samples
+            "failover: self-promotion {promote_ms:.1} ms (SIGKILL -> follower is primary), \
+             gap {gap_ms:.1} ms (SIGKILL -> first shard-0 ack), \
+             {} retries, {} failovers, {} resumed batches, {} samples deduped on resume, \
+             {} follower reads",
+            m.retries, m.failovers, m.resumed_batches, m.skipped_samples, m.follower_reads
         );
         println!(
             "records:  {records_total} transitions across {} machines, {records_lost} lost, \
@@ -540,7 +558,7 @@ mod imp {
         std::fs::create_dir_all("results").expect("mkdir results");
         let row = |phase: &str, p: &PhaseOutcome, p50: f64, p99: f64, failover: bool| {
             format!(
-                "{phase},{},{},{:.3},{:.0},{:.0},{:.0},{:.1},{},{},{},{},{}",
+                "{phase},{},{},{:.3},{:.0},{:.0},{:.0},{:.1},{},{},{},{},{},{:.1},{}",
                 p.batches,
                 p.samples,
                 p.elapsed.as_secs_f64(),
@@ -553,11 +571,14 @@ mod imp {
                 if failover { m.failovers } else { 0 },
                 if failover { m.resumed_batches } else { 0 },
                 if failover { m.skipped_samples } else { 0 },
+                if failover { promote_ms } else { 0.0 },
+                if failover { m.follower_reads } else { 0 },
             )
         };
         let csv = format!(
             "phase,batches,samples,elapsed_s,samples_per_s,query_p50_us,query_p99_us,\
-             gap_ms,records_lost,retries,failovers,resumed_batches,skipped_samples\n{}\n{}\n{}\n",
+             gap_ms,records_lost,retries,failovers,resumed_batches,skipped_samples,\
+             promote_ms,follower_reads\n{}\n{}\n{}\n",
             row("before", &before, b50, b99, false),
             row("during", &during, d50, d99, true),
             row("after", &after, a50, a99, false),
@@ -570,8 +591,10 @@ mod imp {
         w.str(
             "description",
             "X13: 2-shard cluster (fgcs-serve primaries + replication followers), \
-             SIGKILL shard-0 primary mid-replay, promote its follower, router fails \
-             over with capped-jittered retries and t > last_t resume; phases are \
+             SIGKILL shard-0 primary mid-replay with no operator step: the follower \
+             detects the dead primary (missed pulls + expired lease) and self-promotes \
+             at a fresh epoch; router fails over with capped-jittered retries and \
+             t > last_t resume, reads served from follower endpoints; phases are \
              routed replay thirds before/during/after the kill",
         )
         .str(
@@ -580,6 +603,7 @@ mod imp {
         )
         .u64("machines", machines as u64)
         .u64("samples_per_machine", samples)
+        .f64("failover_promote_ms", promote_ms)
         .f64("failover_gap_ms", gap_ms)
         .u64("failover_records_lost", records_lost)
         .u64("failover_records_total", records_total)
@@ -589,6 +613,7 @@ mod imp {
         .u64("failover_count", m.failovers)
         .u64("failover_resumed_batches", m.resumed_batches)
         .u64("failover_skipped_samples", m.skipped_samples)
+        .u64("follower_reads", m.follower_reads)
         .f64("before_query_p99_us", b99)
         .f64("during_query_p99_us", d99)
         .f64("after_query_p99_us", a99)

@@ -144,23 +144,14 @@ mod imp {
         }
     }
 
-    /// Splices `{"sched": obj}` into cwd `BENCH_serve.json` as the
-    /// final `"sched"` key, idempotently (the fgcs-cluster gate does
+    /// Splices `{"sched": obj}` into cwd `BENCH_serve.json`, keeping
+    /// every other section byte-for-byte (the fgcs-cluster gate does
     /// the same dance for `"cluster"`).
     fn splice_bench(obj: String) {
         let path = "BENCH_serve.json";
         let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{}".to_string());
-        let body = base.trim_end();
-        let body = body
-            .strip_suffix('}')
-            .unwrap_or_else(|| panic!("{path}: not a JSON object"))
-            .trim_end();
-        let body = match body.rfind(",\"sched\":") {
-            Some(i) => &body[..i],
-            None => body,
-        };
-        let sep = if body.ends_with('{') { "" } else { "," };
-        let out = format!("{body}{sep}\"sched\":{obj}}}\n");
+        let out = fgcs_testbed::json::splice_key(&base, "sched", &obj)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
         std::fs::write(path, out).expect("write BENCH_serve.json");
         println!("spliced sched gate into {path}");
     }

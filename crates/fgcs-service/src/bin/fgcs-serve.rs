@@ -6,6 +6,8 @@
 //!            [--max-conns N] [--shards N] [--auth-token TOKEN]
 //!            [--snapshot-dir DIR] [--snapshot-interval MS] [--reuse-addr]
 //!            [--repl-log N] [--follower-of HOST:PORT] [--pull-interval MS]
+//!            [--auto-promote] [--lease MS] [--missed-pulls N]
+//!            [--promotion-peer HOST:PORT]... [--max-read-lag N]
 //! ```
 //!
 //! Prints the bound address on stdout (port 0 picks a free port, which
@@ -23,6 +25,8 @@ fn usage() -> ! {
          \x20                 [--max-conns N] [--shards N] [--auth-token TOKEN]\n\
          \x20                 [--snapshot-dir DIR] [--snapshot-interval MS] [--reuse-addr]\n\
          \x20                 [--repl-log N] [--follower-of HOST:PORT] [--pull-interval MS]\n\
+         \x20                 [--auto-promote] [--lease MS] [--missed-pulls N]\n\
+         \x20                 [--promotion-peer HOST:PORT]... [--max-read-lag N]\n\
          \n\
          Runs until stdin reaches EOF. Prints `listening on ADDR` once bound.\n\
          With --snapshot-dir the server checkpoints its ingest state there\n\
@@ -33,8 +37,14 @@ fn usage() -> ! {
          fallback instead of SO_REUSEPORT.\n\
          --repl-log N retains the last N replication log entries so a\n\
          follower can stream them; --follower-of ADDR starts this node as\n\
-         that primary's follower (rejects ingest until promoted over the\n\
-         wire), pulling every --pull-interval ms when caught up."
+         that primary's follower (rejects ingest), pulling every\n\
+         --pull-interval ms when caught up. --auto-promote lets a follower\n\
+         self-promote once its primary misses --missed-pulls consecutive\n\
+         pulls AND the --lease ms granted on the last reply has expired,\n\
+         deferring to any more-caught-up --promotion-peer (repeatable; list\n\
+         the sibling followers' addresses). --max-read-lag N lets a\n\
+         follower answer QueryAvail/Place/QueryStats while its applied seq\n\
+         is within N of the primary head it last saw (otherwise TooStale)."
     );
     exit(2);
 }
@@ -93,6 +103,20 @@ fn main() {
             "--follower-of" => cfg.follower_of = Some(value("--follower-of")),
             "--pull-interval" => match value("--pull-interval").parse() {
                 Ok(ms) => cfg.pull_interval_ms = ms,
+                Err(_) => usage(),
+            },
+            "--auto-promote" => cfg.auto_promote = true,
+            "--lease" => match value("--lease").parse() {
+                Ok(ms) => cfg.lease_ms = ms,
+                Err(_) => usage(),
+            },
+            "--missed-pulls" => match value("--missed-pulls").parse() {
+                Ok(n) if n >= 1 => cfg.missed_pull_threshold = n,
+                _ => usage(),
+            },
+            "--promotion-peer" => cfg.promotion_peers.push(value("--promotion-peer")),
+            "--max-read-lag" => match value("--max-read-lag").parse() {
+                Ok(n) => cfg.max_read_lag = Some(n),
                 Err(_) => usage(),
             },
             "--help" | "-h" => usage(),

@@ -22,14 +22,23 @@
 //! * **failover** — on connect errors, timeouts, or a typed
 //!   [`ErrorCode::NotPrimary`] rejection the router flips the shard to
 //!   its other endpoint (primary ⇄ follower) and retries there, so a
-//!   SIGKILLed primary plus an operator `Promote` heals in one flip;
+//!   SIGKILLed primary plus its follower's self-promotion (DESIGN.md
+//!   §13.5) heals in one flip, no operator step;
 //! * **at-most-once ingest resume** — a retry after an *ambiguous*
 //!   failure (the connection died after the batch was sent; the server
-//!   may or may not have applied it) first asks the shard how far the
-//!   machine got (`QueryStats` carries per-machine `last_t`) and
-//!   resends only the strict `t > last_t` suffix. Strictness matters: a
-//!   duplicate of the `last_t` sample would be *accepted* (only
-//!   `t < last_t` is out-of-order) and would double-count.
+//!   may or may not have applied it) first locates the current primary
+//!   (both endpoints are probed with `ReplStatus`; the node claiming
+//!   the primary role at the highest epoch wins, so a paused-then-
+//!   revived old primary can't answer with a stale cursor), then asks
+//!   it how far the machine got (`QueryStats` carries per-machine
+//!   `last_t`) and resends only the strict `t > last_t` suffix.
+//!   Strictness matters: a duplicate of the `last_t` sample would be
+//!   *accepted* (only `t < last_t` is out-of-order) and double-count;
+//! * **follower reads** — [`ClusterClient::read_on`] sends queries
+//!   (`QueryAvail`/`Place`/`QueryStats`) to the follower endpoint
+//!   first, falling back to the write path on a transport error or a
+//!   typed [`ErrorCode::TooStale`] rejection from the follower's
+//!   staleness gate. Writes always take the primary route.
 
 use std::io;
 use std::time::{Duration, Instant};
@@ -108,14 +117,21 @@ pub struct ClusterMetrics {
     /// rejection is a routing signal naming a healthy endpoint, so the
     /// first flip per request retries immediately.
     pub instant_reroutes: u64,
+    /// Read requests answered by a follower endpoint (the rest fell
+    /// back to the write path).
+    pub follower_reads: u64,
 }
 
 /// Per-shard connection state.
 struct ShardState {
     /// Whether requests currently target the follower endpoint.
     on_follower: bool,
-    /// The pool slot holding this shard's connection, if open.
+    /// The pool slot holding this shard's write connection, if open.
     slot: Option<usize>,
+    /// The pool slot pinned to the follower endpoint for reads, if
+    /// open. Kept separate from the write slot so read traffic never
+    /// evicts the primary connection (and vice versa).
+    read_slot: Option<usize>,
 }
 
 /// The blocking cluster router. See the module docs for the fault
@@ -190,6 +206,7 @@ impl ClusterClient {
             .map(|_| ShardState {
                 on_follower: false,
                 slot: None,
+                read_slot: None,
             })
             .collect();
         Ok(ClusterClient {
@@ -262,12 +279,17 @@ impl ClusterClient {
                 Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
                 Err(e) => {
                     // Ambiguous: the server may have applied the batch
-                    // before the connection died. Fail over, then ask
-                    // how far this machine actually got and resume
-                    // strictly after it.
+                    // before the connection died. Fail over, locate the
+                    // *current* primary (an old primary revived mid-
+                    // failover still answers stats, with a cursor that
+                    // includes writes the new primary never got — a
+                    // stale `last_t` here would silently drop the
+                    // pending suffix), then ask it how far this machine
+                    // actually got and resume strictly after that.
                     self.bounce(shard, &mut attempt, &e.to_string(), false)
                         .map_err(|_| e)?;
                     rerouting = false;
+                    self.aim_at_primary(shard);
                     let applied_t = self
                         .stats_of(shard)?
                         .machines
@@ -285,14 +307,22 @@ impl ClusterClient {
         }
     }
 
-    /// Availability query for `machine` on its owning shard (followers
-    /// answer queries, so this survives a dead primary un-flipped).
+    /// Availability query for `machine` on its owning shard, preferring
+    /// the follower replica ([`ClusterClient::read_on`]).
     pub fn query_avail(&mut self, machine: u32, horizon: u64) -> io::Result<Frame> {
         let shard = self.shard_for(machine);
-        self.request_on(shard, &Frame::QueryAvail { machine, horizon })
+        self.read_on(shard, &Frame::QueryAvail { machine, horizon })
     }
 
-    /// `QueryStats` against shard `s`.
+    /// Placement query against shard `s`, preferring the follower
+    /// replica ([`ClusterClient::read_on`]).
+    pub fn place_on(&mut self, s: usize, job_len: u64) -> io::Result<Frame> {
+        self.read_on(s, &Frame::Place { job_len })
+    }
+
+    /// `QueryStats` against shard `s`'s *write* endpoint. Authoritative
+    /// by construction: the ingest resume filter derives its `t >
+    /// last_t` floor from this, and a follower's floor may lag.
     pub fn stats_of(&mut self, s: usize) -> io::Result<StatsPayload> {
         match self.request_on(s, &Frame::QueryStats)? {
             Frame::StatsReply(stats) => Ok(stats),
@@ -303,6 +333,42 @@ impl ClusterClient {
         }
     }
 
+    /// `QueryStats` against shard `s`, preferring the follower replica.
+    /// Fine for dashboards and load checks; never feed the result into
+    /// a dedup decision (see [`ClusterClient::stats_of`]).
+    pub fn read_stats_of(&mut self, s: usize) -> io::Result<StatsPayload> {
+        match self.read_on(s, &Frame::QueryStats)? {
+            Frame::StatsReply(stats) => Ok(stats),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply to QueryStats: tag {}", other.tag()),
+            )),
+        }
+    }
+
+    /// Sends a read-only `frame` to shard `s`, preferring its follower
+    /// endpoint. One attempt goes to the follower; a transport failure
+    /// or a typed `TooStale`/`NotPrimary` rejection falls back to the
+    /// full write path (retries, failover and all), so a read is never
+    /// *less* available than before follower reads existed. Any other
+    /// typed error from the follower (UnknownMachine on a caught-up
+    /// replica, say) is a real answer and returns as-is.
+    pub fn read_on(&mut self, s: usize, frame: &Frame) -> io::Result<Frame> {
+        if self.cfg.shards[s].follower_addr.is_some() {
+            match self.try_read(s, frame) {
+                Ok(Frame::Error { code, .. })
+                    if code == ErrorCode::TooStale || code == ErrorCode::NotPrimary => {}
+                Ok(reply) => {
+                    self.metrics.follower_reads += 1;
+                    return Ok(reply);
+                }
+                Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
+                Err(_) => {}
+            }
+        }
+        self.request_on(s, frame)
+    }
+
     /// Sends `frame` to shard `s` with the full retry/failover
     /// discipline. Use [`ClusterClient::ingest`] for sample batches —
     /// this path retries verbatim, which is at-least-once.
@@ -311,10 +377,12 @@ impl ClusterClient {
         let mut rerouting = false;
         loop {
             match self.try_on(s, frame) {
-                Ok(Frame::Error {
-                    code: ErrorCode::NotPrimary,
-                    detail,
-                }) => {
+                // Both rejections are routing signals from a live
+                // follower: NotPrimary for writes, TooStale for reads
+                // behind a staleness gate. Flip and retry.
+                Ok(Frame::Error { code, detail })
+                    if code == ErrorCode::NotPrimary || code == ErrorCode::TooStale =>
+                {
                     self.bounce(s, &mut attempt, &detail, !rerouting)?;
                     rerouting = true;
                 }
@@ -384,6 +452,89 @@ impl ClusterClient {
         self.await_reply(slot, deadline)
     }
 
+    /// One attempt against shard `s`'s follower endpoint, over the
+    /// shard's dedicated read slot. No retries here — the caller falls
+    /// back to the write path on failure.
+    fn try_read(&mut self, s: usize, frame: &Frame) -> io::Result<Frame> {
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.request_timeout_ms.max(1));
+        let slot = match self.shards[s].read_slot {
+            Some(slot) if self.pool.is_open(slot) => slot,
+            _ => {
+                self.shards[s].read_slot = None;
+                let addr = self.cfg.shards[s]
+                    .follower_addr
+                    .clone()
+                    .expect("read path requires a follower endpoint");
+                let slot = self.pool.add(&addr, self.cfg.connect_timeout_ms)?;
+                self.shards[s].read_slot = Some(slot);
+                if let Err(e) = self.handshake(slot, deadline) {
+                    self.shards[s].read_slot = None;
+                    return Err(e);
+                }
+                slot
+            }
+        };
+        if !self.pool.send(slot, frame) {
+            self.unmap(slot);
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection died before the request was written",
+            ));
+        }
+        self.await_reply(slot, deadline)
+    }
+
+    /// Points shard `s`'s write route at whichever endpoint currently
+    /// holds the primary role at the highest epoch. Both endpoints are
+    /// probed with `ReplStatus` over throwaway connections; a node that
+    /// answers as a follower — or not at all — can't win, and between
+    /// two self-styled primaries the higher epoch does (the lower one
+    /// is a revenant that paused through its own replacement). No
+    /// change when neither endpoint claims the role (failover still in
+    /// flight: the caller's retry loop keeps flipping normally). The
+    /// ingest resume calls this before trusting a `last_t` floor.
+    pub fn aim_at_primary(&mut self, s: usize) {
+        let Some(follower_addr) = self.cfg.shards[s].follower_addr.clone() else {
+            return;
+        };
+        let primary_addr = self.cfg.shards[s].primary_addr.clone();
+        let mut best: Option<(u64, bool)> = None; // (epoch, use follower endpoint)
+        for (addr, on_follower) in [(primary_addr, false), (follower_addr, true)] {
+            if let Some((role, epoch)) = self.probe_role(&addr) {
+                if role == crate::repl::ROLE_PRIMARY && best.is_none_or(|(be, _)| epoch > be) {
+                    best = Some((epoch, on_follower));
+                }
+            }
+        }
+        if let Some((_, on_follower)) = best {
+            if self.shards[s].on_follower != on_follower {
+                if let Some(slot) = self.shards[s].slot.take() {
+                    self.pool.close(slot);
+                }
+                self.shards[s].on_follower = on_follower;
+            }
+        }
+    }
+
+    /// `ReplStatus` against one address over a throwaway connection:
+    /// `Some((role, epoch))` on a well-formed reply, `None` otherwise.
+    fn probe_role(&mut self, addr: &str) -> Option<(u8, u64)> {
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.request_timeout_ms.max(1));
+        let slot = self.pool.add(addr, self.cfg.connect_timeout_ms).ok()?;
+        let result = (|| {
+            self.handshake(slot, deadline).ok()?;
+            if !self.pool.send(slot, &Frame::ReplStatus) {
+                return None;
+            }
+            match self.await_reply(slot, deadline) {
+                Ok(Frame::ReplStatusReply { role, epoch, .. }) => Some((role, epoch)),
+                _ => None,
+            }
+        })();
+        self.pool.close(slot);
+        result
+    }
+
     /// Returns an open slot for shard `s`, dialing its current
     /// endpoint (and authenticating) if none is cached. Sends are
     /// buffered while the nonblocking connect resolves, so no
@@ -398,40 +549,47 @@ impl ClusterClient {
         let addr = self.endpoint_of(s).to_string();
         let slot = self.pool.add(&addr, self.cfg.connect_timeout_ms)?;
         self.shards[s].slot = Some(slot);
-        if let Some(token) = self.cfg.token.clone() {
-            if !self.pool.send(slot, &Frame::Auth { token }) {
-                self.unmap(slot);
-                return Err(io::Error::new(
-                    io::ErrorKind::BrokenPipe,
-                    "connection died before Auth was written",
-                ));
-            }
-            match self.await_reply(slot, deadline)? {
-                Frame::Ack { .. } => {}
-                Frame::Error { code, detail } => {
-                    if let Some(open) = self.shards[s].slot.take() {
-                        self.pool.close(open);
-                    }
-                    let kind = if code == ErrorCode::Unauthorized {
-                        // Terminal: backoff cannot fix a wrong secret.
-                        io::ErrorKind::PermissionDenied
-                    } else {
-                        io::ErrorKind::ConnectionRefused
-                    };
-                    return Err(io::Error::new(kind, format!("auth rejected: {detail}")));
-                }
-                other => {
-                    if let Some(open) = self.shards[s].slot.take() {
-                        self.pool.close(open);
-                    }
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected reply to Auth: tag {}", other.tag()),
-                    ));
-                }
-            }
+        if let Err(e) = self.handshake(slot, deadline) {
+            self.shards[s].slot = None;
+            return Err(e);
         }
         Ok(slot)
+    }
+
+    /// Authenticates a freshly added slot when the cluster has a token
+    /// (no-op otherwise). On failure the slot is closed; the caller
+    /// must drop its reference.
+    fn handshake(&mut self, slot: usize, deadline: Instant) -> io::Result<()> {
+        let Some(token) = self.cfg.token.clone() else {
+            return Ok(());
+        };
+        if !self.pool.send(slot, &Frame::Auth { token }) {
+            self.unmap(slot);
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection died before Auth was written",
+            ));
+        }
+        match self.await_reply(slot, deadline)? {
+            Frame::Ack { .. } => Ok(()),
+            Frame::Error { code, detail } => {
+                self.pool.close(slot);
+                let kind = if code == ErrorCode::Unauthorized {
+                    // Terminal: backoff cannot fix a wrong secret.
+                    io::ErrorKind::PermissionDenied
+                } else {
+                    io::ErrorKind::ConnectionRefused
+                };
+                Err(io::Error::new(kind, format!("auth rejected: {detail}")))
+            }
+            other => {
+                self.pool.close(slot);
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected reply to Auth: tag {}", other.tag()),
+                ))
+            }
+        }
     }
 
     /// Pumps the pool until `slot` yields a frame, dies, or the
@@ -495,11 +653,14 @@ impl ClusterClient {
         }
     }
 
-    /// Clears whichever shard holds pool slot `slot`.
+    /// Clears whichever shard holds pool slot `slot` (write or read).
     fn unmap(&mut self, slot: usize) {
         for st in &mut self.shards {
             if st.slot == Some(slot) {
                 st.slot = None;
+            }
+            if st.read_slot == Some(slot) {
+                st.read_slot = None;
             }
         }
     }

@@ -147,16 +147,24 @@ fn handle_request(
             }
         }
         Frame::QueryAvail { machine, horizon } => {
+            if let Some(err) = read_staleness_gate(shared) {
+                return err;
+            }
             let Some(cell) = shared.machine_get(machine) else {
                 return Frame::Error {
                     code: ErrorCode::UnknownMachine,
                     detail: format!("machine {machine} has not streamed any samples"),
                 };
             };
-            let (state, last_t, available) = {
-                let m = cell.lock().unwrap();
-                (m.state(), m.last_t(), m.is_available())
+            // A poisoned machine lock (a panic mid-ingest) must degrade
+            // to a typed error on this one machine, not panic the
+            // connection — in the epoll backend that panic would take
+            // the whole event loop, and every other machine, with it.
+            let Ok(m) = cell.lock() else {
+                return poisoned_machine(machine);
             };
+            let (state, last_t, available) = (m.state(), m.last_t(), m.is_available());
+            drop(m);
             let prob = if available {
                 shared
                     .lock_online()
@@ -174,6 +182,9 @@ fn handle_request(
             }
         }
         Frame::Place { job_len } => {
+            if let Some(err) = read_staleness_gate(shared) {
+                return err;
+            }
             // Rank currently harvestable machines (available, no spike
             // pending) by predicted survival over the job length; the
             // sorted collection makes ties deterministic (lowest id
@@ -182,8 +193,10 @@ fn handle_request(
                 .machines_sorted()
                 .into_iter()
                 .filter(|(_, cell)| {
-                    let m = cell.lock().unwrap();
-                    m.is_available() && !m.spike_active()
+                    // A poisoned cell is simply not placeable.
+                    cell.lock()
+                        .map(|m| m.is_available() && !m.spike_active())
+                        .unwrap_or(false)
                 })
                 .map(|(id, _)| id)
                 .collect();
@@ -209,11 +222,33 @@ fn handle_request(
                 },
             }
         }
-        Frame::QueryStats => Frame::StatsReply(shared.stats_snapshot()),
+        Frame::QueryStats => {
+            if let Some(err) = read_staleness_gate(shared) {
+                return err;
+            }
+            Frame::StatsReply(shared.stats_snapshot())
+        }
         Frame::ReplPull {
             after_seq,
             max_entries,
+            epoch,
         } => {
+            // Fencing first: a pull carrying a strictly higher epoch
+            // proves a newer primary exists. If this node still
+            // thought it was one (paused through a failover, then
+            // revived), demote it on the spot and answer `NotPrimary`
+            // — the reply is the fencer's confirmation.
+            if shared.fence_if_superseded(epoch) {
+                eprintln!(
+                    "fgcs-service: {} demoted to follower: fenced by a newer \
+                     primary at epoch {epoch}",
+                    shared.cfg.addr
+                );
+                return Frame::Error {
+                    code: ErrorCode::NotPrimary,
+                    detail: format!("fenced: superseded by epoch {epoch}"),
+                };
+            }
             if !shared.repl.enabled() {
                 return Frame::Error {
                     code: ErrorCode::Unsupported,
@@ -225,9 +260,12 @@ fn handle_request(
             // that everything through N is applied.
             shared.repl.note_ack(after_seq);
             match shared.repl.pull(after_seq, max_entries as usize) {
-                PullReply::Entries { head_seq, entries } => {
-                    Frame::ReplEntries { head_seq, entries }
-                }
+                PullReply::Entries { head_seq, entries } => Frame::ReplEntries {
+                    head_seq,
+                    epoch: shared.epoch(),
+                    lease_ms: shared.cfg.lease_ms,
+                    entries,
+                },
                 PullReply::NeedSnapshot => {
                     let data = shared.collect_snapshot();
                     let repl_seq = data.repl_seq;
@@ -253,6 +291,7 @@ fn handle_request(
             let st = shared.repl.status();
             Frame::ReplStatusReply {
                 role: shared.role_code(),
+                epoch: shared.epoch(),
                 applied_seq: st.head_seq,
                 head_seq: st.head_seq,
                 tail_seq: st.tail_seq,
@@ -276,15 +315,17 @@ fn handle_request(
                 };
             };
             let cap = (max as usize).min(MAX_TRANSITIONS_PER_FRAME);
-            let transitions: Vec<WireTransition> = cell
-                .lock()
-                .unwrap()
+            let Ok(m) = cell.lock() else {
+                return poisoned_machine(machine);
+            };
+            let transitions: Vec<WireTransition> = m
                 .transitions()
                 .iter()
                 .filter(|t| t.seq >= since_seq)
                 .take(cap)
                 .copied()
                 .collect();
+            drop(m);
             Frame::Transitions {
                 machine,
                 transitions,
@@ -297,4 +338,48 @@ fn handle_request(
             detail: format!("frame tag {} is not a request", other.tag()),
         },
     }
+}
+
+/// The follower-read staleness bound (DESIGN.md §13.5). Primaries and
+/// unbounded followers (`max_read_lag` unset) always pass. A bounded
+/// follower answers reads only while its applied head is within the
+/// configured lag of the newest primary head its pull loop has seen —
+/// otherwise (including before the first successful pull, and forever
+/// after a divergence tripwire) the client gets `TooStale` and should
+/// retry against the primary.
+/// Typed reply for a machine whose lock was poisoned by an earlier
+/// panic: the one machine is unusable, the server is not.
+fn poisoned_machine(machine: u32) -> Frame {
+    Frame::Error {
+        code: ErrorCode::Internal,
+        detail: format!("machine {machine} state is poisoned by an earlier panic"),
+    }
+}
+
+fn read_staleness_gate(shared: &Shared) -> Option<Frame> {
+    if shared.is_primary() {
+        return None;
+    }
+    let Some(cap) = shared.cfg.max_read_lag else {
+        return None;
+    };
+    use std::sync::atomic::Ordering;
+    // Stored as `head_seq + 1` so 0 still means "never pulled" even
+    // when the primary's log is legitimately empty.
+    let seen_raw = shared.primary_head_seen.load(Ordering::Acquire);
+    let seen = seen_raw.saturating_sub(1);
+    let applied = shared.repl.head_seq();
+    let lag = seen.saturating_sub(applied);
+    let frozen = shared.repl_failed.load(Ordering::Acquire);
+    if frozen || seen_raw == 0 || lag > cap {
+        return Some(Frame::Error {
+            code: ErrorCode::TooStale,
+            detail: format!(
+                "follower lag {lag} exceeds the read bound {cap} \
+                 (applied {applied} of {seen}{})",
+                if frozen { "; replication stopped" } else { "" }
+            ),
+        });
+    }
+    None
 }

@@ -41,7 +41,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fgcs_core::backoff::BackoffPolicy;
 use fgcs_testbed::SupervisorConfig;
@@ -263,12 +263,55 @@ impl ReplLog {
 
 /// Spawns the follower's pull thread. The loop runs until shutdown or
 /// promotion, reconnecting to the primary with capped jittered backoff
-/// — a follower must outlive arbitrarily long primary outages.
+/// — a follower must outlive arbitrarily long primary outages (unless
+/// `auto_promote` decides the outage *is* the failover).
 pub(crate) fn spawn_pull_thread(shared: Arc<Shared>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("fgcs-repl-pull".into())
         .spawn(move || pull_loop(&shared))
         .expect("spawn replication pull thread")
+}
+
+/// Primary-liveness bookkeeping for automatic failover (DESIGN.md
+/// §13.5). Two conditions must hold simultaneously before a follower
+/// declares its primary dead: the missed-pull threshold (consecutive
+/// transport failures — typed errors from a live primary reset it) and
+/// the lease (granted by the primary on every `ReplEntries`) expired.
+struct Liveness {
+    /// Consecutive transport-level pull failures.
+    failures: u32,
+    /// The lease duration the primary last granted (0 = no lease; the
+    /// threshold alone then decides). Starts from our own `lease_ms`
+    /// as the boot grace period.
+    lease: Duration,
+    /// When the current lease runs out.
+    deadline: Instant,
+}
+
+impl Liveness {
+    fn new(grace_ms: u64) -> Self {
+        let lease = Duration::from_millis(grace_ms);
+        Liveness {
+            failures: 0,
+            lease,
+            deadline: Instant::now() + lease,
+        }
+    }
+
+    /// Any reply at all proves the primary's process is alive.
+    fn saw_reply(&mut self, granted_lease_ms: Option<u64>) {
+        self.failures = 0;
+        if let Some(ms) = granted_lease_ms {
+            self.lease = Duration::from_millis(ms);
+        }
+        self.deadline = Instant::now() + self.lease;
+    }
+
+    /// Whether the primary should now be considered dead.
+    fn expired(&self, threshold: u32) -> bool {
+        self.failures >= threshold.max(1)
+            && (self.lease.is_zero() || Instant::now() >= self.deadline)
+    }
 }
 
 fn pull_loop(shared: &Shared) {
@@ -279,13 +322,21 @@ fn pull_loop(shared: &Shared) {
         .expect("pull loop requires follower_of");
     // Fail individual connect attempts fast (max_retries 0) and let
     // this loop own the retry cadence with the shared jittered policy.
+    // The read timeout is tied to the lease so a SIGSTOPped (wedged,
+    // not dead) primary is detected within a few lease windows, not
+    // after threshold × 2 s.
+    let read_timeout_ms = if shared.cfg.auto_promote {
+        (shared.cfg.lease_ms / 2).clamp(50, 2_000)
+    } else {
+        2_000
+    };
     let client_cfg = ClientConfig {
         sup: SupervisorConfig {
             max_retries: 0,
             ..SupervisorConfig::default()
         },
         backoff_unit_ms: 1,
-        read_timeout_ms: 2_000,
+        read_timeout_ms,
         token: shared.cfg.auth_token.clone(),
         ..ClientConfig::new(addr.clone())
     };
@@ -295,6 +346,7 @@ fn pull_loop(shared: &Shared) {
         .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
     let mut client: Option<ServiceClient> = None;
     let mut attempts: u32 = 0;
+    let mut liveness = Liveness::new(shared.cfg.lease_ms);
     while !shared.shutting_down() && !shared.is_primary() {
         let c = match client.as_mut() {
             Some(c) => c,
@@ -305,6 +357,10 @@ fn pull_loop(shared: &Shared) {
                 }
                 Err(_) => {
                     attempts = attempts.saturating_add(1);
+                    liveness.failures = liveness.failures.saturating_add(1);
+                    if maybe_self_promote(shared, &liveness, &addr, &client_cfg) {
+                        return;
+                    }
                     sleep_ms(policy.delay_jittered(attempts, seed));
                     continue;
                 }
@@ -314,10 +370,28 @@ fn pull_loop(shared: &Shared) {
         let pull = Frame::ReplPull {
             after_seq,
             max_entries: MAX_REPL_ENTRIES_PER_FRAME as u32,
+            epoch: shared.epoch(),
         };
         match c.request(&pull) {
-            Ok(Frame::ReplEntries { head_seq, entries }) => {
+            Ok(Frame::ReplEntries {
+                head_seq,
+                epoch,
+                lease_ms,
+                entries,
+            }) => {
                 attempts = 0;
+                liveness.saw_reply(Some(lease_ms));
+                // Adopt the primary's epoch so a later self-promotion
+                // allocates a strictly higher one, and publish its log
+                // head for the follower-read staleness gate (stored
+                // +1 so 0 keeps meaning "never pulled").
+                shared.observe_epoch(epoch);
+                // saturating: `head_seq` is peer-controlled, and
+                // u64::MAX + 1 wrapping to the "never pulled" sentinel
+                // would freeze the staleness gate shut.
+                shared
+                    .primary_head_seen
+                    .store(head_seq.saturating_add(1), Ordering::Release);
                 let caught_up = entries.is_empty();
                 for e in &entries {
                     if shared.shutting_down() {
@@ -338,6 +412,7 @@ fn pull_loop(shared: &Shared) {
             }
             Ok(Frame::ReplSnapshot { repl_seq, bytes }) => {
                 attempts = 0;
+                liveness.saw_reply(None);
                 match install_pulled_snapshot(shared, repl_seq, &bytes) {
                     Ok(()) => {}
                     Err(err) => {
@@ -350,8 +425,11 @@ fn pull_loop(shared: &Shared) {
                 // The primary exists but can't serve us yet (no log
                 // configured, restarting, auth hiccup). Keep trying —
                 // an operator fixing the primary shouldn't have to
-                // restart every follower too.
+                // restart every follower too. A typed error is a live
+                // process answering: it resets liveness, so only real
+                // silence can trigger a failover.
                 attempts = attempts.saturating_add(1);
+                liveness.saw_reply(None);
                 if attempts == 1 || code == ErrorCode::Unsupported {
                     eprintln!("fgcs-service: pull from {addr} rejected ({code:?}): {detail}");
                 }
@@ -364,14 +442,123 @@ fn pull_loop(shared: &Shared) {
                 );
                 client = None;
                 attempts = attempts.saturating_add(1);
+                liveness.saw_reply(None);
                 sleep_ms(policy.delay_jittered(attempts, seed));
             }
             Err(_) => {
                 client = None;
                 attempts = attempts.saturating_add(1);
+                liveness.failures = liveness.failures.saturating_add(1);
+                if maybe_self_promote(shared, &liveness, &addr, &client_cfg) {
+                    return;
+                }
                 sleep_ms(policy.delay_jittered(attempts, seed));
             }
         }
+    }
+}
+
+/// Decides whether this follower should take over now, and if so does
+/// the whole failover: election among `promotion_peers`, promotion,
+/// then fencing of the (possibly not-quite-dead) old primary. Returns
+/// `true` when the node promoted — the pull loop is over.
+fn maybe_self_promote(
+    shared: &Shared,
+    liveness: &Liveness,
+    primary_addr: &str,
+    client_cfg: &ClientConfig,
+) -> bool {
+    if !shared.cfg.auto_promote
+        || shared.repl_failed.load(Ordering::Acquire)
+        || !liveness.expired(shared.cfg.missed_pull_threshold)
+        || shared.shutting_down()
+    {
+        return false;
+    }
+    let my_applied = shared.repl.head_seq();
+    // Election: defer to any sibling follower that is strictly more
+    // caught up, or equally caught up with a lexically lower address
+    // (addresses must be distinct for the tie-break to be total — the
+    // operator lists each follower's real listen address). A peer that
+    // already promoted wins outright. Unreachable peers don't block:
+    // they may be as dead as the primary.
+    for peer in &shared.cfg.promotion_peers {
+        let peer_cfg = ClientConfig {
+            read_timeout_ms: client_cfg.read_timeout_ms,
+            token: shared.cfg.auth_token.clone(),
+            sup: SupervisorConfig {
+                max_retries: 0,
+                ..SupervisorConfig::default()
+            },
+            backoff_unit_ms: 1,
+            ..ClientConfig::new(peer.clone())
+        };
+        let Ok(mut c) = ServiceClient::connect(peer_cfg) else {
+            continue;
+        };
+        let Ok(Frame::ReplStatusReply {
+            role,
+            epoch,
+            applied_seq,
+            ..
+        }) = c.request(&Frame::ReplStatus)
+        else {
+            continue;
+        };
+        if role == ROLE_PRIMARY && epoch >= shared.epoch() {
+            // Someone already took over; never start a second reign.
+            eprintln!(
+                "fgcs-service: primary {primary_addr} is dead but peer {peer} already \
+                 promoted (epoch {epoch}); staying a follower"
+            );
+            shared.observe_epoch(epoch);
+            return false;
+        }
+        if applied_seq > my_applied
+            || (applied_seq == my_applied && peer.as_str() < shared.cfg.addr.as_str())
+        {
+            return false;
+        }
+    }
+    eprintln!(
+        "fgcs-service: primary {primary_addr} declared dead \
+         ({} consecutive missed pulls, lease expired); self-promoting at applied seq {}",
+        liveness.failures, my_applied
+    );
+    shared.promote();
+    fence_old_primary(shared, primary_addr, client_cfg);
+    true
+}
+
+/// Hammers the old primary's address with an epoch-carrying `ReplPull`
+/// until something answers (the fence lands — a revived primary
+/// demotes itself inside `fence_if_superseded` before replying) or the
+/// server shuts down. A SIGKILLed primary never answers; the periodic
+/// refused connect is the cost of covering the paused-then-revived
+/// one, which can come back minutes later.
+fn fence_old_primary(shared: &Shared, primary_addr: &str, client_cfg: &ClientConfig) {
+    let policy = BackoffPolicy { base: 20, cap: 500 };
+    let seed = 0x0fe2_ce0a;
+    let mut attempts: u32 = 0;
+    while !shared.shutting_down() {
+        if let Ok(mut c) = ServiceClient::connect(client_cfg.clone()) {
+            let fence = Frame::ReplPull {
+                after_seq: shared.repl.head_seq(),
+                max_entries: 0,
+                epoch: shared.epoch(),
+            };
+            if let Ok(reply) = c.request(&fence) {
+                eprintln!(
+                    "fgcs-service: fenced old primary {primary_addr} at epoch {} \
+                     (reply tag {})",
+                    shared.epoch(),
+                    reply.tag()
+                );
+                return;
+            }
+        }
+        attempts = attempts.saturating_add(1);
+        sleep_ms(policy.delay_jittered(attempts, seed));
     }
 }
 
@@ -485,5 +672,124 @@ mod tests {
         assert_eq!(log.acked_seq(), 3);
         log.note_ack(7);
         assert_eq!(log.acked_seq(), 7);
+    }
+
+    // --- pull() boundary behavior. A follower's resume cursor lands
+    // exactly on these edges after reconnects, so each one is pinned:
+    // an off-by-one here silently skips or re-applies a record.
+
+    #[test]
+    fn pull_at_exact_log_head_is_empty_not_resync() {
+        let log = ReplLog::new(4);
+        for i in 1..=4u64 {
+            log.append_local(1, Vec::new(), i, 1);
+        }
+        // after_seq == head_seq: caught up. One past it: divergence.
+        match log.pull(4, 16) {
+            PullReply::Entries { head_seq, entries } => {
+                assert_eq!(head_seq, 4);
+                assert!(entries.is_empty());
+            }
+            PullReply::NeedSnapshot => panic!("pull at head must not resync"),
+        }
+        assert!(matches!(log.pull(5, 16), PullReply::NeedSnapshot));
+    }
+
+    #[test]
+    fn pull_boundary_between_pruned_and_retained_is_exact() {
+        let log = ReplLog::new(3);
+        for i in 1..=10u64 {
+            log.append_local(1, Vec::new(), i, 1);
+        }
+        // Retained: 8..=10. after_seq 7 needs seq 8 — the oldest
+        // retained entry — and must stream, not resync.
+        match log.pull(7, 16) {
+            PullReply::Entries { entries, .. } => {
+                assert_eq!(
+                    entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+                    vec![8, 9, 10]
+                );
+            }
+            PullReply::NeedSnapshot => panic!("oldest retained seq must stream"),
+        }
+        // after_seq 6 needs seq 7, trimmed one step ago: resync.
+        assert!(matches!(log.pull(6, 16), PullReply::NeedSnapshot));
+    }
+
+    #[test]
+    fn pull_of_empty_log_from_zero_is_caught_up() {
+        let log = ReplLog::new(4);
+        match log.pull(0, 16) {
+            PullReply::Entries { head_seq, entries } => {
+                assert_eq!(head_seq, 0);
+                assert!(entries.is_empty(), "a brand-new log has nothing to send");
+            }
+            PullReply::NeedSnapshot => panic!("empty log must not demand a snapshot"),
+        }
+    }
+
+    #[test]
+    fn pull_from_zero_after_wraparound_resyncs() {
+        // A fresh follower (cursor 0) joining a log that has already
+        // trimmed seq 1 cannot be served incrementally.
+        let log = ReplLog::new(2);
+        for i in 1..=5u64 {
+            log.append_local(1, Vec::new(), i, 1);
+        }
+        assert!(matches!(log.pull(0, 16), PullReply::NeedSnapshot));
+        // But the retained window itself still streams contiguously.
+        match log.pull(3, 16) {
+            PullReply::Entries { entries, .. } => {
+                assert_eq!(
+                    entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+                    vec![4, 5]
+                );
+            }
+            PullReply::NeedSnapshot => panic!("retained window must stream after wrap"),
+        }
+    }
+
+    #[test]
+    fn pull_with_zero_cap_reports_head_without_entries() {
+        // The fencer sends max_entries 0: it wants the epoch check and
+        // a reply, not data.
+        let log = ReplLog::new(4);
+        for i in 1..=3u64 {
+            log.append_local(1, Vec::new(), i, 1);
+        }
+        match log.pull(1, 0) {
+            PullReply::Entries { head_seq, entries } => {
+                assert_eq!(head_seq, 3);
+                assert!(entries.is_empty());
+            }
+            PullReply::NeedSnapshot => panic!("zero-cap pull of a retained seq must answer"),
+        }
+    }
+
+    // --- Liveness: the failure detector driving self-promotion.
+
+    #[test]
+    fn liveness_needs_both_threshold_and_lease_expiry() {
+        let mut l = Liveness::new(0);
+        assert!(!l.expired(3), "no failures yet");
+        l.failures = 3;
+        assert!(l.expired(3), "zero lease: threshold alone decides");
+        // A granted lease in the future holds the failover back even
+        // past the threshold.
+        l.saw_reply(Some(60_000));
+        l.failures = 10;
+        assert!(!l.expired(3), "unexpired lease must veto promotion");
+        // Any reply resets the failure count.
+        l.saw_reply(Some(60_000));
+        assert_eq!(l.failures, 0);
+        assert!(!l.expired(1));
+    }
+
+    #[test]
+    fn liveness_threshold_zero_is_treated_as_one() {
+        let mut l = Liveness::new(0);
+        assert!(!l.expired(0), "zero failures never expires");
+        l.failures = 1;
+        assert!(l.expired(0));
     }
 }

@@ -125,6 +125,28 @@ pub struct ServiceConfig {
     pub follower_of: Option<String>,
     /// Idle sleep between pulls when the follower is caught up, ms.
     pub pull_interval_ms: u64,
+    /// Liveness lease this node grants with every `ReplEntries` reply,
+    /// ms. A follower declares the primary dead only once this long
+    /// passes without any reply AND the missed-pull threshold is hit.
+    pub lease_ms: u64,
+    /// Follower: self-promote when the primary's lease expires
+    /// (DESIGN.md §13.5). Off by default — without it the node waits
+    /// for an operator `Frame::Promote`, exactly as before.
+    pub auto_promote: bool,
+    /// Consecutive failed pulls (transport errors — typed errors from
+    /// a live primary reset it) before a follower may declare the
+    /// primary dead.
+    pub missed_pull_threshold: u32,
+    /// Sibling follower addresses of the same shard. Before
+    /// self-promoting, a follower asks each for `ReplStatus` and
+    /// defers to any peer that is strictly more caught up (ties break
+    /// on the lower address), so the most-caught-up follower wins.
+    pub promotion_peers: Vec<String>,
+    /// Staleness bound for reads served by this node while a follower:
+    /// `QueryAvail`/`Place`/`QueryStats` answer only while
+    /// `primary_head_seen - applied_head <= bound`, else `TooStale`.
+    /// `None` (default) serves follower reads unbounded.
+    pub max_read_lag: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -152,6 +174,11 @@ impl Default for ServiceConfig {
             repl_log_capacity: 0,
             follower_of: None,
             pull_interval_ms: 5,
+            lease_ms: 1_000,
+            auto_promote: false,
+            missed_pull_threshold: 3,
+            promotion_peers: Vec::new(),
+            max_read_lag: None,
         }
     }
 }
@@ -457,6 +484,12 @@ impl Server {
     /// Whether the follower pull loop stopped on a divergence tripwire.
     pub fn repl_failed(&self) -> bool {
         self.shared.repl_failed.load(Ordering::Acquire)
+    }
+
+    /// The node's fencing epoch (DESIGN.md §13.5): 1 at birth, bumped
+    /// past everything observed on each promotion.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
     }
 
     /// Contention numbers for every instrumented lock category, in a

@@ -83,6 +83,9 @@ pub(crate) struct SnapshotData {
     /// collector reads it before capturing any machine). Absent in
     /// pre-replication snapshot files; parsed as 0.
     pub repl_seq: u64,
+    /// The node's fencing epoch at collection time (DESIGN.md §13.5).
+    /// Absent in pre-failover snapshot files; parsed as 1.
+    pub epoch: u64,
     pub counters: CounterValues,
     /// Ascending machine id.
     pub machines: Vec<MachineSnapshot>,
@@ -175,7 +178,8 @@ pub(crate) fn serialize_snapshot(data: &SnapshotData) -> String {
         .u64("version", SNAPSHOT_VERSION)
         .u64("machines", data.machines.len() as u64)
         .u64("elapsed_ms", data.elapsed_ms)
-        .u64("repl_seq", data.repl_seq);
+        .u64("repl_seq", data.repl_seq)
+        .u64("epoch", data.epoch);
     push(&mut body, header.finish());
     lines += 1;
     for m in &data.machines {
@@ -370,6 +374,7 @@ pub(crate) fn parse_snapshot(text: &str) -> Result<SnapshotData, String> {
     let n_machines = get_u64(h, "machines")? as usize;
     let elapsed_ms = get_u64(h, "elapsed_ms")?;
     let repl_seq = get_u64_or(h, "repl_seq", 0)?;
+    let epoch = get_u64_or(h, "epoch", 1)?;
 
     let mut machines: Vec<MachineSnapshot> = Vec::with_capacity(n_machines);
     let mut expected: BTreeMap<u32, (usize, u64, u64)> = BTreeMap::new();
@@ -458,6 +463,7 @@ pub(crate) fn parse_snapshot(text: &str) -> Result<SnapshotData, String> {
     Ok(SnapshotData {
         elapsed_ms,
         repl_seq,
+        epoch,
         counters: counters.ok_or("missing counters line")?,
         machines,
     })
@@ -698,6 +704,7 @@ mod tests {
         SnapshotData {
             elapsed_ms: 7777,
             repl_seq: 42,
+            epoch: 3,
             counters: CounterValues {
                 ingested_batches: 10,
                 ingested_samples: 200,
@@ -739,6 +746,7 @@ mod tests {
         let body_end = text[..text.len() - 1].rfind('\n').unwrap() + 1;
         let old_body = text[..body_end]
             .replace(",\"repl_seq\":42", "")
+            .replace(",\"epoch\":3", "")
             .replace(",\"last_repl_seq\":42", "")
             .replace(",\"last_repl_seq\":0", "");
         let lines = old_body.lines().count() as u64;
@@ -750,6 +758,7 @@ mod tests {
         let old_text = format!("{old_body}{}\n", end.finish());
         let back = parse_snapshot(&old_text).expect("old format parses");
         assert_eq!(back.repl_seq, 0);
+        assert_eq!(back.epoch, 1);
         assert!(back.machines.iter().all(|m| m.last_repl_seq == 0));
         assert_eq!(back.machines.len(), data.machines.len());
         assert_eq!(back.machines[0].records, data.machines[0].records);
@@ -827,6 +836,43 @@ mod tests {
         let files = list_snapshots(&dir);
         assert_eq!(files.len(), KEEP);
         assert_eq!(files[0].0, 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loader_rejects_both_corrupt_snapshots_and_reports_a_clean_start() {
+        let dir = std::env::temp_dir().join(format!("fgcs-snap-both-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let sink = SnapshotSink::new(&dir, 1).expect("sink");
+        let mut data = sample_data();
+        sink.write_now(&data).unwrap();
+        data.counters.ingested_batches = 11;
+        sink.write_now(&data).unwrap();
+        let files = list_snapshots(&dir);
+        assert_eq!(files.len(), KEEP, "both retained snapshots exist");
+        // Damage *every* retained snapshot two different ways: the
+        // newest truncated mid-record (torn write), the older with a
+        // flipped payload byte (bit rot breaks the body checksum/JSON).
+        let newest = &files[0].1;
+        let full = fs::read_to_string(newest).unwrap();
+        fs::write(newest, &full[..full.len() * 2 / 3]).unwrap();
+        let older = &files[1].1;
+        let mut body = fs::read_to_string(older).unwrap().into_bytes();
+        let mid = body.len() / 2;
+        body[mid] = body[mid].wrapping_add(1);
+        fs::write(older, &body).unwrap();
+        // Nothing usable: the loader must reject both *whole* — never
+        // half-apply a damaged checkpoint — and report a clean start.
+        assert!(
+            load_latest(&dir).is_none(),
+            "two corrupt snapshots must yield a clean start, not a partial restore"
+        );
+        // A clean start means the next checkpoint cycle works from
+        // scratch: new snapshots land and load again.
+        data.counters.ingested_batches = 12;
+        sink.write_now(&data).unwrap();
+        let loaded = load_latest(&dir).expect("fresh snapshot after the wipeout");
+        assert_eq!(loaded.counters.ingested_batches, 12);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -557,6 +557,17 @@ pub(crate) struct Shared {
     /// the node keeps answering queries from its frozen state but must
     /// never be promoted.
     pub(crate) repl_failed: AtomicBool,
+    /// Fencing epoch (DESIGN.md §13.5). Every node starts at 1; a
+    /// promotion allocates `max(observed) + 1`, and a node that sees a
+    /// strictly higher epoch on an incoming `ReplPull` demotes itself —
+    /// a paused-then-revived primary is fenced to `NotPrimary` instead
+    /// of splitting the brain. Persisted in snapshots.
+    epoch: AtomicU64,
+    /// The newest primary log head a follower's pull loop has observed
+    /// (`ReplEntries::head_seq`). Own applied head versus this is the
+    /// staleness bound follower reads are gated on; 0 until the first
+    /// successful pull.
+    pub(crate) primary_head_seen: AtomicU64,
 }
 
 impl Shared {
@@ -598,6 +609,8 @@ impl Shared {
             repl,
             role: AtomicU8::new(role),
             repl_failed: AtomicBool::new(false),
+            epoch: AtomicU64::new(1),
+            primary_head_seen: AtomicU64::new(0),
             cfg,
         };
         if let Some(dir) = shared.cfg.snapshot_dir.clone() {
@@ -661,6 +674,9 @@ impl Shared {
         self.counters.set_all(data.counters);
         self.prior_elapsed_ms
             .store(data.elapsed_ms, Ordering::Release);
+        // Epochs only move forward: a restored snapshot (or a resync
+        // pulled from the primary) can raise ours, never lower it.
+        self.observe_epoch(data.epoch);
         if self.is_primary() {
             // A restarted primary must never re-allocate a seq some
             // machine cell already carries (the snapshot header is a
@@ -703,6 +719,7 @@ impl Shared {
         SnapshotData {
             elapsed_ms: self.elapsed_ms(),
             repl_seq,
+            epoch: self.epoch(),
             counters: self.counters.snapshot(),
             machines,
         }
@@ -749,11 +766,13 @@ impl Shared {
     /// Promotes a follower to primary (idempotent). The pull loop
     /// observes the flip and exits; the allocation cursor is raised
     /// past every stamp any machine carries so the new primary can
-    /// never re-allocate an applied seq.
+    /// never re-allocate an applied seq, and the epoch is bumped past
+    /// everything observed so the old primary can be fenced.
     pub(crate) fn promote(&self) {
         if self.role.swap(ROLE_PRIMARY, Ordering::AcqRel) == ROLE_PRIMARY {
             return;
         }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         let max_stamp = self
             .machines_sorted()
             .into_iter()
@@ -761,6 +780,31 @@ impl Shared {
             .max()
             .unwrap_or(0);
         self.repl.raise_next(max_stamp + 1);
+    }
+
+    /// The node's current fencing epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Adopts a higher epoch observed on the wire (monotone max, e.g.
+    /// from a primary's `ReplEntries`), without any role change.
+    pub(crate) fn observe_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// The fencing write: an incoming `ReplPull` carrying a strictly
+    /// higher epoch proves a newer primary exists. Adopt the epoch,
+    /// and if this node still thought it was a primary, demote it —
+    /// ingest flips to `NotPrimary` before this call returns, so a
+    /// revived pre-failover primary can never double-count a batch.
+    /// Returns `true` when a demotion happened.
+    pub(crate) fn fence_if_superseded(&self, peer_epoch: u64) -> bool {
+        if peer_epoch <= self.epoch.load(Ordering::Acquire) {
+            return false;
+        }
+        self.epoch.fetch_max(peer_epoch, Ordering::AcqRel);
+        self.role.swap(ROLE_FOLLOWER, Ordering::AcqRel) == ROLE_PRIMARY
     }
 
     fn shard(&self, machine: u32) -> &StateShard {

@@ -570,3 +570,98 @@ fn fanin_driver_reconciles_on_both_backends() {
         server.shutdown();
     }
 }
+
+/// A malformed frame — sound header, garbage payload — must come back
+/// as a typed `BadFrame` error on the same stream, count as a decode
+/// error, and leave the connection usable: the framing layer stays in
+/// sync, so the next well-formed request still answers. A corrupted
+/// payload (CRC mismatch) gets the same treatment. Both backends run
+/// one shared frame-handling path; this pins that the *recovery*
+/// behavior is identical too.
+fn malformed_frame_gets_typed_error_and_stream_survives(svc: ServiceConfig) {
+    let backend = svc.backend;
+    let server = Server::start(svc).expect("server starts");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("raw connect");
+    let mut decoder = Decoder::new();
+    let mut read_reply = |stream: &mut TcpStream, decoder: &mut Decoder| -> Frame {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Ok(Some(frame)) = decoder.next_frame() {
+                return frame;
+            }
+            let n = stream.read(&mut buf).expect("reply readable");
+            assert!(n > 0, "{backend:?}: server closed on a recoverable frame");
+            decoder.push(&buf[..n]);
+        }
+    };
+
+    // Garbage payload under a sound header: magic, version, and a real
+    // tag, but 3 junk bytes where QueryAvail's 12-byte payload belongs.
+    // The CRC is *correct* for the junk, so this exercises the payload
+    // decoder, not the checksum.
+    let junk = [0xde, 0xad, 0xbe];
+    let mut raw = Vec::new();
+    raw.extend_from_slice(b"FC");
+    raw.push(fgcs_wire::PROTOCOL_VERSION);
+    raw.push(
+        Frame::QueryAvail {
+            machine: 0,
+            horizon: 0,
+        }
+        .tag(),
+    );
+    raw.extend_from_slice(&(junk.len() as u32).to_le_bytes());
+    raw.extend_from_slice(&fgcs_wire::codec::crc32(&junk).to_le_bytes());
+    raw.extend_from_slice(&junk);
+    stream.write_all(&raw).expect("junk frame written");
+    match read_reply(&mut stream, &mut decoder) {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame, "{backend:?}"),
+        other => panic!("{backend:?}: expected BadFrame, got tag {}", other.tag()),
+    }
+
+    // Corrupted payload: a well-formed batch with one payload byte
+    // flipped fails the CRC — same typed reply, same survival.
+    let mut corrupted = batch(1, 0, 2).encode().expect("encodable");
+    let last = corrupted.len() - 1;
+    corrupted[last] ^= 0xff;
+    stream
+        .write_all(&corrupted)
+        .expect("corrupted frame written");
+    match read_reply(&mut stream, &mut decoder) {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame, "{backend:?}"),
+        other => panic!("{backend:?}: expected BadFrame, got tag {}", other.tag()),
+    }
+
+    // The stream survived both: a valid request on the same socket
+    // still answers, and nothing reached machine state.
+    let ok = batch(1, 0, 2).encode().expect("encodable");
+    stream.write_all(&ok).expect("valid frame written");
+    match read_reply(&mut stream, &mut decoder) {
+        Frame::Ack { .. } => {}
+        other => panic!("{backend:?}: expected Ack, got tag {}", other.tag()),
+    }
+    let stats = drain(&server, 3);
+    assert_eq!(stats.decode_errors, 2, "{backend:?}: both rejects counted");
+    assert_eq!(stats.ingested_batches, 1, "{backend:?}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frame_recovery_threads() {
+    malformed_frame_gets_typed_error_and_stream_survives(ServiceConfig {
+        backend: Backend::Threads,
+        ..Default::default()
+    });
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn malformed_frame_recovery_epoll() {
+    malformed_frame_gets_typed_error_and_stream_survives(epoll_cfg(1));
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn malformed_frame_recovery_epoll_multiloop() {
+    malformed_frame_gets_typed_error_and_stream_survives(epoll_cfg(4));
+}

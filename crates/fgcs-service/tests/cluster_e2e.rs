@@ -467,6 +467,232 @@ fn not_primary_reroute_skips_the_backoff_sleep() {
     follower.shutdown();
 }
 
+/// The tentpole of automatic failover (DESIGN.md §13.5): a follower
+/// started with `auto_promote` detects its primary's death through the
+/// pull loop alone — consecutive missed pulls plus an expired lease —
+/// and self-promotes with **no operator frame**, at a strictly higher
+/// epoch, having applied everything the primary logged.
+#[test]
+fn auto_promotion_follower_takes_over_without_an_operator() {
+    let mut pcfg = primary_config();
+    pcfg.lease_ms = 150;
+    let primary = Server::start(pcfg).expect("primary");
+    let mut fcfg = follower_config(&primary.local_addr().to_string());
+    fcfg.auto_promote = true;
+    fcfg.lease_ms = 150;
+    fcfg.missed_pull_threshold = 2;
+    let follower = Server::start(fcfg).expect("follower");
+
+    let mut to_primary = connect(&primary.local_addr().to_string());
+    stream_wave(&mut to_primary, 0..SAMPLES / 2);
+    wait_caught_up(&mut to_primary, SAMPLES / 2 - 1);
+    let mut to_follower = connect(&follower.local_addr().to_string());
+    wait_caught_up(&mut to_follower, SAMPLES / 2 - 1);
+    let head_at_kill = primary.repl_seq();
+    assert_eq!(follower.epoch(), 1, "everyone is born at epoch 1");
+
+    primary.shutdown();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while follower.role() != ROLE_PRIMARY {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never self-promoted after the primary died"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(follower.epoch(), 2, "promotion allocates a fresh epoch");
+    let (role, applied, _) = repl_status(&mut to_follower);
+    assert_eq!(role, ROLE_PRIMARY);
+    assert_eq!(
+        applied, head_at_kill,
+        "the promoted follower applied the full log before taking over"
+    );
+    let reply = to_follower
+        .request(&Frame::SampleBatch {
+            machine: 1,
+            samples: vec![wave_sample(1, SAMPLES / 2)],
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Frame::Ack { .. }),
+        "self-promoted node ingests: {reply:?}"
+    );
+    follower.shutdown();
+}
+
+/// Fencing: a `ReplPull` carrying a strictly higher epoch demotes a
+/// node that still believes it is the primary (it paused through a
+/// failover, say), and the `NotPrimary` reply is the fencer's
+/// confirmation. An equal epoch never fences — that is every routine
+/// pull.
+#[test]
+fn a_pull_with_a_higher_epoch_fences_the_primary() {
+    let primary = Server::start(primary_config()).expect("primary");
+    let mut c = connect(&primary.local_addr().to_string());
+
+    let fenced = c
+        .request(&Frame::ReplPull {
+            after_seq: 0,
+            max_entries: 0,
+            epoch: 7,
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            fenced,
+            Frame::Error { code, .. } if code == fgcs_wire::ErrorCode::NotPrimary
+        ),
+        "a superseding epoch must demote and reject: {fenced:?}"
+    );
+    assert_eq!(primary.role(), ROLE_FOLLOWER, "the node demoted itself");
+    assert_eq!(primary.epoch(), 7, "and adopted the superseding epoch");
+
+    let reply = c
+        .request(&Frame::SampleBatch {
+            machine: 1,
+            samples: vec![wave_sample(1, 0)],
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Frame::Error { code, .. } if code == fgcs_wire::ErrorCode::NotPrimary),
+        "a fenced node must reject ingest: {reply:?}"
+    );
+
+    // Same epoch again: a routine pull, served normally.
+    let reply = c
+        .request(&Frame::ReplPull {
+            after_seq: 0,
+            max_entries: 10,
+            epoch: 7,
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Frame::ReplEntries { .. }),
+        "an equal epoch never fences: {reply:?}"
+    );
+    primary.shutdown();
+}
+
+/// The follower-read staleness bound: a bounded follower that has
+/// never completed a pull answers `TooStale`, a caught-up one answers
+/// reads, and the router prefers the replica (counting
+/// `follower_reads`) while writes keep going to the primary.
+#[test]
+fn bounded_follower_reads_answer_fresh_and_reject_stale() {
+    // Stale: bounded, upstream dead, never pulled.
+    let mut orphan_cfg = follower_config("127.0.0.1:1");
+    orphan_cfg.max_read_lag = Some(10);
+    let orphan = Server::start(orphan_cfg).expect("orphan follower");
+    let mut to_orphan = connect(&orphan.local_addr().to_string());
+    for frame in [
+        Frame::QueryAvail {
+            machine: 1,
+            horizon: 60,
+        },
+        Frame::Place { job_len: 60 },
+        Frame::QueryStats,
+    ] {
+        let reply = to_orphan.request(&frame).unwrap();
+        assert!(
+            matches!(
+                reply,
+                Frame::Error { code, .. } if code == fgcs_wire::ErrorCode::TooStale
+            ),
+            "unknown staleness must gate reads: {reply:?}"
+        );
+    }
+    orphan.shutdown();
+
+    // Fresh: caught up within the bound, read through the router.
+    let primary = Server::start(primary_config()).expect("primary");
+    let mut fcfg = follower_config(&primary.local_addr().to_string());
+    fcfg.max_read_lag = Some(1_000_000);
+    let follower = Server::start(fcfg).expect("follower");
+    let mut to_primary = connect(&primary.local_addr().to_string());
+    stream_wave(&mut to_primary, 0..SAMPLES / 2);
+    wait_caught_up(&mut to_primary, SAMPLES / 2 - 1);
+    let mut to_follower = connect(&follower.local_addr().to_string());
+    wait_caught_up(&mut to_follower, SAMPLES / 2 - 1);
+
+    let cfg = ClusterConfig::new(vec![ShardSpec {
+        name: "shard-0".into(),
+        primary_addr: primary.local_addr().to_string(),
+        follower_addr: Some(follower.local_addr().to_string()),
+    }]);
+    let mut router = ClusterClient::connect(cfg).expect("router");
+    let avail = router.query_avail(1, 60).expect("follower-served read");
+    assert!(matches!(avail, Frame::AvailReply { .. }), "{avail:?}");
+    let placed = router.place_on(0, 60).expect("follower-served placement");
+    assert!(matches!(placed, Frame::PlaceReply { .. }), "{placed:?}");
+    let stats = router.read_stats_of(0).expect("follower-served stats");
+    assert!(stats.machines.iter().any(|m| m.machine == 1));
+    assert_eq!(
+        router.metrics.follower_reads, 3,
+        "all three reads came off the replica: {:?}",
+        router.metrics
+    );
+    assert_eq!(router.metrics.failovers, 0, "no write-route flips");
+
+    primary.shutdown();
+    follower.shutdown();
+}
+
+/// The split-brain tie-break the ingest resume leans on: when *both*
+/// endpoints claim the primary role — a revived old primary at epoch 1
+/// next to the promoted follower at epoch 2 — `aim_at_primary` must
+/// pick the higher epoch, never the revenant, so the resume's `last_t`
+/// floor always comes from the node that actually owns the shard.
+#[test]
+fn aim_at_primary_prefers_the_higher_epoch_over_a_revenant() {
+    // The "old primary": a plain primary, epoch 1.
+    let revenant = Server::start(primary_config()).expect("revenant");
+    // The "promoted follower": promoted out of follower mode, epoch 2.
+    let mut fcfg = follower_config("127.0.0.1:1");
+    fcfg.repl_log_capacity = 4096;
+    let promoted = Server::start(fcfg).expect("promoted");
+    promoted.promote();
+    assert_eq!(promoted.epoch(), 2);
+    assert_eq!(revenant.epoch(), 1);
+
+    let mut cfg = ClusterConfig::new(vec![ShardSpec {
+        name: "shard-0".into(),
+        primary_addr: revenant.local_addr().to_string(),
+        follower_addr: Some(promoted.local_addr().to_string()),
+    }]);
+    cfg.backoff = BackoffPolicy { base: 1, cap: 4 };
+    let mut router = ClusterClient::connect(cfg).expect("router");
+
+    // The route starts on the listed primary — the revenant.
+    assert_eq!(router.endpoint_of(0), revenant.local_addr().to_string());
+    router.aim_at_primary(0);
+    assert_eq!(
+        router.endpoint_of(0),
+        promoted.local_addr().to_string(),
+        "two primaries: the higher epoch must win"
+    );
+    // Idempotent once aimed.
+    router.aim_at_primary(0);
+    assert_eq!(router.endpoint_of(0), promoted.local_addr().to_string());
+
+    // And the aimed route is where ingest lands. The ack means
+    // *enqueued* — poll for the apply before judging who got the data.
+    let reply = router.ingest(1, vec![wave_sample(1, 0)]).expect("ingest");
+    assert!(matches!(reply, Frame::Ack { .. }));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while promoted.records(1).is_none() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the true primary never got the data"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(revenant.records(1).is_none(), "the revenant got nothing");
+
+    revenant.shutdown();
+    promoted.shutdown();
+}
+
 /// When *both* endpoints answer `NotPrimary` (a promotion that never
 /// lands), only the first flip is instant — the rest back off, so two
 /// followers can never trap the router in a hot ping-pong loop.

@@ -71,6 +71,52 @@ pub fn parse(input: &str) -> Result<Value, String> {
     Ok(v)
 }
 
+/// Replaces the value of top-level `key` in the JSON object document
+/// `doc` with the raw JSON `value`, appending the key at the end when
+/// absent. Every other byte of the document is preserved, including
+/// key order. The experiment gate files are written by several
+/// binaries, each owning one top-level section — a writer that assumed
+/// its own key came last would silently delete every section spliced
+/// in after it.
+pub fn splice_key(doc: &str, key: &str, value: &str) -> Result<String, String> {
+    let bytes = doc.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err("document is not a JSON object".into());
+    }
+    pos += 1;
+    loop {
+        skip_ws(bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(b'}') => {
+                // Key absent: insert before the closing brace.
+                let body = doc[..pos].trim_end();
+                let sep = if body.ends_with('{') { "" } else { "," };
+                return Ok(format!("{body}{sep}\"{key}\":{value}}}\n"));
+            }
+            Some(b'"') => {}
+            other => return Err(format!("expected a key or '}}', got {other:?}")),
+        }
+        let this_key = parse_str(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos += 1;
+        skip_ws(bytes, &mut pos);
+        let vstart = pos;
+        parse_value(bytes, &mut pos)?;
+        if this_key == key {
+            return Ok(format!("{}{}{}", &doc[..vstart], value, &doc[pos..]));
+        }
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) == Some(&b',') {
+            pos += 1;
+        }
+    }
+}
+
 fn skip_ws(b: &[u8], pos: &mut usize) {
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
@@ -318,5 +364,36 @@ mod tests {
         w.str("s", "a\"b\\c\nd");
         let v = parse(&w.finish()).unwrap();
         assert_eq!(v.as_obj().unwrap()["s"].as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn splice_replaces_a_middle_key_and_keeps_the_rest() {
+        let doc = r#"{"a":1,"cluster":{"old":true},"sched":{"kept":2}}"#;
+        let out = splice_key(doc, "cluster", r#"{"new":3}"#).unwrap();
+        assert_eq!(out, r#"{"a":1,"cluster":{"new":3},"sched":{"kept":2}}"#);
+    }
+
+    #[test]
+    fn splice_appends_a_missing_key() {
+        let out = splice_key("{\"a\":1}\n", "sched", "{}").unwrap();
+        assert_eq!(out, "{\"a\":1,\"sched\":{}}\n");
+        let out = splice_key("{}", "sched", "{\"x\":1}").unwrap();
+        assert_eq!(out, "{\"sched\":{\"x\":1}}\n");
+    }
+
+    #[test]
+    fn splice_is_not_fooled_by_braces_inside_strings() {
+        let doc = r#"{"description":"a } inside { a string","cluster":{"v":1}}"#;
+        let out = splice_key(doc, "cluster", r#"{"v":2}"#).unwrap();
+        assert_eq!(
+            out,
+            r#"{"description":"a } inside { a string","cluster":{"v":2}}"#
+        );
+    }
+
+    #[test]
+    fn splice_rejects_a_non_object_document() {
+        assert!(splice_key("[1,2]", "k", "{}").is_err());
+        assert!(splice_key("", "k", "{}").is_err());
     }
 }

@@ -8,7 +8,11 @@ use crate::codec::{ByteReader, EncodeError, PayloadError};
 
 /// Protocol version carried in every frame header. Decoders reject
 /// frames from any other version rather than guessing at layouts.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2 added the failover fields: `epoch` on
+/// [`Frame::ReplPull`] / [`Frame::ReplEntries`] /
+/// [`Frame::ReplStatusReply`], `lease_ms` on [`Frame::ReplEntries`],
+/// and [`ErrorCode::TooStale`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on samples per [`Frame::SampleBatch`].
 pub const MAX_SAMPLES_PER_BATCH: usize = 16_384;
@@ -194,6 +198,11 @@ pub enum ErrorCode {
     QuotaExceeded,
     /// The queried job id is not known to the scheduler.
     UnknownJob,
+    /// The request is a read served by a follower whose replication
+    /// lag currently exceeds the configured staleness bound; the
+    /// client should retry against the primary (or wait for the
+    /// follower to catch up).
+    TooStale,
 }
 
 impl ErrorCode {
@@ -209,6 +218,7 @@ impl ErrorCode {
             ErrorCode::NotPrimary => 7,
             ErrorCode::QuotaExceeded => 8,
             ErrorCode::UnknownJob => 9,
+            ErrorCode::TooStale => 10,
         }
     }
 
@@ -224,6 +234,7 @@ impl ErrorCode {
             7 => Some(ErrorCode::NotPrimary),
             8 => Some(ErrorCode::QuotaExceeded),
             9 => Some(ErrorCode::UnknownJob),
+            10 => Some(ErrorCode::TooStale),
             _ => None,
         }
     }
@@ -334,6 +345,13 @@ pub enum Frame {
         after_seq: u64,
         /// Cap on entries wanted in the reply.
         max_entries: u32,
+        /// The puller's current epoch. Doubles as the **fencing**
+        /// write: a node that receives a pull carrying a strictly
+        /// higher epoch than its own has been superseded — if it still
+        /// thinks it is a primary it demotes itself on the spot, so a
+        /// paused-then-revived primary rejects ingest (`NotPrimary`)
+        /// instead of splitting the brain.
+        epoch: u64,
     },
     /// Primary → follower: answer to [`Frame::ReplPull`] when the
     /// requested position is still in the log (possibly empty when the
@@ -343,6 +361,14 @@ pub enum Frame {
         /// nothing was ever logged). Lets the follower see its lag even
         /// on an empty reply.
         head_seq: u64,
+        /// The primary's current epoch; the follower adopts it so a
+        /// later self-promotion allocates a strictly higher one.
+        epoch: u64,
+        /// Liveness lease granted by this reply, milliseconds: the
+        /// follower may declare the primary dead once this much time
+        /// passes without any reply (0 = no lease; detection then
+        /// rests on the missed-pull threshold alone).
+        lease_ms: u64,
         /// The entries, seq-ascending, starting just past `after_seq`.
         entries: Vec<ReplEntry>,
     },
@@ -362,6 +388,10 @@ pub enum Frame {
     ReplStatusReply {
         /// 1 = primary, 2 = follower.
         role: u8,
+        /// The node's current epoch. A client choosing between two
+        /// nodes that both claim primaryship must trust the higher
+        /// epoch — the lower one is a revived ghost awaiting fencing.
+        epoch: u64,
         /// Follower: highest replication seq applied. Primary: newest
         /// seq allocated.
         applied_seq: u64,
@@ -604,11 +634,18 @@ impl Frame {
             Frame::ReplPull {
                 after_seq,
                 max_entries,
+                epoch,
             } => {
                 put_u64(out, *after_seq);
                 put_u32(out, *max_entries);
+                put_u64(out, *epoch);
             }
-            Frame::ReplEntries { head_seq, entries } => {
+            Frame::ReplEntries {
+                head_seq,
+                epoch,
+                lease_ms,
+                entries,
+            } => {
                 if entries.len() > MAX_REPL_ENTRIES_PER_FRAME {
                     return Err(EncodeError::TooManyElements {
                         what: "replication entries",
@@ -617,6 +654,8 @@ impl Frame {
                     });
                 }
                 put_u64(out, *head_seq);
+                put_u64(out, *epoch);
+                put_u64(out, *lease_ms);
                 put_u32(out, entries.len() as u32);
                 for e in entries {
                     if e.samples.len() > MAX_SAMPLES_PER_BATCH {
@@ -648,6 +687,7 @@ impl Frame {
             Frame::ReplStatus => {}
             Frame::ReplStatusReply {
                 role,
+                epoch,
                 applied_seq,
                 head_seq,
                 tail_seq,
@@ -655,6 +695,7 @@ impl Frame {
                 log_len,
             } => {
                 out.push(*role);
+                put_u64(out, *epoch);
                 put_u64(out, *applied_seq);
                 put_u64(out, *head_seq);
                 put_u64(out, *tail_seq);
@@ -857,9 +898,12 @@ impl Frame {
             14 => Frame::ReplPull {
                 after_seq: r.u64()?,
                 max_entries: r.u32()?,
+                epoch: r.u64()?,
             },
             15 => {
                 let head_seq = r.u64()?;
+                let epoch = r.u64()?;
+                let lease_ms = r.u64()?;
                 let count = r.u32()? as usize;
                 if count > MAX_REPL_ENTRIES_PER_FRAME {
                     return Err(PayloadError::new(format!(
@@ -881,7 +925,12 @@ impl Frame {
                         samples,
                     });
                 }
-                Frame::ReplEntries { head_seq, entries }
+                Frame::ReplEntries {
+                    head_seq,
+                    epoch,
+                    lease_ms,
+                    entries,
+                }
             }
             16 => {
                 let repl_seq = r.u64()?;
@@ -904,6 +953,7 @@ impl Frame {
                 }
                 Frame::ReplStatusReply {
                     role,
+                    epoch: r.u64()?,
                     applied_seq: r.u64()?,
                     head_seq: r.u64()?,
                     tail_seq: r.u64()?,
@@ -1075,6 +1125,7 @@ mod tests {
             ErrorCode::NotPrimary,
             ErrorCode::QuotaExceeded,
             ErrorCode::UnknownJob,
+            ErrorCode::TooStale,
         ] {
             assert_eq!(ErrorCode::from_code(c.code()), Some(c));
         }
@@ -1126,9 +1177,12 @@ mod tests {
             Frame::ReplPull {
                 after_seq: 0,
                 max_entries: 0,
+                epoch: 0,
             },
             Frame::ReplEntries {
                 head_seq: 0,
+                epoch: 0,
+                lease_ms: 0,
                 entries: vec![],
             },
             Frame::ReplSnapshot {
@@ -1138,6 +1192,7 @@ mod tests {
             Frame::ReplStatus,
             Frame::ReplStatusReply {
                 role: 1,
+                epoch: 1,
                 applied_seq: 0,
                 head_seq: 0,
                 tail_seq: 0,
@@ -1223,9 +1278,12 @@ mod tests {
             Frame::ReplPull {
                 after_seq: 42,
                 max_entries: 256,
+                epoch: 3,
             },
             Frame::ReplEntries {
                 head_seq: 99,
+                epoch: 2,
+                lease_ms: 750,
                 entries: vec![
                     ReplEntry {
                         seq: 43,
@@ -1266,6 +1324,7 @@ mod tests {
             Frame::ReplStatus,
             Frame::ReplStatusReply {
                 role: 2,
+                epoch: 7,
                 applied_seq: 40,
                 head_seq: 44,
                 tail_seq: 12,
@@ -1373,6 +1432,8 @@ mod tests {
         };
         let over = Frame::ReplEntries {
             head_seq: 0,
+            epoch: 0,
+            lease_ms: 0,
             entries: vec![entry; MAX_REPL_ENTRIES_PER_FRAME + 1],
         };
         assert!(matches!(
@@ -1385,6 +1446,7 @@ mod tests {
     fn repl_status_reply_rejects_unknown_roles() {
         let mut enc = Frame::ReplStatusReply {
             role: 1,
+            epoch: 1,
             applied_seq: 0,
             head_seq: 0,
             tail_seq: 0,

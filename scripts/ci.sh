@@ -81,46 +81,66 @@ awk -v r="$p99_ratio" 'BEGIN { exit !(r <= 1.5) }' \
     || { echo "multicore gate: 4-loop query p99 ratio $p99_ratio > 1.5x" >&2; exit 1; }
 echo "  4-loop vs 1-loop at the gate rung: ${speedup}x ingest, p99 ratio $p99_ratio"
 
-echo "== cluster failover smoke (X13, kill-primary + promote-follower) =="
+echo "== cluster failover smoke (X13, kill-primary, automatic promotion) =="
 # Two shards of real fgcs-serve processes (primary + replication
-# follower each), a routed replay through ClusterClient, SIGKILL of
-# shard 0's primary mid-replay, promotion of its follower over the
-# wire, and router failover with t > last_t resume. The binary asserts
-# the tentpole claim internally (zero records lost up to the acked
-# seq, final state bit-identical to an unkilled single-server
-# reference); the smoke re-checks the loss count and that a failover
-# actually happened from the CSV it wrote.
+# follower each), a routed replay through ClusterClient, and a SIGKILL
+# of shard 0's primary mid-replay. Nobody sends a Promote frame: the
+# follower detects the dead primary on its own (missed pulls + expired
+# lease) and self-promotes at a fresh epoch, and the router fails over
+# with t > last_t resume. The binary asserts the tentpole claim
+# internally (self-promotion happened with no operator step, zero
+# records lost up to the acked seq, final state bit-identical to an
+# unkilled single-server reference); the smoke re-checks the loss
+# count, that a failover actually happened, that detection+promotion
+# took measurable nonzero time, and that queries kept being answered
+# from follower endpoints through the failover window.
 cluster_bin="$PWD/target/release/fgcs-cluster"
 (cd "$smoke_dir" && "$cluster_bin" --quick > cluster.out)
 sc="$smoke_dir/results/serve_cluster.csv"
 test -f "$sc" || { echo "missing $sc" >&2; exit 1; }
-# serve_cluster.csv: phase,...,gap_ms,records_lost,retries,failovers,...
+# serve_cluster.csv: phase,...,gap_ms,records_lost,retries,failovers,
+#                    resumed_batches,skipped_samples,promote_ms,follower_reads
 during_row=$(grep '^during,' "$sc") || { echo "serve_cluster.csv: no during row" >&2; exit 1; }
 lost=$(echo "$during_row" | cut -d, -f9)
 fo=$(echo "$during_row" | cut -d, -f11)
+promote=$(echo "$during_row" | cut -d, -f14)
+freads=$(echo "$during_row" | cut -d, -f15)
 [ "$lost" -eq 0 ] || { echo "cluster smoke: $lost records lost across failover" >&2; exit 1; }
 [ "$fo" -ge 1 ] || { echo "cluster smoke: router never failed over" >&2; exit 1; }
-echo "  kill-primary failover: $fo failover(s), 0 records lost"
+awk -v p="$promote" 'BEGIN { exit !(p > 0) }' \
+    || { echo "cluster smoke: no self-promotion time recorded (promote_ms=$promote)" >&2; exit 1; }
+[ "$freads" -ge 1 ] \
+    || { echo "cluster smoke: no reads served from follower endpoints" >&2; exit 1; }
+echo "  kill-only failover: self-promotion in ${promote} ms, $fo failover(s), $freads follower reads, 0 records lost"
 
 echo "== cluster failover gate (committed BENCH_serve.json) =="
 # The committed full-scale X13 artifact must carry the failover claim:
-# zero records lost, the router actually failed over, the ingest gap
-# stayed bounded, and queries through the failover window stayed
-# responsive. Thresholds leave wide margin over measured values (gap
-# ~6 ms, during-p99 ~0.5 ms) so only a real regression trips them.
+# zero records lost, the router actually failed over, unattended
+# detection + self-promotion landed within the 2 s bound (the gap now
+# *includes* that detection time — with lease 250 ms and 3 missed
+# pulls the measured value sits around 1.1 s), reads were served from
+# follower endpoints, and queries through the failover window stayed
+# responsive.
 c_lost=$(gate_num failover_records_lost)
 c_fo=$(gate_num failover_count)
+c_promote=$(gate_num failover_promote_ms)
 c_gap=$(gate_num failover_gap_ms)
+c_freads=$(gate_num follower_reads)
 c_p99=$(gate_num during_query_p99_us)
-[ -n "$c_lost" ] && [ -n "$c_fo" ] && [ -n "$c_gap" ] && [ -n "$c_p99" ] \
+[ -n "$c_lost" ] && [ -n "$c_fo" ] && [ -n "$c_promote" ] && [ -n "$c_gap" ] \
+    && [ -n "$c_freads" ] && [ -n "$c_p99" ] \
     || { echo "BENCH_serve.json: missing X13 cluster gate keys" >&2; exit 1; }
 [ "$c_lost" -eq 0 ] || { echo "cluster gate: $c_lost records lost" >&2; exit 1; }
 [ "$c_fo" -ge 1 ] || { echo "cluster gate: no failover recorded" >&2; exit 1; }
+awk -v p="$c_promote" 'BEGIN { exit !(p > 0 && p <= 2000.0) }' \
+    || { echo "cluster gate: self-promotion ${c_promote} ms outside (0, 2000] ms" >&2; exit 1; }
 awk -v g="$c_gap" 'BEGIN { exit !(g <= 2000.0) }' \
     || { echo "cluster gate: failover gap ${c_gap} ms > 2000 ms" >&2; exit 1; }
+[ "$c_freads" -ge 1 ] \
+    || { echo "cluster gate: no follower reads recorded" >&2; exit 1; }
 awk -v p="$c_p99" 'BEGIN { exit !(p <= 50000.0) }' \
     || { echo "cluster gate: during-failover query p99 ${c_p99} us > 50 ms" >&2; exit 1; }
-echo "  failover gap ${c_gap} ms, during-failover query p99 ${c_p99} us, 0 records lost"
+echo "  self-promotion ${c_promote} ms, failover gap ${c_gap} ms, ${c_freads} follower reads, during-failover query p99 ${c_p99} us, 0 records lost"
 
 echo "== scheduler smoke (X14 sched, reduced scale) =="
 # fgcs-sched over a live 2-shard cluster: three policies replay the
